@@ -1,0 +1,72 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **A1** — Algorithm 1's cost-bound early stopping on/off;
+//! * **A2** — signature-based table mapping vs exhaustive enumeration of
+//!   all alias permutations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrhint_core::mapping::{all_table_mappings, table_mapping};
+use qrhint_core::repair::{repair_where, RepairConfig};
+use qrhint_core::Oracle;
+use qrhint_sqlparse::{parse_pred, parse_query};
+use qrhint_workloads::{inject, tpch};
+
+fn ablation_early_stop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_early_stopping");
+    group.sample_size(10);
+    let case = tpch::conjunctive_suite()
+        .into_iter()
+        .find(|c| c.natoms == 6)
+        .unwrap();
+    let target = parse_pred(case.where_sql).unwrap();
+    let (wrong, _) = inject::inject_atom_errors(&target, 2, 0xA1);
+    for (label, disable) in [("with_early_stop", false), ("no_early_stop", true)] {
+        group.bench_with_input(
+            BenchmarkId::new(label, case.name),
+            &(&wrong, &target),
+            |b, (wrong, target)| {
+                b.iter(|| {
+                    let cfg = RepairConfig { disable_early_stop: disable, ..Default::default() };
+                    let mut oracle = Oracle::for_preds(&[wrong, target]);
+                    repair_where(&mut oracle, &[], wrong, target, &cfg)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_table_mapping");
+    // The paper's own self-join example: Serves twice, plus three more
+    // aliased tables.
+    let q_star = parse_query(
+        "SELECT L.beer, S1.bar, COUNT(*)
+         FROM Likes L, Frequents F, Serves S1, Serves S2
+         WHERE L.drinker = F.drinker AND F.bar = S1.bar
+           AND L.beer = S1.beer AND S1.beer = S2.beer
+           AND S1.price <= S2.price
+         GROUP BY F.drinker, L.beer, S1.bar
+         HAVING F.drinker = 'Amy'",
+    )
+    .unwrap();
+    let q = parse_query(
+        "SELECT s2.beer, s2.bar, COUNT(*)
+         FROM Likes, Frequents, Serves s1, Serves s2
+         WHERE likes.drinker = 'Amy'
+           AND likes.beer = s1.beer AND likes.beer = s2.beer
+           AND s1.price > s2.price
+         GROUP BY s2.beer, s2.bar",
+    )
+    .unwrap();
+    group.bench_function("signature_matching", |b| {
+        b.iter(|| table_mapping(&q_star, &q))
+    });
+    group.bench_function("exhaustive_enumeration", |b| {
+        b.iter(|| all_table_mappings(&q_star, &q))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_early_stop, ablation_mapping);
+criterion_main!(benches);

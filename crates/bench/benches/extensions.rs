@@ -1,0 +1,88 @@
+//! Benches for the DESIGN.md §8 extensions: overhead of the multi-block
+//! front-end (flattening vs strict parsing) and of the NULL prototype's
+//! 3VL encoding + equivalence check. These quantify the cost of the
+//! opt-in relaxations so EXPERIMENTS.md can state that enabling them
+//! does not change the order of magnitude of a hinting session.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrhint_core::nullsafe::{encode_where_3vl, where_equiv_3vl};
+use qrhint_sqlast::ColRef;
+use qrhint_sqlparse::{parse_pred, parse_query, parse_query_extended, FlattenOptions};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+const COMMA_SQL: &str = "SELECT l.beer, s1.bar, COUNT(*) \
+    FROM likes l, frequents f, serves s1, serves s2 \
+    WHERE l.drinker = f.drinker AND f.bar = s1.bar \
+      AND l.beer = s1.beer AND s1.beer = s2.beer AND s1.price <= s2.price \
+    GROUP BY f.drinker, l.beer, s1.bar HAVING f.drinker = 'Amy'";
+
+const JOIN_SQL: &str = "SELECT l.beer, s1.bar, COUNT(*) \
+    FROM likes l JOIN frequents f ON l.drinker = f.drinker \
+                 JOIN serves s1 ON f.bar = s1.bar AND l.beer = s1.beer \
+                 JOIN serves s2 ON s1.beer = s2.beer \
+    WHERE s1.price <= s2.price \
+    GROUP BY f.drinker, l.beer, s1.bar HAVING f.drinker = 'Amy'";
+
+const CTE_SQL: &str = "WITH amy AS (SELECT l.drinker, l.beer FROM likes l \
+                                    WHERE l.drinker = 'Amy') \
+    SELECT a.beer, s1.bar, COUNT(*) \
+    FROM amy a, frequents f, serves s1, serves s2 \
+    WHERE a.drinker = f.drinker AND f.bar = s1.bar \
+      AND a.beer = s1.beer AND s1.beer = s2.beer AND s1.price <= s2.price \
+    GROUP BY f.drinker, a.beer, s1.bar";
+
+fn frontend_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_frontend");
+    group.sample_size(40);
+    group.bench_function("strict_parse", |b| {
+        b.iter(|| parse_query(black_box(COMMA_SQL)).unwrap())
+    });
+    group.bench_function("extended_parse_same_fragment", |b| {
+        b.iter(|| {
+            parse_query_extended(black_box(COMMA_SQL), &FlattenOptions::default()).unwrap()
+        })
+    });
+    group.bench_function("flatten_join_syntax", |b| {
+        b.iter(|| {
+            parse_query_extended(black_box(JOIN_SQL), &FlattenOptions::default()).unwrap()
+        })
+    });
+    group.bench_function("flatten_cte", |b| {
+        b.iter(|| {
+            parse_query_extended(black_box(CTE_SQL), &FlattenOptions::default()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn nullsafe_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_nullsafe");
+    group.sample_size(30);
+    let p = parse_pred(
+        "t.a > 5 AND (t.b < 3 OR NOT (t.c = t.a)) AND (t.b = 2 OR t.c >= 1)",
+    )
+    .unwrap();
+    let q = parse_pred(
+        "(t.b = 2 OR t.c >= 1) AND t.a >= 6 AND (t.b <= 2 OR t.c <> t.a)",
+    )
+    .unwrap();
+    let ns: BTreeSet<ColRef> =
+        [ColRef::new("t", "a"), ColRef::new("t", "b")].into_iter().collect();
+    group.bench_function("encode_3vl", |b| {
+        b.iter(|| encode_where_3vl(black_box(&p), black_box(&ns)))
+    });
+    group.bench_function("equiv_2vl_baseline", |b| {
+        b.iter(|| {
+            let mut oracle = qrhint_core::Oracle::for_preds(&[&p, &q]);
+            oracle.equiv_pred(black_box(&p), black_box(&q), &[])
+        })
+    });
+    group.bench_function("equiv_3vl", |b| {
+        b.iter(|| where_equiv_3vl(black_box(&p), black_box(&q), black_box(&ns)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, frontend_overhead, nullsafe_overhead);
+criterion_main!(benches);

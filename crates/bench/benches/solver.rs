@@ -1,0 +1,47 @@
+//! Microbenchmarks for the substrates: the SMT-lite solver's equivalence
+//! primitive on the suite predicates, and Boolean minimization on random
+//! truth tables (the two dominant costs inside `MinFix`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrhint_boolmin::{minimize, Out, TruthTable};
+use qrhint_core::Oracle;
+use qrhint_sqlparse::parse_pred;
+use qrhint_workloads::tpch;
+
+fn bench_equiv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smt_equiv");
+    group.sample_size(20);
+    for case in tpch::conjunctive_suite().into_iter().filter(|c| c.natoms <= 9) {
+        let p = parse_pred(case.where_sql).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("self_equiv", format!("{}atoms", case.natoms)),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    let mut oracle = Oracle::for_preds(&[p]);
+                    oracle.equiv_pred(p, p, &[])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_boolmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boolmin_qm");
+    for nvars in [6usize, 8, 10] {
+        // Deterministic structured function with don't-cares.
+        let t = TruthTable::from_fn(nvars, |r| match r % 5 {
+            0 => Out::One,
+            1 => Out::DontCare,
+            _ => Out::Zero,
+        });
+        group.bench_with_input(BenchmarkId::new("minimize", nvars), &t, |b, t| {
+            b.iter(|| minimize(t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_equiv, bench_boolmin);
+criterion_main!(benches);

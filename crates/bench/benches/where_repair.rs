@@ -1,0 +1,60 @@
+//! Criterion bench for Figures 2b/3b: `RepairWhere` running time on the
+//! conjunctive TPC-H suite (4–7 atoms kept in the default run; the full
+//! 4–11 sweep is in `exp_fig2`) and on the Q7 nested predicate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrhint_core::repair::{repair_where, FixStrategy, RepairConfig};
+use qrhint_core::Oracle;
+use qrhint_sqlparse::parse_pred;
+use qrhint_workloads::{inject, tpch};
+
+fn bench_conjunctive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2b_conjunctive_where");
+    group.sample_size(10);
+    for case in tpch::conjunctive_suite().into_iter().filter(|c| c.natoms <= 7) {
+        let target = parse_pred(case.where_sql).unwrap();
+        let (wrong, _) = inject::inject_atom_errors(&target, 2, 0xF16);
+        for (strategy, label) in
+            [(FixStrategy::Basic, "basic"), (FixStrategy::Optimized, "opt")]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{}-{}atoms", case.name, case.natoms)),
+                &(&wrong, &target),
+                |b, (wrong, target)| {
+                    b.iter(|| {
+                        let cfg = RepairConfig { strategy, ..RepairConfig::default() };
+                        let mut oracle = Oracle::for_preds(&[wrong, target]);
+                        repair_where(&mut oracle, &[], wrong, target, &cfg)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3b_nested_where");
+    group.sample_size(10);
+    let target = tpch::q7_nested();
+    // One injected error only: higher error counts take tens of seconds
+    // per repair (see exp_fig3 for the full 1–5 sweep with wall times).
+    for errors in 1..=1usize {
+        let (wrong, _) = inject::inject_mixed_errors(&target, errors, 0xF3 + errors as u64);
+        group.bench_with_input(
+            BenchmarkId::new("basic", format!("{errors}err")),
+            &(&wrong, &target),
+            |b, (wrong, target)| {
+                b.iter(|| {
+                    let cfg = RepairConfig::default();
+                    let mut oracle = Oracle::for_preds(&[wrong, target]);
+                    repair_where(&mut oracle, &[], wrong, target, &cfg)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conjunctive, bench_nested);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E9 — Appendix Tables 2–3: run Qr-Hint on the four study queries and
+//! print the generated repairs next to the hints the study used
+//! (validating that the blue "Qr-Hint" rows of Table 3 regenerate).
+//!
+//! Run with: `cargo run --release -p qrhint-bench --bin exp_dblp_hints`
+
+use qr_hint::prelude::*;
+use qrhint_workloads::dblp;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SessionLog {
+    question: String,
+    rounds: Vec<RoundLog>,
+    converged: bool,
+}
+
+#[derive(Serialize)]
+struct RoundLog {
+    stage: String,
+    hints: Vec<String>,
+}
+
+fn main() {
+    let qr = QrHint::new(dblp::schema());
+    let mut logs = Vec::new();
+    for q in dblp::questions() {
+        println!("==== {} ====", q.id);
+        println!("{}\n", q.statement);
+        let target = qr.prepare(q.correct_sql).expect("correct query parses");
+        let mut working = qr.prepare(q.wrong_sql).expect("wrong query parses");
+        let mut rounds = Vec::new();
+        let mut converged = false;
+        for _ in 0..12 {
+            let advice = qr.advise(&target, &working).expect("advise");
+            if advice.is_equivalent() {
+                converged = true;
+                break;
+            }
+            println!("stage {}:", advice.stage);
+            for h in &advice.hints {
+                println!("  {h}");
+            }
+            rounds.push(RoundLog {
+                stage: advice.stage.to_string(),
+                hints: advice.hints.iter().map(|h| h.to_string()).collect(),
+            });
+            working = advice.fixed.expect("fix");
+        }
+        println!(
+            "converged: {converged}\nstudy hints (Appendix Table 3, Qr-Hint rows):"
+        );
+        for h in q.hints.iter().filter(|h| h.source == dblp::HintSource::QrHint) {
+            println!("  [paper] {}", h.text);
+        }
+        println!();
+        logs.push(SessionLog { question: q.id.to_string(), rounds, converged });
+    }
+    qrhint_bench::report::write_json("dblp_hints", &logs);
+}

@@ -1,0 +1,88 @@
+//! E12 — front-end recovery of unsupported Students queries
+//! (EXPERIMENTS.md; extension, DESIGN.md §8.1): how many of the 35
+//! UNSUPPORTED corpus entries become hintable under each front-end
+//! configuration, with every recovered query driven to verified
+//! equivalence by the pipeline.
+//!
+//! Run with: `cargo run --release -p qrhint-bench --bin exp_recovery`
+
+use qr_hint::prelude::*;
+use qrhint_bench::report;
+use qrhint_engine::differential_equiv;
+use qrhint_workloads::students;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct RecoveryRow {
+    config: String,
+    recovered: usize,
+    total: usize,
+    converged: usize,
+    verified: usize,
+}
+
+fn run_config(name: &str, opts: Option<&FlattenOptions>) -> RecoveryRow {
+    let qr = QrHint::new(students::schema());
+    let corpus = students::corpus();
+    let unsupported: Vec<_> =
+        corpus.iter().filter(|e| e.category == "UNSUPPORTED").collect();
+    let total = unsupported.len();
+    let mut recovered = 0;
+    let mut converged = 0;
+    let mut verified = 0;
+    for e in &unsupported {
+        let parsed = match opts {
+            None => qr.prepare(&e.pair.working_sql),
+            Some(o) => qr.prepare_extended(&e.pair.working_sql, o),
+        };
+        let Ok(working) = parsed else { continue };
+        recovered += 1;
+        let target = match opts {
+            None => qr.prepare(&e.pair.target_sql),
+            Some(o) => qr.prepare_extended(&e.pair.target_sql, o),
+        }
+        .expect("reference query parses");
+        if let Ok((final_q, trail)) = qr.fix_fully(&target, &working) {
+            if trail.last().is_some_and(|a| a.is_equivalent()) {
+                converged += 1;
+                if differential_equiv(&target, &final_q, qr.schema(), 0xE12, 15)
+                    .unwrap_or(false)
+                {
+                    verified += 1;
+                }
+            }
+        }
+    }
+    RecoveryRow { config: name.to_string(), recovered, total, converged, verified }
+}
+
+fn main() {
+    let rows = vec![
+        run_config("strict §3 parser (paper)", None),
+        run_config("footnote-2 rewrites", Some(&FlattenOptions::default())),
+        run_config(
+            "+ positive-subquery rewrite",
+            Some(&FlattenOptions::with_subquery_rewrite()),
+        ),
+    ];
+    println!("E12 — front-end recovery of the 35 UNSUPPORTED Students queries\n");
+    println!(
+        "{}",
+        report::table(
+            &["configuration", "recovered", "converged", "verified"],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.config.clone(),
+                    format!("{}/{}", r.recovered, r.total),
+                    r.converged.to_string(),
+                    r.verified.to_string(),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    report::write_json("exp_recovery", &rows);
+    let last = rows.last().unwrap();
+    assert_eq!(last.recovered, last.converged, "every recovered query must converge");
+    assert_eq!(last.converged, last.verified, "every converged query must verify");
+}

@@ -1,0 +1,67 @@
+//! E1/E10/E11 — the Students+ coverage experiment (§9.1, Appendix
+//! Tables 4 and 5).
+//!
+//! Run with: `cargo run --release -p qrhint-bench --bin exp_students`
+
+use qrhint_bench::{report, students_exp};
+
+fn main() {
+    println!("== E1: Students+ coverage (§9.1) ==\n");
+    let r = students_exp::run();
+
+    println!("-- Appendix Table 4 regeneration: per-question statistics --");
+    let mut rows = Vec::new();
+    for (q, s) in &r.per_question {
+        let mut stage_summary: Vec<String> = s
+            .first_stage
+            .iter()
+            .map(|(stage, n)| format!("{stage}:{n}"))
+            .collect();
+        stage_summary.sort();
+        rows.push(vec![
+            q.clone(),
+            s.total.to_string(),
+            s.unsupported.to_string(),
+            s.converged.to_string(),
+            stage_summary.join(" "),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(&["question", "total", "unsupported", "converged", "first-stage"], &rows)
+    );
+    println!(
+        "supported wrong queries: {} / unsupported: {} (paper: 306 / 35)",
+        r.supported, r.unsupported
+    );
+    println!(
+        "average running time per supported query: {:.1} ms (paper: ~200 ms in Python)\n",
+        r.avg_ms_per_query
+    );
+
+    println!("-- Appendix Table 5 regeneration: Brass et al. issue handling --");
+    let brass_rows: Vec<Vec<String>> = r
+        .brass
+        .iter()
+        .map(|b| {
+            vec![
+                b.issue.to_string(),
+                b.description.chars().take(48).collect(),
+                b.paper_category.clone(),
+                format!("{:?}", b.observed),
+                if b.matches_paper { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(&["issue", "description", "paper", "observed", "match"], &brass_rows)
+    );
+    let matched = r.brass.iter().filter(|b| b.matches_paper).count();
+    println!(
+        "issues handled as the paper reports: {matched}/{} \
+         (11 fixed / 3 proven-equivalent / 11 flagged-but-correct)",
+        r.brass.len()
+    );
+    report::write_json("students", &r);
+}

@@ -1,0 +1,159 @@
+//! Quine–McCluskey prime implicant generation.
+
+use std::collections::HashSet;
+
+/// A cube (product term): `dashes` marks positions that are don't-care in
+/// the term; `values` fixes the cared positions (bits under `!dashes`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    pub dashes: u32,
+    pub values: u32,
+}
+
+impl Cube {
+    /// A cube fixing exactly the bits of `minterm`.
+    pub fn minterm(m: u32) -> Cube {
+        Cube { dashes: 0, values: m }
+    }
+
+    /// Whether the cube covers a row.
+    pub fn covers(&self, row: u32) -> bool {
+        (row & !self.dashes) == (self.values & !self.dashes)
+    }
+
+    /// Number of literals (cared positions) given the variable count.
+    pub fn literal_count(&self, nvars: usize) -> usize {
+        nvars - (self.dashes & crate::mask(nvars)).count_ones() as usize
+    }
+
+    /// Literals as (var index, polarity) pairs.
+    pub fn literals(&self, nvars: usize) -> Vec<(usize, bool)> {
+        (0..nvars)
+            .filter(|i| self.dashes & (1 << i) == 0)
+            .map(|i| (i, self.values & (1 << i) != 0))
+            .collect()
+    }
+
+    /// Attempt to merge with another cube (same dashes, values differing
+    /// in exactly one bit).
+    fn merge(&self, other: &Cube) -> Option<Cube> {
+        if self.dashes != other.dashes {
+            return None;
+        }
+        let diff = (self.values ^ other.values) & !self.dashes;
+        if diff.count_ones() == 1 {
+            Some(Cube { dashes: self.dashes | diff, values: self.values & !diff })
+        } else {
+            None
+        }
+    }
+}
+
+/// Compute all prime implicants of the function whose on-set is `on` and
+/// don't-care set is `dc` (don't-cares join the merging but are never
+/// required to be covered).
+pub fn prime_implicants(nvars: usize, on: &[u32], dc: &[u32]) -> Vec<Cube> {
+    let mut current: HashSet<Cube> = on.iter().chain(dc).map(|&m| Cube::minterm(m)).collect();
+    let mut primes: Vec<Cube> = Vec::new();
+    while !current.is_empty() {
+        // Group by (dashes, popcount of cared ones) so only adjacent
+        // groups need pairwise comparison.
+        let mut cubes: Vec<Cube> = current.iter().copied().collect();
+        cubes.sort_by_key(|c| (c.dashes, (c.values & !c.dashes).count_ones()));
+        let mut merged_flag = vec![false; cubes.len()];
+        let mut next: HashSet<Cube> = HashSet::new();
+        for i in 0..cubes.len() {
+            for j in (i + 1)..cubes.len() {
+                if cubes[j].dashes != cubes[i].dashes {
+                    break; // sorted: different dash patterns follow
+                }
+                let pi = (cubes[i].values & !cubes[i].dashes).count_ones();
+                let pj = (cubes[j].values & !cubes[j].dashes).count_ones();
+                if pj > pi + 1 {
+                    break;
+                }
+                if let Some(m) = cubes[i].merge(&cubes[j]) {
+                    merged_flag[i] = true;
+                    merged_flag[j] = true;
+                    next.insert(m);
+                }
+            }
+        }
+        for (i, c) in cubes.iter().enumerate() {
+            if !merged_flag[i] {
+                primes.push(*c);
+            }
+        }
+        current = next;
+    }
+    primes.sort();
+    primes.dedup();
+    // Drop primes that cover no required (on-set) row; they only covered
+    // don't-cares and are useless for the cover.
+    primes.retain(|p| on.iter().any(|&m| p.covers(m)));
+    // The `nvars` parameter bounds the cube domain; assert consistency in
+    // debug builds.
+    debug_assert!(primes.iter().all(|p| p.values <= crate::mask(nvars)));
+    primes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_cover_and_merge() {
+        let a = Cube::minterm(0b101);
+        assert!(a.covers(0b101));
+        assert!(!a.covers(0b100));
+        let b = Cube::minterm(0b100);
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m.dashes, 0b001);
+        assert!(m.covers(0b101) && m.covers(0b100));
+        assert!(!m.covers(0b001));
+        // Non-adjacent minterms don't merge.
+        assert!(Cube::minterm(0b000).merge(&Cube::minterm(0b011)).is_none());
+    }
+
+    #[test]
+    fn literals_extraction() {
+        let c = Cube { dashes: 0b010, values: 0b101 };
+        assert_eq!(c.literal_count(3), 2);
+        assert_eq!(c.literals(3), vec![(0, true), (2, true)]);
+    }
+
+    #[test]
+    fn full_cube_from_complete_on_set() {
+        // on-set = all rows of 2 vars → single prime with all dashes.
+        let primes = prime_implicants(2, &[0, 1, 2, 3], &[]);
+        assert_eq!(primes.len(), 1);
+        assert_eq!(primes[0].dashes, 0b11);
+    }
+
+    #[test]
+    fn xor_primes_are_minterms() {
+        let primes = prime_implicants(2, &[1, 2], &[]);
+        assert_eq!(primes.len(), 2);
+        assert!(primes.iter().all(|p| p.dashes == 0));
+    }
+
+    #[test]
+    fn dc_participates_but_is_not_required() {
+        // on = {3}, dc = {1, 2}: primes should include merged cubes using
+        // the dc rows; useless dc-only primes are dropped.
+        let primes = prime_implicants(2, &[3], &[1, 2]);
+        assert!(primes.iter().all(|p| p.covers(3)));
+        assert!(primes.iter().any(|p| p.literal_count(2) == 1));
+    }
+
+    #[test]
+    fn textbook_primes() {
+        // f = Σm(0,1,2,5,6,7) over 3 vars: primes are known to be
+        // {a'b', b'c, a'c', bc, ab, ac'} (6 primes).
+        let primes = prime_implicants(3, &[0, 1, 2, 5, 6, 7], &[]);
+        assert_eq!(primes.len(), 6);
+        for p in &primes {
+            assert_eq!(p.literal_count(3), 2);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Truth tables with don't-care outputs.
+
+/// Output value of one truth-table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Out {
+    Zero,
+    One,
+    DontCare,
+}
+
+/// A complete truth table over `nvars ≤ 20` variables. Row `r` assigns
+/// variable `i` the value of bit `i` of `r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTable {
+    nvars: usize,
+    outs: Vec<Out>,
+}
+
+/// Hard cap keeping tables within memory (2^20 rows ≈ 1M entries).
+pub const MAX_VARS: usize = 20;
+
+impl TruthTable {
+    /// Build a table by evaluating `f` on every row.
+    pub fn from_fn(nvars: usize, mut f: impl FnMut(u32) -> Out) -> TruthTable {
+        assert!(nvars <= MAX_VARS, "truth table too large: {nvars} vars");
+        let outs = (0..(1u32 << nvars)).map(&mut f).collect();
+        TruthTable { nvars, outs }
+    }
+
+    /// Build a table from explicit on-set and dc-set row lists.
+    pub fn from_sets(nvars: usize, on: &[u32], dc: &[u32]) -> TruthTable {
+        let mut t = TruthTable::from_fn(nvars, |_| Out::Zero);
+        for &r in dc {
+            t.set(r, Out::DontCare);
+        }
+        for &r in on {
+            t.set(r, Out::One);
+        }
+        t
+    }
+
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    pub fn len(&self) -> usize {
+        self.outs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.outs.is_empty()
+    }
+
+    pub fn get(&self, row: u32) -> Out {
+        self.outs[row as usize]
+    }
+
+    pub fn set(&mut self, row: u32, out: Out) {
+        self.outs[row as usize] = out;
+    }
+
+    /// Iterate over the rows having a given output.
+    pub fn rows_with(&self, out: Out) -> impl Iterator<Item = u32> + '_ {
+        self.outs
+            .iter()
+            .enumerate()
+            .filter(move |(_, o)| **o == out)
+            .map(|(i, _)| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_get() {
+        let t = TruthTable::from_fn(2, |r| if r == 3 { Out::One } else { Out::Zero });
+        assert_eq!(t.nvars(), 2);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(3), Out::One);
+        assert_eq!(t.get(0), Out::Zero);
+    }
+
+    #[test]
+    fn from_sets() {
+        let t = TruthTable::from_sets(3, &[1, 2], &[7]);
+        assert_eq!(t.get(1), Out::One);
+        assert_eq!(t.get(2), Out::One);
+        assert_eq!(t.get(7), Out::DontCare);
+        assert_eq!(t.get(0), Out::Zero);
+        assert_eq!(t.rows_with(Out::One).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(t.rows_with(Out::DontCare).collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "truth table too large")]
+    fn too_many_vars_panics() {
+        let _ = TruthTable::from_fn(MAX_VARS + 1, |_| Out::Zero);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the Quine–McCluskey minimizer: semantic
+//! correctness on arbitrary tables with don't-cares, and exact minimality
+//! (term count) against brute-force search on small instances.
+
+use proptest::prelude::*;
+use qrhint_boolmin::{minimize, Cube, Dnf, Out, TruthTable};
+
+fn arb_table(nvars: usize) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(0u8..3, 1 << nvars).prop_map(move |cells| {
+        TruthTable::from_fn(nvars, |row| match cells[row as usize] {
+            0 => Out::Zero,
+            1 => Out::One,
+            _ => Out::DontCare,
+        })
+    })
+}
+
+fn consistent(t: &TruthTable, dnf: &Dnf) -> bool {
+    (0..(1u32 << t.nvars())).all(|row| match t.get(row) {
+        Out::One => dnf.eval(row),
+        Out::Zero => !dnf.eval(row),
+        Out::DontCare => true,
+    })
+}
+
+/// Brute-force minimum term count for tiny tables: enumerate all cube
+/// subsets up to size 3 over all possible cubes.
+fn brute_min_terms(t: &TruthTable) -> usize {
+    let nvars = t.nvars();
+    let on: Vec<u32> = t.rows_with(Out::One).collect();
+    if on.is_empty() {
+        return 0;
+    }
+    // All cubes over nvars variables: choose per variable 0/1/dash.
+    let mut cubes: Vec<Cube> = Vec::new();
+    let n3 = 3usize.pow(nvars as u32);
+    for code in 0..n3 {
+        let mut c = code;
+        let mut dashes = 0u32;
+        let mut values = 0u32;
+        for i in 0..nvars {
+            match c % 3 {
+                0 => {}
+                1 => values |= 1 << i,
+                _ => dashes |= 1 << i,
+            }
+            c /= 3;
+        }
+        cubes.push(Cube { dashes, values });
+    }
+    // Keep only cubes consistent with the off-set.
+    let off: Vec<u32> = t.rows_with(Out::Zero).collect();
+    cubes.retain(|c| off.iter().all(|&r| !c.covers(r)));
+    for k in 1..=3usize {
+        if has_cover(&cubes, &on, k, 0, &mut Vec::new()) {
+            return k;
+        }
+    }
+    4 // "4 or more" — enough for the assertion below
+}
+
+fn has_cover(cubes: &[Cube], on: &[u32], k: usize, start: usize, picked: &mut Vec<Cube>) -> bool {
+    if picked.len() == k {
+        return on.iter().all(|&r| picked.iter().any(|c| c.covers(r)));
+    }
+    for i in start..cubes.len() {
+        picked.push(cubes[i]);
+        if has_cover(cubes, on, k, i + 1, picked) {
+            picked.pop();
+            return true;
+        }
+        picked.pop();
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    /// The minimized DNF agrees with the table on every cared row.
+    #[test]
+    fn minimization_is_semantically_correct(t in (1usize..=6).prop_flat_map(arb_table)) {
+        let dnf = minimize(&t);
+        prop_assert!(consistent(&t, &dnf));
+    }
+
+    /// On tiny tables the term count matches the brute-force optimum
+    /// (when the optimum is ≤ 3 terms; beyond that the brute force gives
+    /// a lower bound of 4 and we only check ≥).
+    #[test]
+    fn minimization_is_term_optimal_small(t in (1usize..=3).prop_flat_map(arb_table)) {
+        let dnf = minimize(&t);
+        prop_assert!(consistent(&t, &dnf));
+        let best = brute_min_terms(&t);
+        if best <= 3 {
+            prop_assert_eq!(dnf.terms.len(), best, "table {:?}", t);
+        } else {
+            prop_assert!(dnf.terms.len() >= 4);
+        }
+    }
+
+    /// Don't-cares never hurt: replacing don't-cares with fixed outputs
+    /// can only increase (or keep) the term count.
+    #[test]
+    fn dont_cares_never_hurt(t in (1usize..=4).prop_flat_map(arb_table)) {
+        let with_dc = minimize(&t);
+        // Force don't-cares to Zero.
+        let forced = TruthTable::from_fn(t.nvars(), |row| match t.get(row) {
+            Out::DontCare => Out::Zero,
+            other => other,
+        });
+        let without = minimize(&forced);
+        prop_assert!(
+            with_dc.terms.len() <= without.terms.len(),
+            "dc table needed {} terms, forced-zero {}",
+            with_dc.terms.len(),
+            without.terms.len()
+        );
+    }
+}

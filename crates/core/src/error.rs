@@ -1,0 +1,56 @@
+//! Error type for the Qr-Hint core.
+
+use std::fmt;
+
+/// Result alias.
+pub type QrResult<T> = Result<T, QrHintError>;
+
+/// Errors surfaced by the hinting pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QrHintError {
+    /// SQL failed to parse.
+    Parse(String),
+    /// Name resolution / typing failed.
+    Resolve(String),
+    /// The query uses features outside the supported fragment
+    /// (maps to the 35/341 unsupported Students queries in §9).
+    Unsupported(String),
+    /// An internal invariant failed (never expected; reported rather than
+    /// panicking so batch experiments keep running).
+    Internal(String),
+}
+
+impl fmt::Display for QrHintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QrHintError::Parse(d) => write!(f, "parse error: {d}"),
+            QrHintError::Resolve(d) => write!(f, "resolution error: {d}"),
+            QrHintError::Unsupported(d) => write!(f, "unsupported SQL feature: {d}"),
+            QrHintError::Internal(d) => write!(f, "internal error: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for QrHintError {}
+
+impl From<qrhint_sqlparse::ParseError> for QrHintError {
+    fn from(e: qrhint_sqlparse::ParseError) -> Self {
+        match e {
+            qrhint_sqlparse::ParseError::Unsupported { ref feature, .. } => {
+                QrHintError::Unsupported(feature.clone())
+            }
+            other => QrHintError::Parse(other.to_string()),
+        }
+    }
+}
+
+impl From<qrhint_sqlast::AstError> for QrHintError {
+    fn from(e: qrhint_sqlast::AstError) -> Self {
+        match e {
+            qrhint_sqlast::AstError::UnsupportedFeature { feature } => {
+                QrHintError::Unsupported(feature)
+            }
+            other => QrHintError::Resolve(other.to_string()),
+        }
+    }
+}

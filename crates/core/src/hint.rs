@@ -1,0 +1,227 @@
+//! Hints: the user-facing output of Qr-Hint.
+//!
+//! Following §1/Example 2, Qr-Hint produces *repairs* (sites + fixes);
+//! the rendering here turns them into the templated natural-language
+//! hints used in the user study ("In \[SQL clause\], \[hint\]"), revealing
+//! repair sites but (configurably) not the fixes themselves.
+
+use qrhint_sqlast::pred::PredPath;
+use qrhint_sqlast::{Pred, Scalar};
+use std::fmt;
+
+/// The pipeline stages (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    From,
+    Where,
+    GroupBy,
+    Having,
+    Select,
+    /// All stages cleared: the queries are equivalent.
+    Done,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::From => "FROM",
+            Stage::Where => "WHERE",
+            Stage::GroupBy => "GROUP BY",
+            Stage::Having => "HAVING",
+            Stage::Select => "SELECT",
+            Stage::Done => "DONE",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Which predicate clause a repair applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClauseKind {
+    Where,
+    Having,
+}
+
+impl fmt::Display for ClauseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClauseKind::Where => write!(f, "WHERE"),
+            ClauseKind::Having => write!(f, "HAVING"),
+        }
+    }
+}
+
+/// One repair site with its fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteHint {
+    /// Path into the clause's predicate tree.
+    pub path: PredPath,
+    /// The subexpression the user wrote there.
+    pub current: Pred,
+    /// The synthesized fix (shown to the teaching staff, normally hidden
+    /// from students).
+    pub fix: Pred,
+}
+
+/// A hint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Hint {
+    /// FROM-stage: `table` is referenced `have` times but should be
+    /// referenced `want` times.
+    FromTableCount { table: String, have: usize, want: usize },
+    /// The query is missing (or has spurious) grouping/aggregation
+    /// structure (SPJ vs SPJA mismatch, Lemma D.1).
+    Structure { needs_grouping: bool },
+    /// A predicate repair in WHERE or HAVING.
+    PredicateRepair { clause: ClauseKind, sites: Vec<SiteHint>, cost: f64 },
+    /// GROUP BY: this expression must be removed (strong minimality of
+    /// Δ−, Lemma 6.2).
+    GroupByRemove { expr: Scalar },
+    /// GROUP BY: some expressions are missing (Δ+ is nonempty; its
+    /// contents are deliberately not revealed — weak minimality).
+    GroupByMissing { count: usize },
+    /// SELECT: the expression at `position` (1-based) is not equivalent
+    /// to the expected output column.
+    SelectReplace { position: usize, current: Scalar },
+    /// SELECT: the expression at `position` is extraneous.
+    SelectRemove { position: usize, current: Scalar },
+    /// SELECT: `count` output columns are missing at the end.
+    SelectMissing { count: usize },
+    /// SELECT DISTINCT is needed (or must be dropped).
+    DistinctMismatch { need_distinct: bool },
+}
+
+impl fmt::Display for Hint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Hint::FromTableCount { table, have, want } => {
+                if have < want {
+                    if *have == 0 {
+                        write!(
+                            f,
+                            "In FROM: it looks like you are missing a table — read the \
+                             problem carefully and see what other piece of information \
+                             you need (`{table}`)."
+                        )
+                    } else {
+                        write!(
+                            f,
+                            "In FROM: you need to use table `{table}` more times than \
+                             you currently do ({have} of {want})."
+                        )
+                    }
+                } else {
+                    write!(
+                        f,
+                        "In FROM: table `{table}` is used more times than needed \
+                         ({have}, expected {want})."
+                    )
+                }
+            }
+            Hint::Structure { needs_grouping } => {
+                if *needs_grouping {
+                    write!(
+                        f,
+                        "This problem requires grouping/aggregation — consider GROUP BY \
+                         and aggregate functions."
+                    )
+                } else {
+                    write!(
+                        f,
+                        "This problem does not require grouping/aggregation — remove \
+                         GROUP BY / aggregates."
+                    )
+                }
+            }
+            Hint::PredicateRepair { clause, sites, .. } => {
+                write!(f, "In {clause}: ")?;
+                for (i, s) in sites.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; also, ")?;
+                    }
+                    write!(f, "`{}` has a problem — try fixing it", s.current)?;
+                }
+                write!(f, ".")
+            }
+            Hint::GroupByRemove { expr } => {
+                write!(f, "In GROUP BY: `{expr}` should not appear.")
+            }
+            Hint::GroupByMissing { count } => {
+                if *count == 1 {
+                    write!(f, "In GROUP BY: you are missing an expression.")
+                } else {
+                    write!(f, "In GROUP BY: you are missing {count} expressions.")
+                }
+            }
+            Hint::SelectReplace { position, current } => write!(
+                f,
+                "In SELECT: the output column #{position} (`{current}`) is not what \
+                 the problem asks for."
+            ),
+            Hint::SelectRemove { position, current } => write!(
+                f,
+                "In SELECT: the output column #{position} (`{current}`) is extraneous."
+            ),
+            Hint::SelectMissing { count } => {
+                write!(f, "In SELECT: {count} output column(s) are missing.")
+            }
+            Hint::DistinctMismatch { need_distinct } => {
+                if *need_distinct {
+                    write!(f, "In SELECT: think about duplicates — DISTINCT is needed.")
+                } else {
+                    write!(f, "In SELECT: DISTINCT removes duplicates the answer needs.")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlparse::{parse_pred, parse_scalar};
+
+    #[test]
+    fn render_from_hint() {
+        let h = Hint::FromTableCount { table: "frequents".into(), have: 0, want: 1 };
+        let s = h.to_string();
+        assert!(s.contains("missing a table"));
+        let h2 = Hint::FromTableCount { table: "serves".into(), have: 3, want: 2 };
+        assert!(h2.to_string().contains("more times than needed"));
+    }
+
+    #[test]
+    fn render_predicate_repair() {
+        let h = Hint::PredicateRepair {
+            clause: ClauseKind::Where,
+            sites: vec![SiteHint {
+                path: vec![3],
+                current: parse_pred("s1.price > s2.price").unwrap(),
+                fix: parse_pred("s1.price >= s2.price").unwrap(),
+            }],
+            cost: 0.25,
+        };
+        let s = h.to_string();
+        assert!(s.starts_with("In WHERE:"));
+        assert!(s.contains("s1.price > s2.price"));
+        // The fix is not leaked by the default rendering.
+        assert!(!s.contains(">="));
+    }
+
+    #[test]
+    fn render_groupby_and_select() {
+        let h = Hint::GroupByRemove { expr: parse_scalar("t.a").unwrap() };
+        assert!(h.to_string().contains("should not appear"));
+        assert!(Hint::GroupByMissing { count: 1 }.to_string().contains("an expression"));
+        assert!(Hint::GroupByMissing { count: 2 }.to_string().contains("2 expressions"));
+        let sr = Hint::SelectReplace { position: 2, current: parse_scalar("s2.beer").unwrap() };
+        assert!(sr.to_string().contains("#2"));
+    }
+
+    #[test]
+    fn stage_ordering() {
+        assert!(Stage::From < Stage::Where);
+        assert!(Stage::Where < Stage::GroupBy);
+        assert!(Stage::Select < Stage::Done);
+    }
+}

@@ -1,0 +1,56 @@
+//! # qrhint-core
+//!
+//! The core of the Qr-Hint reproduction (SIGMOD 2024): given a correct
+//! *target* query `Q★` and a wrong *working* query `Q`, produce
+//! actionable, provably correct, locally optimal hints that lead the user
+//! to a query equivalent to `Q★` — without revealing `Q★` itself.
+//!
+//! ## Architecture (paper § → module)
+//!
+//! | Paper | Module |
+//! |-------|--------|
+//! | §3 solver primitives | [`oracle`] (over [`qrhint_smt`]) |
+//! | §4 FROM stage + App. B table mapping | [`stages::from_stage`], [`mapping`] |
+//! | §5 WHERE repairs (Algorithms 1–3, 5–8) | [`repair`] |
+//! | §6 GROUP BY (Algorithm 4) | [`stages::groupby_stage`] |
+//! | §7 HAVING + aggregate context | [`stages::having_stage`] |
+//! | §8 SELECT (Algorithm 9) | [`stages::select_stage`] |
+//! | §3.1 stage pipeline (Theorem 3.1) | [`pipeline`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qrhint_core::{QrHint, Stage};
+//! use qrhint_sqlast::{Schema, SqlType};
+//!
+//! let schema = Schema::new()
+//!     .with_table("Serves", &[("bar", SqlType::Str), ("beer", SqlType::Str),
+//!                             ("price", SqlType::Int)], &["bar", "beer"]);
+//! let qr = QrHint::new(schema);
+//! let advice = qr.advise_sql(
+//!     "SELECT s.bar FROM Serves s WHERE s.price >= 3",
+//!     "SELECT s.bar FROM Serves s WHERE s.price > 3",
+//! ).unwrap();
+//! assert_eq!(advice.stage, Stage::Where);
+//! for hint in &advice.hints {
+//!     println!("{hint}");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod hint;
+pub mod mapping;
+pub mod nullsafe;
+pub mod oracle;
+pub mod pipeline;
+pub mod repair;
+pub mod stages;
+
+pub use error::{QrHintError, QrResult};
+pub use hint::{ClauseKind, Hint, SiteHint, Stage};
+pub use oracle::{LowerEnv, Oracle, TypeEnv};
+pub use pipeline::{Advice, QrHint, QrHintConfig};
+pub use qrhint_sqlparse::FlattenOptions;
+pub use repair::{FixStrategy, Repair, RepairConfig, RepairOutcome};

@@ -1,0 +1,119 @@
+//! Maximum-weight perfect matching on small dense bipartite graphs via
+//! bitmask dynamic programming (exact; the alias counts Qr-Hint meets are
+//! tiny, so O(n²·2ⁿ) is more than fast enough and avoids the bookkeeping
+//! subtleties of Hungarian-algorithm implementations).
+
+/// Find the permutation `assignment` maximizing `Σ weight[i][assignment[i]]`.
+/// Returns `None` for empty or oversized instances (n > 16).
+pub fn max_weight_perfect_matching(weight: &[Vec<f64>]) -> Option<Vec<usize>> {
+    let n = weight.len();
+    if n == 0 || n > 16 {
+        return None;
+    }
+    debug_assert!(weight.iter().all(|row| row.len() == n));
+    let full: usize = (1 << n) - 1;
+    // dp[mask] = best total weight assigning rows 0..popcount(mask) to the
+    // column set `mask`.
+    let mut dp = vec![f64::NEG_INFINITY; 1 << n];
+    let mut choice = vec![usize::MAX; 1 << n];
+    dp[0] = 0.0;
+    for mask in 0..=full {
+        if dp[mask] == f64::NEG_INFINITY {
+            continue;
+        }
+        let row = (mask as u32).count_ones() as usize;
+        if row == n {
+            continue;
+        }
+        for (col, &w) in weight[row].iter().enumerate() {
+            if mask & (1 << col) != 0 {
+                continue;
+            }
+            let next = mask | (1 << col);
+            let cand = dp[mask] + w;
+            if cand > dp[next] {
+                dp[next] = cand;
+                choice[next] = col;
+            }
+        }
+    }
+    // Reconstruct.
+    let mut mask = full;
+    let mut assignment = vec![0usize; n];
+    for row in (0..n).rev() {
+        let col = choice[mask];
+        assignment[row] = col;
+        mask &= !(1 << col);
+    }
+    Some(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_when_diagonal_dominates() {
+        let w = vec![
+            vec![5.0, 1.0, 1.0],
+            vec![1.0, 5.0, 1.0],
+            vec![1.0, 1.0, 5.0],
+        ];
+        assert_eq!(max_weight_perfect_matching(&w).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn cross_assignment() {
+        let w = vec![vec![1.0, 9.0], vec![9.0, 1.0]];
+        assert_eq!(max_weight_perfect_matching(&w).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn forced_suboptimal_local_choice() {
+        // Greedy would take (0,0)=10 then (1,1)=0 → 10; optimum is 9+8=17.
+        let w = vec![vec![10.0, 9.0], vec![8.0, 0.0]];
+        let a = max_weight_perfect_matching(&w).unwrap();
+        assert_eq!(a, vec![1, 0]);
+    }
+
+    #[test]
+    fn single_and_empty() {
+        assert_eq!(max_weight_perfect_matching(&[vec![3.0]]).unwrap(), vec![0]);
+        assert!(max_weight_perfect_matching(&[]).is_none());
+    }
+
+    #[test]
+    fn four_by_four_exact() {
+        let w = vec![
+            vec![7.0, 5.0, 9.0, 8.0],
+            vec![9.0, 4.0, 3.0, 9.0],
+            vec![3.0, 8.0, 1.0, 8.0],
+            vec![4.0, 7.0, 2.0, 5.0],
+        ];
+        let a = max_weight_perfect_matching(&w).unwrap();
+        let total: f64 = a.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
+        // Brute force the optimum for comparison.
+        let mut best = f64::NEG_INFINITY;
+        let idx = [0usize, 1, 2, 3];
+        fn perms(v: Vec<usize>) -> Vec<Vec<usize>> {
+            if v.len() <= 1 {
+                return vec![v];
+            }
+            let mut out = vec![];
+            for i in 0..v.len() {
+                let mut rest = v.clone();
+                let x = rest.remove(i);
+                for mut p in perms(rest) {
+                    p.insert(0, x);
+                    out.push(p);
+                }
+            }
+            out
+        }
+        for p in perms(idx.to_vec()) {
+            let s: f64 = p.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
+            best = best.max(s);
+        }
+        assert!((total - best).abs() < 1e-9);
+    }
+}

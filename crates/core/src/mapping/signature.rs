@@ -1,0 +1,447 @@
+//! Table signatures (Appendix B.1): canonical descriptions of how an
+//! alias's columns are used across WHERE/HAVING, GROUP BY and SELECT,
+//! compared by normalized Jaccard similarity.
+
+use qrhint_sqlast::{CmpOp, ColRef, Pred, Query, Scalar};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Operators tracked by the WHERE/HAVING component of a signature.
+pub const SIG_OPS: [SigOp; 6] = [
+    SigOp::Eq,
+    SigOp::Lt,
+    SigOp::Gt,
+    SigOp::Le,
+    SigOp::Ge,
+    SigOp::Like,
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SigOp {
+    Eq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Like,
+}
+
+impl SigOp {
+    fn from_cmp(op: CmpOp) -> Option<SigOp> {
+        match op {
+            CmpOp::Eq => Some(SigOp::Eq),
+            CmpOp::Ne => Some(SigOp::Eq), // ≠ interactions grouped with =
+            CmpOp::Lt => Some(SigOp::Lt),
+            CmpOp::Le => Some(SigOp::Le),
+            CmpOp::Gt => Some(SigOp::Gt),
+            CmpOp::Ge => Some(SigOp::Ge),
+        }
+    }
+
+    fn flip(self) -> SigOp {
+        match self {
+            SigOp::Eq => SigOp::Eq,
+            SigOp::Lt => SigOp::Gt,
+            SigOp::Gt => SigOp::Lt,
+            SigOp::Le => SigOp::Ge,
+            SigOp::Ge => SigOp::Le,
+            SigOp::Like => SigOp::Like,
+        }
+    }
+}
+
+/// An item participating in equality reasoning: a column or a literal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EqItem {
+    Col(ColRef),
+    IntLit(i64),
+    StrLit(String),
+}
+
+/// The signature of one alias: per-(column, operator) interaction sets
+/// (table names / literals), the grouped-column set, and per-column
+/// SELECT position sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableSignature {
+    /// (column, op) → set of interacting table names and literals.
+    pub interactions: BTreeMap<(String, SigOp), BTreeSet<String>>,
+    /// Columns of this alias that are grouped (directly or via an
+    /// equivalence class member).
+    pub grouped: BTreeSet<String>,
+    /// column → 1-based SELECT positions whose expression touches the
+    /// column's equivalence class.
+    pub select_positions: BTreeMap<String, BTreeSet<usize>>,
+    /// All columns referenced through this alias anywhere in the query
+    /// (the attribute universe for normalization).
+    pub columns: BTreeSet<String>,
+}
+
+/// Union-find based equality classes over columns and literals, built
+/// from every equality atom in WHERE and HAVING (transitively closed).
+#[derive(Debug, Clone, Default)]
+pub struct EqClasses {
+    ids: BTreeMap<EqItem, usize>,
+    parent: Vec<usize>,
+}
+
+impl EqClasses {
+    fn id(&mut self, item: &EqItem) -> usize {
+        if let Some(&i) = self.ids.get(item) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.ids.insert(item.clone(), i);
+        i
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: &EqItem, b: &EqItem) {
+        let (ia, ib) = (self.id(a), self.id(b));
+        let (ra, rb) = (self.find(ia), self.find(ib));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// All items in the class of `item` (including itself).
+    pub fn class_of(&mut self, item: &EqItem) -> Vec<EqItem> {
+        let i = self.id(item);
+        let root = self.find(i);
+        let snapshot: Vec<EqItem> = self.ids.keys().cloned().collect();
+        snapshot
+            .into_iter()
+            .filter(|other| {
+                let io = self.ids[other];
+                self.find(io) == root
+            })
+            .collect()
+    }
+
+    /// Do two items share a class?
+    pub fn same_class(&mut self, a: &EqItem, b: &EqItem) -> bool {
+        let (ia, ib) = (self.id(a), self.id(b));
+        self.find(ia) == self.find(ib)
+    }
+}
+
+fn as_eq_item(e: &Scalar) -> Option<EqItem> {
+    match e {
+        Scalar::Col(c) => Some(EqItem::Col(c.clone())),
+        Scalar::Int(v) => Some(EqItem::IntLit(*v)),
+        Scalar::Str(s) => Some(EqItem::StrLit(s.clone())),
+        _ => None,
+    }
+}
+
+/// Build equality classes from all `=` atoms of the query's WHERE and
+/// HAVING clauses.
+pub fn equivalence_classes(q: &Query) -> EqClasses {
+    let mut classes = EqClasses::default();
+    let mut scan = |p: &Pred| {
+        for atom in p.atoms() {
+            if let Pred::Cmp(l, CmpOp::Eq, r) = atom {
+                if let (Some(a), Some(b)) = (as_eq_item(l), as_eq_item(r)) {
+                    classes.union(&a, &b);
+                }
+            }
+        }
+    };
+    scan(&q.where_pred);
+    if let Some(h) = &q.having {
+        scan(h);
+    }
+    classes
+}
+
+fn item_label(item: &EqItem, q: &Query) -> String {
+    match item {
+        EqItem::Col(c) => q
+            .table_of_alias(&c.table)
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| c.table.clone()),
+        EqItem::IntLit(v) => format!("lit:{v}"),
+        EqItem::StrLit(s) => format!("lit:'{s}'"),
+    }
+}
+
+/// Build the signature of `alias` in `q` (Appendix B.1).
+pub fn table_signature(q: &Query, alias: &str, classes: &EqClasses) -> TableSignature {
+    let mut classes = classes.clone();
+    let mut sig = TableSignature::default();
+    let alias = qrhint_sqlast::ident(alias);
+
+    // Attribute universe: columns referenced through this alias.
+    for c in q.collect_columns() {
+        if c.table == alias {
+            sig.columns.insert(c.column.clone());
+        }
+    }
+
+    // --- WHERE & HAVING interactions ---
+    let record = |sig: &mut TableSignature,
+                      classes: &mut EqClasses,
+                      col: &ColRef,
+                      op: SigOp,
+                      other: &Scalar| {
+        if col.table != alias {
+            return;
+        }
+        let entry = sig
+            .interactions
+            .entry((col.column.clone(), op))
+            .or_default();
+        let mut others: Vec<EqItem> = Vec::new();
+        if let Some(item) = as_eq_item(other) {
+            others.push(item);
+        } else {
+            let mut cols = Vec::new();
+            other.collect_columns(&mut cols);
+            others.extend(cols.into_iter().map(EqItem::Col));
+        }
+        // Expand through equivalence classes.
+        let mut expanded: Vec<EqItem> = Vec::new();
+        for item in others {
+            expanded.extend(classes.class_of(&item));
+            expanded.push(item);
+        }
+        // For equality interactions, also include the whole class of the
+        // column itself (Example 4: S1.beer's set contains S2.beer via
+        // the inferred equivalence).
+        if op == SigOp::Eq {
+            expanded.extend(classes.class_of(&EqItem::Col(col.clone())));
+        }
+        for item in expanded {
+            if item == EqItem::Col(col.clone()) {
+                continue;
+            }
+            entry.insert(item_label(&item, q));
+        }
+    };
+
+    let scan_pred = |sig: &mut TableSignature, classes: &mut EqClasses, p: &Pred| {
+        for atom in p.atoms() {
+            match atom {
+                Pred::Cmp(l, op, r) => {
+                    let Some(sig_op) = SigOp::from_cmp(*op) else { continue };
+                    let mut lcols = Vec::new();
+                    l.collect_columns(&mut lcols);
+                    let mut rcols = Vec::new();
+                    r.collect_columns(&mut rcols);
+                    for c in &lcols {
+                        record(sig, classes, c, sig_op, r);
+                    }
+                    for c in &rcols {
+                        record(sig, classes, c, sig_op.flip(), l);
+                    }
+                }
+                Pred::Like { expr, pattern, .. } => {
+                    let mut cols = Vec::new();
+                    expr.collect_columns(&mut cols);
+                    for c in &cols {
+                        record(sig, classes, c, SigOp::Like, &Scalar::Str(pattern.clone()));
+                    }
+                }
+                _ => {}
+            }
+        }
+    };
+    scan_pred(&mut sig, &mut classes, &q.where_pred);
+    if let Some(h) = &q.having {
+        scan_pred(&mut sig, &mut classes, h);
+    }
+
+    // --- GROUP BY ---
+    let grouped_items: Vec<EqItem> = q
+        .group_by
+        .iter()
+        .filter_map(|g| match g {
+            Scalar::Col(c) => Some(EqItem::Col(c.clone())),
+            _ => None,
+        })
+        .collect();
+    for col in sig.columns.clone() {
+        let this = EqItem::Col(ColRef { table: alias.clone(), column: col.clone() });
+        let direct = q.group_by.iter().any(|g| {
+            let mut cols = Vec::new();
+            g.collect_columns(&mut cols);
+            cols.iter().any(|c| c.table == alias && c.column == col)
+        });
+        let via_class = grouped_items.iter().any(|g| classes.same_class(g, &this));
+        if direct || via_class {
+            sig.grouped.insert(col);
+        }
+    }
+
+    // --- SELECT ---
+    for (i, item) in q.select.iter().enumerate() {
+        let mut cols = Vec::new();
+        item.expr.collect_columns(&mut cols);
+        for col in sig.columns.clone() {
+            let this = EqItem::Col(ColRef { table: alias.clone(), column: col.clone() });
+            let touches = cols.iter().any(|c| {
+                (c.table == alias && c.column == col)
+                    || classes.same_class(&EqItem::Col(c.clone()), &this)
+            });
+            if touches {
+                sig.select_positions.entry(col.clone()).or_default().insert(i + 1);
+            }
+        }
+    }
+    sig
+}
+
+/// Jaccard similarity with the `∅/∅ = 1` convention of Appendix B.
+fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    inter / union
+}
+
+fn jaccard_usize(a: &BTreeSet<usize>, b: &BTreeSet<usize>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    inter / union
+}
+
+/// The normalized similarity metric `Sim(σ, σ′)` of Appendix B.1.
+pub fn signature_similarity(a: &TableSignature, b: &TableSignature) -> f64 {
+    let attrs: BTreeSet<String> = a.columns.union(&b.columns).cloned().collect();
+    if attrs.is_empty() {
+        return 3.0; // identical empty signatures: maximal similarity
+    }
+    let n_attrs = attrs.len() as f64;
+    let empty = BTreeSet::new();
+    let empty_usize = BTreeSet::new();
+
+    let mut w_total = 0.0;
+    for col in &attrs {
+        for op in SIG_OPS {
+            let sa = a.interactions.get(&(col.clone(), op)).unwrap_or(&empty);
+            let sb = b.interactions.get(&(col.clone(), op)).unwrap_or(&empty);
+            w_total += jaccard(sa, sb);
+        }
+    }
+    let w_component = w_total / (n_attrs * SIG_OPS.len() as f64);
+    let g_component = jaccard(&a.grouped, &b.grouped);
+    let mut s_total = 0.0;
+    for col in &attrs {
+        let sa = a.select_positions.get(col).unwrap_or(&empty_usize);
+        let sb = b.select_positions.get(col).unwrap_or(&empty_usize);
+        s_total += jaccard_usize(sa, sb);
+    }
+    let s_component = s_total / n_attrs;
+    w_component + g_component + s_component
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlparse::parse_query;
+
+    fn paper_target() -> Query {
+        parse_query(
+            "SELECT L.beer, S1.bar, COUNT(*)
+             FROM Likes L, Frequents F, Serves S1, Serves S2
+             WHERE L.drinker = F.drinker AND F.bar = S1.bar
+               AND L.beer = S1.beer AND S1.beer = S2.beer
+               AND S1.price <= S2.price
+             GROUP BY F.drinker, L.beer, S1.bar
+             HAVING F.drinker = 'Amy'",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equality_classes_are_transitive() {
+        let q = paper_target();
+        let mut classes = equivalence_classes(&q);
+        let l_beer = EqItem::Col(ColRef::new("l", "beer"));
+        let s2_beer = EqItem::Col(ColRef::new("s2", "beer"));
+        assert!(classes.same_class(&l_beer, &s2_beer));
+        let amy = EqItem::StrLit("Amy".into());
+        let l_drinker = EqItem::Col(ColRef::new("l", "drinker"));
+        assert!(classes.same_class(&amy, &l_drinker));
+    }
+
+    #[test]
+    fn example4_signatures() {
+        let q = paper_target();
+        let classes = equivalence_classes(&q);
+        let s1 = table_signature(&q, "s1", &classes);
+        let s2 = table_signature(&q, "s2", &classes);
+        // S1.bar interacts by equality with Frequents.
+        assert!(s1.interactions[&("bar".into(), SigOp::Eq)].contains("frequents"));
+        // S1.beer's equality set includes Likes and Serves (via class).
+        let beer_eq = &s1.interactions[&("beer".into(), SigOp::Eq)];
+        assert!(beer_eq.contains("likes"), "{beer_eq:?}");
+        assert!(beer_eq.contains("serves"), "{beer_eq:?}");
+        // S1.price ≤ Serves; S2.price ≥ Serves.
+        assert!(s1.interactions[&("price".into(), SigOp::Le)].contains("serves"));
+        assert!(s2.interactions[&("price".into(), SigOp::Ge)].contains("serves"));
+        // GROUP BY: S1 has {bar, beer}; S2 has {beer} (via L.beer class).
+        assert!(s1.grouped.contains("bar") && s1.grouped.contains("beer"));
+        assert!(s2.grouped.contains("beer") && !s2.grouped.contains("bar"));
+        // SELECT: S1.bar at position 2; S2.bar nowhere.
+        assert_eq!(
+            s1.select_positions.get("bar"),
+            Some(&[2usize].into_iter().collect())
+        );
+        assert_eq!(s2.select_positions.get("bar"), None);
+        // beer appears at position 1 for both (via equivalence).
+        assert_eq!(
+            s1.select_positions.get("beer"),
+            Some(&[1usize].into_iter().collect())
+        );
+    }
+
+    #[test]
+    fn similarity_prefers_matching_roles() {
+        let q_star = paper_target();
+        let q = parse_query(
+            "SELECT s2.beer, s2.bar, COUNT(*)
+             FROM Likes, Frequents, Serves s1, Serves s2
+             WHERE likes.drinker = 'Amy'
+               AND likes.beer = s1.beer AND likes.beer = s2.beer
+               AND s1.price > s2.price
+             GROUP BY s2.beer, s2.bar",
+        )
+        .unwrap();
+        let cs = equivalence_classes(&q_star);
+        let cw = equivalence_classes(&q);
+        let sig_s1_star = table_signature(&q_star, "s1", &cs);
+        let sig_s2_star = table_signature(&q_star, "s2", &cs);
+        let sig_s1 = table_signature(&q, "s1", &cw);
+        let sig_s2 = table_signature(&q, "s2", &cw);
+        // The paper's conclusion: S1↦s2 and S2↦s1 beats the identity.
+        let cross = signature_similarity(&sig_s1_star, &sig_s2)
+            + signature_similarity(&sig_s2_star, &sig_s1);
+        let ident = signature_similarity(&sig_s1_star, &sig_s1)
+            + signature_similarity(&sig_s2_star, &sig_s2);
+        assert!(
+            cross > ident,
+            "cross mapping {cross} should beat identity {ident}"
+        );
+    }
+
+    #[test]
+    fn jaccard_conventions() {
+        let empty: BTreeSet<String> = BTreeSet::new();
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        let a: BTreeSet<String> = ["x".to_string()].into_iter().collect();
+        assert_eq!(jaccard(&a, &empty), 0.0);
+        assert_eq!(jaccard(&a, &a), 1.0);
+    }
+}

@@ -1,0 +1,512 @@
+//! NULL-handling prototype (§3 "Limitations", item 2).
+//!
+//! The paper assumes all columns are `NOT NULL` and notes that Qr-Hint
+//! "can be extended to handle NULL using the technique in \[58\] of encoding
+//! each column with a pair of variables in Z3 (one for its value and the
+//! other a Boolean representing whether it is NULL)". This module
+//! implements that pair encoding for the WHERE viability check.
+//!
+//! ## Encoding
+//!
+//! For every column `c` declared nullable, a companion *indicator* column
+//! `c__isnull` is introduced (0 = not null, 1 = null; the domain constraint
+//! `0 ≤ c__isnull ≤ 1` is part of the context). Under SQL's three-valued
+//! logic a `WHERE` clause keeps exactly the rows on which the predicate
+//! evaluates to TRUE — UNKNOWN filters like FALSE — so the right notion of
+//! equivalence for the stage-2 viability check `P ⇔ P★` is equality of the
+//! *TRUE-sets*. [`encode_where_3vl`] compiles a predicate `P` into a
+//! two-valued predicate `T(P)` over values + indicators such that `T(P)`
+//! holds iff `P` evaluates to TRUE under 3VL:
+//!
+//! * `T(atom) = (∧_{c ∈ cols(atom)} c__isnull = 0) ∧ atom` — an atomic
+//!   comparison is TRUE only when all referenced columns are non-null and
+//!   the comparison holds on their values;
+//! * `T(P ∧ Q) = T(P) ∧ T(Q)`, `T(P ∨ Q) = T(P) ∨ T(Q)`;
+//! * `T(¬P) = F(P)` with the dual *FALSE-set* encoding
+//!   `F(atom) = (∧ c__isnull = 0) ∧ ¬atom`, `F(P ∧ Q) = F(P) ∨ F(Q)`,
+//!   `F(P ∨ Q) = F(P) ∧ F(Q)`, `F(¬P) = T(P)`.
+//!
+//! When a column is null its value variable is unconstrained ("garbage"),
+//! which is sound because every atom guards its value variables with the
+//! indicators — exactly the two-variable encoding of EQUITAS \[58\].
+//!
+//! ## Scope
+//!
+//! This is the prototype the paper sketches as future work: it makes the
+//! WHERE-stage viability check (`V2`) NULL-correct, exposed via
+//! [`where_equiv_3vl`]. The repair-search machinery and the engine remain
+//! two-valued; plugging `T(·)` into `RepairWhere` is mechanical (the
+//! encoding is a predicate-to-predicate transformation) but deliberately
+//! left out of the default pipeline, matching the paper's published scope.
+
+use qrhint_sqlast::{CmpOp, ColRef, Pred, Scalar};
+use qrhint_smt::TriBool;
+use std::collections::BTreeSet;
+
+use crate::oracle::Oracle;
+
+/// Suffix distinguishing indicator columns from value columns
+/// (re-exported from `qrhint_sqlast` — the convention is shared with the
+/// parser's `IS [NOT] NULL` desugaring).
+pub use qrhint_sqlast::NULL_INDICATOR_SUFFIX;
+
+/// The indicator column paired with `c` (1 = NULL, 0 = not null).
+pub use qrhint_sqlast::null_indicator;
+
+fn not_null_guard(cols: &[ColRef], nullable: &BTreeSet<ColRef>) -> Vec<Pred> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for c in cols {
+        if *c == qrhint_sqlast::null_literal() {
+            // The NULL-literal pseudo-column is always null: its
+            // not-null guard is the constant FALSE, which makes any atom
+            // comparing with NULL evaluate to neither TRUE nor FALSE —
+            // i.e. UNKNOWN — in both encodings.
+            out.push(Pred::False);
+        } else if nullable.contains(c) && seen.insert(c.clone()) {
+            out.push(Pred::Cmp(
+                Scalar::Col(null_indicator(c)),
+                CmpOp::Eq,
+                Scalar::Int(0),
+            ));
+        }
+    }
+    out
+}
+
+fn atom_cols(p: &Pred) -> Vec<ColRef> {
+    let mut cols = Vec::new();
+    p.collect_columns(&mut cols);
+    cols
+}
+
+/// TRUE-set encoding: the returned two-valued predicate holds iff `p`
+/// evaluates to TRUE under SQL 3VL with the given nullable columns.
+pub fn encode_where_3vl(p: &Pred, nullable: &BTreeSet<ColRef>) -> Pred {
+    truth(p, nullable)
+}
+
+fn truth(p: &Pred, nullable: &BTreeSet<ColRef>) -> Pred {
+    match p {
+        Pred::True => Pred::True,
+        Pred::False => Pred::False,
+        Pred::Cmp(..) | Pred::Like { .. } => {
+            let mut parts = not_null_guard(&atom_cols(p), nullable);
+            parts.push(p.clone());
+            Pred::and(parts)
+        }
+        Pred::And(cs) => Pred::and(cs.iter().map(|c| truth(c, nullable)).collect()),
+        Pred::Or(cs) => Pred::or(cs.iter().map(|c| truth(c, nullable)).collect()),
+        Pred::Not(inner) => falsity(inner, nullable),
+    }
+}
+
+fn falsity(p: &Pred, nullable: &BTreeSet<ColRef>) -> Pred {
+    match p {
+        Pred::True => Pred::False,
+        Pred::False => Pred::True,
+        Pred::Cmp(..) | Pred::Like { .. } => {
+            let mut parts = not_null_guard(&atom_cols(p), nullable);
+            parts.push(Pred::not(p.clone()));
+            Pred::and(parts)
+        }
+        Pred::And(cs) => Pred::or(cs.iter().map(|c| falsity(c, nullable)).collect()),
+        Pred::Or(cs) => Pred::and(cs.iter().map(|c| falsity(c, nullable)).collect()),
+        Pred::Not(inner) => truth(inner, nullable),
+    }
+}
+
+/// Domain constraints for the indicator vocabulary: `0 ≤ c__isnull ≤ 1`
+/// for every *nullable* column mentioned (by value or by an explicit
+/// `IS NULL` indicator atom), and `c__isnull = 0` for indicators whose
+/// base column is **not** nullable.
+pub fn indicator_domain(preds: &[&Pred], nullable: &BTreeSet<ColRef>) -> Vec<Pred> {
+    let mut ranged = BTreeSet::new();
+    let mut pinned = BTreeSet::new();
+    for p in preds {
+        let mut v = Vec::new();
+        p.collect_columns(&mut v);
+        for c in v {
+            if let Some(base_col) = c.column.strip_suffix(NULL_INDICATOR_SUFFIX) {
+                // Explicit indicator reference (IS NULL desugaring):
+                // range-constrain it when the base column is nullable,
+                // pin it to 0 otherwise — `x IS NULL` over a NOT NULL
+                // column is statically false, and pinning makes the
+                // solver see that.
+                let base = ColRef::new(&c.table, base_col);
+                if nullable.contains(&base) {
+                    ranged.insert(base);
+                } else {
+                    pinned.insert(c.clone());
+                }
+            } else if nullable.contains(&c) {
+                ranged.insert(c);
+            }
+        }
+    }
+    let mut out: Vec<Pred> = ranged
+        .into_iter()
+        .map(|c| {
+            let ind = Scalar::Col(null_indicator(&c));
+            Pred::and(vec![
+                Pred::Cmp(ind.clone(), CmpOp::Ge, Scalar::Int(0)),
+                Pred::Cmp(ind, CmpOp::Le, Scalar::Int(1)),
+            ])
+        })
+        .collect();
+    out.extend(
+        pinned
+            .into_iter()
+            .map(|ind| Pred::Cmp(Scalar::Col(ind), CmpOp::Eq, Scalar::Int(0))),
+    );
+    out
+}
+
+/// The NULL-correct stage-2 viability check: do `p` and `q` select the
+/// same rows under 3VL WHERE semantics, for every assignment of values
+/// *and* NULL patterns over the nullable columns?
+///
+/// Returns [`TriBool::True`] / [`TriBool::False`] only on definite solver
+/// answers; `Unknown` is propagated, preserving the paper's soundness
+/// contract (§3: act only on definite answers).
+///
+/// ```
+/// use qrhint_core::nullsafe::where_equiv_3vl;
+/// use qrhint_sqlast::ColRef;
+/// use qrhint_sqlparse::parse_pred;
+/// use std::collections::BTreeSet;
+///
+/// let p = parse_pred("t.a >= 3 OR t.a < 3").unwrap(); // tautology…
+/// let q = qrhint_sqlast::Pred::True;
+/// assert!(where_equiv_3vl(&p, &q, &BTreeSet::new()).is_true());
+/// // …until t.a may be NULL: then the disjunction can be UNKNOWN,
+/// // which WHERE filters out.
+/// let nullable: BTreeSet<ColRef> = [ColRef::new("t", "a")].into_iter().collect();
+/// assert!(where_equiv_3vl(&p, &q, &nullable).is_false());
+/// ```
+pub fn where_equiv_3vl(p: &Pred, q: &Pred, nullable: &BTreeSet<ColRef>) -> TriBool {
+    let tp = encode_where_3vl(p, nullable);
+    let tq = encode_where_3vl(q, nullable);
+    let dom = indicator_domain(&[p, q], nullable);
+    let mut all: Vec<&Pred> = vec![&tp, &tq];
+    all.extend(dom.iter());
+    let mut oracle = Oracle::for_preds(&all);
+    let ctx: Vec<&Pred> = dom.iter().collect();
+    oracle.equiv_pred(&tp, &tq, &ctx)
+}
+
+/// Witness-style counterpart of [`where_equiv_3vl`]: can `p` be TRUE
+/// while `q` is not TRUE (or vice versa) under some NULL pattern? Used by
+/// tests and diagnostics to show that a NULL-oblivious equivalence breaks
+/// once columns become nullable.
+pub fn where_differ_3vl(p: &Pred, q: &Pred, nullable: &BTreeSet<ColRef>) -> TriBool {
+    match where_equiv_3vl(p, q, nullable) {
+        TriBool::True => TriBool::False,
+        TriBool::False => TriBool::True,
+        TriBool::Unknown => TriBool::Unknown,
+    }
+}
+
+/// Three-valued reference evaluator over integer assignments (`None` =
+/// NULL): the executable semantics the encoding is tested against.
+/// Returns `None` for UNKNOWN.
+///
+/// Only integer-valued columns and comparison atoms are supported — this
+/// is a specification artifact for differential testing, not an engine.
+pub fn eval_3vl(
+    p: &Pred,
+    assign: &std::collections::BTreeMap<ColRef, Option<i64>>,
+) -> Option<bool> {
+    fn eval_scalar(
+        e: &Scalar,
+        assign: &std::collections::BTreeMap<ColRef, Option<i64>>,
+    ) -> Option<i64> {
+        match e {
+            Scalar::Col(c) => assign.get(c).copied().flatten(),
+            Scalar::Int(v) => Some(*v),
+            Scalar::Str(_) => None,
+            Scalar::Arith(l, op, r) => {
+                let (l, r) = (eval_scalar(l, assign)?, eval_scalar(r, assign)?);
+                Some(match op {
+                    qrhint_sqlast::ArithOp::Add => l.wrapping_add(r),
+                    qrhint_sqlast::ArithOp::Sub => l.wrapping_sub(r),
+                    qrhint_sqlast::ArithOp::Mul => l.wrapping_mul(r),
+                    qrhint_sqlast::ArithOp::Div => {
+                        if r == 0 {
+                            return None;
+                        }
+                        l.div_euclid(r)
+                    }
+                })
+            }
+            Scalar::Neg(inner) => Some(-eval_scalar(inner, assign)?),
+            Scalar::Agg(_) => None,
+        }
+    }
+    match p {
+        Pred::True => Some(true),
+        Pred::False => Some(false),
+        Pred::Cmp(l, op, r) => {
+            let l = eval_scalar(l, assign);
+            let r = eval_scalar(r, assign);
+            match (l, r) {
+                (Some(l), Some(r)) => Some(op.eval(&l, &r)),
+                _ => None, // NULL operand ⇒ UNKNOWN
+            }
+        }
+        Pred::Like { .. } => None,
+        Pred::And(cs) => {
+            let mut any_unknown = false;
+            for c in cs {
+                match eval_3vl(c, assign) {
+                    Some(false) => return Some(false),
+                    Some(true) => {}
+                    None => any_unknown = true,
+                }
+            }
+            if any_unknown {
+                None
+            } else {
+                Some(true)
+            }
+        }
+        Pred::Or(cs) => {
+            let mut any_unknown = false;
+            for c in cs {
+                match eval_3vl(c, assign) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => any_unknown = true,
+                }
+            }
+            if any_unknown {
+                None
+            } else {
+                Some(false)
+            }
+        }
+        Pred::Not(inner) => eval_3vl(inner, assign).map(|b| !b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlparse::parse_pred;
+    use std::collections::BTreeMap;
+
+    fn nullable(cols: &[(&str, &str)]) -> BTreeSet<ColRef> {
+        cols.iter().map(|(t, c)| ColRef::new(t, c)).collect()
+    }
+
+    #[test]
+    fn indicator_naming() {
+        let c = ColRef::new("t", "a");
+        let i = null_indicator(&c);
+        assert_eq!(i.to_string(), "t.a__isnull");
+    }
+
+    #[test]
+    fn tautology_breaks_under_null() {
+        // A >= B OR A < B is a tautology over NOT NULL integers (Brass
+        // issue 8) — but NOT a tautology once A may be NULL.
+        let p = parse_pred("t.a >= t.b OR t.a < t.b").unwrap();
+        let q = parse_pred("TRUE").unwrap();
+        assert!(where_equiv_3vl(&p, &q, &nullable(&[])).is_true());
+        assert!(
+            where_equiv_3vl(&p, &q, &nullable(&[("t", "a")])).is_false(),
+            "with nullable a the disjunction can be UNKNOWN, which WHERE drops"
+        );
+    }
+
+    #[test]
+    fn double_negation_safe_under_null() {
+        // ¬¬P has the same TRUE-set as P even under 3VL.
+        let p = parse_pred("t.a > 5").unwrap();
+        let q = parse_pred("NOT (NOT (t.a > 5))").unwrap();
+        assert!(where_equiv_3vl(&p, &q, &nullable(&[("t", "a")])).is_true());
+    }
+
+    #[test]
+    fn de_morgan_safe_under_null() {
+        let p = parse_pred("NOT (t.a > 5 AND t.b < 3)").unwrap();
+        let q = parse_pred("t.a <= 5 OR t.b >= 3").unwrap();
+        let ns = nullable(&[("t", "a"), ("t", "b")]);
+        assert!(where_equiv_3vl(&p, &q, &ns).is_true());
+    }
+
+    #[test]
+    fn excluded_middle_rewrite_unsafe_under_null() {
+        // `a = b OR a <> b` versus TRUE — classic NULL trap.
+        let p = parse_pred("t.a = t.b OR t.a <> t.b").unwrap();
+        let q = Pred::True;
+        let ns = nullable(&[("t", "b")]);
+        assert!(where_equiv_3vl(&p, &q, &BTreeSet::new()).is_true());
+        assert!(where_equiv_3vl(&p, &q, &ns).is_false());
+    }
+
+    #[test]
+    fn unaffected_columns_do_not_change_verdicts() {
+        // Nullability of a column not mentioned in either predicate is
+        // irrelevant.
+        let p = parse_pred("t.a > 5").unwrap();
+        let q = parse_pred("t.a >= 6").unwrap();
+        let ns = nullable(&[("t", "zzz")]);
+        assert!(where_equiv_3vl(&p, &q, &ns).is_true());
+    }
+
+    #[test]
+    fn integer_tightening_still_works_with_guards() {
+        // a > 5 ⇔ a >= 6 over integers survives the guard wrapping: both
+        // sides share the same indicator guard.
+        let p = parse_pred("t.a > 5").unwrap();
+        let q = parse_pred("t.a >= 6").unwrap();
+        let ns = nullable(&[("t", "a")]);
+        assert!(where_equiv_3vl(&p, &q, &ns).is_true());
+    }
+
+    #[test]
+    fn conjunct_dropping_detected_under_null() {
+        // P ∧ (b = b) ⇔ P holds with b NOT NULL but not when b is
+        // nullable (b = b is UNKNOWN for NULL b).
+        let p = parse_pred("t.a > 1 AND t.b = t.b").unwrap();
+        let q = parse_pred("t.a > 1").unwrap();
+        assert!(where_equiv_3vl(&p, &q, &BTreeSet::new()).is_true());
+        assert!(where_equiv_3vl(&p, &q, &nullable(&[("t", "b")])).is_false());
+    }
+
+    #[test]
+    fn encoding_matches_reference_evaluator_exhaustively() {
+        // Exhaustive differential test on a small domain: for every
+        // assignment of {NULL, 0, 1, 2} to (a, b), the 2VL evaluation of
+        // the encoding equals "3VL evaluation is TRUE".
+        let preds = [
+            "t.a > t.b",
+            "t.a = t.b OR t.a < 1",
+            "NOT (t.a >= t.b)",
+            "t.a > 0 AND (t.b < 2 OR NOT (t.a = t.b))",
+            "NOT (t.a = 1 AND NOT (t.b = 2))",
+        ];
+        let a = ColRef::new("t", "a");
+        let b = ColRef::new("t", "b");
+        let ns: BTreeSet<ColRef> = [a.clone(), b.clone()].into_iter().collect();
+        let domain: [Option<i64>; 4] = [None, Some(0), Some(1), Some(2)];
+        for src in preds {
+            let p = parse_pred(src).unwrap();
+            let enc = encode_where_3vl(&p, &ns);
+            for va in domain {
+                for vb in domain {
+                    let mut assign: BTreeMap<ColRef, Option<i64>> = BTreeMap::new();
+                    assign.insert(a.clone(), va);
+                    assign.insert(b.clone(), vb);
+                    // Extended assignment: value vars get arbitrary
+                    // defaults when NULL (guards make them irrelevant);
+                    // indicators reflect the pattern.
+                    let mut ext = assign.clone();
+                    ext.insert(a.clone(), Some(va.unwrap_or(77)));
+                    ext.insert(b.clone(), Some(vb.unwrap_or(77)));
+                    ext.insert(null_indicator(&a), Some(i64::from(va.is_none())));
+                    ext.insert(null_indicator(&b), Some(i64::from(vb.is_none())));
+                    let two_valued = eval_3vl(&enc, &ext);
+                    let three_valued = eval_3vl(&p, &assign);
+                    assert_eq!(
+                        two_valued,
+                        Some(three_valued == Some(true)),
+                        "pred {src:?}, a={va:?}, b={vb:?}: encoding {enc}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_null_predicates_roundtrip_through_parser() {
+        use qrhint_sqlparse::parse_pred_nullable;
+        // `a IS NULL` desugars to the indicator atom; it is never
+        // UNKNOWN, so it needs no guard in the encoding.
+        let p = parse_pred_nullable("t.a IS NULL").unwrap();
+        assert_eq!(p.to_string(), "t.a__isnull = 1");
+        let np = parse_pred_nullable("t.a IS NOT NULL").unwrap();
+        assert_eq!(np.to_string(), "t.a__isnull <> 1");
+        // The strict parser still rejects IS NULL.
+        assert!(qrhint_sqlparse::parse_pred("t.a IS NULL").is_err());
+    }
+
+    #[test]
+    fn coalesce_style_rewrite_with_is_null() {
+        use qrhint_sqlparse::parse_pred_nullable;
+        // `a > 5 OR a IS NULL` vs `NOT (a <= 5)`: equivalent over NOT
+        // NULL columns, different once a is nullable (the NULL rows are
+        // kept by the first and dropped by the second).
+        let p = parse_pred_nullable("t.a > 5 OR t.a IS NULL").unwrap();
+        let q = parse_pred_nullable("NOT (t.a <= 5)").unwrap();
+        let ns = nullable(&[("t", "a")]);
+        assert!(where_equiv_3vl(&p, &q, &BTreeSet::new()).is_true());
+        assert!(where_equiv_3vl(&p, &q, &ns).is_false());
+        // And the IS NULL-completed working predicate matches the 3VL
+        // truth of `a > 5` extended with the NULL rows explicitly.
+        let r = parse_pred_nullable("t.a > 5 OR t.a IS NULL").unwrap();
+        assert!(where_equiv_3vl(&p, &r, &ns).is_true());
+    }
+
+    #[test]
+    fn is_null_on_arithmetic_desugars_per_column() {
+        use qrhint_sqlparse::parse_pred_nullable;
+        let p = parse_pred_nullable("t.a + t.b IS NULL").unwrap();
+        let s = p.to_string();
+        assert!(s.contains("t.a__isnull = 1"), "{s}");
+        assert!(s.contains("t.b__isnull = 1"), "{s}");
+        assert!(s.contains("OR"), "{s}");
+        // Literals are never NULL.
+        let q = parse_pred_nullable("5 IS NULL").unwrap();
+        assert_eq!(q, Pred::False);
+        let nq = parse_pred_nullable("5 IS NOT NULL").unwrap();
+        assert_eq!(nq, Pred::True);
+    }
+
+    #[test]
+    fn comparison_with_null_is_detected() {
+        use qrhint_sqlparse::parse_pred_nullable;
+        // Brass et al. issue 9 ("Comparison with NULL"): `x = NULL` is
+        // always UNKNOWN, so under WHERE semantics it is equivalent to
+        // FALSE — in positive AND negated positions. The paper's
+        // prototype classifies this issue as unsupported; the NULL
+        // prototype detects it.
+        let ns = nullable(&[("t", "a")]);
+        let p = parse_pred_nullable("t.a = NULL").unwrap();
+        assert!(where_equiv_3vl(&p, &Pred::False, &ns).is_true());
+        assert!(where_equiv_3vl(&p, &Pred::False, &BTreeSet::new()).is_true());
+        let np = parse_pred_nullable("NOT (t.a = NULL)").unwrap();
+        assert!(
+            where_equiv_3vl(&np, &Pred::False, &ns).is_true(),
+            "¬UNKNOWN is still UNKNOWN — must stay FALSE under WHERE"
+        );
+        let ne = parse_pred_nullable("t.a <> NULL").unwrap();
+        assert!(where_equiv_3vl(&ne, &Pred::False, &ns).is_true());
+        // The dead conjunct poisons the whole conjunction…
+        let conj = parse_pred_nullable("t.a > 5 AND t.b = NULL").unwrap();
+        let ns2 = nullable(&[("t", "a"), ("t", "b")]);
+        assert!(where_equiv_3vl(&conj, &Pred::False, &ns2).is_true());
+        // …but a dead disjunct is harmless.
+        let disj = parse_pred_nullable("t.a > 5 OR t.b = NULL").unwrap();
+        let just_a = parse_pred_nullable("t.a > 5").unwrap();
+        assert!(where_equiv_3vl(&disj, &just_a, &ns2).is_true());
+        // NULL IS NULL is statically true; NULL IS NOT NULL false.
+        let tt = parse_pred_nullable("NULL IS NULL").unwrap();
+        assert_eq!(tt, Pred::True);
+        let ff = parse_pred_nullable("NULL IS NOT NULL").unwrap();
+        assert_eq!(ff, Pred::False);
+        // The strict parser still rejects NULL literals.
+        assert!(qrhint_sqlparse::parse_pred("t.a = NULL").is_err());
+    }
+
+    #[test]
+    fn differ_is_the_negation_of_equiv() {
+        let p = parse_pred("t.a > 5").unwrap();
+        let q = parse_pred("t.a >= 6").unwrap();
+        let ns = nullable(&[("t", "a")]);
+        assert!(where_differ_3vl(&p, &q, &ns).is_false());
+        let r = parse_pred("t.a >= 5").unwrap();
+        assert!(where_differ_3vl(&p, &r, &ns).is_true());
+    }
+}

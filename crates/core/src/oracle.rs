@@ -1,0 +1,1033 @@
+//! The solver oracle: lowers SQL predicates and expressions into the SMT
+//! fragment and exposes the paper's three primitives (`IsSatisfiable`,
+//! `IsUnSatisfiable`, `IsEquiv`) at the AST level.
+//!
+//! The oracle owns the variable pool, so the same column reference always
+//! lowers to the same solver variable — transitivity of equality across
+//! clauses (the Example-1 inference) falls out automatically.
+//!
+//! ## Aggregate lowering (§7, Appendix E)
+//!
+//! Instead of Z3 arrays with universally quantified axioms, aggregate
+//! terms are canonicalized during lowering, which keeps the fragment
+//! decidable while covering the same inference rules:
+//!
+//! * `SUM(Σ cᵢ·xᵢ + c₀)` → `Σ cᵢ·SUM(xᵢ) + c₀·COUNT(*)` (linearity of SUM
+//!   over a group with no NULLs);
+//! * `COUNT(e)` → `COUNT(*)` (no NULLs);
+//! * `MIN/MAX(c·x + d)` → `c·MIN/MAX(x) + d`, flipping MIN↔MAX for `c<0`;
+//! * aggregates over *grouped* columns collapse to the scalar column
+//!   variable (`MIN(x) = MAX(x) = AVG(x) = x` when `x` is group-constant);
+//! * everything else becomes an opaque aggregate variable, deduplicated by
+//!   canonical argument.
+//!
+//! [`Oracle::aggregate_axioms`] then emits the sound facts relating these
+//! variables (`COUNT(*) ≥ 1`, `MIN ≤ AVG ≤ MAX`, WHERE-implied per-row
+//! bounds lifted to MIN/MAX/AVG/SUM, `COUNT(DISTINCT e) ≤ COUNT(*)`).
+//! `AVG` is floor semantics (see `qrhint-engine`), for which
+//! `MIN ≤ AVG ≤ MAX` is exact; the paper's constant-distribution rule for
+//! AVG is deliberately dropped because it is unsound under integer
+//! division.
+
+use qrhint_smt::{Atom, Formula, Rel, Solver, Sort, Term, TriBool, VarId, VarPool};
+use qrhint_sqlast::{
+    AggArg, AggCall, AggFunc, ArithOp, CmpOp, ColRef, Pred, Query, Scalar, Schema, SqlType,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Column typing environment.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    map: BTreeMap<ColRef, SqlType>,
+}
+
+impl TypeEnv {
+    /// Build from resolved queries against a schema: every alias.column of
+    /// every FROM table is typed.
+    pub fn from_queries(schema: &Schema, queries: &[&Query]) -> TypeEnv {
+        let mut map = BTreeMap::new();
+        for q in queries {
+            for tref in &q.from {
+                if let Some(ts) = schema.table(&tref.table) {
+                    for col in &ts.columns {
+                        map.insert(ColRef::new(&tref.alias, &col.name), col.ty);
+                    }
+                }
+            }
+        }
+        TypeEnv { map }
+    }
+
+    /// Infer column types from predicate usage (for standalone-predicate
+    /// experiments): columns compared with string literals or used in LIKE
+    /// are strings; everything else defaults to Int.
+    pub fn infer_from_preds(preds: &[&Pred]) -> TypeEnv {
+        let mut map: BTreeMap<ColRef, SqlType> = BTreeMap::new();
+        fn scan_cmp(l: &Scalar, r: &Scalar, map: &mut BTreeMap<ColRef, SqlType>) {
+            let is_strlit =
+                |e: &Scalar| matches!(e, Scalar::Str(_));
+            if is_strlit(r) {
+                if let Scalar::Col(c) = l {
+                    map.insert(c.clone(), SqlType::Str);
+                }
+            }
+            if is_strlit(l) {
+                if let Scalar::Col(c) = r {
+                    map.insert(c.clone(), SqlType::Str);
+                }
+            }
+        }
+        fn scan(p: &Pred, map: &mut BTreeMap<ColRef, SqlType>) {
+            match p {
+                Pred::Cmp(l, _, r) => scan_cmp(l, r, map),
+                Pred::Like { expr: Scalar::Col(c), .. } => {
+                    map.insert(c.clone(), SqlType::Str);
+                }
+                Pred::And(cs) | Pred::Or(cs) => cs.iter().for_each(|c| scan(c, map)),
+                Pred::Not(c) => scan(c, map),
+                _ => {}
+            }
+        }
+        for p in preds {
+            scan(p, &mut map);
+        }
+        // Propagate string-ness through column-column equality atoms.
+        for _ in 0..3 {
+            let mut additions: Vec<ColRef> = Vec::new();
+            fn scan_eq(p: &Pred, map: &BTreeMap<ColRef, SqlType>, add: &mut Vec<ColRef>) {
+                match p {
+                    Pred::Cmp(Scalar::Col(a), _, Scalar::Col(b)) => {
+                        if map.get(a) == Some(&SqlType::Str) && !map.contains_key(b) {
+                            add.push(b.clone());
+                        }
+                        if map.get(b) == Some(&SqlType::Str) && !map.contains_key(a) {
+                            add.push(a.clone());
+                        }
+                    }
+                    Pred::And(cs) | Pred::Or(cs) => {
+                        cs.iter().for_each(|c| scan_eq(c, map, add))
+                    }
+                    Pred::Not(c) => scan_eq(c, map, add),
+                    _ => {}
+                }
+            }
+            for p in preds {
+                scan_eq(p, &map, &mut additions);
+            }
+            if additions.is_empty() {
+                break;
+            }
+            for c in additions {
+                map.insert(c, SqlType::Str);
+            }
+        }
+        TypeEnv { map }
+    }
+
+    pub fn type_of(&self, c: &ColRef) -> SqlType {
+        self.map.get(c).copied().unwrap_or(SqlType::Int)
+    }
+
+    pub fn insert(&mut self, c: ColRef, ty: SqlType) {
+        self.map.insert(c, ty);
+    }
+}
+
+/// Lowering environment: tuple tag (for the two-tuple GROUP BY encoding of
+/// Algorithm 4) and the set of group-constant columns (for aggregate
+/// collapsing in HAVING/SELECT lowering).
+#[derive(Debug, Clone, Default)]
+pub struct LowerEnv {
+    pub tuple_tag: u8,
+    pub grouped: BTreeSet<ColRef>,
+}
+
+impl LowerEnv {
+    pub fn plain() -> LowerEnv {
+        LowerEnv::default()
+    }
+
+    pub fn tuple(tag: u8) -> LowerEnv {
+        LowerEnv { tuple_tag: tag, grouped: BTreeSet::new() }
+    }
+
+    pub fn grouped(cols: BTreeSet<ColRef>) -> LowerEnv {
+        LowerEnv { tuple_tag: 0, grouped: cols }
+    }
+}
+
+/// Canonical affine form of a scalar over column references.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct AffExpr {
+    pub coeffs: BTreeMap<ColRef, i64>,
+    pub k: i64,
+}
+
+impl AffExpr {
+    fn constant(k: i64) -> AffExpr {
+        AffExpr { coeffs: BTreeMap::new(), k }
+    }
+
+    fn col(c: &ColRef) -> AffExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(c.clone(), 1);
+        AffExpr { coeffs, k: 0 }
+    }
+
+    fn add(&self, o: &AffExpr) -> AffExpr {
+        let mut out = self.clone();
+        for (c, v) in &o.coeffs {
+            let e = out.coeffs.entry(c.clone()).or_insert(0);
+            *e += v;
+            if *e == 0 {
+                out.coeffs.remove(c);
+            }
+        }
+        out.k += o.k;
+        out
+    }
+
+    fn scale(&self, f: i64) -> AffExpr {
+        if f == 0 {
+            return AffExpr::constant(0);
+        }
+        AffExpr {
+            coeffs: self.coeffs.iter().map(|(c, v)| (c.clone(), v * f)).collect(),
+            k: self.k * f,
+        }
+    }
+
+    fn negate(&self) -> AffExpr {
+        self.scale(-1)
+    }
+
+    /// The single (column, coefficient) if the expression is `c·x + k`.
+    fn single(&self) -> Option<(&ColRef, i64)> {
+        if self.coeffs.len() == 1 {
+            let (c, v) = self.coeffs.iter().next().unwrap();
+            Some((c, *v))
+        } else {
+            None
+        }
+    }
+}
+
+/// Affine normalization of an aggregate-free integer scalar;
+/// `None` when non-affine (products of columns, division) or when it
+/// contains strings or aggregates.
+pub fn affine_of(e: &Scalar) -> Option<AffExpr> {
+    match e {
+        Scalar::Col(c) => Some(AffExpr::col(c)),
+        Scalar::Int(v) => Some(AffExpr::constant(*v)),
+        Scalar::Str(_) | Scalar::Agg(_) => None,
+        Scalar::Neg(inner) => Some(affine_of(inner)?.negate()),
+        Scalar::Arith(l, op, r) => {
+            let (le, re) = (affine_of(l)?, affine_of(r)?);
+            match op {
+                ArithOp::Add => Some(le.add(&re)),
+                ArithOp::Sub => Some(le.add(&re.negate())),
+                ArithOp::Mul => {
+                    if le.coeffs.is_empty() {
+                        Some(re.scale(le.k))
+                    } else if re.coeffs.is_empty() {
+                        Some(le.scale(re.k))
+                    } else {
+                        None
+                    }
+                }
+                ArithOp::Div => {
+                    if re.coeffs.is_empty() && re.k != 0 {
+                        let d = re.k;
+                        if le.k % d == 0 && le.coeffs.values().all(|c| c % d == 0) {
+                            Some(AffExpr {
+                                coeffs: le
+                                    .coeffs
+                                    .iter()
+                                    .map(|(c, v)| (c.clone(), v / d))
+                                    .collect(),
+                                k: le.k / d,
+                            })
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The base an aggregate variable ranges over.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum AggBase {
+    /// Aggregate of a bare column.
+    Col(ColRef),
+    /// Aggregate of a canonicalized non-affine expression.
+    Opaque(String),
+    /// `COUNT(*)`.
+    Star,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct AggKey {
+    func: AggFunc,
+    distinct: bool,
+    base: AggBase,
+    tag: u8,
+}
+
+/// The oracle: shared pool, interners and tri-valued predicates.
+pub struct Oracle {
+    pub solver: Solver,
+    pool: VarPool,
+    types: TypeEnv,
+    col_vars: BTreeMap<(ColRef, u8), VarId>,
+    agg_vars: BTreeMap<AggKey, VarId>,
+    /// Number of solver checks issued (diagnostics / experiments).
+    pub solver_calls: u64,
+    /// Ambient lowering environment used by the `*_pred` convenience
+    /// methods (set by the HAVING/SELECT stages to the grouped
+    /// environment, so the generic repair machinery reasons with
+    /// aggregate collapsing without threading environments everywhere).
+    ambient_env: LowerEnv,
+    /// Ambient formula context appended to every satisfiability check
+    /// (WHERE facts + aggregate axioms during the HAVING/SELECT stages).
+    ambient_ctx: Vec<Formula>,
+    /// Memoized verdicts: the repair search re-checks many identical
+    /// implications across candidate site sets (bounds overlap heavily),
+    /// so caching is a large constant-factor win. Only definitive results
+    /// are cached — Unknown may become definitive under different budgets.
+    sat_cache: std::collections::HashMap<(Formula, Vec<Formula>), TriBool>,
+}
+
+impl Oracle {
+    pub fn new(types: TypeEnv) -> Oracle {
+        Oracle {
+            solver: Solver::default(),
+            pool: VarPool::new(),
+            types,
+            col_vars: BTreeMap::new(),
+            agg_vars: BTreeMap::new(),
+            solver_calls: 0,
+            ambient_env: LowerEnv::plain(),
+            ambient_ctx: Vec::new(),
+            sat_cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Install an ambient lowering environment and formula context; used
+    /// by the HAVING and SELECT stages.
+    pub fn set_ambient(&mut self, env: LowerEnv, ctx: Vec<Formula>) {
+        self.ambient_env = env;
+        self.ambient_ctx = ctx;
+    }
+
+    /// Reset the ambient environment to plain/empty.
+    pub fn clear_ambient(&mut self) {
+        self.ambient_env = LowerEnv::plain();
+        self.ambient_ctx.clear();
+    }
+
+    /// Oracle typed from a schema and resolved queries.
+    pub fn for_queries(schema: &Schema, queries: &[&Query]) -> Oracle {
+        Oracle::new(TypeEnv::from_queries(schema, queries))
+    }
+
+    /// Oracle typed by inference over standalone predicates.
+    pub fn for_preds(preds: &[&Pred]) -> Oracle {
+        Oracle::new(TypeEnv::infer_from_preds(preds))
+    }
+
+    pub fn types(&self) -> &TypeEnv {
+        &self.types
+    }
+
+    fn var_of(&mut self, c: &ColRef, tag: u8) -> VarId {
+        if let Some(v) = self.col_vars.get(&(c.clone(), tag)) {
+            return *v;
+        }
+        let sort = match self.types.type_of(c) {
+            SqlType::Int => Sort::Int,
+            SqlType::Str => Sort::Str,
+        };
+        let name = if tag == 0 { c.to_string() } else { format!("{c}@t{tag}") };
+        let v = self.pool.fresh(&name, sort);
+        self.col_vars.insert((c.clone(), tag), v);
+        v
+    }
+
+    fn agg_var(&mut self, key: AggKey, sort: Sort) -> VarId {
+        if let Some(v) = self.agg_vars.get(&key) {
+            return *v;
+        }
+        let name = format!("{:?}", key);
+        let v = self.pool.fresh(&name, sort);
+        self.agg_vars.insert(key, v);
+        v
+    }
+
+    fn count_star(&mut self, tag: u8) -> VarId {
+        self.agg_var(
+            AggKey { func: AggFunc::Count, distinct: false, base: AggBase::Star, tag },
+            Sort::Int,
+        )
+    }
+
+    // ---------------- lowering ----------------
+
+    /// Lower a scalar with the default (plain) environment.
+    pub fn lower_scalar(&mut self, e: &Scalar) -> Term {
+        self.lower_scalar_env(e, &LowerEnv::plain())
+    }
+
+    /// Lower a scalar expression.
+    pub fn lower_scalar_env(&mut self, e: &Scalar, env: &LowerEnv) -> Term {
+        match e {
+            Scalar::Col(c) => Term::var(self.var_of(c, env.tuple_tag)),
+            Scalar::Int(v) => Term::IntConst(*v),
+            Scalar::Str(s) => Term::StrConst(s.clone()),
+            Scalar::Arith(l, op, r) => {
+                let (lt, rt) = (self.lower_scalar_env(l, env), self.lower_scalar_env(r, env));
+                match op {
+                    ArithOp::Add => Term::add(lt, rt),
+                    ArithOp::Sub => Term::sub(lt, rt),
+                    ArithOp::Mul => Term::mul(lt, rt),
+                    ArithOp::Div => Term::div(lt, rt),
+                }
+            }
+            Scalar::Neg(inner) => Term::Neg(Box::new(self.lower_scalar_env(inner, env))),
+            Scalar::Agg(call) => self.lower_agg(call, env),
+        }
+    }
+
+    /// Lower an aggregate call using the canonicalization rules.
+    fn lower_agg(&mut self, call: &AggCall, env: &LowerEnv) -> Term {
+        let tag = env.tuple_tag;
+        let canon = |e: &Scalar| format!("{e}");
+        match (&call.func, &call.arg, call.distinct) {
+            // COUNT(*) and COUNT(e) with no NULLs all equal COUNT(*).
+            (AggFunc::Count, AggArg::Star, _) => Term::var(self.count_star(tag)),
+            (AggFunc::Count, AggArg::Expr(_), false) => Term::var(self.count_star(tag)),
+            (AggFunc::Count, AggArg::Expr(e), true) => {
+                let base = match &**e {
+                    Scalar::Col(c) => AggBase::Col(c.clone()),
+                    other => AggBase::Opaque(canon(other)),
+                };
+                Term::var(self.agg_var(
+                    AggKey { func: AggFunc::Count, distinct: true, base, tag },
+                    Sort::Int,
+                ))
+            }
+            (AggFunc::Sum, AggArg::Expr(e), false) => {
+                if let Some(aff) = affine_of(e) {
+                    // SUM(Σ cᵢ·xᵢ + c₀) = Σ cᵢ·SUM(xᵢ) + c₀·COUNT(*)
+                    let mut acc: Option<Term> = None;
+                    for (col, coeff) in &aff.coeffs {
+                        let base: Term = if env.grouped.contains(col) {
+                            // Group-constant column: SUM(x) = x·COUNT(*).
+                            Term::mul(
+                                Term::var(self.var_of(col, tag)),
+                                Term::var(self.count_star(tag)),
+                            )
+                        } else {
+                            Term::var(self.agg_var(
+                                AggKey {
+                                    func: AggFunc::Sum,
+                                    distinct: false,
+                                    base: AggBase::Col(col.clone()),
+                                    tag,
+                                },
+                                Sort::Int,
+                            ))
+                        };
+                        let scaled = if *coeff == 1 {
+                            base
+                        } else {
+                            Term::mul(Term::IntConst(*coeff), base)
+                        };
+                        acc = Some(match acc {
+                            None => scaled,
+                            Some(a) => Term::add(a, scaled),
+                        });
+                    }
+                    if aff.k != 0 {
+                        let k_term =
+                            Term::mul(Term::IntConst(aff.k), Term::var(self.count_star(tag)));
+                        acc = Some(match acc {
+                            None => k_term,
+                            Some(a) => Term::add(a, k_term),
+                        });
+                    }
+                    acc.unwrap_or(Term::IntConst(0))
+                } else {
+                    Term::var(self.agg_var(
+                        AggKey {
+                            func: AggFunc::Sum,
+                            distinct: false,
+                            base: AggBase::Opaque(canon(e)),
+                            tag,
+                        },
+                        Sort::Int,
+                    ))
+                }
+            }
+            (AggFunc::Min | AggFunc::Max, AggArg::Expr(e), false) => {
+                let str_typed = matches!(&**e, Scalar::Col(c) if self.types.type_of(c) == SqlType::Str);
+                if str_typed {
+                    let Scalar::Col(c) = &**e else { unreachable!() };
+                    if env.grouped.contains(c) {
+                        return Term::var(self.var_of(c, tag));
+                    }
+                    return Term::var(self.agg_var(
+                        AggKey {
+                            func: call.func,
+                            distinct: false,
+                            base: AggBase::Col(c.clone()),
+                            tag,
+                        },
+                        Sort::Str,
+                    ));
+                }
+                if let Some(aff) = affine_of(e) {
+                    if let Some((col, coeff)) = aff.single() {
+                        if env.grouped.contains(col) {
+                            // Group-constant: MIN(c·x+k) = c·x+k.
+                            let x = Term::var(self.var_of(col, tag));
+                            let scaled = if coeff == 1 {
+                                x
+                            } else {
+                                Term::mul(Term::IntConst(coeff), x)
+                            };
+                            return if aff.k == 0 {
+                                scaled
+                            } else {
+                                Term::add(scaled, Term::IntConst(aff.k))
+                            };
+                        }
+                        // MIN(c·x+k) = c·MIN(x)+k for c>0 (MAX for c<0).
+                        let func = if coeff > 0 {
+                            call.func
+                        } else if call.func == AggFunc::Min {
+                            AggFunc::Max
+                        } else {
+                            AggFunc::Min
+                        };
+                        let base_var = self.agg_var(
+                            AggKey { func, distinct: false, base: AggBase::Col(col.clone()), tag },
+                            Sort::Int,
+                        );
+                        let scaled = if coeff == 1 {
+                            Term::var(base_var)
+                        } else {
+                            Term::mul(Term::IntConst(coeff), Term::var(base_var))
+                        };
+                        return if aff.k == 0 {
+                            scaled
+                        } else {
+                            Term::add(scaled, Term::IntConst(aff.k))
+                        };
+                    }
+                    if aff.coeffs.is_empty() {
+                        // MIN/MAX of a constant is the constant.
+                        return Term::IntConst(aff.k);
+                    }
+                }
+                Term::var(self.agg_var(
+                    AggKey {
+                        func: call.func,
+                        distinct: false,
+                        base: AggBase::Opaque(canon(e)),
+                        tag,
+                    },
+                    Sort::Int,
+                ))
+            }
+            (AggFunc::Avg, AggArg::Expr(e), false) => {
+                if let Some(aff) = affine_of(e) {
+                    if let Some((col, coeff)) = aff.single() {
+                        if coeff == 1 && aff.k == 0 && env.grouped.contains(col) {
+                            return Term::var(self.var_of(col, tag));
+                        }
+                    }
+                    if aff.coeffs.is_empty() {
+                        return Term::IntConst(aff.k);
+                    }
+                }
+                Term::var(self.agg_var(
+                    AggKey {
+                        func: AggFunc::Avg,
+                        distinct: false,
+                        base: match e.as_ref() {
+                            Scalar::Col(c) => AggBase::Col(c.clone()),
+                            other => AggBase::Opaque(canon(other)),
+                        },
+                        tag,
+                    },
+                    Sort::Int,
+                ))
+            }
+            // DISTINCT SUM/AVG/MIN/MAX: MIN/MAX are unaffected by
+            // DISTINCT; SUM/AVG become opaque.
+            (AggFunc::Min | AggFunc::Max, AggArg::Expr(e), true) => {
+                let undistinct = AggCall {
+                    func: call.func,
+                    distinct: false,
+                    arg: AggArg::Expr(e.clone()),
+                };
+                self.lower_agg(&undistinct, env)
+            }
+            (func, AggArg::Expr(e), true) => Term::var(self.agg_var(
+                AggKey { func: *func, distinct: true, base: AggBase::Opaque(canon(e)), tag },
+                Sort::Int,
+            )),
+            // SUM/AVG/MIN/MAX(*) is not valid SQL; defensively intern.
+            (func, AggArg::Star, d) => Term::var(self.agg_var(
+                AggKey { func: *func, distinct: d, base: AggBase::Star, tag },
+                Sort::Int,
+            )),
+        }
+    }
+
+    fn rel_of(op: CmpOp) -> Rel {
+        match op {
+            CmpOp::Eq => Rel::Eq,
+            CmpOp::Ne => Rel::Ne,
+            CmpOp::Lt => Rel::Lt,
+            CmpOp::Le => Rel::Le,
+            CmpOp::Gt => Rel::Gt,
+            CmpOp::Ge => Rel::Ge,
+        }
+    }
+
+    /// Lower a predicate with the ambient environment.
+    pub fn lower_pred(&mut self, p: &Pred) -> Formula {
+        let env = self.ambient_env.clone();
+        self.lower_pred_env(p, &env)
+    }
+
+    /// Lower a predicate.
+    pub fn lower_pred_env(&mut self, p: &Pred, env: &LowerEnv) -> Formula {
+        match p {
+            Pred::True => Formula::True,
+            Pred::False => Formula::False,
+            Pred::Cmp(l, op, r) => Formula::cmp(
+                self.lower_scalar_env(l, env),
+                Self::rel_of(*op),
+                self.lower_scalar_env(r, env),
+            ),
+            Pred::Like { expr, pattern, negated } => {
+                let atom = Formula::atom(Atom::Like(
+                    self.lower_scalar_env(expr, env),
+                    pattern.clone(),
+                ));
+                if *negated {
+                    Formula::not(atom)
+                } else {
+                    atom
+                }
+            }
+            Pred::And(cs) => {
+                Formula::and(cs.iter().map(|c| self.lower_pred_env(c, env)).collect())
+            }
+            Pred::Or(cs) => {
+                Formula::or(cs.iter().map(|c| self.lower_pred_env(c, env)).collect())
+            }
+            Pred::Not(c) => Formula::not(self.lower_pred_env(c, env)),
+        }
+    }
+
+    // ---------------- aggregate axioms ----------------
+
+    /// Emit sound axioms over the aggregate variables interned so far,
+    /// using per-row bounds implied by the (top-level conjuncts of the)
+    /// WHERE predicate.
+    pub fn aggregate_axioms(&mut self, where_pred: &Pred) -> Vec<Formula> {
+        let bounds = column_bounds(where_pred);
+        let keys: Vec<AggKey> = self.agg_vars.keys().cloned().collect();
+        let mut axioms: Vec<Formula> = Vec::new();
+        for key in &keys {
+            let v = self.agg_vars[key];
+            match (&key.func, &key.base) {
+                (AggFunc::Count, AggBase::Star) => {
+                    // Groups are non-empty.
+                    axioms.push(Formula::cmp(Term::var(v), Rel::Ge, Term::IntConst(1)));
+                }
+                (AggFunc::Count, _) if key.distinct => {
+                    axioms.push(Formula::cmp(Term::var(v), Rel::Ge, Term::IntConst(1)));
+                    let cs = self.count_star(key.tag);
+                    axioms.push(Formula::cmp(Term::var(v), Rel::Le, Term::var(cs)));
+                }
+                (AggFunc::Min | AggFunc::Max | AggFunc::Avg, AggBase::Col(c)) => {
+                    if self.pool_sort(v) != Sort::Int {
+                        continue;
+                    }
+                    if let Some((lb, ub)) = bounds.get(c) {
+                        if let Some(lb) = lb {
+                            axioms.push(Formula::cmp(Term::var(v), Rel::Ge, Term::IntConst(*lb)));
+                        }
+                        if let Some(ub) = ub {
+                            axioms.push(Formula::cmp(Term::var(v), Rel::Le, Term::IntConst(*ub)));
+                        }
+                    }
+                }
+                (AggFunc::Sum, AggBase::Col(c)) => {
+                    if let Some((lb, ub)) = bounds.get(c) {
+                        // SUM ≥ lb·COUNT ≥ lb when lb ≥ 0 (dually for ub).
+                        if let Some(lb) = lb {
+                            if *lb >= 0 {
+                                axioms.push(Formula::cmp(
+                                    Term::var(v),
+                                    Rel::Ge,
+                                    Term::IntConst(*lb),
+                                ));
+                            }
+                        }
+                        if let Some(ub) = ub {
+                            if *ub <= 0 {
+                                axioms.push(Formula::cmp(
+                                    Term::var(v),
+                                    Rel::Le,
+                                    Term::IntConst(*ub),
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Relational axioms among aggregates of the same column:
+        // MIN ≤ AVG ≤ MAX, MIN ≤ MAX.
+        for key in &keys {
+            if key.func != AggFunc::Min {
+                continue;
+            }
+            let min_v = self.agg_vars[&key.clone()];
+            if self.pool_sort(min_v) != Sort::Int {
+                continue;
+            }
+            let mk = |f: AggFunc| AggKey { func: f, ..key.clone() };
+            if let Some(&max_v) = self.agg_vars.get(&mk(AggFunc::Max)) {
+                axioms.push(Formula::cmp(Term::var(min_v), Rel::Le, Term::var(max_v)));
+            }
+            if let Some(&avg_v) = self.agg_vars.get(&mk(AggFunc::Avg)) {
+                axioms.push(Formula::cmp(Term::var(min_v), Rel::Le, Term::var(avg_v)));
+            }
+        }
+        for key in &keys {
+            if key.func != AggFunc::Avg {
+                continue;
+            }
+            let avg_v = self.agg_vars[key];
+            if self.pool_sort(avg_v) != Sort::Int {
+                continue;
+            }
+            let max_key = AggKey { func: AggFunc::Max, ..key.clone() };
+            if let Some(&max_v) = self.agg_vars.get(&max_key) {
+                axioms.push(Formula::cmp(Term::var(avg_v), Rel::Le, Term::var(max_v)));
+            }
+        }
+        axioms
+    }
+
+    fn pool_sort(&self, v: VarId) -> Sort {
+        self.pool.sort(v)
+    }
+
+    // ---------------- tri-valued predicates ----------------
+
+    /// Formula-level satisfiability under formula contexts (the ambient
+    /// context, if any, is appended).
+    pub fn sat_f(&mut self, f: &Formula, ctx: &[Formula]) -> TriBool {
+        self.solver_calls += 1;
+        let mut full: Vec<Formula> = ctx.to_vec();
+        full.extend(self.ambient_ctx.iter().cloned());
+        let key = (f.clone(), full.clone());
+        if let Some(hit) = self.sat_cache.get(&key) {
+            return *hit;
+        }
+        let solver = self.solver.clone();
+        let verdict = solver.is_satisfiable(f, &full, &mut self.pool);
+        if verdict != TriBool::Unknown {
+            self.sat_cache.insert(key, verdict);
+        }
+        verdict
+    }
+
+    /// Formula-level unsatisfiability.
+    pub fn unsat_f(&mut self, f: &Formula, ctx: &[Formula]) -> TriBool {
+        self.sat_f(f, ctx).negate()
+    }
+
+    /// Formula-level implication under contexts.
+    pub fn implies_f(&mut self, f: &Formula, g: &Formula, ctx: &[Formula]) -> TriBool {
+        self.unsat_f(&Formula::and(vec![f.clone(), Formula::not(g.clone())]), ctx)
+    }
+
+    /// Formula-level equivalence under contexts.
+    pub fn equiv_f(&mut self, f: &Formula, g: &Formula, ctx: &[Formula]) -> TriBool {
+        match self.implies_f(f, g, ctx) {
+            TriBool::False => TriBool::False,
+            fw => match self.implies_f(g, f, ctx) {
+                TriBool::False => TriBool::False,
+                bw => fw.and(bw),
+            },
+        }
+    }
+
+    /// Predicate-level satisfiability (plain environment).
+    pub fn sat_pred(&mut self, p: &Pred, ctx: &[&Pred]) -> TriBool {
+        let f = self.lower_pred(p);
+        let ctx: Vec<Formula> = ctx.iter().map(|c| self.lower_pred(c)).collect();
+        self.sat_f(&f, &ctx)
+    }
+
+    /// Predicate-level implication.
+    pub fn implies_pred(&mut self, p: &Pred, q: &Pred, ctx: &[&Pred]) -> TriBool {
+        let (fp, fq) = (self.lower_pred(p), self.lower_pred(q));
+        let ctx: Vec<Formula> = ctx.iter().map(|c| self.lower_pred(c)).collect();
+        self.implies_f(&fp, &fq, &ctx)
+    }
+
+    /// Predicate-level equivalence — the paper's `IsEquiv` for WHERE.
+    pub fn equiv_pred(&mut self, p: &Pred, q: &Pred, ctx: &[&Pred]) -> TriBool {
+        let (fp, fq) = (self.lower_pred(p), self.lower_pred(q));
+        let ctx: Vec<Formula> = ctx.iter().map(|c| self.lower_pred(c)).collect();
+        self.equiv_f(&fp, &fq, &ctx)
+    }
+
+    /// Value-level equivalence of two scalars under formula contexts —
+    /// the paper's `IsEquiv` for SELECT / GROUP BY expressions: valid iff
+    /// `ctx ∧ e1 ≠ e2` is unsatisfiable.
+    pub fn equiv_scalar_env(
+        &mut self,
+        e1: &Scalar,
+        e2: &Scalar,
+        env: &LowerEnv,
+        ctx: &[Formula],
+    ) -> TriBool {
+        let (t1, t2) = (self.lower_scalar_env(e1, env), self.lower_scalar_env(e2, env));
+        self.unsat_f(&Formula::cmp(t1, Rel::Ne, t2), ctx)
+    }
+}
+
+/// Extract per-column constant bounds implied by the top-level conjuncts
+/// of a predicate: `col op const` atoms only (sound under any model of the
+/// predicate).
+pub fn column_bounds(p: &Pred) -> BTreeMap<ColRef, (Option<i64>, Option<i64>)> {
+    let mut out: BTreeMap<ColRef, (Option<i64>, Option<i64>)> = BTreeMap::new();
+    let conjuncts: Vec<&Pred> = match p {
+        Pred::And(cs) => cs.iter().collect(),
+        other => vec![other],
+    };
+    let mut tighten = |c: &ColRef, lb: Option<i64>, ub: Option<i64>| {
+        let entry = out.entry(c.clone()).or_insert((None, None));
+        if let Some(l) = lb {
+            entry.0 = Some(entry.0.map_or(l, |x: i64| x.max(l)));
+        }
+        if let Some(u) = ub {
+            entry.1 = Some(entry.1.map_or(u, |x: i64| x.min(u)));
+        }
+    };
+    for conj in conjuncts {
+        if let Pred::Cmp(l, op, r) = conj {
+            let (col, cst, op) = match (l, r) {
+                (Scalar::Col(c), Scalar::Int(k)) => (c, *k, *op),
+                (Scalar::Int(k), Scalar::Col(c)) => (c, *k, op.flip()),
+                _ => continue,
+            };
+            match op {
+                CmpOp::Eq => tighten(col, Some(cst), Some(cst)),
+                CmpOp::Gt => tighten(col, Some(cst + 1), None),
+                CmpOp::Ge => tighten(col, Some(cst), None),
+                CmpOp::Lt => tighten(col, None, Some(cst - 1)),
+                CmpOp::Le => tighten(col, None, Some(cst)),
+                CmpOp::Ne => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlparse::{parse_pred, parse_scalar};
+
+    fn oracle_for(preds: &[&Pred]) -> Oracle {
+        Oracle::for_preds(preds)
+    }
+
+    #[test]
+    fn transitivity_through_shared_vars() {
+        let p = parse_pred("l.beer = s1.beer AND l.beer = s2.beer").unwrap();
+        let q = parse_pred("l.beer = s1.beer AND s1.beer = s2.beer").unwrap();
+        let mut o = oracle_for(&[&p, &q]);
+        assert_eq!(o.equiv_pred(&p, &q, &[]), TriBool::True);
+    }
+
+    #[test]
+    fn integer_tightening_gt_vs_ge() {
+        let p = parse_pred("s1.price > s2.price").unwrap();
+        let q = parse_pred("s1.price >= s2.price + 1").unwrap();
+        let mut o = oracle_for(&[&p, &q]);
+        assert_eq!(o.equiv_pred(&p, &q, &[]), TriBool::True);
+    }
+
+    #[test]
+    fn string_typing_via_inference() {
+        let p = parse_pred("l.drinker = 'Amy'").unwrap();
+        let o = oracle_for(&[&p]);
+        assert_eq!(o.types().type_of(&ColRef::new("l", "drinker")), SqlType::Str);
+        // Propagated through equalities:
+        let q = parse_pred("l.drinker = f.drinker AND l.drinker = 'Amy'").unwrap();
+        let o2 = oracle_for(&[&q]);
+        assert_eq!(o2.types().type_of(&ColRef::new("f", "drinker")), SqlType::Str);
+    }
+
+    #[test]
+    fn column_bounds_extraction() {
+        let p = parse_pred("t.a > 100 AND t.b <= 5 AND t.c = 7 AND 3 < t.d").unwrap();
+        let b = column_bounds(&p);
+        assert_eq!(b[&ColRef::new("t", "a")], (Some(101), None));
+        assert_eq!(b[&ColRef::new("t", "b")], (None, Some(5)));
+        assert_eq!(b[&ColRef::new("t", "c")], (Some(7), Some(7)));
+        assert_eq!(b[&ColRef::new("t", "d")], (Some(4), None));
+        // Disjunctions contribute nothing.
+        let p2 = parse_pred("t.a > 100 OR t.b < 5").unwrap();
+        assert!(column_bounds(&p2).is_empty());
+    }
+
+    #[test]
+    fn paper_example3_max_bound() {
+        // WHERE A > 100 makes HAVING MAX(A) >= 101 redundant.
+        let where_pred = parse_pred("r.a > 100").unwrap();
+        let having = parse_pred("MAX(r.a) >= 101").unwrap();
+        let mut o = oracle_for(&[&where_pred, &having]);
+        let env = LowerEnv::plain();
+        let h = o.lower_pred_env(&having, &env);
+        let axioms = o.aggregate_axioms(&where_pred);
+        assert!(!axioms.is_empty());
+        // MAX(A) >= 101 is implied by the axioms: ¬(MAX(A) ≥ 101) unsat.
+        assert_eq!(o.unsat_f(&Formula::not(h), &axioms), TriBool::True);
+    }
+
+    #[test]
+    fn paper_example10_having_equivalence() {
+        // H*: A>B+3 ∧ 2*SUM(D)>10 ; H: C>B+3 ∧ SUM(D*2)>10 ∧ A>4
+        // under context A=C ∧ A>4 (grouped columns A, B, C).
+        let h_star = parse_pred("g.a > g.b + 3 AND 2 * SUM(s.d) > 10").unwrap();
+        let h = parse_pred("g.c > g.b + 3 AND SUM(s.d * 2) > 10 AND g.a > 4").unwrap();
+        let ctx_pred = parse_pred("g.a = g.c AND g.a > 4").unwrap();
+        let mut o = oracle_for(&[&h_star, &h, &ctx_pred]);
+        let grouped: BTreeSet<ColRef> = [
+            ColRef::new("g", "a"),
+            ColRef::new("g", "b"),
+            ColRef::new("g", "c"),
+        ]
+        .into_iter()
+        .collect();
+        let env = LowerEnv::grouped(grouped);
+        let fs = o.lower_pred_env(&h_star, &env);
+        let fh = o.lower_pred_env(&h, &env);
+        let mut ctx = vec![o.lower_pred_env(&ctx_pred, &env)];
+        ctx.extend(o.aggregate_axioms(&ctx_pred));
+        assert_eq!(o.equiv_f(&fs, &fh, &ctx), TriBool::True);
+    }
+
+    #[test]
+    fn count_expr_equals_count_star() {
+        let a = parse_scalar("COUNT(t.x)").unwrap();
+        let b = parse_scalar("COUNT(*)").unwrap();
+        let p = parse_pred("COUNT(t.x) > 0").unwrap();
+        let mut o = oracle_for(&[&p]);
+        assert_eq!(
+            o.equiv_scalar_env(&a, &b, &LowerEnv::plain(), &[]),
+            TriBool::True
+        );
+    }
+
+    #[test]
+    fn count_star_plus_one_not_equiv() {
+        // The footnote-1 mistake: COUNT(*)+1 is NOT COUNT(*).
+        let a = parse_scalar("COUNT(*)").unwrap();
+        let b = parse_scalar("COUNT(*) + 1").unwrap();
+        let mut o = oracle_for(&[]);
+        assert_eq!(
+            o.equiv_scalar_env(&a, &b, &LowerEnv::plain(), &[]),
+            TriBool::False
+        );
+    }
+
+    #[test]
+    fn min_max_affine_rewrites() {
+        let mut o = oracle_for(&[]);
+        let env = LowerEnv::plain();
+        // MIN(-x) = -MAX(x): lower both and check equivalence.
+        let e1 = parse_scalar("MIN(0 - t.x)").unwrap();
+        let e2 = parse_scalar("0 - MAX(t.x)").unwrap();
+        assert_eq!(o.equiv_scalar_env(&e1, &e2, &env, &[]), TriBool::True);
+        // MAX(2*x + 1) = 2*MAX(x) + 1
+        let e3 = parse_scalar("MAX(2 * t.x + 1)").unwrap();
+        let e4 = parse_scalar("2 * MAX(t.x) + 1").unwrap();
+        assert_eq!(o.equiv_scalar_env(&e3, &e4, &env, &[]), TriBool::True);
+    }
+
+    #[test]
+    fn sum_linearity() {
+        let mut o = oracle_for(&[]);
+        let env = LowerEnv::plain();
+        let e1 = parse_scalar("SUM(t.x + t.y)").unwrap();
+        let e2 = parse_scalar("SUM(t.x) + SUM(t.y)").unwrap();
+        assert_eq!(o.equiv_scalar_env(&e1, &e2, &env, &[]), TriBool::True);
+        let e3 = parse_scalar("SUM(t.x + 1)").unwrap();
+        let e4 = parse_scalar("SUM(t.x) + COUNT(*)").unwrap();
+        assert_eq!(o.equiv_scalar_env(&e3, &e4, &env, &[]), TriBool::True);
+        // SUM(x) ≠ SUM(y) in general.
+        let e5 = parse_scalar("SUM(t.x)").unwrap();
+        let e6 = parse_scalar("SUM(t.y)").unwrap();
+        assert_eq!(o.equiv_scalar_env(&e5, &e6, &env, &[]), TriBool::False);
+    }
+
+    #[test]
+    fn grouped_column_aggregates_collapse() {
+        let mut o = oracle_for(&[]);
+        let g: BTreeSet<ColRef> = [ColRef::new("t", "x")].into_iter().collect();
+        let env = LowerEnv::grouped(g);
+        let e1 = parse_scalar("MIN(t.x)").unwrap();
+        let e2 = parse_scalar("t.x").unwrap();
+        let e3 = parse_scalar("MAX(t.x)").unwrap();
+        assert_eq!(o.equiv_scalar_env(&e1, &e2, &env, &[]), TriBool::True);
+        assert_eq!(o.equiv_scalar_env(&e1, &e3, &env, &[]), TriBool::True);
+    }
+
+    #[test]
+    fn affine_normalization() {
+        let e = parse_scalar("2 * (t.x + 3) - t.x").unwrap();
+        let aff = affine_of(&e).unwrap();
+        assert_eq!(aff.k, 6);
+        assert_eq!(aff.coeffs[&ColRef::new("t", "x")], 1);
+        assert!(affine_of(&parse_scalar("t.x * t.y").unwrap()).is_none());
+        assert!(affine_of(&parse_scalar("t.x / 2").unwrap()).is_none());
+        let div_ok = parse_scalar("(4 * t.x) / 2").unwrap();
+        assert_eq!(affine_of(&div_ok).unwrap().coeffs[&ColRef::new("t", "x")], 2);
+    }
+
+    #[test]
+    fn tuple_tags_give_distinct_vars() {
+        let p = parse_pred("t.a = 1").unwrap();
+        let mut o = oracle_for(&[&p]);
+        let f1 = o.lower_pred_env(&p, &LowerEnv::tuple(1));
+        let f2 = o.lower_pred_env(&p, &LowerEnv::tuple(2));
+        assert_ne!(format!("{f1}"), format!("{f2}"));
+        // t.a@t1 = 1 ∧ t.a@t2 = 2 is satisfiable (different tuples).
+        let p2 = parse_pred("t.a = 2").unwrap();
+        let f2b = o.lower_pred_env(&p2, &LowerEnv::tuple(2));
+        assert_eq!(
+            o.sat_f(&Formula::and(vec![f1, f2b]), &[]),
+            TriBool::True
+        );
+    }
+}

@@ -1,0 +1,541 @@
+//! The stage pipeline (§3.1, Theorem 3.1): FROM → WHERE → GROUP BY →
+//! HAVING → SELECT for SPJA queries (FROM → WHERE → SELECT for SPJ),
+//! with viability checks, hint generation, and the simulated user loop
+//! `fix_fully` used by the experiments and differential tests.
+
+use crate::error::{QrHintError, QrResult};
+use crate::hint::{Hint, Stage};
+use crate::mapping::{table_mapping, unify_target, TableMapping};
+use crate::oracle::{LowerEnv, Oracle};
+use crate::repair::RepairConfig;
+use crate::stages::{
+    from_stage, groupby_stage, having_stage, select_stage, where_stage,
+};
+use qrhint_sqlast::{resolve::resolve_query, Pred, Query, Scalar, Schema};
+use qrhint_sqlparse::{parse_query, parse_query_extended, FlattenOptions};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct QrHintConfig {
+    pub repair: RepairConfig,
+}
+
+/// A Qr-Hint session bound to one database schema.
+#[derive(Debug, Clone)]
+pub struct QrHint {
+    schema: Schema,
+    cfg: QrHintConfig,
+}
+
+/// The advice produced for one working-query state: the first failing
+/// stage, its hints, and the auto-applied fix for simulation.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// First stage whose viability check failed (`Done` = equivalent).
+    pub stage: Stage,
+    pub hints: Vec<Hint>,
+    /// The working query with this stage's repair applied (present
+    /// whenever `stage != Done`).
+    pub fixed: Option<Query>,
+    /// The alias mapping (available once the FROM stage passes).
+    pub mapping: Option<TableMapping>,
+}
+
+impl Advice {
+    pub fn is_equivalent(&self) -> bool {
+        self.stage == Stage::Done
+    }
+}
+
+impl QrHint {
+    pub fn new(schema: Schema) -> QrHint {
+        QrHint { schema, cfg: QrHintConfig::default() }
+    }
+
+    pub fn with_config(schema: Schema, cfg: QrHintConfig) -> QrHint {
+        QrHint { schema, cfg }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Parse and resolve a query against the session schema.
+    pub fn prepare(&self, sql: &str) -> QrResult<Query> {
+        let q = parse_query(sql)?;
+        Ok(resolve_query(&self.schema, &q)?)
+    }
+
+    /// Parse with the multi-block front-end (footnote 2 of the paper:
+    /// `WITH` CTEs, aggregation-free subqueries in FROM, non-outer JOINs —
+    /// plus the opt-in positive EXISTS/IN rewrite of §3), flatten to the
+    /// single-block fragment, and resolve.
+    pub fn prepare_extended(&self, sql: &str, opts: &FlattenOptions) -> QrResult<Query> {
+        let q = parse_query_extended(sql, opts)?;
+        Ok(resolve_query(&self.schema, &q)?)
+    }
+
+    /// [`QrHint::advise_sql`] with both queries run through the
+    /// multi-block front-end. Either query may freely mix JOIN syntax,
+    /// CTEs and FROM subqueries; hints refer to the flattened form.
+    pub fn advise_sql_extended(
+        &self,
+        target_sql: &str,
+        working_sql: &str,
+        opts: &FlattenOptions,
+    ) -> QrResult<Advice> {
+        let q_star = self.prepare_extended(target_sql, opts)?;
+        let q = self.prepare_extended(working_sql, opts)?;
+        self.advise(&q_star, &q)
+    }
+
+    /// Advise on SQL strings.
+    pub fn advise_sql(&self, target_sql: &str, working_sql: &str) -> QrResult<Advice> {
+        let q_star = self.prepare(target_sql)?;
+        let q = self.prepare(working_sql)?;
+        self.advise(&q_star, &q)
+    }
+
+    /// Run the stage checks on resolved queries, returning the first
+    /// failing stage's hints.
+    pub fn advise(&self, q_star: &Query, q: &Query) -> QrResult<Advice> {
+        // ---- Stage 1: FROM ----
+        let from_out = from_stage::check_from(q_star, q);
+        if !from_out.viable {
+            let fixed = from_stage::apply_from_fix(q, q_star);
+            return Ok(Advice {
+                stage: Stage::From,
+                hints: from_out.hints,
+                fixed: Some(fixed),
+                mapping: None,
+            });
+        }
+        // Table mapping + unification (§4).
+        let mapping = table_mapping(q_star, q).ok_or_else(|| {
+            QrHintError::Internal("table mapping failed after viable FROM".into())
+        })?;
+        let unified = unify_target(q_star, &mapping);
+        let mut oracle = Oracle::for_queries(&self.schema, &[&unified, q]);
+        // Schema CHECK constraints instantiated per FROM alias hold on
+        // every row of F(Q) and enter all per-row reasoning as context
+        // (§3 Limitations item 4, the quantifier-free fragment).
+        let domain_ctx = self.schema.domain_context(q);
+
+        // ---- Stage 2: WHERE (with SPJA look-ahead) ----
+        let where_out =
+            where_stage::check_where(&mut oracle, &unified, q, &self.cfg.repair, &domain_ctx);
+        if !where_out.viable {
+            let mut fixed = q.clone();
+            // Repairs refer to the normalized working WHERE (the user's
+            // movable HAVING conjuncts lifted in — a legal rewrite).
+            fixed.where_pred = where_out.working_where.clone();
+            fixed.having = where_out.working_having.clone();
+            if let Some(r) = where_out.repair.as_ref().and_then(|o| o.repair.as_ref()) {
+                fixed.where_pred = r.apply(&where_out.working_where);
+            } else {
+                // No repair found within limits: fall back to the
+                // whole-clause replacement (always correct).
+                fixed.where_pred = where_out.target_where.clone();
+            }
+            let hints = if where_out.hints.is_empty() {
+                vec![Hint::PredicateRepair {
+                    clause: crate::hint::ClauseKind::Where,
+                    sites: vec![crate::hint::SiteHint {
+                        path: vec![],
+                        current: q.where_pred.clone(),
+                        fix: where_out.target_where.clone(),
+                    }],
+                    cost: f64::INFINITY,
+                }]
+            } else {
+                where_out.hints.clone()
+            };
+            return Ok(Advice {
+                stage: Stage::Where,
+                hints,
+                fixed: Some(fixed),
+                mapping: Some(mapping),
+            });
+        }
+        let target_where = where_out.target_where.clone();
+        let target_having = where_out.target_having.clone().unwrap_or(Pred::True);
+        // Context for the later stages' reasoning: rows reaching GROUP
+        // BY / HAVING / SELECT satisfy WHERE *and* the domain checks.
+        // (`target_where` itself stays pristine — it is also the literal
+        // fallback WHERE text for whole-clause repairs.)
+        let reasoning_where = if domain_ctx.is_empty() {
+            target_where.clone()
+        } else {
+            Pred::and(
+                std::iter::once(target_where.clone())
+                    .chain(domain_ctx.iter().cloned())
+                    .collect(),
+            )
+        };
+
+        // Grouping/aggregation structure, ignoring DISTINCT (a pure
+        // DISTINCT mismatch is a SELECT-stage issue, not a grouping one).
+        let has_group_agg = |query: &Query| {
+            !query.group_by.is_empty()
+                || query.having.is_some()
+                || query.select.iter().any(|s| s.expr.has_aggregate())
+        };
+        let star_spja = has_group_agg(&unified);
+        let work_spja = has_group_agg(q);
+
+        if star_spja || work_spja {
+            // ---- Structure check (Lemma D.1) ----
+            if star_spja != work_spja {
+                let mut fixed = q.clone();
+                fixed.group_by = unified.group_by.clone();
+                if !star_spja {
+                    fixed.having = None;
+                    fixed.distinct = unified.distinct;
+                    // De-aggregating: unwrap aggregate calls in SELECT so
+                    // the query leaves the SPJA fragment (the SELECT stage
+                    // then repairs the expressions themselves).
+                    fn strip_aggs(e: &Scalar) -> Scalar {
+                        match e {
+                            Scalar::Agg(call) => match &call.arg {
+                                qrhint_sqlast::AggArg::Expr(inner) => strip_aggs(inner),
+                                qrhint_sqlast::AggArg::Star => Scalar::Int(1),
+                            },
+                            Scalar::Arith(l, op, r) => Scalar::Arith(
+                                Box::new(strip_aggs(l)),
+                                *op,
+                                Box::new(strip_aggs(r)),
+                            ),
+                            Scalar::Neg(inner) => Scalar::Neg(Box::new(strip_aggs(inner))),
+                            other => other.clone(),
+                        }
+                    }
+                    for item in &mut fixed.select {
+                        item.expr = strip_aggs(&item.expr);
+                    }
+                }
+                return Ok(Advice {
+                    stage: Stage::GroupBy,
+                    hints: vec![Hint::Structure { needs_grouping: star_spja }],
+                    fixed: Some(fixed),
+                    mapping: Some(mapping),
+                });
+            }
+            // ---- Stage 3: GROUP BY ----
+            let gb_out = groupby_stage::fix_grouping(
+                &mut oracle,
+                &reasoning_where,
+                &q.group_by,
+                &unified.group_by,
+            );
+            if !gb_out.viable {
+                let fixed = groupby_stage::apply_grouping_fix(q, &unified.group_by, &gb_out);
+                return Ok(Advice {
+                    stage: Stage::GroupBy,
+                    hints: gb_out.hints(&q.group_by),
+                    fixed: Some(fixed),
+                    mapping: Some(mapping),
+                });
+            }
+            // ---- Stage 4: HAVING ----
+            let working_having =
+                where_out.working_having.clone().unwrap_or(Pred::True);
+            let hv_out = having_stage::check_having(
+                &mut oracle,
+                &unified,
+                &working_having,
+                &reasoning_where,
+                &target_having,
+                &self.cfg.repair,
+            );
+            if !hv_out.viable {
+                let mut normalized = q.clone();
+                normalized.where_pred = where_out.working_where.clone();
+                normalized.having = where_out.working_having.clone();
+                let mut fixed = having_stage::apply_having_fix(&normalized, &hv_out);
+                if hv_out.repair.as_ref().is_none_or(|o| o.repair.is_none()) {
+                    fixed.having = if target_having == Pred::True {
+                        None
+                    } else {
+                        Some(target_having.clone())
+                    };
+                }
+                let hints = if hv_out.hints.is_empty() {
+                    vec![Hint::PredicateRepair {
+                        clause: crate::hint::ClauseKind::Having,
+                        sites: vec![crate::hint::SiteHint {
+                            path: vec![],
+                            current: q.having_pred(),
+                            fix: target_having.clone(),
+                        }],
+                        cost: f64::INFINITY,
+                    }]
+                } else {
+                    hv_out.hints.clone()
+                };
+                return Ok(Advice {
+                    stage: Stage::Having,
+                    hints,
+                    fixed: Some(fixed),
+                    mapping: Some(mapping),
+                });
+            }
+        }
+
+        // ---- Stage 5 (or 3 for SPJ): SELECT ----
+        let env = if star_spja {
+            let grouped = having_stage::group_constant_cols(&unified, &reasoning_where);
+            let env = having_stage::install_having_context(
+                &mut oracle,
+                &reasoning_where,
+                &q.having_pred(),
+                &target_having,
+                &grouped,
+            );
+            // Rows reaching SELECT also satisfy HAVING.
+            let hf = oracle.lower_pred_env(&target_having, &env);
+            let mut full = vec![hf];
+            full.extend(oracle.aggregate_axioms(&reasoning_where));
+            // Keep the WHERE facts over group-constant columns too.
+            let wf_conjuncts: Vec<Pred> = match &reasoning_where {
+                Pred::And(cs) => cs.clone(),
+                Pred::True => vec![],
+                other => vec![other.clone()],
+            };
+            for c in wf_conjuncts {
+                let mut cols = Vec::new();
+                c.collect_columns(&mut cols);
+                if !c.has_aggregate() && cols.iter().all(|col| grouped.contains(col)) {
+                    let f = oracle.lower_pred_env(&c, &env);
+                    full.push(f);
+                }
+            }
+            oracle.set_ambient(env.clone(), full);
+            env
+        } else {
+            let wf = oracle.lower_pred(&reasoning_where);
+            oracle.set_ambient(LowerEnv::plain(), vec![wf]);
+            LowerEnv::plain()
+        };
+        let working_exprs: Vec<Scalar> = q.select.iter().map(|s| s.expr.clone()).collect();
+        let target_exprs: Vec<Scalar> =
+            unified.select.iter().map(|s| s.expr.clone()).collect();
+        let sel_out = select_stage::fix_select(&mut oracle, &env, &working_exprs, &target_exprs);
+        let distinct_ok = q.distinct == unified.distinct;
+        oracle.clear_ambient();
+        if !sel_out.viable || !distinct_ok {
+            let mut fixed = select_stage::apply_select_fix(q, &target_exprs, &sel_out);
+            fixed.distinct = unified.distinct;
+            let mut hints = sel_out.hints(&working_exprs);
+            if !distinct_ok {
+                hints.push(Hint::DistinctMismatch { need_distinct: unified.distinct });
+            }
+            return Ok(Advice {
+                stage: Stage::Select,
+                hints,
+                fixed: Some(fixed),
+                mapping: Some(mapping),
+            });
+        }
+
+        Ok(Advice { stage: Stage::Done, hints: vec![], fixed: None, mapping: Some(mapping) })
+    }
+
+    /// Simulate a user who applies every suggested repair: iterate
+    /// `advise` + apply until `Done`. Returns the final query and the
+    /// advice trail (one entry per stage interaction — Theorem 3.1
+    /// guarantees termination; the iteration cap is defensive).
+    pub fn fix_fully(&self, q_star: &Query, q: &Query) -> QrResult<(Query, Vec<Advice>)> {
+        let mut current = q.clone();
+        let mut trail = Vec::new();
+        for _ in 0..16 {
+            let advice = self.advise(q_star, &current)?;
+            if advice.is_equivalent() {
+                trail.push(advice);
+                return Ok((current, trail));
+            }
+            let Some(fixed) = advice.fixed.clone() else {
+                return Err(QrHintError::Internal(format!(
+                    "stage {} produced no applicable fix",
+                    advice.stage
+                )));
+            };
+            trail.push(advice);
+            current = fixed;
+        }
+        Err(QrHintError::Internal(
+            "pipeline did not converge within 16 stage applications".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlast::SqlType;
+
+    fn beers_schema() -> Schema {
+        Schema::new()
+            .with_table(
+                "Likes",
+                &[("drinker", SqlType::Str), ("beer", SqlType::Str)],
+                &["drinker", "beer"],
+            )
+            .with_table(
+                "Frequents",
+                &[("drinker", SqlType::Str), ("bar", SqlType::Str)],
+                &["drinker", "bar"],
+            )
+            .with_table(
+                "Serves",
+                &[("bar", SqlType::Str), ("beer", SqlType::Str), ("price", SqlType::Int)],
+                &["bar", "beer"],
+            )
+    }
+
+    const TARGET: &str = "SELECT L.beer, S1.bar, COUNT(*)
+        FROM Likes L, Frequents F, Serves S1, Serves S2
+        WHERE L.drinker = F.drinker AND F.bar = S1.bar
+          AND L.beer = S1.beer AND S1.beer = S2.beer
+          AND S1.price <= S2.price
+        GROUP BY F.drinker, L.beer, S1.bar
+        HAVING F.drinker = 'Amy'";
+
+    const WORKING: &str = "SELECT s2.beer, s2.bar, COUNT(*)
+        FROM Likes, Serves s1, Serves s2
+        WHERE drinker = 'Amy'
+          AND Likes.beer = s1.beer AND Likes.beer = s2.beer
+          AND s1.price > s2.price
+        GROUP BY s2.beer, s2.bar";
+
+    #[test]
+    fn paper_example2_first_hint_is_from() {
+        let qr = QrHint::new(beers_schema());
+        let advice = qr.advise_sql(TARGET, WORKING).unwrap();
+        assert_eq!(advice.stage, Stage::From);
+        assert_eq!(advice.hints.len(), 1);
+        let txt = advice.hints[0].to_string();
+        assert!(txt.contains("frequents"), "{txt}");
+    }
+
+    #[test]
+    fn equivalent_queries_are_done_immediately() {
+        let qr = QrHint::new(beers_schema());
+        let advice = qr
+            .advise_sql(
+                "SELECT l.beer FROM Likes l WHERE l.drinker = 'Amy'",
+                "SELECT likes.beer FROM Likes WHERE likes.drinker = 'Amy'",
+            )
+            .unwrap();
+        assert!(advice.is_equivalent());
+        // Syntactically different but semantically equal WHEREs:
+        let advice2 = qr
+            .advise_sql(
+                "SELECT s.bar FROM Serves s WHERE s.price >= 3 AND s.beer = 'IPA'",
+                "SELECT s.bar FROM Serves s WHERE s.beer = 'IPA' AND s.price > 2",
+            )
+            .unwrap();
+        assert!(advice2.is_equivalent());
+    }
+
+    #[test]
+    fn where_stage_hint_and_fix() {
+        let qr = QrHint::new(beers_schema());
+        let advice = qr
+            .advise_sql(
+                "SELECT s.bar FROM Serves s WHERE s.price >= 3",
+                "SELECT s.bar FROM Serves s WHERE s.price > 3",
+            )
+            .unwrap();
+        assert_eq!(advice.stage, Stage::Where);
+        let fixed = advice.fixed.unwrap();
+        let advice2 = qr
+            .advise(&qr.prepare("SELECT s.bar FROM Serves s WHERE s.price >= 3").unwrap(), &fixed)
+            .unwrap();
+        assert!(advice2.is_equivalent());
+    }
+
+    #[test]
+    fn structure_mismatch_hint() {
+        let qr = QrHint::new(beers_schema());
+        let advice = qr
+            .advise_sql(
+                "SELECT l.drinker, COUNT(*) FROM Likes l GROUP BY l.drinker",
+                "SELECT l.drinker, l.beer FROM Likes l",
+            )
+            .unwrap();
+        // FROM passes; WHERE passes (both TRUE); structure mismatch next.
+        assert_eq!(advice.stage, Stage::GroupBy);
+        assert!(matches!(advice.hints[0], Hint::Structure { needs_grouping: true }));
+    }
+
+    #[test]
+    fn full_paper_example_converges() {
+        let qr = QrHint::new(beers_schema());
+        let q_star = qr.prepare(TARGET).unwrap();
+        let q = qr.prepare(WORKING).unwrap();
+        let (final_q, trail) = qr.fix_fully(&q_star, &q).unwrap();
+        assert!(trail.last().unwrap().is_equivalent());
+        // The trail visits FROM first, then WHERE.
+        assert_eq!(trail[0].stage, Stage::From);
+        assert!(trail.iter().any(|a| a.stage == Stage::Where));
+        // And the final query is verified equivalent by the pipeline.
+        let final_advice = qr.advise(&q_star, &final_q).unwrap();
+        assert!(final_advice.is_equivalent());
+    }
+
+    #[test]
+    fn select_stage_distinct_mismatch() {
+        let qr = QrHint::new(beers_schema());
+        let advice = qr
+            .advise_sql(
+                "SELECT DISTINCT l.beer FROM Likes l",
+                "SELECT l.beer FROM Likes l",
+            )
+            .unwrap();
+        assert_eq!(advice.stage, Stage::Select);
+        assert!(advice
+            .hints
+            .iter()
+            .any(|h| matches!(h, Hint::DistinctMismatch { need_distinct: true })));
+        let fixed = advice.fixed.unwrap();
+        assert!(fixed.distinct);
+    }
+
+    #[test]
+    fn no_spurious_select_hint_via_where_equalities() {
+        // Example 2's closing remark: no suggestion to change s2.beer to
+        // likes.beer in SELECT.
+        let qr = QrHint::new(beers_schema());
+        let advice = qr
+            .advise_sql(
+                "SELECT l.beer FROM Likes l, Serves s WHERE l.beer = s.beer",
+                "SELECT s.beer FROM Likes l, Serves s WHERE l.beer = s.beer",
+            )
+            .unwrap();
+        assert!(advice.is_equivalent(), "{:?}", advice.hints);
+    }
+
+    #[test]
+    fn groupby_stage_hints() {
+        let qr = QrHint::new(beers_schema());
+        let advice = qr
+            .advise_sql(
+                "SELECT l.drinker, COUNT(*) FROM Likes l GROUP BY l.drinker",
+                "SELECT l.drinker, COUNT(*) FROM Likes l GROUP BY l.drinker, l.beer",
+            )
+            .unwrap();
+        assert_eq!(advice.stage, Stage::GroupBy);
+        assert!(matches!(advice.hints[0], Hint::GroupByRemove { .. }));
+        let (final_q, _) = qr
+            .fix_fully(
+                &qr.prepare("SELECT l.drinker, COUNT(*) FROM Likes l GROUP BY l.drinker")
+                    .unwrap(),
+                &qr.prepare(
+                    "SELECT l.drinker, COUNT(*) FROM Likes l GROUP BY l.drinker, l.beer",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(final_q.group_by.len(), 1);
+    }
+}

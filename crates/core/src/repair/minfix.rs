@@ -1,0 +1,359 @@
+//! `MinFix` (Algorithm 6) with its helpers `MapAtomPreds` (Algorithm 5)
+//! and `BuildTruthTable`: find a smallest predicate within a target bound
+//! `[l★, u★]`, optionally under a solver context.
+//!
+//! The Boolean-minimization back end is `qrhint-boolmin` (the ESPRESSO
+//! stand-in). Infeasible atom combinations (detected by the solver) and
+//! rows where the bound leaves slack become don't-cares, exactly as in
+//! §5.2's encoding.
+
+use crate::oracle::Oracle;
+use qrhint_boolmin::{minimize, Dnf, Out, TruthTable};
+use qrhint_smt::TriBool;
+use qrhint_sqlast::Pred;
+use std::collections::BTreeMap;
+
+/// Which normal form `min_fix` should produce. DNF is used under `∨`
+/// parents, CNF under `∧` parents, so `DistributeFixes` can split clauses
+/// across combined repair sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalForm {
+    Dnf,
+    Cnf,
+}
+
+/// Maximum number of semantically unique atoms MinFix will build a truth
+/// table over (2^N rows, each theory-checked).
+pub const MAX_MINFIX_ATOMS: usize = 12;
+
+/// The result of `MapAtomPreds`: a list of semantically unique atoms and
+/// a mapping from structural atoms to (index, polarity).
+#[derive(Debug, Clone, Default)]
+pub struct AtomMap {
+    /// Representative atoms, positive form.
+    pub atoms: Vec<Pred>,
+    /// atom (as written) → (index into `atoms`, polarity).
+    phi: BTreeMap<Pred, (usize, bool)>,
+}
+
+impl AtomMap {
+    /// Register every atomic predicate of `p`, deduplicating semantically
+    /// equivalent (or negation-equivalent) atoms via the oracle
+    /// (Algorithm 5).
+    pub fn absorb(&mut self, p: &Pred, oracle: &mut Oracle, ctx: &[&Pred]) {
+        for atom in p.atoms() {
+            if matches!(atom, Pred::True | Pred::False) {
+                continue;
+            }
+            if self.phi.contains_key(atom) {
+                continue;
+            }
+            let mut mapped = None;
+            for (i, rep) in self.atoms.iter().enumerate() {
+                if oracle.equiv_pred(atom, rep, ctx).is_true() {
+                    mapped = Some((i, true));
+                    break;
+                }
+                let neg = rep.negated_nnf();
+                if oracle.equiv_pred(atom, &neg, ctx).is_true() {
+                    mapped = Some((i, false));
+                    break;
+                }
+            }
+            let entry = mapped.unwrap_or_else(|| {
+                self.atoms.push(atom.clone());
+                (self.atoms.len() - 1, true)
+            });
+            self.phi.insert(atom.clone(), entry);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Evaluate `p` under a row of the truth table (bit i of `row` is the
+    /// value of atom i). Panics if `p` contains unregistered atoms.
+    pub fn eval(&self, p: &Pred, row: u32) -> bool {
+        match p {
+            Pred::True => true,
+            Pred::False => false,
+            Pred::And(cs) => cs.iter().all(|c| self.eval(c, row)),
+            Pred::Or(cs) => cs.iter().any(|c| self.eval(c, row)),
+            Pred::Not(c) => !self.eval(c, row),
+            atom => {
+                if let Some(&(i, pol)) = self.phi.get(atom) {
+                    let v = row & (1 << i) != 0;
+                    return if pol { v } else { !v };
+                }
+                // Negated forms of registered atoms appear when bounds are
+                // complemented (CNF mode, NOT nodes); invert the polarity.
+                let neg = atom.negated_nnf();
+                let (i, pol) = *self
+                    .phi
+                    .get(&neg)
+                    .unwrap_or_else(|| panic!("unregistered atom {atom} in AtomMap::eval"));
+                let v = row & (1 << i) != 0;
+                if pol {
+                    !v
+                } else {
+                    v
+                }
+            }
+        }
+    }
+
+    /// The conjunction of literals corresponding to a row.
+    pub fn row_conjunction(&self, row: u32) -> Pred {
+        Pred::and(
+            self.atoms
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    if row & (1 << i) != 0 {
+                        a.clone()
+                    } else {
+                        a.negated_nnf()
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Rebuild a `Dnf` over the atom list as a predicate.
+    pub fn dnf_to_pred(&self, dnf: &Dnf) -> Pred {
+        if dnf.is_false() {
+            return Pred::False;
+        }
+        if dnf.is_true() {
+            return Pred::True;
+        }
+        Pred::or(
+            dnf.terms
+                .iter()
+                .map(|cube| {
+                    Pred::and(
+                        cube.literals(dnf.nvars)
+                            .into_iter()
+                            .map(|(i, pos)| {
+                                if pos {
+                                    self.atoms[i].clone()
+                                } else {
+                                    self.atoms[i].negated_nnf()
+                                }
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Rebuild a `Dnf` of the *negated* function as a CNF predicate:
+    /// `f = ¬(Σ cubes)` = Π (negated cubes).
+    pub fn negated_dnf_to_cnf_pred(&self, dnf: &Dnf) -> Pred {
+        if dnf.is_false() {
+            return Pred::True;
+        }
+        if dnf.is_true() {
+            return Pred::False;
+        }
+        Pred::and(
+            dnf.terms
+                .iter()
+                .map(|cube| {
+                    Pred::or(
+                        cube.literals(dnf.nvars)
+                            .into_iter()
+                            .map(|(i, pos)| {
+                                if pos {
+                                    self.atoms[i].negated_nnf()
+                                } else {
+                                    self.atoms[i].clone()
+                                }
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Build the truth table for the target bound `[lower, upper]` over the
+/// atom map: infeasible rows and slack rows become don't-cares.
+pub fn build_truth_table(
+    map: &AtomMap,
+    oracle: &mut Oracle,
+    ctx: &[&Pred],
+    lower: &Pred,
+    upper: &Pred,
+) -> TruthTable {
+    TruthTable::from_fn(map.len(), |row| {
+        let conj = map.row_conjunction(row);
+        // Infeasible combination of atoms → don't-care. Only a definitive
+        // UNSAT may mark the row (paper's soundness discipline).
+        if oracle.sat_pred(&conj, ctx) == TriBool::False {
+            return Out::DontCare;
+        }
+        let lv = map.eval(lower, row);
+        let uv = map.eval(upper, row);
+        match (lv, uv) {
+            (true, true) => Out::One,
+            (false, false) => Out::Zero,
+            (false, true) => Out::DontCare,
+            // l ⇒ u precludes (true, false); be defensive if bounds were
+            // derived under Unknown answers.
+            (true, false) => Out::DontCare,
+        }
+    })
+}
+
+/// Find a smallest predicate within `[lower, upper]` under `ctx`, in the
+/// requested normal form. Falls back to `lower` when the bound involves
+/// too many unique atoms (a valid, if not minimal, fix — optimality
+/// degrades gracefully, correctness does not).
+pub fn min_fix(
+    oracle: &mut Oracle,
+    ctx: &[&Pred],
+    lower: &Pred,
+    upper: &Pred,
+    form: NormalForm,
+) -> Pred {
+    let mut map = AtomMap::default();
+    map.absorb(lower, oracle, ctx);
+    map.absorb(upper, oracle, ctx);
+    if map.len() > MAX_MINFIX_ATOMS {
+        return lower.clone();
+    }
+    match form {
+        NormalForm::Dnf => {
+            let table = build_truth_table(&map, oracle, ctx, lower, upper);
+            map.dnf_to_pred(&minimize(&table))
+        }
+        NormalForm::Cnf => {
+            // Minimize the complement within [¬upper, ¬lower], then negate.
+            let neg_l = upper.negated_nnf();
+            let neg_u = lower.negated_nnf();
+            let table = build_truth_table(&map, oracle, ctx, &neg_l, &neg_u);
+            map.negated_dnf_to_cnf_pred(&minimize(&table))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlparse::parse_pred;
+
+    fn oracle_for(preds: &[&Pred]) -> Oracle {
+        Oracle::for_preds(preds)
+    }
+
+    #[test]
+    fn atom_map_dedupes_semantic_equivalents() {
+        // a = b and a+1 = b+1 are the same atom; a >= b vs a < b are
+        // negations of each other.
+        let p = parse_pred("a = b AND a + 1 = b + 1 AND a >= b AND a < b").unwrap();
+        let mut o = oracle_for(&[&p]);
+        let mut map = AtomMap::default();
+        map.absorb(&p, &mut o, &[]);
+        assert_eq!(map.len(), 2, "atoms: {:?}", map.atoms);
+    }
+
+    #[test]
+    fn example14_truth_table_minimization() {
+        // Paper Example 14: l★ = (a≥b ∧ f=e) ∨ a=b ; u★ = a=b ∨ e=f ∨ a>b
+        // → minimal fix is a ≥ b.
+        let lower = parse_pred("(a >= b AND f = e) OR a = b").unwrap();
+        let upper = parse_pred("a = b OR e = f OR a > b").unwrap();
+        let mut o = oracle_for(&[&lower, &upper]);
+        let fix = min_fix(&mut o, &[], &lower, &upper, NormalForm::Dnf);
+        let expect = parse_pred("a >= b").unwrap();
+        assert!(
+            o.equiv_pred(&fix, &expect, &[]).is_true(),
+            "expected a >= b, got {fix}"
+        );
+        // And it is literally a single atom (optimal size).
+        assert!(fix.is_atomic(), "got {fix}");
+    }
+
+    #[test]
+    fn tight_bound_returns_the_bound() {
+        let p = parse_pred("a = 1 AND b = 2").unwrap();
+        let mut o = oracle_for(&[&p]);
+        let fix = min_fix(&mut o, &[], &p, &p, NormalForm::Dnf);
+        assert!(o.equiv_pred(&fix, &p, &[]).is_true(), "got {fix}");
+    }
+
+    #[test]
+    fn loose_bound_prefers_smaller() {
+        // [a1 ∧ a2 ∧ a3, (a1 ∧ a2) ∨ a3] admits just a3 (Example 13).
+        let lower = parse_pred("a = 1 AND b = 2 AND c = 3").unwrap();
+        let upper = parse_pred("(a = 1 AND b = 2) OR c = 3").unwrap();
+        let mut o = oracle_for(&[&lower, &upper]);
+        let fix = min_fix(&mut o, &[], &lower, &upper, NormalForm::Dnf);
+        let expect = parse_pred("c = 3").unwrap();
+        assert_eq!(fix, expect, "expected the single atom c = 3");
+    }
+
+    #[test]
+    fn full_slack_gives_constant() {
+        let mut o = oracle_for(&[]);
+        let fix = min_fix(&mut o, &[], &Pred::False, &Pred::True, NormalForm::Dnf);
+        assert_eq!(fix, Pred::False);
+        let fix_cnf = min_fix(&mut o, &[], &Pred::False, &Pred::True, NormalForm::Cnf);
+        assert_eq!(fix_cnf, Pred::True);
+    }
+
+    #[test]
+    fn cnf_mode_produces_equivalent_conjunction() {
+        let lower = parse_pred("a = 1 AND b = 2").unwrap();
+        let upper = lower.clone();
+        let mut o = oracle_for(&[&lower]);
+        let fix = min_fix(&mut o, &[], &lower, &upper, NormalForm::Cnf);
+        assert!(o.equiv_pred(&fix, &lower, &[]).is_true(), "got {fix}");
+        // CNF of a conjunction of atoms is the conjunction itself.
+        assert!(matches!(fix, Pred::And(_)), "got {fix}");
+    }
+
+    #[test]
+    fn context_don_t_cares_shrink_fixes() {
+        // Under ctx x > 10, the bound [x > 10 ∧ y = 1, y = 1] should
+        // minimize to just y = 1.
+        let ctx = parse_pred("x > 10").unwrap();
+        let lower = parse_pred("x > 10 AND y = 1").unwrap();
+        let upper = parse_pred("y = 1").unwrap();
+        let mut o = oracle_for(&[&ctx, &lower, &upper]);
+        let fix = min_fix(&mut o, &[&ctx], &lower, &upper, NormalForm::Dnf);
+        assert_eq!(fix, parse_pred("y = 1").unwrap(), "got {fix}");
+    }
+
+    #[test]
+    fn interdependent_atoms_become_dont_cares() {
+        // Atoms a=b and a>b cannot both hold: rows setting both true are
+        // infeasible, enabling e.g. [a>=b ∧ ¬(a=b), a>b ∨ a=b] → a>=b...
+        // Here we just check minimization semantics stay within bounds.
+        let lower = parse_pred("a > b").unwrap();
+        let upper = parse_pred("a >= b").unwrap();
+        let mut o = oracle_for(&[&lower, &upper]);
+        let fix = min_fix(&mut o, &[], &lower, &upper, NormalForm::Dnf);
+        assert!(o.implies_pred(&lower, &fix, &[]).is_true());
+        assert!(o.implies_pred(&fix, &upper, &[]).is_true());
+    }
+
+    #[test]
+    fn too_many_atoms_falls_back_to_lower() {
+        // 13 unique atoms exceeds MAX_MINFIX_ATOMS.
+        let parts: Vec<String> = (0..13).map(|i| format!("c{i} = {i}")).collect();
+        let sql = parts.join(" AND ");
+        let lower = parse_pred(&sql).unwrap();
+        let mut o = oracle_for(&[&lower]);
+        let fix = min_fix(&mut o, &[], &lower, &Pred::True, NormalForm::Dnf);
+        assert_eq!(fix, lower);
+    }
+}

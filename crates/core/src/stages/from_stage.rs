@@ -1,0 +1,200 @@
+//! The FROM stage (§4): viability check `V1` (table multiset equality),
+//! hints, and the simulated user fix.
+
+use crate::hint::Hint;
+use qrhint_sqlast::{Pred, Query, Scalar, TableRef};
+
+/// Outcome of the FROM-stage check.
+#[derive(Debug, Clone)]
+pub struct FromOutcome {
+    /// `Tables(Q) = Tables(Q★)` as multisets (V1).
+    pub viable: bool,
+    /// One hint per table whose reference counts differ.
+    pub hints: Vec<Hint>,
+}
+
+/// Check `V1` and produce per-table count hints (Lemma 4.1 / 4.2).
+pub fn check_from(q_star: &Query, q: &Query) -> FromOutcome {
+    let want = q_star.table_multiset();
+    let have = q.table_multiset();
+    let mut hints = Vec::new();
+    for (table, &w) in &want {
+        let h = have.get(table).copied().unwrap_or(0);
+        if h != w {
+            hints.push(Hint::FromTableCount { table: table.clone(), have: h, want: w });
+        }
+    }
+    for (table, &h) in &have {
+        if !want.contains_key(table) {
+            hints.push(Hint::FromTableCount { table: table.clone(), have: h, want: 0 });
+        }
+    }
+    FromOutcome { viable: hints.is_empty(), hints }
+}
+
+/// Simulate a user applying the FROM-stage fix: add missing table
+/// references (with fresh aliases) and drop extra ones, scrubbing
+/// references to dropped aliases from the other clauses (the "trivial
+/// edits" of footnote 4 — later stages repair them semantically).
+pub fn apply_from_fix(q: &Query, q_star: &Query) -> Query {
+    let want = q_star.table_multiset();
+    let mut fixed = q.clone();
+    // Remove extra references (prefer later duplicates).
+    let mut removed_aliases: Vec<String> = Vec::new();
+    let mut counts = q.table_multiset();
+    for (table, have) in counts.clone() {
+        let target = want.get(&table).copied().unwrap_or(0);
+        let mut excess = have.saturating_sub(target);
+        while excess > 0 {
+            // Drop the last FROM entry for this table.
+            if let Some(pos) = fixed.from.iter().rposition(|t| t.table == table) {
+                removed_aliases.push(fixed.from[pos].alias.clone());
+                fixed.from.remove(pos);
+            }
+            excess -= 1;
+        }
+        counts.insert(table, target.min(have));
+    }
+    // Add missing references.
+    for (table, &target) in &want {
+        let have = fixed.from.iter().filter(|t| t.table == *table).count();
+        for i in have..target {
+            let alias = if i == 0 && !fixed.from.iter().any(|t| t.alias == *table) {
+                table.clone()
+            } else {
+                let mut n = i + 1;
+                loop {
+                    let candidate = format!("{table}{n}");
+                    if !fixed.from.iter().any(|t| t.alias == candidate) {
+                        break candidate;
+                    }
+                    n += 1;
+                }
+            };
+            fixed.from.push(TableRef { table: table.clone(), alias });
+        }
+    }
+    // Scrub references to removed aliases (syntactic correctness only).
+    if !removed_aliases.is_empty() {
+        let touches = |e: &Scalar| -> bool {
+            let mut cols = Vec::new();
+            e.collect_columns(&mut cols);
+            cols.iter().any(|c| removed_aliases.contains(&c.table))
+        };
+        fixed.where_pred = scrub_pred(&fixed.where_pred, &touches);
+        if let Some(h) = &fixed.having {
+            fixed.having = Some(scrub_pred(h, &touches));
+        }
+        fixed.group_by.retain(|g| !touches(g));
+        fixed.select.retain(|s| !touches(&s.expr));
+        if fixed.select.is_empty() {
+            // Keep the query syntactically valid; SELECT stage will fix.
+            fixed.select.push(qrhint_sqlast::SelectItem::expr(Scalar::Int(1)));
+        }
+    }
+    fixed
+}
+
+/// Replace atoms touching removed aliases with TRUE (conservative
+/// syntactic scrub).
+fn scrub_pred(p: &Pred, touches: &impl Fn(&Scalar) -> bool) -> Pred {
+    match p {
+        Pred::Cmp(l, _, r) => {
+            if touches(l) || touches(r) {
+                Pred::True
+            } else {
+                p.clone()
+            }
+        }
+        Pred::Like { expr, .. } => {
+            if touches(expr) {
+                Pred::True
+            } else {
+                p.clone()
+            }
+        }
+        Pred::And(cs) => Pred::and(cs.iter().map(|c| scrub_pred(c, touches)).collect()),
+        Pred::Or(cs) => Pred::or(cs.iter().map(|c| scrub_pred(c, touches)).collect()),
+        Pred::Not(c) => Pred::not(scrub_pred(c, touches)),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlparse::parse_query;
+
+    #[test]
+    fn example1_missing_frequents() {
+        let q_star = parse_query(
+            "SELECT l.beer FROM Likes L, Frequents F, Serves S1, Serves S2",
+        )
+        .unwrap();
+        let q = parse_query("SELECT s2.beer FROM Likes, Serves s1, Serves s2").unwrap();
+        let out = check_from(&q_star, &q);
+        assert!(!out.viable);
+        assert_eq!(out.hints.len(), 1);
+        match &out.hints[0] {
+            Hint::FromTableCount { table, have, want } => {
+                assert_eq!(table, "frequents");
+                assert_eq!((*have, *want), (0, 1));
+            }
+            other => panic!("unexpected hint {other:?}"),
+        }
+        // Apply: now viable.
+        let fixed = apply_from_fix(&q, &q_star);
+        assert!(check_from(&q_star, &fixed).viable);
+        assert_eq!(fixed.from.len(), 4);
+        assert!(fixed.from.iter().any(|t| t.table == "frequents"));
+    }
+
+    #[test]
+    fn extra_table_detected_and_removed() {
+        let q_star = parse_query("SELECT l.beer FROM Likes l").unwrap();
+        let q = parse_query(
+            "SELECT l.beer FROM Likes l, Serves s WHERE l.beer = s.beer",
+        )
+        .unwrap();
+        let out = check_from(&q_star, &q);
+        assert!(!out.viable);
+        assert!(matches!(
+            &out.hints[0],
+            Hint::FromTableCount { want: 0, .. }
+        ));
+        let fixed = apply_from_fix(&q, &q_star);
+        assert!(check_from(&q_star, &fixed).viable);
+        // The join condition referencing the dropped alias was scrubbed.
+        assert_eq!(fixed.where_pred, Pred::True);
+    }
+
+    #[test]
+    fn self_join_count_mismatch() {
+        let q_star = parse_query("SELECT s1.bar FROM Serves s1, Serves s2").unwrap();
+        let q = parse_query("SELECT s1.bar FROM Serves s1").unwrap();
+        let out = check_from(&q_star, &q);
+        assert!(!out.viable);
+        let fixed = apply_from_fix(&q, &q_star);
+        assert!(check_from(&q_star, &fixed).viable);
+        // Fresh alias does not collide.
+        let aliases: Vec<&str> = fixed.from.iter().map(|t| t.alias.as_str()).collect();
+        assert_eq!(aliases.len(), 2);
+        assert_ne!(aliases[0], aliases[1]);
+    }
+
+    #[test]
+    fn viable_when_equal() {
+        let q_star =
+            parse_query("SELECT a.x FROM R a, S b WHERE a.x = b.y").unwrap();
+        let q = parse_query("SELECT r.x FROM S, R WHERE r.x = s.y").unwrap();
+        assert!(check_from(&q_star, &q).viable);
+    }
+
+    #[test]
+    fn scrub_keeps_select_nonempty() {
+        let q_star = parse_query("SELECT r.x FROM R r").unwrap();
+        let q = parse_query("SELECT s.y FROM R r, S s").unwrap();
+        let fixed = apply_from_fix(&q, &q_star);
+        assert!(!fixed.select.is_empty());
+    }
+}

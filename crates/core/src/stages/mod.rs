@@ -1,0 +1,13 @@
+//! The five hinting stages (§4–§8).
+
+pub mod from_stage;
+pub mod groupby_stage;
+pub mod having_stage;
+pub mod select_stage;
+pub mod where_stage;
+
+pub use from_stage::{apply_from_fix, check_from, FromOutcome};
+pub use groupby_stage::{fix_grouping, grouped_columns, GroupByOutcome};
+pub use having_stage::{check_having, HavingOutcome};
+pub use select_stage::{fix_select, SelectOutcome};
+pub use where_stage::{check_where, WhereOutcome};

@@ -1,0 +1,163 @@
+//! In-memory databases: tables are bags (Vec) of rows.
+
+use qrhint_sqlast::{Schema, SqlType};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A runtime value. All columns are NOT NULL, so there is no null variant
+/// (paper §3, Limitations).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    Int(i64),
+    Str(String),
+}
+
+impl Value {
+    pub fn ty(&self) -> SqlType {
+        match self {
+            Value::Int(_) => SqlType::Int,
+            Value::Str(_) => SqlType::Str,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Str(_) => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A row: values in column declaration order.
+pub type Row = Vec<Value>;
+
+/// A table: a bag of rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    pub fn new(rows: Vec<Row>) -> Self {
+        Table { rows }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A database instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Insert/replace a table's contents.
+    pub fn set_table(&mut self, name: &str, table: Table) {
+        self.tables.insert(qrhint_sqlast::ident(name), table);
+    }
+
+    /// Builder-style row loading; panics if a row's arity or types mismatch
+    /// the schema (tests construct these by hand, so fail fast).
+    pub fn with_rows(mut self, schema: &Schema, name: &str, rows: Vec<Row>) -> Self {
+        let ts = schema.table(name).unwrap_or_else(|| panic!("unknown table {name}"));
+        for row in &rows {
+            assert_eq!(row.len(), ts.columns.len(), "arity mismatch loading {name}");
+            for (v, c) in row.iter().zip(&ts.columns) {
+                assert_eq!(v.ty(), c.ty, "type mismatch in {name}.{}", c.name);
+            }
+        }
+        self.set_table(name, Table::new(rows));
+        self
+    }
+
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&qrhint_sqlast::ident(name))
+    }
+
+    /// Empty table singleton used for tables with no loaded rows.
+    pub fn table_or_empty(&self, name: &str) -> Table {
+        self.table(name).cloned().unwrap_or_default()
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = (&String, &Table)> {
+        self.tables.iter()
+    }
+
+    /// Total row count across tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new().with_table("R", &[("a", SqlType::Int), ("b", SqlType::Str)], &["a"])
+    }
+
+    #[test]
+    fn load_and_read() {
+        let db = Database::new().with_rows(
+            &schema(),
+            "R",
+            vec![vec![Value::Int(1), Value::Str("x".into())]],
+        );
+        assert_eq!(db.table("r").unwrap().len(), 1);
+        assert_eq!(db.total_rows(), 1);
+        assert!(db.table("missing").is_none());
+        assert!(db.table_or_empty("missing").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let _ = Database::new().with_rows(&schema(), "R", vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn types_checked() {
+        let _ = Database::new().with_rows(
+            &schema(),
+            "R",
+            vec![vec![Value::Str("no".into()), Value::Str("x".into())]],
+        );
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_str(), None);
+        assert_eq!(Value::Str("s".into()).as_str(), Some("s"));
+        assert_eq!(Value::Str("s".into()).ty(), SqlType::Str);
+    }
+}

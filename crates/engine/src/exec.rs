@@ -1,0 +1,724 @@
+//! Bag-semantics execution of single-block SPJ/SPJA queries.
+//!
+//! Semantics follow §3 of the paper: `F(Q)` is the cross product of the
+//! FROM tables, `FW(Q)` filters it by WHERE, `FWG(Q)` partitions by the
+//! GROUP BY expressions, `FWGH(Q)` filters groups by HAVING, and SELECT
+//! projects. Aggregates: `COUNT/SUM/MIN/MAX` are standard;
+//! `AVG` is defined as the **floor** of the rational average (documented
+//! deviation from SQL's implementation-defined numeric behaviour, chosen
+//! so that `MIN ≤ AVG ≤ MAX` holds exactly — the property the solver's
+//! aggregate context relies on).
+
+use crate::db::{Database, Row, Value};
+use qrhint_sqlast::{
+    AggArg, AggCall, AggFunc, ArithOp, CmpOp, ColRef, Pred, Query, Scalar, Schema,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    DivisionByZero,
+    TypeConfusion(String),
+    UnknownColumn(String),
+    UnknownTable(String),
+    /// Aggregate used outside an SPJA context (or nested aggregates).
+    BadAggregate(String),
+    /// Cross product exceeded the row budget.
+    ResourceLimit,
+    /// Arithmetic overflow.
+    Overflow,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DivisionByZero => write!(f, "division by zero"),
+            EngineError::TypeConfusion(d) => write!(f, "type confusion: {d}"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            EngineError::BadAggregate(d) => write!(f, "bad aggregate: {d}"),
+            EngineError::ResourceLimit => write!(f, "cross product exceeds row budget"),
+            EngineError::Overflow => write!(f, "arithmetic overflow"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+type ExecResult<T> = Result<T, EngineError>;
+
+/// Maximum number of intermediate cross-product rows.
+const MAX_CROSS_ROWS: usize = 4_000_000;
+
+/// Column addressing for the combined (concatenated) row layout.
+struct Layout {
+    /// (alias, column) → global slot index.
+    slots: BTreeMap<(String, String), usize>,
+}
+
+impl Layout {
+    fn build(query: &Query, schema: &Schema) -> ExecResult<Layout> {
+        let mut slots = BTreeMap::new();
+        let mut offset = 0usize;
+        for tref in &query.from {
+            let ts = schema
+                .table(&tref.table)
+                .ok_or_else(|| EngineError::UnknownTable(tref.table.clone()))?;
+            for (i, col) in ts.columns.iter().enumerate() {
+                slots.insert((tref.alias.clone(), col.name.clone()), offset + i);
+            }
+            offset += ts.columns.len();
+        }
+        Ok(Layout { slots })
+    }
+
+    fn slot(&self, c: &ColRef) -> ExecResult<usize> {
+        self.slots
+            .get(&(c.table.clone(), c.column.clone()))
+            .copied()
+            .ok_or_else(|| EngineError::UnknownColumn(c.to_string()))
+    }
+}
+
+/// SQL LIKE matching (`%` any sequence, `_` one character).
+pub(crate) fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut star_si) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = pi;
+            star_si = si;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_si += 1;
+            si = star_si;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Evaluate a scalar on one combined row (no aggregates allowed).
+fn eval_scalar(e: &Scalar, row: &Row, layout: &Layout) -> ExecResult<Value> {
+    match e {
+        Scalar::Col(c) => Ok(row[layout.slot(c)?].clone()),
+        Scalar::Int(v) => Ok(Value::Int(*v)),
+        Scalar::Str(s) => Ok(Value::Str(s.clone())),
+        Scalar::Arith(l, op, r) => {
+            let (lv, rv) = (eval_scalar(l, row, layout)?, eval_scalar(r, row, layout)?);
+            arith(&lv, *op, &rv)
+        }
+        Scalar::Neg(inner) => {
+            let v = eval_scalar(inner, row, layout)?;
+            match v {
+                Value::Int(x) => x.checked_neg().map(Value::Int).ok_or(EngineError::Overflow),
+                Value::Str(_) => Err(EngineError::TypeConfusion("negating a string".into())),
+            }
+        }
+        Scalar::Agg(_) => Err(EngineError::BadAggregate(
+            "aggregate evaluated in row context".into(),
+        )),
+    }
+}
+
+fn arith(l: &Value, op: ArithOp, r: &Value) -> ExecResult<Value> {
+    let (Value::Int(a), Value::Int(b)) = (l, r) else {
+        return Err(EngineError::TypeConfusion(format!("arithmetic on {l} and {r}")));
+    };
+    let out = match op {
+        ArithOp::Add => a.checked_add(*b),
+        ArithOp::Sub => a.checked_sub(*b),
+        ArithOp::Mul => a.checked_mul(*b),
+        ArithOp::Div => {
+            if *b == 0 {
+                return Err(EngineError::DivisionByZero);
+            }
+            a.checked_div(*b)
+        }
+    };
+    out.map(Value::Int).ok_or(EngineError::Overflow)
+}
+
+/// Evaluate an aggregate call over the rows of a group.
+fn eval_agg(call: &AggCall, group: &[&Row], layout: &Layout) -> ExecResult<Value> {
+    // Materialize the input multiset.
+    let inputs: Vec<Value> = match &call.arg {
+        AggArg::Star => group.iter().map(|_| Value::Int(1)).collect(),
+        AggArg::Expr(e) => group
+            .iter()
+            .map(|r| eval_scalar(e, r, layout))
+            .collect::<ExecResult<_>>()?,
+    };
+    let inputs: Vec<Value> = if call.distinct {
+        let mut seen = std::collections::BTreeSet::new();
+        inputs.into_iter().filter(|v| seen.insert(v.clone())).collect()
+    } else {
+        inputs
+    };
+    match call.func {
+        AggFunc::Count => Ok(Value::Int(inputs.len() as i64)),
+        AggFunc::Sum | AggFunc::Avg => {
+            let mut total: i64 = 0;
+            for v in &inputs {
+                let Value::Int(x) = v else {
+                    return Err(EngineError::TypeConfusion("SUM/AVG over strings".into()));
+                };
+                total = total.checked_add(*x).ok_or(EngineError::Overflow)?;
+            }
+            if call.func == AggFunc::Sum {
+                Ok(Value::Int(total))
+            } else if inputs.is_empty() {
+                // Aggregates over empty groups only occur for the implicit
+                // single group of a GROUP-BY-less aggregate query; SQL
+                // would yield NULL, which the fragment excludes — define 0.
+                Ok(Value::Int(0))
+            } else {
+                Ok(Value::Int(total.div_euclid(inputs.len() as i64)))
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            if inputs.is_empty() {
+                return Ok(Value::Int(0));
+            }
+            let mut best = inputs[0].clone();
+            for v in &inputs[1..] {
+                let better = if call.func == AggFunc::Min { v < &best } else { v > &best };
+                if better {
+                    best = v.clone();
+                }
+            }
+            Ok(best)
+        }
+    }
+}
+
+/// Evaluate a scalar in a group context: aggregates use the whole group,
+/// other subexpressions are evaluated on the group's representative row.
+fn eval_scalar_grouped(e: &Scalar, group: &[&Row], layout: &Layout) -> ExecResult<Value> {
+    match e {
+        Scalar::Agg(call) => eval_agg(call, group, layout),
+        Scalar::Arith(l, op, r) => {
+            let (lv, rv) = (
+                eval_scalar_grouped(l, group, layout)?,
+                eval_scalar_grouped(r, group, layout)?,
+            );
+            arith(&lv, *op, &rv)
+        }
+        Scalar::Neg(inner) => {
+            match eval_scalar_grouped(inner, group, layout)? {
+                Value::Int(x) => x.checked_neg().map(Value::Int).ok_or(EngineError::Overflow),
+                Value::Str(_) => Err(EngineError::TypeConfusion("negating a string".into())),
+            }
+        }
+        other => {
+            if group.is_empty() {
+                // Empty implicit group: only aggregates are meaningful.
+                return Err(EngineError::BadAggregate(
+                    "non-aggregate expression over empty group".into(),
+                ));
+            }
+            eval_scalar(other, group[0], layout)
+        }
+    }
+}
+
+/// Evaluate a predicate on one row.
+fn eval_pred(p: &Pred, row: &Row, layout: &Layout) -> ExecResult<bool> {
+    match p {
+        Pred::True => Ok(true),
+        Pred::False => Ok(false),
+        Pred::Cmp(l, op, r) => {
+            let (lv, rv) = (eval_scalar(l, row, layout)?, eval_scalar(r, row, layout)?);
+            cmp_values(&lv, *op, &rv)
+        }
+        Pred::Like { expr, pattern, negated } => {
+            let v = eval_scalar(expr, row, layout)?;
+            let Value::Str(s) = v else {
+                return Err(EngineError::TypeConfusion("LIKE on a non-string".into()));
+            };
+            let m = like_match(&s, pattern);
+            Ok(if *negated { !m } else { m })
+        }
+        Pred::And(cs) => {
+            for c in cs {
+                if !eval_pred(c, row, layout)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Pred::Or(cs) => {
+            for c in cs {
+                if eval_pred(c, row, layout)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Pred::Not(c) => Ok(!eval_pred(c, row, layout)?),
+    }
+}
+
+/// Evaluate a predicate in group context (HAVING).
+fn eval_pred_grouped(p: &Pred, group: &[&Row], layout: &Layout) -> ExecResult<bool> {
+    match p {
+        Pred::True => Ok(true),
+        Pred::False => Ok(false),
+        Pred::Cmp(l, op, r) => {
+            let (lv, rv) = (
+                eval_scalar_grouped(l, group, layout)?,
+                eval_scalar_grouped(r, group, layout)?,
+            );
+            cmp_values(&lv, *op, &rv)
+        }
+        Pred::Like { expr, pattern, negated } => {
+            let v = eval_scalar_grouped(expr, group, layout)?;
+            let Value::Str(s) = v else {
+                return Err(EngineError::TypeConfusion("LIKE on a non-string".into()));
+            };
+            let m = like_match(&s, pattern);
+            Ok(if *negated { !m } else { m })
+        }
+        Pred::And(cs) => {
+            for c in cs {
+                if !eval_pred_grouped(c, group, layout)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Pred::Or(cs) => {
+            for c in cs {
+                if eval_pred_grouped(c, group, layout)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Pred::Not(c) => Ok(!eval_pred_grouped(c, group, layout)?),
+    }
+}
+
+fn cmp_values(l: &Value, op: CmpOp, r: &Value) -> ExecResult<bool> {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(op.eval(a, b)),
+        (Value::Str(a), Value::Str(b)) => Ok(op.eval(a, b)),
+        _ => Err(EngineError::TypeConfusion(format!("comparing {l} with {r}"))),
+    }
+}
+
+/// Materialize `FW(Q)`: the filtered cross product, as combined rows.
+fn fw_rows(query: &Query, schema: &Schema, db: &Database) -> ExecResult<(Vec<Row>, Layout)> {
+    let layout = Layout::build(query, schema)?;
+    let tables: Vec<Vec<Row>> = query
+        .from
+        .iter()
+        .map(|t| Ok(db.table_or_empty(&t.table).rows))
+        .collect::<ExecResult<_>>()?;
+    // Estimate size.
+    let mut est: usize = 1;
+    for t in &tables {
+        est = est.saturating_mul(t.len().max(1));
+    }
+    if est > MAX_CROSS_ROWS {
+        return Err(EngineError::ResourceLimit);
+    }
+    let mut out: Vec<Row> = Vec::new();
+    let mut stack: Vec<usize> = vec![0; tables.len()];
+    if tables.iter().any(|t| t.is_empty()) {
+        return Ok((out, layout));
+    }
+    loop {
+        // Build combined row for the current index vector.
+        let mut row: Row = Vec::new();
+        for (ti, &ri) in stack.iter().enumerate() {
+            row.extend(tables[ti][ri].iter().cloned());
+        }
+        if eval_pred(&query.where_pred, &row, &layout)? {
+            out.push(row);
+        }
+        // Advance odometer.
+        let mut k = tables.len();
+        loop {
+            if k == 0 {
+                return Ok((out, layout));
+            }
+            k -= 1;
+            stack[k] += 1;
+            if stack[k] < tables[k].len() {
+                break;
+            }
+            stack[k] = 0;
+        }
+    }
+}
+
+/// Group FW rows by the GROUP BY expressions; returns groups as index
+/// lists in first-appearance order.
+fn group_rows(
+    query: &Query,
+    rows: &[Row],
+    layout: &Layout,
+) -> ExecResult<Vec<Vec<usize>>> {
+    if query.group_by.is_empty() {
+        // Implicit single group (possibly empty) for aggregate queries.
+        return Ok(vec![(0..rows.len()).collect()]);
+    }
+    let mut keys: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let key: Vec<Value> = query
+            .group_by
+            .iter()
+            .map(|g| eval_scalar(g, row, layout))
+            .collect::<ExecResult<_>>()?;
+        if !keys.contains_key(&key) {
+            order.push(key.clone());
+        }
+        keys.entry(key).or_default().push(i);
+    }
+    Ok(order.into_iter().map(|k| keys.remove(&k).unwrap()).collect())
+}
+
+/// Execute a resolved query, returning the output bag.
+pub fn execute(query: &Query, schema: &Schema, db: &Database) -> ExecResult<Vec<Row>> {
+    let (rows, layout) = fw_rows(query, schema, db)?;
+    let mut out: Vec<Row> = Vec::new();
+    if query.is_spja() && (query.select.iter().any(|s| s.expr.has_aggregate())
+        || !query.group_by.is_empty()
+        || query.having.is_some())
+    {
+        let groups = group_rows(query, &rows, &layout)?;
+        for g in groups {
+            let members: Vec<&Row> = g.iter().map(|&i| &rows[i]).collect();
+            if members.is_empty() && !query.group_by.is_empty() {
+                continue;
+            }
+            if let Some(h) = &query.having {
+                if !eval_pred_grouped(h, &members, &layout)? {
+                    continue;
+                }
+            }
+            let row: Row = query
+                .select
+                .iter()
+                .map(|s| eval_scalar_grouped(&s.expr, &members, &layout))
+                .collect::<ExecResult<_>>()?;
+            out.push(row);
+        }
+    } else {
+        for row in &rows {
+            let o: Row = query
+                .select
+                .iter()
+                .map(|s| eval_scalar(&s.expr, row, &layout))
+                .collect::<ExecResult<_>>()?;
+            out.push(o);
+        }
+    }
+    if query.distinct {
+        let mut seen = std::collections::BTreeSet::new();
+        out.retain(|r| seen.insert(r.clone()));
+    }
+    Ok(out)
+}
+
+/// Execute `FWG(Q)`: the partitioning of FW rows produced by GROUP BY,
+/// as a canonicalized set of bags (each group sorted, groups sorted).
+/// Used to check the grouping-equivalence property of §6.
+pub fn execute_partition(
+    query: &Query,
+    schema: &Schema,
+    db: &Database,
+) -> ExecResult<Vec<Vec<Row>>> {
+    let (rows, layout) = fw_rows(query, schema, db)?;
+    let groups = group_rows(query, &rows, &layout)?;
+    let mut out: Vec<Vec<Row>> = groups
+        .into_iter()
+        .map(|g| {
+            let mut rs: Vec<Row> = g.into_iter().map(|i| rows[i].clone()).collect();
+            rs.sort();
+            rs
+        })
+        .filter(|g| !g.is_empty())
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// Multiset equality of result bags.
+pub fn bag_equal(a: &[Row], b: &[Row]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    a.sort();
+    b.sort();
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlast::resolve::resolve_query;
+    use qrhint_sqlast::{Schema, SqlType};
+    use qrhint_sqlparse::parse_query;
+
+    fn beers_schema() -> Schema {
+        Schema::new()
+            .with_table(
+                "Likes",
+                &[("drinker", SqlType::Str), ("beer", SqlType::Str)],
+                &["drinker", "beer"],
+            )
+            .with_table(
+                "Frequents",
+                &[("drinker", SqlType::Str), ("bar", SqlType::Str)],
+                &["drinker", "bar"],
+            )
+            .with_table(
+                "Serves",
+                &[("bar", SqlType::Str), ("beer", SqlType::Str), ("price", SqlType::Int)],
+                &["bar", "beer"],
+            )
+    }
+
+    fn s(v: &str) -> Value {
+        Value::Str(v.into())
+    }
+    fn i(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    fn beers_db(schema: &Schema) -> Database {
+        Database::new()
+            .with_rows(
+                schema,
+                "Likes",
+                vec![
+                    vec![s("Amy"), s("IPA")],
+                    vec![s("Amy"), s("Stout")],
+                    vec![s("Bob"), s("IPA")],
+                ],
+            )
+            .with_rows(
+                schema,
+                "Frequents",
+                vec![vec![s("Amy"), s("Joyce")], vec![s("Bob"), s("Joyce")]],
+            )
+            .with_rows(
+                schema,
+                "Serves",
+                vec![
+                    vec![s("Joyce"), s("IPA"), i(5)],
+                    vec![s("Joyce"), s("Stout"), i(7)],
+                    vec![s("Dive"), s("IPA"), i(3)],
+                ],
+            )
+    }
+
+    fn run(sql: &str, schema: &Schema, db: &Database) -> Vec<Row> {
+        let q = parse_query(sql).unwrap();
+        let q = resolve_query(schema, &q).unwrap();
+        execute(&q, schema, db).unwrap()
+    }
+
+    #[test]
+    fn simple_filter_and_project() {
+        let schema = beers_schema();
+        let db = beers_db(&schema);
+        let rows = run(
+            "SELECT sv.beer FROM Serves sv WHERE sv.price > 4",
+            &schema,
+            &db,
+        );
+        assert!(bag_equal(&rows, &[vec![s("IPA")], vec![s("Stout")]]));
+    }
+
+    #[test]
+    fn join_is_bag_cross_product() {
+        let schema = beers_schema();
+        let db = beers_db(&schema);
+        let rows = run(
+            "SELECT l.drinker FROM Likes l, Serves sv WHERE l.beer = sv.beer",
+            &schema,
+            &db,
+        );
+        // Amy-IPA matches 2 Serves rows, Amy-Stout 1, Bob-IPA 2 → 5 rows.
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn group_by_count() {
+        let schema = beers_schema();
+        let db = beers_db(&schema);
+        let rows = run(
+            "SELECT l.drinker, COUNT(l.beer) FROM Likes l GROUP BY l.drinker",
+            &schema,
+            &db,
+        );
+        assert!(bag_equal(&rows, &[vec![s("Amy"), i(2)], vec![s("Bob"), i(1)]]));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let schema = beers_schema();
+        let db = beers_db(&schema);
+        let rows = run(
+            "SELECT l.drinker FROM Likes l GROUP BY l.drinker HAVING COUNT(l.beer) >= 2",
+            &schema,
+            &db,
+        );
+        assert!(bag_equal(&rows, &[vec![s("Amy")]]));
+    }
+
+    #[test]
+    fn aggregate_without_group_by_over_empty_input() {
+        let schema = beers_schema();
+        let db = Database::new(); // all tables empty
+        let rows = run("SELECT COUNT(l.beer) FROM Likes l", &schema, &db);
+        assert_eq!(rows, vec![vec![i(0)]]);
+        // But a grouped query over empty input yields no rows.
+        let rows2 = run(
+            "SELECT l.drinker, COUNT(l.beer) FROM Likes l GROUP BY l.drinker",
+            &schema,
+            &db,
+        );
+        assert!(rows2.is_empty());
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let schema = beers_schema();
+        let db = beers_db(&schema);
+        let rows = run("SELECT DISTINCT l.beer FROM Likes l", &schema, &db);
+        assert!(bag_equal(&rows, &[vec![s("IPA")], vec![s("Stout")]]));
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let schema = beers_schema();
+        let db = beers_db(&schema);
+        let rows = run(
+            "SELECT SUM(sv.price), AVG(sv.price), MIN(sv.price), MAX(sv.price) FROM Serves sv",
+            &schema,
+            &db,
+        );
+        assert_eq!(rows, vec![vec![i(15), i(5), i(3), i(7)]]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let schema = beers_schema();
+        let db = beers_db(&schema);
+        let rows = run("SELECT COUNT(DISTINCT l.beer) FROM Likes l", &schema, &db);
+        assert_eq!(rows, vec![vec![i(2)]]);
+    }
+
+    #[test]
+    fn paper_example1_rank_query() {
+        let schema = beers_schema();
+        let db = beers_db(&schema);
+        // The reference query of Example 1: rank of each Amy bar among
+        // bars serving each beer Amy likes.
+        let rows = run(
+            "SELECT L.beer, S1.bar, COUNT(*)
+             FROM Likes L, Frequents F, Serves S1, Serves S2
+             WHERE L.drinker = F.drinker AND F.bar = S1.bar
+               AND L.beer = S1.beer AND S1.beer = S2.beer
+               AND S1.price <= S2.price
+             GROUP BY F.drinker, L.beer, S1.bar
+             HAVING F.drinker = 'Amy'",
+            &schema,
+            &db,
+        );
+        // Joyce serves IPA at 5; bars serving IPA: Joyce(5), Dive(3) →
+        // Joyce rank 1 (count of bars with price >= 5 is 1).
+        // Joyce serves Stout at 7; only Joyce serves Stout → rank 1.
+        assert!(bag_equal(
+            &rows,
+            &[vec![s("IPA"), s("Joyce"), i(1)], vec![s("Stout"), s("Joyce"), i(1)]]
+        ));
+    }
+
+    #[test]
+    fn like_predicate() {
+        let schema = beers_schema();
+        let db = beers_db(&schema);
+        let rows = run(
+            "SELECT l.drinker FROM Likes l WHERE l.drinker LIKE 'A%'",
+            &schema,
+            &db,
+        );
+        assert_eq!(rows.len(), 2);
+        let rows2 = run(
+            "SELECT l.drinker FROM Likes l WHERE l.drinker NOT LIKE 'A%'",
+            &schema,
+            &db,
+        );
+        assert_eq!(rows2.len(), 1);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let schema = beers_schema();
+        let db = beers_db(&schema);
+        let q = parse_query("SELECT sv.price / 0 FROM Serves sv").unwrap();
+        let q = resolve_query(&schema, &q).unwrap();
+        assert_eq!(execute(&q, &schema, &db), Err(EngineError::DivisionByZero));
+    }
+
+    #[test]
+    fn partition_execution() {
+        let schema = beers_schema();
+        let db = beers_db(&schema);
+        let q = parse_query(
+            "SELECT COUNT(*) FROM Likes l GROUP BY l.drinker",
+        )
+        .unwrap();
+        let q = resolve_query(&schema, &q).unwrap();
+        let parts = execute_partition(&q, &schema, &db).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts.iter().map(|g| g.len()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn bag_semantics_duplicates_preserved() {
+        let schema = beers_schema();
+        let db = beers_db(&schema);
+        // Projection without DISTINCT keeps duplicates.
+        let rows = run("SELECT l.beer FROM Likes l", &schema, &db);
+        assert_eq!(rows.len(), 3);
+        assert!(!bag_equal(&rows, &[vec![s("IPA")], vec![s("Stout")]]));
+    }
+
+    #[test]
+    fn empty_table_in_from_empties_result() {
+        let schema = beers_schema();
+        let db = Database::new().with_rows(
+            &schema,
+            "Likes",
+            vec![vec![s("Amy"), s("IPA")]],
+        );
+        // Frequents is empty → cross product empty.
+        let rows = run(
+            "SELECT l.drinker FROM Likes l, Frequents f",
+            &schema,
+            &db,
+        );
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! # qrhint-engine
+//!
+//! A bag-semantics, in-memory relational executor for the Qr-Hint SQL
+//! fragment, plus randomized database generation.
+//!
+//! The paper's correctness notions are all defined in terms of query
+//! results over arbitrary database instances (`F(Q) ≡ F(Q★)`,
+//! `FW(Q) ≡ FW(Q★)`, grouping partitions, final bag equality). This crate
+//! provides the executable ground truth: every repair the core produces is
+//! differentially tested against the reference query on randomized
+//! instances.
+//!
+//! ```
+//! use qrhint_engine::{Database, DataGen};
+//! use qrhint_sqlast::{Schema, SqlType};
+//! use qrhint_sqlparse::parse_query;
+//!
+//! let schema = Schema::new()
+//!     .with_table("Serves", &[("bar", SqlType::Str), ("beer", SqlType::Str),
+//!                             ("price", SqlType::Int)], &["bar", "beer"]);
+//! let q = parse_query("SELECT s.bar FROM Serves s WHERE s.price > 3").unwrap();
+//! let q = qrhint_sqlast::resolve::resolve_query(&schema, &q).unwrap();
+//! let db = DataGen::new(42).generate(&schema, &[&q]);
+//! let rows = qrhint_engine::execute(&q, &schema, &db).unwrap();
+//! let _ = rows;
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod datagen;
+pub mod db;
+pub mod exec;
+
+pub use datagen::DataGen;
+pub use db::{Database, Row, Table, Value};
+pub use exec::{bag_equal, execute, execute_partition, EngineError};
+
+use qrhint_sqlast::{Query, Schema};
+
+/// Differentially test two queries on `n` random databases seeded from
+/// `seed`; returns `Ok(true)` if the result bags agree on every instance,
+/// `Ok(false)` with the first differing instance index otherwise.
+pub fn differential_equiv(
+    q1: &Query,
+    q2: &Query,
+    schema: &Schema,
+    seed: u64,
+    n: usize,
+) -> Result<bool, EngineError> {
+    for i in 0..n {
+        let db = DataGen::new(seed.wrapping_add(i as u64)).generate(schema, &[q1, q2]);
+        let r1 = execute(q1, schema, &db)?;
+        let r2 = execute(q2, schema, &db)?;
+        if !bag_equal(&r1, &r2) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}

@@ -1,0 +1,122 @@
+//! Property tests for the executor: classical relational invariants over
+//! randomized queries and databases.
+
+use proptest::prelude::*;
+use qrhint_engine::{bag_equal, execute, DataGen, Database};
+use qrhint_sqlast::resolve::resolve_query;
+use qrhint_sqlast::{Query, Schema, SqlType};
+use qrhint_sqlparse::parse_query;
+
+fn schema() -> Schema {
+    Schema::new()
+        .with_table("R", &[("a", SqlType::Int), ("b", SqlType::Int), ("s", SqlType::Str)], &[])
+        .with_table("S", &[("c", SqlType::Int), ("d", SqlType::Str)], &[])
+}
+
+fn db(seed: u64, q: &Query) -> Database {
+    DataGen::new(seed).with_rows(5).generate(&schema(), &[q])
+}
+
+fn prepare(sql: &str) -> Query {
+    resolve_query(&schema(), &parse_query(sql).unwrap()).unwrap()
+}
+
+fn arb_condition() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0i64..6).prop_map(|k| format!("r.a > {k}")),
+        (0i64..6).prop_map(|k| format!("r.b <= {k}")),
+        Just("r.a = s.c".to_string()),
+        Just("r.s = s.d".to_string()),
+        Just("r.a <> r.b".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Conjunction monotonicity: adding a conjunct never grows the result.
+    #[test]
+    fn where_conjunction_shrinks(c1 in arb_condition(), c2 in arb_condition(), seed in 0u64..50) {
+        let q_loose = prepare(&format!("SELECT r.a, r.b FROM R r, S s WHERE {c1}"));
+        let q_tight = prepare(&format!("SELECT r.a, r.b FROM R r, S s WHERE {c1} AND {c2}"));
+        let d = db(seed, &q_loose);
+        let loose = execute(&q_loose, &schema(), &d).unwrap();
+        let tight = execute(&q_tight, &schema(), &d).unwrap();
+        prop_assert!(tight.len() <= loose.len());
+    }
+
+    /// Commutativity: conjunct order never changes the bag.
+    #[test]
+    fn where_order_irrelevant(c1 in arb_condition(), c2 in arb_condition(), seed in 0u64..50) {
+        let q1 = prepare(&format!("SELECT r.a FROM R r, S s WHERE {c1} AND {c2}"));
+        let q2 = prepare(&format!("SELECT r.a FROM R r, S s WHERE {c2} AND {c1}"));
+        let d = db(seed, &q1);
+        prop_assert!(bag_equal(
+            &execute(&q1, &schema(), &d).unwrap(),
+            &execute(&q2, &schema(), &d).unwrap(),
+        ));
+    }
+
+    /// DISTINCT yields the support set of the bag.
+    #[test]
+    fn distinct_is_support(c in arb_condition(), seed in 0u64..50) {
+        let q = prepare(&format!("SELECT r.a FROM R r, S s WHERE {c}"));
+        let qd = prepare(&format!("SELECT DISTINCT r.a FROM R r, S s WHERE {c}"));
+        let d = db(seed, &q);
+        let bag = execute(&q, &schema(), &d).unwrap();
+        let set = execute(&qd, &schema(), &d).unwrap();
+        let mut expect: Vec<_> = bag.clone();
+        expect.sort();
+        expect.dedup();
+        prop_assert!(bag_equal(&set, &expect));
+        prop_assert!(set.len() <= bag.len());
+    }
+
+    /// GROUP BY partitions: COUNT(*) per group sums to the FW row count.
+    #[test]
+    fn group_counts_sum_to_total(c in arb_condition(), seed in 0u64..50) {
+        let grouped =
+            prepare(&format!("SELECT r.a, COUNT(*) FROM R r, S s WHERE {c} GROUP BY r.a"));
+        let flat = prepare(&format!("SELECT r.a FROM R r, S s WHERE {c}"));
+        let d = db(seed, &grouped);
+        let groups = execute(&grouped, &schema(), &d).unwrap();
+        let rows = execute(&flat, &schema(), &d).unwrap();
+        let total: i64 = groups
+            .iter()
+            .map(|g| g[1].as_int().expect("COUNT is an int"))
+            .sum();
+        prop_assert_eq!(total as usize, rows.len());
+        // And every group is non-empty.
+        prop_assert!(groups.iter().all(|g| g[1].as_int().unwrap() >= 1));
+    }
+
+    /// HAVING TRUE-equivalent thresholds keep all groups.
+    #[test]
+    fn having_count_ge_one_is_noop(seed in 0u64..50) {
+        let q1 = prepare("SELECT r.a, COUNT(*) FROM R r GROUP BY r.a");
+        let q2 = prepare("SELECT r.a, COUNT(*) FROM R r GROUP BY r.a HAVING COUNT(*) >= 1");
+        let d = db(seed, &q1);
+        prop_assert!(bag_equal(
+            &execute(&q1, &schema(), &d).unwrap(),
+            &execute(&q2, &schema(), &d).unwrap(),
+        ));
+    }
+
+    /// MIN ≤ AVG ≤ MAX per group (the axiom the solver's aggregate
+    /// context relies on — floor-AVG keeps it exact).
+    #[test]
+    fn min_avg_max_ordering(seed in 0u64..80) {
+        let q = prepare(
+            "SELECT r.a, MIN(r.b), AVG(r.b), MAX(r.b) FROM R r GROUP BY r.a",
+        );
+        let d = db(seed, &q);
+        for row in execute(&q, &schema(), &d).unwrap() {
+            let (mn, av, mx) = (
+                row[1].as_int().unwrap(),
+                row[2].as_int().unwrap(),
+                row[3].as_int().unwrap(),
+            );
+            prop_assert!(mn <= av && av <= mx, "violated: {mn} {av} {mx}");
+        }
+    }
+}

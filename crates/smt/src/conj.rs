@@ -1,0 +1,348 @@
+//! Conjunction checking: the theory layer of the DPLL(T)-lite solver.
+//!
+//! Given a conjunction of literals (atoms with polarities), dispatch to
+//! the string theory and the linear-integer theory, case-splitting integer
+//! disequalities, and assemble a combined model. `Sat` is only returned
+//! after the candidate model has been validated against the *original*
+//! literal semantics (including non-linear arithmetic that was abstracted
+//! during solving).
+
+use crate::formula::{Atom, Rel};
+use crate::lia::{self, LiaResult};
+use crate::model::{Model, Value};
+use crate::strings::{self, StrConstraint, StrOperand, StrResult};
+use crate::term::{linearize, LinExpr, OpaqueMap, Sort, Term, VarId, VarPool};
+use crate::SatResult;
+use std::collections::BTreeMap;
+
+/// A literal: an atom plus a polarity.
+pub type Lit = (Atom, bool);
+
+/// Maximum number of integer disequalities to case-split (2^k branches).
+const MAX_NE_SPLIT: usize = 10;
+
+/// Determine whether a term is string-sorted.
+fn is_str_term(t: &Term, pool: &VarPool) -> bool {
+    match t {
+        Term::Var(v) => pool.sort(*v) == Sort::Str,
+        Term::StrConst(_) => true,
+        _ => false,
+    }
+}
+
+fn as_str_operand(t: &Term, var_index: &mut BTreeMap<VarId, usize>) -> Option<StrOperand> {
+    match t {
+        Term::Var(v) => {
+            let next = var_index.len();
+            Some(StrOperand::Var(*var_index.entry(*v).or_insert(next)))
+        }
+        Term::StrConst(s) => Some(StrOperand::Const(s.clone())),
+        _ => None,
+    }
+}
+
+/// Check a conjunction of literals. Returns the verdict and, on `Sat`, a
+/// model validated against every input literal.
+pub fn check_conjunction(lits: &[Lit], pool: &mut VarPool) -> (SatResult, Option<Model>) {
+    let mut unknown = false;
+
+    // ---- Partition literals by theory ----
+    let mut str_constraints: Vec<StrConstraint> = Vec::new();
+    let mut str_var_index: BTreeMap<VarId, usize> = BTreeMap::new();
+    // Integer constraints, as LinExpr ≤ 0 / = 0 / ≠ 0.
+    let mut ineqs: Vec<LinExpr> = Vec::new();
+    let mut eqs: Vec<LinExpr> = Vec::new();
+    let mut nes: Vec<LinExpr> = Vec::new();
+    let mut opaque = OpaqueMap::new();
+
+    for (atom, polarity) in lits {
+        match atom {
+            Atom::Like(t, p) => {
+                if let Some(op) = as_str_operand(t, &mut str_var_index) {
+                    str_constraints.push(StrConstraint::Like {
+                        operand: op,
+                        pattern: p.clone(),
+                        positive: *polarity,
+                    });
+                } else {
+                    unknown = true;
+                }
+            }
+            Atom::Cmp(l, rel, r) => {
+                let rel = if *polarity { *rel } else { rel.negate() };
+                if is_str_term(l, pool) || is_str_term(r, pool) {
+                    let (Some(lo), Some(ro)) = (
+                        as_str_operand(l, &mut str_var_index),
+                        as_str_operand(r, &mut str_var_index),
+                    ) else {
+                        unknown = true;
+                        continue;
+                    };
+                    match rel {
+                        Rel::Eq => str_constraints.push(StrConstraint::Eq(lo, ro)),
+                        Rel::Ne => str_constraints.push(StrConstraint::Ne(lo, ro)),
+                        // Lexicographic order on string variables: decide
+                        // only the constant-constant case; otherwise
+                        // unknown (conservative).
+                        _ => match (&lo, &ro) {
+                            (StrOperand::Const(a), StrOperand::Const(b)) => {
+                                if !rel.eval(a, b) {
+                                    return (SatResult::Unsat, None);
+                                }
+                            }
+                            _ => unknown = true,
+                        },
+                    }
+                } else {
+                    let le = linearize(l, pool, &mut opaque);
+                    let re = linearize(r, pool, &mut opaque);
+                    let d = le.sub(&re); // l - r
+                    match rel {
+                        Rel::Eq => eqs.push(d),
+                        Rel::Ne => nes.push(d),
+                        Rel::Le => ineqs.push(d),
+                        Rel::Lt => ineqs.push(d.add(&LinExpr::constant(1))),
+                        Rel::Ge => ineqs.push(d.negate()),
+                        Rel::Gt => ineqs.push(d.negate().add(&LinExpr::constant(1))),
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- String theory ----
+    let num_str_vars = str_var_index.len();
+    let str_model = match strings::check(num_str_vars, &str_constraints) {
+        StrResult::Unsat => return (SatResult::Unsat, None),
+        StrResult::Unknown => {
+            unknown = true;
+            None
+        }
+        StrResult::Sat(m) => Some(m),
+    };
+
+    // ---- Integer theory with Ne case splits ----
+    if nes.len() > MAX_NE_SPLIT {
+        return (SatResult::Unknown, None);
+    }
+    let mut int_model: Option<BTreeMap<VarId, i128>> = None;
+    let mut all_branches_unsat = true;
+    let nbranches: u64 = 1u64 << nes.len();
+    for mask in 0..nbranches {
+        let mut branch = ineqs.clone();
+        for (i, ne) in nes.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                // d ≥ 1, i.e. -d + 1 ≤ 0
+                branch.push(ne.negate().add(&LinExpr::constant(1)));
+            } else {
+                // d ≤ -1, i.e. d + 1 ≤ 0
+                branch.push(ne.add(&LinExpr::constant(1)));
+            }
+        }
+        match lia::solve(&branch, &eqs) {
+            LiaResult::Sat(m) => {
+                int_model = Some(m);
+                all_branches_unsat = false;
+                break;
+            }
+            LiaResult::Unsat => {}
+            LiaResult::Unknown => {
+                all_branches_unsat = false;
+                unknown = true;
+            }
+        }
+    }
+    if all_branches_unsat && nbranches > 0 {
+        return (SatResult::Unsat, None);
+    }
+
+    // ---- Assemble and validate a candidate model ----
+    if unknown || int_model.is_none() || (num_str_vars > 0 && str_model.is_none()) {
+        return (SatResult::Unknown, None);
+    }
+    let mut model = Model::new();
+    if let Some(sm) = &str_model {
+        let rev: BTreeMap<usize, VarId> = str_var_index.iter().map(|(v, i)| (*i, *v)).collect();
+        for (idx, val) in sm {
+            model.set(rev[idx], Value::Str(val.clone()));
+        }
+    }
+    if let Some(im) = &int_model {
+        for (v, val) in im {
+            // Values outside i64 range would be a resource anomaly; clamp
+            // conservatively (validation below will reject if wrong).
+            let as64 = i64::try_from(*val).unwrap_or(if *val > 0 { i64::MAX } else { i64::MIN });
+            model.set(*v, Value::Int(as64));
+        }
+    }
+    // Validate against the original literal semantics.
+    for (atom, polarity) in lits {
+        match model.eval_atom(atom) {
+            Some(b) if b == *polarity => {}
+            _ => return (SatResult::Unknown, None),
+        }
+    }
+    (SatResult::Sat, Some(model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_var(pool: &mut VarPool, name: &str) -> Term {
+        Term::var(pool.fresh(name, Sort::Int))
+    }
+    fn str_var(pool: &mut VarPool, name: &str) -> Term {
+        Term::var(pool.fresh(name, Sort::Str))
+    }
+
+    #[test]
+    fn simple_int_conjunction() {
+        let mut p = VarPool::new();
+        let a = int_var(&mut p, "a");
+        let b = int_var(&mut p, "b");
+        // a > b ∧ b > a → unsat
+        let lits = vec![
+            (Atom::Cmp(a.clone(), Rel::Gt, b.clone()), true),
+            (Atom::Cmp(b.clone(), Rel::Gt, a.clone()), true),
+        ];
+        assert_eq!(check_conjunction(&lits, &mut p).0, SatResult::Unsat);
+        // a > b alone → sat
+        let lits2 = vec![(Atom::Cmp(a, Rel::Gt, b), true)];
+        let (r, m) = check_conjunction(&lits2, &mut p);
+        assert_eq!(r, SatResult::Sat);
+        assert!(m.is_some());
+    }
+
+    #[test]
+    fn negative_polarity() {
+        let mut p = VarPool::new();
+        let a = int_var(&mut p, "a");
+        // ¬(a ≤ 5) ∧ a < 3 → unsat
+        let lits = vec![
+            (Atom::Cmp(a.clone(), Rel::Le, Term::IntConst(5)), false),
+            (Atom::Cmp(a, Rel::Lt, Term::IntConst(3)), true),
+        ];
+        assert_eq!(check_conjunction(&lits, &mut p).0, SatResult::Unsat);
+    }
+
+    #[test]
+    fn disequality_case_split() {
+        let mut p = VarPool::new();
+        let a = int_var(&mut p, "a");
+        // a ≠ 5 ∧ a ≥ 5 ∧ a ≤ 5 → unsat (both split branches die)
+        let lits = vec![
+            (Atom::Cmp(a.clone(), Rel::Ne, Term::IntConst(5)), true),
+            (Atom::Cmp(a.clone(), Rel::Ge, Term::IntConst(5)), true),
+            (Atom::Cmp(a.clone(), Rel::Le, Term::IntConst(5)), true),
+        ];
+        assert_eq!(check_conjunction(&lits, &mut p).0, SatResult::Unsat);
+        // a ≠ 5 ∧ a ≥ 5 → sat with a ≥ 6
+        let lits2 = vec![
+            (Atom::Cmp(a.clone(), Rel::Ne, Term::IntConst(5)), true),
+            (Atom::Cmp(a, Rel::Ge, Term::IntConst(5)), true),
+        ];
+        let (r, m) = check_conjunction(&lits2, &mut p);
+        assert_eq!(r, SatResult::Sat);
+        let m = m.unwrap();
+        let first = m.iter().next().unwrap().1.clone();
+        match first {
+            Value::Int(v) => assert!(v >= 6),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transitivity_of_equality() {
+        let mut p = VarPool::new();
+        let a = int_var(&mut p, "a");
+        let b = int_var(&mut p, "b");
+        let c = int_var(&mut p, "c");
+        // a = b ∧ b = c ∧ a ≠ c → unsat (the Example-1 inference that
+        // Likes.beer = s1.beer ∧ Likes.beer = s2.beer ⟹ s1.beer = s2.beer).
+        let lits = vec![
+            (Atom::Cmp(a.clone(), Rel::Eq, b.clone()), true),
+            (Atom::Cmp(b, Rel::Eq, c.clone()), true),
+            (Atom::Cmp(a, Rel::Eq, c), false),
+        ];
+        assert_eq!(check_conjunction(&lits, &mut p).0, SatResult::Unsat);
+    }
+
+    #[test]
+    fn mixed_sorts() {
+        let mut p = VarPool::new();
+        let d = str_var(&mut p, "drinker");
+        let x = int_var(&mut p, "price");
+        let lits = vec![
+            (Atom::Cmp(d.clone(), Rel::Eq, Term::StrConst("Amy".into())), true),
+            (Atom::Cmp(x.clone(), Rel::Gt, Term::IntConst(3)), true),
+            (Atom::Like(d.clone(), "A%".into()), true),
+        ];
+        let (r, m) = check_conjunction(&lits, &mut p);
+        assert_eq!(r, SatResult::Sat);
+        let m = m.unwrap();
+        assert_eq!(m.eval_str(&d), Some("Amy".into()));
+        // Conflicting pattern:
+        let lits2 = vec![
+            (Atom::Cmp(d.clone(), Rel::Eq, Term::StrConst("Amy".into())), true),
+            (Atom::Like(d, "B%".into()), true),
+        ];
+        assert_eq!(check_conjunction(&lits2, &mut p).0, SatResult::Unsat);
+    }
+
+    #[test]
+    fn arithmetic_equivalence_of_atoms() {
+        let mut p = VarPool::new();
+        let a = int_var(&mut p, "a");
+        let b = int_var(&mut p, "b");
+        // a + 1 = b + 1 ∧ a ≠ b → unsat (normalization cancels the +1).
+        let lits = vec![
+            (
+                Atom::Cmp(
+                    Term::add(a.clone(), Term::IntConst(1)),
+                    Rel::Eq,
+                    Term::add(b.clone(), Term::IntConst(1)),
+                ),
+                true,
+            ),
+            (Atom::Cmp(a, Rel::Eq, b), false),
+        ];
+        assert_eq!(check_conjunction(&lits, &mut p).0, SatResult::Unsat);
+    }
+
+    #[test]
+    fn nonlinear_is_validated_not_trusted() {
+        let mut p = VarPool::new();
+        let a = int_var(&mut p, "a");
+        // a * a < 0 — the abstraction is rational-sat, but validation must
+        // reject any candidate model, so the result is Unknown or Unsat,
+        // never Sat.
+        let lits = vec![(
+            Atom::Cmp(Term::mul(a.clone(), a.clone()), Rel::Lt, Term::IntConst(0)),
+            true,
+        )];
+        let (r, _) = check_conjunction(&lits, &mut p);
+        assert_ne!(r, SatResult::Sat);
+        // a * a >= 0 with a = 3 should be genuinely sat (validated).
+        let lits2 = vec![
+            (Atom::Cmp(a.clone(), Rel::Eq, Term::IntConst(3)), true),
+            (Atom::Cmp(Term::mul(a.clone(), a), Rel::Ge, Term::IntConst(9)), true),
+        ];
+        let (r2, m2) = check_conjunction(&lits2, &mut p);
+        // The opaque var for a*a is unconstrained relative to a, so the
+        // candidate model may or may not validate; Sat and Unknown are both
+        // acceptable, Unsat is not.
+        assert_ne!(r2, SatResult::Unsat);
+        if r2 == SatResult::Sat {
+            assert!(m2.is_some());
+        }
+    }
+
+    #[test]
+    fn empty_conjunction_is_sat() {
+        let mut p = VarPool::new();
+        let (r, m) = check_conjunction(&[], &mut p);
+        assert_eq!(r, SatResult::Sat);
+        assert!(m.is_some());
+    }
+}

@@ -1,0 +1,244 @@
+//! SQL `LIKE` patterns (`%` = any sequence, `_` = any single character):
+//! matching, intersection witnesses and bounded enumeration.
+//!
+//! Patterns are compiled into small NFAs; intersections are explored over
+//! the product automaton with a reduced alphabet (the literal characters of
+//! the patterns plus one "fresh" character standing for everything else),
+//! which is sound and complete for glob languages.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Does `s` match SQL LIKE `pattern`? Classic two-pointer glob matching
+/// with `%` backtracking; `_` matches exactly one character.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut star_si) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = pi;
+            star_si = si;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_si += 1;
+            si = star_si;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// NFA state set for one glob pattern: set of positions in the pattern,
+/// with `%` positions closed under epsilon (skipping the `%`).
+fn eps_close(p: &[char], mut states: BTreeSet<usize>) -> BTreeSet<usize> {
+    loop {
+        let mut grew = false;
+        let snapshot: Vec<usize> = states.iter().copied().collect();
+        for s in snapshot {
+            if s < p.len() && p[s] == '%' && !states.contains(&(s + 1)) {
+                states.insert(s + 1);
+                grew = true;
+            }
+        }
+        if !grew {
+            return states;
+        }
+    }
+}
+
+/// Step the NFA on character `c`.
+fn step(p: &[char], states: &BTreeSet<usize>, c: char) -> BTreeSet<usize> {
+    let mut next = BTreeSet::new();
+    for &s in states {
+        if s >= p.len() {
+            continue;
+        }
+        match p[s] {
+            '%' => {
+                // Self-loop: consume c, stay at the %.
+                next.insert(s);
+            }
+            '_' => {
+                next.insert(s + 1);
+            }
+            lit if lit == c => {
+                next.insert(s + 1);
+            }
+            _ => {}
+        }
+    }
+    eps_close(p, next)
+}
+
+fn accepting(p: &[char], states: &BTreeSet<usize>) -> bool {
+    states.contains(&p.len())
+}
+
+/// The reduced alphabet for a set of patterns: every literal character
+/// mentioned by any pattern, plus one character not mentioned anywhere
+/// (representing "all other characters").
+fn alphabet(patterns: &[&str]) -> Vec<char> {
+    let mut lits: BTreeSet<char> = BTreeSet::new();
+    for p in patterns {
+        for c in p.chars() {
+            if c != '%' && c != '_' {
+                lits.insert(c);
+            }
+        }
+    }
+    // Pick a fresh character outside the literal set.
+    let fresh = ('a'..='z')
+        .chain('0'..='9')
+        .chain(std::iter::once('\u{E000}'))
+        .find(|c| !lits.contains(c))
+        .unwrap_or('\u{E001}');
+    let mut out: Vec<char> = lits.into_iter().collect();
+    out.push(fresh);
+    out
+}
+
+/// Enumerate up to `limit` strings (shortest first) that match **all** of
+/// `patterns`. Returns an empty vector iff the intersection is empty
+/// (definitively — the reduced-alphabet product automaton is exact for
+/// glob languages).
+pub fn intersection_witnesses(patterns: &[&str], limit: usize) -> Vec<String> {
+    if patterns.is_empty() {
+        // Everything matches; enumerate simple distinct strings.
+        return (0..limit).map(|i| format!("s{i}")).collect();
+    }
+    let compiled: Vec<Vec<char>> = patterns.iter().map(|p| p.chars().collect()).collect();
+    let sigma = alphabet(patterns);
+    let start: Vec<BTreeSet<usize>> = compiled
+        .iter()
+        .map(|p| eps_close(p, BTreeSet::from([0usize])))
+        .collect();
+
+    let mut out = Vec::new();
+    // BFS over product states, remembering the string built so far.
+    // Visited-set keyed on the product state: we only need one witness per
+    // state for emptiness, but for enumeration we allow revisiting up to a
+    // small bound per state.
+    let mut queue: VecDeque<(Vec<BTreeSet<usize>>, String)> = VecDeque::new();
+    let mut visits: HashMap<Vec<BTreeSet<usize>>, usize> = HashMap::new();
+    queue.push_back((start, String::new()));
+    let max_len = patterns.iter().map(|p| p.len()).max().unwrap_or(0) + limit + 2;
+    while let Some((state, text)) = queue.pop_front() {
+        if compiled.iter().zip(&state).all(|(p, s)| accepting(p, s)) {
+            out.push(text.clone());
+            if out.len() >= limit {
+                return out;
+            }
+        }
+        if text.chars().count() >= max_len {
+            continue;
+        }
+        let v = visits.entry(state.clone()).or_insert(0);
+        if *v > limit {
+            continue;
+        }
+        *v += 1;
+        for &c in &sigma {
+            let next: Vec<BTreeSet<usize>> = compiled
+                .iter()
+                .zip(&state)
+                .map(|(p, s)| step(p, s, c))
+                .collect();
+            if next.iter().any(|s| s.is_empty()) {
+                continue;
+            }
+            let mut t = text.clone();
+            t.push(c);
+            queue.push_back((next, t));
+        }
+    }
+    out
+}
+
+/// Whether the intersection of the pattern languages is empty.
+pub fn intersection_empty(patterns: &[&str]) -> bool {
+    intersection_witnesses(patterns, 1).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_matching() {
+        assert!(like_match("Eve", "Eve"));
+        assert!(like_match("Everest", "Eve%"));
+        assert!(like_match("Eve", "Eve%"));
+        assert!(!like_match("eve", "Eve%"));
+        assert!(like_match("Eva", "Ev_"));
+        assert!(!like_match("Ev", "Ev_"));
+        assert!(like_match("abc", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abcbd", "a%b%d"));
+        assert!(!like_match("abcbe", "a%b%d"));
+    }
+
+    #[test]
+    fn percent_backtracking() {
+        assert!(like_match("aXbYbZ", "a%b%"));
+        assert!(like_match("mississippi", "m%iss%ppi"));
+        assert!(!like_match("mississipp", "m%iss%ppi"));
+    }
+
+    #[test]
+    fn intersection_witnesses_found() {
+        let ws = intersection_witnesses(&["Eve%", "%e"], 3);
+        assert!(!ws.is_empty());
+        for w in &ws {
+            assert!(like_match(w, "Eve%"), "{w}");
+            assert!(like_match(w, "%e"), "{w}");
+        }
+    }
+
+    #[test]
+    fn disjoint_patterns_have_empty_intersection() {
+        assert!(intersection_empty(&["A%", "B%"]));
+        assert!(intersection_empty(&["_", "__"])); // length 1 vs length 2
+        assert!(!intersection_empty(&["A%", "%Z"]));
+    }
+
+    #[test]
+    fn same_pattern_intersection_nonempty() {
+        assert!(!intersection_empty(&["abc", "abc"]));
+        assert!(intersection_empty(&["abc", "abd"]));
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty_string() {
+        assert!(like_match("", ""));
+        assert!(!like_match("x", ""));
+        let ws = intersection_witnesses(&[""], 2);
+        assert_eq!(ws, vec![String::new()]);
+    }
+
+    #[test]
+    fn witnesses_are_distinct_and_many() {
+        let ws = intersection_witnesses(&["ab%"], 5);
+        assert_eq!(ws.len(), 5);
+        let set: std::collections::BTreeSet<_> = ws.iter().collect();
+        assert_eq!(set.len(), 5);
+        for w in &ws {
+            assert!(like_match(w, "ab%"));
+        }
+    }
+
+    #[test]
+    fn no_patterns_enumerates_fresh_strings() {
+        let ws = intersection_witnesses(&[], 3);
+        assert_eq!(ws.len(), 3);
+    }
+}

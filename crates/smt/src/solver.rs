@@ -1,0 +1,453 @@
+//! The top-level solver: Boolean-skeleton enumeration over canonicalized
+//! atoms with three-valued pruning and per-branch theory checks.
+//!
+//! This implements the three primitives of §3 of the paper —
+//! `IsSatisfiable`, `IsUnSatisfiable` and `IsEquiv` — with the same
+//! soundness contract as the paper's use of Z3: definitive answers are
+//! never wrong; `Unknown` is possible and callers act only on definitive
+//! answers.
+
+use crate::conj::{check_conjunction, Lit};
+use crate::formula::{Atom, Formula};
+use crate::model::Model;
+use crate::term::VarPool;
+use crate::{SatResult, TriBool};
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    /// Maximum number of distinct atoms before giving up with `Unknown`.
+    pub max_atoms: usize,
+    /// Run an intermediate theory check every this many assigned atoms
+    /// (prunes contradictory partial assignments early).
+    pub partial_check_stride: usize,
+    /// Hard cap on theory-checked leaves per `check` call.
+    pub max_leaves: usize,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver { max_atoms: 20, partial_check_stride: 4, max_leaves: 1 << 20 }
+    }
+}
+
+/// Outcome of a `check` call: verdict plus a validated model on `Sat`.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    pub result: SatResult,
+    pub model: Option<Model>,
+}
+
+/// Formula abstracted over canonical atom indices: the hot structure the
+/// skeleton search evaluates (avoids re-canonicalizing and re-comparing
+/// atoms at every search node).
+enum IForm {
+    True,
+    False,
+    Atom(usize),
+    And(Vec<IForm>),
+    Or(Vec<IForm>),
+    Not(Box<IForm>),
+}
+
+fn abstract_formula(f: &Formula, atoms: &[Atom]) -> IForm {
+    match f {
+        Formula::True => IForm::True,
+        Formula::False => IForm::False,
+        Formula::Atom(a) => {
+            let (c, _) = a.canonical();
+            let idx = atoms.iter().position(|x| *x == c).expect("atom registered");
+            IForm::Atom(idx)
+        }
+        Formula::And(cs) => IForm::And(cs.iter().map(|c| abstract_formula(c, atoms)).collect()),
+        Formula::Or(cs) => IForm::Or(cs.iter().map(|c| abstract_formula(c, atoms)).collect()),
+        Formula::Not(c) => IForm::Not(Box::new(abstract_formula(c, atoms))),
+    }
+}
+
+fn eval3_idx(f: &IForm, assign: &[Option<bool>]) -> Option<bool> {
+    match f {
+        IForm::True => Some(true),
+        IForm::False => Some(false),
+        IForm::Atom(i) => assign[*i],
+        IForm::And(cs) => {
+            let mut unknown = false;
+            for c in cs {
+                match eval3_idx(c, assign) {
+                    Some(false) => return Some(false),
+                    None => unknown = true,
+                    Some(true) => {}
+                }
+            }
+            if unknown {
+                None
+            } else {
+                Some(true)
+            }
+        }
+        IForm::Or(cs) => {
+            let mut unknown = false;
+            for c in cs {
+                match eval3_idx(c, assign) {
+                    Some(true) => return Some(true),
+                    None => unknown = true,
+                    Some(false) => {}
+                }
+            }
+            if unknown {
+                None
+            } else {
+                Some(false)
+            }
+        }
+        IForm::Not(c) => eval3_idx(c, assign).map(|b| !b),
+    }
+}
+
+struct Search<'a> {
+    solver: &'a Solver,
+    formula: &'a Formula,
+    iform: &'a IForm,
+    atoms: Vec<Atom>,
+    assign: Vec<Option<bool>>,
+    pool: &'a mut VarPool,
+    unknown_seen: bool,
+    leaves: usize,
+}
+
+impl Search<'_> {
+    fn literals(&self) -> Vec<Lit> {
+        self.atoms
+            .iter()
+            .zip(&self.assign)
+            .filter_map(|(a, v)| v.map(|b| (a.clone(), b)))
+            .collect()
+    }
+
+    /// Returns `Some(model)` when a satisfying, validated model is found.
+    fn dfs(&mut self, depth: usize) -> Option<Model> {
+        if self.leaves > self.solver.max_leaves {
+            self.unknown_seen = true;
+            return None;
+        }
+        // Three-valued evaluation under the current partial assignment.
+        let value = eval3_idx(self.iform, &self.assign);
+        match value {
+            Some(false) => return None,
+            Some(true) => {
+                // Formula already true: theory-check the assigned literals.
+                self.leaves += 1;
+                let lits = self.literals();
+                let (r, m) = check_conjunction(&lits, self.pool);
+                match r {
+                    SatResult::Sat => {
+                        let m = m.expect("Sat implies model");
+                        // Defensive final validation on the whole formula.
+                        if m.eval_formula(self.formula) == Some(true) {
+                            return Some(m);
+                        }
+                        self.unknown_seen = true;
+                        return None;
+                    }
+                    SatResult::Unsat => return None,
+                    SatResult::Unknown => {
+                        self.unknown_seen = true;
+                        return None;
+                    }
+                }
+            }
+            None => {}
+        }
+        // Periodic partial-conjunction pruning.
+        if depth > 0 && depth.is_multiple_of(self.solver.partial_check_stride) {
+            let lits = self.literals();
+            if let (SatResult::Unsat, _) = check_conjunction(&lits, self.pool) {
+                return None;
+            }
+        }
+        // Branch on the first unassigned atom.
+        let next = self.assign.iter().position(Option::is_none);
+        let Some(i) = next else {
+            // Fully assigned but formula undetermined cannot happen.
+            return None;
+        };
+        for b in [true, false] {
+            self.assign[i] = Some(b);
+            if let Some(m) = self.dfs(depth + 1) {
+                self.assign[i] = None;
+                return Some(m);
+            }
+            self.assign[i] = None;
+        }
+        None
+    }
+}
+
+impl Solver {
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Check satisfiability of `formula`; returns a validated model on
+    /// `Sat`.
+    pub fn check(&self, formula: &Formula, pool: &mut VarPool) -> CheckOutcome {
+        let mut atoms = Vec::new();
+        formula.collect_atoms(&mut atoms);
+        if atoms.len() > self.max_atoms {
+            return CheckOutcome { result: SatResult::Unknown, model: None };
+        }
+        let n = atoms.len();
+        let iform = abstract_formula(formula, &atoms);
+        let mut search = Search {
+            solver: self,
+            formula,
+            iform: &iform,
+            atoms,
+            assign: vec![None; n],
+            pool,
+            unknown_seen: false,
+            leaves: 0,
+        };
+        match search.dfs(0) {
+            Some(m) => CheckOutcome { result: SatResult::Sat, model: Some(m) },
+            None => {
+                if search.unknown_seen {
+                    CheckOutcome { result: SatResult::Unknown, model: None }
+                } else {
+                    CheckOutcome { result: SatResult::Unsat, model: None }
+                }
+            }
+        }
+    }
+
+    /// Check satisfiability of `formula` under a context of assertions
+    /// (the paper's `IsSatisfiable_C`).
+    pub fn check_with_ctx(
+        &self,
+        formula: &Formula,
+        ctx: &[Formula],
+        pool: &mut VarPool,
+    ) -> CheckOutcome {
+        let mut parts: Vec<Formula> = ctx.to_vec();
+        parts.push(formula.clone());
+        self.check(&Formula::and(parts), pool)
+    }
+
+    /// `IsSatisfiable` with tri-valued result.
+    pub fn is_satisfiable(&self, f: &Formula, ctx: &[Formula], pool: &mut VarPool) -> TriBool {
+        match self.check_with_ctx(f, ctx, pool).result {
+            SatResult::Sat => TriBool::True,
+            SatResult::Unsat => TriBool::False,
+            SatResult::Unknown => TriBool::Unknown,
+        }
+    }
+
+    /// `IsUnSatisfiable` with tri-valued result.
+    pub fn is_unsatisfiable(&self, f: &Formula, ctx: &[Formula], pool: &mut VarPool) -> TriBool {
+        self.is_satisfiable(f, ctx, pool).negate()
+    }
+
+    /// Does `f ⟹ g` hold under the context? (`Unsat(ctx ∧ f ∧ ¬g)`)
+    pub fn implies(&self, f: &Formula, g: &Formula, ctx: &[Formula], pool: &mut VarPool) -> TriBool {
+        let q = Formula::and(vec![f.clone(), Formula::not(g.clone())]);
+        self.is_unsatisfiable(&q, ctx, pool)
+    }
+
+    /// `IsEquiv`: does `f ⇔ g` hold under the context?
+    pub fn equiv(&self, f: &Formula, g: &Formula, ctx: &[Formula], pool: &mut VarPool) -> TriBool {
+        match self.implies(f, g, ctx, pool) {
+            TriBool::False => TriBool::False,
+            fw => match self.implies(g, f, ctx, pool) {
+                TriBool::False => TriBool::False,
+                bw => fw.and(bw),
+            },
+        }
+    }
+
+    /// Is `f` a tautology under the context?
+    pub fn is_valid(&self, f: &Formula, ctx: &[Formula], pool: &mut VarPool) -> TriBool {
+        self.is_unsatisfiable(&Formula::not(f.clone()), ctx, pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Rel;
+    use crate::term::{Sort, Term};
+
+    fn setup() -> (Solver, VarPool, Term, Term, Term, Term, Term) {
+        let mut p = VarPool::new();
+        let a = Term::var(p.fresh("a", Sort::Int));
+        let b = Term::var(p.fresh("b", Sort::Int));
+        let c = Term::var(p.fresh("c", Sort::Int));
+        let d = Term::var(p.fresh("d", Sort::Int));
+        let e = Term::var(p.fresh("e", Sort::Int));
+        (Solver::new(), p, a, b, c, d, e)
+    }
+
+    #[test]
+    fn tautology_and_contradiction() {
+        let (s, mut p, a, ..) = setup();
+        // a ≤ 5 ∨ a > 5 is valid.
+        let f = Formula::or(vec![
+            Formula::cmp(a.clone(), Rel::Le, Term::IntConst(5)),
+            Formula::cmp(a.clone(), Rel::Gt, Term::IntConst(5)),
+        ]);
+        assert_eq!(s.is_valid(&f, &[], &mut p), TriBool::True);
+        // a ≤ 5 ∧ a > 5 is unsat.
+        let g = Formula::and(vec![
+            Formula::cmp(a.clone(), Rel::Le, Term::IntConst(5)),
+            Formula::cmp(a, Rel::Gt, Term::IntConst(5)),
+        ]);
+        assert_eq!(s.is_unsatisfiable(&g, &[], &mut p), TriBool::True);
+    }
+
+    #[test]
+    fn equivalence_via_transitivity() {
+        let (s, mut p, a, b, c, ..) = setup();
+        // Under ctx a=b: (a=c) ⇔ (b=c).
+        let ctx = vec![Formula::cmp(a.clone(), Rel::Eq, b.clone())];
+        let f = Formula::cmp(a, Rel::Eq, c.clone());
+        let g = Formula::cmp(b, Rel::Eq, c);
+        assert_eq!(s.equiv(&f, &g, &ctx, &mut p), TriBool::True);
+    }
+
+    #[test]
+    fn paper_example5_equivalence_check() {
+        // P*: (A=C ∧ (E<5 ∨ D>10 ∨ D<7)) ∨ (A=B ∧ (D≠E ∨ D>F))
+        // P : (A=C ∧ (D≠E ∨ D>F)) ∨ (A=C ∧ (D>11 ∨ D<7 ∨ E≤5))
+        // These are NOT equivalent.
+        let mut p = VarPool::new();
+        let a = Term::var(p.fresh("A", Sort::Int));
+        let b = Term::var(p.fresh("B", Sort::Int));
+        let c = Term::var(p.fresh("C", Sort::Int));
+        let d = Term::var(p.fresh("D", Sort::Int));
+        let e = Term::var(p.fresh("E", Sort::Int));
+        let ff = Term::var(p.fresh("F", Sort::Int));
+        let s = Solver::new();
+        let pstar = Formula::or(vec![
+            Formula::and(vec![
+                Formula::cmp(a.clone(), Rel::Eq, c.clone()),
+                Formula::or(vec![
+                    Formula::cmp(e.clone(), Rel::Lt, Term::IntConst(5)),
+                    Formula::cmp(d.clone(), Rel::Gt, Term::IntConst(10)),
+                    Formula::cmp(d.clone(), Rel::Lt, Term::IntConst(7)),
+                ]),
+            ]),
+            Formula::and(vec![
+                Formula::cmp(a.clone(), Rel::Eq, b.clone()),
+                Formula::or(vec![
+                    Formula::cmp(d.clone(), Rel::Ne, e.clone()),
+                    Formula::cmp(d.clone(), Rel::Gt, ff.clone()),
+                ]),
+            ]),
+        ]);
+        let pwork = Formula::or(vec![
+            Formula::and(vec![
+                Formula::cmp(a.clone(), Rel::Eq, c.clone()),
+                Formula::or(vec![
+                    Formula::cmp(d.clone(), Rel::Ne, e.clone()),
+                    Formula::cmp(d.clone(), Rel::Gt, ff.clone()),
+                ]),
+            ]),
+            Formula::and(vec![
+                Formula::cmp(a.clone(), Rel::Eq, c.clone()),
+                Formula::or(vec![
+                    Formula::cmp(d.clone(), Rel::Gt, Term::IntConst(11)),
+                    Formula::cmp(d.clone(), Rel::Lt, Term::IntConst(7)),
+                    Formula::cmp(e.clone(), Rel::Le, Term::IntConst(5)),
+                ]),
+            ]),
+        ]);
+        assert_eq!(s.equiv(&pstar, &pwork, &[], &mut p), TriBool::False);
+        // And the fixed version (x4→A=B, x10→D>10, x12→E<5) IS equivalent.
+        let pfixed = Formula::or(vec![
+            Formula::and(vec![
+                Formula::cmp(a.clone(), Rel::Eq, b.clone()),
+                Formula::or(vec![
+                    Formula::cmp(d.clone(), Rel::Ne, e.clone()),
+                    Formula::cmp(d.clone(), Rel::Gt, ff.clone()),
+                ]),
+            ]),
+            Formula::and(vec![
+                Formula::cmp(a.clone(), Rel::Eq, c.clone()),
+                Formula::or(vec![
+                    Formula::cmp(d.clone(), Rel::Gt, Term::IntConst(10)),
+                    Formula::cmp(d.clone(), Rel::Lt, Term::IntConst(7)),
+                    Formula::cmp(e.clone(), Rel::Lt, Term::IntConst(5)),
+                ]),
+            ]),
+        ]);
+        assert_eq!(s.equiv(&pstar, &pfixed, &[], &mut p), TriBool::True);
+    }
+
+    #[test]
+    fn inequality_tightening_example() {
+        let (s, mut p, a, ..) = setup();
+        // a > 100 implies a ≥ 101 over the integers (paper Example 3's
+        // per-row core).
+        let f = Formula::cmp(a.clone(), Rel::Gt, Term::IntConst(100));
+        let g = Formula::cmp(a, Rel::Ge, Term::IntConst(101));
+        assert_eq!(s.equiv(&f, &g, &[], &mut p), TriBool::True);
+    }
+
+    #[test]
+    fn strings_and_like_in_full_solver() {
+        let mut p = VarPool::new();
+        let name = Term::var(p.fresh("name", Sort::Str));
+        let s = Solver::new();
+        // name = 'Amy' ∧ name NOT LIKE 'A%' is unsat.
+        let f = Formula::and(vec![
+            Formula::cmp(name.clone(), Rel::Eq, Term::StrConst("Amy".into())),
+            Formula::not(Formula::atom(Atom::Like(name.clone(), "A%".into()))),
+        ]);
+        assert_eq!(s.is_unsatisfiable(&f, &[], &mut p), TriBool::True);
+        // name LIKE 'A%' ∧ name ≠ 'Amy' is sat.
+        let g = Formula::and(vec![
+            Formula::atom(Atom::Like(name.clone(), "A%".into())),
+            Formula::cmp(name, Rel::Ne, Term::StrConst("Amy".into())),
+        ]);
+        let out = s.check(&g, &mut p);
+        assert_eq!(out.result, SatResult::Sat);
+        assert_eq!(out.model.unwrap().eval_formula(&g), Some(true));
+    }
+
+    #[test]
+    fn too_many_atoms_is_unknown() {
+        let mut p = VarPool::new();
+        let s = Solver { max_atoms: 3, ..Solver::default() };
+        let mut parts = vec![];
+        for i in 0..5 {
+            let v = Term::var(p.fresh(&format!("x{i}"), Sort::Int));
+            parts.push(Formula::cmp(v, Rel::Gt, Term::IntConst(i)));
+        }
+        let f = Formula::and(parts);
+        assert_eq!(s.check(&f, &mut p).result, SatResult::Unknown);
+    }
+
+    #[test]
+    fn tautological_where_condition() {
+        // The Brass-et-al efficiency issue: A >= B OR A < B is a tautology
+        // — Qr-Hint must see the equivalence with TRUE.
+        let (s, mut p, a, b, ..) = setup();
+        let f = Formula::or(vec![
+            Formula::cmp(a.clone(), Rel::Ge, b.clone()),
+            Formula::cmp(a, Rel::Lt, b),
+        ]);
+        assert_eq!(s.equiv(&f, &Formula::True, &[], &mut p), TriBool::True);
+    }
+
+    #[test]
+    fn context_makes_condition_redundant() {
+        let (s, mut p, a, b, ..) = setup();
+        // Under ctx {a > 4}: (a > 4 ∧ b = 1) ⇔ (b = 1).
+        let ctx = vec![Formula::cmp(a.clone(), Rel::Gt, Term::IntConst(4))];
+        let f = Formula::and(vec![
+            Formula::cmp(a, Rel::Gt, Term::IntConst(4)),
+            Formula::cmp(b.clone(), Rel::Eq, Term::IntConst(1)),
+        ]);
+        let g = Formula::cmp(b, Rel::Eq, Term::IntConst(1));
+        assert_eq!(s.equiv(&f, &g, &ctx, &mut p), TriBool::True);
+    }
+}

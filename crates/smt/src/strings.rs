@@ -1,0 +1,368 @@
+//! String theory: equalities, disequalities and LIKE patterns over string
+//! variables and constants.
+//!
+//! The decision procedure is witness-based: it builds equivalence classes
+//! with a union-find, checks constant conflicts, and then constructs a
+//! concrete string for every class that satisfies all attached patterns
+//! and differs from every disequal class. `Unsat` is only reported on a
+//! definitive conflict; if witness search fails the result is `Unknown`
+//! (sound, mirroring Z3's incomplete string reasoning).
+
+use crate::pattern;
+use std::collections::BTreeMap;
+
+/// A string operand: a variable (by dense local index) or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StrOperand {
+    Var(usize),
+    Const(String),
+}
+
+/// String-theory constraints over operands.
+#[derive(Debug, Clone)]
+pub enum StrConstraint {
+    Eq(StrOperand, StrOperand),
+    Ne(StrOperand, StrOperand),
+    Like { operand: StrOperand, pattern: String, positive: bool },
+}
+
+/// Outcome of the string check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrResult {
+    /// Assignment for each variable index.
+    Sat(BTreeMap<usize, String>),
+    Unsat,
+    Unknown,
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Decide a conjunction of string constraints over `num_vars` variables.
+pub fn check(num_vars: usize, constraints: &[StrConstraint]) -> StrResult {
+    // Node ids: 0..num_vars are variables; constants are appended.
+    let mut const_ids: BTreeMap<String, usize> = BTreeMap::new();
+    let mut consts: Vec<String> = Vec::new();
+    let mut id_of = |op: &StrOperand, consts: &mut Vec<String>| -> usize {
+        match op {
+            StrOperand::Var(i) => *i,
+            StrOperand::Const(s) => *const_ids.entry(s.clone()).or_insert_with(|| {
+                consts.push(s.clone());
+                num_vars + consts.len() - 1
+            }),
+        }
+    };
+
+    // Materialize ids first so the union-find can be sized.
+    let mut materialized: Vec<(usize, usize, u8, String)> = Vec::new(); // (a, b, kind, pattern)
+    // kind: 0 = eq, 1 = ne, 2 = like+, 3 = like-
+    for c in constraints {
+        match c {
+            StrConstraint::Eq(a, b) => {
+                let (ia, ib) = (id_of(a, &mut consts), id_of(b, &mut consts));
+                materialized.push((ia, ib, 0, String::new()));
+            }
+            StrConstraint::Ne(a, b) => {
+                let (ia, ib) = (id_of(a, &mut consts), id_of(b, &mut consts));
+                materialized.push((ia, ib, 1, String::new()));
+            }
+            StrConstraint::Like { operand, pattern, positive } => {
+                let ia = id_of(operand, &mut consts);
+                materialized.push((ia, ia, if *positive { 2 } else { 3 }, pattern.clone()));
+            }
+        }
+    }
+    let n = num_vars + consts.len();
+    let mut uf = UnionFind::new(n);
+    for (a, b, kind, _) in &materialized {
+        if *kind == 0 {
+            uf.union(*a, *b);
+        }
+    }
+
+    // Class data.
+    let mut class_const: BTreeMap<usize, String> = BTreeMap::new();
+    for (ci, s) in consts.iter().enumerate() {
+        let root = uf.find(num_vars + ci);
+        if let Some(existing) = class_const.get(&root) {
+            if existing != s {
+                return StrResult::Unsat; // two distinct constants equated
+            }
+        } else {
+            class_const.insert(root, s.clone());
+        }
+    }
+    let mut pos_patterns: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    let mut neg_patterns: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    let mut diseqs: Vec<(usize, usize)> = Vec::new();
+    for (a, b, kind, pat) in &materialized {
+        match kind {
+            1 => {
+                let (ra, rb) = (uf.find(*a), uf.find(*b));
+                if ra == rb {
+                    return StrResult::Unsat; // x ≠ x
+                }
+                diseqs.push((ra, rb));
+            }
+            2 => pos_patterns.entry(uf.find(*a)).or_default().push(pat.clone()),
+            3 => neg_patterns.entry(uf.find(*a)).or_default().push(pat.clone()),
+            _ => {}
+        }
+    }
+
+    // Constant-vs-constant disequalities are satisfied by construction
+    // (distinct constants are distinct nodes); check pattern constraints on
+    // constant classes.
+    for (root, value) in &class_const {
+        for p in pos_patterns.get(root).into_iter().flatten() {
+            if !pattern::like_match(value, p) {
+                return StrResult::Unsat;
+            }
+        }
+        for p in neg_patterns.get(root).into_iter().flatten() {
+            if pattern::like_match(value, p) {
+                return StrResult::Unsat;
+            }
+        }
+    }
+
+    // Assign witnesses to non-constant classes.
+    let mut assignment: BTreeMap<usize, String> = class_const.clone(); // root → value
+    let mut unknown = false;
+    let mut fresh_counter = 0usize;
+    // Deterministic order over variable class roots.
+    let mut roots: Vec<usize> = (0..num_vars).map(|v| uf.find(v)).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    for root in roots {
+        if assignment.contains_key(&root) {
+            continue;
+        }
+        let pos: Vec<&str> =
+            pos_patterns.get(&root).into_iter().flatten().map(String::as_str).collect();
+        let negs: Vec<&str> =
+            neg_patterns.get(&root).into_iter().flatten().map(String::as_str).collect();
+        // Values this class must avoid: anything already assigned to a
+        // class it is disequal to (we conservatively avoid all assigned
+        // values — cannot cause a false Unsat because failure here yields
+        // Unknown, never Unsat).
+        let taken: Vec<&String> = assignment.values().collect();
+        let candidates: Vec<String> = if pos.is_empty() {
+            // Unconstrained: generate fresh strings until distinct.
+            let mut out = Vec::new();
+            while out.len() < taken.len() + negs.len() + 2 {
+                out.push(format!("\u{03BE}{fresh_counter}")); // ξ0, ξ1, ...
+                fresh_counter += 1;
+            }
+            out
+        } else {
+            let ws = pattern::intersection_witnesses(&pos, taken.len() + negs.len() + 4);
+            if ws.is_empty() {
+                // Positive patterns definitively contradict each other.
+                return StrResult::Unsat;
+            }
+            ws
+        };
+        let chosen = candidates.into_iter().find(|w| {
+            !taken.contains(&w) && negs.iter().all(|n| !pattern::like_match(w, n))
+        });
+        match chosen {
+            Some(w) => {
+                assignment.insert(root, w);
+            }
+            None => {
+                unknown = true;
+                // Leave unassigned; diseq check below may still find a
+                // conflict elsewhere, but we can no longer claim Sat.
+            }
+        }
+    }
+
+    if unknown {
+        return StrResult::Unknown;
+    }
+
+    // Final diseq verification (also covers const-vs-var).
+    for (ra, rb) in &diseqs {
+        let (va, vb) = (assignment.get(ra), assignment.get(rb));
+        if let (Some(va), Some(vb)) = (va, vb) {
+            if va == vb {
+                // Should not happen given avoidance; be safe.
+                return StrResult::Unknown;
+            }
+        }
+    }
+
+    let model = (0..num_vars)
+        .map(|v| {
+            let root = uf.find(v);
+            (v, assignment.get(&root).cloned().unwrap_or_default())
+        })
+        .collect();
+    StrResult::Sat(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(i: usize) -> StrOperand {
+        StrOperand::Var(i)
+    }
+    fn cst(s: &str) -> StrOperand {
+        StrOperand::Const(s.to_string())
+    }
+
+    #[test]
+    fn equality_chains_and_constant_conflict() {
+        // x = 'Amy', y = x, y = 'Bob' → unsat
+        let r = check(
+            2,
+            &[
+                StrConstraint::Eq(var(0), cst("Amy")),
+                StrConstraint::Eq(var(1), var(0)),
+                StrConstraint::Eq(var(1), cst("Bob")),
+            ],
+        );
+        assert_eq!(r, StrResult::Unsat);
+        // Without the conflict: sat with x = y = 'Amy'.
+        let r2 = check(
+            2,
+            &[StrConstraint::Eq(var(0), cst("Amy")), StrConstraint::Eq(var(1), var(0))],
+        );
+        match r2 {
+            StrResult::Sat(m) => {
+                assert_eq!(m[&0], "Amy");
+                assert_eq!(m[&1], "Amy");
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disequality_of_same_class_unsat() {
+        let r = check(
+            2,
+            &[StrConstraint::Eq(var(0), var(1)), StrConstraint::Ne(var(0), var(1))],
+        );
+        assert_eq!(r, StrResult::Unsat);
+    }
+
+    #[test]
+    fn disequalities_get_distinct_witnesses() {
+        let r = check(3, &[StrConstraint::Ne(var(0), var(1)), StrConstraint::Ne(var(1), var(2))]);
+        match r {
+            StrResult::Sat(m) => {
+                assert_ne!(m[&0], m[&1]);
+                assert_ne!(m[&1], m[&2]);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn like_on_constant() {
+        let r = check(
+            1,
+            &[
+                StrConstraint::Eq(var(0), cst("Everest")),
+                StrConstraint::Like { operand: var(0), pattern: "Eve%".into(), positive: true },
+            ],
+        );
+        assert!(matches!(r, StrResult::Sat(_)));
+        let r2 = check(
+            1,
+            &[
+                StrConstraint::Eq(var(0), cst("Bob")),
+                StrConstraint::Like { operand: var(0), pattern: "Eve%".into(), positive: true },
+            ],
+        );
+        assert_eq!(r2, StrResult::Unsat);
+    }
+
+    #[test]
+    fn contradictory_patterns_unsat() {
+        let r = check(
+            1,
+            &[
+                StrConstraint::Like { operand: var(0), pattern: "A%".into(), positive: true },
+                StrConstraint::Like { operand: var(0), pattern: "B%".into(), positive: true },
+            ],
+        );
+        assert_eq!(r, StrResult::Unsat);
+    }
+
+    #[test]
+    fn positive_and_negative_patterns() {
+        // x LIKE 'A%' and x NOT LIKE 'AB%' → witness like "A" works.
+        let r = check(
+            1,
+            &[
+                StrConstraint::Like { operand: var(0), pattern: "A%".into(), positive: true },
+                StrConstraint::Like { operand: var(0), pattern: "AB%".into(), positive: false },
+            ],
+        );
+        match r {
+            StrResult::Sat(m) => {
+                assert!(pattern::like_match(&m[&0], "A%"));
+                assert!(!pattern::like_match(&m[&0], "AB%"));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn like_and_not_like_same_pattern() {
+        let r = check(
+            1,
+            &[
+                StrConstraint::Like { operand: var(0), pattern: "A_".into(), positive: true },
+                StrConstraint::Like { operand: var(0), pattern: "A_".into(), positive: false },
+            ],
+        );
+        // Definitively unsat... but witness search reports Unknown here
+        // (every witness of the positive matches the negative). Either
+        // Unsat or Unknown is sound; Sat would be a bug.
+        assert!(!matches!(r, StrResult::Sat(_)));
+    }
+
+    #[test]
+    fn var_ne_constant() {
+        let r = check(
+            1,
+            &[
+                StrConstraint::Ne(var(0), cst("Amy")),
+                StrConstraint::Like { operand: var(0), pattern: "Am_".into(), positive: true },
+            ],
+        );
+        match r {
+            StrResult::Sat(m) => {
+                assert_ne!(m[&0], "Amy");
+                assert!(pattern::like_match(&m[&0], "Am_"));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Terms, sorts, variables and linear normalization.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Sorts of the two-sorted logic (INT and VARCHAR, both NOT NULL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sort {
+    Int,
+    Str,
+}
+
+/// A solver variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Variable pool: allocates variables and records their names and sorts.
+/// Names are purely diagnostic (e.g. `"s1.price"` or `"SUM(s.d)"`).
+#[derive(Debug, Clone, Default)]
+pub struct VarPool {
+    names: Vec<String>,
+    sorts: Vec<Sort>,
+}
+
+impl VarPool {
+    pub fn new() -> Self {
+        VarPool::default()
+    }
+
+    /// Allocate a fresh variable.
+    pub fn fresh(&mut self, name: &str, sort: Sort) -> VarId {
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.sorts.push(sort);
+        id
+    }
+
+    /// Sort of a variable.
+    pub fn sort(&self, v: VarId) -> Sort {
+        self.sorts[v.0 as usize]
+    }
+
+    /// Diagnostic name of a variable.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.names[v.0 as usize]
+    }
+
+    /// Number of variables allocated.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variables were allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// First-order terms.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    Var(VarId),
+    IntConst(i64),
+    StrConst(String),
+    Add(Box<Term>, Box<Term>),
+    Sub(Box<Term>, Box<Term>),
+    Mul(Box<Term>, Box<Term>),
+    Div(Box<Term>, Box<Term>),
+    Neg(Box<Term>),
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul/div are term constructors, not ops
+impl Term {
+    pub fn var(v: VarId) -> Term {
+        Term::Var(v)
+    }
+
+    pub fn add(l: Term, r: Term) -> Term {
+        Term::Add(Box::new(l), Box::new(r))
+    }
+
+    pub fn sub(l: Term, r: Term) -> Term {
+        Term::Sub(Box::new(l), Box::new(r))
+    }
+
+    pub fn mul(l: Term, r: Term) -> Term {
+        Term::Mul(Box::new(l), Box::new(r))
+    }
+
+    pub fn div(l: Term, r: Term) -> Term {
+        Term::Div(Box::new(l), Box::new(r))
+    }
+
+    /// Collect variables into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Term::Var(v) => out.push(*v),
+            Term::IntConst(_) | Term::StrConst(_) => {}
+            Term::Add(l, r) | Term::Sub(l, r) | Term::Mul(l, r) | Term::Div(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            Term::Neg(t) => t.collect_vars(out),
+        }
+    }
+}
+
+/// A linear expression `Σ coeff·var + k` over integer variables.
+///
+/// All coefficients are stored as `i128` so Fourier–Motzkin combinations do
+/// not overflow for realistic SQL constants.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    /// var → coefficient (non-zero entries only).
+    pub coeffs: BTreeMap<VarId, i128>,
+    /// Constant offset.
+    pub k: i128,
+}
+
+impl LinExpr {
+    pub fn constant(k: i128) -> LinExpr {
+        LinExpr { coeffs: BTreeMap::new(), k }
+    }
+
+    pub fn variable(v: VarId) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, 1);
+        LinExpr { coeffs, k: 0 }
+    }
+
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        for (v, c) in &other.coeffs {
+            let e = out.coeffs.entry(*v).or_insert(0);
+            *e += c;
+            if *e == 0 {
+                out.coeffs.remove(v);
+            }
+        }
+        out.k += other.k;
+        out
+    }
+
+    pub fn negate(&self) -> LinExpr {
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|(v, c)| (*v, -c)).collect(),
+            k: -self.k,
+        }
+    }
+
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.negate())
+    }
+
+    pub fn scale(&self, c: i128) -> LinExpr {
+        if c == 0 {
+            return LinExpr::constant(0);
+        }
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|(v, k)| (*v, k * c)).collect(),
+            k: self.k * c,
+        }
+    }
+
+    /// Evaluate under a variable assignment (must cover all variables).
+    pub fn eval(&self, assign: &impl Fn(VarId) -> i128) -> i128 {
+        self.coeffs.iter().map(|(v, c)| c * assign(*v)).sum::<i128>() + self.k
+    }
+}
+
+/// Interns non-linear / non-affine subterms ("opaque" terms) as fresh
+/// integer variables. Identical opaque terms (after recursive
+/// normalization) map to the same variable, giving a cheap congruence.
+#[derive(Debug, Default)]
+pub struct OpaqueMap {
+    map: BTreeMap<OpaqueKey, VarId>,
+}
+
+/// Canonical key for an opaque term: the operator plus the normalized
+/// operand linear expressions rendered as sorted vectors.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum OpaqueKey {
+    Mul(Vec<(VarId, i128)>, i128, Vec<(VarId, i128)>, i128),
+    Div(Vec<(VarId, i128)>, i128, Vec<(VarId, i128)>, i128),
+}
+
+fn lin_key(e: &LinExpr) -> (Vec<(VarId, i128)>, i128) {
+    (e.coeffs.iter().map(|(v, c)| (*v, *c)).collect(), e.k)
+}
+
+impl OpaqueMap {
+    pub fn new() -> Self {
+        OpaqueMap::default()
+    }
+
+    fn intern(&mut self, key: OpaqueKey, pool: &mut VarPool) -> VarId {
+        if let Some(v) = self.map.get(&key) {
+            return *v;
+        }
+        let v = pool.fresh("<opaque>", Sort::Int);
+        self.map.insert(key, v);
+        v
+    }
+
+    /// Number of interned opaque terms (non-zero means Sat answers need
+    /// model validation on the original formula).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Normalize an integer-sorted term into a linear expression, abstracting
+/// non-affine subterms (variable products, non-exact division) as opaque
+/// variables.
+///
+/// The abstraction *over-approximates* the solution set, so an UNSAT
+/// verdict on the abstraction is sound for the original; SAT verdicts are
+/// validated against the original term semantics by the caller.
+pub fn linearize(term: &Term, pool: &mut VarPool, opaque: &mut OpaqueMap) -> LinExpr {
+    match term {
+        Term::Var(v) => LinExpr::variable(*v),
+        Term::IntConst(c) => LinExpr::constant(*c as i128),
+        Term::StrConst(_) => {
+            // Type-checked inputs never reach here; be defensive.
+            LinExpr::constant(0)
+        }
+        Term::Add(l, r) => linearize(l, pool, opaque).add(&linearize(r, pool, opaque)),
+        Term::Sub(l, r) => linearize(l, pool, opaque).sub(&linearize(r, pool, opaque)),
+        Term::Neg(t) => linearize(t, pool, opaque).negate(),
+        Term::Mul(l, r) => {
+            let ll = linearize(l, pool, opaque);
+            let rr = linearize(r, pool, opaque);
+            if ll.is_constant() {
+                rr.scale(ll.k)
+            } else if rr.is_constant() {
+                ll.scale(rr.k)
+            } else {
+                let (lv, lk) = lin_key(&ll);
+                let (rv, rk) = lin_key(&rr);
+                // Order operands canonically so x*y and y*x unify.
+                let key = if (lv.clone(), lk) <= (rv.clone(), rk) {
+                    OpaqueKey::Mul(lv, lk, rv, rk)
+                } else {
+                    OpaqueKey::Mul(rv, rk, lv, lk)
+                };
+                LinExpr::variable(opaque.intern(key, pool))
+            }
+        }
+        Term::Div(l, r) => {
+            let ll = linearize(l, pool, opaque);
+            let rr = linearize(r, pool, opaque);
+            if rr.is_constant() && rr.k != 0 {
+                let d = rr.k;
+                let divisible =
+                    ll.k % d == 0 && ll.coeffs.values().all(|c| c % d == 0);
+                if divisible {
+                    return LinExpr {
+                        coeffs: ll.coeffs.iter().map(|(v, c)| (*v, c / d)).collect(),
+                        k: ll.k / d,
+                    };
+                }
+            }
+            let (lv, lk) = lin_key(&ll);
+            let (rv, rk) = lin_key(&rr);
+            LinExpr::variable(opaque.intern(OpaqueKey::Div(lv, lk, rv, rk), pool))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool3() -> (VarPool, VarId, VarId, VarId) {
+        let mut p = VarPool::new();
+        let a = p.fresh("a", Sort::Int);
+        let b = p.fresh("b", Sort::Int);
+        let c = p.fresh("c", Sort::Int);
+        (p, a, b, c)
+    }
+
+    #[test]
+    fn linearize_affine() {
+        let (mut p, a, b, _) = pool3();
+        let mut op = OpaqueMap::new();
+        // 2*a + b - 3
+        let t = Term::sub(
+            Term::add(Term::mul(Term::IntConst(2), Term::var(a)), Term::var(b)),
+            Term::IntConst(3),
+        );
+        let e = linearize(&t, &mut p, &mut op);
+        assert_eq!(e.coeffs[&a], 2);
+        assert_eq!(e.coeffs[&b], 1);
+        assert_eq!(e.k, -3);
+        assert!(op.is_empty());
+    }
+
+    #[test]
+    fn linearize_cancellation() {
+        let (mut p, a, _, _) = pool3();
+        let mut op = OpaqueMap::new();
+        let t = Term::sub(Term::var(a), Term::var(a));
+        let e = linearize(&t, &mut p, &mut op);
+        assert!(e.is_constant());
+        assert_eq!(e.k, 0);
+    }
+
+    #[test]
+    fn nonlinear_products_unify() {
+        let (mut p, a, b, _) = pool3();
+        let mut op = OpaqueMap::new();
+        let t1 = Term::mul(Term::var(a), Term::var(b));
+        let t2 = Term::mul(Term::var(b), Term::var(a));
+        let e1 = linearize(&t1, &mut p, &mut op);
+        let e2 = linearize(&t2, &mut p, &mut op);
+        assert_eq!(e1, e2);
+        assert_eq!(op.len(), 1);
+    }
+
+    #[test]
+    fn exact_division_folds() {
+        let (mut p, a, _, _) = pool3();
+        let mut op = OpaqueMap::new();
+        // (4*a + 8) / 4 == a + 2
+        let t = Term::div(
+            Term::add(Term::mul(Term::IntConst(4), Term::var(a)), Term::IntConst(8)),
+            Term::IntConst(4),
+        );
+        let e = linearize(&t, &mut p, &mut op);
+        assert_eq!(e.coeffs[&a], 1);
+        assert_eq!(e.k, 2);
+        assert!(op.is_empty());
+    }
+
+    #[test]
+    fn inexact_division_is_opaque() {
+        let (mut p, a, _, _) = pool3();
+        let mut op = OpaqueMap::new();
+        let t = Term::div(Term::var(a), Term::IntConst(2));
+        let e = linearize(&t, &mut p, &mut op);
+        assert_eq!(op.len(), 1);
+        assert_eq!(e.coeffs.len(), 1);
+    }
+
+    #[test]
+    fn linexpr_arith() {
+        let (_, a, b, _) = pool3();
+        let e1 = LinExpr::variable(a).scale(3);
+        let e2 = LinExpr::variable(b).add(&LinExpr::constant(5));
+        let sum = e1.add(&e2);
+        assert_eq!(sum.eval(&|v| if v == a { 2 } else { 10 }), 3 * 2 + 10 + 5);
+        let diff = sum.sub(&sum);
+        assert!(diff.is_constant());
+        assert_eq!(diff.k, 0);
+    }
+}

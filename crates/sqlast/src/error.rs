@@ -1,0 +1,57 @@
+//! Error types shared by AST construction and name resolution.
+
+use std::fmt;
+
+/// Result alias for AST-level operations.
+pub type AstResult<T> = Result<T, AstError>;
+
+/// Errors raised while building or resolving ASTs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstError {
+    /// A column reference did not resolve to any table in scope.
+    UnknownColumn { column: String },
+    /// A column reference resolved to more than one table in scope.
+    AmbiguousColumn { column: String, candidates: Vec<String> },
+    /// A table alias was referenced but never introduced in `FROM`.
+    UnknownAlias { alias: String },
+    /// The same alias was introduced twice in one `FROM` clause.
+    DuplicateAlias { alias: String },
+    /// A table name does not exist in the schema.
+    UnknownTable { table: String },
+    /// The referenced column does not exist in the referenced table.
+    NoSuchColumnInTable { table: String, column: String },
+    /// The query uses a SQL feature outside the Qr-Hint fragment
+    /// (subqueries, set operators, outer joins, NULL handling, ...).
+    UnsupportedFeature { feature: String },
+    /// A type error (e.g. comparing a string to an integer).
+    TypeError { detail: String },
+}
+
+impl fmt::Display for AstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstError::UnknownColumn { column } => {
+                write!(f, "unknown column `{column}`")
+            }
+            AstError::AmbiguousColumn { column, candidates } => write!(
+                f,
+                "ambiguous column `{column}` (could belong to {})",
+                candidates.join(", ")
+            ),
+            AstError::UnknownAlias { alias } => write!(f, "unknown table alias `{alias}`"),
+            AstError::DuplicateAlias { alias } => {
+                write!(f, "duplicate table alias `{alias}` in FROM")
+            }
+            AstError::UnknownTable { table } => write!(f, "unknown table `{table}`"),
+            AstError::NoSuchColumnInTable { table, column } => {
+                write!(f, "table `{table}` has no column `{column}`")
+            }
+            AstError::UnsupportedFeature { feature } => {
+                write!(f, "unsupported SQL feature: {feature}")
+            }
+            AstError::TypeError { detail } => write!(f, "type error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AstError {}

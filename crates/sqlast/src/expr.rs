@@ -1,0 +1,361 @@
+//! Scalar expressions: column references, literals, arithmetic and
+//! aggregate function calls.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A (possibly qualified) column reference.
+///
+/// Before name resolution ([`crate::resolve`]) the `table` component may be
+/// empty (unqualified reference); after resolution every reference carries
+/// the table *alias* it binds to.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ColRef {
+    /// Table alias this column binds to ("" if not yet resolved).
+    pub table: String,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColRef {
+    /// Construct a qualified column reference; identifiers are
+    /// canonicalized to lower case.
+    pub fn new(table: &str, column: &str) -> Self {
+        ColRef { table: crate::ident(table), column: crate::ident(column) }
+    }
+
+    /// Construct an unqualified reference (to be resolved later).
+    pub fn unqualified(column: &str) -> Self {
+        ColRef { table: String::new(), column: crate::ident(column) }
+    }
+
+    /// Whether the reference still lacks a table qualifier.
+    pub fn is_unqualified(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// Suffix of the companion NULL-indicator column used by the NULL
+/// prototype (two-variable encoding of \[58\]; see `qrhint-core`'s
+/// `nullsafe` module): `c__isnull` is 1 when `c` is NULL, 0 otherwise.
+pub const NULL_INDICATOR_SUFFIX: &str = "__isnull";
+
+/// The indicator column paired with `c` under the NULL prototype's
+/// two-variable encoding.
+pub fn null_indicator(c: &ColRef) -> ColRef {
+    ColRef::new(&c.table, &format!("{}{}", c.column, NULL_INDICATOR_SUFFIX))
+}
+
+/// The reserved pseudo-column standing for a `NULL` literal in the NULL
+/// prototype: an always-null "column" (its not-null guard is the
+/// constant FALSE), so `x = NULL` correctly evaluates to UNKNOWN under
+/// the 3VL encoding — and is filtered by WHERE — in both positive and
+/// negated positions. Produced by `parse_pred_nullable`; ordinary name
+/// resolution never sees it.
+pub fn null_literal() -> ColRef {
+    ColRef::new("__sql", "null_literal")
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.table.is_empty() {
+            write!(f, "{}", self.column)
+        } else {
+            write!(f, "{}.{}", self.table, self.column)
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl ArithOp {
+    /// SQL spelling of the operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+
+    /// Precedence level used by the pretty-printer (higher binds tighter).
+    pub fn precedence(self) -> u8 {
+        match self {
+            ArithOp::Add | ArithOp::Sub => 1,
+            ArithOp::Mul | ArithOp::Div => 2,
+        }
+    }
+}
+
+/// SQL aggregate functions supported by the fragment (§7, Appendix E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// Argument of an aggregate call: `*` (COUNT only) or a scalar expression.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AggArg {
+    /// `COUNT(*)`.
+    Star,
+    /// `AGG(expr)`.
+    Expr(Box<Scalar>),
+}
+
+/// An aggregate function call, e.g. `COUNT(DISTINCT t.author)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AggCall {
+    pub func: AggFunc,
+    pub distinct: bool,
+    pub arg: AggArg,
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.func.sql())?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        match &self.arg {
+            AggArg::Star => write!(f, "*")?,
+            AggArg::Expr(e) => write!(f, "{e}")?,
+        }
+        write!(f, ")")
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Scalar {
+    /// Column reference.
+    Col(ColRef),
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Binary arithmetic.
+    Arith(Box<Scalar>, ArithOp, Box<Scalar>),
+    /// Unary negation.
+    Neg(Box<Scalar>),
+    /// Aggregate call (only legal in SELECT/HAVING of SPJA queries).
+    Agg(AggCall),
+}
+
+impl Scalar {
+    /// Convenience constructor for `lhs op rhs`.
+    pub fn arith(lhs: Scalar, op: ArithOp, rhs: Scalar) -> Scalar {
+        Scalar::Arith(Box::new(lhs), op, Box::new(rhs))
+    }
+
+    /// Column reference constructor.
+    pub fn col(table: &str, column: &str) -> Scalar {
+        Scalar::Col(ColRef::new(table, column))
+    }
+
+    /// Number of syntax-tree nodes in the expression (used by the cost
+    /// model, Definition 3).
+    pub fn size(&self) -> usize {
+        match self {
+            Scalar::Col(_) | Scalar::Int(_) | Scalar::Str(_) => 1,
+            Scalar::Arith(l, _, r) => 1 + l.size() + r.size(),
+            Scalar::Neg(e) => 1 + e.size(),
+            Scalar::Agg(call) => {
+                1 + match &call.arg {
+                    AggArg::Star => 1,
+                    AggArg::Expr(e) => e.size(),
+                }
+            }
+        }
+    }
+
+    /// Whether the expression contains any aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Scalar::Col(_) | Scalar::Int(_) | Scalar::Str(_) => false,
+            Scalar::Arith(l, _, r) => l.has_aggregate() || r.has_aggregate(),
+            Scalar::Neg(e) => e.has_aggregate(),
+            Scalar::Agg(_) => true,
+        }
+    }
+
+    /// Collect all column references (outside and inside aggregates) into
+    /// `out`, preserving first-visit order.
+    pub fn collect_columns(&self, out: &mut Vec<ColRef>) {
+        match self {
+            Scalar::Col(c) => out.push(c.clone()),
+            Scalar::Int(_) | Scalar::Str(_) => {}
+            Scalar::Arith(l, _, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Scalar::Neg(e) => e.collect_columns(out),
+            Scalar::Agg(call) => {
+                if let AggArg::Expr(e) = &call.arg {
+                    e.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Apply `f` to every column reference, rebuilding the expression.
+    /// Used to rename aliases when unifying queries under a table mapping
+    /// (Definition 1 of the paper).
+    pub fn map_columns(&self, f: &impl Fn(&ColRef) -> ColRef) -> Scalar {
+        match self {
+            Scalar::Col(c) => Scalar::Col(f(c)),
+            Scalar::Int(_) | Scalar::Str(_) => self.clone(),
+            Scalar::Arith(l, op, r) => {
+                Scalar::Arith(Box::new(l.map_columns(f)), *op, Box::new(r.map_columns(f)))
+            }
+            Scalar::Neg(e) => Scalar::Neg(Box::new(e.map_columns(f))),
+            Scalar::Agg(call) => {
+                let arg = match &call.arg {
+                    AggArg::Star => AggArg::Star,
+                    AggArg::Expr(e) => AggArg::Expr(Box::new(e.map_columns(f))),
+                };
+                Scalar::Agg(AggCall { func: call.func, distinct: call.distinct, arg })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(e: &Scalar, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match e {
+                Scalar::Col(c) => write!(f, "{c}"),
+                Scalar::Int(v) => write!(f, "{v}"),
+                Scalar::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+                Scalar::Arith(l, op, r) => {
+                    let prec = op.precedence();
+                    let need_parens = prec < parent_prec;
+                    if need_parens {
+                        write!(f, "(")?;
+                    }
+                    go(l, prec, f)?;
+                    write!(f, " {} ", op.sql())?;
+                    // Right operand of -, / needs parens at equal precedence.
+                    go(r, prec + 1, f)?;
+                    if need_parens {
+                        write!(f, ")")?;
+                    }
+                    Ok(())
+                }
+                Scalar::Neg(inner) => {
+                    write!(f, "-")?;
+                    go(inner, 3, f)
+                }
+                Scalar::Agg(call) => write!(f, "{call}"),
+            }
+        }
+        go(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_arith_parenthesization() {
+        // (a + b) * 2
+        let e = Scalar::arith(
+            Scalar::arith(Scalar::col("t", "a"), ArithOp::Add, Scalar::col("t", "b")),
+            ArithOp::Mul,
+            Scalar::Int(2),
+        );
+        assert_eq!(e.to_string(), "(t.a + t.b) * 2");
+        // a - (b - c) keeps parens on the right
+        let e2 = Scalar::arith(
+            Scalar::col("t", "a"),
+            ArithOp::Sub,
+            Scalar::arith(Scalar::col("t", "b"), ArithOp::Sub, Scalar::col("t", "c")),
+        );
+        assert_eq!(e2.to_string(), "t.a - (t.b - t.c)");
+    }
+
+    #[test]
+    fn display_string_literal_escaping() {
+        assert_eq!(Scalar::Str("O'Brien".into()).to_string(), "'O''Brien'");
+    }
+
+    #[test]
+    fn agg_display() {
+        let c = AggCall { func: AggFunc::Count, distinct: true, arg: AggArg::Star };
+        assert_eq!(c.to_string(), "COUNT(DISTINCT *)");
+        let s = AggCall {
+            func: AggFunc::Sum,
+            distinct: false,
+            arg: AggArg::Expr(Box::new(Scalar::arith(
+                Scalar::col("s", "d"),
+                ArithOp::Mul,
+                Scalar::Int(2),
+            ))),
+        };
+        assert_eq!(s.to_string(), "SUM(s.d * 2)");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Scalar::arith(Scalar::col("t", "a"), ArithOp::Add, Scalar::Int(1));
+        assert_eq!(e.size(), 3);
+        let agg = Scalar::Agg(AggCall {
+            func: AggFunc::Max,
+            distinct: false,
+            arg: AggArg::Expr(Box::new(e.clone())),
+        });
+        assert_eq!(agg.size(), 4);
+    }
+
+    #[test]
+    fn collect_and_map_columns() {
+        let e = Scalar::arith(Scalar::col("s1", "price"), ArithOp::Add, Scalar::col("s2", "price"));
+        let mut cols = vec![];
+        e.collect_columns(&mut cols);
+        assert_eq!(cols.len(), 2);
+        let renamed = e.map_columns(&|c: &ColRef| {
+            if c.table == "s1" {
+                ColRef::new("x", &c.column)
+            } else {
+                c.clone()
+            }
+        });
+        assert_eq!(renamed.to_string(), "x.price + s2.price");
+    }
+
+    #[test]
+    fn has_aggregate_detection() {
+        assert!(!Scalar::col("t", "a").has_aggregate());
+        let agg = Scalar::Agg(AggCall {
+            func: AggFunc::Count,
+            distinct: false,
+            arg: AggArg::Star,
+        });
+        assert!(Scalar::arith(agg, ArithOp::Mul, Scalar::Int(2)).has_aggregate());
+    }
+}

@@ -1,0 +1,56 @@
+//! # qrhint-sqlast
+//!
+//! Abstract syntax tree, type system, schemas and pretty-printing for the
+//! SQL fragment handled by Qr-Hint (SIGMOD 2024): single-block
+//! select-project-join queries with an optional single level of grouping
+//! and aggregation (SPJ / SPJA queries, §3 of the paper).
+//!
+//! The crate is deliberately independent of the parser and the solver so
+//! that every other crate in the workspace (engine, core, workloads) can
+//! share one query representation.
+//!
+//! ## Highlights
+//!
+//! * [`Query`] — a single-block SPJ/SPJA query.
+//! * [`Pred`] — quantifier-free predicate syntax trees with explicit
+//!   n-ary `AND`/`OR` nodes, exactly the shape Algorithms 1–3 of the paper
+//!   operate on.
+//! * [`Scalar`] — scalar expressions (columns, literals, arithmetic,
+//!   aggregate calls).
+//! * [`Schema`] / [`schema`] — database schemas and name resolution.
+//! * Every node type knows its own [`Pred::size`] (syntax-tree node count),
+//!   the unit in which the paper's repair cost (Definition 3) is expressed.
+
+#![forbid(unsafe_code)]
+
+pub mod expr;
+pub mod pred;
+pub mod query;
+pub mod schema;
+pub mod resolve;
+pub mod error;
+
+pub use error::{AstError, AstResult};
+pub use expr::{null_indicator, null_literal, AggArg, AggCall, AggFunc, ArithOp, ColRef, Scalar, NULL_INDICATOR_SUFFIX};
+pub use pred::{CmpOp, Pred};
+pub use query::{Query, SelectItem, TableRef};
+pub use schema::{ColumnDef, Schema, SqlType, TableSchema};
+
+/// Identifiers in this SQL dialect are case-insensitive; we canonicalize by
+/// lower-casing at construction time. This helper is the single place where
+/// that rule lives.
+pub fn ident(s: &str) -> String {
+    s.to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_lowercases() {
+        assert_eq!(ident("Likes"), "likes");
+        assert_eq!(ident("S1"), "s1");
+        assert_eq!(ident("already_lower"), "already_lower");
+    }
+}

@@ -1,0 +1,291 @@
+//! Single-block queries: SELECT / FROM / WHERE / GROUP BY / HAVING.
+
+use crate::expr::{ColRef, Scalar};
+use crate::pred::Pred;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One table reference in `FROM`, with its alias (defaults to the table
+/// name per §4 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableRef {
+    /// Underlying table name (lower-cased).
+    pub table: String,
+    /// Alias bound in this query (lower-cased; equals `table` if no alias
+    /// was written).
+    pub alias: String,
+}
+
+impl TableRef {
+    /// Table reference with explicit alias.
+    pub fn aliased(table: &str, alias: &str) -> Self {
+        TableRef { table: crate::ident(table), alias: crate::ident(alias) }
+    }
+
+    /// Table reference whose alias defaults to the table name.
+    pub fn plain(table: &str) -> Self {
+        let t = crate::ident(table);
+        TableRef { table: t.clone(), alias: t }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.alias == self.table {
+            write!(f, "{}", self.table)
+        } else {
+            write!(f, "{} {}", self.table, self.alias)
+        }
+    }
+}
+
+/// One output expression in `SELECT`, with an optional output alias.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SelectItem {
+    pub expr: Scalar,
+    pub alias: Option<String>,
+}
+
+impl SelectItem {
+    /// Unaliased select item.
+    pub fn expr(expr: Scalar) -> Self {
+        SelectItem { expr, alias: None }
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if let Some(a) = &self.alias {
+            write!(f, " AS {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A single-block SPJ/SPJA query (§3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    pub distinct: bool,
+    pub select: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    /// WHERE predicate; defaults to [`Pred::True`] when missing.
+    pub where_pred: Pred,
+    /// GROUP BY expressions (empty when absent).
+    pub group_by: Vec<Scalar>,
+    /// HAVING predicate; `None` when absent (§3 treats a missing HAVING as
+    /// TRUE, but we keep the distinction for faithful pretty-printing).
+    pub having: Option<Pred>,
+}
+
+impl Query {
+    /// Whether the query is SPJA: it has grouping, aggregation or DISTINCT
+    /// (§3's definition).
+    pub fn is_spja(&self) -> bool {
+        self.distinct
+            || !self.group_by.is_empty()
+            || self.having.is_some()
+            || self.select.iter().any(|s| s.expr.has_aggregate())
+            || self.having.as_ref().is_some_and(Pred::has_aggregate)
+    }
+
+    /// The multiset `Tables(Q)` of §4: table name → number of references.
+    pub fn table_multiset(&self) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for t in &self.from {
+            *m.entry(t.table.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// The alias set `Aliases(Q)` of §4, in FROM order.
+    pub fn aliases(&self) -> Vec<&str> {
+        self.from.iter().map(|t| t.alias.as_str()).collect()
+    }
+
+    /// `Aliases(Q, T)`: aliases associated with table `table`.
+    pub fn aliases_of(&self, table: &str) -> Vec<&str> {
+        let table = crate::ident(table);
+        self.from
+            .iter()
+            .filter(|t| t.table == table)
+            .map(|t| t.alias.as_str())
+            .collect()
+    }
+
+    /// `Table(Q, alias)`: the table an alias refers to.
+    pub fn table_of_alias(&self, alias: &str) -> Option<&str> {
+        let alias = crate::ident(alias);
+        self.from
+            .iter()
+            .find(|t| t.alias == alias)
+            .map(|t| t.table.as_str())
+    }
+
+    /// HAVING as a predicate (TRUE when absent).
+    pub fn having_pred(&self) -> Pred {
+        self.having.clone().unwrap_or(Pred::True)
+    }
+
+    /// Every column reference in the query, across all clauses.
+    pub fn collect_columns(&self) -> Vec<ColRef> {
+        let mut out = Vec::new();
+        for item in &self.select {
+            item.expr.collect_columns(&mut out);
+        }
+        self.where_pred.collect_columns(&mut out);
+        for g in &self.group_by {
+            g.collect_columns(&mut out);
+        }
+        if let Some(h) = &self.having {
+            h.collect_columns(&mut out);
+        }
+        out
+    }
+
+    /// Rebuild the query applying `f` to every column reference (used when
+    /// renaming aliases under a table mapping).
+    pub fn map_columns(&self, f: &impl Fn(&ColRef) -> ColRef) -> Query {
+        Query {
+            distinct: self.distinct,
+            select: self
+                .select
+                .iter()
+                .map(|s| SelectItem { expr: s.expr.map_columns(f), alias: s.alias.clone() })
+                .collect(),
+            from: self.from.clone(),
+            where_pred: self.where_pred.map_columns(f),
+            group_by: self.group_by.iter().map(|g| g.map_columns(f)).collect(),
+            having: self.having.as_ref().map(|h| h.map_columns(f)),
+        }
+    }
+
+    /// Total syntax-tree size over all clauses (used for diagnostics).
+    pub fn size(&self) -> usize {
+        self.select.iter().map(|s| s.expr.size()).sum::<usize>()
+            + self.from.len()
+            + self.where_pred.size()
+            + self.group_by.iter().map(Scalar::size).sum::<usize>()
+            + self.having.as_ref().map_or(0, Pred::size)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, s) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        if self.where_pred != Pred::True {
+            write!(f, " WHERE {}", self.where_pred)?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggArg, AggCall, AggFunc};
+    use crate::pred::CmpOp;
+
+    fn sample() -> Query {
+        Query {
+            distinct: false,
+            select: vec![
+                SelectItem::expr(Scalar::col("l", "beer")),
+                SelectItem::expr(Scalar::Agg(AggCall {
+                    func: AggFunc::Count,
+                    distinct: false,
+                    arg: AggArg::Star,
+                })),
+            ],
+            from: vec![TableRef::aliased("Likes", "l"), TableRef::plain("Serves")],
+            where_pred: Pred::cmp(
+                Scalar::col("l", "beer"),
+                CmpOp::Eq,
+                Scalar::col("serves", "beer"),
+            ),
+            group_by: vec![Scalar::col("l", "beer")],
+            having: None,
+        }
+    }
+
+    #[test]
+    fn spja_detection() {
+        let q = sample();
+        assert!(q.is_spja());
+        let mut spj = q.clone();
+        spj.select = vec![SelectItem::expr(Scalar::col("l", "beer"))];
+        spj.group_by.clear();
+        assert!(!spj.is_spja());
+        spj.distinct = true;
+        assert!(spj.is_spja());
+    }
+
+    #[test]
+    fn table_multiset_counts_duplicates() {
+        let q = Query {
+            from: vec![
+                TableRef::aliased("Serves", "s1"),
+                TableRef::aliased("Serves", "s2"),
+                TableRef::plain("Likes"),
+            ],
+            ..sample()
+        };
+        let m = q.table_multiset();
+        assert_eq!(m["serves"], 2);
+        assert_eq!(m["likes"], 1);
+        assert_eq!(q.aliases_of("serves"), vec!["s1", "s2"]);
+        assert_eq!(q.table_of_alias("s2"), Some("serves"));
+        assert_eq!(q.table_of_alias("zzz"), None);
+    }
+
+    #[test]
+    fn display_full_query() {
+        let q = sample();
+        assert_eq!(
+            q.to_string(),
+            "SELECT l.beer, COUNT(*) FROM likes l, serves \
+             WHERE l.beer = serves.beer GROUP BY l.beer"
+        );
+    }
+
+    #[test]
+    fn map_columns_renames() {
+        let q = sample();
+        let renamed = q.map_columns(&|c: &ColRef| {
+            if c.table == "l" {
+                ColRef::new("likes", &c.column)
+            } else {
+                c.clone()
+            }
+        });
+        assert!(renamed.to_string().contains("likes.beer = serves.beer"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Name resolution: qualify every column reference in a query with the
+//! alias it binds to, and type-check references against the schema.
+//!
+//! Resolution follows standard SQL scoping for the single-block fragment:
+//! a qualified reference `t.c` must name an alias `t` in `FROM` whose table
+//! has column `c`; an unqualified reference `c` must resolve to exactly one
+//! alias whose table has column `c` (ambiguity is an error).
+
+use crate::error::{AstError, AstResult};
+use crate::expr::{AggArg, AggCall, ColRef, Scalar};
+use crate::pred::Pred;
+use crate::query::{Query, SelectItem};
+use crate::schema::{Schema, SqlType};
+use std::collections::BTreeMap;
+
+/// Resolution environment: alias → table schema name, built from `FROM`.
+#[derive(Debug, Clone)]
+pub struct Scope<'s> {
+    schema: &'s Schema,
+    /// alias → table name
+    aliases: BTreeMap<String, String>,
+}
+
+impl<'s> Scope<'s> {
+    /// Build the scope for a query's FROM list, checking that tables exist
+    /// and aliases are unique.
+    pub fn for_query(schema: &'s Schema, query: &Query) -> AstResult<Self> {
+        let mut aliases = BTreeMap::new();
+        for tref in &query.from {
+            schema.table_or_err(&tref.table)?;
+            if aliases.insert(tref.alias.clone(), tref.table.clone()).is_some() {
+                return Err(AstError::DuplicateAlias { alias: tref.alias.clone() });
+            }
+        }
+        Ok(Scope { schema, aliases })
+    }
+
+    /// Resolve a column reference, returning the qualified reference and
+    /// its type.
+    pub fn resolve(&self, c: &ColRef) -> AstResult<(ColRef, SqlType)> {
+        if !c.is_unqualified() {
+            let table = self
+                .aliases
+                .get(&c.table)
+                .ok_or_else(|| AstError::UnknownAlias { alias: c.table.clone() })?;
+            let schema = self.schema.table_or_err(table)?;
+            let (_, ty) = schema.column(&c.column).ok_or_else(|| {
+                AstError::NoSuchColumnInTable { table: table.clone(), column: c.column.clone() }
+            })?;
+            return Ok((c.clone(), ty));
+        }
+        let mut hits: Vec<(String, SqlType)> = Vec::new();
+        for (alias, table) in &self.aliases {
+            let schema = self.schema.table_or_err(table)?;
+            if let Some((_, ty)) = schema.column(&c.column) {
+                hits.push((alias.clone(), ty));
+            }
+        }
+        match hits.len() {
+            0 => Err(AstError::UnknownColumn { column: c.column.clone() }),
+            1 => {
+                let (alias, ty) = hits.pop().unwrap();
+                Ok((ColRef { table: alias, column: c.column.clone() }, ty))
+            }
+            _ => Err(AstError::AmbiguousColumn {
+                column: c.column.clone(),
+                candidates: hits.into_iter().map(|(a, _)| a).collect(),
+            }),
+        }
+    }
+
+    /// Type of a (resolved) scalar expression. Arithmetic requires Int
+    /// operands; aggregates are Int-typed except MIN/MAX which preserve the
+    /// argument type.
+    pub fn type_of(&self, e: &Scalar) -> AstResult<SqlType> {
+        match e {
+            Scalar::Col(c) => Ok(self.resolve(c)?.1),
+            Scalar::Int(_) => Ok(SqlType::Int),
+            Scalar::Str(_) => Ok(SqlType::Str),
+            Scalar::Arith(l, op, r) => {
+                let (lt, rt) = (self.type_of(l)?, self.type_of(r)?);
+                if lt != SqlType::Int || rt != SqlType::Int {
+                    return Err(AstError::TypeError {
+                        detail: format!("arithmetic `{}` requires integer operands", op.sql()),
+                    });
+                }
+                Ok(SqlType::Int)
+            }
+            Scalar::Neg(inner) => {
+                if self.type_of(inner)? != SqlType::Int {
+                    return Err(AstError::TypeError {
+                        detail: "unary minus requires an integer operand".into(),
+                    });
+                }
+                Ok(SqlType::Int)
+            }
+            Scalar::Agg(AggCall { func, arg, .. }) => match arg {
+                AggArg::Star => Ok(SqlType::Int),
+                AggArg::Expr(inner) => {
+                    let t = self.type_of(inner)?;
+                    use crate::expr::AggFunc::*;
+                    match func {
+                        Count => Ok(SqlType::Int),
+                        Min | Max => Ok(t),
+                        Sum | Avg => {
+                            if t != SqlType::Int {
+                                return Err(AstError::TypeError {
+                                    detail: format!("{}(..) requires integer input", func.sql()),
+                                });
+                            }
+                            Ok(SqlType::Int)
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+fn resolve_scalar(scope: &Scope<'_>, e: &Scalar) -> AstResult<Scalar> {
+    let resolved = match e {
+        Scalar::Col(c) => Scalar::Col(scope.resolve(c)?.0),
+        Scalar::Int(_) | Scalar::Str(_) => e.clone(),
+        Scalar::Arith(l, op, r) => Scalar::Arith(
+            Box::new(resolve_scalar(scope, l)?),
+            *op,
+            Box::new(resolve_scalar(scope, r)?),
+        ),
+        Scalar::Neg(inner) => Scalar::Neg(Box::new(resolve_scalar(scope, inner)?)),
+        Scalar::Agg(call) => {
+            let arg = match &call.arg {
+                AggArg::Star => AggArg::Star,
+                AggArg::Expr(inner) => AggArg::Expr(Box::new(resolve_scalar(scope, inner)?)),
+            };
+            Scalar::Agg(AggCall { func: call.func, distinct: call.distinct, arg })
+        }
+    };
+    // Type-check as we go so errors surface early.
+    scope.type_of(&resolved)?;
+    Ok(resolved)
+}
+
+fn resolve_pred(scope: &Scope<'_>, p: &Pred) -> AstResult<Pred> {
+    Ok(match p {
+        Pred::True => Pred::True,
+        Pred::False => Pred::False,
+        Pred::Cmp(l, op, r) => {
+            let (l, r) = (resolve_scalar(scope, l)?, resolve_scalar(scope, r)?);
+            let (lt, rt) = (scope.type_of(&l)?, scope.type_of(&r)?);
+            if lt != rt {
+                return Err(AstError::TypeError {
+                    detail: format!("cannot compare {lt} with {rt} in `{l} {} {r}`", op.sql()),
+                });
+            }
+            Pred::Cmp(l, *op, r)
+        }
+        Pred::Like { expr, pattern, negated } => {
+            let expr = resolve_scalar(scope, expr)?;
+            if scope.type_of(&expr)? != SqlType::Str {
+                return Err(AstError::TypeError {
+                    detail: "LIKE requires a string operand".into(),
+                });
+            }
+            Pred::Like { expr, pattern: pattern.clone(), negated: *negated }
+        }
+        Pred::And(cs) => Pred::And(cs.iter().map(|c| resolve_pred(scope, c)).collect::<AstResult<_>>()?),
+        Pred::Or(cs) => Pred::Or(cs.iter().map(|c| resolve_pred(scope, c)).collect::<AstResult<_>>()?),
+        Pred::Not(c) => Pred::Not(Box::new(resolve_pred(scope, c)?)),
+    })
+}
+
+/// Resolve every column reference in `query` against `schema`, returning a
+/// fully qualified, type-checked query.
+pub fn resolve_query(schema: &Schema, query: &Query) -> AstResult<Query> {
+    let scope = Scope::for_query(schema, query)?;
+    let select = query
+        .select
+        .iter()
+        .map(|s| {
+            Ok(SelectItem { expr: resolve_scalar(&scope, &s.expr)?, alias: s.alias.clone() })
+        })
+        .collect::<AstResult<Vec<_>>>()?;
+    Ok(Query {
+        distinct: query.distinct,
+        select,
+        from: query.from.clone(),
+        where_pred: resolve_pred(&scope, &query.where_pred)?,
+        group_by: query
+            .group_by
+            .iter()
+            .map(|g| resolve_scalar(&scope, g))
+            .collect::<AstResult<_>>()?,
+        having: match &query.having {
+            Some(h) => Some(resolve_pred(&scope, h)?),
+            None => None,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::CmpOp;
+    use crate::query::TableRef;
+
+    fn beers() -> Schema {
+        Schema::new()
+            .with_table(
+                "Likes",
+                &[("drinker", SqlType::Str), ("beer", SqlType::Str)],
+                &["drinker", "beer"],
+            )
+            .with_table(
+                "Frequents",
+                &[("drinker", SqlType::Str), ("bar", SqlType::Str)],
+                &["drinker", "bar"],
+            )
+            .with_table(
+                "Serves",
+                &[("bar", SqlType::Str), ("beer", SqlType::Str), ("price", SqlType::Int)],
+                &["bar", "beer"],
+            )
+    }
+
+    fn q(from: Vec<TableRef>, where_pred: Pred) -> Query {
+        Query {
+            distinct: false,
+            select: vec![SelectItem::expr(Scalar::Int(1))],
+            from,
+            where_pred,
+            group_by: vec![],
+            having: None,
+        }
+    }
+
+    #[test]
+    fn unqualified_unique_column_resolves() {
+        let schema = beers();
+        let query = q(
+            vec![TableRef::plain("Likes"), TableRef::aliased("Serves", "s1")],
+            Pred::cmp(
+                Scalar::Col(ColRef::unqualified("price")),
+                CmpOp::Gt,
+                Scalar::Int(3),
+            ),
+        );
+        let r = resolve_query(&schema, &query).unwrap();
+        assert!(r.to_string().contains("s1.price > 3"));
+    }
+
+    #[test]
+    fn ambiguous_column_errors() {
+        let schema = beers();
+        let query = q(
+            vec![TableRef::plain("Likes"), TableRef::plain("Frequents")],
+            Pred::cmp(
+                Scalar::Col(ColRef::unqualified("drinker")),
+                CmpOp::Eq,
+                Scalar::Str("Amy".into()),
+            ),
+        );
+        match resolve_query(&schema, &query) {
+            Err(AstError::AmbiguousColumn { column, candidates }) => {
+                assert_eq!(column, "drinker");
+                assert_eq!(candidates.len(), 2);
+            }
+            other => panic!("expected ambiguity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_alias_and_column_error() {
+        let schema = beers();
+        let query = q(
+            vec![TableRef::plain("Likes")],
+            Pred::cmp(Scalar::col("zzz", "beer"), CmpOp::Eq, Scalar::Str("IPA".into())),
+        );
+        assert!(matches!(
+            resolve_query(&schema, &query),
+            Err(AstError::UnknownAlias { .. })
+        ));
+        let query2 = q(
+            vec![TableRef::plain("Likes")],
+            Pred::cmp(
+                Scalar::Col(ColRef::unqualified("nonexistent")),
+                CmpOp::Eq,
+                Scalar::Int(1),
+            ),
+        );
+        assert!(matches!(
+            resolve_query(&schema, &query2),
+            Err(AstError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let schema = beers();
+        let query = q(
+            vec![TableRef::aliased("Serves", "s"), TableRef::aliased("Likes", "s")],
+            Pred::True,
+        );
+        assert!(matches!(
+            resolve_query(&schema, &query),
+            Err(AstError::DuplicateAlias { .. })
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let schema = beers();
+        let query = q(
+            vec![TableRef::plain("Serves")],
+            Pred::cmp(
+                Scalar::col("serves", "price"),
+                CmpOp::Eq,
+                Scalar::col("serves", "beer"),
+            ),
+        );
+        assert!(matches!(resolve_query(&schema, &query), Err(AstError::TypeError { .. })));
+    }
+
+    #[test]
+    fn like_on_int_rejected() {
+        let schema = beers();
+        let query = q(
+            vec![TableRef::plain("Serves")],
+            Pred::Like {
+                expr: Scalar::col("serves", "price"),
+                pattern: "1%".into(),
+                negated: false,
+            },
+        );
+        assert!(matches!(resolve_query(&schema, &query), Err(AstError::TypeError { .. })));
+    }
+}

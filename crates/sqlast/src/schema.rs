@@ -1,0 +1,211 @@
+//! Database schemas: table definitions, column types, keys.
+//!
+//! Qr-Hint assumes all columns are `NOT NULL` (§3 Limitations) and ignores
+//! key/foreign-key constraints during reasoning; keys are still recorded so
+//! workload generators can produce realistic data.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{AstError, AstResult};
+
+/// Column types of the fragment. Everything is `NOT NULL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SqlType {
+    /// 64-bit integers (covers INT, DECIMAL-without-fraction use in the
+    /// paper's workloads).
+    Int,
+    /// Variable-length strings.
+    Str,
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlType::Int => write!(f, "INT"),
+            SqlType::Str => write!(f, "VARCHAR"),
+        }
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: SqlType,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Names of key columns (informational; not used in reasoning).
+    pub key: Vec<String>,
+    /// Row-level `CHECK` constraints over this table's columns
+    /// (unqualified references). §3 "Limitations" item 4 notes that
+    /// database constraints "can, in theory, be encoded as logical
+    /// assertions and included as part of the context when calling Z3" —
+    /// these per-row domain constraints are exactly the fragment of that
+    /// idea that stays quantifier-free, so including them is cheap (see
+    /// [`Schema::domain_context`]).
+    #[serde(default)]
+    pub checks: Vec<crate::pred::Pred>,
+}
+
+impl TableSchema {
+    /// Position and type of a column, if present.
+    pub fn column(&self, name: &str) -> Option<(usize, SqlType)> {
+        let name = crate::ident(name);
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| (i, self.columns[i].ty))
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+}
+
+/// A database schema: a set of tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    tables: BTreeMap<String, TableSchema>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Builder-style table registration.
+    ///
+    /// ```
+    /// use qrhint_sqlast::{Schema, SqlType};
+    /// let schema = Schema::new()
+    ///     .with_table("Likes", &[("drinker", SqlType::Str), ("beer", SqlType::Str)], &["drinker", "beer"]);
+    /// assert!(schema.table("likes").is_some());
+    /// ```
+    pub fn with_table(mut self, name: &str, cols: &[(&str, SqlType)], key: &[&str]) -> Self {
+        let t = TableSchema {
+            name: crate::ident(name),
+            columns: cols
+                .iter()
+                .map(|(n, ty)| ColumnDef { name: crate::ident(n), ty: *ty })
+                .collect(),
+            key: key.iter().map(|k| crate::ident(k)).collect(),
+            checks: Vec::new(),
+        };
+        self.tables.insert(t.name.clone(), t);
+        self
+    }
+
+    /// Builder-style `CHECK` constraint registration: `check` must
+    /// reference columns of `table` (unqualified). Unknown tables are a
+    /// no-op (builder convenience; [`Schema::domain_context`] never
+    /// fabricates constraints).
+    pub fn with_check(mut self, table: &str, check: crate::pred::Pred) -> Self {
+        if let Some(t) = self.tables.get_mut(&crate::ident(table)) {
+            t.checks.push(check);
+        }
+        self
+    }
+
+    /// Instantiate every `CHECK` constraint of every table referenced by
+    /// `q`'s FROM clause, qualifying column references with the FROM
+    /// alias. The result is a list of predicates that hold on **every**
+    /// row of `F(Q)` — a sound, quantifier-free context for the WHERE
+    /// stage's equivalence and repair reasoning (§3 Limitations item 4).
+    pub fn domain_context(&self, q: &crate::query::Query) -> Vec<crate::pred::Pred> {
+        let mut out = Vec::new();
+        for tref in &q.from {
+            let Some(ts) = self.table(&tref.table) else { continue };
+            for check in &ts.checks {
+                let alias = tref.alias.clone();
+                out.push(check.map_columns(&|c: &crate::expr::ColRef| {
+                    if c.is_unqualified() {
+                        crate::expr::ColRef::new(&alias, &c.column)
+                    } else {
+                        c.clone()
+                    }
+                }));
+            }
+        }
+        out
+    }
+
+    /// Look up a table by name (case-insensitive).
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(&crate::ident(name))
+    }
+
+    /// Look up a table or raise [`AstError::UnknownTable`].
+    pub fn table_or_err(&self, name: &str) -> AstResult<&TableSchema> {
+        self.table(name)
+            .ok_or_else(|| AstError::UnknownTable { table: name.to_string() })
+    }
+
+    /// Iterate over all tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the schema has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beers() -> Schema {
+        Schema::new()
+            .with_table(
+                "Likes",
+                &[("drinker", SqlType::Str), ("beer", SqlType::Str)],
+                &["drinker", "beer"],
+            )
+            .with_table(
+                "Serves",
+                &[("bar", SqlType::Str), ("beer", SqlType::Str), ("price", SqlType::Int)],
+                &["bar", "beer"],
+            )
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = beers();
+        assert!(s.table("LIKES").is_some());
+        assert!(s.table("likes").is_some());
+        assert!(s.table("nope").is_none());
+        assert!(s.table_or_err("nope").is_err());
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = beers();
+        let serves = s.table("serves").unwrap();
+        assert_eq!(serves.column("PRICE"), Some((2, SqlType::Int)));
+        assert_eq!(serves.column("missing"), None);
+        assert_eq!(serves.column_names().collect::<Vec<_>>(), vec!["bar", "beer", "price"]);
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let s = beers();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.tables().count(), 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! Minimal DDL parsing: `CREATE TABLE` statements into a
+//! [`qrhint_sqlast::Schema`], so the CLI can consume ordinary `.sql`
+//! schema files.
+//!
+//! Supported per column: `INT`/`INTEGER`/`BIGINT`/`SMALLINT` (integer),
+//! `VARCHAR(n)`/`CHAR(n)`/`TEXT`/`STRING` (string), `DECIMAL(p,s)`/
+//! `NUMERIC` (integer — the fragment is integer-valued, see DESIGN.md),
+//! with optional `PRIMARY KEY` / `NOT NULL` / `UNIQUE` column modifiers
+//! and a table-level `PRIMARY KEY (...)` clause. Everything else is
+//! rejected with a diagnostic.
+
+use crate::lexer::{lex, SpannedToken, Token};
+use crate::parser::{ParseError, Parser};
+use qrhint_sqlast::{Pred, Schema, SqlType};
+
+struct DdlParser {
+    toks: Vec<SpannedToken>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl DdlParser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].token
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].offset
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].token.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("keyword {}", kw.to_uppercase())))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> PResult<String> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> PResult<()> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::Unexpected {
+            found: self.peek().to_string(),
+            expected: expected.to_string(),
+            offset: self.offset(),
+        }
+    }
+
+    /// Skip a parenthesized argument list like `(10)` or `(10, 2)`.
+    fn skip_parens(&mut self) -> PResult<()> {
+        if matches!(self.peek(), Token::LParen) {
+            self.bump();
+            let mut depth = 1;
+            while depth > 0 {
+                match self.bump() {
+                    Token::LParen => depth += 1,
+                    Token::RParen => depth -= 1,
+                    Token::Eof => return Err(self.unexpected(") closing type arguments")),
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn column_type(&mut self) -> PResult<SqlType> {
+        let name = self.expect_ident("column type")?;
+        let ty = match name.as_str() {
+            "int" | "integer" | "bigint" | "smallint" | "decimal" | "numeric" => SqlType::Int,
+            "varchar" | "char" | "text" | "string" | "character" => SqlType::Str,
+            other => {
+                return Err(ParseError::Unsupported {
+                    feature: format!("column type `{other}`"),
+                    offset: self.offset(),
+                })
+            }
+        };
+        self.skip_parens()?;
+        Ok(ty)
+    }
+
+    /// Parse a `CHECK ( pred )` body by capturing the balanced token
+    /// stream between the parentheses and handing it to the main
+    /// predicate parser.
+    fn check_constraint(&mut self) -> PResult<Pred> {
+        self.expect(&Token::LParen, "( opening CHECK predicate")?;
+        let mut captured: Vec<SpannedToken> = Vec::new();
+        let mut depth = 1usize;
+        loop {
+            match self.peek() {
+                Token::LParen => depth += 1,
+                Token::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.bump();
+                        break;
+                    }
+                }
+                Token::Eof => return Err(self.unexpected(") closing CHECK predicate")),
+                _ => {}
+            }
+            let offset = self.offset();
+            let token = self.bump();
+            captured.push(SpannedToken { token, offset });
+        }
+        let eof_offset = captured.last().map_or(0, |t| t.offset + 1);
+        captured.push(SpannedToken { token: Token::Eof, offset: eof_offset });
+        let mut sub = Parser { toks: captured, pos: 0, depth: 0, allow_is_null: false };
+        let pred = sub.pred()?;
+        sub.expect(&Token::Eof, "end of CHECK predicate")?;
+        Ok(pred)
+    }
+
+    fn table(&mut self, schema: Schema) -> PResult<Schema> {
+        self.expect_keyword("create")?;
+        self.expect_keyword("table")?;
+        let table = self.expect_ident("table name")?;
+        self.expect(&Token::LParen, "( opening column list")?;
+        let mut cols: Vec<(String, SqlType)> = Vec::new();
+        let mut key: Vec<String> = Vec::new();
+        let mut checks: Vec<Pred> = Vec::new();
+        loop {
+            if self.eat_keyword("check") {
+                checks.push(self.check_constraint()?);
+            } else if self.eat_keyword("primary") {
+                self.expect_keyword("key")?;
+                self.expect(&Token::LParen, "( opening key list")?;
+                loop {
+                    key.push(self.expect_ident("key column")?);
+                    if matches!(self.peek(), Token::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen, ") closing key list")?;
+            } else if self.eat_keyword("foreign") || self.eat_keyword("constraint")
+                || self.eat_keyword("unique") && matches!(self.peek(), Token::LParen)
+            {
+                // Skip table-level constraint bodies.
+                while !matches!(self.peek(), Token::Comma | Token::RParen | Token::Eof) {
+                    if matches!(self.peek(), Token::LParen) {
+                        self.skip_parens()?;
+                    } else {
+                        self.bump();
+                    }
+                }
+            } else {
+                let col = self.expect_ident("column name")?;
+                let ty = self.column_type()?;
+                // Column modifiers.
+                loop {
+                    if self.eat_keyword("primary") {
+                        self.expect_keyword("key")?;
+                        key.push(col.clone());
+                    } else if self.eat_keyword("not") {
+                        self.expect_keyword("null")?;
+                    } else if self.eat_keyword("unique") {
+                    } else if self.eat_keyword("references") {
+                        let _ = self.expect_ident("referenced table")?;
+                        self.skip_parens()?;
+                    } else if self.eat_keyword("check") {
+                        checks.push(self.check_constraint()?);
+                    } else {
+                        break;
+                    }
+                }
+                cols.push((col, ty));
+            }
+            match self.bump() {
+                Token::Comma => continue,
+                Token::RParen => break,
+                _ => return Err(self.unexpected(", or ) in column list")),
+            }
+        }
+        if matches!(self.peek(), Token::Semicolon) {
+            self.bump();
+        }
+        let col_refs: Vec<(&str, SqlType)> =
+            cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let key_refs: Vec<&str> = key.iter().map(String::as_str).collect();
+        let mut schema = schema.with_table(&table, &col_refs, &key_refs);
+        for check in checks {
+            schema = schema.with_check(&table, check);
+        }
+        Ok(schema)
+    }
+}
+
+/// Parse a sequence of `CREATE TABLE` statements into a [`Schema`].
+///
+/// ```
+/// use qrhint_sqlparse::parse_schema;
+/// let schema = parse_schema(
+///     "CREATE TABLE Serves (bar VARCHAR(50), beer VARCHAR(50),
+///                           price INT, PRIMARY KEY (bar, beer));",
+/// ).unwrap();
+/// assert!(schema.table("serves").is_some());
+/// ```
+pub fn parse_schema(sql: &str) -> Result<Schema, ParseError> {
+    let toks = lex(sql)?;
+    let mut p = DdlParser { toks, pos: 0 };
+    let mut schema = Schema::new();
+    while !matches!(p.peek(), Token::Eof) {
+        schema = p.table(schema)?;
+    }
+    Ok(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beers_schema_roundtrip() {
+        let schema = parse_schema(
+            "CREATE TABLE Likes (drinker VARCHAR(30), beer VARCHAR(30),
+                                 PRIMARY KEY (drinker, beer));
+             CREATE TABLE Frequents (drinker VARCHAR(30), bar VARCHAR(30),
+                                     PRIMARY KEY (drinker, bar));
+             CREATE TABLE Serves (bar VARCHAR(30), beer VARCHAR(30),
+                                  price DECIMAL(6,2), PRIMARY KEY (bar, beer));",
+        )
+        .unwrap();
+        assert_eq!(schema.len(), 3);
+        let serves = schema.table("serves").unwrap();
+        assert_eq!(serves.column("price"), Some((2, SqlType::Int)));
+        assert_eq!(serves.key, vec!["bar", "beer"]);
+    }
+
+    #[test]
+    fn column_modifiers() {
+        let schema = parse_schema(
+            "CREATE TABLE T (id INT PRIMARY KEY,
+                             name TEXT NOT NULL UNIQUE,
+                             other INT REFERENCES T (id))",
+        )
+        .unwrap();
+        let t = schema.table("t").unwrap();
+        assert_eq!(t.columns.len(), 3);
+        assert_eq!(t.key, vec!["id"]);
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let err = parse_schema("CREATE TABLE T (x BLOB)").unwrap_err();
+        assert!(matches!(err, ParseError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn syntax_errors_reported() {
+        assert!(parse_schema("CREATE TABLE T x INT").is_err());
+        assert!(parse_schema("CREATE T (x INT)").is_err());
+        assert!(parse_schema("CREATE TABLE T (x INT").is_err());
+    }
+
+    #[test]
+    fn foreign_key_clause_skipped() {
+        let schema = parse_schema(
+            "CREATE TABLE A (x INT, PRIMARY KEY (x));
+             CREATE TABLE B (y INT, FOREIGN KEY (y) REFERENCES A (x))",
+        )
+        .unwrap();
+        assert_eq!(schema.len(), 2);
+        assert_eq!(schema.table("b").unwrap().columns.len(), 1);
+    }
+}

@@ -1,0 +1,370 @@
+//! SQL lexer for the Qr-Hint fragment.
+
+use std::fmt;
+
+/// Lexical tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser; the lexer keeps the original spelling lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (single-quoted, with `''` escapes already undone).
+    Str(String),
+    /// Punctuation / operators.
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Semicolon,
+    Eq,
+    Ne,   // <> or !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Semicolon => write!(f, ";"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    /// A character that cannot start any token.
+    UnexpectedChar { ch: char, offset: usize },
+    /// A string literal that never closes.
+    UnterminatedString { offset: usize },
+    /// A numeric literal that does not fit in `i64` or has an unsupported
+    /// form (non-integral decimals).
+    BadNumber { text: String, offset: usize },
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnexpectedChar { ch, offset } => {
+                write!(f, "unexpected character `{ch}` at byte {offset}")
+            }
+            LexError::UnterminatedString { offset } => {
+                write!(f, "unterminated string literal starting at byte {offset}")
+            }
+            LexError::BadNumber { text, offset } => {
+                write!(f, "bad numeric literal `{text}` at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `input`, appending an [`Token::Eof`] sentinel.
+pub fn lex(input: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(SpannedToken { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            '.' => {
+                out.push(SpannedToken { token: Token::Dot, offset: i });
+                i += 1;
+            }
+            '(' => {
+                out.push(SpannedToken { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                out.push(SpannedToken { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            '*' => {
+                out.push(SpannedToken { token: Token::Star, offset: i });
+                i += 1;
+            }
+            '+' => {
+                out.push(SpannedToken { token: Token::Plus, offset: i });
+                i += 1;
+            }
+            '-' => {
+                out.push(SpannedToken { token: Token::Minus, offset: i });
+                i += 1;
+            }
+            '/' => {
+                out.push(SpannedToken { token: Token::Slash, offset: i });
+                i += 1;
+            }
+            ';' => {
+                out.push(SpannedToken { token: Token::Semicolon, offset: i });
+                i += 1;
+            }
+            '=' => {
+                out.push(SpannedToken { token: Token::Eq, offset: i });
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(SpannedToken { token: Token::Ne, offset: i });
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(SpannedToken { token: Token::Le, offset: i });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(SpannedToken { token: Token::Ne, offset: i });
+                    i += 2;
+                } else {
+                    out.push(SpannedToken { token: Token::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(SpannedToken { token: Token::Ge, offset: i });
+                    i += 2;
+                } else {
+                    out.push(SpannedToken { token: Token::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError::UnterminatedString { offset: start });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Strings are treated as raw bytes of the source;
+                        // multi-byte UTF-8 is carried through verbatim.
+                        let ch_start = i;
+                        let ch_len = utf8_len(bytes[i]);
+                        i += ch_len;
+                        s.push_str(&input[ch_start..i.min(bytes.len())]);
+                    }
+                }
+                out.push(SpannedToken { token: Token::Str(s), offset: start });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // Decimal point: accept only if fractional part is zero
+                // (the fragment is integer-valued; see DESIGN.md).
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()
+                {
+                    let int_end = i;
+                    i += 1;
+                    let frac_start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let frac = &input[frac_start..i];
+                    if frac.bytes().any(|b| b != b'0') {
+                        return Err(LexError::BadNumber {
+                            text: input[start..i].to_string(),
+                            offset: start,
+                        });
+                    }
+                    let v: i64 = input[start..int_end].parse().map_err(|_| LexError::BadNumber {
+                        text: input[start..i].to_string(),
+                        offset: start,
+                    })?;
+                    out.push(SpannedToken { token: Token::Int(v), offset: start });
+                } else {
+                    let v: i64 = input[start..i].parse().map_err(|_| LexError::BadNumber {
+                        text: input[start..i].to_string(),
+                        offset: start,
+                    })?;
+                    out.push(SpannedToken { token: Token::Int(v), offset: start });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(SpannedToken {
+                    token: Token::Ident(input[start..i].to_ascii_lowercase()),
+                    offset: start,
+                });
+            }
+            '"' => {
+                // Double-quoted identifier.
+                let start = i;
+                i += 1;
+                let id_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(LexError::UnterminatedString { offset: start });
+                }
+                out.push(SpannedToken {
+                    token: Token::Ident(input[id_start..i].to_ascii_lowercase()),
+                    offset: start,
+                });
+                i += 1;
+            }
+            other => return Err(LexError::UnexpectedChar { ch: other, offset: i }),
+        }
+    }
+    out.push(SpannedToken { token: Token::Eof, offset: input.len() });
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("SELECT a.b, 42 FROM t;"),
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("b".into()),
+                Token::Comma,
+                Token::Int(42),
+                Token::Ident("from".into()),
+                Token::Ident("t".into()),
+                Token::Semicolon,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a <= b >= c <> d != e < f > g = h"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::Ge,
+                Token::Ident("c".into()),
+                Token::Ne,
+                Token::Ident("d".into()),
+                Token::Ne,
+                Token::Ident("e".into()),
+                Token::Lt,
+                Token::Ident("f".into()),
+                Token::Gt,
+                Token::Ident("g".into()),
+                Token::Eq,
+                Token::Ident("h".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks("'O''Brien'"), vec![Token::Str("O'Brien".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string() {
+        assert!(matches!(lex("'oops"), Err(LexError::UnterminatedString { .. })));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a -- comment here\n b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn integral_decimal_ok_fractional_rejected() {
+        assert_eq!(toks("2.00"), vec![Token::Int(2), Token::Eof]);
+        assert!(matches!(lex("2.20"), Err(LexError::BadNumber { .. })));
+    }
+
+    #[test]
+    fn quoted_identifier() {
+        assert_eq!(toks("\"Weird Name\""), vec![Token::Ident("weird name".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn unexpected_char() {
+        assert!(matches!(lex("a @ b"), Err(LexError::UnexpectedChar { ch: '@', .. })));
+    }
+}

@@ -1,0 +1,252 @@
+//! # qrhint-sqlparse
+//!
+//! Hand-written lexer and recursive-descent parser for the single-block
+//! SQL fragment Qr-Hint operates on. This crate plays the role Apache
+//! Calcite played in the paper's Python prototype — but scoped precisely
+//! to the fragment of §3, with first-class diagnostics for the SQL
+//! features the fragment excludes.
+//!
+//! ```
+//! use qrhint_sqlparse::parse_query;
+//! let q = parse_query(
+//!     "SELECT L.beer, COUNT(*) FROM Likes L, Serves S \
+//!      WHERE L.beer = S.beer AND S.price > 5 GROUP BY L.beer",
+//! ).unwrap();
+//! assert_eq!(q.from.len(), 2);
+//! assert!(q.is_spja());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod ddl;
+pub mod frontend;
+pub mod lexer;
+pub mod parser;
+
+pub use ddl::parse_schema;
+pub use lexer::{lex, LexError, Token};
+pub use frontend::{parse_multi, parse_query_extended, FlattenOptions};
+pub use parser::{parse_pred, parse_pred_nullable, parse_query, parse_scalar, ParseError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlast::{CmpOp, Pred};
+
+    #[test]
+    fn parse_paper_example1_target() {
+        let q = parse_query(
+            "SELECT L.beer, S1.bar, COUNT(*)
+             FROM Likes L, Frequents F, Serves S1, Serves S2
+             WHERE L.drinker = F.drinker AND F.bar = S1.bar
+               AND L.beer = S1.beer AND S1.beer = S2.beer
+               AND S1.price <= S2.price
+             GROUP BY F.drinker, L.beer, S1.bar
+             HAVING F.drinker = 'Amy';",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 4);
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.group_by.len(), 3);
+        assert!(q.having.is_some());
+        let m = q.table_multiset();
+        assert_eq!(m["serves"], 2);
+    }
+
+    #[test]
+    fn parse_paper_example1_working() {
+        let q = parse_query(
+            "SELECT s2.beer, s2.bar, COUNT(*)
+             FROM Likes, Serves s1, Serves s2
+             WHERE drinker = 'Amy'
+               AND Likes.beer = s1.beer AND Likes.beer = s2.beer
+               AND s1.price > s2.price
+             GROUP BY s2.beer, s2.bar;",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.aliases_of("serves"), vec!["s1", "s2"]);
+        // "drinker" is still unqualified until resolution.
+        let cols = q.collect_columns();
+        assert!(cols.iter().any(|c| c.is_unqualified() && c.column == "drinker"));
+    }
+
+    #[test]
+    fn and_or_precedence() {
+        let p = parse_pred("a = 1 OR b = 2 AND c = 3").unwrap();
+        match p {
+            Pred::Or(children) => {
+                assert_eq!(children.len(), 2);
+                assert!(matches!(children[1], Pred::And(_)));
+            }
+            other => panic!("expected OR at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_predicates() {
+        let p = parse_pred("(a = 1 OR b = 2) AND c = 3").unwrap();
+        match p {
+            Pred::And(children) => {
+                assert!(matches!(children[0], Pred::Or(_)));
+            }
+            other => panic!("expected AND at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_scalar_vs_pred_backtracking() {
+        // '(a + b) > c' — the '(' opens a scalar expression, not a pred.
+        let p = parse_pred("(a + 1) > c").unwrap();
+        assert!(matches!(p, Pred::Cmp(_, CmpOp::Gt, _)));
+        // Nested: ((a=1)) is a predicate in double parens.
+        let p2 = parse_pred("((a = 1))").unwrap();
+        assert!(matches!(p2, Pred::Cmp(_, CmpOp::Eq, _)));
+    }
+
+    #[test]
+    fn between_desugars() {
+        let p = parse_pred("x BETWEEN 1 AND 5").unwrap();
+        assert_eq!(p, parse_pred("x >= 1 AND x <= 5").unwrap());
+        let np = parse_pred("x NOT BETWEEN 1 AND 5").unwrap();
+        assert_eq!(np, parse_pred("x < 1 OR x > 5").unwrap());
+    }
+
+    #[test]
+    fn in_list_desugars() {
+        let p = parse_pred("area IN ('ML-AI', 'Theory')").unwrap();
+        assert_eq!(p, parse_pred("area = 'ML-AI' OR area = 'Theory'").unwrap());
+        let np = parse_pred("area NOT IN ('ML-AI', 'Theory')").unwrap();
+        assert_eq!(np, parse_pred("area <> 'ML-AI' AND area <> 'Theory'").unwrap());
+    }
+
+    #[test]
+    fn like_and_not_like() {
+        let p = parse_pred("name LIKE 'Eve%'").unwrap();
+        assert!(matches!(p, Pred::Like { negated: false, .. }));
+        let np = parse_pred("name NOT LIKE 'Eve%'").unwrap();
+        assert!(matches!(np, Pred::Like { negated: true, .. }));
+    }
+
+    #[test]
+    fn not_binds_tighter_than_and() {
+        let p = parse_pred("NOT a = 1 AND b = 2").unwrap();
+        match p {
+            Pred::And(children) => assert!(matches!(children[0], Pred::Not(_))),
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_scalar("a + b * 2").unwrap();
+        assert_eq!(e.to_string(), "a + b * 2");
+        let e2 = parse_scalar("(a + b) * 2").unwrap();
+        assert_eq!(e2.to_string(), "(a + b) * 2");
+        let e3 = parse_scalar("-a + 3").unwrap();
+        assert_eq!(e3.to_string(), "-a + 3");
+    }
+
+    #[test]
+    fn aggregates() {
+        let e = parse_scalar("COUNT(DISTINCT t.author)").unwrap();
+        assert_eq!(e.to_string(), "COUNT(DISTINCT t.author)");
+        let e2 = parse_scalar("2 * SUM(d)").unwrap();
+        assert!(e2.has_aggregate());
+        let e3 = parse_scalar("SUM(d * 2)").unwrap();
+        assert!(e3.has_aggregate());
+    }
+
+    #[test]
+    fn unsupported_features_are_diagnosed() {
+        for (sql, what) in [
+            ("SELECT a FROM t UNION SELECT a FROM s", "set"),
+            ("SELECT a FROM t LEFT JOIN s ON t.a = s.a", "outer"),
+            ("SELECT a FROM t JOIN s ON t.a = s.a", "JOIN"),
+            ("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM s)", "EXISTS"),
+            ("SELECT a FROM t WHERE a IN (SELECT a FROM s)", "IN sub"),
+            ("SELECT * FROM t", "SELECT *"),
+            ("SELECT a FROM (SELECT a FROM s) x", "subquer"),
+            ("SELECT a FROM t WHERE a > ALL (SELECT a FROM s)", "quantified"),
+        ] {
+            match parse_query(sql) {
+                Err(ParseError::Unsupported { feature, .. }) => {
+                    assert!(
+                        feature.to_lowercase().contains(&what.to_lowercase())
+                            || feature.contains(what),
+                        "for {sql:?} expected feature mentioning {what:?}, got {feature:?}"
+                    );
+                }
+                other => panic!("expected Unsupported for {sql:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(matches!(parse_pred("a = "), Err(ParseError::Unexpected { .. })));
+        assert!(parse_query("SELEC a FROM t").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE").is_err());
+    }
+
+    #[test]
+    fn roundtrip_display_reparse() {
+        let sources = [
+            "SELECT l.beer FROM likes l WHERE l.drinker = 'Amy'",
+            "SELECT a.x, b.y FROM r a, s b WHERE a.x = b.y AND (a.x > 3 OR b.y < 2)",
+            "SELECT t.a, SUM(t.b * 2) FROM t GROUP BY t.a HAVING SUM(t.b * 2) > 10",
+            "SELECT r.a FROM r WHERE NOT (r.a = 1 AND r.b = 2)",
+        ];
+        for src in sources {
+            let q1 = parse_query(src).unwrap();
+            let printed = q1.to_string();
+            let q2 = parse_query(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            assert_eq!(q1, q2, "roundtrip mismatch for {src:?}");
+        }
+    }
+
+    #[test]
+    fn order_by_is_parsed_and_discarded() {
+        let q1 = parse_query("SELECT a FROM t ORDER BY a DESC, b").unwrap();
+        let q2 = parse_query("SELECT a FROM t").unwrap();
+        assert_eq!(q1, q2);
+        let q3 = parse_query(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 ORDER BY COUNT(*) DESC",
+        )
+        .unwrap();
+        assert!(q3.having.is_some());
+    }
+
+    #[test]
+    fn nesting_depth_is_capped_with_clean_error() {
+        // 300 nested parens must yield a diagnostic, not a stack overflow.
+        let deep = format!("{}a = 1{}", "(".repeat(300), ")".repeat(300));
+        match parse_pred(&deep) {
+            Err(ParseError::Unsupported { feature, .. }) => {
+                assert!(feature.contains("nesting"), "{feature}");
+            }
+            other => panic!("expected nesting diagnostic, got {other:?}"),
+        }
+        // Shallow nesting (64 levels) still parses fine.
+        let ok = format!("{}a = 1{}", "(".repeat(64), ")".repeat(64));
+        assert!(parse_pred(&ok).is_ok());
+        // NOT chains are likewise capped…
+        let nots = format!("{} a = 1", "NOT ".repeat(400));
+        assert!(parse_pred(&nots).is_err());
+        // …but reasonable chains parse.
+        assert!(parse_pred(&format!("{} a = 1", "NOT ".repeat(20))).is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("SELECT a FROM t; extra").is_err());
+    }
+
+    #[test]
+    fn select_alias_forms() {
+        let q = parse_query("SELECT a AS x, b y FROM t").unwrap();
+        assert_eq!(q.select[0].alias.as_deref(), Some("x"));
+        assert_eq!(q.select[1].alias.as_deref(), Some("y"));
+    }
+}

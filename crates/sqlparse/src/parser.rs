@@ -1,0 +1,682 @@
+//! Recursive-descent parser for the Qr-Hint SQL fragment.
+//!
+//! Grammar (single-block SPJ/SPJA, §3 of the paper):
+//!
+//! ```text
+//! query      := SELECT [DISTINCT] item (',' item)* FROM tref (',' tref)*
+//!               [WHERE pred] [GROUP BY expr (',' expr)*] [HAVING pred] [';']
+//! item       := expr [[AS] ident]
+//! tref       := ident [[AS] ident]
+//! pred       := conj (OR conj)*
+//! conj       := unary (AND unary)*
+//! unary      := NOT unary | primary
+//! primary    := '(' pred ')' | TRUE | FALSE
+//!             | expr cmp expr
+//!             | expr [NOT] LIKE string
+//!             | expr [NOT] IN '(' literal (',' literal)* ')'
+//!             | expr [NOT] BETWEEN expr AND expr
+//! expr       := term (('+'|'-') term)*
+//! term       := factor (('*'|'/') factor)*
+//! factor     := '-' factor | '(' expr ')' | int | string | agg | colref
+//! agg        := (COUNT|SUM|AVG|MIN|MAX) '(' [DISTINCT] ('*' | expr) ')'
+//! colref     := ident ['.' ident]
+//! ```
+//!
+//! `IN` lists and `BETWEEN` are desugared into `OR`-of-equalities and
+//! conjunctions of inequalities respectively, so downstream stages see only
+//! the core predicate algebra. SQL features outside the fragment
+//! (subqueries, JOIN operators, set operators, NULL tests, ORDER BY) are
+//! detected and reported as [`ParseError::Unsupported`], mirroring how the
+//! paper's evaluation classifies unsupported student queries.
+
+use crate::lexer::{lex, LexError, SpannedToken, Token};
+use qrhint_sqlast::{
+    AggArg, AggCall, AggFunc, ArithOp, CmpOp, ColRef, Pred, Query, Scalar, SelectItem, TableRef,
+};
+use std::fmt;
+
+/// Parser errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Lexical error.
+    Lex(LexError),
+    /// Unexpected token.
+    Unexpected { found: String, expected: String, offset: usize },
+    /// A recognizable SQL feature outside the Qr-Hint fragment.
+    Unsupported { feature: String, offset: usize },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { found, expected, offset } => {
+                write!(f, "unexpected `{found}` at byte {offset}; expected {expected}")
+            }
+            ParseError::Unsupported { feature, offset } => {
+                write!(f, "unsupported SQL feature at byte {offset}: {feature}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Keywords that signal unsupported features when seen in clause position.
+const UNSUPPORTED_KEYWORDS: &[(&str, &str)] = &[
+    ("union", "set operators (UNION/INTERSECT/EXCEPT)"),
+    ("intersect", "set operators (UNION/INTERSECT/EXCEPT)"),
+    ("except", "set operators (UNION/INTERSECT/EXCEPT)"),
+    ("join", "explicit JOIN syntax (rewrite as comma joins)"),
+    ("left", "outer joins"),
+    ("right", "outer joins"),
+    ("full", "outer joins"),
+    ("outer", "outer joins"),
+    ("inner", "explicit JOIN syntax (rewrite as comma joins)"),
+    ("cross", "explicit JOIN syntax (rewrite as comma joins)"),
+    ("natural", "NATURAL JOIN"),
+    ("limit", "LIMIT"),
+    ("exists", "EXISTS subqueries"),
+    ("with", "common table expressions"),
+    ("case", "CASE expressions"),
+    ("null", "NULL literals / IS NULL"),
+    ("is", "IS [NOT] NULL"),
+];
+
+/// Hard cap on grammar recursion depth: inputs nesting deeper than this
+/// (parentheses, NOT chains, unary minus, derived tables) are rejected
+/// with a parse error instead of overflowing the stack.
+pub(crate) const MAX_DEPTH: usize = 128;
+
+pub(crate) struct Parser {
+    pub(crate) toks: Vec<SpannedToken>,
+    pub(crate) pos: usize,
+    /// Current grammar recursion depth (see [`MAX_DEPTH`]).
+    pub(crate) depth: usize,
+    /// Desugar `expr IS [NOT] NULL` into NULL-indicator atoms instead of
+    /// rejecting it (used by [`crate::parse_pred_nullable`], the front
+    /// door of the NULL prototype).
+    pub(crate) allow_is_null: bool,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl Parser {
+    pub(crate) fn peek(&self) -> &Token {
+        &self.toks[self.pos].token
+    }
+
+    pub(crate) fn offset(&self) -> usize {
+        self.toks[self.pos].offset
+    }
+
+    pub(crate) fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].token.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    pub(crate) fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == kw)
+    }
+
+    pub(crate) fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect_keyword(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("keyword {}", kw.to_uppercase())))
+        }
+    }
+
+    pub(crate) fn expect(&mut self, t: &Token, what: &str) -> PResult<()> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    pub(crate) fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::Unexpected {
+            found: self.peek().to_string(),
+            expected: expected.to_string(),
+            offset: self.offset(),
+        }
+    }
+
+    /// Run a nested production with the recursion-depth guard; depth is
+    /// restored on both success and failure (backtracking safe).
+    pub(crate) fn descend<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> PResult<T>,
+    ) -> PResult<T> {
+        if self.depth >= MAX_DEPTH {
+            return Err(ParseError::Unsupported {
+                feature: format!("expression nesting deeper than {MAX_DEPTH}"),
+                offset: self.offset(),
+            });
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
+    }
+
+    fn check_unsupported_keyword(&self) -> PResult<()> {
+        if let Token::Ident(s) = self.peek() {
+            for (kw, feature) in UNSUPPORTED_KEYWORDS {
+                if s == kw {
+                    return Err(ParseError::Unsupported {
+                        feature: feature.to_string(),
+                        offset: self.offset(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---------- query ----------
+
+    fn query(&mut self) -> PResult<Query> {
+        self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+        let mut select = vec![self.select_item()?];
+        while matches!(self.peek(), Token::Comma) {
+            self.bump();
+            select.push(self.select_item()?);
+        }
+        self.expect_keyword("from")?;
+        let mut from = vec![self.table_ref()?];
+        while matches!(self.peek(), Token::Comma) {
+            self.bump();
+            from.push(self.table_ref()?);
+        }
+        self.check_unsupported_keyword()?;
+        let where_pred = if self.eat_keyword("where") { self.pred()? } else { Pred::True };
+        self.check_unsupported_keyword()?;
+        let mut group_by = Vec::new();
+        if self.at_keyword("group") {
+            self.bump();
+            self.expect_keyword("by")?;
+            group_by.push(self.expr()?);
+            while matches!(self.peek(), Token::Comma) {
+                self.bump();
+                group_by.push(self.expr()?);
+            }
+        }
+        self.check_unsupported_keyword()?;
+        let having = if self.eat_keyword("having") { Some(self.pred()?) } else { None };
+        // ORDER BY is parsed and *discarded*: the fragment uses bag
+        // semantics (§3 — result-row ordering is ignored), so ordering
+        // never affects equivalence. Accepting it keeps real student
+        // queries in scope (Brass et al. issue 24).
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let _ = self.expr()?;
+                let _ = self.eat_keyword("asc") || self.eat_keyword("desc");
+                if matches!(self.peek(), Token::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.check_unsupported_keyword()?;
+        if matches!(self.peek(), Token::Semicolon) {
+            self.bump();
+        }
+        self.expect(&Token::Eof, "end of query")?;
+        Ok(Query { distinct, select, from, where_pred, group_by, having })
+    }
+
+    pub(crate) fn select_item(&mut self) -> PResult<SelectItem> {
+        if matches!(self.peek(), Token::Star) {
+            return Err(ParseError::Unsupported {
+                feature: "SELECT * (list columns explicitly for hinting)".into(),
+                offset: self.offset(),
+            });
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword("as") {
+            match self.bump() {
+                Token::Ident(a) => Some(a),
+                _ => return Err(self.unexpected("output alias after AS")),
+            }
+        } else if let Token::Ident(a) = self.peek() {
+            // Bare alias, but not a clause keyword.
+            let a = a.clone();
+            if self.is_clause_boundary(&a) {
+                None
+            } else {
+                self.bump();
+                Some(a)
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    pub(crate) fn is_clause_boundary(&self, ident: &str) -> bool {
+        matches!(
+            ident,
+            "from" | "where" | "group" | "having" | "and" | "or" | "not" | "like" | "in"
+                | "between" | "as" | "order" | "union" | "intersect" | "except" | "limit"
+        )
+    }
+
+    fn table_ref(&mut self) -> PResult<TableRef> {
+        self.check_unsupported_keyword()?;
+        let table = match self.bump() {
+            Token::Ident(t) => t,
+            Token::LParen => {
+                return Err(ParseError::Unsupported {
+                    feature: "subqueries in FROM".into(),
+                    offset: self.offset(),
+                })
+            }
+            _ => return Err(self.unexpected("table name")),
+        };
+        let alias = if self.eat_keyword("as") {
+            match self.bump() {
+                Token::Ident(a) => Some(a),
+                _ => return Err(self.unexpected("table alias after AS")),
+            }
+        } else if let Token::Ident(a) = self.peek() {
+            let a = a.clone();
+            if self.is_clause_boundary(&a) || a == "on" {
+                if a == "on" {
+                    return Err(ParseError::Unsupported {
+                        feature: "JOIN ... ON syntax".into(),
+                        offset: self.offset(),
+                    });
+                }
+                None
+            } else {
+                // Could itself be an unsupported keyword like JOIN.
+                self.check_unsupported_keyword()?;
+                self.bump();
+                Some(a)
+            }
+        } else {
+            None
+        };
+        Ok(match alias {
+            Some(a) => TableRef::aliased(&table, &a),
+            None => TableRef::plain(&table),
+        })
+    }
+
+    // ---------- predicates ----------
+
+    pub(crate) fn pred(&mut self) -> PResult<Pred> {
+        let mut disjuncts = vec![self.conj()?];
+        while self.eat_keyword("or") {
+            disjuncts.push(self.conj()?);
+        }
+        Ok(if disjuncts.len() == 1 { disjuncts.pop().unwrap() } else { Pred::Or(disjuncts) })
+    }
+
+    pub(crate) fn conj(&mut self) -> PResult<Pred> {
+        let mut conjuncts = vec![self.unary_pred()?];
+        while self.eat_keyword("and") {
+            conjuncts.push(self.unary_pred()?);
+        }
+        Ok(if conjuncts.len() == 1 { conjuncts.pop().unwrap() } else { Pred::And(conjuncts) })
+    }
+
+    pub(crate) fn unary_pred(&mut self) -> PResult<Pred> {
+        if self.eat_keyword("not") {
+            let inner = self.descend(|p| p.unary_pred())?;
+            return Ok(Pred::Not(Box::new(inner)));
+        }
+        self.primary_pred()
+    }
+
+    pub(crate) fn primary_pred(&mut self) -> PResult<Pred> {
+        if self.at_keyword("true") {
+            self.bump();
+            return Ok(Pred::True);
+        }
+        if self.at_keyword("false") {
+            self.bump();
+            return Ok(Pred::False);
+        }
+        if self.at_keyword("exists") {
+            return Err(ParseError::Unsupported {
+                feature: "EXISTS subqueries".into(),
+                offset: self.offset(),
+            });
+        }
+        // '(' could open a parenthesized predicate or a parenthesized
+        // scalar expression; try the predicate interpretation first with
+        // backtracking.
+        if matches!(self.peek(), Token::LParen) {
+            let save = self.pos;
+            self.bump();
+            if self.at_keyword("select") {
+                return Err(ParseError::Unsupported {
+                    feature: "scalar subqueries".into(),
+                    offset: self.offset(),
+                });
+            }
+            match self.descend(|p| p.pred()) {
+                Ok(p) => {
+                    if matches!(self.peek(), Token::RParen) {
+                        self.bump();
+                        return Ok(p);
+                    }
+                }
+                Err(e @ ParseError::Unsupported { .. }) => {
+                    // Depth exhaustion and other Unsupported diagnostics
+                    // must propagate — re-trying as a scalar would recurse
+                    // just as deep.
+                    if matches!(&e, ParseError::Unsupported { feature, .. }
+                        if feature.contains("nesting"))
+                    {
+                        return Err(e);
+                    }
+                }
+                Err(_) => {}
+            }
+            self.pos = save;
+        }
+        let lhs = self.expr()?;
+        // NOT LIKE / NOT IN / NOT BETWEEN
+        let negated = self.eat_keyword("not");
+        if self.eat_keyword("like") {
+            let pattern = match self.bump() {
+                Token::Str(s) => s,
+                _ => return Err(self.unexpected("string pattern after LIKE")),
+            };
+            return Ok(Pred::Like { expr: lhs, pattern, negated });
+        }
+        if self.eat_keyword("in") {
+            self.expect(&Token::LParen, "( after IN")?;
+            if self.at_keyword("select") {
+                return Err(ParseError::Unsupported {
+                    feature: "IN subqueries".into(),
+                    offset: self.offset(),
+                });
+            }
+            let mut lits = vec![self.expr()?];
+            while matches!(self.peek(), Token::Comma) {
+                self.bump();
+                lits.push(self.expr()?);
+            }
+            self.expect(&Token::RParen, ") closing IN list")?;
+            let eqs: Vec<Pred> = lits
+                .into_iter()
+                .map(|lit| Pred::Cmp(lhs.clone(), CmpOp::Eq, lit))
+                .collect();
+            let disj = Pred::or(eqs);
+            return Ok(if negated { disj.negated_nnf() } else { disj });
+        }
+        if self.eat_keyword("between") {
+            let lo = self.expr()?;
+            self.expect_keyword("and")?;
+            let hi = self.expr()?;
+            let range = Pred::and(vec![
+                Pred::Cmp(lhs.clone(), CmpOp::Ge, lo),
+                Pred::Cmp(lhs, CmpOp::Le, hi),
+            ]);
+            return Ok(if negated { range.negated_nnf() } else { range });
+        }
+        if negated {
+            return Err(self.unexpected("LIKE, IN or BETWEEN after NOT"));
+        }
+        if self.at_keyword("is") {
+            if !self.allow_is_null {
+                return Err(ParseError::Unsupported {
+                    feature: "IS [NOT] NULL".into(),
+                    offset: self.offset(),
+                });
+            }
+            self.bump();
+            let is_not = self.eat_keyword("not");
+            self.expect_keyword("null")?;
+            // `e IS NULL` is TRUE iff some column of `e` is NULL (the
+            // fragment's arithmetic is NULL-strict); `IS NOT NULL` is the
+            // complement. Desugar onto the paired indicator columns of
+            // the two-variable encoding.
+            let mut cols = Vec::new();
+            lhs.collect_columns(&mut cols);
+            cols.dedup();
+            if cols.iter().any(|c| c.column.ends_with(qrhint_sqlast::NULL_INDICATOR_SUFFIX)) {
+                return Err(ParseError::Unsupported {
+                    feature: "IS NULL over an indicator column".into(),
+                    offset: self.offset(),
+                });
+            }
+            let null_atoms: Vec<Pred> = cols
+                .iter()
+                .map(|c| {
+                    if *c == qrhint_sqlast::null_literal() {
+                        // NULL IS NULL is statically true.
+                        Pred::True
+                    } else {
+                        Pred::Cmp(
+                            Scalar::Col(qrhint_sqlast::null_indicator(c)),
+                            CmpOp::Eq,
+                            Scalar::Int(1),
+                        )
+                    }
+                })
+                .collect();
+            let is_null = if null_atoms.is_empty() {
+                Pred::False // a literal is never NULL in this fragment
+            } else {
+                Pred::or(null_atoms)
+            };
+            return Ok(if is_not { is_null.negated_nnf() } else { is_null });
+        }
+        let op = match self.peek() {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            _ => return Err(self.unexpected("comparison operator")),
+        };
+        self.bump();
+        if self.at_keyword("all") || self.at_keyword("any") || self.at_keyword("some") {
+            return Err(ParseError::Unsupported {
+                feature: "quantified comparisons (ALL/ANY/SOME)".into(),
+                offset: self.offset(),
+            });
+        }
+        let rhs = self.expr()?;
+        Ok(Pred::Cmp(lhs, op, rhs))
+    }
+
+    // ---------- scalar expressions ----------
+
+    pub(crate) fn expr(&mut self) -> PResult<Scalar> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => ArithOp::Add,
+                Token::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Scalar::arith(lhs, op, rhs);
+        }
+        Ok(lhs)
+    }
+
+    pub(crate) fn term(&mut self) -> PResult<Scalar> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => ArithOp::Mul,
+                Token::Slash => ArithOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Scalar::arith(lhs, op, rhs);
+        }
+        Ok(lhs)
+    }
+
+    pub(crate) fn factor(&mut self) -> PResult<Scalar> {
+        match self.peek().clone() {
+            Token::Minus => {
+                self.bump();
+                let inner = self.descend(|p| p.factor())?;
+                Ok(match inner {
+                    Scalar::Int(v) => Scalar::Int(-v),
+                    other => Scalar::Neg(Box::new(other)),
+                })
+            }
+            Token::LParen => {
+                self.bump();
+                if self.at_keyword("select") {
+                    return Err(ParseError::Unsupported {
+                        feature: "scalar subqueries".into(),
+                        offset: self.offset(),
+                    });
+                }
+                let e = self.descend(|p| p.expr())?;
+                self.expect(&Token::RParen, ") closing expression")?;
+                Ok(e)
+            }
+            Token::Int(v) => {
+                self.bump();
+                Ok(Scalar::Int(v))
+            }
+            Token::Str(s) => {
+                self.bump();
+                Ok(Scalar::Str(s))
+            }
+            Token::Ident(name) => {
+                // Aggregate call?
+                let agg = match name.as_str() {
+                    "count" => Some(AggFunc::Count),
+                    "sum" => Some(AggFunc::Sum),
+                    "avg" => Some(AggFunc::Avg),
+                    "min" => Some(AggFunc::Min),
+                    "max" => Some(AggFunc::Max),
+                    _ => None,
+                };
+                if let Some(func) = agg {
+                    if self.toks[self.pos + 1].token == Token::LParen {
+                        self.bump(); // func name
+                        self.bump(); // (
+                        let distinct = self.eat_keyword("distinct");
+                        let arg = if matches!(self.peek(), Token::Star) {
+                            self.bump();
+                            AggArg::Star
+                        } else {
+                            AggArg::Expr(Box::new(self.expr()?))
+                        };
+                        self.expect(&Token::RParen, ") closing aggregate call")?;
+                        return Ok(Scalar::Agg(AggCall { func, distinct, arg }));
+                    }
+                }
+                if name == "null" {
+                    if self.allow_is_null {
+                        // NULL-prototype mode: a NULL literal becomes the
+                        // reserved always-null pseudo-column, which the
+                        // 3VL encoding treats as never satisfying any
+                        // comparison (Brass issue 9).
+                        self.bump();
+                        return Ok(Scalar::Col(qrhint_sqlast::null_literal()));
+                    }
+                    return Err(ParseError::Unsupported {
+                        feature: "NULL literals".into(),
+                        offset: self.offset(),
+                    });
+                }
+                if name == "case" {
+                    return Err(ParseError::Unsupported {
+                        feature: "CASE expressions".into(),
+                        offset: self.offset(),
+                    });
+                }
+                self.bump();
+                if matches!(self.peek(), Token::Dot) {
+                    self.bump();
+                    match self.bump() {
+                        Token::Ident(col) => Ok(Scalar::Col(ColRef::new(&name, &col))),
+                        Token::Star => Err(ParseError::Unsupported {
+                            feature: "qualified wildcard t.*".into(),
+                            offset: self.offset(),
+                        }),
+                        _ => Err(self.unexpected("column name after `.`")),
+                    }
+                } else {
+                    Ok(Scalar::Col(ColRef::unqualified(&name)))
+                }
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+}
+
+/// Parse a complete single-block query.
+pub fn parse_query(sql: &str) -> PResult<Query> {
+    let toks = lex(sql)?;
+    let mut p = Parser { toks, pos: 0, depth: 0, allow_is_null: false };
+    p.query()
+}
+
+/// Parse a standalone predicate (used heavily in tests and by the repair
+/// experiments that operate on WHERE conditions directly).
+pub fn parse_pred(sql: &str) -> PResult<Pred> {
+    let toks = lex(sql)?;
+    let mut p = Parser { toks, pos: 0, depth: 0, allow_is_null: false };
+    let pred = p.pred()?;
+    if matches!(p.peek(), Token::Semicolon) {
+        p.bump();
+    }
+    p.expect(&Token::Eof, "end of predicate")?;
+    Ok(pred)
+}
+
+/// Parse a standalone predicate with `IS [NOT] NULL` support: NULL tests
+/// are desugared into atoms over the paired `__isnull` indicator columns
+/// of the NULL prototype (`qrhint-core`'s `nullsafe` module), so the
+/// resulting [`Pred`] slots directly into the 3VL encoding.
+pub fn parse_pred_nullable(sql: &str) -> PResult<Pred> {
+    let toks = lex(sql)?;
+    let mut p = Parser { toks, pos: 0, depth: 0, allow_is_null: true };
+    let pred = p.pred()?;
+    if matches!(p.peek(), Token::Semicolon) {
+        p.bump();
+    }
+    p.expect(&Token::Eof, "end of predicate")?;
+    Ok(pred)
+}
+
+/// Parse a standalone scalar expression.
+pub fn parse_scalar(sql: &str) -> PResult<Scalar> {
+    let toks = lex(sql)?;
+    let mut p = Parser { toks, pos: 0, depth: 0, allow_is_null: false };
+    let e = p.expr()?;
+    p.expect(&Token::Eof, "end of expression")?;
+    Ok(e)
+}

@@ -1,0 +1,123 @@
+//! The drinkers-and-bars schema of Example 1 and the paper's running
+//! queries.
+
+use qrhint_sqlast::{Schema, SqlType};
+
+/// `Likes(drinker, beer)`, `Frequents(drinker, bar)`,
+/// `Serves(bar, beer, price)` — keys underlined in the paper.
+pub fn schema() -> Schema {
+    Schema::new()
+        .with_table(
+            "Likes",
+            &[("drinker", SqlType::Str), ("beer", SqlType::Str)],
+            &["drinker", "beer"],
+        )
+        .with_table(
+            "Frequents",
+            &[("drinker", SqlType::Str), ("bar", SqlType::Str)],
+            &["drinker", "bar"],
+        )
+        .with_table(
+            "Serves",
+            &[("bar", SqlType::Str), ("beer", SqlType::Str), ("price", SqlType::Int)],
+            &["bar", "beer"],
+        )
+}
+
+/// The reference solution `Q★` of Example 1 (bar rank by price).
+pub const EXAMPLE1_TARGET: &str = "SELECT L.beer, S1.bar, COUNT(*)
+    FROM Likes L, Frequents F, Serves S1, Serves S2
+    WHERE L.drinker = F.drinker AND F.bar = S1.bar
+      AND L.beer = S1.beer AND S1.beer = S2.beer
+      AND S1.price <= S2.price
+    GROUP BY F.drinker, L.beer, S1.bar
+    HAVING F.drinker = 'Amy'";
+
+/// The wrong student query `Q` of Example 1.
+pub const EXAMPLE1_WORKING: &str = "SELECT s2.beer, s2.bar, COUNT(*)
+    FROM Likes, Serves s1, Serves s2
+    WHERE drinker = 'Amy'
+      AND Likes.beer = s1.beer AND Likes.beer = s2.beer
+      AND s1.price > s2.price
+    GROUP BY s2.beer, s2.bar";
+
+/// The four classroom-style questions of the Students dataset
+/// (Appendix Table 4), with reference solutions.
+pub fn course_questions() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "a",
+            "SELECT s.beer FROM Serves s WHERE s.bar = 'James Joyce Pub'",
+        ),
+        (
+            "b",
+            "SELECT b.name, b.address FROM Bar b, Serves s \
+             WHERE b.name = s.bar AND s.beer = 'Budweiser' AND s.price > 220",
+        ),
+        (
+            "c",
+            "SELECT l.drinker FROM Likes l, Frequents f \
+             WHERE l.beer = 'Corona' AND l.drinker = f.drinker \
+               AND f.bar = 'James Joyce Pub' AND f.times_a_week >= 2",
+        ),
+        (
+            "d",
+            "SELECT l.drinker FROM Likes l GROUP BY l.drinker HAVING COUNT(*) >= 2",
+        ),
+    ]
+}
+
+/// Extended schema for the course questions (adds `Bar` and the
+/// `times_a_week` column used by question (c); prices are in cents).
+pub fn course_schema() -> Schema {
+    Schema::new()
+        .with_table(
+            "Likes",
+            &[("drinker", SqlType::Str), ("beer", SqlType::Str)],
+            &["drinker", "beer"],
+        )
+        .with_table(
+            "Frequents",
+            &[
+                ("drinker", SqlType::Str),
+                ("bar", SqlType::Str),
+                ("times_a_week", SqlType::Int),
+            ],
+            &["drinker", "bar"],
+        )
+        .with_table(
+            "Serves",
+            &[("bar", SqlType::Str), ("beer", SqlType::Str), ("price", SqlType::Int)],
+            &["bar", "beer"],
+        )
+        .with_table(
+            "Bar",
+            &[("name", SqlType::Str), ("address", SqlType::Str)],
+            &["name"],
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlast::resolve::resolve_query;
+    use qrhint_sqlparse::parse_query;
+
+    #[test]
+    fn example1_queries_resolve() {
+        let s = schema();
+        for sql in [EXAMPLE1_TARGET, EXAMPLE1_WORKING] {
+            let q = parse_query(sql).unwrap();
+            resolve_query(&s, &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn course_questions_resolve() {
+        let s = course_schema();
+        for (id, sql) in course_questions() {
+            let q = parse_query(sql).unwrap_or_else(|e| panic!("q{id}: {e}"));
+            resolve_query(&s, &q).unwrap_or_else(|e| panic!("q{id}: {e}"));
+        }
+    }
+}

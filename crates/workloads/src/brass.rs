@@ -1,0 +1,672 @@
+//! The Brass & Goldberg semantic-error taxonomy (Appendix Table 5):
+//! all 43 issues with their paper-reported support status, frequency
+//! group, and — for every issue Qr-Hint supports — two handcrafted
+//! (reference, working) query pairs over the beers course schema
+//! ("we handcrafted two queries according to each issue", §9).
+
+use crate::beers;
+use crate::QueryPair;
+use qrhint_sqlast::Schema;
+
+/// The paper's three-way handling classification of supported issues
+/// (§9.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaperCategory {
+    /// Genuine logical errors: Qr-Hint identifies and fixes them.
+    ErrorFixed,
+    /// Efficiency/stylistic issue where the query is still correct and
+    /// Qr-Hint proves equivalence (no flag).
+    EquivalentNoFlag,
+    /// Efficiency/stylistic issue where equivalence needs database
+    /// constraints Qr-Hint does not model; fixes are suggested (they
+    /// still lead to correct queries).
+    EquivalentButFlagged,
+    /// Outside the Qr-Hint fragment.
+    Unsupported,
+}
+
+/// One taxonomy entry.
+#[derive(Debug, Clone)]
+pub struct BrassIssue {
+    /// Issue number in Brass et al. (1–43).
+    pub number: u32,
+    pub description: &'static str,
+    pub category: PaperCategory,
+    /// Whether the paper found it represented in the Students queries.
+    pub in_students: bool,
+    /// Two handcrafted pairs for supported issues (empty otherwise).
+    pub pairs: Vec<QueryPair>,
+}
+
+/// Corpus schema.
+pub fn schema() -> Schema {
+    beers::course_schema()
+}
+
+fn p(number: u32, variant: u32, target: &str, working: &str) -> QueryPair {
+    QueryPair {
+        id: format!("brass-{number}-{variant}"),
+        target_sql: target.to_string(),
+        working_sql: working.to_string(),
+        errors: vec![format!("Brass issue {number}")],
+    }
+}
+
+/// The full 43-issue taxonomy.
+pub fn issues() -> Vec<BrassIssue> {
+    use PaperCategory::*;
+    let mut out = Vec::new();
+    let mut add = |number: u32,
+                   description: &'static str,
+                   category: PaperCategory,
+                   in_students: bool,
+                   pairs: Vec<QueryPair>| {
+        out.push(BrassIssue { number, description, category, in_students, pairs });
+    };
+
+    add(
+        1,
+        "Inconsistent condition",
+        ErrorFixed,
+        true,
+        vec![
+            p(
+                1,
+                1,
+                "SELECT s.beer FROM Serves s WHERE s.price > 100 AND s.price < 500",
+                "SELECT s.beer FROM Serves s WHERE s.price > 500 AND s.price < 100",
+            ),
+            p(
+                1,
+                2,
+                "SELECT l.drinker FROM Likes l WHERE l.beer = 'Corona'",
+                "SELECT l.drinker FROM Likes l WHERE l.beer = 'Corona' AND l.beer = 'Bud'",
+            ),
+        ],
+    );
+    add(
+        3,
+        "Constant output columns",
+        ErrorFixed,
+        true,
+        vec![
+            p(
+                3,
+                1,
+                "SELECT l.drinker FROM Likes l WHERE l.beer = 'Corona'",
+                "SELECT l.drinker, l.beer FROM Likes l WHERE l.beer = 'Corona'",
+            ),
+            p(
+                3,
+                2,
+                "SELECT s.bar, s.price FROM Serves s WHERE s.beer = 'Bud'",
+                "SELECT s.bar, s.beer FROM Serves s WHERE s.beer = 'Bud'",
+            ),
+        ],
+    );
+    add(
+        4,
+        "Duplicate output columns",
+        ErrorFixed,
+        true,
+        vec![
+            p(
+                4,
+                1,
+                "SELECT l.drinker FROM Likes l",
+                "SELECT l.drinker, l.drinker FROM Likes l",
+            ),
+            p(
+                4,
+                2,
+                "SELECT s.bar, s.price FROM Serves s",
+                "SELECT s.bar, s.bar, s.price FROM Serves s",
+            ),
+        ],
+    );
+    add(
+        5,
+        "Unused tuple variables",
+        ErrorFixed,
+        true,
+        vec![
+            p(
+                5,
+                1,
+                "SELECT l.drinker FROM Likes l",
+                "SELECT l.drinker FROM Likes l, Frequents f",
+            ),
+            p(
+                5,
+                2,
+                "SELECT s.beer FROM Serves s WHERE s.price > 5",
+                "SELECT s.beer FROM Serves s, Bar b WHERE s.price > 5",
+            ),
+        ],
+    );
+    add(
+        12,
+        "LIKE without wildcard",
+        ErrorFixed,
+        false,
+        vec![
+            p(
+                12,
+                1,
+                "SELECT b.name FROM Bar b WHERE b.name LIKE '%Joyce%'",
+                "SELECT b.name FROM Bar b WHERE b.name LIKE 'Joyce'",
+            ),
+            p(
+                12,
+                2,
+                "SELECT l.drinker FROM Likes l WHERE l.beer LIKE 'Bud%'",
+                "SELECT l.drinker FROM Likes l WHERE l.beer LIKE 'Bud'",
+            ),
+        ],
+    );
+    add(
+        27,
+        "Missing join conditions",
+        ErrorFixed,
+        true,
+        vec![
+            p(
+                27,
+                1,
+                "SELECT l.drinker FROM Likes l, Frequents f \
+                 WHERE l.drinker = f.drinker AND f.bar = 'Joyce'",
+                "SELECT l.drinker FROM Likes l, Frequents f WHERE f.bar = 'Joyce'",
+            ),
+            p(
+                27,
+                2,
+                "SELECT b.address FROM Bar b, Serves s \
+                 WHERE b.name = s.bar AND s.beer = 'Bud'",
+                "SELECT b.address FROM Bar b, Serves s WHERE s.beer = 'Bud'",
+            ),
+        ],
+    );
+    add(
+        31,
+        "Comparison between different domains",
+        ErrorFixed,
+        true,
+        vec![
+            p(
+                31,
+                1,
+                "SELECT s.beer FROM Serves s, Frequents f WHERE s.bar = f.bar",
+                "SELECT s.beer FROM Serves s, Frequents f WHERE s.beer = f.bar",
+            ),
+            p(
+                31,
+                2,
+                "SELECT l.drinker FROM Likes l, Frequents f WHERE l.drinker = f.drinker",
+                "SELECT l.drinker FROM Likes l, Frequents f WHERE l.beer = f.bar",
+            ),
+        ],
+    );
+    add(
+        33,
+        "DISTINCT in SUM and AVG",
+        ErrorFixed,
+        false,
+        vec![
+            p(
+                33,
+                1,
+                "SELECT s.bar, SUM(s.price) FROM Serves s GROUP BY s.bar",
+                "SELECT s.bar, SUM(DISTINCT s.price) FROM Serves s GROUP BY s.bar",
+            ),
+            p(
+                33,
+                2,
+                "SELECT s.beer, AVG(s.price) FROM Serves s GROUP BY s.beer",
+                "SELECT s.beer, AVG(DISTINCT s.price) FROM Serves s GROUP BY s.beer",
+            ),
+        ],
+    );
+    add(
+        34,
+        "Wildcards without LIKE",
+        ErrorFixed,
+        true,
+        vec![
+            p(
+                34,
+                1,
+                "SELECT b.name FROM Bar b WHERE b.name LIKE '%Joyce%'",
+                "SELECT b.name FROM Bar b WHERE b.name = '%Joyce%'",
+            ),
+            p(
+                34,
+                2,
+                "SELECT l.drinker FROM Likes l WHERE l.beer LIKE 'Bud%'",
+                "SELECT l.drinker FROM Likes l WHERE l.beer = 'Bud%'",
+            ),
+        ],
+    );
+    add(
+        37,
+        "Many duplicates",
+        ErrorFixed,
+        true,
+        vec![
+            p(
+                37,
+                1,
+                "SELECT DISTINCT l.beer FROM Likes l",
+                "SELECT l.beer FROM Likes l",
+            ),
+            p(
+                37,
+                2,
+                "SELECT DISTINCT f.bar FROM Frequents f, Likes l \
+                 WHERE f.drinker = l.drinker",
+                "SELECT f.bar FROM Frequents f, Likes l WHERE f.drinker = l.drinker",
+            ),
+        ],
+    );
+    add(
+        38,
+        "DISTINCT that might remove important duplicates",
+        ErrorFixed,
+        true,
+        vec![
+            p(
+                38,
+                1,
+                "SELECT l.beer FROM Likes l",
+                "SELECT DISTINCT l.beer FROM Likes l",
+            ),
+            p(
+                38,
+                2,
+                "SELECT s.price FROM Serves s WHERE s.beer = 'Bud'",
+                "SELECT DISTINCT s.price FROM Serves s WHERE s.beer = 'Bud'",
+            ),
+        ],
+    );
+
+    // ---- Efficiency/stylistic issues the paper reports as *flagged*
+    // (equivalence requires constraints Qr-Hint does not model). ----
+    add(
+        2,
+        "Unnecessary DISTINCT",
+        EquivalentButFlagged,
+        true,
+        vec![
+            p(
+                2,
+                1,
+                "SELECT l.drinker FROM Likes l WHERE l.beer = 'Corona'",
+                "SELECT DISTINCT l.drinker FROM Likes l WHERE l.beer = 'Corona'",
+            ),
+            p(
+                2,
+                2,
+                "SELECT b.name FROM Bar b",
+                "SELECT DISTINCT b.name FROM Bar b",
+            ),
+        ],
+    );
+    add(
+        6,
+        "Unnecessary join",
+        EquivalentButFlagged,
+        true,
+        vec![
+            p(
+                6,
+                1,
+                "SELECT s.bar FROM Serves s WHERE s.beer = 'Bud'",
+                "SELECT s.bar FROM Serves s, Bar b WHERE s.bar = b.name AND s.beer = 'Bud'",
+            ),
+            p(
+                6,
+                2,
+                "SELECT f.drinker FROM Frequents f",
+                "SELECT f.drinker FROM Frequents f, Bar b WHERE f.bar = b.name",
+            ),
+        ],
+    );
+    add(
+        7,
+        "Tuple variables are always identical",
+        EquivalentButFlagged,
+        true,
+        vec![
+            p(
+                7,
+                1,
+                "SELECT l.drinker FROM Likes l",
+                "SELECT l1.drinker FROM Likes l1, Likes l2 \
+                 WHERE l1.drinker = l2.drinker AND l1.beer = l2.beer",
+            ),
+            p(
+                7,
+                2,
+                "SELECT b.address FROM Bar b",
+                "SELECT b1.address FROM Bar b1, Bar b2 WHERE b1.name = b2.name",
+            ),
+        ],
+    );
+    add(
+        15,
+        "Unnecessary aggregation function",
+        EquivalentButFlagged,
+        false,
+        vec![
+            p(
+                15,
+                1,
+                "SELECT s.bar, s.price FROM Serves s WHERE s.beer = 'Bud'",
+                "SELECT s.bar, MAX(s.price) FROM Serves s WHERE s.beer = 'Bud' \
+                 GROUP BY s.bar, s.price",
+            ),
+            p(
+                15,
+                2,
+                "SELECT f.drinker, f.times_a_week FROM Frequents f",
+                "SELECT f.drinker, MIN(f.times_a_week) FROM Frequents f \
+                 GROUP BY f.drinker, f.times_a_week",
+            ),
+        ],
+    );
+    add(
+        16,
+        "Unnecessary DISTINCT in aggregation function",
+        EquivalentButFlagged,
+        false,
+        vec![
+            p(
+                16,
+                1,
+                "SELECT l.drinker, COUNT(l.beer) FROM Likes l GROUP BY l.drinker",
+                "SELECT l.drinker, COUNT(DISTINCT l.beer) FROM Likes l GROUP BY l.drinker",
+            ),
+            p(
+                16,
+                2,
+                "SELECT s.bar, COUNT(s.beer) FROM Serves s GROUP BY s.bar",
+                "SELECT s.bar, COUNT(DISTINCT s.beer) FROM Serves s GROUP BY s.bar",
+            ),
+        ],
+    );
+    add(
+        17,
+        "Unnecessary argument of COUNT",
+        EquivalentNoFlag,
+        false,
+        vec![
+            p(
+                17,
+                1,
+                "SELECT l.drinker, COUNT(*) FROM Likes l GROUP BY l.drinker",
+                "SELECT l.drinker, COUNT(l.beer) FROM Likes l GROUP BY l.drinker",
+            ),
+            p(
+                17,
+                2,
+                "SELECT s.bar, COUNT(*) FROM Serves s GROUP BY s.bar",
+                "SELECT s.bar, COUNT(s.price) FROM Serves s GROUP BY s.bar",
+            ),
+        ],
+    );
+    add(
+        19,
+        "GROUP BY with singleton groups",
+        EquivalentButFlagged,
+        true,
+        vec![
+            p(
+                19,
+                1,
+                "SELECT b.name, b.address FROM Bar b",
+                "SELECT b.name, b.address FROM Bar b GROUP BY b.name, b.address",
+            ),
+            p(
+                19,
+                2,
+                "SELECT l.drinker, l.beer FROM Likes l",
+                "SELECT l.drinker, l.beer FROM Likes l GROUP BY l.drinker, l.beer",
+            ),
+        ],
+    );
+    add(
+        20,
+        "GROUP BY with only a single group",
+        EquivalentButFlagged,
+        false,
+        vec![
+            p(
+                20,
+                1,
+                "SELECT COUNT(*) FROM Likes l",
+                "SELECT COUNT(*) FROM Likes l GROUP BY 1 + 1",
+            ),
+            p(
+                20,
+                2,
+                "SELECT SUM(s.price) FROM Serves s",
+                "SELECT SUM(s.price) FROM Serves s GROUP BY 7",
+            ),
+        ],
+    );
+    add(
+        22,
+        "GROUP BY can be replaced by DISTINCT",
+        EquivalentButFlagged,
+        false,
+        vec![
+            p(
+                22,
+                1,
+                "SELECT DISTINCT l.beer FROM Likes l",
+                "SELECT l.beer FROM Likes l GROUP BY l.beer",
+            ),
+            p(
+                22,
+                2,
+                "SELECT DISTINCT f.bar FROM Frequents f",
+                "SELECT f.bar FROM Frequents f GROUP BY f.bar",
+            ),
+        ],
+    );
+    add(
+        24,
+        "Unnecessary ORDER BY term",
+        EquivalentNoFlag,
+        true,
+        vec![
+            p(
+                24,
+                1,
+                "SELECT l.drinker FROM Likes l WHERE l.beer = 'Corona'",
+                "SELECT l.drinker FROM Likes l WHERE l.beer = 'Corona' \
+                 ORDER BY l.drinker, l.beer",
+            ),
+            p(
+                24,
+                2,
+                "SELECT s.bar FROM Serves s ORDER BY s.bar",
+                "SELECT s.bar FROM Serves s ORDER BY s.bar, s.price DESC",
+            ),
+        ],
+    );
+    add(
+        32,
+        "Strange HAVING (without GROUP BY)",
+        EquivalentNoFlag,
+        false,
+        vec![
+            p(
+                32,
+                1,
+                "SELECT COUNT(*) FROM Likes l",
+                "SELECT COUNT(*) FROM Likes l HAVING COUNT(*) >= 1",
+            ),
+            p(
+                32,
+                2,
+                "SELECT SUM(s.price) FROM Serves s",
+                "SELECT SUM(s.price) FROM Serves s HAVING COUNT(*) > 0",
+            ),
+        ],
+    );
+
+    // ---- Efficiency/stylistic issues Qr-Hint proves equivalent. ----
+    add(
+        8,
+        "Implied, tautological, or inconsistent subcondition",
+        EquivalentNoFlag,
+        true,
+        vec![
+            p(
+                8,
+                1,
+                "SELECT s.beer FROM Serves s",
+                "SELECT s.beer FROM Serves s WHERE s.price >= 1 OR s.price < 1",
+            ),
+            p(
+                8,
+                2,
+                "SELECT s.beer FROM Serves s WHERE s.price > 5",
+                "SELECT s.beer FROM Serves s WHERE s.price > 5 AND s.price > 3",
+            ),
+        ],
+    );
+    add(
+        21,
+        "Unnecessary GROUP BY attribute",
+        EquivalentNoFlag,
+        true,
+        vec![
+            p(
+                21,
+                1,
+                "SELECT l.drinker, COUNT(*) FROM Likes l GROUP BY l.drinker",
+                "SELECT l.drinker, COUNT(*) FROM Likes l GROUP BY l.drinker, l.drinker",
+            ),
+            p(
+                21,
+                2,
+                "SELECT s.bar, COUNT(*) FROM Serves s GROUP BY s.bar",
+                "SELECT s.bar, COUNT(*) FROM Serves s GROUP BY s.bar, s.bar, s.bar",
+            ),
+        ],
+    );
+    add(
+        25,
+        "Inefficient HAVING (condition could be in WHERE)",
+        EquivalentNoFlag,
+        true,
+        vec![
+            p(
+                25,
+                1,
+                "SELECT s.bar, COUNT(*) FROM Serves s WHERE s.bar = 'Joyce' GROUP BY s.bar",
+                "SELECT s.bar, COUNT(*) FROM Serves s GROUP BY s.bar HAVING s.bar = 'Joyce'",
+            ),
+            p(
+                25,
+                2,
+                "SELECT l.drinker, COUNT(*) FROM Likes l WHERE l.drinker = 'Amy' \
+                 GROUP BY l.drinker",
+                "SELECT l.drinker, COUNT(*) FROM Likes l GROUP BY l.drinker \
+                 HAVING l.drinker = 'Amy'",
+            ),
+        ],
+    );
+
+    // ---- Unsupported issues (18 of 43). ----
+    for (n, d) in [
+        (9u32, "Comparison with NULL"),
+        (10, "NULL value in IN/ANY/ALL subquery"),
+        (11, "Unnecessarily general comparison operator"),
+        (13, "Unnecessarily complicated SELECT in EXISTS-subquery"),
+        (14, "IN/EXISTS condition can be replaced by comparison"),
+        (18, "Unnecessary GROUP BY in EXISTS subquery"),
+        (23, "UNION can be replaced by OR"),
+        (26, "Inefficient UNION"),
+        (28, "Uncorrelated EXISTS subquery"),
+        (29, "IN-subquery with only one possible result value"),
+        (30, "Condition in the subquery that can be moved up"),
+        (35, "Condition on left table in left outer join"),
+        (36, "Outer join can be replaced by inner join"),
+        (39, "Subquery term that might return more than one tuple"),
+        (40, "SELECT INTO that might return more than one tuple"),
+        (41, "No indicator variable for nullable argument"),
+        (42, "Difficult type conversion"),
+        (43, "Runtime error in datatype function (e.g. divide by 0)"),
+    ] {
+        add(n, d, Unsupported, false, vec![]);
+    }
+
+    out.sort_by_key(|i| i.number);
+    out
+}
+
+/// All pairs of supported issues, flattened.
+pub fn supported_pairs() -> Vec<(u32, PaperCategory, QueryPair)> {
+    issues()
+        .into_iter()
+        .filter(|i| i.category != PaperCategory::Unsupported)
+        .flat_map(|i| {
+            i.pairs
+                .into_iter()
+                .map(move |p| (i.number, i.category, p))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlast::resolve::resolve_query;
+    use qrhint_sqlparse::parse_query;
+
+    #[test]
+    fn taxonomy_counts_match_table5() {
+        let all = issues();
+        assert_eq!(all.len(), 43);
+        let supported =
+            all.iter().filter(|i| i.category != PaperCategory::Unsupported).count();
+        assert_eq!(supported, 25, "25 supported issues");
+        let errors =
+            all.iter().filter(|i| i.category == PaperCategory::ErrorFixed).count();
+        assert_eq!(errors, 11, "11 genuine-error issues");
+        let in_students = all
+            .iter()
+            .filter(|i| i.category != PaperCategory::Unsupported && i.in_students)
+            .count();
+        assert_eq!(in_students, 17, "17 issues already in the Students corpus");
+    }
+
+    #[test]
+    fn supported_pairs_parse_and_resolve() {
+        let s = schema();
+        for (n, _, pair) in supported_pairs() {
+            for (label, sql) in
+                [("target", &pair.target_sql), ("working", &pair.working_sql)]
+            {
+                let q = parse_query(sql)
+                    .unwrap_or_else(|e| panic!("issue {n} {label}: {e}\n{sql}"));
+                resolve_query(&s, &q)
+                    .unwrap_or_else(|e| panic!("issue {n} {label}: {e}\n{sql}"));
+            }
+        }
+    }
+
+    #[test]
+    fn two_pairs_per_supported_issue() {
+        for issue in issues() {
+            if issue.category == PaperCategory::Unsupported {
+                assert!(issue.pairs.is_empty());
+            } else {
+                assert_eq!(issue.pairs.len(), 2, "issue {}", issue.number);
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The DBLP user-study workload (§10, Appendix G.2 Tables 2–3): schema,
+//! the four study questions with correct queries, the seeded wrong
+//! queries, and the TA hints used for the hint-quality comparison
+//! (Figures 5–6).
+
+use qrhint_sqlast::{Schema, SqlType};
+
+/// DBLP study schema (table names as shown to participants).
+pub fn schema() -> Schema {
+    use SqlType::*;
+    Schema::new()
+        .with_table(
+            "conference_paper",
+            &[
+                ("pubkey", Str),
+                ("title", Str),
+                ("conference_name", Str),
+                ("year", Int),
+                ("area", Str),
+            ],
+            &["pubkey"],
+        )
+        .with_table(
+            "journal_paper",
+            &[("pubkey", Str), ("title", Str), ("journal_name", Str), ("year", Int)],
+            &["pubkey"],
+        )
+        .with_table("authorship", &[("pubkey", Str), ("author", Str)], &["pubkey", "author"])
+}
+
+/// Who authored a study hint (for the Figure-6 categorization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HintSource {
+    Ta,
+    QrHint,
+}
+
+/// One hint shown to participants, with its provenance.
+#[derive(Debug, Clone)]
+pub struct StudyHint {
+    pub source: HintSource,
+    pub text: &'static str,
+}
+
+/// One study question.
+#[derive(Debug, Clone)]
+pub struct StudyQuestion {
+    pub id: &'static str,
+    pub statement: &'static str,
+    pub correct_sql: &'static str,
+    pub wrong_sql: &'static str,
+    /// Number of seeded errors (per §10 "Preparation").
+    pub num_errors: usize,
+    /// The union of hints shown for Q3/Q4 (TA + Qr-Hint), in the order
+    /// they appear in Appendix Table 3.
+    pub hints: Vec<StudyHint>,
+}
+
+/// All four study questions (Appendix Tables 2 and 3).
+pub fn questions() -> Vec<StudyQuestion> {
+    vec![
+        StudyQuestion {
+            id: "Q1",
+            statement: "Find names of the authors, such that among the years when \
+                        he/she published both conference paper and journal paper, 2 \
+                        of the published papers are at least 20 years apart.",
+            correct_sql: "SELECT au1.author
+                FROM conference_paper i1, conference_paper i2, journal_paper a1,
+                     journal_paper a2, authorship au1, authorship au2,
+                     authorship au3, authorship au4
+                WHERE i1.pubkey = au1.pubkey AND i2.pubkey = au2.pubkey
+                  AND a1.pubkey = au3.pubkey AND a2.pubkey = au4.pubkey
+                  AND au1.author = au2.author AND au2.author = au3.author
+                  AND au3.author = au4.author AND i1.year + 20 >= i2.year
+                  AND i1.year = a1.year AND i2.year = a2.year
+                GROUP BY au1.author",
+            wrong_sql: "SELECT e.author
+                FROM conference_paper a, authorship e, conference_paper b, authorship f,
+                     journal_paper c, authorship g, journal_paper d, authorship h
+                WHERE a.pubkey = e.pubkey AND b.pubkey = g.pubkey
+                  AND c.pubkey = f.pubkey AND e.author = h.author
+                  AND d.pubkey = h.pubkey AND e.author = g.author
+                  AND f.author = h.author AND a.year + 20 > d.year
+                GROUP BY e.author",
+            num_errors: 2,
+            hints: vec![StudyHint {
+                source: HintSource::QrHint,
+                text: "In WHERE: You should change \"a.year + 20 > d.year\" to some \
+                       other conditions.",
+            }],
+        },
+        StudyQuestion {
+            id: "Q2",
+            statement: "For each author who has published conference papers in the \
+                        database area, find the number of their conference paper \
+                        collaborators in the database area by years before 2018.",
+            correct_sql: "SELECT t2.author, t1.year, COUNT(DISTINCT t3.author)
+                FROM conference_paper t1, authorship t2, authorship t3
+                WHERE t1.pubkey = t2.pubkey AND t3.pubkey = t1.pubkey
+                  AND t3.author <> t2.author AND t1.year < 2018
+                  AND t1.area = 'Database'
+                GROUP BY t2.author, t1.year",
+            wrong_sql: "SELECT a.author, year, COUNT(*)
+                FROM conference_paper, authorship, authorship a
+                WHERE conference_paper.pubkey = a.pubkey AND authorship.pubkey = a.pubkey
+                  AND a.author <> authorship.author AND year < 2018
+                GROUP BY a.author, area, year, authorship.author
+                HAVING area = 'Database' AND conference_paper.year < 2018",
+            num_errors: 2,
+            hints: vec![
+                StudyHint {
+                    source: HintSource::QrHint,
+                    text: "In GROUP BY: authorship.author is incorrect.",
+                },
+                StudyHint {
+                    source: HintSource::QrHint,
+                    text: "In SELECT: COUNT(*) is incorrect.",
+                },
+            ],
+        },
+        StudyQuestion {
+            id: "Q3",
+            statement: "Excluding publications in the year of 2015, find authors who \
+                        publish conference papers in at least 2 areas.",
+            correct_sql: "SELECT t1.author
+                FROM conference_paper t1x, authorship t1, conference_paper t3, authorship t4
+                WHERE t1x.pubkey = t1.pubkey AND t1.author = t4.author
+                  AND t3.pubkey = t4.pubkey AND t1x.year = t3.year
+                  AND t1x.area <> t3.area AND t1x.year <> 2015
+                  AND t1x.area <> 'UNKNOWN' AND t3.area <> 'UNKNOWN'
+                GROUP BY t1.author",
+            wrong_sql: "SELECT b.author
+                FROM conference_paper, authorship b, conference_paper a, authorship
+                WHERE conference_paper.pubkey = authorship.pubkey AND a.year < 2015
+                   OR a.year > 2015 AND b.author = authorship.author
+                  AND a.pubkey = b.pubkey AND conference_paper.year = a.year
+                  AND a.area <> conference_paper.area AND a.area <> 'UNKNOWN'
+                  AND conference_paper.area <> 'UNKNOWN'
+                GROUP BY b.author",
+            num_errors: 1,
+            hints: vec![
+                StudyHint {
+                    source: HintSource::Ta,
+                    text: "In WHERE, try to fix the whole condition by adding a pair \
+                           of parentheses - in SQL AND takes higher precedence than \
+                           OR (this fix alone should make the query correct)",
+                },
+                StudyHint {
+                    source: HintSource::QrHint,
+                    text: "In WHERE, you are missing a pair of parentheses around \
+                           a.year < 2015 OR a.year > 2015.",
+                },
+                StudyHint { source: HintSource::Ta, text: "GROUP BY is incorrect." },
+                StudyHint {
+                    source: HintSource::Ta,
+                    text: "GROUP BY is incorrect without an aggregate function.",
+                },
+            ],
+        },
+        StudyQuestion {
+            id: "Q4",
+            statement: "Among the authors who publish in the Systems-area \
+                        conferences, find the ones that have no co-authors on such \
+                        publications.",
+            correct_sql: "SELECT t2.author
+                FROM conference_paper t1, authorship t2, authorship t3
+                WHERE t1.pubkey = t2.pubkey
+                  AND t2.pubkey = t3.pubkey AND t1.area = 'Systems'
+                GROUP BY t2.author
+                HAVING COUNT(DISTINCT t3.author) <= 1",
+            wrong_sql: "SELECT a.author
+                FROM authorship, conference_paper, authorship a
+                WHERE conference_paper.pubkey = a.pubkey AND a.pubkey = authorship.pubkey
+                GROUP BY a.author, conference_paper.area
+                HAVING conference_paper.area = 'System' AND COUNT(DISTINCT a.author) <= 1",
+            num_errors: 2,
+            hints: vec![
+                StudyHint {
+                    source: HintSource::Ta,
+                    text: "GROUP BY should not include t1.area.",
+                },
+                StudyHint {
+                    source: HintSource::Ta,
+                    text: "In HAVING, conference_paper.area = 'System' should not appear.",
+                },
+                StudyHint {
+                    source: HintSource::QrHint,
+                    text: "In HAVING, try to fix conference_paper.area = 'System' (this \
+                           plus another fix in HAVING will make the query right).",
+                },
+                StudyHint {
+                    source: HintSource::Ta,
+                    text: "In HAVING, conference_paper.area = 'System' should be = 'Systems'.",
+                },
+                StudyHint {
+                    source: HintSource::QrHint,
+                    text: "In HAVING, try to fix COUNT(DISTINCT a.author) <= 1 (this plus \
+                           another fix in HAVING will make the query right).",
+                },
+                StudyHint {
+                    source: HintSource::Ta,
+                    text: "In HAVING, COUNT(DISTINCT a.author) <= 1 is referring to the \
+                           same author attribute as the GROUP BY.",
+                },
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlast::resolve::resolve_query;
+    use qrhint_sqlparse::parse_query;
+
+    #[test]
+    fn all_study_queries_parse_and_resolve() {
+        let s = schema();
+        for q in questions() {
+            for (label, sql) in [("correct", q.correct_sql), ("wrong", q.wrong_sql)] {
+                let parsed = parse_query(sql)
+                    .unwrap_or_else(|e| panic!("{} {label}: {e}", q.id));
+                resolve_query(&s, &parsed)
+                    .unwrap_or_else(|e| panic!("{} {label}: {e}", q.id));
+            }
+        }
+    }
+
+    #[test]
+    fn hint_provenance_counts_match_the_paper() {
+        let qs = questions();
+        // Q3: four TA hints? The paper says "four TA hints and one from
+        // Qr-Hint" for Q3 and "four TA hints and two Qr-Hint" for Q4; our
+        // Table-3 transcription keeps the per-question totals.
+        let q3 = qs.iter().find(|q| q.id == "Q3").unwrap();
+        assert_eq!(q3.hints.iter().filter(|h| h.source == HintSource::QrHint).count(), 1);
+        let q4 = qs.iter().find(|q| q.id == "Q4").unwrap();
+        assert_eq!(q4.hints.iter().filter(|h| h.source == HintSource::QrHint).count(), 2);
+        assert_eq!(q4.hints.iter().filter(|h| h.source == HintSource::Ta).count(), 4);
+    }
+
+    #[test]
+    fn wrong_queries_differ_from_correct() {
+        for q in questions() {
+            assert_ne!(q.correct_sql, q.wrong_sql, "{}", q.id);
+        }
+    }
+}

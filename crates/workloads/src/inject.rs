@@ -1,0 +1,190 @@
+//! Synthetic error injection for WHERE predicates (§9 "Test Data
+//! Preparation": "we then introduced errors into two atomic predicates";
+//! "created 5 wrong queries by injecting 1–5 errors by changing atomic
+//! predicates or logical operators").
+
+use qrhint_sqlast::pred::PredPath;
+use qrhint_sqlast::{CmpOp, Pred, Scalar};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Kinds of injected errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectedError {
+    /// Comparison operator changed at the atom at `path`.
+    OpChanged { path: PredPath, from: CmpOp, to: CmpOp },
+    /// Integer constant perturbed.
+    ConstChanged { path: PredPath, from: i64, to: i64 },
+    /// String constant replaced.
+    StrChanged { path: PredPath, from: String, to: String },
+    /// A logical connective flipped (AND ↔ OR).
+    ConnectiveFlipped { path: PredPath },
+}
+
+/// Mutate exactly `k` distinct atomic predicates of `pred` (operator or
+/// constant changes). Deterministic given `seed`. Returns the wrong
+/// predicate and the injected-error descriptions.
+pub fn inject_atom_errors(pred: &Pred, k: usize, seed: u64) -> (Pred, Vec<InjectedError>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut atom_paths: Vec<PredPath> = pred
+        .all_paths()
+        .into_iter()
+        .filter(|p| pred.at_path(p).is_some_and(Pred::is_atomic))
+        .collect();
+    atom_paths.shuffle(&mut rng);
+    let mut out = pred.clone();
+    let mut errors = Vec::new();
+    for path in atom_paths.into_iter().take(k) {
+        let atom = out.at_path(&path).unwrap().clone();
+        let (mutated, err) = mutate_atom(&atom, &path, &mut rng);
+        out = out.replace_at(&path, &mutated);
+        errors.push(err);
+    }
+    (out, errors)
+}
+
+/// Inject `k` errors, allowing both atom mutations and connective flips
+/// (the Figure 3 setup). At least one connective flip is attempted when
+/// `k ≥ 3` and the predicate has internal AND/OR structure below the
+/// root.
+pub fn inject_mixed_errors(pred: &Pred, k: usize, seed: u64) -> (Pred, Vec<InjectedError>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = pred.clone();
+    let mut errors = Vec::new();
+    let mut remaining = k;
+    if k >= 3 {
+        let internal: Vec<PredPath> = out
+            .all_paths()
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .filter(|p| matches!(out.at_path(p), Some(Pred::And(_)) | Some(Pred::Or(_))))
+            .collect();
+        if let Some(path) = internal.first() {
+            out = flip_connective(&out, path);
+            errors.push(InjectedError::ConnectiveFlipped { path: path.clone() });
+            remaining -= 1;
+        }
+    }
+    let (mutated, mut atom_errors) = inject_atom_errors(&out, remaining, rng.gen());
+    out = mutated;
+    errors.append(&mut atom_errors);
+    (out, errors)
+}
+
+fn flip_connective(pred: &Pred, path: &PredPath) -> Pred {
+    let node = pred.at_path(path).unwrap().clone();
+    let flipped = match node {
+        Pred::And(cs) => Pred::Or(cs),
+        Pred::Or(cs) => Pred::And(cs),
+        other => other,
+    };
+    pred.replace_at(path, &flipped)
+}
+
+fn mutate_atom(atom: &Pred, path: &PredPath, rng: &mut StdRng) -> (Pred, InjectedError) {
+    match atom {
+        Pred::Cmp(l, op, r) => {
+            // Prefer constant perturbation when a constant is present;
+            // otherwise change the operator.
+            if let Scalar::Int(v) = r {
+                if rng.gen_bool(0.5) {
+                    let delta = *[-10i64, -3, -1, 1, 3, 10].choose(rng).unwrap();
+                    let nv = v + delta;
+                    return (
+                        Pred::Cmp(l.clone(), *op, Scalar::Int(nv)),
+                        InjectedError::ConstChanged { path: path.clone(), from: *v, to: nv },
+                    );
+                }
+            }
+            if let Scalar::Str(s) = r {
+                if rng.gen_bool(0.5) {
+                    let ns = format!("{s}X");
+                    return (
+                        Pred::Cmp(l.clone(), *op, Scalar::Str(ns.clone())),
+                        InjectedError::StrChanged {
+                            path: path.clone(),
+                            from: s.clone(),
+                            to: ns,
+                        },
+                    );
+                }
+            }
+            let candidates: Vec<CmpOp> = [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ]
+            .into_iter()
+            .filter(|o| o != op)
+            .collect();
+            let to = *candidates.choose(rng).unwrap();
+            (
+                Pred::Cmp(l.clone(), to, r.clone()),
+                InjectedError::OpChanged { path: path.clone(), from: *op, to },
+            )
+        }
+        Pred::Like { expr, pattern, negated } => {
+            // Flip the negation (a realistic student slip).
+            (
+                Pred::Like { expr: expr.clone(), pattern: pattern.clone(), negated: !negated },
+                InjectedError::OpChanged {
+                    path: path.clone(),
+                    from: CmpOp::Eq,
+                    to: CmpOp::Ne,
+                },
+            )
+        }
+        other => (other.clone(), InjectedError::ConnectiveFlipped { path: path.clone() }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlparse::parse_pred;
+
+    #[test]
+    fn injects_exactly_k_atom_errors() {
+        let p = parse_pred("a = 1 AND b = 2 AND c = 3 AND d = 4 AND e = 5").unwrap();
+        for k in 1..=3 {
+            let (wrong, errors) = inject_atom_errors(&p, k, 42);
+            assert_eq!(errors.len(), k);
+            assert_ne!(wrong, p);
+            // Atom count is preserved (errors mutate, never delete).
+            assert_eq!(wrong.atom_count(), p.atom_count());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = parse_pred("a = 1 AND b > 2 AND c <= 3").unwrap();
+        let (w1, e1) = inject_atom_errors(&p, 2, 7);
+        let (w2, e2) = inject_atom_errors(&p, 2, 7);
+        assert_eq!(w1, w2);
+        assert_eq!(e1, e2);
+        let (w3, _) = inject_atom_errors(&p, 2, 8);
+        assert_ne!(w1, w3);
+    }
+
+    #[test]
+    fn mixed_errors_flip_connectives() {
+        let p = parse_pred("(a = 1 AND b = 2) OR (c = 3 AND d = 4)").unwrap();
+        let (wrong, errors) = inject_mixed_errors(&p, 3, 11);
+        assert_eq!(errors.len(), 3);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, InjectedError::ConnectiveFlipped { .. })));
+        assert_ne!(wrong, p);
+    }
+
+    #[test]
+    fn like_atoms_are_mutated_by_negation() {
+        let p = parse_pred("p.name LIKE '%green%'").unwrap();
+        let (wrong, _) = inject_atom_errors(&p, 1, 3);
+        assert!(matches!(wrong, Pred::Like { negated: true, .. }));
+    }
+}

@@ -1,0 +1,42 @@
+//! # qrhint-workloads
+//!
+//! Schemas, query suites, error injectors and synthetic corpora backing
+//! the Qr-Hint evaluation (§9) and user study (§10):
+//!
+//! * [`beers`] — the drinkers/bars schema of Example 1 with the paper's
+//!   running queries;
+//! * [`tpch`] — a TPC-H schema and the single-block query suite used by
+//!   Figures 2–4 (conjunctive WHEREs with 4–11 atoms from Q4, Q3, Q10,
+//!   Q9, Q5, Q8, Q21 plus a synthesized 8-atom query, and the nested
+//!   AND/OR predicate of Q7);
+//! * [`dblp`] — the user-study schema with the four study queries, their
+//!   seeded wrong versions and the TA hints of Appendix Table 3;
+//! * [`students`] — a synthetic "Students+" corpus reproducing the error
+//!   mix of Appendix Table 4 (the real 341-query dataset is IRB-gated and
+//!   unpublished; see DESIGN.md for the substitution argument);
+//! * [`brass`] — the Brass-et-al. semantic-error taxonomy (Appendix
+//!   Table 5) with two handcrafted query pairs per supported issue;
+//! * [`inject`] — the synthetic error injectors used to stress-test
+//!   WHERE repair on TPC-H predicates.
+
+#![forbid(unsafe_code)]
+
+pub mod beers;
+pub mod brass;
+pub mod dblp;
+pub mod inject;
+pub mod students;
+pub mod tpch;
+
+/// A (target, working) query pair with provenance metadata.
+#[derive(Debug, Clone)]
+pub struct QueryPair {
+    /// Identifier, e.g. `"tpch-q3"` or `"students-b-17"`.
+    pub id: String,
+    /// The reference solution.
+    pub target_sql: String,
+    /// The wrong working query.
+    pub working_sql: String,
+    /// Free-form description of the seeded error(s).
+    pub errors: Vec<String>,
+}

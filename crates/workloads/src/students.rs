@@ -1,0 +1,529 @@
+//! The synthetic **Students+** corpus (§9 "Test Data Preparation",
+//! Appendix Table 4).
+//!
+//! The paper's corpus of 341 real wrong queries is IRB-gated and
+//! unpublished, so this module regenerates a corpus with the *same
+//! composition*: four introductory questions over the beers schema, with
+//! per-question error-category counts matching Appendix Table 4 exactly
+//! (306 supported wrong queries + 35 queries using unsupported SQL
+//! features), plus the Brass-et-al. issue pairs from [`crate::brass`]
+//! that round the corpus up to "Students+".
+
+use crate::beers;
+use crate::QueryPair;
+use qrhint_sqlast::Schema;
+
+/// A corpus entry: the pair plus classification metadata.
+#[derive(Debug, Clone)]
+pub struct StudentEntry {
+    pub pair: QueryPair,
+    /// Question id: "a" | "b" | "c" | "d".
+    pub question: &'static str,
+    /// Error clause per Table 4: "FROM" | "WHERE" | "SELECT" |
+    /// "GROUP BY" | "HAVING" | "UNSUPPORTED".
+    pub category: &'static str,
+}
+
+/// The corpus schema.
+pub fn schema() -> Schema {
+    beers::course_schema()
+}
+
+fn pair(
+    question: &'static str,
+    idx: usize,
+    target: &str,
+    working: String,
+    error: &str,
+) -> QueryPair {
+    QueryPair {
+        id: format!("students-{question}-{idx}"),
+        target_sql: target.to_string(),
+        working_sql: working,
+        errors: vec![error.to_string()],
+    }
+}
+
+/// Generate the full corpus: 341 entries (306 supported + 35 unsupported)
+/// distributed per Appendix Table 4.
+pub fn corpus() -> Vec<StudentEntry> {
+    let mut out: Vec<StudentEntry> = Vec::new();
+    let mut idx = 0usize;
+    let mut push = |question: &'static str,
+                    category: &'static str,
+                    target: &str,
+                    working: String,
+                    error: &str,
+                    out: &mut Vec<StudentEntry>| {
+        idx += 1;
+        out.push(StudentEntry {
+            pair: pair(question, idx, target, working, error),
+            question,
+            category,
+        });
+    };
+
+    // ---------- Question (a): beers served at James Joyce Pub ----------
+    let ta = "SELECT s.beer FROM Serves s WHERE s.bar = 'James Joyce Pub'";
+    // FROM errors (8): wrong table (4), extra table (4).
+    for i in 0..4 {
+        let (wrong_table, sel_col, cond_col) = [
+            ("Likes", "beer", "beer"),
+            ("Frequents", "bar", "bar"),
+            ("Bar", "name", "name"),
+            ("Likes", "drinker", "beer"),
+        ][i];
+        push(
+            "a",
+            "FROM",
+            ta,
+            format!(
+                "SELECT t.{sel_col} FROM {wrong_table} t WHERE t.{cond_col} = 'James Joyce Pub'"
+            ),
+            "wrong table",
+            &mut out,
+        );
+    }
+    for i in 0..4 {
+        let extra = ["Bar", "Likes", "Frequents", "Bar"][i];
+        push(
+            "a",
+            "FROM",
+            ta,
+            format!(
+                "SELECT s.beer FROM Serves s, {extra} x WHERE s.bar = 'James Joyce Pub'"
+            ),
+            "extra table (cross join)",
+            &mut out,
+        );
+    }
+    // WHERE errors (9): wrong bar name / typo.
+    for i in 0..9 {
+        let name = [
+            "James Joyce",
+            "Joyce Pub",
+            "james joyce pub",
+            "James Joyce Pub ",
+            "The James Joyce Pub",
+            "JamesJoycePub",
+            "James  Joyce Pub",
+            "J. Joyce Pub",
+            "Joyce",
+        ][i];
+        push(
+            "a",
+            "WHERE",
+            ta,
+            format!("SELECT s.beer FROM Serves s WHERE s.bar = '{name}'"),
+            "wrong bar name or typo",
+            &mut out,
+        );
+    }
+    // SELECT errors (5): bar or price instead of beer.
+    for i in 0..5 {
+        let cols = ["s.bar", "s.bar, s.beer", "s.price", "s.beer, s.price", "s.bar, s.price"][i];
+        push(
+            "a",
+            "SELECT",
+            ta,
+            format!("SELECT {cols} FROM Serves s WHERE s.bar = 'James Joyce Pub'"),
+            "wrong output columns",
+            &mut out,
+        );
+    }
+
+    // ---------- Question (b): bars serving Budweiser above 2.20 ----------
+    let tb = "SELECT b.name, b.address FROM Bar b, Serves s \
+              WHERE b.name = s.bar AND s.beer = 'Budweiser' AND s.price > 220";
+    // FROM errors (10): missing Bar or Serves.
+    for i in 0..10 {
+        let working = if i % 2 == 0 {
+            // Missing the Bar table (address unavailable → selects bar).
+            format!(
+                "SELECT s.bar, s.beer FROM Serves s \
+                 WHERE s.beer = 'Budweiser' AND s.price > {}",
+                210 + i
+            )
+        } else {
+            format!(
+                "SELECT b.name, b.address FROM Bar b WHERE b.name = 'Budweiser{i}'"
+            )
+        };
+        push("b", "FROM", tb, working, "missing table", &mut out);
+    }
+    // WHERE errors (96): missing join condition (48), >= instead of > (24),
+    // wrong constants (24).
+    for i in 0..48 {
+        push(
+            "b",
+            "WHERE",
+            tb,
+            format!(
+                "SELECT b.name, b.address FROM Bar b, Serves s \
+                 WHERE s.beer = 'Budweiser' AND s.price > {}",
+                196 + i
+            ),
+            "missing join condition",
+            &mut out,
+        );
+    }
+    for i in 0..24 {
+        push(
+            "b",
+            "WHERE",
+            tb,
+            format!(
+                "SELECT b.name, b.address FROM Bar b, Serves s \
+                 WHERE b.name = s.bar AND s.beer = 'Budweiser' AND s.price >= {}",
+                220 - (i as i64 % 3)
+            ),
+            ">= instead of >",
+            &mut out,
+        );
+    }
+    for i in 0..24 {
+        let beer = ["budweiser", "Budweiser Light", "Bud", "BUDWEISER"][i % 4];
+        push(
+            "b",
+            "WHERE",
+            tb,
+            format!(
+                "SELECT b.name, b.address FROM Bar b, Serves s \
+                 WHERE b.name = s.bar AND s.beer = '{beer}' AND s.price > {}",
+                220 + (i as i64 % 5)
+            ),
+            "wrong constant",
+            &mut out,
+        );
+    }
+    // SELECT errors (17): missing columns / wrong order.
+    for i in 0..17 {
+        let cols = match i % 3 {
+            0 => "b.name",
+            1 => "b.address, b.name",
+            _ => "b.address",
+        };
+        push(
+            "b",
+            "SELECT",
+            tb,
+            format!(
+                "SELECT {cols} FROM Bar b, Serves s \
+                 WHERE b.name = s.bar AND s.beer = 'Budweiser' AND s.price > {}",
+                220 + (i as i64 % 2)
+            ),
+            "missing/reordered output columns",
+            &mut out,
+        );
+    }
+    // Unsupported (3): set operations / outer joins.
+    for i in 0..3 {
+        let working = match i {
+            0 => "SELECT b.name, b.address FROM Bar b WHERE b.name = 'x' \
+                  UNION SELECT s.bar, s.beer FROM Serves s"
+                .to_string(),
+            1 => "SELECT b.name, b.address FROM Bar b LEFT JOIN Serves s \
+                  ON b.name = s.bar WHERE s.beer = 'Budweiser'"
+                .to_string(),
+            _ => "SELECT b.name, b.address FROM Bar b WHERE b.name IN \
+                  (SELECT s.bar FROM Serves s WHERE s.beer = 'Budweiser')"
+                .to_string(),
+        };
+        push("b", "UNSUPPORTED", tb, working, "unsupported SQL feature", &mut out);
+    }
+
+    // ---------- Question (c): Corona drinkers at James Joyce ≥ 2/week ----------
+    let tc = "SELECT l.drinker FROM Likes l, Frequents f \
+              WHERE l.beer = 'Corona' AND l.drinker = f.drinker \
+                AND f.bar = 'James Joyce Pub' AND f.times_a_week >= 2";
+    // FROM errors (11): wrong/extra table.
+    for i in 0..11 {
+        let working = if i % 2 == 0 {
+            format!(
+                "SELECT l.drinker FROM Likes l, Serves s \
+                 WHERE l.beer = 'Corona' AND s.bar = 'James Joyce Pub' AND s.price >= {}",
+                i + 1
+            )
+        } else {
+            format!(
+                "SELECT l.drinker FROM Likes l, Frequents f, Serves s \
+                 WHERE l.beer = 'Corona' AND l.drinker = f.drinker \
+                   AND f.bar = 'James Joyce Pub' AND f.times_a_week >= {}",
+                2 + (i as i64 % 2)
+            )
+        };
+        push("c", "FROM", tc, working, "wrong/extra table", &mut out);
+    }
+    // WHERE errors (105): missing join (45), wrong comparison (30),
+    // missing beer/bar condition (30).
+    for i in 0..45 {
+        push(
+            "c",
+            "WHERE",
+            tc,
+            format!(
+                "SELECT l.drinker FROM Likes l, Frequents f \
+                 WHERE l.beer = 'Corona' AND f.bar = 'James Joyce Pub' \
+                   AND f.times_a_week >= {}",
+                2 + (i as i64 % 3)
+            ),
+            "missing join condition",
+            &mut out,
+        );
+    }
+    for i in 0..30 {
+        let (op, k) = [(">", 2i64), (">", 1), ("=", 2), (">=", 3), (">", 3), ("=", 3)][i % 6];
+        push(
+            "c",
+            "WHERE",
+            tc,
+            format!(
+                "SELECT l.drinker FROM Likes l, Frequents f \
+                 WHERE l.beer = 'Corona' AND l.drinker = f.drinker \
+                   AND f.bar = 'James Joyce Pub' AND f.times_a_week {op} {k}"
+            ),
+            "wrong comparison against times_a_week",
+            &mut out,
+        );
+    }
+    for i in 0..30 {
+        let working = if i % 2 == 0 {
+            "SELECT l.drinker FROM Likes l, Frequents f \
+             WHERE l.drinker = f.drinker AND f.bar = 'James Joyce Pub' \
+               AND f.times_a_week >= 2"
+                .to_string()
+        } else {
+            "SELECT l.drinker FROM Likes l, Frequents f \
+             WHERE l.beer = 'Corona' AND l.drinker = f.drinker \
+               AND f.times_a_week >= 2"
+                .to_string()
+        };
+        push("c", "WHERE", tc, working, "missing beer or bar condition", &mut out);
+    }
+    // SELECT errors (6).
+    for i in 0..6 {
+        let cols = ["l.beer", "f.drinker, f.bar", "l.drinker, l.beer"][i % 3];
+        push(
+            "c",
+            "SELECT",
+            tc,
+            format!(
+                "SELECT {cols} FROM Likes l, Frequents f \
+                 WHERE l.beer = 'Corona' AND l.drinker = f.drinker \
+                   AND f.bar = 'James Joyce Pub' AND f.times_a_week >= 2"
+            ),
+            "wrong output columns",
+            &mut out,
+        );
+    }
+    // GROUP BY error (1).
+    push(
+        "c",
+        "GROUP BY",
+        tc,
+        "SELECT l.drinker FROM Likes l, Frequents f \
+         WHERE l.beer = 'Corona' AND l.drinker = f.drinker \
+           AND f.bar = 'James Joyce Pub' AND f.times_a_week >= 2 \
+         GROUP BY l.drinker, l.beer"
+            .to_string(),
+        "grouping where none is needed",
+        &mut out,
+    );
+    // Unsupported (20).
+    for i in 0..20 {
+        let working = match i % 4 {
+            0 => "SELECT l.drinker FROM Likes l WHERE l.beer = 'Corona' \
+                  INTERSECT SELECT f.drinker FROM Frequents f"
+                .to_string(),
+            1 => "SELECT l.drinker FROM Likes l WHERE EXISTS \
+                  (SELECT 1 FROM Frequents f WHERE f.drinker = l.drinker)"
+                .to_string(),
+            2 => "SELECT l.drinker FROM Likes l JOIN Frequents f \
+                  ON l.drinker = f.drinker WHERE l.beer = 'Corona'"
+                .to_string(),
+            _ => "SELECT f.drinker FROM Frequents f WHERE f.drinker IN \
+                  (SELECT l.drinker FROM Likes l WHERE l.beer = 'Corona')"
+                .to_string(),
+        };
+        push("c", "UNSUPPORTED", tc, working, "unsupported SQL feature", &mut out);
+    }
+
+    // ---------- Question (d): drinkers who like ≥ 2 beers ----------
+    let td1 = "SELECT l.drinker FROM Likes l GROUP BY l.drinker HAVING COUNT(*) >= 2";
+    let td2 = "SELECT DISTINCT l1.drinker FROM Likes l1, Likes l2 \
+               WHERE l1.drinker = l2.drinker AND l1.beer <> l2.beer";
+    // Solution-1 style errors: FROM (1), GROUP BY (1), HAVING (18), SELECT (4).
+    push(
+        "d",
+        "FROM",
+        td1,
+        "SELECT f.drinker FROM Frequents f GROUP BY f.drinker HAVING COUNT(*) >= 2"
+            .to_string(),
+        "wrong table",
+        &mut out,
+    );
+    push(
+        "d",
+        "GROUP BY",
+        td1,
+        "SELECT l.drinker FROM Likes l GROUP BY l.drinker, l.beer HAVING COUNT(*) >= 2"
+            .to_string(),
+        "grouping by extra column",
+        &mut out,
+    );
+    for i in 0..18 {
+        let having = match i % 3 {
+            0 => "COUNT(*) > 2".to_string(),
+            1 => format!("COUNT(*) >= {}", 3 + (i as i64 % 2)),
+            _ => "COUNT(DISTINCT l.drinker) >= 2".to_string(),
+        };
+        push(
+            "d",
+            "HAVING",
+            td1,
+            format!("SELECT l.drinker FROM Likes l GROUP BY l.drinker HAVING {having}"),
+            "wrong HAVING condition",
+            &mut out,
+        );
+    }
+    for i in 0..4 {
+        let cols = ["l.drinker, COUNT(*)", "COUNT(*)", "l.drinker, COUNT(l.beer)", "l.beer"][i];
+        push(
+            "d",
+            "SELECT",
+            td1,
+            format!("SELECT {cols} FROM Likes l GROUP BY l.drinker HAVING COUNT(*) >= 2"),
+            "extra aggregate output column",
+            &mut out,
+        );
+    }
+    // Solution-2 style errors: FROM (5), WHERE (2), SELECT (7).
+    for i in 0..5 {
+        let working = if i % 2 == 0 {
+            "SELECT DISTINCT l1.drinker FROM Likes l1 WHERE l1.beer <> 'x'".to_string()
+        } else {
+            "SELECT DISTINCT l1.drinker FROM Likes l1, Likes l2, Frequents f \
+             WHERE l1.drinker = l2.drinker AND l1.beer <> l2.beer"
+                .to_string()
+        };
+        push("d", "FROM", td2, working, "missing/extra table in self-join", &mut out);
+    }
+    for (i, cond) in [
+        "l1.beer = l2.beer AND l1.drinker = l2.drinker",
+        "l1.drinker <> l2.drinker AND l1.beer <> l2.beer",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let _ = i;
+        push(
+            "d",
+            "WHERE",
+            td2,
+            format!("SELECT DISTINCT l1.drinker FROM Likes l1, Likes l2 WHERE {cond}"),
+            "wrong self-join conditions",
+            &mut out,
+        );
+    }
+    for i in 0..7 {
+        let working = if i % 2 == 0 {
+            "SELECT l1.drinker FROM Likes l1, Likes l2 \
+             WHERE l1.drinker = l2.drinker AND l1.beer <> l2.beer"
+                .to_string()
+        } else {
+            "SELECT DISTINCT l1.beer FROM Likes l1, Likes l2 \
+             WHERE l1.drinker = l2.drinker AND l1.beer <> l2.beer"
+                .to_string()
+        };
+        push("d", "SELECT", td2, working, "missing DISTINCT / wrong column", &mut out);
+    }
+    // Unsupported (12).
+    for i in 0..12 {
+        let working = match i % 3 {
+            0 => "SELECT l.drinker FROM Likes l GROUP BY l.drinker \
+                  HAVING COUNT(*) >= 2 \
+                  EXCEPT SELECT f.drinker FROM Frequents f"
+                .to_string(),
+            1 => "SELECT l.drinker FROM Likes l WHERE l.drinker IN \
+                  (SELECT l2.drinker FROM Likes l2 GROUP BY l2.drinker \
+                   HAVING COUNT(*) >= 2)"
+                .to_string(),
+            _ => "SELECT l1.drinker FROM Likes l1 FULL OUTER JOIN Likes l2 \
+                  ON l1.drinker = l2.drinker"
+                .to_string(),
+        };
+        push("d", "UNSUPPORTED", td1, working, "unsupported SQL feature", &mut out);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrhint_sqlast::resolve::resolve_query;
+    use qrhint_sqlparse::{parse_query, ParseError};
+
+    #[test]
+    fn corpus_matches_table4_composition() {
+        let corpus = corpus();
+        assert_eq!(corpus.len(), 341, "341 wrong queries as in §9");
+        let unsupported = corpus.iter().filter(|e| e.category == "UNSUPPORTED").count();
+        assert_eq!(unsupported, 35, "35 unsupported queries (11%)");
+        // Per-question totals of Table 4.
+        let count = |q: &str| corpus.iter().filter(|e| e.question == q).count();
+        assert_eq!(count("a"), 22);
+        assert_eq!(count("b"), 126);
+        assert_eq!(count("c"), 143);
+        assert_eq!(count("d"), 50);
+    }
+
+    #[test]
+    fn supported_queries_parse_and_resolve() {
+        let s = schema();
+        for e in corpus() {
+            if e.category == "UNSUPPORTED" {
+                continue;
+            }
+            let q = parse_query(&e.pair.working_sql)
+                .unwrap_or_else(|err| panic!("{}: {err}\n{}", e.pair.id, e.pair.working_sql));
+            resolve_query(&s, &q)
+                .unwrap_or_else(|err| panic!("{}: {err}\n{}", e.pair.id, e.pair.working_sql));
+            let t = parse_query(&e.pair.target_sql).unwrap();
+            resolve_query(&s, &t).unwrap();
+        }
+    }
+
+    #[test]
+    fn unsupported_queries_are_rejected_by_the_parser() {
+        for e in corpus() {
+            if e.category != "UNSUPPORTED" {
+                continue;
+            }
+            match parse_query(&e.pair.working_sql) {
+                Err(ParseError::Unsupported { .. }) => {}
+                other => panic!(
+                    "{} should be Unsupported, got {other:?}\n{}",
+                    e.pair.id, e.pair.working_sql
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn working_queries_are_distinct_within_category_mostly() {
+        // At least 80% of the supported corpus should be textually
+        // distinct (the generator varies constants).
+        let corpus = corpus();
+        let supported: Vec<&StudentEntry> =
+            corpus.iter().filter(|e| e.category != "UNSUPPORTED").collect();
+        let distinct: std::collections::BTreeSet<&str> =
+            supported.iter().map(|e| e.pair.working_sql.as_str()).collect();
+        assert!(
+            distinct.len() * 10 >= supported.len() * 4,
+            "too many duplicates: {} distinct of {}",
+            distinct.len(),
+            supported.len()
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Classroom grader: batch-process the synthetic Students+ corpus
+//! (§9's coverage workload) the way a TA dashboard would — classify
+//! every submission, print per-question statistics and a few sample
+//! hint transcripts.
+//!
+//! Run with: `cargo run --release --example classroom_grader`
+
+use qr_hint::prelude::*;
+use qrhint_workloads::students;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let qr = QrHint::new(students::schema());
+    let corpus = students::corpus();
+    println!("Grading {} submissions across 4 questions...\n", corpus.len());
+
+    #[derive(Default)]
+    struct Tally {
+        total: usize,
+        unsupported: usize,
+        equivalent: usize,
+        hinted: usize,
+        converged: usize,
+    }
+    let mut per_question: BTreeMap<&str, Tally> = BTreeMap::new();
+    let mut first_stage: BTreeMap<String, usize> = BTreeMap::new();
+    let started = Instant::now();
+    let mut samples_shown = 0;
+
+    for entry in &corpus {
+        let tally = per_question.entry(entry.question).or_default();
+        tally.total += 1;
+        if entry.category == "UNSUPPORTED" {
+            // The parser reports exactly why.
+            let err = qr
+                .advise_sql(&entry.pair.target_sql, &entry.pair.working_sql)
+                .unwrap_err();
+            let _ = err;
+            tally.unsupported += 1;
+            continue;
+        }
+        let target = qr.prepare(&entry.pair.target_sql)?;
+        let working = qr.prepare(&entry.pair.working_sql)?;
+        let advice = qr.advise(&target, &working)?;
+        if advice.is_equivalent() {
+            tally.equivalent += 1;
+            continue;
+        }
+        tally.hinted += 1;
+        *first_stage.entry(advice.stage.to_string()).or_insert(0) += 1;
+        if samples_shown < 3 {
+            samples_shown += 1;
+            println!("--- sample hint transcript: {} ---", entry.pair.id);
+            println!("  student: {}", entry.pair.working_sql.trim());
+            for h in &advice.hints {
+                println!("  hint: {h}");
+            }
+            println!();
+        }
+        let (_, trail) = qr.fix_fully(&target, &working)?;
+        if trail.last().map(|a| a.is_equivalent()).unwrap_or(false) {
+            tally.converged += 1;
+        }
+    }
+
+    println!("question  total  unsupported  equivalent  hinted  converged");
+    for (question, t) in &per_question {
+        println!(
+            "{question:>8}  {:>5}  {:>11}  {:>10}  {:>6}  {:>9}",
+            t.total, t.unsupported, t.equivalent, t.hinted, t.converged
+        );
+    }
+    println!("\nfirst failing stage distribution:");
+    for (stage, n) in &first_stage {
+        println!("  {stage:<9} {n}");
+    }
+    println!(
+        "\ngraded in {:.2?} ({:.1} ms/query avg)",
+        started.elapsed(),
+        started.elapsed().as_millis() as f64 / corpus.len() as f64
+    );
+    Ok(())
+}

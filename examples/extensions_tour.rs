@@ -1,0 +1,106 @@
+//! Extensions tour: the three features the paper scopes as rewrites or
+//! future work, implemented in this reproduction.
+//!
+//! 1. Footnote 2 — multi-block front-end: `WITH` CTEs, aggregation-free
+//!    subqueries in FROM, and non-outer JOINs are flattened into the
+//!    single-block fragment before hinting.
+//! 2. §3 Limitations item 4 — schema `CHECK` constraints as solver
+//!    context: domain-implied conditions stop producing spurious hints.
+//! 3. §3 Limitations item 2 — the NULL prototype: the two-variable
+//!    encoding of [58] makes the WHERE equivalence check 3VL-correct.
+//!
+//! Run with: `cargo run --example extensions_tour`
+
+use qr_hint::prelude::*;
+use qrhint_core::nullsafe;
+use qrhint_sqlast::ColRef;
+use qrhint_sqlparse::{parse_pred, parse_schema};
+use std::collections::BTreeSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------------------------------------------------------------
+    // 1. Multi-block front-end (footnote 2)
+    // ---------------------------------------------------------------
+    println!("== 1. JOIN syntax, CTEs and FROM subqueries ==\n");
+    let schema = parse_schema(
+        "CREATE TABLE Likes     (drinker VARCHAR(30), beer VARCHAR(30),
+                                 PRIMARY KEY (drinker, beer));
+         CREATE TABLE Frequents (drinker VARCHAR(30), bar VARCHAR(30),
+                                 PRIMARY KEY (drinker, bar));
+         CREATE TABLE Serves    (bar VARCHAR(30), beer VARCHAR(30), price INT,
+                                 PRIMARY KEY (bar, beer), CHECK (price > 0));",
+    )?;
+    let qr = QrHint::new(schema);
+
+    // The instructor wrote comma joins; the student is a JOIN-and-CTE
+    // person. Qr-Hint sees through the syntax.
+    let target = "SELECT f.drinker FROM Frequents f, Serves s \
+                  WHERE f.bar = s.bar AND s.beer = 'IPA' AND s.price <= 4";
+    let working = "WITH ipa_bars AS (SELECT s.bar, s.price FROM Serves s \
+                                     WHERE s.beer = 'IPA') \
+                   SELECT f.drinker \
+                   FROM Frequents f JOIN ipa_bars b ON f.bar = b.bar \
+                   WHERE b.price < 4";
+    println!("target : {target}");
+    println!("working: {working}\n");
+
+    let opts = FlattenOptions::default();
+    let flattened = qr.prepare_extended(working, &opts)?;
+    println!("flattened working query:\n  {flattened}\n");
+
+    let advice = qr.advise_sql_extended(target, working, &opts)?;
+    println!("first failing stage: {}", advice.stage);
+    for hint in &advice.hints {
+        println!("  hint: {hint}");
+    }
+
+    // Walk it to equivalence, as a student would.
+    let q_star = qr.prepare_extended(target, &opts)?;
+    let q = qr.prepare_extended(working, &opts)?;
+    let (final_q, trail) = qr.fix_fully(&q_star, &q)?;
+    println!(
+        "converged in {} stage interaction(s); final query:\n  {final_q}\n",
+        trail.len() - 1
+    );
+
+    // ---------------------------------------------------------------
+    // 2. CHECK constraints as reasoning context
+    // ---------------------------------------------------------------
+    println!("== 2. Domain constraints (CHECK) ==\n");
+    // The schema says price > 0, so the target's `price >= 1` is implied
+    // — a student who omitted it wrote an equivalent query and must NOT
+    // be told to add it back.
+    let t2 = "SELECT s.bar FROM Serves s WHERE s.price >= 1 AND s.beer = 'IPA'";
+    let w2 = "SELECT s.bar FROM Serves s WHERE s.beer = 'IPA'";
+    let advice = qr.advise_sql(t2, w2)?;
+    println!("target : {t2}");
+    println!("working: {w2}");
+    println!(
+        "verdict: {}\n",
+        if advice.is_equivalent() {
+            "equivalent under CHECK (price > 0) — no hint"
+        } else {
+            "not equivalent (unexpected!)"
+        }
+    );
+
+    // ---------------------------------------------------------------
+    // 3. NULL prototype (two-variable encoding of [58])
+    // ---------------------------------------------------------------
+    println!("== 3. NULL-correct WHERE equivalence ==\n");
+    let p = parse_pred("s.price >= 3 OR s.price < 3")?;
+    println!("predicate: {p}");
+    println!("  vs TRUE, all columns NOT NULL: {:?}", {
+        nullsafe::where_equiv_3vl(&p, &qrhint_sqlast::Pred::True, &BTreeSet::new())
+    });
+    let nullable: BTreeSet<ColRef> = [ColRef::new("s", "price")].into_iter().collect();
+    println!(
+        "  vs TRUE, s.price nullable:      {:?}",
+        nullsafe::where_equiv_3vl(&p, &qrhint_sqlast::Pred::True, &nullable)
+    );
+    println!("\nThe tautology stops being one: for a NULL price the");
+    println!("disjunction is UNKNOWN, and WHERE filters UNKNOWN rows out.");
+    println!("Encoded 2VL form:\n  {}", nullsafe::encode_where_3vl(&p, &nullable));
+
+    Ok(())
+}

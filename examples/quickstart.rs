@@ -1,0 +1,54 @@
+//! Quickstart: the paper's headline example (Examples 1–2).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qr_hint::prelude::*;
+use qrhint_workloads::beers;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let qr = QrHint::new(beers::schema());
+
+    println!("== Target query (hidden from the student) ==");
+    println!("{}\n", beers::EXAMPLE1_TARGET.trim());
+    println!("== Student's wrong query ==");
+    println!("{}\n", beers::EXAMPLE1_WORKING.trim());
+
+    // Walk the student through the stages, exactly as in Example 2.
+    let target = qr.prepare(beers::EXAMPLE1_TARGET)?;
+    let mut working = qr.prepare(beers::EXAMPLE1_WORKING)?;
+    let mut step = 1;
+    loop {
+        let advice = qr.advise(&target, &working)?;
+        if advice.is_equivalent() {
+            println!("✓ The working query is now equivalent to the target!\n");
+            println!("Final query:\n  {working}");
+            break;
+        }
+        println!("-- Hint {step} (stage: {}) --", advice.stage);
+        for hint in &advice.hints {
+            println!("   {hint}");
+        }
+        // Simulate the student applying the suggested repair.
+        working = advice.fixed.expect("stage always offers a fix");
+        println!("   (student applies the fix)\n");
+        step += 1;
+        if step > 10 {
+            return Err("did not converge".into());
+        }
+    }
+
+    // Demonstrate the ground truth: run both queries on a random database.
+    let db = DataGen::new(7).generate(qr.schema(), &[&target, &working]);
+    let out_target = qrhint_engine::execute(&target, qr.schema(), &db)?;
+    let out_fixed = qrhint_engine::execute(&working, qr.schema(), &db)?;
+    println!(
+        "\nDifferential check on a random database ({} rows total): {}",
+        db.total_rows(),
+        if qrhint_engine::bag_equal(&out_target, &out_fixed) {
+            "results agree ✓"
+        } else {
+            "results differ ✗"
+        }
+    );
+    Ok(())
+}

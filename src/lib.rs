@@ -1,0 +1,60 @@
+//! # qr-hint
+//!
+//! A from-scratch Rust reproduction of **Qr-Hint: Actionable Hints
+//! Towards Correcting Wrong SQL Queries** (Hu, Gilad, Stephens-Martinez,
+//! Roy, Yang — SIGMOD 2024).
+//!
+//! Given a correct *target* query `Q★` and a wrong *working* query `Q`,
+//! Qr-Hint walks the logical execution order (FROM → WHERE → GROUP BY →
+//! HAVING → SELECT) and produces provably correct, locally optimal,
+//! step-by-step repairs that lead the user to a query equivalent to
+//! `Q★` — without revealing `Q★`.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`ast`] (`qrhint-sqlast`) — AST, schemas, pretty printing;
+//! * [`parse`] (`qrhint-sqlparse`) — lexer/parser for the SQL fragment;
+//! * [`smt`] (`qrhint-smt`) — the DPLL(T)-lite solver standing in for Z3;
+//! * [`boolmin`] (`qrhint-boolmin`) — Quine–McCluskey minimization
+//!   standing in for ESPRESSO;
+//! * [`engine`] (`qrhint-engine`) — bag-semantics executor for
+//!   differential testing;
+//! * [`core`] (`qrhint-core`) — the hinting pipeline itself;
+//! * [`workloads`] (`qrhint-workloads`) — evaluation schemas, corpora and
+//!   error injectors.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qr_hint::prelude::*;
+//!
+//! let schema = Schema::new()
+//!     .with_table("Serves", &[("bar", SqlType::Str), ("beer", SqlType::Str),
+//!                             ("price", SqlType::Int)], &["bar", "beer"]);
+//! let qr = QrHint::new(schema);
+//! let advice = qr.advise_sql(
+//!     "SELECT s.bar FROM Serves s WHERE s.price >= 3",   // target (hidden)
+//!     "SELECT s.bar FROM Serves s WHERE s.price > 3",    // student query
+//! ).unwrap();
+//! assert_eq!(advice.stage, Stage::Where);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use qrhint_boolmin as boolmin;
+pub use qrhint_core as core;
+pub use qrhint_engine as engine;
+pub use qrhint_smt as smt;
+pub use qrhint_sqlast as ast;
+pub use qrhint_sqlparse as parse;
+pub use qrhint_workloads as workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use qrhint_core::{
+        Advice, ClauseKind, Hint, QrHint, QrHintConfig, RepairConfig, SiteHint, Stage,
+    };
+    pub use qrhint_engine::{DataGen, Database};
+    pub use qrhint_sqlast::{Query, Schema, SqlType};
+    pub use qrhint_sqlparse::{parse_query, parse_query_extended, FlattenOptions};
+}

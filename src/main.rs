@@ -1,0 +1,128 @@
+//! `qr-hint` command-line interface.
+//!
+//! ```text
+//! qr-hint --schema schema.sql --target solution.sql --working student.sql
+//!         [--interactive] [--extended] [--rewrite-subqueries]
+//! ```
+//!
+//! Prints the hints for the first failing stage; with `--interactive`,
+//! auto-applies each stage's repair and keeps going until the working
+//! query is equivalent to the target (showing every hint on the way).
+//! `--extended` enables the multi-block front-end (footnote 2 of the
+//! paper: WITH, aggregation-free FROM subqueries, non-outer JOINs);
+//! `--rewrite-subqueries` additionally opts into the positive EXISTS/IN
+//! join rewrite of §3 (duplicate-count caveat applies).
+
+use qr_hint::prelude::*;
+use qrhint_sqlparse::parse_schema;
+use std::process::ExitCode;
+
+struct Args {
+    schema: String,
+    target: String,
+    working: String,
+    interactive: bool,
+    extended: bool,
+    rewrite_subqueries: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut schema = None;
+    let mut target = None;
+    let mut working = None;
+    let mut interactive = false;
+    let mut extended = false;
+    let mut rewrite_subqueries = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--schema" => schema = Some(it.next().ok_or("--schema needs a file")?),
+            "--target" => target = Some(it.next().ok_or("--target needs a file")?),
+            "--working" => working = Some(it.next().ok_or("--working needs a file")?),
+            "--interactive" | "-i" => interactive = true,
+            "--extended" | "-x" => extended = true,
+            "--rewrite-subqueries" => {
+                extended = true;
+                rewrite_subqueries = true;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        schema: schema.ok_or_else(|| format!("--schema is required\n{USAGE}"))?,
+        target: target.ok_or_else(|| format!("--target is required\n{USAGE}"))?,
+        working: working.ok_or_else(|| format!("--working is required\n{USAGE}"))?,
+        interactive,
+        extended,
+        rewrite_subqueries,
+    })
+}
+
+const USAGE: &str = "usage: qr-hint --schema <schema.sql> --target <solution.sql> \
+                     --working <student.sql> [--interactive] [--extended] \
+                     [--rewrite-subqueries]";
+
+fn run(args: &Args) -> Result<(), String> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let schema =
+        parse_schema(&read(&args.schema)?).map_err(|e| format!("schema: {e}"))?;
+    let qr = QrHint::new(schema);
+    let opts = FlattenOptions { rewrite_positive_subqueries: args.rewrite_subqueries };
+    let prep = |sql: &str| {
+        if args.extended {
+            qr.prepare_extended(sql, &opts)
+        } else {
+            qr.prepare(sql)
+        }
+    };
+    let target = prep(&read(&args.target)?).map_err(|e| format!("target query: {e}"))?;
+    let mut working =
+        prep(&read(&args.working)?).map_err(|e| format!("working query: {e}"))?;
+
+    let mut round = 1;
+    loop {
+        let advice = qr.advise(&target, &working).map_err(|e| e.to_string())?;
+        if advice.is_equivalent() {
+            if round == 1 {
+                println!("✓ The working query is already equivalent to the target.");
+            } else {
+                println!("✓ Equivalent after {} stage(s).", round - 1);
+                println!("Final query:\n  {working}");
+            }
+            return Ok(());
+        }
+        println!("[{}] stage {}:", round, advice.stage);
+        for hint in &advice.hints {
+            println!("  {hint}");
+        }
+        if !args.interactive {
+            return Ok(());
+        }
+        working = advice
+            .fixed
+            .ok_or_else(|| "stage produced no applicable fix".to_string())?;
+        round += 1;
+        if round > 16 {
+            return Err("did not converge within 16 stages".into());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

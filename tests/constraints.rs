@@ -1,0 +1,179 @@
+//! Domain-constraint context tests (§3 "Limitations" item 4): schema
+//! `CHECK` constraints enter the WHERE-stage reasoning as solver context,
+//! so equivalences that hold only *under the domain* stop producing
+//! spurious hints — the quantifier-free fragment of the paper's
+//! "encode constraints as logical assertions" future-work item.
+
+use qr_hint::prelude::*;
+use qrhint_sqlparse::{parse_pred, parse_schema};
+
+fn serves_with_positive_price() -> Schema {
+    Schema::new()
+        .with_table(
+            "Serves",
+            &[("bar", SqlType::Str), ("beer", SqlType::Str), ("price", SqlType::Int)],
+            &["bar", "beer"],
+        )
+        .with_check("Serves", parse_pred("price > 0").unwrap())
+}
+
+#[test]
+fn ddl_check_constraints_parse() {
+    let schema = parse_schema(
+        "CREATE TABLE conference_paper (
+            pubkey VARCHAR(40) PRIMARY KEY,
+            title  VARCHAR(200),
+            year   INT CHECK (year >= 1936),
+            area   VARCHAR(20),
+            CHECK (area IN ('ML-AI', 'Theory', 'Database', 'Systems', 'UNKNOWN'))
+         );",
+    )
+    .unwrap();
+    let t = schema.table("conference_paper").unwrap();
+    assert_eq!(t.checks.len(), 2, "{:?}", t.checks);
+    assert!(t.checks[0].to_string().contains("year >= 1936"));
+    assert!(t.checks[1].to_string().contains("'UNKNOWN'"));
+}
+
+#[test]
+fn domain_context_is_instantiated_per_alias() {
+    let schema = serves_with_positive_price();
+    let q = parse_query("SELECT a.bar FROM Serves a, Serves b WHERE a.beer = b.beer").unwrap();
+    let ctx = schema.domain_context(&q);
+    assert_eq!(ctx.len(), 2);
+    let printed: Vec<String> = ctx.iter().map(|p| p.to_string()).collect();
+    assert!(printed.contains(&"a.price > 0".to_string()), "{printed:?}");
+    assert!(printed.contains(&"b.price > 0".to_string()), "{printed:?}");
+}
+
+#[test]
+fn check_implied_condition_is_not_flagged() {
+    // Target spells out `price >= 1`; the student omitted it. Without the
+    // CHECK these differ; with CHECK (price > 0) over integers they are
+    // equivalent, and Qr-Hint must not hint.
+    let target = "SELECT s.bar FROM Serves s WHERE s.price >= 1 AND s.beer = 'IPA'";
+    let working = "SELECT s.bar FROM Serves s WHERE s.beer = 'IPA'";
+
+    let plain = QrHint::new(
+        Schema::new().with_table(
+            "Serves",
+            &[("bar", SqlType::Str), ("beer", SqlType::Str), ("price", SqlType::Int)],
+            &["bar", "beer"],
+        ),
+    );
+    let advice = plain.advise_sql(target, working).unwrap();
+    assert_eq!(advice.stage, Stage::Where, "without CHECK the queries differ");
+
+    let checked = QrHint::new(serves_with_positive_price());
+    let advice = checked.advise_sql(target, working).unwrap();
+    assert!(
+        advice.is_equivalent(),
+        "with CHECK (price > 0) the condition is implied: {:?}",
+        advice.hints
+    );
+}
+
+#[test]
+fn enum_domain_equivalence_via_check() {
+    // area ∈ {A,B,C} by CHECK; then `area <> 'C'` ⇔ `area = 'A' OR
+    // area = 'B'` — an equivalence that only holds under the domain.
+    let schema = Schema::new()
+        .with_table(
+            "Paper",
+            &[("pubkey", SqlType::Str), ("area", SqlType::Str)],
+            &["pubkey"],
+        )
+        .with_check("Paper", parse_pred("area IN ('A', 'B', 'C')").unwrap());
+    let qr = QrHint::new(schema);
+    let advice = qr
+        .advise_sql(
+            "SELECT p.pubkey FROM Paper p WHERE p.area <> 'C'",
+            "SELECT p.pubkey FROM Paper p WHERE p.area = 'A' OR p.area = 'B'",
+        )
+        .unwrap();
+    assert!(advice.is_equivalent(), "{:?}", advice.hints);
+}
+
+#[test]
+fn repair_under_context_localizes_to_the_real_error() {
+    // With CHECK (price > 0): `price >= 0` is redundant-but-harmless
+    // (equivalent to the target's missing condition), so the only real
+    // error is the beer name — the hint must contain exactly one site.
+    let qr = QrHint::new(serves_with_positive_price());
+    let advice = qr
+        .advise_sql(
+            "SELECT s.bar FROM Serves s WHERE s.beer = 'IPA'",
+            "SELECT s.bar FROM Serves s WHERE s.price > 0 AND s.beer = 'Ale'",
+        )
+        .unwrap();
+    assert_eq!(advice.stage, Stage::Where);
+    let Hint::PredicateRepair { sites, .. } = &advice.hints[0] else {
+        panic!("expected predicate repair, got {:?}", advice.hints)
+    };
+    assert_eq!(sites.len(), 1, "only the beer atom is wrong: {sites:?}");
+    assert!(sites[0].current.to_string().contains("'Ale'"), "{sites:?}");
+}
+
+#[test]
+fn context_does_not_leak_into_unconstrained_schemas() {
+    // Same queries, no CHECK: both atoms differ, so the repair must
+    // touch the price atom as well (one or two sites, but the fixed
+    // query must be equivalent — and it is not judged equivalent
+    // up front).
+    let qr = QrHint::new(
+        Schema::new().with_table(
+            "Serves",
+            &[("bar", SqlType::Str), ("beer", SqlType::Str), ("price", SqlType::Int)],
+            &["bar", "beer"],
+        ),
+    );
+    let advice = qr
+        .advise_sql(
+            "SELECT s.bar FROM Serves s WHERE s.beer = 'IPA'",
+            "SELECT s.bar FROM Serves s WHERE s.price > 0 AND s.beer = 'Ale'",
+        )
+        .unwrap();
+    assert_eq!(advice.stage, Stage::Where);
+    // And the pipeline still converges.
+    let q_star = qr.prepare("SELECT s.bar FROM Serves s WHERE s.beer = 'IPA'").unwrap();
+    let q = qr
+        .prepare("SELECT s.bar FROM Serves s WHERE s.price > 0 AND s.beer = 'Ale'")
+        .unwrap();
+    let (_, trail) = qr.fix_fully(&q_star, &q).unwrap();
+    assert!(trail.last().unwrap().is_equivalent());
+}
+
+#[test]
+fn check_constraints_survive_serde_roundtrip() {
+    let schema = serves_with_positive_price();
+    let json = serde_json::to_string(&schema).unwrap();
+    let back: Schema = serde_json::from_str(&json).unwrap();
+    assert_eq!(schema, back);
+    assert_eq!(back.table("serves").unwrap().checks.len(), 1);
+}
+
+#[test]
+fn spja_having_reasoning_uses_domain_context() {
+    // CHECK (price > 0) ⇒ per-group MIN(price) >= 1 ⇒ SUM(price) >=
+    // COUNT(*): a HAVING condition implied by the domain must not be
+    // flagged. We use the simpler consequence `MIN(s.price) >= 1` ⇔ TRUE.
+    let qr = QrHint::new(serves_with_positive_price());
+    let advice = qr
+        .advise_sql(
+            "SELECT s.bar, COUNT(*) FROM Serves s GROUP BY s.bar \
+             HAVING MIN(s.price) >= 1",
+            "SELECT s.bar, COUNT(*) FROM Serves s GROUP BY s.bar",
+        )
+        .unwrap();
+    // Domain lifting MIN bounds is solver-dependent; accept either a
+    // definite equivalence or a correct (HAVING-stage) repair — but it
+    // must never be misreported as a WHERE or GROUP BY problem.
+    assert!(
+        advice.is_equivalent()
+            || advice.stage == Stage::Having
+            || advice.stage == Stage::GroupBy && advice.hints.is_empty(),
+        "stage = {:?}, hints = {:?}",
+        advice.stage,
+        advice.hints
+    );
+}

@@ -1,0 +1,129 @@
+//! Corpus-level integration: the synthetic Students+ corpus and the
+//! Brass-issue pairs all flow through the pipeline; supported wrong
+//! queries converge to verified-equivalent queries; unsupported ones are
+//! rejected with a diagnostic (never a crash).
+
+use qr_hint::prelude::*;
+use qrhint_engine::differential_equiv;
+use qrhint_workloads::{brass, students};
+
+#[test]
+fn students_corpus_supported_queries_converge() {
+    let schema = students::schema();
+    let qr = QrHint::new(schema.clone());
+    let corpus = students::corpus();
+    // Every 7th supported entry (deterministic sample, ~44 queries) gets
+    // the full fix-and-differentially-verify treatment; the complete
+    // corpus runs in the E1 experiment binary.
+    let mut checked = 0;
+    for (i, e) in corpus.iter().enumerate() {
+        if e.category == "UNSUPPORTED" || i % 7 != 0 {
+            continue;
+        }
+        let target = qr
+            .prepare(&e.pair.target_sql)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.pair.id));
+        let working = qr
+            .prepare(&e.pair.working_sql)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.pair.id));
+        let (final_q, trail) = qr
+            .fix_fully(&target, &working)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.pair.id));
+        assert!(
+            trail.last().unwrap().is_equivalent(),
+            "{} did not converge",
+            e.pair.id
+        );
+        let ok = differential_equiv(&target, &final_q, &schema, 7 + i as u64, 10)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.pair.id));
+        assert!(ok, "{}: fixed query differs from target on random data", e.pair.id);
+        checked += 1;
+    }
+    assert!(checked >= 40, "sample too small: {checked}");
+}
+
+#[test]
+fn students_unsupported_queries_error_cleanly() {
+    let qr = QrHint::new(students::schema());
+    for e in students::corpus() {
+        if e.category != "UNSUPPORTED" {
+            continue;
+        }
+        let err = qr
+            .advise_sql(&e.pair.target_sql, &e.pair.working_sql)
+            .unwrap_err();
+        assert!(
+            matches!(err, qrhint_core::QrHintError::Unsupported(_)),
+            "{}: expected Unsupported, got {err:?}",
+            e.pair.id
+        );
+    }
+}
+
+#[test]
+fn brass_error_issues_are_detected_and_fixed() {
+    let qr = QrHint::new(brass::schema());
+    for (n, category, pair) in brass::supported_pairs() {
+        if category != brass::PaperCategory::ErrorFixed {
+            continue;
+        }
+        let target = qr.prepare(&pair.target_sql).unwrap();
+        let working = qr.prepare(&pair.working_sql).unwrap();
+        // The working query must be flagged (not equivalent)...
+        let advice = qr
+            .advise(&target, &working)
+            .unwrap_or_else(|e| panic!("issue {n}: {e}"));
+        assert!(
+            !advice.is_equivalent(),
+            "issue {n} ({}) should be flagged as an error",
+            pair.id
+        );
+        // ...and fixable to verified equivalence.
+        let (final_q, trail) = qr.fix_fully(&target, &working).unwrap();
+        assert!(trail.last().unwrap().is_equivalent(), "issue {n} did not converge");
+        let ok = differential_equiv(&target, &final_q, qr.schema(), n as u64, 10).unwrap();
+        assert!(ok, "issue {n}: fixed query wrong on random data");
+    }
+}
+
+#[test]
+fn brass_no_flag_issues_are_proven_equivalent() {
+    let qr = QrHint::new(brass::schema());
+    for (n, category, pair) in brass::supported_pairs() {
+        if category != brass::PaperCategory::EquivalentNoFlag {
+            continue;
+        }
+        let advice = qr
+            .advise_sql(&pair.target_sql, &pair.working_sql)
+            .unwrap_or_else(|e| panic!("issue {n}: {e}"));
+        assert!(
+            advice.is_equivalent(),
+            "issue {n} ({}) is only stylistic; got stage {:?} hints {:?}",
+            pair.id,
+            advice.stage,
+            advice.hints
+        );
+    }
+}
+
+#[test]
+fn brass_flagged_issues_still_lead_to_correct_queries() {
+    // Category 3 of §9.1: Qr-Hint fails to detect equivalence (it would
+    // need key/FK constraints) and suggests fixes — which must still lead
+    // to correct queries (with the "side effect of resolving the issue").
+    let qr = QrHint::new(brass::schema());
+    for (n, category, pair) in brass::supported_pairs() {
+        if category != brass::PaperCategory::EquivalentButFlagged {
+            continue;
+        }
+        let target = qr.prepare(&pair.target_sql).unwrap();
+        let working = qr.prepare(&pair.working_sql).unwrap();
+        let (final_q, trail) = qr
+            .fix_fully(&target, &working)
+            .unwrap_or_else(|e| panic!("issue {n}: {e}"));
+        assert!(trail.last().unwrap().is_equivalent(), "issue {n} did not converge");
+        let ok = differential_equiv(&target, &final_q, qr.schema(), 100 + n as u64, 10)
+            .unwrap();
+        assert!(ok, "issue {n}: fixed query wrong on random data");
+    }
+}

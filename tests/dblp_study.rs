@@ -1,0 +1,92 @@
+//! The user-study queries (Appendix Tables 2–3) through the pipeline:
+//! Qr-Hint must produce hints matching the study's (stage, site) shape
+//! and fix every wrong query to full equivalence.
+
+use qr_hint::prelude::*;
+use qrhint_workloads::dblp;
+
+fn session() -> QrHint {
+    QrHint::new(dblp::schema())
+}
+
+fn question(id: &str) -> dblp::StudyQuestion {
+    dblp::questions().into_iter().find(|q| q.id == id).unwrap()
+}
+
+#[test]
+fn q1_hint_is_a_where_repair_on_the_year_condition() {
+    let qr = session();
+    let q1 = question("Q1");
+    let advice = qr.advise_sql(q1.correct_sql, q1.wrong_sql).unwrap();
+    assert_eq!(advice.stage, Stage::Where, "hints: {:?}", advice.hints);
+    let Hint::PredicateRepair { sites, .. } = &advice.hints[0] else {
+        panic!("expected a WHERE repair: {:?}", advice.hints)
+    };
+    // The study hint: "You should change a.year + 20 > d.year".
+    assert!(
+        sites.iter().any(|s| s.current.to_string().contains("year")),
+        "some site should involve the year comparison: {sites:?}"
+    );
+}
+
+#[test]
+fn q2_hints_are_group_by_then_select() {
+    let qr = session();
+    let q2 = question("Q2");
+    // First interaction: GROUP BY (authorship.author must go) — matching
+    // the study's Qr-Hint hint 1.
+    let advice = qr.advise_sql(q2.correct_sql, q2.wrong_sql).unwrap();
+    assert_eq!(advice.stage, Stage::GroupBy, "hints: {:?}", advice.hints);
+    assert!(
+        advice.hints.iter().any(|h| matches!(h, Hint::GroupByRemove { expr }
+            if expr.to_string().contains("author"))),
+        "Δ− should name the spurious author grouping: {:?}",
+        advice.hints
+    );
+    // Continue: the next failing stage is SELECT (COUNT(*) is wrong) —
+    // the study's Qr-Hint hint 2.
+    let target = qr.prepare(q2.correct_sql).unwrap();
+    let fixed = advice.fixed.unwrap();
+    let advice2 = qr.advise(&target, &fixed).unwrap();
+    assert_eq!(advice2.stage, Stage::Select, "hints: {:?}", advice2.hints);
+    assert!(advice2
+        .hints
+        .iter()
+        .any(|h| matches!(h, Hint::SelectReplace { position: 3, .. })));
+}
+
+#[test]
+fn q4_hints_are_in_group_by_and_having() {
+    let qr = session();
+    let q4 = question("Q4");
+    let advice = qr.advise_sql(q4.correct_sql, q4.wrong_sql).unwrap();
+    // The wrong query groups by conference_paper.area (spurious) and has
+    // two HAVING errors ('System' + wrong count attribute). The first
+    // failing stage after FROM/WHERE is GROUP BY or HAVING.
+    assert!(
+        advice.stage == Stage::GroupBy
+            || advice.stage == Stage::Having
+            || advice.stage == Stage::Where,
+        "unexpected stage {:?} with hints {:?}",
+        advice.stage,
+        advice.hints
+    );
+}
+
+#[test]
+fn all_study_queries_fix_fully() {
+    let qr = session();
+    for q in dblp::questions() {
+        // Q1 joins 8 tables; differential execution would need a tiny
+        // instance, so here we rely on the pipeline's own verified
+        // equivalence (every stage repair is solver-verified).
+        let target = qr.prepare(q.correct_sql).unwrap();
+        let working = qr.prepare(q.wrong_sql).unwrap();
+        let (final_q, trail) = qr
+            .fix_fully(&target, &working)
+            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        assert!(trail.last().unwrap().is_equivalent(), "{} did not converge", q.id);
+        let recheck = qr.advise(&target, &final_q).unwrap();
+        assert!(recheck.is_equivalent(), "{} final query not equivalent", q.id);
+    }
+}

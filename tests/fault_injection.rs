@@ -1,0 +1,110 @@
+//! Randomized fault-injection: take correct course queries, break them
+//! with the error injectors, and require the pipeline to (a) notice,
+//! (b) converge, and (c) produce a differentially verified equivalent —
+//! the end-to-end Theorem-3.1 property under many random error shapes.
+
+use qr_hint::prelude::*;
+use qrhint_engine::differential_equiv;
+use qrhint_workloads::{beers, inject};
+
+#[test]
+fn injected_where_errors_are_always_repaired() {
+    let qr = QrHint::new(beers::course_schema());
+    let targets = [
+        "SELECT b.name, b.address FROM Bar b, Serves s \
+         WHERE b.name = s.bar AND s.beer = 'Budweiser' AND s.price > 220",
+        "SELECT l.drinker FROM Likes l, Frequents f \
+         WHERE l.beer = 'Corona' AND l.drinker = f.drinker \
+           AND f.bar = 'James Joyce Pub' AND f.times_a_week >= 2",
+        "SELECT s.beer FROM Serves s WHERE s.price >= 100 AND s.price <= 500",
+    ];
+    let mut verified = 0;
+    for (ti, target_sql) in targets.iter().enumerate() {
+        let target = qr.prepare(target_sql).unwrap();
+        for k in 1..=2usize {
+            for seed in 0..4u64 {
+                let mut wrong = target.clone();
+                let (broken, errors) =
+                    inject::inject_atom_errors(&target.where_pred, k, seed * 31 + ti as u64);
+                wrong.where_pred = broken;
+                // Skip no-op injections (e.g. an operator change that is
+                // equivalent on this predicate).
+                let advice = qr.advise(&target, &wrong).unwrap();
+                if advice.is_equivalent() {
+                    continue;
+                }
+                assert_eq!(
+                    advice.stage,
+                    Stage::Where,
+                    "errors {errors:?} should surface in WHERE"
+                );
+                let (fixed, trail) = qr.fix_fully(&target, &wrong).unwrap();
+                assert!(trail.last().unwrap().is_equivalent());
+                let ok = differential_equiv(
+                    &target,
+                    &fixed,
+                    qr.schema(),
+                    seed + 1000 * ti as u64,
+                    8,
+                )
+                .unwrap();
+                assert!(ok, "target {ti}, k={k}, seed={seed}: {errors:?}");
+                verified += 1;
+            }
+        }
+    }
+    assert!(verified >= 15, "too few effective injections: {verified}");
+}
+
+#[test]
+fn injected_having_errors_are_always_repaired() {
+    let qr = QrHint::new(beers::course_schema());
+    let target = qr
+        .prepare(
+            "SELECT l.drinker FROM Likes l GROUP BY l.drinker \
+             HAVING COUNT(*) >= 2 AND MIN(l.beer) <> 'Corona'",
+        )
+        .unwrap();
+    let mut verified = 0;
+    for seed in 0..8u64 {
+        let mut wrong = target.clone();
+        let (broken, _) =
+            inject::inject_atom_errors(&target.having.clone().unwrap(), 1, seed);
+        wrong.having = Some(broken);
+        let advice = qr.advise(&target, &wrong).unwrap();
+        if advice.is_equivalent() {
+            continue;
+        }
+        assert_eq!(advice.stage, Stage::Having);
+        let (fixed, trail) = qr.fix_fully(&target, &wrong).unwrap();
+        assert!(trail.last().unwrap().is_equivalent());
+        let ok = differential_equiv(&target, &fixed, qr.schema(), 77 + seed, 8).unwrap();
+        assert!(ok, "seed {seed}");
+        verified += 1;
+    }
+    assert!(verified >= 4, "too few effective injections: {verified}");
+}
+
+#[test]
+fn structural_connective_flips_are_repaired() {
+    let qr = QrHint::new(beers::course_schema());
+    let target = qr
+        .prepare(
+            "SELECT s.beer FROM Serves s \
+             WHERE (s.bar = 'Joyce' AND s.price > 3) OR (s.bar = 'Dive' AND s.price > 7)",
+        )
+        .unwrap();
+    for seed in 0..6u64 {
+        let mut wrong = target.clone();
+        let (broken, _) = inject::inject_mixed_errors(&target.where_pred, 3, seed);
+        wrong.where_pred = broken;
+        let advice = qr.advise(&target, &wrong).unwrap();
+        if advice.is_equivalent() {
+            continue;
+        }
+        let (fixed, trail) = qr.fix_fully(&target, &wrong).unwrap();
+        assert!(trail.last().unwrap().is_equivalent(), "seed {seed}");
+        let ok = differential_equiv(&target, &fixed, qr.schema(), 500 + seed, 8).unwrap();
+        assert!(ok, "seed {seed}");
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end tests of the multi-block front-end (footnote 2 of the
+//! paper): queries written with JOIN syntax, CTEs and FROM subqueries are
+//! flattened to the single-block fragment and then hinted exactly like
+//! hand-written single-block queries — with every final query
+//! differentially verified against the target on randomized databases.
+
+use qr_hint::prelude::*;
+use qrhint_engine::differential_equiv;
+use qrhint_workloads::beers;
+
+fn fix_and_verify_ext(qr: &QrHint, target_sql: &str, working_sql: &str) -> Vec<Stage> {
+    let opts = FlattenOptions::with_subquery_rewrite();
+    let q_star = qr.prepare_extended(target_sql, &opts).unwrap();
+    let q = qr.prepare_extended(working_sql, &opts).unwrap();
+    let (final_q, trail) = qr
+        .fix_fully(&q_star, &q)
+        .unwrap_or_else(|e| panic!("pipeline failed: {e}"));
+    assert!(trail.last().unwrap().is_equivalent());
+    let ok = differential_equiv(&q_star, &final_q, qr.schema(), 0xF00D, 25)
+        .unwrap_or_else(|e| panic!("execution failed: {e}"));
+    assert!(ok, "final query {final_q} is not bag-equivalent to the target");
+    trail.iter().map(|a| a.stage).collect()
+}
+
+#[test]
+fn join_syntax_equals_comma_join() {
+    // The same query written both ways must be judged equivalent with no
+    // hints at all.
+    let qr = QrHint::new(beers::schema());
+    let target = "SELECT l.beer FROM Likes l, Serves s \
+                  WHERE l.beer = s.beer AND s.price > 3";
+    let working = "SELECT l.beer FROM Likes l JOIN Serves s ON l.beer = s.beer \
+                   WHERE s.price > 3";
+    let advice = qr
+        .advise_sql_extended(target, working, &FlattenOptions::default())
+        .unwrap();
+    assert!(advice.is_equivalent(), "{:?}", advice.hints);
+}
+
+#[test]
+fn wrong_join_condition_is_hinted_in_where() {
+    let qr = QrHint::new(beers::schema());
+    let target = "SELECT l.beer FROM Likes l, Serves s \
+                  WHERE l.beer = s.beer AND s.price >= 3";
+    // Student used JOIN syntax and got the price comparison wrong.
+    let working = "SELECT l.beer FROM Likes l JOIN Serves s ON l.beer = s.beer \
+                   WHERE s.price > 3";
+    let advice = qr
+        .advise_sql_extended(target, working, &FlattenOptions::default())
+        .unwrap();
+    assert_eq!(advice.stage, Stage::Where);
+    let stages = fix_and_verify_ext(&qr, target, working);
+    assert_eq!(*stages.last().unwrap(), Stage::Done);
+}
+
+#[test]
+fn missing_join_table_hinted_in_from() {
+    let qr = QrHint::new(beers::schema());
+    let target = "SELECT f.drinker FROM Frequents f JOIN Serves s ON f.bar = s.bar \
+                  WHERE s.beer = 'IPA'";
+    let working = "SELECT f.drinker FROM Frequents f WHERE f.bar = 'IPA'";
+    let advice = qr
+        .advise_sql_extended(target, working, &FlattenOptions::default())
+        .unwrap();
+    assert_eq!(advice.stage, Stage::From);
+    fix_and_verify_ext(&qr, target, working);
+}
+
+#[test]
+fn cte_working_query_matches_plain_target() {
+    let qr = QrHint::new(beers::schema());
+    let target = "SELECT s.bar FROM Serves s WHERE s.price < 3 AND s.beer = 'IPA'";
+    let working = "WITH cheap AS (SELECT s.bar, s.beer FROM Serves s WHERE s.price < 3) \
+                   SELECT c.bar FROM cheap c WHERE c.beer = 'IPA'";
+    let advice = qr
+        .advise_sql_extended(target, working, &FlattenOptions::default())
+        .unwrap();
+    assert!(advice.is_equivalent(), "{:?}", advice.hints);
+}
+
+#[test]
+fn cte_with_wrong_filter_gets_where_hint_and_converges() {
+    let qr = QrHint::new(beers::schema());
+    let target = "SELECT s.bar FROM Serves s WHERE s.price <= 3 AND s.beer = 'IPA'";
+    let working = "WITH cheap AS (SELECT s.bar, s.beer FROM Serves s WHERE s.price < 3) \
+                   SELECT c.bar FROM cheap c WHERE c.beer = 'IPA'";
+    let advice = qr
+        .advise_sql_extended(target, working, &FlattenOptions::default())
+        .unwrap();
+    assert_eq!(advice.stage, Stage::Where);
+    let stages = fix_and_verify_ext(&qr, target, working);
+    assert_eq!(*stages.last().unwrap(), Stage::Done);
+}
+
+#[test]
+fn derived_table_aggregation_free_inlines_and_hints() {
+    let qr = QrHint::new(beers::schema());
+    let target = "SELECT l.drinker FROM Likes l, Serves s \
+                  WHERE l.beer = s.beer AND s.price >= 5";
+    let working = "SELECT l.drinker \
+                   FROM Likes l, (SELECT s.beer FROM Serves s WHERE s.price > 5) d \
+                   WHERE l.beer = d.beer";
+    let advice = qr
+        .advise_sql_extended(target, working, &FlattenOptions::default())
+        .unwrap();
+    assert_eq!(advice.stage, Stage::Where);
+    fix_and_verify_ext(&qr, target, working);
+}
+
+#[test]
+fn exists_rewrite_equivalence_under_distinct() {
+    // Under DISTINCT the EXISTS ↔ join rewrite is semantics-preserving;
+    // the pipeline must judge these equivalent.
+    let qr = QrHint::new(beers::schema());
+    let target = "SELECT DISTINCT l.drinker FROM Likes l, Serves s \
+                  WHERE l.beer = s.beer";
+    let working = "SELECT DISTINCT l.drinker FROM Likes l \
+                   WHERE EXISTS (SELECT * FROM Serves s WHERE s.beer = l.beer)";
+    let advice = qr
+        .advise_sql_extended(target, working, &FlattenOptions::with_subquery_rewrite())
+        .unwrap();
+    assert!(advice.is_equivalent(), "{:?}", advice.hints);
+    // Differential check: DISTINCT makes the rewrite exact.
+    let opts = FlattenOptions::with_subquery_rewrite();
+    let q_star = qr.prepare_extended(target, &opts).unwrap();
+    let q = qr.prepare_extended(working, &opts).unwrap();
+    assert!(differential_equiv(&q_star, &q, qr.schema(), 7, 25).unwrap());
+}
+
+#[test]
+fn in_subquery_rewrite_with_wrong_threshold() {
+    let qr = QrHint::new(beers::schema());
+    let target = "SELECT DISTINCT l.drinker FROM Likes l \
+                  WHERE l.beer IN (SELECT s.beer FROM Serves s WHERE s.price <= 4)";
+    let working = "SELECT DISTINCT l.drinker FROM Likes l \
+                   WHERE l.beer IN (SELECT s.beer FROM Serves s WHERE s.price < 4)";
+    let opts = FlattenOptions::with_subquery_rewrite();
+    let advice = qr.advise_sql_extended(target, working, &opts).unwrap();
+    assert_eq!(advice.stage, Stage::Where);
+    fix_and_verify_ext(&qr, target, working);
+}
+
+#[test]
+fn mixed_syntax_spja_query_converges() {
+    // GROUP BY / HAVING on top of a JOIN-syntax FROM.
+    let qr = QrHint::new(beers::schema());
+    let target = "SELECT l.beer, COUNT(*) FROM Likes l, Serves s \
+                  WHERE l.beer = s.beer GROUP BY l.beer HAVING COUNT(*) >= 2";
+    let working = "SELECT l.beer, COUNT(*) \
+                   FROM Likes l JOIN Serves s ON l.beer = s.beer \
+                   GROUP BY l.beer HAVING COUNT(*) > 2";
+    let advice = qr
+        .advise_sql_extended(target, working, &FlattenOptions::default())
+        .unwrap();
+    assert_eq!(advice.stage, Stage::Having);
+    fix_and_verify_ext(&qr, target, working);
+}
+
+#[test]
+fn negative_subqueries_surface_unsupported() {
+    let qr = QrHint::new(beers::schema());
+    let err = qr
+        .advise_sql_extended(
+            "SELECT l.drinker FROM Likes l",
+            "SELECT l.drinker FROM Likes l \
+             WHERE NOT EXISTS (SELECT * FROM Serves s WHERE s.beer = l.beer)",
+            &FlattenOptions::with_subquery_rewrite(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, qrhint_core::QrHintError::Unsupported(_)), "{err:?}");
+}
+
+#[test]
+fn strict_prepare_and_extended_prepare_agree_on_fragment() {
+    let qr = QrHint::new(beers::schema());
+    for sql in [
+        beers::EXAMPLE1_TARGET,
+        beers::EXAMPLE1_WORKING,
+        "SELECT s.bar FROM Serves s WHERE s.price BETWEEN 2 AND 5",
+    ] {
+        let a = qr.prepare(sql).unwrap();
+        let b = qr.prepare_extended(sql, &FlattenOptions::default()).unwrap();
+        assert_eq!(a, b, "strict vs extended mismatch for {sql:?}");
+    }
+}

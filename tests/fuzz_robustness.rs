@@ -1,0 +1,139 @@
+//! Robustness fuzzing: every public parser entry point must return
+//! `Ok`/`Err` — never panic, hang, or overflow — on arbitrary input.
+//! Two generators: raw unicode garbage, and "token soup" built from SQL
+//! keywords/punctuation (which reaches much deeper into the grammar).
+
+use proptest::prelude::*;
+use qr_hint::prelude::*;
+use qrhint_sqlparse::{
+    parse_multi, parse_pred, parse_pred_nullable, parse_query, parse_query_extended,
+    parse_schema, parse_scalar,
+};
+
+fn token_soup() -> impl Strategy<Value = String> {
+    let word = prop_oneof![
+        Just("SELECT"),
+        Just("DISTINCT"),
+        Just("FROM"),
+        Just("WHERE"),
+        Just("GROUP"),
+        Just("BY"),
+        Just("HAVING"),
+        Just("ORDER"),
+        Just("JOIN"),
+        Just("INNER"),
+        Just("CROSS"),
+        Just("LEFT"),
+        Just("ON"),
+        Just("WITH"),
+        Just("AS"),
+        Just("AND"),
+        Just("OR"),
+        Just("NOT"),
+        Just("EXISTS"),
+        Just("IN"),
+        Just("BETWEEN"),
+        Just("LIKE"),
+        Just("IS"),
+        Just("NULL"),
+        Just("COUNT"),
+        Just("SUM"),
+        Just("CHECK"),
+        Just("CREATE"),
+        Just("TABLE"),
+        Just("PRIMARY"),
+        Just("KEY"),
+        Just("INT"),
+        Just("VARCHAR"),
+        Just("t"),
+        Just("s"),
+        Just("a"),
+        Just("t.a"),
+        Just("s.b"),
+        Just("x1"),
+        Just("'Amy'"),
+        Just("'O''Brien'"),
+        Just("42"),
+        Just("-7"),
+        Just("("),
+        Just(")"),
+        Just(","),
+        Just(";"),
+        Just("*"),
+        Just("="),
+        Just("<>"),
+        Just("<="),
+        Just(">"),
+        Just("+"),
+        Just("/"),
+        Just("."),
+    ];
+    prop::collection::vec(word, 0..24).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parsers_never_panic_on_unicode_garbage(s in "\\PC{0,80}") {
+        let _ = parse_query(&s);
+        let _ = parse_pred(&s);
+        let _ = parse_pred_nullable(&s);
+        let _ = parse_scalar(&s);
+        let _ = parse_schema(&s);
+        let _ = parse_multi(&s);
+        let _ = parse_query_extended(&s, &FlattenOptions::default());
+        let _ = parse_query_extended(&s, &FlattenOptions::with_subquery_rewrite());
+    }
+
+    #[test]
+    fn parsers_never_panic_on_token_soup(s in token_soup()) {
+        let _ = parse_query(&s);
+        let _ = parse_pred(&s);
+        let _ = parse_pred_nullable(&s);
+        let _ = parse_scalar(&s);
+        let _ = parse_schema(&s);
+        let _ = parse_multi(&s);
+        let _ = parse_query_extended(&s, &FlattenOptions::default());
+        let _ = parse_query_extended(&s, &FlattenOptions::with_subquery_rewrite());
+    }
+
+    /// Whatever the extended front-end accepts must be a well-formed
+    /// single-block query: it pretty-prints and reparses to itself under
+    /// the *strict* parser (closure property of the flattening rewrite).
+    #[test]
+    fn flattened_output_is_always_in_the_strict_fragment(s in token_soup()) {
+        if let Ok(q) = parse_query_extended(&s, &FlattenOptions::with_subquery_rewrite()) {
+            let printed = q.to_string();
+            let reparsed = parse_query(&printed)
+                .unwrap_or_else(|e| panic!("flattened {printed:?} left the fragment: {e}"));
+            prop_assert_eq!(q, reparsed);
+        }
+    }
+}
+
+#[test]
+fn deep_nesting_does_not_overflow() {
+    // 300 nested parens in a predicate and 40 nested derived tables.
+    let deep_pred = format!("{}t.a = 1{}", "(".repeat(300), ")".repeat(300));
+    let _ = parse_pred(&deep_pred);
+    let mut q = "SELECT w.x FROM r w".to_string();
+    for i in 0..40 {
+        q = format!("SELECT d{i}.x FROM ({q}) d{i}");
+    }
+    let _ = parse_query_extended(&q, &FlattenOptions::default());
+}
+
+#[test]
+fn pathological_but_valid_inputs_parse() {
+    // Keyword-ish identifiers in quoted positions, mixed case, odd
+    // whitespace, trailing semicolons.
+    for sql in [
+        "select T.A from T where T.A = 'WHERE'",
+        "SELECT t.a FROM t WHERE t.a = 'select'",
+        "SELECT\n\tt.a\nFROM\tt\nWHERE\n t.a\t>\n1;",
+        "select distinct t.a from t group by t.a having count(*) > 0",
+    ] {
+        parse_query(sql).unwrap_or_else(|e| panic!("{sql:?}: {e}"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the multi-block front-end (footnote 2):
+//!
+//! * rendering a random comma-join query in `JOIN ... ON` syntax and
+//!   flattening it recovers the same single-block query;
+//! * wrapping every base table into a trivial CTE (or derived table)
+//!   preserves semantics, verified by differential execution.
+
+use proptest::prelude::*;
+use qr_hint::prelude::*;
+use qrhint_engine::differential_equiv;
+use qrhint_sqlast::resolve::resolve_query;
+use qrhint_sqlparse::{parse_query, parse_query_extended};
+
+const TABLES: [&str; 3] = ["r", "s", "t"];
+
+fn schema() -> Schema {
+    let mut sch = Schema::new();
+    for t in TABLES {
+        sch = sch.with_table(t, &[("x", SqlType::Int), ("y", SqlType::Int)], &["x"]);
+    }
+    sch
+}
+
+/// Description of a random chain-join query: which tables, the join
+/// column pairs between consecutive aliases, and extra WHERE atoms.
+#[derive(Debug, Clone)]
+struct JoinSpec {
+    tables: Vec<&'static str>,
+    /// (left_col, right_col) for alias pair (ti, ti+1).
+    joins: Vec<(&'static str, &'static str)>,
+    /// (alias_idx, col, op_is_gt, constant) extra filters.
+    filters: Vec<(usize, &'static str, bool, i64)>,
+}
+
+fn arb_spec() -> impl Strategy<Value = JoinSpec> {
+    let table = prop_oneof![Just("r"), Just("s"), Just("t")];
+    let col = prop_oneof![Just("x"), Just("y")];
+    (2usize..=4).prop_flat_map(move |n| {
+        let tables = prop::collection::vec(table.clone(), n);
+        let joins = prop::collection::vec((col.clone(), col.clone()), n - 1);
+        let filters = prop::collection::vec(
+            (0..n, prop_oneof![Just("x"), Just("y")], any::<bool>(), 0i64..6),
+            0..3,
+        );
+        (tables, joins, filters).prop_map(|(tables, joins, filters)| JoinSpec {
+            tables,
+            joins,
+            filters,
+        })
+    })
+}
+
+impl JoinSpec {
+    fn alias(&self, i: usize) -> String {
+        format!("t{i}")
+    }
+
+    fn filter_sql(&self) -> Vec<String> {
+        self.filters
+            .iter()
+            .map(|(i, c, gt, k)| {
+                format!("{}.{} {} {}", self.alias(*i), c, if *gt { ">" } else { "<=" }, k)
+            })
+            .collect()
+    }
+
+    fn join_conds(&self) -> Vec<String> {
+        self.joins
+            .iter()
+            .enumerate()
+            .map(|(i, (lc, rc))| {
+                format!("{}.{} = {}.{}", self.alias(i), lc, self.alias(i + 1), rc)
+            })
+            .collect()
+    }
+
+    /// `FROM a t0, b t1, ... WHERE filters AND joins` — the order the
+    /// flattener produces (WHERE conjuncts first, ON conjuncts after).
+    fn comma_sql(&self) -> String {
+        let from: Vec<String> = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("{t} {}", self.alias(i)))
+            .collect();
+        let mut conds = self.filter_sql();
+        conds.extend(self.join_conds());
+        let where_clause = if conds.is_empty() {
+            String::new()
+        } else {
+            format!(" WHERE {}", conds.join(" AND "))
+        };
+        format!("SELECT t0.x FROM {}{}", from.join(", "), where_clause)
+    }
+
+    /// `FROM a t0 JOIN b t1 ON ... JOIN c t2 ON ... WHERE filters`.
+    fn join_sql(&self) -> String {
+        let mut from = format!("{} {}", self.tables[0], self.alias(0));
+        for (i, cond) in self.join_conds().iter().enumerate() {
+            from = format!("{from} JOIN {} {} ON {cond}", self.tables[i + 1], self.alias(i + 1));
+        }
+        let filters = self.filter_sql();
+        let where_clause = if filters.is_empty() {
+            String::new()
+        } else {
+            format!(" WHERE {}", filters.join(" AND "))
+        };
+        format!("SELECT t0.x FROM {from}{where_clause}")
+    }
+
+    /// Every base table wrapped into a CTE exporting both columns.
+    fn cte_sql(&self) -> String {
+        let mut ctes = Vec::new();
+        let mut from = Vec::new();
+        for (i, t) in self.tables.iter().enumerate() {
+            let v = format!("v{i}");
+            ctes.push(format!("{v} AS (SELECT w.x AS x, w.y AS y FROM {t} w)"));
+            from.push(format!("{v} {}", self.alias(i)));
+        }
+        let mut conds = self.filter_sql();
+        conds.extend(self.join_conds());
+        let where_clause = if conds.is_empty() {
+            String::new()
+        } else {
+            format!(" WHERE {}", conds.join(" AND "))
+        };
+        format!(
+            "WITH {} SELECT t0.x FROM {}{}",
+            ctes.join(", "),
+            from.join(", "),
+            where_clause
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// JOIN-syntax rendering flattens to exactly the comma-join query.
+    #[test]
+    fn join_rendering_flattens_to_comma_join(spec in arb_spec()) {
+        let comma = parse_query(&spec.comma_sql()).unwrap();
+        let joined = parse_query_extended(&spec.join_sql(), &FlattenOptions::default())
+            .unwrap_or_else(|e| panic!("flatten failed for {:?}: {e}", spec.join_sql()));
+        prop_assert_eq!(&comma.from, &joined.from);
+        prop_assert_eq!(&comma.select, &joined.select);
+        // Conjunct multisets agree (associativity aside).
+        let conjs = |p: &qrhint_sqlast::Pred| {
+            let mut v: Vec<String> = match p {
+                qrhint_sqlast::Pred::And(cs) => cs.iter().map(|c| c.to_string()).collect(),
+                qrhint_sqlast::Pred::True => vec![],
+                other => vec![other.to_string()],
+            };
+            v.sort();
+            v
+        };
+        prop_assert_eq!(conjs(&comma.where_pred), conjs(&joined.where_pred));
+    }
+
+    /// CTE-wrapping every table preserves semantics: differential
+    /// execution on randomized databases cannot tell the queries apart.
+    #[test]
+    fn cte_wrapping_preserves_semantics(spec in arb_spec(), seed in 0u64..1000) {
+        let sch = schema();
+        let direct = resolve_query(&sch, &parse_query(&spec.comma_sql()).unwrap()).unwrap();
+        let via_cte = resolve_query(
+            &sch,
+            &parse_query_extended(&spec.cte_sql(), &FlattenOptions::default())
+                .unwrap_or_else(|e| panic!("flatten failed for {:?}: {e}", spec.cte_sql())),
+        )
+        .unwrap();
+        let ok = differential_equiv(&direct, &via_cte, &sch, seed, 8)
+            .unwrap_or_else(|e| panic!("execution failed: {e}"));
+        prop_assert!(
+            ok,
+            "CTE form diverged:\n  direct: {}\n  cte:    {}",
+            direct, via_cte
+        );
+    }
+
+    /// The pipeline agrees: a query and its JOIN-syntax rendering are
+    /// judged equivalent with no hints.
+    #[test]
+    fn pipeline_judges_renderings_equivalent(spec in arb_spec()) {
+        let qr = QrHint::new(schema());
+        let advice = qr
+            .advise_sql_extended(&spec.comma_sql(), &spec.join_sql(), &FlattenOptions::default())
+            .unwrap();
+        prop_assert!(advice.is_equivalent(), "hints: {:?}", advice.hints);
+    }
+}

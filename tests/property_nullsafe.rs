@@ -1,0 +1,155 @@
+//! Property-based tests for the NULL prototype (§3 Limitations item 2):
+//! the two-variable encoding must agree with the reference 3VL evaluator
+//! on every predicate and every NULL pattern, and solver verdicts built
+//! on the encoding must be sound against exhaustive grid evaluation.
+
+use proptest::prelude::*;
+use qrhint_core::nullsafe::{encode_where_3vl, eval_3vl, null_indicator, where_equiv_3vl};
+use qrhint_sqlast::{CmpOp, ColRef, Pred, Scalar};
+use std::collections::{BTreeMap, BTreeSet};
+
+const COLS: [&str; 3] = ["a", "b", "c"];
+
+fn arb_atom() -> impl Strategy<Value = Pred> {
+    let col = prop_oneof![Just("a"), Just("b"), Just("c")];
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    let rhs = prop_oneof![
+        (0i64..3).prop_map(Scalar::Int),
+        prop_oneof![Just("a"), Just("b"), Just("c")]
+            .prop_map(|c| Scalar::Col(ColRef::new("t", c))),
+    ];
+    (col, op, rhs)
+        .prop_map(|(c, op, rhs)| Pred::Cmp(Scalar::Col(ColRef::new("t", c)), op, rhs))
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    arb_atom().prop_recursive(3, 8, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Pred::And),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Pred::Or),
+            inner.prop_map(|p| Pred::Not(Box::new(p))),
+        ]
+    })
+}
+
+fn arb_nullable() -> impl Strategy<Value = BTreeSet<ColRef>> {
+    prop::collection::btree_set(
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(|c| ColRef::new("t", c)),
+        0..=3,
+    )
+}
+
+/// All assignments of {NULL, 0, 1} to the three columns (non-nullable
+/// columns never take NULL).
+fn assignments(nullable: &BTreeSet<ColRef>) -> Vec<BTreeMap<ColRef, Option<i64>>> {
+    let mut out = vec![BTreeMap::new()];
+    for name in COLS {
+        let c = ColRef::new("t", name);
+        let domain: Vec<Option<i64>> = if nullable.contains(&c) {
+            vec![None, Some(0), Some(1)]
+        } else {
+            vec![Some(0), Some(1)]
+        };
+        let mut next = Vec::with_capacity(out.len() * domain.len());
+        for partial in &out {
+            for v in &domain {
+                let mut m = partial.clone();
+                m.insert(c.clone(), *v);
+                next.push(m);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Extend a 3VL assignment to the encoding's vocabulary: value variables
+/// get arbitrary defaults when NULL, indicators reflect the pattern.
+fn extend(
+    assign: &BTreeMap<ColRef, Option<i64>>,
+) -> BTreeMap<ColRef, Option<i64>> {
+    let mut ext = BTreeMap::new();
+    for (c, v) in assign {
+        ext.insert(c.clone(), Some(v.unwrap_or(55)));
+        ext.insert(null_indicator(c), Some(i64::from(v.is_none())));
+    }
+    ext
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The encoding is pointwise-correct: for every NULL pattern and
+    /// every value assignment, 2VL evaluation of `T(P)` equals
+    /// "3VL evaluation of `P` is TRUE".
+    #[test]
+    fn encoding_matches_reference_semantics(p in arb_pred(), ns in arb_nullable()) {
+        let enc = encode_where_3vl(&p, &ns);
+        for assign in assignments(&ns) {
+            let three = eval_3vl(&p, &assign);
+            let two = eval_3vl(&enc, &extend(&assign));
+            prop_assert_eq!(
+                two,
+                Some(three == Some(true)),
+                "pred {} / nullable {:?} / assignment {:?}",
+                p, ns, assign
+            );
+        }
+    }
+
+    /// Solver soundness over the encoding: a definite `where_equiv_3vl`
+    /// verdict is never contradicted by exhaustive evaluation.
+    #[test]
+    fn solver_verdicts_sound_under_3vl(p in arb_pred(), q in arb_pred(), ns in arb_nullable()) {
+        let verdict = where_equiv_3vl(&p, &q, &ns);
+        if verdict.is_true() || verdict.is_false() {
+            let mut all_agree = true;
+            for assign in assignments(&ns) {
+                let tp = eval_3vl(&p, &assign) == Some(true);
+                let tq = eval_3vl(&q, &assign) == Some(true);
+                if tp != tq {
+                    all_agree = false;
+                    break;
+                }
+            }
+            if verdict.is_true() {
+                prop_assert!(
+                    all_agree,
+                    "solver: TRUE-sets equal, but grid disagrees for {} vs {} ({:?})",
+                    p, q, ns
+                );
+            }
+            // verdict False means *some* assignment over the full integer
+            // domain separates them — the small grid may miss it, so only
+            // the True direction is checked pointwise.
+        }
+    }
+
+    /// Monotonicity of nullability: predicates judged equivalent with a
+    /// nullable set stay equivalent when columns become NOT NULL… is NOT
+    /// generally true (e.g. guards collapse) — but reflexivity is:
+    /// every predicate is 3VL-equivalent to itself under any pattern.
+    #[test]
+    fn reflexivity_under_any_null_pattern(p in arb_pred(), ns in arb_nullable()) {
+        prop_assert!(where_equiv_3vl(&p, &p, &ns).is_true(), "{} not self-equivalent", p);
+    }
+
+    /// NOT-NULL degeneration: with no nullable columns, the encoding is
+    /// the identity (modulo smart-constructor normalization), so the 3VL
+    /// check agrees with plain 2VL equivalence on the grid.
+    #[test]
+    fn empty_nullable_set_degenerates_to_2vl(p in arb_pred()) {
+        let ns = BTreeSet::new();
+        let enc = encode_where_3vl(&p, &ns);
+        for assign in assignments(&ns) {
+            prop_assert_eq!(eval_3vl(&enc, &assign), eval_3vl(&p, &assign));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Theorem 3.1's "once a stage is cleared, Qr-Hint never requires the
+//! user to come back to fix the same fragment again": across the whole
+//! Students corpus, Brass pairs, and randomized fault injection, the
+//! advice trail's stage sequence must be non-decreasing (with the
+//! FROM→GROUP-BY structure fix as the one legal two-stage interaction:
+//! a Structure hint at the GROUP BY stage precedes the SELECT repair of
+//! the de-aggregated columns, which is still forward progress).
+
+use qr_hint::prelude::*;
+use qrhint_workloads::{brass, inject, students};
+
+fn stage_rank(s: Stage) -> u8 {
+    match s {
+        Stage::From => 0,
+        Stage::Where => 1,
+        Stage::GroupBy => 2,
+        Stage::Having => 3,
+        Stage::Select => 4,
+        Stage::Done => 5,
+    }
+}
+
+fn assert_monotone_trail(qr: &QrHint, target: &Query, working: &Query, id: &str) {
+    let Ok((_, trail)) = qr.fix_fully(target, working) else {
+        panic!("{id}: pipeline failed");
+    };
+    let stages: Vec<Stage> = trail.iter().map(|a| a.stage).collect();
+    for w in stages.windows(2) {
+        assert!(
+            stage_rank(w[0]) <= stage_rank(w[1]),
+            "{id}: stage trail revisits a cleared stage: {stages:?}"
+        );
+    }
+    assert_eq!(*stages.last().unwrap(), Stage::Done, "{id}: {stages:?}");
+    // Each stage appears at most once — one interaction per fragment
+    // (the pipeline auto-applies each stage's full repair).
+    let mut seen = std::collections::BTreeSet::new();
+    for s in &stages {
+        if *s != Stage::Done {
+            assert!(seen.insert(stage_rank(*s)), "{id}: stage {s} repeated: {stages:?}");
+        }
+    }
+}
+
+#[test]
+fn students_corpus_trails_are_monotone() {
+    let qr = QrHint::new(students::schema());
+    for (i, e) in students::corpus().iter().enumerate() {
+        if e.category == "UNSUPPORTED" || i % 5 != 0 {
+            continue;
+        }
+        let target = qr.prepare(&e.pair.target_sql).unwrap();
+        let working = qr.prepare(&e.pair.working_sql).unwrap();
+        assert_monotone_trail(&qr, &target, &working, &e.pair.id);
+    }
+}
+
+#[test]
+fn brass_pair_trails_are_monotone() {
+    let qr = QrHint::new(brass::schema());
+    for issue in brass::issues() {
+        for pair in &issue.pairs {
+            let target = qr.prepare(&pair.target_sql).unwrap();
+            let working = qr.prepare(&pair.working_sql).unwrap();
+            assert_monotone_trail(&qr, &target, &working, &pair.id);
+        }
+    }
+}
+
+#[test]
+fn injected_error_trails_are_monotone() {
+    let qr = QrHint::new(qrhint_workloads::beers::course_schema());
+    let target_sql = "SELECT l.drinker FROM Likes l, Frequents f \
+                      WHERE l.beer = 'Corona' AND l.drinker = f.drinker \
+                        AND f.times_a_week >= 2";
+    let target = qr.prepare(target_sql).unwrap();
+    for seed in 0..12u64 {
+        for k in 1..=3usize {
+            let (broken, _) = inject::inject_atom_errors(&target.where_pred, k, seed);
+            let mut wrong = target.clone();
+            wrong.where_pred = broken;
+            assert_monotone_trail(&qr, &target, &wrong, &format!("inject-{k}-{seed}"));
+        }
+    }
+}
