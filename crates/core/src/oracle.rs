@@ -768,6 +768,12 @@ impl Oracle {
 
     /// Formula-level equivalence under contexts.
     pub fn equiv_f(&mut self, f: &Formula, g: &Formula, ctx: &[Formula]) -> TriBool {
+        // Syntactically identical formulas are equivalent under any
+        // context — skip the solver, whose atom budget would otherwise
+        // degrade large self-comparisons to Unknown.
+        if f == g {
+            return TriBool::True;
+        }
         match self.implies_f(f, g, ctx) {
             TriBool::False => TriBool::False,
             fw => match self.implies_f(g, f, ctx) {

@@ -44,9 +44,11 @@ fn as_str_operand(t: &Term, var_index: &mut BTreeMap<VarId, usize>) -> Option<St
 /// Check a conjunction of literals. Returns the verdict and, on `Sat`, a
 /// model validated against every input literal.
 pub fn check_conjunction(lits: &[Lit], pool: &mut VarPool) -> (SatResult, Option<Model>) {
-    let mut unknown = false;
-
     // ---- Partition literals by theory ----
+    // Literals no theory can express are skipped during solving; the
+    // final validation pass below still evaluates them against the
+    // candidate model, so Sat stays sound (and turns into Unknown when
+    // the model cannot decide a skipped literal).
     let mut str_constraints: Vec<StrConstraint> = Vec::new();
     let mut str_var_index: BTreeMap<VarId, usize> = BTreeMap::new();
     // Integer constraints, as LinExpr ≤ 0 / = 0 / ≠ 0.
@@ -64,9 +66,8 @@ pub fn check_conjunction(lits: &[Lit], pool: &mut VarPool) -> (SatResult, Option
                         pattern: p.clone(),
                         positive: *polarity,
                     });
-                } else {
-                    unknown = true;
                 }
+                // else: skipped, caught by final validation
             }
             Atom::Cmp(l, rel, r) => {
                 let rel = if *polarity { *rel } else { rel.negate() };
@@ -75,8 +76,7 @@ pub fn check_conjunction(lits: &[Lit], pool: &mut VarPool) -> (SatResult, Option
                         as_str_operand(l, &mut str_var_index),
                         as_str_operand(r, &mut str_var_index),
                     ) else {
-                        unknown = true;
-                        continue;
+                        continue; // skipped, caught by final validation
                     };
                     match rel {
                         Rel::Eq => str_constraints.push(StrConstraint::Eq(lo, ro)),
@@ -90,7 +90,7 @@ pub fn check_conjunction(lits: &[Lit], pool: &mut VarPool) -> (SatResult, Option
                                     return (SatResult::Unsat, None);
                                 }
                             }
-                            _ => unknown = true,
+                            _ => {} // skipped, caught by final validation
                         },
                     }
                 } else {
@@ -114,10 +114,7 @@ pub fn check_conjunction(lits: &[Lit], pool: &mut VarPool) -> (SatResult, Option
     let num_str_vars = str_var_index.len();
     let str_model = match strings::check(num_str_vars, &str_constraints) {
         StrResult::Unsat => return (SatResult::Unsat, None),
-        StrResult::Unknown => {
-            unknown = true;
-            None
-        }
+        StrResult::Unknown => None,
         StrResult::Sat(m) => Some(m),
     };
 
@@ -147,8 +144,9 @@ pub fn check_conjunction(lits: &[Lit], pool: &mut VarPool) -> (SatResult, Option
             }
             LiaResult::Unsat => {}
             LiaResult::Unknown => {
+                // This branch is undecided, so Unsat is off the table —
+                // but a sibling branch may still produce a model.
                 all_branches_unsat = false;
-                unknown = true;
             }
         }
     }
@@ -157,7 +155,11 @@ pub fn check_conjunction(lits: &[Lit], pool: &mut VarPool) -> (SatResult, Option
     }
 
     // ---- Assemble and validate a candidate model ----
-    if unknown || int_model.is_none() || (num_str_vars > 0 && str_model.is_none()) {
+    // A model found in one disequality branch is usable even when other
+    // branches (or skipped literals) were undecided: the validation loop
+    // below re-checks every original literal, which is what makes Sat
+    // sound. Only a missing theory model forces Unknown outright.
+    if int_model.is_none() || (num_str_vars > 0 && str_model.is_none()) {
         return (SatResult::Unknown, None);
     }
     let mut model = Model::new();

@@ -1,0 +1,182 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the entry points the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`) with
+//! a simple wall-clock measurement: each benchmark body is warmed up once
+//! and then timed over a fixed iteration budget, reporting mean
+//! nanoseconds per iteration to stdout. There is no statistical analysis,
+//! HTML report, or comparison to previous runs.
+//!
+//! When the binary is invoked by `cargo test` (criterion-style
+//! `harness = false` bench targets are run in test mode with a `--test`
+//! argument), every benchmark executes exactly one iteration so the suite
+//! stays fast while still exercising the bench code paths.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations used when actually benching (not in `--test` mode).
+const MEASURE_ITERS: u64 = 10;
+
+/// Top-level driver handed to each registered bench function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness = false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Any explicit `--test` wins.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), test_mode: self.test_mode, _parent: self }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        run_one(&name.into(), test_mode, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration budget is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.test_mode, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.test_mode, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter display.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Anything usable where criterion accepts a benchmark id.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness passed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also keeps O alive through black_box
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.last_ns = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, mut f: F) {
+    let iters = if test_mode { 1 } else { MEASURE_ITERS };
+    let mut b = Bencher { iters, last_ns: 0.0 };
+    f(&mut b);
+    if test_mode {
+        println!("test {label} ... ok (1 iteration, shim)");
+    } else {
+        println!("{label:<60} {:>14.1} ns/iter (shim, n={iters})", b.last_ns);
+    }
+}
+
+/// Collect bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point: run every group. Tolerates harness-style CLI arguments
+/// (`--test`, `--bench`, filters) by ignoring everything it does not
+/// understand.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,410 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! The build environment for this repository has no network access, so the
+//! real serde cannot be fetched. This proc-macro crate derives the
+//! value-tree based `Serialize`/`Deserialize` traits defined by the
+//! vendored `serde` shim (see `vendor/serde`). It supports exactly the
+//! shapes used in this workspace:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`),
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching real serde's JSON representation),
+//! * no generics, no lifetimes, no tuple/unit structs.
+//!
+//! The item token stream is parsed by hand — `syn`/`quote` are equally
+//! unavailable offline — and generated code is emitted via string
+//! formatting plus `TokenStream::from_str`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: substitute `Default::default()` when missing.
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    /// Tuple variant with N fields.
+    Tuple(usize),
+    /// Struct variant / named-field payload.
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Returns true if the attribute group tokens spell `serde(default)`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut toks = group.stream().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+            if id.to_string() == "serde" =>
+        {
+            inner
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Consume attributes (`#[...]`) from the front of `toks`; report whether
+/// any of them was `#[serde(default)]`.
+fn skip_attrs(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut default = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if attr_is_serde_default(&g) {
+                            default = true;
+                        }
+                    }
+                    other => panic!("serde_derive shim: malformed attribute, got {other:?}"),
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// Parse `name: Type` fields from a brace-group token stream. Generic
+/// arguments may contain commas (`BTreeMap<String, T>`), so the type is
+/// skipped with angle-bracket depth tracking.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let default = skip_attrs(&mut toks);
+        // Skip visibility: `pub` optionally followed by `(crate)` etc.
+        if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            toks.next();
+            if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                toks.next();
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type up to a top-level comma.
+        let mut depth = 0i32;
+        for t in toks.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Count the fields of a tuple-variant payload (top-level commas + 1,
+/// tolerating a trailing comma).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut last_was_comma = false;
+    for t in stream {
+        saw_any = true;
+        last_was_comma = false;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !saw_any {
+        0
+    } else if last_was_comma {
+        count
+    } else {
+        count + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                Shape::Struct(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Consume the separating comma, if any.
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs(&mut toks);
+    // Skip visibility.
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct`/`enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive shim: `{name}` must have a braced body (tuple/unit items unsupported), got {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "m.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n",
+                    f = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                     {pushes}\
+                     ::serde::Value::Map(m)\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))",
+                                    f = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Map(vec![{}]))]),\n",
+                            binders.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_field_read(owner: &str, f: &Field) -> String {
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::new(\"{owner}: missing field `{f}`\"))",
+            f = f.name
+        )
+    };
+    format!(
+        "{f}: match m.iter().find(|kv| kv.0 == \"{f}\") {{\n\
+           ::std::option::Option::Some(kv) => ::serde::Deserialize::from_value(&kv.1)?,\n\
+           ::std::option::Option::None => {missing},\n\
+         }},\n",
+        f = f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let reads: String = fields.iter().map(|f| gen_field_read(name, f)).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     let m = match v {{\n\
+                       ::serde::Value::Map(m) => m,\n\
+                       _ => return ::std::result::Result::Err(::serde::DeError::new(\"{name}: expected map\")),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({name} {{\n{reads}}})\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let seq = match payload {{\n\
+                                 ::serde::Value::Seq(s) if s.len() == {n} => s,\n\
+                                 _ => return ::std::result::Result::Err(::serde::DeError::new(\"{name}::{vn}: expected {n}-element sequence\")),\n\
+                               }};\n\
+                               ::std::result::Result::Ok({name}::{vn}({reads}))\n\
+                             }},\n",
+                            reads = reads.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let reads: String =
+                            fields.iter().map(|f| gen_field_read(name, f)).collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                               let m = match payload {{\n\
+                                 ::serde::Value::Map(m) => m,\n\
+                                 _ => return ::std::result::Result::Err(::serde::DeError::new(\"{name}::{vn}: expected map payload\")),\n\
+                               }};\n\
+                               ::std::result::Result::Ok({name}::{vn} {{\n{reads}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     match v {{\n\
+                       ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::DeError::new(&format!(\"{name}: unknown unit variant `{{other}}`\"))),\n\
+                       }},\n\
+                       ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                         let tag = m[0].0.as_str();\n\
+                         let payload = &m[0].1;\n\
+                         let _ = payload;\n\
+                         match tag {{\n\
+                           {tagged_arms}\
+                           other => ::std::result::Result::Err(::serde::DeError::new(&format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                         }}\n\
+                       }},\n\
+                       _ => ::std::result::Result::Err(::serde::DeError::new(\"{name}: expected string or single-key map\")),\n\
+                     }}\n\
+                   }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl must parse")
+}
