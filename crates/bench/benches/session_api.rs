@@ -1,0 +1,32 @@
+//! Criterion microbench for the session-oriented grading API: cold
+//! stateless `advise_sql` per submission vs one `compile_target` +
+//! `grade_batch` over the same classroom batch. The full comparison
+//! (with the persisted `BENCH_session_api.json` artifact and the 2×
+//! acceptance gate) lives in the `exp_session_api` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr_hint::prelude::*;
+use qrhint_bench::session_api;
+
+fn session_grading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_api");
+    group.sample_size(10);
+    let (schema, target, subs) = session_api::students_batch(16);
+    group.bench_function("cold_advise_sql_loop", |b| {
+        b.iter(|| {
+            let qr = QrHint::new(schema.clone());
+            subs.iter().filter_map(|s| qr.advise_sql(&target, s).ok()).count()
+        })
+    });
+    group.bench_function("prepared_grade_batch", |b| {
+        b.iter(|| {
+            let qr = QrHint::new(schema.clone());
+            let prepared = qr.compile_target(&target).unwrap();
+            prepared.grade_batch(&subs).into_iter().filter(|a| a.is_ok()).count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, session_grading);
+criterion_main!(benches);

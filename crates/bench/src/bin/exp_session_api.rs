@@ -1,0 +1,51 @@
+//! Session-API benchmark binary: cold per-call grading vs prepared-
+//! target batch grading on the students/beers workloads. Persists the
+//! comparison as `BENCH_session_api.json` in the working directory (run
+//! from the repo root) and exits nonzero if the ≥2× acceptance gate
+//! fails, so CI can assert the optimization stays real.
+
+use qrhint_bench::{report, session_api};
+
+fn main() {
+    let report = session_api::run(50);
+    println!(
+        "{}",
+        report::table(
+            &["workload", "batch", "equiv", "cold ms", "prepared ms", "speedup"],
+            &report
+                .rows
+                .iter()
+                .map(|r| vec![
+                    r.workload.clone(),
+                    r.batch_size.to_string(),
+                    r.equivalent.to_string(),
+                    format!("{:.1}", r.cold_ms),
+                    format!("{:.1}", r.prepared_ms),
+                    format!("{:.2}x", r.speedup),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    for r in &report.rows {
+        println!(
+            "{}: {} advise calls, {} advice-cache hits, {} FROM groups, \
+             {} mapping reuses, {} solver calls",
+            r.workload,
+            r.prepared_stats.advise_calls,
+            r.prepared_stats.advice_cache_hits,
+            r.prepared_stats.from_groups,
+            r.prepared_stats.mapping_reuses,
+            r.prepared_stats.solver_calls,
+        );
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_session_api.json", &json).expect("can write BENCH_session_api.json");
+    println!("(wrote BENCH_session_api.json)");
+    if !report.students_speedup_ok {
+        eprintln!(
+            "FAIL: students speedup {:.2}x below the 2x acceptance gate",
+            report.students_speedup
+        );
+        std::process::exit(1);
+    }
+}

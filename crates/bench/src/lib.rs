@@ -14,6 +14,7 @@
 //! | `exp_fig4` | Figure 4a/4b — cost-over-time traces |
 //! | `exp_user_study` | Figures 5–6 — simulated-participant replay |
 //! | `exp_dblp_hints` | App. Tables 2–3 — study hints regeneration |
+//! | `exp_session_api` | Session API: cold vs prepared-target grading (`BENCH_session_api.json`) |
 
 #![forbid(unsafe_code)]
 
@@ -21,6 +22,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod report;
+pub mod session_api;
 pub mod students_exp;
 pub mod userstudy;
 

@@ -1,0 +1,213 @@
+//! Session-API benchmark: cold per-call grading vs. prepared-target
+//! batch grading.
+//!
+//! The deployment scenario is one hidden target graded against a
+//! classroom's worth of submissions. The **cold** baseline calls the
+//! stateless [`QrHint::advise_sql`] per submission — re-parsing,
+//! re-resolving and re-lowering the target, and re-deriving the table
+//! mapping, every time. The **prepared** path compiles the target once
+//! ([`QrHint::compile_target`]) and grades the same batch through
+//! [`qrhint_core::PreparedTarget::grade_batch`], engaging the session
+//! memo layers (per-FROM-binding oracle + mapping reuse, duplicate-
+//! submission advice cache).
+//!
+//! Results are persisted as `BENCH_session_api.json` in the working
+//! directory (run from the repo root: `cargo run --release --bin
+//! exp_session_api`).
+
+use qr_hint::prelude::*;
+use qrhint_workloads::{beers, inject, students};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One workload's cold-vs-prepared comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct SessionApiRow {
+    pub workload: String,
+    /// Number of submissions graded against the one target.
+    pub batch_size: usize,
+    /// Submissions that graded as equivalent (sanity: identical across
+    /// both paths).
+    pub equivalent: usize,
+    pub cold_ms: f64,
+    pub prepared_ms: f64,
+    /// `cold_ms / prepared_ms`.
+    pub speedup: f64,
+    /// Session counters after the prepared run.
+    pub prepared_stats: SessionStats,
+}
+
+/// The full benchmark artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct SessionApiReport {
+    pub rows: Vec<SessionApiRow>,
+    /// The acceptance gate: prepared-target batch grading must beat the
+    /// cold loop by ≥ 2× on the 50-submission students batch.
+    pub students_speedup: f64,
+    pub students_speedup_ok: bool,
+}
+
+/// The students-workload batch: one question's target and up to
+/// `cap` supported submissions against it (question (b) of the
+/// Students+ corpus, its largest — every entry shares the same hidden
+/// target, the shape of a real grading run).
+pub fn students_batch(cap: usize) -> (Schema, String, Vec<String>) {
+    let mut target = None;
+    let mut all = Vec::new();
+    for e in students::corpus() {
+        if e.question != "b" || e.category == "UNSUPPORTED" {
+            continue;
+        }
+        target.get_or_insert_with(|| e.pair.target_sql.clone());
+        all.push(e.pair.working_sql.clone());
+    }
+    // The corpus generator emits entries grouped by error category
+    // (FROM, then WHERE, …, SELECT); sample uniformly across the whole
+    // question so the batch carries the corpus's Table-4 category mix
+    // instead of the first category only.
+    let n = all.len();
+    let subs: Vec<String> =
+        (0..cap.min(n)).map(|i| all[i * n / cap.min(n)].clone()).collect();
+    (students::schema(), target.expect("question (b) has entries"), subs)
+}
+
+/// The beers-workload batch: fault-injected variants of one course
+/// question (deterministic seeds), the shape of the §9 robustness
+/// experiments.
+pub fn beers_batch(cap: usize) -> (Schema, String, Vec<String>) {
+    let schema = beers::course_schema();
+    let target_sql = beers::course_questions()
+        .into_iter()
+        .find(|(id, _)| *id == "c")
+        .map(|(_, sql)| sql.to_string())
+        .expect("question (c) exists");
+    let target = parse_query(&target_sql).expect("target parses");
+    let mut subs = Vec::new();
+    'outer: for seed in 0..u64::MAX {
+        for k in 1..=2usize {
+            if subs.len() >= cap {
+                break 'outer;
+            }
+            let (broken, _) = inject::inject_atom_errors(&target.where_pred, k, seed);
+            let mut wrong = target.clone();
+            wrong.where_pred = broken;
+            subs.push(wrong.to_string());
+        }
+    }
+    (schema, target_sql, subs)
+}
+
+/// Warmup + timed repetitions, keeping the minimum (the standard
+/// noise-robust estimator for short wall-clock measurements).
+const TIMED_REPS: usize = 5;
+
+fn min_time_ms<T>(mut run: impl FnMut() -> T) -> (f64, T) {
+    run(); // warmup: page-faults, allocator growth
+    let mut best: Option<(f64, T)> = None;
+    for _ in 0..TIMED_REPS {
+        let started = Instant::now();
+        let out = run();
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        if best.as_ref().is_none_or(|(b, _)| ms < *b) {
+            best = Some((ms, out));
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn grade_cold(schema: &Schema, target: &str, subs: &[String]) -> (f64, usize) {
+    let qr = QrHint::new(schema.clone());
+    min_time_ms(|| {
+        let mut equivalent = 0usize;
+        for sub in subs {
+            if let Ok(advice) = qr.advise_sql(target, sub) {
+                if advice.is_equivalent() {
+                    equivalent += 1;
+                }
+            }
+        }
+        equivalent
+    })
+}
+
+fn grade_prepared(
+    schema: &Schema,
+    target: &str,
+    subs: &[String],
+) -> (f64, usize, SessionStats) {
+    let qr = QrHint::new(schema.clone());
+    let (ms, (equivalent, stats)) = min_time_ms(|| {
+        // Each rep compiles its own target: the point is to time the
+        // whole prepared path, compilation included.
+        let prepared = qr.compile_target(target).expect("target compiles");
+        let advices = prepared.grade_batch(subs);
+        let equivalent = advices
+            .iter()
+            .filter(|a| a.as_ref().is_ok_and(|a| a.is_equivalent()))
+            .count();
+        (equivalent, prepared.stats())
+    });
+    (ms, equivalent, stats)
+}
+
+/// Grade one workload both ways and compare.
+pub fn run_workload(
+    workload: &str,
+    schema: &Schema,
+    target: &str,
+    subs: &[String],
+) -> SessionApiRow {
+    let (cold_ms, cold_equivalent) = grade_cold(schema, target, subs);
+    let (prepared_ms, prepared_equivalent, prepared_stats) =
+        grade_prepared(schema, target, subs);
+    assert_eq!(
+        cold_equivalent, prepared_equivalent,
+        "{workload}: prepared grading must agree with the cold loop"
+    );
+    SessionApiRow {
+        workload: workload.to_string(),
+        batch_size: subs.len(),
+        equivalent: prepared_equivalent,
+        cold_ms,
+        prepared_ms,
+        speedup: cold_ms / prepared_ms.max(1e-9),
+        prepared_stats,
+    }
+}
+
+/// Run the full comparison (students + beers workloads).
+pub fn run(batch_size: usize) -> SessionApiReport {
+    let (schema, target, subs) = students_batch(batch_size);
+    let students_row = run_workload("students-b", &schema, &target, &subs);
+    let (schema, target, subs) = beers_batch(batch_size);
+    let beers_row = run_workload("beers-inject-c", &schema, &target, &subs);
+    let students_speedup = students_row.speedup;
+    SessionApiReport {
+        rows: vec![students_row, beers_row],
+        students_speedup,
+        students_speedup_ok: students_speedup >= 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_have_submissions_and_agree() {
+        let (schema, target, subs) = students_batch(8);
+        assert_eq!(subs.len(), 8);
+        let row = run_workload("students-b", &schema, &target, &subs);
+        assert_eq!(row.batch_size, 8);
+        // Timing is environment-dependent; agreement is asserted inside
+        // run_workload. The memo layers must at least have engaged.
+        assert!(row.prepared_stats.advise_calls >= 8);
+    }
+
+    #[test]
+    fn beers_batch_is_deterministic() {
+        let (_, _, a) = beers_batch(10);
+        let (_, _, b) = beers_batch(10);
+        assert_eq!(a, b);
+    }
+}

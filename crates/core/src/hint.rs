@@ -7,10 +7,11 @@
 
 use qrhint_sqlast::pred::PredPath;
 use qrhint_sqlast::{Pred, Scalar};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The pipeline stages (§3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Stage {
     From,
     Where,
@@ -19,6 +20,12 @@ pub enum Stage {
     Select,
     /// All stages cleared: the queries are equivalent.
     Done,
+}
+
+impl Stage {
+    /// Number of checked stages (`Done` excluded): FROM, WHERE,
+    /// GROUP BY, HAVING, SELECT.
+    pub const COUNT: usize = 5;
 }
 
 impl fmt::Display for Stage {
@@ -36,7 +43,7 @@ impl fmt::Display for Stage {
 }
 
 /// Which predicate clause a repair applies to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ClauseKind {
     Where,
     Having,
@@ -52,7 +59,7 @@ impl fmt::Display for ClauseKind {
 }
 
 /// One repair site with its fix.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SiteHint {
     /// Path into the clause's predicate tree.
     pub path: PredPath,
@@ -64,7 +71,14 @@ pub struct SiteHint {
 }
 
 /// A hint.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializes with serde's externally-tagged enum representation, so the
+/// CLI's `--json` output (and any service built on [`crate::session`])
+/// can be consumed without re-parsing the rendered English. `cost` uses
+/// [`f64::MAX`] rather than infinity for the whole-clause-replacement
+/// fallback so every variant survives a JSON round-trip (JSON has no
+/// representation for non-finite floats).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Hint {
     /// FROM-stage: `table` is referenced `have` times but should be
     /// referenced `want` times.

@@ -15,9 +15,16 @@
 //! | §6 GROUP BY (Algorithm 4) | [`stages::groupby_stage`] |
 //! | §7 HAVING + aggregate context | [`stages::having_stage`] |
 //! | §8 SELECT (Algorithm 9) | [`stages::select_stage`] |
-//! | §3.1 stage pipeline (Theorem 3.1) | [`pipeline`] |
+//! | §3.1 stage pipeline (Theorem 3.1) | [`pipeline`] (stage walk: crate-private `runner`) |
+//! | §1/§10 deployment (one target, many submissions) | [`session`] |
 //!
-//! ## Quick start
+//! ## Quick start: compile once, advise many
+//!
+//! The deployment shape is one hidden target graded against many student
+//! submissions. [`QrHint::compile_target`] does the target-side work once
+//! (parse, resolve, and — per working-FROM binding — table mapping,
+//! unification and solver setup); the returned [`session::PreparedTarget`]
+//! then grades each submission incrementally:
 //!
 //! ```
 //! use qrhint_core::{QrHint, Stage};
@@ -27,15 +34,36 @@
 //!     .with_table("Serves", &[("bar", SqlType::Str), ("beer", SqlType::Str),
 //!                             ("price", SqlType::Int)], &["bar", "beer"]);
 //! let qr = QrHint::new(schema);
-//! let advice = qr.advise_sql(
-//!     "SELECT s.bar FROM Serves s WHERE s.price >= 3",
+//! let prepared = qr
+//!     .compile_target("SELECT s.bar FROM Serves s WHERE s.price >= 3")
+//!     .unwrap();
+//!
+//! // Classroom-scale batch grading (bad submissions don't abort the batch):
+//! let advices = prepared.grade_batch(&[
 //!     "SELECT s.bar FROM Serves s WHERE s.price > 3",
-//! ).unwrap();
-//! assert_eq!(advice.stage, Stage::Where);
-//! for hint in &advice.hints {
-//!     println!("{hint}");
+//!     "SELECT s.bar FROM Serves s WHERE s.price >= 3",
+//! ]);
+//! assert_eq!(advices[0].as_ref().unwrap().stage, Stage::Where);
+//! assert!(advices[1].as_ref().unwrap().is_equivalent());
+//!
+//! // Incremental tutoring: advise → apply; unchanged stages are memo
+//! // hits, so each step pays solver work only where the query changed.
+//! let mut session = prepared
+//!     .tutor_sql("SELECT s.bar FROM Serves s WHERE s.price > 3")
+//!     .unwrap();
+//! while !session.is_done() {
+//!     let advice = session.step().unwrap();
+//!     for hint in &advice.hints {
+//!         println!("{hint}");
+//!     }
 //! }
 //! ```
+//!
+//! Advice is serde-serializable end-to-end
+//! (`serde_json::to_string(&advice)`), so graders can consume structured
+//! JSON instead of re-parsing rendered English. The stateless
+//! [`QrHint::advise_sql`] / [`QrHint::fix_fully`] remain as thin wrappers
+//! over the session layer for one-shot use.
 
 #![forbid(unsafe_code)]
 
@@ -46,6 +74,8 @@ pub mod nullsafe;
 pub mod oracle;
 pub mod pipeline;
 pub mod repair;
+pub(crate) mod runner;
+pub mod session;
 pub mod stages;
 
 pub use error::{QrHintError, QrResult};
@@ -54,3 +84,4 @@ pub use oracle::{LowerEnv, Oracle, TypeEnv};
 pub use pipeline::{Advice, QrHint, QrHintConfig};
 pub use qrhint_sqlparse::FlattenOptions;
 pub use repair::{FixStrategy, Repair, RepairConfig, RepairOutcome};
+pub use session::{PreparedTarget, SessionStats, TutorSession};

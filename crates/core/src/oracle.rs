@@ -297,9 +297,13 @@ pub struct Oracle {
     ambient_ctx: Vec<Formula>,
     /// Memoized verdicts: the repair search re-checks many identical
     /// implications across candidate site sets (bounds overlap heavily),
-    /// so caching is a large constant-factor win. Only definitive results
-    /// are cached — Unknown may become definitive under different budgets.
-    sat_cache: std::collections::HashMap<(Formula, Vec<Formula>), TriBool>,
+    /// and a session-layer oracle sees the same target-side checks across
+    /// submissions, so caching is a large constant-factor win. Keyed by
+    /// the 64-bit hash of the (formula, full-context) pair — entries keep
+    /// the actual pair and verify equality on lookup, so a hash collision
+    /// can never return a wrong verdict. Only definitive results are
+    /// cached — Unknown may become definitive under different budgets.
+    sat_cache: std::collections::HashMap<u64, Vec<(Formula, Vec<Formula>, TriBool)>>,
 }
 
 impl Oracle {
@@ -741,17 +745,28 @@ impl Oracle {
     /// Formula-level satisfiability under formula contexts (the ambient
     /// context, if any, is appended).
     pub fn sat_f(&mut self, f: &Formula, ctx: &[Formula]) -> TriBool {
+        use std::hash::{Hash, Hasher};
         self.solver_calls += 1;
-        let mut full: Vec<Formula> = ctx.to_vec();
-        full.extend(self.ambient_ctx.iter().cloned());
-        let key = (f.clone(), full.clone());
-        if let Some(hit) = self.sat_cache.get(&key) {
-            return *hit;
+        let mut full: Vec<Formula> = Vec::with_capacity(ctx.len() + self.ambient_ctx.len());
+        full.extend_from_slice(ctx);
+        full.extend_from_slice(&self.ambient_ctx);
+        // Hash-first lookup: no clone of the formula or context on the
+        // hot path; the stored pair is compared on a bucket hit.
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        f.hash(&mut hasher);
+        full.hash(&mut hasher);
+        let key = hasher.finish();
+        if let Some(bucket) = self.sat_cache.get(&key) {
+            for (cf, cfull, verdict) in bucket {
+                if cf == f && *cfull == full {
+                    return *verdict;
+                }
+            }
         }
         let solver = self.solver.clone();
         let verdict = solver.is_satisfiable(f, &full, &mut self.pool);
         if verdict != TriBool::Unknown {
-            self.sat_cache.insert(key, verdict);
+            self.sat_cache.entry(key).or_default().push((f.clone(), full, verdict));
         }
         verdict
     }

@@ -1,23 +1,43 @@
-//! The stage pipeline (§3.1, Theorem 3.1): FROM → WHERE → GROUP BY →
-//! HAVING → SELECT for SPJA queries (FROM → WHERE → SELECT for SPJ),
-//! with viability checks, hint generation, and the simulated user loop
-//! `fix_fully` used by the experiments and differential tests.
+//! The top-level grading API (§3.1, Theorem 3.1): FROM → WHERE →
+//! GROUP BY → HAVING → SELECT for SPJA queries (FROM → WHERE → SELECT
+//! for SPJ).
+//!
+//! [`QrHint`] binds a schema and configuration. The stateless
+//! [`QrHint::advise_sql`] / [`QrHint::fix_fully`] entry points are thin
+//! compatibility wrappers over the session layer ([`crate::session`]):
+//! compile the target once with [`QrHint::compile_target`] when grading
+//! many submissions or tutoring interactively — the session amortizes
+//! target-side parsing, table-mapping derivation, and solver work.
+//! The stage walk itself lives in the crate-private `runner` module.
 
-use crate::error::{QrHintError, QrResult};
+use crate::error::QrResult;
 use crate::hint::{Hint, Stage};
-use crate::mapping::{table_mapping, unify_target, TableMapping};
-use crate::oracle::{LowerEnv, Oracle};
+use crate::mapping::TableMapping;
 use crate::repair::RepairConfig;
-use crate::stages::{
-    from_stage, groupby_stage, having_stage, select_stage, where_stage,
-};
-use qrhint_sqlast::{resolve::resolve_query, Pred, Query, Scalar, Schema};
+use crate::session::PreparedTarget;
+use qrhint_sqlast::{resolve::resolve_query, Query, Schema};
 use qrhint_sqlparse::{parse_query, parse_query_extended, FlattenOptions};
+use serde::{Deserialize, Serialize};
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct QrHintConfig {
     pub repair: RepairConfig,
+    /// Cap on advise → apply-fix iterations in [`QrHint::fix_fully`] /
+    /// [`crate::session::TutorSession::run_to_completion`]. Theorem 3.1
+    /// bounds real
+    /// interactions by the stage count; the default leaves 3× slack
+    /// (plus the final `Done` round) purely as a defensive backstop.
+    pub max_stage_applications: usize,
+}
+
+impl Default for QrHintConfig {
+    fn default() -> QrHintConfig {
+        QrHintConfig {
+            repair: RepairConfig::default(),
+            max_stage_applications: 3 * Stage::COUNT + 1,
+        }
+    }
 }
 
 /// A Qr-Hint session bound to one database schema.
@@ -29,7 +49,10 @@ pub struct QrHint {
 
 /// The advice produced for one working-query state: the first failing
 /// stage, its hints, and the auto-applied fix for simulation.
-#[derive(Debug, Clone)]
+///
+/// Serializes to JSON end-to-end (hints, fixed query, alias mapping) for
+/// machine consumption — see the CLI's `--json` mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Advice {
     /// First stage whose viability check failed (`Done` = equivalent).
     pub stage: Stage,
@@ -75,6 +98,30 @@ impl QrHint {
         Ok(resolve_query(&self.schema, &q)?)
     }
 
+    /// Compile a target query for advise-many grading: parse, resolve,
+    /// and set up the per-target memo layers (table mappings, persistent
+    /// oracle, advice cache). The result grades any number of
+    /// submissions via [`PreparedTarget::advise`] /
+    /// [`PreparedTarget::grade_batch`], and drives incremental tutoring
+    /// via [`PreparedTarget::tutor`].
+    pub fn compile_target(&self, target_sql: &str) -> QrResult<PreparedTarget> {
+        Ok(self.prepare_target(self.prepare(target_sql)?))
+    }
+
+    /// [`QrHint::compile_target`] with the multi-block front-end.
+    pub fn compile_target_extended(
+        &self,
+        target_sql: &str,
+        opts: &FlattenOptions,
+    ) -> QrResult<PreparedTarget> {
+        Ok(self.prepare_target(self.prepare_extended(target_sql, opts)?))
+    }
+
+    /// Wrap an already-resolved target query as a [`PreparedTarget`].
+    pub fn prepare_target(&self, q_star: Query) -> PreparedTarget {
+        PreparedTarget::new(self.schema.clone(), self.cfg.clone(), q_star)
+    }
+
     /// [`QrHint::advise_sql`] with both queries run through the
     /// multi-block front-end. Either query may freely mix JOIN syntax,
     /// CTEs and FROM subqueries; hints refer to the flattened form.
@@ -89,7 +136,10 @@ impl QrHint {
         self.advise(&q_star, &q)
     }
 
-    /// Advise on SQL strings.
+    /// Advise on SQL strings. Stateless convenience: re-parses and
+    /// re-prepares the target on every call — prefer
+    /// [`QrHint::compile_target`] when grading many submissions against
+    /// one target.
     pub fn advise_sql(&self, target_sql: &str, working_sql: &str) -> QrResult<Advice> {
         let q_star = self.prepare(target_sql)?;
         let q = self.prepare(working_sql)?;
@@ -97,274 +147,20 @@ impl QrHint {
     }
 
     /// Run the stage checks on resolved queries, returning the first
-    /// failing stage's hints.
+    /// failing stage's hints. Stateless wrapper over a one-shot
+    /// [`PreparedTarget`].
     pub fn advise(&self, q_star: &Query, q: &Query) -> QrResult<Advice> {
-        // ---- Stage 1: FROM ----
-        let from_out = from_stage::check_from(q_star, q);
-        if !from_out.viable {
-            let fixed = from_stage::apply_from_fix(q, q_star);
-            return Ok(Advice {
-                stage: Stage::From,
-                hints: from_out.hints,
-                fixed: Some(fixed),
-                mapping: None,
-            });
-        }
-        // Table mapping + unification (§4).
-        let mapping = table_mapping(q_star, q).ok_or_else(|| {
-            QrHintError::Internal("table mapping failed after viable FROM".into())
-        })?;
-        let unified = unify_target(q_star, &mapping);
-        let mut oracle = Oracle::for_queries(&self.schema, &[&unified, q]);
-        // Schema CHECK constraints instantiated per FROM alias hold on
-        // every row of F(Q) and enter all per-row reasoning as context
-        // (§3 Limitations item 4, the quantifier-free fragment).
-        let domain_ctx = self.schema.domain_context(q);
-
-        // ---- Stage 2: WHERE (with SPJA look-ahead) ----
-        let where_out =
-            where_stage::check_where(&mut oracle, &unified, q, &self.cfg.repair, &domain_ctx);
-        if !where_out.viable {
-            let mut fixed = q.clone();
-            // Repairs refer to the normalized working WHERE (the user's
-            // movable HAVING conjuncts lifted in — a legal rewrite).
-            fixed.where_pred = where_out.working_where.clone();
-            fixed.having = where_out.working_having.clone();
-            if let Some(r) = where_out.repair.as_ref().and_then(|o| o.repair.as_ref()) {
-                fixed.where_pred = r.apply(&where_out.working_where);
-            } else {
-                // No repair found within limits: fall back to the
-                // whole-clause replacement (always correct).
-                fixed.where_pred = where_out.target_where.clone();
-            }
-            let hints = if where_out.hints.is_empty() {
-                vec![Hint::PredicateRepair {
-                    clause: crate::hint::ClauseKind::Where,
-                    sites: vec![crate::hint::SiteHint {
-                        path: vec![],
-                        current: q.where_pred.clone(),
-                        fix: where_out.target_where.clone(),
-                    }],
-                    cost: f64::INFINITY,
-                }]
-            } else {
-                where_out.hints.clone()
-            };
-            return Ok(Advice {
-                stage: Stage::Where,
-                hints,
-                fixed: Some(fixed),
-                mapping: Some(mapping),
-            });
-        }
-        let target_where = where_out.target_where.clone();
-        let target_having = where_out.target_having.clone().unwrap_or(Pred::True);
-        // Context for the later stages' reasoning: rows reaching GROUP
-        // BY / HAVING / SELECT satisfy WHERE *and* the domain checks.
-        // (`target_where` itself stays pristine — it is also the literal
-        // fallback WHERE text for whole-clause repairs.)
-        let reasoning_where = if domain_ctx.is_empty() {
-            target_where.clone()
-        } else {
-            Pred::and(
-                std::iter::once(target_where.clone())
-                    .chain(domain_ctx.iter().cloned())
-                    .collect(),
-            )
-        };
-
-        // Grouping/aggregation structure, ignoring DISTINCT (a pure
-        // DISTINCT mismatch is a SELECT-stage issue, not a grouping one).
-        let has_group_agg = |query: &Query| {
-            !query.group_by.is_empty()
-                || query.having.is_some()
-                || query.select.iter().any(|s| s.expr.has_aggregate())
-        };
-        let star_spja = has_group_agg(&unified);
-        let work_spja = has_group_agg(q);
-
-        if star_spja || work_spja {
-            // ---- Structure check (Lemma D.1) ----
-            if star_spja != work_spja {
-                let mut fixed = q.clone();
-                fixed.group_by = unified.group_by.clone();
-                if !star_spja {
-                    fixed.having = None;
-                    fixed.distinct = unified.distinct;
-                    // De-aggregating: unwrap aggregate calls in SELECT so
-                    // the query leaves the SPJA fragment (the SELECT stage
-                    // then repairs the expressions themselves).
-                    fn strip_aggs(e: &Scalar) -> Scalar {
-                        match e {
-                            Scalar::Agg(call) => match &call.arg {
-                                qrhint_sqlast::AggArg::Expr(inner) => strip_aggs(inner),
-                                qrhint_sqlast::AggArg::Star => Scalar::Int(1),
-                            },
-                            Scalar::Arith(l, op, r) => Scalar::Arith(
-                                Box::new(strip_aggs(l)),
-                                *op,
-                                Box::new(strip_aggs(r)),
-                            ),
-                            Scalar::Neg(inner) => Scalar::Neg(Box::new(strip_aggs(inner))),
-                            other => other.clone(),
-                        }
-                    }
-                    for item in &mut fixed.select {
-                        item.expr = strip_aggs(&item.expr);
-                    }
-                }
-                return Ok(Advice {
-                    stage: Stage::GroupBy,
-                    hints: vec![Hint::Structure { needs_grouping: star_spja }],
-                    fixed: Some(fixed),
-                    mapping: Some(mapping),
-                });
-            }
-            // ---- Stage 3: GROUP BY ----
-            let gb_out = groupby_stage::fix_grouping(
-                &mut oracle,
-                &reasoning_where,
-                &q.group_by,
-                &unified.group_by,
-            );
-            if !gb_out.viable {
-                let fixed = groupby_stage::apply_grouping_fix(q, &unified.group_by, &gb_out);
-                return Ok(Advice {
-                    stage: Stage::GroupBy,
-                    hints: gb_out.hints(&q.group_by),
-                    fixed: Some(fixed),
-                    mapping: Some(mapping),
-                });
-            }
-            // ---- Stage 4: HAVING ----
-            let working_having =
-                where_out.working_having.clone().unwrap_or(Pred::True);
-            let hv_out = having_stage::check_having(
-                &mut oracle,
-                &unified,
-                &working_having,
-                &reasoning_where,
-                &target_having,
-                &self.cfg.repair,
-            );
-            if !hv_out.viable {
-                let mut normalized = q.clone();
-                normalized.where_pred = where_out.working_where.clone();
-                normalized.having = where_out.working_having.clone();
-                let mut fixed = having_stage::apply_having_fix(&normalized, &hv_out);
-                if hv_out.repair.as_ref().is_none_or(|o| o.repair.is_none()) {
-                    fixed.having = if target_having == Pred::True {
-                        None
-                    } else {
-                        Some(target_having.clone())
-                    };
-                }
-                let hints = if hv_out.hints.is_empty() {
-                    vec![Hint::PredicateRepair {
-                        clause: crate::hint::ClauseKind::Having,
-                        sites: vec![crate::hint::SiteHint {
-                            path: vec![],
-                            current: q.having_pred(),
-                            fix: target_having.clone(),
-                        }],
-                        cost: f64::INFINITY,
-                    }]
-                } else {
-                    hv_out.hints.clone()
-                };
-                return Ok(Advice {
-                    stage: Stage::Having,
-                    hints,
-                    fixed: Some(fixed),
-                    mapping: Some(mapping),
-                });
-            }
-        }
-
-        // ---- Stage 5 (or 3 for SPJ): SELECT ----
-        let env = if star_spja {
-            let grouped = having_stage::group_constant_cols(&unified, &reasoning_where);
-            let env = having_stage::install_having_context(
-                &mut oracle,
-                &reasoning_where,
-                &q.having_pred(),
-                &target_having,
-                &grouped,
-            );
-            // Rows reaching SELECT also satisfy HAVING.
-            let hf = oracle.lower_pred_env(&target_having, &env);
-            let mut full = vec![hf];
-            full.extend(oracle.aggregate_axioms(&reasoning_where));
-            // Keep the WHERE facts over group-constant columns too.
-            let wf_conjuncts: Vec<Pred> = match &reasoning_where {
-                Pred::And(cs) => cs.clone(),
-                Pred::True => vec![],
-                other => vec![other.clone()],
-            };
-            for c in wf_conjuncts {
-                let mut cols = Vec::new();
-                c.collect_columns(&mut cols);
-                if !c.has_aggregate() && cols.iter().all(|col| grouped.contains(col)) {
-                    let f = oracle.lower_pred_env(&c, &env);
-                    full.push(f);
-                }
-            }
-            oracle.set_ambient(env.clone(), full);
-            env
-        } else {
-            let wf = oracle.lower_pred(&reasoning_where);
-            oracle.set_ambient(LowerEnv::plain(), vec![wf]);
-            LowerEnv::plain()
-        };
-        let working_exprs: Vec<Scalar> = q.select.iter().map(|s| s.expr.clone()).collect();
-        let target_exprs: Vec<Scalar> =
-            unified.select.iter().map(|s| s.expr.clone()).collect();
-        let sel_out = select_stage::fix_select(&mut oracle, &env, &working_exprs, &target_exprs);
-        let distinct_ok = q.distinct == unified.distinct;
-        oracle.clear_ambient();
-        if !sel_out.viable || !distinct_ok {
-            let mut fixed = select_stage::apply_select_fix(q, &target_exprs, &sel_out);
-            fixed.distinct = unified.distinct;
-            let mut hints = sel_out.hints(&working_exprs);
-            if !distinct_ok {
-                hints.push(Hint::DistinctMismatch { need_distinct: unified.distinct });
-            }
-            return Ok(Advice {
-                stage: Stage::Select,
-                hints,
-                fixed: Some(fixed),
-                mapping: Some(mapping),
-            });
-        }
-
-        Ok(Advice { stage: Stage::Done, hints: vec![], fixed: None, mapping: Some(mapping) })
+        self.prepare_target(q_star.clone()).advise_uncached(q)
     }
 
     /// Simulate a user who applies every suggested repair: iterate
-    /// `advise` + apply until `Done`. Returns the final query and the
+    /// advise + apply until `Done`. Returns the final query and the
     /// advice trail (one entry per stage interaction — Theorem 3.1
-    /// guarantees termination; the iteration cap is defensive).
+    /// guarantees termination;
+    /// [`QrHintConfig::max_stage_applications`] is defensive). Thin
+    /// wrapper over [`crate::session::TutorSession::run_to_completion`].
     pub fn fix_fully(&self, q_star: &Query, q: &Query) -> QrResult<(Query, Vec<Advice>)> {
-        let mut current = q.clone();
-        let mut trail = Vec::new();
-        for _ in 0..16 {
-            let advice = self.advise(q_star, &current)?;
-            if advice.is_equivalent() {
-                trail.push(advice);
-                return Ok((current, trail));
-            }
-            let Some(fixed) = advice.fixed.clone() else {
-                return Err(QrHintError::Internal(format!(
-                    "stage {} produced no applicable fix",
-                    advice.stage
-                )));
-            };
-            trail.push(advice);
-            current = fixed;
-        }
-        Err(QrHintError::Internal(
-            "pipeline did not converge within 16 stage applications".into(),
-        ))
+        self.prepare_target(q_star.clone()).tutor(q.clone()).run_to_completion()
     }
 }
 
@@ -537,5 +333,20 @@ mod tests {
             )
             .unwrap();
         assert_eq!(final_q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn default_iteration_cap_derives_from_stage_count() {
+        let cfg = QrHintConfig::default();
+        assert_eq!(cfg.max_stage_applications, 3 * Stage::COUNT + 1);
+        // A cap of zero makes fix_fully fail immediately rather than loop.
+        let qr = QrHint::with_config(
+            beers_schema(),
+            QrHintConfig { max_stage_applications: 0, ..QrHintConfig::default() },
+        );
+        let q_star = qr.prepare("SELECT l.beer FROM Likes l").unwrap();
+        let q = qr.prepare("SELECT l.drinker FROM Likes l").unwrap();
+        let err = qr.fix_fully(&q_star, &q).unwrap_err();
+        assert!(err.to_string().contains("0 stage applications"), "{err}");
     }
 }

@@ -1,0 +1,568 @@
+//! Session-oriented grading: compile a hidden target once, advise many
+//! working queries against it.
+//!
+//! The paper's deployment scenario (§1, §10) is one instructor-written
+//! target graded against many student submissions, interactively. The
+//! stateless [`crate::QrHint::advise_sql`] re-parses, re-resolves and
+//! re-lowers the target — and re-derives the table mapping — on every
+//! call. This module amortizes all of that target-side work:
+//!
+//! * [`PreparedTarget`] — the target parsed, resolved and held ready,
+//!   with three per-target memo layers:
+//!   1. **FROM groups**: the unified target, domain context, and a
+//!      persistent [`Oracle`] are derived once per (working FROM
+//!      binding, table mapping) pair and shared by every submission that
+//!      matches. Since the oracle's variable pool is keyed by column
+//!      references (typed by the binding), its memoized solver verdicts
+//!      — keyed by lowered formula pairs — stay sound and hit across
+//!      submissions in the same group.
+//!   2. **Stage memos**: each solver-backed stage (WHERE, GROUP BY,
+//!      HAVING) is memoized by its exact inputs, so a [`TutorSession`]
+//!      step that repairs a later stage pays no solver work for the
+//!      unchanged earlier stages — and a submission that shares, say, a
+//!      WHERE clause with an earlier one reuses its verdict outright.
+//!      A memo hit requires identical stage inputs, so cached verdicts
+//!      are sound by construction.
+//!   3. **Advice cache**: identical resolved submissions (classrooms
+//!      produce many duplicate answers) are graded once.
+//! * [`PreparedTarget::grade_batch`] — classroom-scale bulk grading.
+//! * [`TutorSession`] — the incremental advise→apply loop of the user
+//!   study, one stage interaction per [`TutorSession::step`].
+//!
+//! Interior state lives behind a `Mutex`, so one `PreparedTarget` is
+//! `Send + Sync` and can be shared across threads. Note the lock is held
+//! for the duration of each advise, so advises against *one* target are
+//! serialized — a parallel grading service should shard by target (one
+//! `PreparedTarget` per question), which is also where the memo layers
+//! pay off.
+//!
+//! ```
+//! use qrhint_core::QrHint;
+//! use qrhint_sqlast::{Schema, SqlType};
+//!
+//! let schema = Schema::new().with_table(
+//!     "Serves",
+//!     &[("bar", SqlType::Str), ("beer", SqlType::Str), ("price", SqlType::Int)],
+//!     &["bar", "beer"],
+//! );
+//! let qr = QrHint::new(schema);
+//! let prepared = qr
+//!     .compile_target("SELECT s.bar FROM Serves s WHERE s.price >= 3")
+//!     .unwrap();
+//! // Grade many submissions against the one prepared target.
+//! let advices = prepared.grade_batch(&[
+//!     "SELECT s.bar FROM Serves s WHERE s.price > 3",
+//!     "SELECT x.bar FROM Serves x WHERE x.price >= 3",
+//! ]);
+//! assert!(!advices[0].as_ref().unwrap().is_equivalent());
+//! assert!(advices[1].as_ref().unwrap().is_equivalent());
+//! ```
+
+use crate::error::{QrHintError, QrResult};
+use crate::hint::Stage;
+use crate::mapping::{table_mapping, unify_target, TableMapping};
+use crate::oracle::Oracle;
+use crate::pipeline::{Advice, QrHintConfig};
+use crate::runner::{run_stages, StageInputs};
+use crate::stages::from_stage;
+use qrhint_sqlast::{resolve::resolve_query, Pred, Query, Schema};
+use qrhint_sqlparse::{parse_query, parse_query_extended, FlattenOptions};
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// Cumulative counters for one [`PreparedTarget`] (diagnostics and the
+/// session-API benchmark).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SessionStats {
+    /// Total advise calls answered (including cache hits).
+    pub advise_calls: u64,
+    /// Calls answered from the whole-advice cache (duplicate
+    /// submissions).
+    pub advice_cache_hits: u64,
+    /// Distinct (working-FROM binding, table mapping) pairs seen (each
+    /// owns one oracle).
+    pub from_groups: u64,
+    /// Calls that reused a FROM group's memoized unified target/oracle.
+    pub mapping_reuses: u64,
+    /// Solver checks issued across all group oracles.
+    pub solver_calls: u64,
+}
+
+/// Per-(FROM-binding, table-mapping) memoized derivations. Submissions
+/// sharing both are compared against the identical unified target, so
+/// everything here is reusable verbatim; the binding fixes the column
+/// typing, so the oracle's variable pool — and therefore its
+/// formula-keyed verdict cache — is sound across the group.
+///
+/// The table mapping itself is *recomputed per submission* (cheap and
+/// solver-free) rather than cached by binding: for self-join targets,
+/// `table_mapping` aligns aliases by predicate signatures, so two
+/// submissions with the same FROM clause can need different mappings —
+/// reusing the first submission's mapping would misgrade the second
+/// (stage-wise clause comparison requires the right alignment).
+struct FromGroup {
+    mapping: TableMapping,
+    unified: Query,
+    domain_ctx: Vec<Pred>,
+    oracle: Oracle,
+    memos: crate::runner::StageMemos,
+}
+
+/// Alias → table binding of a working query's FROM clause.
+type FromBinding = BTreeMap<String, String>;
+
+/// Memo-group key: the FROM binding plus the table mapping chosen for
+/// the submission.
+type FromKey = (FromBinding, TableMapping);
+
+#[derive(Default)]
+struct TargetState {
+    groups: HashMap<FromKey, FromGroup>,
+    advice_cache: HashMap<Query, Advice>,
+    stats: SessionStats,
+}
+
+/// A target query compiled for advise-many grading: parsed, resolved,
+/// and carrying the per-target memo layers described in the
+/// [module docs](self).
+///
+/// Construct via [`crate::QrHint::compile_target`] (SQL) or
+/// [`crate::QrHint::prepare_target`] (an already-resolved [`Query`]).
+pub struct PreparedTarget {
+    schema: Schema,
+    cfg: QrHintConfig,
+    target: Query,
+    state: Mutex<TargetState>,
+}
+
+impl std::fmt::Debug for PreparedTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedTarget")
+            .field("target", &self.target.to_string())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PreparedTarget {
+    pub(crate) fn new(schema: Schema, cfg: QrHintConfig, target: Query) -> PreparedTarget {
+        PreparedTarget { schema, cfg, target, state: Mutex::new(TargetState::default()) }
+    }
+
+    /// The resolved target query (the hidden `Q★`).
+    pub fn target(&self) -> &Query {
+        &self.target
+    }
+
+    /// The schema the session is bound to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The configuration the session was compiled with.
+    pub fn config(&self) -> &QrHintConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of the cumulative session counters.
+    pub fn stats(&self) -> SessionStats {
+        let st = self.state.lock().unwrap();
+        let mut stats = st.stats;
+        stats.solver_calls = st.groups.values().map(|g| g.oracle.solver_calls).sum();
+        stats
+    }
+
+    /// Parse and resolve a working query against the session schema.
+    pub fn prepare(&self, sql: &str) -> QrResult<Query> {
+        let q = parse_query(sql)?;
+        Ok(resolve_query(&self.schema, &q)?)
+    }
+
+    /// [`PreparedTarget::prepare`] with the multi-block front-end.
+    pub fn prepare_extended(&self, sql: &str, opts: &FlattenOptions) -> QrResult<Query> {
+        let q = parse_query_extended(sql, opts)?;
+        Ok(resolve_query(&self.schema, &q)?)
+    }
+
+    /// Advise on one working query given as SQL.
+    pub fn advise_sql(&self, working_sql: &str) -> QrResult<Advice> {
+        let q = self.prepare(working_sql)?;
+        self.advise(&q)
+    }
+
+    /// Advise on one resolved working query: the first failing stage's
+    /// hints, with every memo layer engaged.
+    pub fn advise(&self, q: &Query) -> QrResult<Advice> {
+        self.advise_inner(q, true)
+    }
+
+    /// One-shot advise for the stateless [`crate::QrHint::advise`]
+    /// wrapper: stage/verdict memos still apply, but the whole-advice
+    /// cache is bypassed (a throwaway target would pay its two clones
+    /// for nothing).
+    pub(crate) fn advise_uncached(&self, q: &Query) -> QrResult<Advice> {
+        self.advise_inner(q, false)
+    }
+
+    /// Grade a batch of submissions. Per-submission failures (malformed
+    /// or unsupported student SQL) are reported in place so one bad
+    /// submission never aborts a classroom batch.
+    pub fn grade_batch<S: AsRef<str>>(&self, submissions: &[S]) -> Vec<QrResult<Advice>> {
+        submissions.iter().map(|sql| self.advise_sql(sql.as_ref())).collect()
+    }
+
+    /// Start an incremental tutoring session from a resolved working
+    /// query. Multiple sessions may share one prepared target.
+    pub fn tutor(&self, working: Query) -> TutorSession<'_> {
+        TutorSession { prepared: self, working, done: false, trail: Vec::new() }
+    }
+
+    /// Start a tutoring session from working SQL.
+    pub fn tutor_sql(&self, working_sql: &str) -> QrResult<TutorSession<'_>> {
+        Ok(self.tutor(self.prepare(working_sql)?))
+    }
+
+    /// The advise walk. `use_advice_cache` gates only the whole-advice
+    /// duplicate cache (skipped for one-shot stateless wrappers, where
+    /// populating it is pure overhead); the per-stage and solver-verdict
+    /// memos always apply.
+    fn advise_inner(&self, q: &Query, use_advice_cache: bool) -> QrResult<Advice> {
+        let mut guard = self.state.lock().unwrap();
+        let TargetState { groups, advice_cache, stats } = &mut *guard;
+        stats.advise_calls += 1;
+        if use_advice_cache {
+            if let Some(hit) = advice_cache.get(q) {
+                stats.advice_cache_hits += 1;
+                return Ok(hit.clone());
+            }
+        }
+
+        // ---- Stage 1: FROM ---- (always cheap: a multiset compare)
+        let from_out = from_stage::check_from(&self.target, q);
+        let advice = if !from_out.viable {
+            Advice {
+                stage: Stage::From,
+                hints: from_out.hints,
+                fixed: Some(from_stage::apply_from_fix(q, &self.target)),
+                mapping: None,
+            }
+        } else {
+            // The mapping is recomputed per submission (see [`FromGroup`]
+            // docs): it aligns self-joined aliases by the submission's own
+            // predicate signatures, so it cannot be cached by binding.
+            let mapping = table_mapping(&self.target, q).ok_or_else(|| {
+                QrHintError::Internal("table mapping failed after viable FROM".into())
+            })?;
+            let binding: FromBinding = q
+                .from
+                .iter()
+                .map(|t| (t.alias.clone(), t.table.clone()))
+                .collect();
+            let group = match groups.entry((binding, mapping)) {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    stats.mapping_reuses += 1;
+                    o.into_mut()
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    stats.from_groups += 1;
+                    let mapping = v.key().1.clone();
+                    let unified = unify_target(&self.target, &mapping);
+                    let domain_ctx = self.schema.domain_context(q);
+                    let oracle = Oracle::for_queries(&self.schema, &[&unified, q]);
+                    v.insert(FromGroup {
+                        mapping,
+                        unified,
+                        domain_ctx,
+                        oracle,
+                        memos: Default::default(),
+                    })
+                }
+            };
+            run_stages(StageInputs {
+                oracle: &mut group.oracle,
+                unified: &group.unified,
+                q,
+                cfg: &self.cfg,
+                domain_ctx: &group.domain_ctx,
+                mapping: &group.mapping,
+                memos: &mut group.memos,
+            })?
+        };
+        if use_advice_cache {
+            advice_cache.insert(q.clone(), advice.clone());
+        }
+        Ok(advice)
+    }
+}
+
+/// A stateful tutoring session against one [`PreparedTarget`]: the
+/// advise → apply-fix loop of the paper's user study, one stage
+/// interaction per [`TutorSession::step`].
+///
+/// After a stage's repair is applied, the next step's walk re-verifies
+/// the earlier stages through the prepared target's per-stage memos:
+/// stages whose inputs the repair left unchanged cost no solver work
+/// (their memoized outcome is reused), while a repair that *did* touch
+/// an earlier stage's clauses triggers a genuine re-check — so a
+/// session's final `Done` is always a fully verified equivalence.
+/// [`TutorSession::revise`] accepts an arbitrary user-written revision
+/// in place of the suggested fix.
+pub struct TutorSession<'a> {
+    prepared: &'a PreparedTarget,
+    working: Query,
+    done: bool,
+    trail: Vec<Advice>,
+}
+
+impl TutorSession<'_> {
+    /// The current working query.
+    pub fn working(&self) -> &Query {
+        &self.working
+    }
+
+    /// Advice received so far, in order (one entry per stage
+    /// interaction; ends with the `Done` advice once equivalent).
+    pub fn trail(&self) -> &[Advice] {
+        &self.trail
+    }
+
+    /// Has the session reached equivalence?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Replace the working query with a user-written revision (instead
+    /// of applying the suggested fix).
+    pub fn revise(&mut self, working: Query) {
+        self.working = working;
+        self.done = false;
+    }
+
+    /// One interaction: advise on the current working query (unchanged
+    /// stages are memo hits) and auto-apply the suggested repair, as the
+    /// simulated user of the experiments does. Returns the advice. Once
+    /// the session is `Done`, further steps return the final advice
+    /// unchanged.
+    pub fn step(&mut self) -> QrResult<Advice> {
+        if self.done {
+            if let Some(last) = self.trail.last() {
+                return Ok(last.clone());
+            }
+        }
+        let advice = self.prepared.advise(&self.working)?;
+        self.trail.push(advice.clone());
+        if advice.is_equivalent() {
+            self.done = true;
+        } else {
+            let fixed = advice.fixed.clone().ok_or_else(|| {
+                QrHintError::Internal(format!(
+                    "stage {} produced no applicable fix",
+                    advice.stage
+                ))
+            })?;
+            self.working = fixed;
+        }
+        Ok(advice)
+    }
+
+    /// Drive [`TutorSession::step`] until equivalence, consuming the
+    /// session: the simulated user who applies every suggested repair.
+    /// Returns the final (equivalent) query and the advice trail. Errors
+    /// if the pipeline does not converge within
+    /// [`QrHintConfig::max_stage_applications`] interactions.
+    pub fn run_to_completion(mut self) -> QrResult<(Query, Vec<Advice>)> {
+        let cap = self.prepared.cfg.max_stage_applications;
+        for _ in 0..cap {
+            if self.step()?.is_equivalent() {
+                return Ok((self.working, self.trail));
+            }
+        }
+        Err(QrHintError::Internal(format!(
+            "pipeline did not converge within {cap} stage applications"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QrHint;
+    use qrhint_sqlast::SqlType;
+
+    fn beers_schema() -> Schema {
+        Schema::new()
+            .with_table(
+                "Likes",
+                &[("drinker", SqlType::Str), ("beer", SqlType::Str)],
+                &["drinker", "beer"],
+            )
+            .with_table(
+                "Serves",
+                &[("bar", SqlType::Str), ("beer", SqlType::Str), ("price", SqlType::Int)],
+                &["bar", "beer"],
+            )
+    }
+
+    const TARGET: &str = "SELECT s.bar FROM Serves s WHERE s.price >= 3";
+
+    #[test]
+    fn prepared_matches_stateless_advice() {
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr.compile_target(TARGET).unwrap();
+        for working in [
+            "SELECT s.bar FROM Serves s WHERE s.price > 3",
+            "SELECT x.bar FROM Serves x WHERE x.price >= 3",
+            "SELECT l.beer FROM Likes l",
+        ] {
+            let cold = qr.advise_sql(TARGET, working).unwrap();
+            let warm = prepared.advise_sql(working).unwrap();
+            assert_eq!(cold.stage, warm.stage, "{working}");
+            assert_eq!(cold.hints, warm.hints, "{working}");
+            assert_eq!(cold.fixed, warm.fixed, "{working}");
+        }
+    }
+
+    #[test]
+    fn duplicate_submissions_hit_the_advice_cache() {
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr.compile_target(TARGET).unwrap();
+        let sub = "SELECT s.bar FROM Serves s WHERE s.price > 3";
+        let batch = [sub, sub, sub, sub];
+        let advices = prepared.grade_batch(&batch);
+        assert!(advices.iter().all(|a| a.is_ok()));
+        let stats = prepared.stats();
+        assert_eq!(stats.advise_calls, 4);
+        assert_eq!(stats.advice_cache_hits, 3);
+        assert_eq!(stats.from_groups, 1);
+    }
+
+    #[test]
+    fn same_from_binding_shares_one_oracle() {
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr.compile_target(TARGET).unwrap();
+        prepared.advise_sql("SELECT s.bar FROM Serves s WHERE s.price > 3").unwrap();
+        prepared.advise_sql("SELECT s.bar FROM Serves s WHERE s.price >= 2").unwrap();
+        prepared.advise_sql("SELECT t.bar FROM Serves t WHERE t.price >= 3").unwrap();
+        let stats = prepared.stats();
+        assert_eq!(stats.from_groups, 2, "s-binding shared, t-binding separate");
+        assert_eq!(stats.mapping_reuses, 1);
+    }
+
+    #[test]
+    fn batch_reports_per_submission_errors() {
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr.compile_target(TARGET).unwrap();
+        let advices = prepared.grade_batch(&[
+            "SELECT s.bar FROM Serves s",
+            "SELEKT nonsense",
+        ]);
+        assert!(advices[0].is_ok());
+        assert!(matches!(advices[1], Err(QrHintError::Parse(_))));
+    }
+
+    #[test]
+    fn structure_fix_preserves_lifted_having_conjuncts() {
+        // Regression: de-aggregating (Structure fix) used to drop the
+        // working HAVING wholesale, losing movable conjuncts the WHERE
+        // stage had verified in their lifted position — and a session
+        // could then declare a bogus Done. The fix must keep the
+        // normalized WHERE, and the session's Done must be genuine.
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr
+            .compile_target(
+                "SELECT DISTINCT s.bar FROM Serves s \
+                 WHERE s.price > 3 AND s.beer = 'Bud'",
+            )
+            .unwrap();
+        let session = prepared
+            .tutor_sql(
+                "SELECT s.bar FROM Serves s WHERE s.price > 3 \
+                 GROUP BY s.bar, s.beer HAVING s.beer = 'Bud'",
+            )
+            .unwrap();
+        let (final_q, trail) = session.run_to_completion().unwrap();
+        assert!(trail.last().unwrap().is_equivalent());
+        let cold = qr
+            .advise_sql(
+                "SELECT DISTINCT s.bar FROM Serves s \
+                 WHERE s.price > 3 AND s.beer = 'Bud'",
+                &final_q.to_string(),
+            )
+            .unwrap();
+        assert!(cold.is_equivalent(), "bogus Done: {final_q}");
+        assert!(final_q.to_string().contains("'Bud'"), "lost conjunct: {final_q}");
+    }
+
+    #[test]
+    fn tutor_session_converges_with_stage_memos() {
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr
+            .compile_target(
+                "SELECT s.bar, COUNT(*) FROM Serves s \
+                 WHERE s.price >= 3 GROUP BY s.bar",
+            )
+            .unwrap();
+        let mut session = prepared
+            .tutor_sql("SELECT s.bar, COUNT(*) FROM Serves s WHERE s.price > 3 GROUP BY s.bar, s.beer")
+            .unwrap();
+        let mut stages = Vec::new();
+        while !session.is_done() {
+            stages.push(session.step().unwrap().stage);
+        }
+        assert_eq!(*stages.last().unwrap(), Stage::Done);
+        assert!(stages.contains(&Stage::Where));
+        // Done steps are idempotent.
+        assert!(session.step().unwrap().is_equivalent());
+        // And the final query is genuinely equivalent per a cold check.
+        let final_advice = prepared.advise(session.working()).unwrap();
+        assert!(final_advice.is_equivalent());
+    }
+
+    #[test]
+    fn self_join_submissions_with_swapped_roles_grade_independently() {
+        // Regression: the memo group used to cache the table mapping by
+        // FROM binding alone, but self-join alias alignment depends on
+        // each submission's predicates — a correct answer with the alias
+        // roles swapped relative to an earlier submission was misgraded.
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr
+            .compile_target(
+                "SELECT a.bar FROM Serves a, Serves b \
+                 WHERE a.bar = 'J' AND a.price < b.price",
+            )
+            .unwrap();
+        // First submission fixes the binding {x,y} with mapping a→x, b→y.
+        let first = prepared
+            .advise_sql(
+                "SELECT x.bar FROM Serves x, Serves y \
+                 WHERE x.bar = 'J' AND x.price < y.price",
+            )
+            .unwrap();
+        assert!(first.is_equivalent());
+        // Same binding, swapped roles: needs mapping a→y, b→x.
+        let swapped = prepared
+            .advise_sql(
+                "SELECT y.bar FROM Serves x, Serves y \
+                 WHERE y.bar = 'J' AND y.price < x.price",
+            )
+            .unwrap();
+        assert!(swapped.is_equivalent(), "{:?}", swapped.hints);
+        assert_eq!(prepared.stats().from_groups, 2, "one group per mapping");
+    }
+
+    #[test]
+    fn revise_replaces_the_working_query() {
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr.compile_target(TARGET).unwrap();
+        let mut session =
+            prepared.tutor_sql("SELECT s.bar FROM Serves s WHERE s.price > 3").unwrap();
+        session.step().unwrap();
+        // The user types a fresh (wrong-FROM) attempt instead.
+        let revision = prepared.prepare("SELECT l.beer FROM Likes l").unwrap();
+        session.revise(revision);
+        assert!(!session.is_done());
+        let advice = session.step().unwrap();
+        assert_eq!(advice.stage, Stage::From);
+    }
+}

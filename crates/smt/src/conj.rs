@@ -83,15 +83,15 @@ pub fn check_conjunction(lits: &[Lit], pool: &mut VarPool) -> (SatResult, Option
                         Rel::Ne => str_constraints.push(StrConstraint::Ne(lo, ro)),
                         // Lexicographic order on string variables: decide
                         // only the constant-constant case; otherwise
-                        // unknown (conservative).
-                        _ => match (&lo, &ro) {
-                            (StrOperand::Const(a), StrOperand::Const(b)) => {
+                        // unknown (conservative; skipped pairs are caught
+                        // by the final validation).
+                        _ => {
+                            if let (StrOperand::Const(a), StrOperand::Const(b)) = (&lo, &ro) {
                                 if !rel.eval(a, b) {
                                     return (SatResult::Unsat, None);
                                 }
                             }
-                            _ => {} // skipped, caught by final validation
-                        },
+                        }
                     }
                 } else {
                     let le = linearize(l, pool, &mut opaque);

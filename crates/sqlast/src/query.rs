@@ -2,12 +2,13 @@
 
 use crate::expr::{ColRef, Scalar};
 use crate::pred::Pred;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// One table reference in `FROM`, with its alias (defaults to the table
 /// name per §4 of the paper).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TableRef {
     /// Underlying table name (lower-cased).
     pub table: String,
@@ -40,7 +41,7 @@ impl fmt::Display for TableRef {
 }
 
 /// One output expression in `SELECT`, with an optional output alias.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SelectItem {
     pub expr: Scalar,
     pub alias: Option<String>,
@@ -64,7 +65,11 @@ impl fmt::Display for SelectItem {
 }
 
 /// A single-block SPJ/SPJA query (§3).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` make resolved queries usable as memoization keys in the
+/// session layer (`qrhint-core`'s `PreparedTarget`); the serde derives
+/// make advice (which embeds fixed queries) machine-consumable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Query {
     pub distinct: bool,
     pub select: Vec<SelectItem>,

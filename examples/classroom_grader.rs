@@ -3,6 +3,11 @@
 //! every submission, print per-question statistics and a few sample
 //! hint transcripts.
 //!
+//! Uses the session API: each question's hidden target is compiled
+//! **once** ([`QrHint::compile_target`]) and every submission for that
+//! question is graded against the prepared target, sharing its memoized
+//! table mappings and solver verdicts.
+//!
 //! Run with: `cargo run --release --example classroom_grader`
 
 use qr_hint::prelude::*;
@@ -24,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         converged: usize,
     }
     let mut per_question: BTreeMap<&str, Tally> = BTreeMap::new();
+    let mut prepared: BTreeMap<String, PreparedTarget> = BTreeMap::new();
     let mut first_stage: BTreeMap<String, usize> = BTreeMap::new();
     let started = Instant::now();
     let mut samples_shown = 0;
@@ -32,17 +38,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tally = per_question.entry(entry.question).or_default();
         tally.total += 1;
         if entry.category == "UNSUPPORTED" {
-            // The parser reports exactly why.
-            let err = qr
-                .advise_sql(&entry.pair.target_sql, &entry.pair.working_sql)
-                .unwrap_err();
-            let _ = err;
+            // grade_batch surfaces the parser's reason in place; here we
+            // just tally it.
             tally.unsupported += 1;
             continue;
         }
-        let target = qr.prepare(&entry.pair.target_sql)?;
-        let working = qr.prepare(&entry.pair.working_sql)?;
-        let advice = qr.advise(&target, &working)?;
+        // One compiled target per question, shared by all its submissions.
+        let target = match prepared.entry(entry.pair.target_sql.clone()) {
+            std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(qr.compile_target(&entry.pair.target_sql)?)
+            }
+        };
+        let working = target.prepare(&entry.pair.working_sql)?;
+        let advice = target.advise(&working)?;
         if advice.is_equivalent() {
             tally.equivalent += 1;
             continue;
@@ -58,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             println!();
         }
-        let (_, trail) = qr.fix_fully(&target, &working)?;
+        let (_, trail) = target.tutor(working).run_to_completion()?;
         if trail.last().map(|a| a.is_equivalent()).unwrap_or(false) {
             tally.converged += 1;
         }
@@ -80,5 +89,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         started.elapsed(),
         started.elapsed().as_millis() as f64 / corpus.len() as f64
     );
+    for (sql, target) in &prepared {
+        let s = target.stats();
+        println!(
+            "  target `{}…`: {} advises, {} duplicate hits, {} FROM groups",
+            sql.chars().take(40).collect::<String>().replace('\n', " "),
+            s.advise_calls,
+            s.advice_cache_hits,
+            s.from_groups
+        );
+    }
     Ok(())
 }

@@ -52,7 +52,8 @@ pub use qrhint_workloads as workloads;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use qrhint_core::{
-        Advice, ClauseKind, Hint, QrHint, QrHintConfig, RepairConfig, SiteHint, Stage,
+        Advice, ClauseKind, Hint, PreparedTarget, QrHint, QrHintConfig, RepairConfig,
+        SessionStats, SiteHint, Stage, TutorSession,
     };
     pub use qrhint_engine::{DataGen, Database};
     pub use qrhint_sqlast::{Query, Schema, SqlType};

@@ -1,128 +1,390 @@
 //! `qr-hint` command-line interface.
 //!
 //! ```text
-//! qr-hint --schema schema.sql --target solution.sql --working student.sql
-//!         [--interactive] [--extended] [--rewrite-subqueries]
+//! qr-hint [advise] --schema schema.sql --target solution.sql --working student.sql
+//!         [--interactive] [--extended] [--rewrite-subqueries] [--json]
+//! qr-hint grade --schema schema.sql --target solution.sql --submissions dir/
+//!         [--extended] [--rewrite-subqueries] [--json]
+//! qr-hint --version
 //! ```
 //!
-//! Prints the hints for the first failing stage; with `--interactive`,
-//! auto-applies each stage's repair and keeps going until the working
-//! query is equivalent to the target (showing every hint on the way).
+//! **advise** (the default mode) prints the hints for the first failing
+//! stage; with `--interactive`, auto-applies each stage's repair and keeps
+//! going until the working query is equivalent to the target (showing
+//! every hint on the way). **grade** compiles the target once and grades
+//! every `*.sql` file in a submissions directory — the classroom batch
+//! mode, backed by [`PreparedTarget::grade_batch`]'s memoization.
+//!
+//! `--json` switches either mode to machine-readable output: the full
+//! serde-serialized [`Advice`] plus the rendered hint strings.
 //! `--extended` enables the multi-block front-end (footnote 2 of the
 //! paper: WITH, aggregation-free FROM subqueries, non-outer JOINs);
 //! `--rewrite-subqueries` additionally opts into the positive EXISTS/IN
 //! join rewrite of §3 (duplicate-count caveat applies).
+//!
+//! Exit codes distinguish whose fault a failure is:
+//! `0` success · `1` internal/tool error · `2` usage error ·
+//! `3` the **working/submitted** SQL is malformed or unsupported
+//! (graders can separate "student wrote bad SQL" from "tool bug").
 
 use qr_hint::prelude::*;
+use qrhint_core::QrHintError;
 use qrhint_sqlparse::parse_schema;
+use serde::Serialize;
 use std::process::ExitCode;
 
+const EXIT_INTERNAL: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_BAD_WORKING: u8 = 3;
+
+struct CliError {
+    msg: String,
+    code: u8,
+}
+
+impl CliError {
+    fn internal(msg: impl Into<String>) -> CliError {
+        CliError { msg: msg.into(), code: EXIT_INTERNAL }
+    }
+
+    fn bad_working(msg: impl Into<String>) -> CliError {
+        CliError { msg: msg.into(), code: EXIT_BAD_WORKING }
+    }
+}
+
+enum Mode {
+    Advise,
+    Grade,
+}
+
 struct Args {
+    mode: Mode,
     schema: String,
     target: String,
-    working: String,
+    /// advise mode: the student's working query file.
+    working: Option<String>,
+    /// grade mode: directory of `*.sql` submissions.
+    submissions: Option<String>,
     interactive: bool,
     extended: bool,
     rewrite_subqueries: bool,
+    json: bool,
 }
+
+const USAGE: &str = "usage: qr-hint [advise] --schema <schema.sql> --target <solution.sql> \
+                     --working <student.sql> [--interactive] [--extended] \
+                     [--rewrite-subqueries] [--json]\n\
+                     \x20      qr-hint grade --schema <schema.sql> --target <solution.sql> \
+                     --submissions <dir> [--extended] [--rewrite-subqueries] [--json]\n\
+                     \x20      qr-hint --version";
 
 fn parse_args() -> Result<Args, String> {
     let mut schema = None;
     let mut target = None;
     let mut working = None;
+    let mut submissions = None;
     let mut interactive = false;
     let mut extended = false;
     let mut rewrite_subqueries = false;
-    let mut it = std::env::args().skip(1);
+    let mut json = false;
+    let mut mode = Mode::Advise;
+    let mut it = std::env::args().skip(1).peekable();
+    // Optional leading subcommand.
+    match it.peek().map(String::as_str) {
+        Some("advise") => {
+            it.next();
+        }
+        Some("grade") => {
+            mode = Mode::Grade;
+            it.next();
+        }
+        _ => {}
+    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--schema" => schema = Some(it.next().ok_or("--schema needs a file")?),
             "--target" => target = Some(it.next().ok_or("--target needs a file")?),
             "--working" => working = Some(it.next().ok_or("--working needs a file")?),
+            "--submissions" => {
+                submissions = Some(it.next().ok_or("--submissions needs a directory")?)
+            }
             "--interactive" | "-i" => interactive = true,
             "--extended" | "-x" => extended = true,
             "--rewrite-subqueries" => {
                 extended = true;
                 rewrite_subqueries = true;
             }
-            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--json" => json = true,
+            // --help/--version are intercepted in main() (success path).
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
+    let schema = schema.ok_or_else(|| format!("--schema is required\n{USAGE}"))?;
+    let target = target.ok_or_else(|| format!("--target is required\n{USAGE}"))?;
+    match mode {
+        Mode::Advise if working.is_none() => {
+            return Err(format!("--working is required\n{USAGE}"))
+        }
+        Mode::Grade if submissions.is_none() => {
+            return Err(format!("grade mode requires --submissions\n{USAGE}"))
+        }
+        _ => {}
+    }
     Ok(Args {
-        schema: schema.ok_or_else(|| format!("--schema is required\n{USAGE}"))?,
-        target: target.ok_or_else(|| format!("--target is required\n{USAGE}"))?,
-        working: working.ok_or_else(|| format!("--working is required\n{USAGE}"))?,
+        mode,
+        schema,
+        target,
+        working,
+        submissions,
         interactive,
         extended,
         rewrite_subqueries,
+        json,
     })
 }
 
-const USAGE: &str = "usage: qr-hint --schema <schema.sql> --target <solution.sql> \
-                     --working <student.sql> [--interactive] [--extended] \
-                     [--rewrite-subqueries]";
+/// One advice, JSON-ready: rendered hints next to the full structured
+/// [`Advice`] (stage, hint data, fixed query, alias mapping).
+#[derive(Serialize)]
+struct AdviceReport {
+    equivalent: bool,
+    stage: String,
+    rendered_hints: Vec<String>,
+    fixed_sql: Option<String>,
+    advice: Advice,
+}
 
-fn run(args: &Args) -> Result<(), String> {
-    let read = |path: &str| {
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
-    };
-    let schema =
-        parse_schema(&read(&args.schema)?).map_err(|e| format!("schema: {e}"))?;
+impl AdviceReport {
+    fn new(advice: Advice) -> AdviceReport {
+        AdviceReport {
+            equivalent: advice.is_equivalent(),
+            stage: advice.stage.to_string(),
+            rendered_hints: advice.hints.iter().map(|h| h.to_string()).collect(),
+            fixed_sql: advice.fixed.as_ref().map(|q| q.to_string()),
+            advice,
+        }
+    }
+}
+
+/// One graded submission in batch mode.
+#[derive(Serialize)]
+struct GradeEntry {
+    file: String,
+    ok: bool,
+    /// Parse/resolve/unsupported error for this submission, if any.
+    error: Option<String>,
+    report: Option<AdviceReport>,
+}
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| CliError::internal(format!("cannot read {path}: {e}")))
+}
+
+/// Classify a pipeline error on the *working* side: the student's SQL
+/// being malformed/unsupported is their problem (exit 3), anything else
+/// is ours (exit 1).
+fn working_error(e: QrHintError) -> CliError {
+    match e {
+        QrHintError::Parse(_) | QrHintError::Resolve(_) | QrHintError::Unsupported(_) => {
+            CliError::bad_working(format!("working query: {e}"))
+        }
+        other => CliError::internal(format!("working query: {other}")),
+    }
+}
+
+fn compile(args: &Args) -> Result<PreparedTarget, CliError> {
+    let schema = parse_schema(&read(&args.schema)?)
+        .map_err(|e| CliError::internal(format!("schema: {e}")))?;
     let qr = QrHint::new(schema);
     let opts = FlattenOptions { rewrite_positive_subqueries: args.rewrite_subqueries };
-    let prep = |sql: &str| {
-        if args.extended {
-            qr.prepare_extended(sql, &opts)
-        } else {
-            qr.prepare(sql)
-        }
+    let target_sql = read(&args.target)?;
+    let prepared = if args.extended {
+        qr.compile_target_extended(&target_sql, &opts)
+    } else {
+        qr.compile_target(&target_sql)
     };
-    let target = prep(&read(&args.target)?).map_err(|e| format!("target query: {e}"))?;
-    let mut working =
-        prep(&read(&args.working)?).map_err(|e| format!("working query: {e}"))?;
+    prepared.map_err(|e| CliError::internal(format!("target query: {e}")))
+}
 
-    let mut round = 1;
-    loop {
-        let advice = qr.advise(&target, &working).map_err(|e| e.to_string())?;
+fn prepare_working(
+    prepared: &PreparedTarget,
+    args: &Args,
+    sql: &str,
+) -> Result<Query, QrHintError> {
+    if args.extended {
+        let opts = FlattenOptions { rewrite_positive_subqueries: args.rewrite_subqueries };
+        prepared.prepare_extended(sql, &opts)
+    } else {
+        prepared.prepare(sql)
+    }
+}
+
+fn emit_json<T: Serialize>(value: &T) -> Result<(), CliError> {
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| CliError::internal(format!("JSON serialization failed: {e}")))?;
+    println!("{json}");
+    Ok(())
+}
+
+fn run_advise(args: &Args) -> Result<(), CliError> {
+    let prepared = compile(args)?;
+    let working_sql = read(args.working.as_deref().expect("checked in parse_args"))?;
+    let working = prepare_working(&prepared, args, &working_sql).map_err(working_error)?;
+
+    if !args.interactive {
+        let advice = prepared.advise(&working).map_err(|e| CliError::internal(e.to_string()))?;
+        if args.json {
+            return emit_json(&AdviceReport::new(advice));
+        }
+        if advice.is_equivalent() {
+            println!("✓ The working query is already equivalent to the target.");
+        } else {
+            println!("[1] stage {}:", advice.stage);
+            for hint in &advice.hints {
+                println!("  {hint}");
+            }
+        }
+        return Ok(());
+    }
+
+    // Interactive: the session loop, skipping cleared stages.
+    let mut session = prepared.tutor(working);
+    let mut reports = Vec::new();
+    let mut round = 0usize;
+    let cap = prepared.config().max_stage_applications;
+    while !session.is_done() {
+        round += 1;
+        if round > cap {
+            return Err(CliError::internal(format!(
+                "did not converge within {cap} stage applications"
+            )));
+        }
+        let advice = session.step().map_err(|e| CliError::internal(e.to_string()))?;
+        if args.json {
+            reports.push(AdviceReport::new(advice));
+            continue;
+        }
         if advice.is_equivalent() {
             if round == 1 {
                 println!("✓ The working query is already equivalent to the target.");
             } else {
                 println!("✓ Equivalent after {} stage(s).", round - 1);
-                println!("Final query:\n  {working}");
+                println!("Final query:\n  {}", session.working());
             }
-            return Ok(());
-        }
-        println!("[{}] stage {}:", round, advice.stage);
-        for hint in &advice.hints {
-            println!("  {hint}");
-        }
-        if !args.interactive {
-            return Ok(());
-        }
-        working = advice
-            .fixed
-            .ok_or_else(|| "stage produced no applicable fix".to_string())?;
-        round += 1;
-        if round > 16 {
-            return Err("did not converge within 16 stages".into());
+        } else {
+            println!("[{}] stage {}:", round, advice.stage);
+            for hint in &advice.hints {
+                println!("  {hint}");
+            }
         }
     }
+    if args.json {
+        emit_json(&reports)?;
+    }
+    Ok(())
+}
+
+fn run_grade(args: &Args) -> Result<(), CliError> {
+    let prepared = compile(args)?;
+    let dir = args.submissions.as_deref().expect("checked in parse_args");
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CliError::internal(format!("cannot read {dir}: {e}")))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "sql"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(CliError::internal(format!("no *.sql submissions in {dir}")));
+    }
+
+    let mut entries = Vec::new();
+    for path in &files {
+        let file = path.display().to_string();
+        let entry = match std::fs::read_to_string(path) {
+            Err(e) => GradeEntry {
+                file,
+                ok: false,
+                error: Some(format!("cannot read: {e}")),
+                report: None,
+            },
+            Ok(sql) => match prepare_working(&prepared, args, &sql)
+                .and_then(|q| prepared.advise(&q))
+            {
+                Ok(advice) => GradeEntry {
+                    file,
+                    ok: true,
+                    error: None,
+                    report: Some(AdviceReport::new(advice)),
+                },
+                Err(e) => GradeEntry {
+                    file,
+                    ok: false,
+                    error: Some(e.to_string()),
+                    report: None,
+                },
+            },
+        };
+        entries.push(entry);
+    }
+
+    if args.json {
+        return emit_json(&entries);
+    }
+    let equivalent =
+        entries.iter().filter(|e| e.report.as_ref().is_some_and(|r| r.equivalent)).count();
+    let malformed = entries.iter().filter(|e| !e.ok).count();
+    for e in &entries {
+        match (&e.report, &e.error) {
+            (Some(r), _) if r.equivalent => println!("✓ {}", e.file),
+            (Some(r), _) => {
+                println!("✗ {} — stage {}:", e.file, r.stage);
+                for hint in &r.rendered_hints {
+                    println!("    {hint}");
+                }
+            }
+            (None, Some(err)) => println!("! {} — {err}", e.file),
+            (None, None) => unreachable!("entry without report or error"),
+        }
+    }
+    println!(
+        "\n{} submission(s): {} equivalent, {} hinted, {} malformed",
+        entries.len(),
+        equivalent,
+        entries.len() - equivalent - malformed,
+        malformed
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
+    // `--version`/`--help` anywhere on the line: print to stdout, exit 0.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--version" || a == "-V") {
+        println!("qr-hint {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     match parse_args() {
         Err(msg) => {
             eprintln!("{msg}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_USAGE)
         }
-        Ok(args) => match run(&args) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                ExitCode::FAILURE
+        Ok(args) => {
+            let result = match args.mode {
+                Mode::Advise => run_advise(&args),
+                Mode::Grade => run_grade(&args),
+            };
+            match result {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {}", e.msg);
+                    ExitCode::from(e.code)
+                }
             }
-        },
+        }
     }
 }

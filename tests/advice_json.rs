@@ -1,0 +1,216 @@
+//! JSON serialization of advice: golden snapshots for every [`Hint`]
+//! variant and a serialize/deserialize round-trip property test over
+//! whole [`Advice`] values.
+
+use qr_hint::prelude::*;
+use qrhint_sqlparse::{parse_pred, parse_query, parse_scalar};
+
+fn every_hint_variant() -> Vec<Hint> {
+    vec![
+        Hint::FromTableCount { table: "frequents".into(), have: 0, want: 1 },
+        Hint::Structure { needs_grouping: true },
+        Hint::PredicateRepair {
+            clause: ClauseKind::Where,
+            sites: vec![SiteHint {
+                path: vec![3],
+                current: parse_pred("s1.price > s2.price").unwrap(),
+                fix: parse_pred("s1.price >= s2.price").unwrap(),
+            }],
+            cost: 0.25,
+        },
+        Hint::GroupByRemove { expr: parse_scalar("t.a").unwrap() },
+        Hint::GroupByMissing { count: 2 },
+        Hint::SelectReplace { position: 2, current: parse_scalar("s2.beer").unwrap() },
+        Hint::SelectRemove { position: 3, current: parse_scalar("s2.bar").unwrap() },
+        Hint::SelectMissing { count: 1 },
+        Hint::DistinctMismatch { need_distinct: true },
+    ]
+}
+
+/// Every `Hint` enum variant must appear in `every_hint_variant` — a
+/// tripwire so adding a variant forces extending these tests.
+#[test]
+fn fixture_covers_every_variant() {
+    let discriminants: std::collections::HashSet<_> =
+        every_hint_variant().iter().map(std::mem::discriminant).collect();
+    assert_eq!(discriminants.len(), 9, "duplicate or missing variants in fixture");
+}
+
+#[test]
+fn golden_hint_snapshots() {
+    let golden = [
+        r#"{"FromTableCount":{"table":"frequents","have":0,"want":1}}"#,
+        r#"{"Structure":{"needs_grouping":true}}"#,
+        r#"{"PredicateRepair":{"clause":"Where","sites":[{"path":[3],"current":{"Cmp":[{"Col":{"table":"s1","column":"price"}},"Gt",{"Col":{"table":"s2","column":"price"}}]},"fix":{"Cmp":[{"Col":{"table":"s1","column":"price"}},"Ge",{"Col":{"table":"s2","column":"price"}}]}}],"cost":0.25}}"#,
+        r#"{"GroupByRemove":{"expr":{"Col":{"table":"t","column":"a"}}}}"#,
+        r#"{"GroupByMissing":{"count":2}}"#,
+        r#"{"SelectReplace":{"position":2,"current":{"Col":{"table":"s2","column":"beer"}}}}"#,
+        r#"{"SelectRemove":{"position":3,"current":{"Col":{"table":"s2","column":"bar"}}}}"#,
+        r#"{"SelectMissing":{"count":1}}"#,
+        r#"{"DistinctMismatch":{"need_distinct":true}}"#,
+    ];
+    for (hint, want) in every_hint_variant().iter().zip(golden) {
+        let got = serde_json::to_string(hint).unwrap();
+        assert_eq!(got, want, "snapshot drift for {hint:?}");
+    }
+}
+
+#[test]
+fn every_hint_variant_round_trips_inside_advice() {
+    let fixed = parse_query(
+        "SELECT s.bar, COUNT(*) FROM Serves s \
+         WHERE s.price >= 3 GROUP BY s.bar HAVING COUNT(*) >= 2",
+    )
+    .unwrap();
+    let mapping: std::collections::BTreeMap<String, String> =
+        [("s1".to_string(), "s".to_string())].into_iter().collect();
+    for hint in every_hint_variant() {
+        let advice = Advice {
+            stage: Stage::Where,
+            hints: vec![hint],
+            fixed: Some(fixed.clone()),
+            mapping: Some(mapping.clone()),
+        };
+        let json = serde_json::to_string(&advice).unwrap();
+        let back: Advice = serde_json::from_str(&json).unwrap();
+        assert_eq!(advice, back, "round-trip drift via {json}");
+    }
+}
+
+#[test]
+fn whole_clause_fallback_cost_round_trips() {
+    // The pipeline's whole-clause-replacement fallback uses f64::MAX (not
+    // infinity, which JSON cannot represent) — it must survive a
+    // round-trip exactly.
+    let hint = Hint::PredicateRepair {
+        clause: ClauseKind::Having,
+        sites: vec![],
+        cost: f64::MAX,
+    };
+    let json = serde_json::to_string(&hint).unwrap();
+    let back: Hint = serde_json::from_str(&json).unwrap();
+    assert_eq!(hint, back);
+}
+
+#[test]
+fn done_advice_round_trips_with_null_fields() {
+    let advice = Advice { stage: Stage::Done, hints: vec![], fixed: None, mapping: None };
+    let json = serde_json::to_string(&advice).unwrap();
+    assert_eq!(json, r#"{"stage":"Done","hints":[],"fixed":null,"mapping":null}"#);
+    let back: Advice = serde_json::from_str(&json).unwrap();
+    assert_eq!(advice, back);
+}
+
+#[test]
+fn pipeline_advice_round_trips_end_to_end() {
+    // Real advice out of the pipeline (not hand-built), through JSON and
+    // back, for each stage of the paper's Example 2 walk.
+    let schema = Schema::new()
+        .with_table(
+            "Likes",
+            &[("drinker", SqlType::Str), ("beer", SqlType::Str)],
+            &["drinker", "beer"],
+        )
+        .with_table(
+            "Frequents",
+            &[("drinker", SqlType::Str), ("bar", SqlType::Str)],
+            &["drinker", "bar"],
+        )
+        .with_table(
+            "Serves",
+            &[("bar", SqlType::Str), ("beer", SqlType::Str), ("price", SqlType::Int)],
+            &["bar", "beer"],
+        );
+    let qr = QrHint::new(schema);
+    let target = "SELECT L.beer, S1.bar, COUNT(*)
+        FROM Likes L, Frequents F, Serves S1, Serves S2
+        WHERE L.drinker = F.drinker AND F.bar = S1.bar
+          AND L.beer = S1.beer AND S1.beer = S2.beer
+          AND S1.price <= S2.price
+        GROUP BY F.drinker, L.beer, S1.bar
+        HAVING F.drinker = 'Amy'";
+    let working = "SELECT s2.beer, s2.bar, COUNT(*)
+        FROM Likes, Serves s1, Serves s2
+        WHERE drinker = 'Amy'
+          AND Likes.beer = s1.beer AND Likes.beer = s2.beer
+          AND s1.price > s2.price
+        GROUP BY s2.beer, s2.bar";
+    let q_star = qr.prepare(target).unwrap();
+    let q = qr.prepare(working).unwrap();
+    let (_, trail) = qr.fix_fully(&q_star, &q).unwrap();
+    assert!(trail.len() >= 3, "expected a multi-stage trail");
+    for advice in &trail {
+        let json = serde_json::to_string(advice).unwrap();
+        let back: Advice = serde_json::from_str(&json).unwrap();
+        assert_eq!(*advice, back, "stage {}", advice.stage);
+    }
+}
+
+mod proptest_roundtrip {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_scalar() -> impl Strategy<Value = qr_hint::ast::Scalar> {
+        prop_oneof![
+            (0i64..100).prop_map(qr_hint::ast::Scalar::Int),
+            ("[a-z]{1,6}", "[a-z]{1,6}")
+                .prop_map(|(t, c)| qr_hint::ast::Scalar::col(&t, &c)),
+        ]
+    }
+
+    fn arb_pred() -> impl Strategy<Value = qr_hint::ast::Pred> {
+        use qr_hint::ast::{CmpOp, Pred};
+        let leaf = (arb_scalar(), arb_scalar(), prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Ge),
+        ])
+        .prop_map(|(l, r, op)| Pred::cmp(l, op, r));
+        leaf.prop_recursive(2, 8, 3, |inner| {
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Pred::and)
+        })
+    }
+
+    fn arb_hint() -> impl Strategy<Value = Hint> {
+        prop_oneof![
+            ("[a-z]{1,8}", 0usize..4, 0usize..4)
+                .prop_map(|(table, have, want)| Hint::FromTableCount { table, have, want }),
+            any::<bool>().prop_map(|needs_grouping| Hint::Structure { needs_grouping }),
+            (arb_pred(), arb_pred(), 0i64..40, any::<bool>()).prop_map(
+                |(current, fix, quarters, wh)| Hint::PredicateRepair {
+                    clause: if wh { ClauseKind::Where } else { ClauseKind::Having },
+                    sites: vec![SiteHint { path: vec![0, 1], current, fix }],
+                    cost: quarters as f64 * 0.25,
+                }
+            ),
+            arb_scalar().prop_map(|expr| Hint::GroupByRemove { expr }),
+            (1usize..5).prop_map(|count| Hint::GroupByMissing { count }),
+            (1usize..5, arb_scalar())
+                .prop_map(|(position, current)| Hint::SelectReplace { position, current }),
+            (1usize..5, arb_scalar())
+                .prop_map(|(position, current)| Hint::SelectRemove { position, current }),
+            (1usize..5).prop_map(|count| Hint::SelectMissing { count }),
+            any::<bool>().prop_map(|need_distinct| Hint::DistinctMismatch { need_distinct }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn advice_round_trips(
+            hints in prop::collection::vec(arb_hint(), 0..4),
+            done in any::<bool>(),
+        ) {
+            let advice = Advice {
+                stage: if done { Stage::Done } else { Stage::Where },
+                hints,
+                fixed: None,
+                mapping: Some(
+                    [("a".to_string(), "b".to_string())].into_iter().collect(),
+                ),
+            };
+            let json = serde_json::to_string(&advice).unwrap();
+            let back: Advice = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(advice, back);
+        }
+    }
+}

@@ -80,17 +80,22 @@ pub fn test_rng(test_name: &str) -> TestRng {
 pub struct ProptestConfig {
     /// Number of random cases each property runs.
     pub cases: u32,
+    /// Accepted for API compatibility with real proptest; the shim does
+    /// not shrink, so this is never consulted. Its presence also keeps
+    /// the idiomatic `ProptestConfig { cases, ..Default::default() }`
+    /// meaningful (real proptest has many more fields).
+    pub max_shrink_iters: u32,
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig { cases: 256, max_shrink_iters: 1024 }
     }
 }
 
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig { cases, ..Default::default() }
     }
 }
 

@@ -66,6 +66,11 @@ fn write_float(out: &mut String, f: f64) {
         // Like serde_json: integral floats print with a trailing `.0`.
         if f == f.trunc() && f.abs() < 1e15 {
             let _ = write!(out, "{:.1}", f);
+        } else if f != 0.0 && (f.abs() >= 1e16 || f.abs() < 1e-6) {
+            // Exponent form for extreme magnitudes (e.g. f64::MAX):
+            // `{}` would print a 300-digit integer-looking literal that
+            // is not round-trippable through the number parser.
+            let _ = write!(out, "{:e}", f);
         } else {
             let _ = write!(out, "{}", f);
         }
