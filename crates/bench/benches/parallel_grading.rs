@@ -1,0 +1,38 @@
+//! Criterion microbench for parallel batch grading: one shared
+//! `PreparedTarget` graded sequentially vs through the scoped worker
+//! pool. The full comparison (with the persisted
+//! `BENCH_parallel_grading.json` artifact, parity checks and the
+//! 4-thread gate) lives in the `exp_parallel_grading` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qr_hint::prelude::*;
+use qrhint_bench::parallel_grading;
+
+fn parallel_batch_grading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_grading");
+    group.sample_size(10);
+    let (_, schema, target, subs) = parallel_grading::workloads(16).remove(1);
+    let qr = QrHint::new(schema);
+    group.bench_function("grade_batch_sequential", |b| {
+        b.iter(|| {
+            let prepared = qr.compile_target(&target).unwrap();
+            prepared.grade_batch(&subs).into_iter().filter(|a| a.is_ok()).count()
+        })
+    });
+    for jobs in [2usize, 4] {
+        group.bench_function(format!("grade_batch_parallel_j{jobs}"), |b| {
+            b.iter(|| {
+                let prepared = qr.compile_target(&target).unwrap();
+                prepared
+                    .grade_batch_parallel(&subs, jobs)
+                    .into_iter()
+                    .filter(|a| a.is_ok())
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_batch_grading);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Parallel-grading benchmark binary: sequential `grade_batch` vs
+//! `grade_batch_parallel` at 2/4/8 threads on 50-distinct-submission
+//! students/beers batches. Persists `BENCH_parallel_grading.json` in
+//! the working directory (run from the repo root) and exits nonzero if
+//! parity breaks or the ≥2.5×-at-4-threads gate fails on a host that
+//! could have met it (<4-core hosts record a waiver instead — the gate
+//! needs hardware parallelism to exist).
+
+use qrhint_bench::{parallel_grading, report};
+
+fn main() {
+    let report = parallel_grading::run(50);
+    println!(
+        "{}",
+        report::table(
+            &["workload", "mode", "jobs", "batch", "ms", "subs/s", "speedup", "parity"],
+            &report
+                .rows
+                .iter()
+                .map(|r| vec![
+                    r.workload.clone(),
+                    r.mode.clone(),
+                    r.jobs.to_string(),
+                    r.batch_size.to_string(),
+                    format!("{:.1}", r.ms),
+                    format!("{:.0}", r.throughput_per_s),
+                    format!("{:.2}x", r.speedup_vs_sequential),
+                    if r.parity_ok { "ok".into() } else { "MISMATCH".into() },
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    println!(
+        "host cores: {} · best 4-thread speedup: {:.2}x (gate ≥{:.1}x{})",
+        report.cores,
+        report.best_speedup_at_4,
+        report.gate_threshold,
+        if report.gate_waived_low_cores { ", waived: <4 cores" } else { "" }
+    );
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_parallel_grading.json", &json)
+        .expect("can write BENCH_parallel_grading.json");
+    println!("(wrote BENCH_parallel_grading.json)");
+    if !report.parity_ok {
+        eprintln!("FAIL: a parallel run diverged from the sequential output");
+        std::process::exit(1);
+    }
+    if !report.gate_ok {
+        eprintln!(
+            "FAIL: best 4-thread speedup {:.2}x below the {:.1}x gate on a {}-core host",
+            report.best_speedup_at_4, report.gate_threshold, report.cores
+        );
+        std::process::exit(1);
+    }
+}

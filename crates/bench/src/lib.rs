@@ -15,12 +15,14 @@
 //! | `exp_user_study` | Figures 5–6 — simulated-participant replay |
 //! | `exp_dblp_hints` | App. Tables 2–3 — study hints regeneration |
 //! | `exp_session_api` | Session API: cold vs prepared-target grading (`BENCH_session_api.json`) |
+//! | `exp_parallel_grading` | Worker-pool batch grading: sequential vs 2/4/8 threads (`BENCH_parallel_grading.json`) |
 
 #![forbid(unsafe_code)]
 
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod parallel_grading;
 pub mod report;
 pub mod session_api;
 pub mod students_exp;

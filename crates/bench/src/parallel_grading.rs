@@ -1,0 +1,253 @@
+//! Parallel-grading benchmark: sequential [`PreparedTarget::grade_batch`]
+//! vs [`PreparedTarget::grade_batch_parallel`] at 2/4/8 worker threads,
+//! on distinct-submission classroom batches (students question (b) and
+//! the fault-injected beers batch — the same workloads as the
+//! session-API benchmark, deduplicated so the advice cache cannot mask
+//! the scaling story).
+//!
+//! Every timed repetition compiles a **fresh** prepared target: the
+//! whole-advice cache would otherwise serve the second run from the
+//! first run's answers and report a fictitious speedup. Parity is
+//! checked advice-by-advice (serde-JSON fingerprints, errors included)
+//! against the sequential output — the parallel path must be
+//! byte-identical in input order, not just "roughly equal".
+//!
+//! The acceptance gate is ≥2.5× throughput at 4 threads on at least one
+//! of the distinct-submission batches. That target needs ≥4 hardware
+//! threads; on smaller hosts (CI sandboxes are often pinned to one
+//! core) the gate is recorded as **waived** — `cores`,
+//! `gate_waived_low_cores` and the measured speedups all land in
+//! `BENCH_parallel_grading.json`, so a reader can tell "the machine
+//! couldn't" from "the code didn't".
+//!
+//! Results are persisted as `BENCH_parallel_grading.json` in the
+//! working directory (run from the repo root: `cargo run --release
+//! --bin exp_parallel_grading`).
+
+use crate::session_api;
+use qr_hint::prelude::*;
+use qrhint_core::QrResult;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+/// One (workload, mode) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelGradingRow {
+    pub workload: String,
+    /// Distinct submissions graded against the one target.
+    pub batch_size: usize,
+    /// `"sequential"` (`grade_batch`) or `"parallel"`
+    /// (`grade_batch_parallel`).
+    pub mode: String,
+    /// Worker threads (1 for the sequential baseline).
+    pub jobs: usize,
+    /// Min-of-reps wall-clock for the whole batch, compile included.
+    pub ms: f64,
+    /// Submissions per second at that wall-clock.
+    pub throughput_per_s: f64,
+    /// This row's throughput over the sequential baseline's.
+    pub speedup_vs_sequential: f64,
+    /// Advice-by-advice serde-JSON equality with the sequential output
+    /// (trivially true for the baseline row).
+    pub parity_ok: bool,
+}
+
+/// The full benchmark artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelGradingReport {
+    /// `std::thread::available_parallelism()` on the host that produced
+    /// the numbers — the context every speedup below must be read in.
+    pub cores: usize,
+    pub rows: Vec<ParallelGradingRow>,
+    /// 4-thread speedup per workload.
+    pub speedup_at_4_by_workload: BTreeMap<String, f64>,
+    pub best_speedup_at_4: f64,
+    /// The acceptance gate: ≥ this speedup at 4 threads on some
+    /// distinct-submission batch.
+    pub gate_threshold: f64,
+    /// Did a 4-thread run actually hit the gate?
+    pub speedup_at_4_ok: bool,
+    /// True when the host has fewer than 4 cores, where the gate is
+    /// physically unachievable and therefore waived (never claimed).
+    pub gate_waived_low_cores: bool,
+    /// `speedup_at_4_ok`, or waived on low-core hosts.
+    pub gate_ok: bool,
+    /// Every parallel run matched the sequential output exactly.
+    pub parity_ok: bool,
+}
+
+/// Worker counts measured against the sequential baseline.
+pub const JOB_COUNTS: [usize; 3] = [2, 4, 8];
+
+const GATE_THRESHOLD: f64 = 2.5;
+const TIMED_REPS: usize = 3;
+
+/// Deduplicate a submission batch (first occurrence wins, order kept):
+/// duplicates are answered by the whole-advice cache in *both* paths,
+/// so they dilute the scaling measurement without informing it.
+pub fn dedupe(subs: Vec<String>) -> Vec<String> {
+    let mut seen = BTreeSet::new();
+    subs.into_iter().filter(|s| seen.insert(s.clone())).collect()
+}
+
+/// The distinct-submission workloads: (name, schema, target, batch).
+pub fn workloads(batch_size: usize) -> Vec<(String, Schema, String, Vec<String>)> {
+    // Oversample, dedupe, then truncate, so duplicates inside the raw
+    // corpus sampling don't shrink the batch below `batch_size`.
+    let (schema, target, subs) = session_api::students_batch(batch_size * 2);
+    let mut subs = dedupe(subs);
+    subs.truncate(batch_size);
+    let students = ("students-b".to_string(), schema, target, subs);
+    let (schema, target, subs) = session_api::beers_batch(batch_size * 2);
+    let mut subs = dedupe(subs);
+    subs.truncate(batch_size);
+    let beers = ("beers-inject-c".to_string(), schema, target, subs);
+    vec![students, beers]
+}
+
+/// Min-of-reps wall clock for `run`, with `check` invoked on **every**
+/// rep's output (warmup included) *outside* the timed window — so
+/// parity validation covers all reps without inflating the timings it
+/// guards.
+fn min_time_ms<T>(mut run: impl FnMut() -> T, mut check: impl FnMut(&T)) -> f64 {
+    check(&run()); // warmup: page faults, allocator growth, thread stacks
+    let mut best = f64::INFINITY;
+    for _ in 0..TIMED_REPS {
+        let started = Instant::now();
+        let out = run();
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        best = best.min(ms);
+        check(&out);
+    }
+    best
+}
+
+/// Serde-JSON fingerprint of a graded batch, errors included, index
+/// aligned — equality means the outputs are interchangeable.
+pub fn fingerprint(advices: &[QrResult<Advice>]) -> Vec<String> {
+    advices
+        .iter()
+        .map(|r| match r {
+            Ok(a) => serde_json::to_string(a).expect("advice serializes"),
+            Err(e) => format!("error: {e}"),
+        })
+        .collect()
+}
+
+/// Measure one workload at the sequential baseline plus [`JOB_COUNTS`].
+pub fn run_workload(
+    workload: &str,
+    schema: &Schema,
+    target: &str,
+    subs: &[String],
+) -> Vec<ParallelGradingRow> {
+    let qr = QrHint::new(schema.clone());
+    // Parity is checked on *every* repetition (warmup included), not
+    // just the best-timed one: a concurrency bug that corrupts output
+    // usually also adds latency, which would make the corrupted rep the
+    // one min-of-reps throws away.
+    let mut seq_fp: Option<Vec<String>> = None;
+    let mut seq_parity = true;
+    let seq_ms = min_time_ms(
+        || {
+            // Fresh target per rep: no cross-rep cache leakage.
+            let prepared = qr.compile_target(target).expect("target compiles");
+            prepared.grade_batch(subs)
+        },
+        |advices| {
+            let fp = fingerprint(advices);
+            match &seq_fp {
+                None => seq_fp = Some(fp),
+                Some(first) => seq_parity &= &fp == first,
+            }
+        },
+    );
+    let seq_fp = seq_fp.expect("warmup rep ran");
+    let throughput = |ms: f64| subs.len() as f64 / (ms / 1e3).max(1e-9);
+    let mut rows = vec![ParallelGradingRow {
+        workload: workload.to_string(),
+        batch_size: subs.len(),
+        mode: "sequential".to_string(),
+        jobs: 1,
+        ms: seq_ms,
+        throughput_per_s: throughput(seq_ms),
+        speedup_vs_sequential: 1.0,
+        parity_ok: seq_parity,
+    }];
+    for jobs in JOB_COUNTS {
+        let mut parity_ok = true;
+        let ms = min_time_ms(
+            || {
+                let prepared = qr.compile_target(target).expect("target compiles");
+                prepared.grade_batch_parallel(subs, jobs)
+            },
+            |advices| parity_ok &= fingerprint(advices) == seq_fp,
+        );
+        rows.push(ParallelGradingRow {
+            workload: workload.to_string(),
+            batch_size: subs.len(),
+            mode: "parallel".to_string(),
+            jobs,
+            ms,
+            throughput_per_s: throughput(ms),
+            speedup_vs_sequential: seq_ms / ms.max(1e-9),
+            parity_ok,
+        });
+    }
+    rows
+}
+
+/// Run the full comparison (students + beers distinct batches).
+pub fn run(batch_size: usize) -> ParallelGradingReport {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rows = Vec::new();
+    for (name, schema, target, subs) in workloads(batch_size) {
+        rows.extend(run_workload(&name, &schema, &target, &subs));
+    }
+    let speedup_at_4_by_workload: BTreeMap<String, f64> = rows
+        .iter()
+        .filter(|r| r.jobs == 4)
+        .map(|r| (r.workload.clone(), r.speedup_vs_sequential))
+        .collect();
+    let best_speedup_at_4 =
+        speedup_at_4_by_workload.values().copied().fold(0.0, f64::max);
+    let speedup_at_4_ok = best_speedup_at_4 >= GATE_THRESHOLD;
+    let gate_waived_low_cores = cores < 4 && !speedup_at_4_ok;
+    let parity_ok = rows.iter().all(|r| r.parity_ok);
+    ParallelGradingReport {
+        cores,
+        rows,
+        speedup_at_4_by_workload,
+        best_speedup_at_4,
+        gate_threshold: GATE_THRESHOLD,
+        speedup_at_4_ok,
+        gate_waived_low_cores,
+        gate_ok: speedup_at_4_ok || gate_waived_low_cores,
+        parity_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_batches_are_distinct() {
+        for (name, _, _, subs) in workloads(24) {
+            let unique: BTreeSet<&String> = subs.iter().collect();
+            assert_eq!(unique.len(), subs.len(), "{name} batch has duplicates");
+            assert!(!subs.is_empty(), "{name} batch is empty");
+        }
+    }
+
+    #[test]
+    fn small_run_has_parity_and_all_modes() {
+        let (name, schema, target, subs) = workloads(6).remove(1);
+        let rows = run_workload(&name, &schema, &target, &subs);
+        assert_eq!(rows.len(), 1 + JOB_COUNTS.len());
+        assert!(rows.iter().all(|r| r.parity_ok), "{rows:?}");
+        assert_eq!(rows[0].mode, "sequential");
+        // Timing is environment-dependent; parity is the invariant.
+    }
+}

@@ -64,6 +64,13 @@
 //! JSON instead of re-parsing rendered English. The stateless
 //! [`QrHint::advise_sql`] / [`QrHint::fix_fully`] remain as thin wrappers
 //! over the session layer for one-shot use.
+//!
+//! [`PreparedTarget`]'s memo state is sharded for concurrency (see the
+//! [`session`] module docs): large, mostly-distinct batches can fan out
+//! over a scoped worker pool with
+//! [`session::PreparedTarget::grade_batch_parallel`] (built on
+//! [`parallel::run_indexed`]) and get byte-identical results in input
+//! order.
 
 #![forbid(unsafe_code)]
 
@@ -72,6 +79,7 @@ pub mod hint;
 pub mod mapping;
 pub mod nullsafe;
 pub mod oracle;
+pub mod parallel;
 pub mod pipeline;
 pub mod repair;
 pub(crate) mod runner;

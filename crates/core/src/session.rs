@@ -1,5 +1,5 @@
 //! Session-oriented grading: compile a hidden target once, advise many
-//! working queries against it.
+//! working queries against it — concurrently.
 //!
 //! The paper's deployment scenario (§1, §10) is one instructor-written
 //! target graded against many student submissions, interactively. The
@@ -9,32 +9,56 @@
 //!
 //! * [`PreparedTarget`] — the target parsed, resolved and held ready,
 //!   with three per-target memo layers:
-//!   1. **FROM groups**: the unified target, domain context, and a
-//!      persistent [`Oracle`] are derived once per (working FROM
-//!      binding, table mapping) pair and shared by every submission that
-//!      matches. Since the oracle's variable pool is keyed by column
-//!      references (typed by the binding), its memoized solver verdicts
-//!      — keyed by lowered formula pairs — stay sound and hit across
-//!      submissions in the same group.
+//!   1. **FROM groups**: the unified target, domain context, and column
+//!      typing are derived once per (working FROM binding, table
+//!      mapping) pair and shared by every submission that matches.
 //!   2. **Stage memos**: each solver-backed stage (WHERE, GROUP BY,
 //!      HAVING) is memoized by its exact inputs, so a [`TutorSession`]
 //!      step that repairs a later stage pays no solver work for the
-//!      unchanged earlier stages — and a submission that shares, say, a
-//!      WHERE clause with an earlier one reuses its verdict outright.
-//!      A memo hit requires identical stage inputs, so cached verdicts
-//!      are sound by construction.
+//!      unchanged earlier stages. A memo hit requires identical stage
+//!      inputs, so cached verdicts are sound by construction.
 //!   3. **Advice cache**: identical resolved submissions (classrooms
 //!      produce many duplicate answers) are graded once.
-//! * [`PreparedTarget::grade_batch`] — classroom-scale bulk grading.
+//! * [`PreparedTarget::grade_batch`] / [`PreparedTarget::grade_batch_parallel`]
+//!   — classroom-scale bulk grading, sequential or fanned out over a
+//!   scoped worker pool ([`crate::parallel`]).
 //! * [`TutorSession`] — the incremental advise→apply loop of the user
 //!   study, one stage interaction per [`TutorSession::step`].
 //!
-//! Interior state lives behind a `Mutex`, so one `PreparedTarget` is
-//! `Send + Sync` and can be shared across threads. Note the lock is held
-//! for the duration of each advise, so advises against *one* target are
-//! serialized — a parallel grading service should shard by target (one
-//! `PreparedTarget` per question), which is also where the memo layers
-//! pay off.
+//! ## Concurrency model
+//!
+//! `PreparedTarget` is `Send + Sync`, and — unlike the first session
+//! design, which held one whole-state `Mutex` for the duration of every
+//! advise — its interior state is sharded so concurrent advises against
+//! *one* target genuinely overlap:
+//!
+//! * The **group map** (FROM binding + table mapping → `FromGroup`)
+//!   sits behind an `RwLock`: lookups of existing groups take the read
+//!   lock only, so submissions in distinct memo groups never contend.
+//!   Group *creation* derives the unified target, domain context and
+//!   typing outside the write lock; a racing creator for the same key
+//!   simply drops its copy and reuses the winner's.
+//! * Each group's solver state — a persistent [`Oracle`] plus the stage
+//!   memos — lives in a pool of **lock-striped slots** (`Mutex` each).
+//!   An advise takes one free slot; when every slot of a hot group is
+//!   busy, the pool grows a fresh oracle (bounded by
+//!   `MAX_GROUP_SLOTS`) instead of queueing, so a classroom batch whose
+//!   submissions all share one FROM clause still grades in parallel.
+//!   Slots of one group share the group's immutable derivations but not
+//!   each other's verdict caches; since stage outcomes are
+//!   deterministic functions of their exact inputs, a memo miss re-pays
+//!   solver time but can never change an answer.
+//! * The **whole-advice cache** is an `RwLock` map with a read-path
+//!   hit check, so duplicate submissions stay near-free under
+//!   contention.
+//! * [`SessionStats`] counters are atomics: concurrent advises never
+//!   lose updates, and [`PreparedTarget::stats`] never blocks grading.
+//!
+//! The practical upshot: use [`PreparedTarget::grade_batch_parallel`]
+//! (or the CLI's `grade --jobs N`) when batches are large and mostly
+//! *distinct* — duplicate-heavy batches are already served by the
+//! advice cache, and tiny batches don't amortize thread spawn. Output
+//! is byte-identical to the sequential path in input order.
 //!
 //! ```
 //! use qrhint_core::QrHint;
@@ -50,10 +74,13 @@
 //!     .compile_target("SELECT s.bar FROM Serves s WHERE s.price >= 3")
 //!     .unwrap();
 //! // Grade many submissions against the one prepared target.
-//! let advices = prepared.grade_batch(&[
-//!     "SELECT s.bar FROM Serves s WHERE s.price > 3",
-//!     "SELECT x.bar FROM Serves x WHERE x.price >= 3",
-//! ]);
+//! let advices = prepared.grade_batch_parallel(
+//!     &[
+//!         "SELECT s.bar FROM Serves s WHERE s.price > 3",
+//!         "SELECT x.bar FROM Serves x WHERE x.price >= 3",
+//!     ],
+//!     2,
+//! );
 //! assert!(!advices[0].as_ref().unwrap().is_equivalent());
 //! assert!(advices[1].as_ref().unwrap().is_equivalent());
 //! ```
@@ -61,18 +88,20 @@
 use crate::error::{QrHintError, QrResult};
 use crate::hint::Stage;
 use crate::mapping::{table_mapping, unify_target, TableMapping};
-use crate::oracle::Oracle;
+use crate::oracle::{Oracle, TypeEnv};
 use crate::pipeline::{Advice, QrHintConfig};
-use crate::runner::{run_stages, StageInputs};
+use crate::runner::{run_stages, StageInputs, StageMemos};
 use crate::stages::from_stage;
 use qrhint_sqlast::{resolve::resolve_query, Pred, Query, Schema};
 use qrhint_sqlparse::{parse_query, parse_query_extended, FlattenOptions};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Cumulative counters for one [`PreparedTarget`] (diagnostics and the
-/// session-API benchmark).
+/// session-API benchmarks). Snapshot of the internal atomic counters;
+/// see [`PreparedTarget::stats`] for the cross-thread guarantees.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct SessionStats {
     /// Total advise calls answered (including cache hits).
@@ -81,19 +110,60 @@ pub struct SessionStats {
     /// submissions).
     pub advice_cache_hits: u64,
     /// Distinct (working-FROM binding, table mapping) pairs seen (each
-    /// owns one oracle).
+    /// owns one memo group).
     pub from_groups: u64,
-    /// Calls that reused a FROM group's memoized unified target/oracle.
+    /// Calls that reused an existing FROM group's memoized derivations.
     pub mapping_reuses: u64,
-    /// Solver checks issued across all group oracles.
+    /// Solver checks issued across all group oracles, accumulated as
+    /// each advise completes.
     pub solver_calls: u64,
+}
+
+/// The atomic backing store for [`SessionStats`]: plain counters would
+/// lose updates under [`PreparedTarget::grade_batch_parallel`], and a
+/// stats mutex would re-serialize the advise path the sharding just
+/// unlocked.
+#[derive(Default)]
+struct AtomicStats {
+    advise_calls: AtomicU64,
+    advice_cache_hits: AtomicU64,
+    from_groups: AtomicU64,
+    mapping_reuses: AtomicU64,
+    solver_calls: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> SessionStats {
+        SessionStats {
+            advise_calls: self.advise_calls.load(Ordering::Relaxed),
+            advice_cache_hits: self.advice_cache_hits.load(Ordering::Relaxed),
+            from_groups: self.from_groups.load(Ordering::Relaxed),
+            mapping_reuses: self.mapping_reuses.load(Ordering::Relaxed),
+            solver_calls: self.solver_calls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Upper bound on the per-group slot pool: enough for the `--jobs 8`
+/// sweet spot with headroom, small enough that a pathological hammer
+/// can't allocate unbounded oracles.
+const MAX_GROUP_SLOTS: usize = 8;
+
+/// One lock stripe of a group's mutable solver state: a persistent
+/// oracle (whose verdict cache is hash-keyed formula pairs) and the
+/// per-stage memos. Everything here is only ever touched under the
+/// slot's `Mutex`.
+struct GroupSlot {
+    oracle: Oracle,
+    memos: StageMemos,
 }
 
 /// Per-(FROM-binding, table-mapping) memoized derivations. Submissions
 /// sharing both are compared against the identical unified target, so
-/// everything here is reusable verbatim; the binding fixes the column
-/// typing, so the oracle's variable pool — and therefore its
-/// formula-keyed verdict cache — is sound across the group.
+/// the immutable fields are shared lock-free by every concurrent advise
+/// in the group; the binding fixes the column typing, so each slot's
+/// oracle — and therefore its formula-keyed verdict cache — is sound
+/// across the group.
 ///
 /// The table mapping itself is *recomputed per submission* (cheap and
 /// solver-free) rather than cached by binding: for self-join targets,
@@ -105,8 +175,58 @@ struct FromGroup {
     mapping: TableMapping,
     unified: Query,
     domain_ctx: Vec<Pred>,
-    oracle: Oracle,
-    memos: crate::runner::StageMemos,
+    /// Column typing fixed by the binding; seeds each new slot's oracle.
+    types: TypeEnv,
+    /// Lock-striped solver state. Starts empty; grows on demand up to
+    /// [`MAX_GROUP_SLOTS`], so the sequential path pays for exactly one
+    /// oracle, as before.
+    slots: RwLock<Vec<Arc<Mutex<GroupSlot>>>>,
+    /// Round-robin cursor for the all-slots-busy fallback.
+    next_slot: AtomicUsize,
+}
+
+impl FromGroup {
+    fn new_slot(&self) -> Arc<Mutex<GroupSlot>> {
+        Arc::new(Mutex::new(GroupSlot {
+            oracle: Oracle::new(self.types.clone()),
+            memos: StageMemos::default(),
+        }))
+    }
+
+    /// Run `f` with exclusive access to one of the group's slots:
+    /// prefer a currently-free slot, grow the pool when all are busy,
+    /// and only block (round-robin) once the pool is at its cap.
+    fn with_slot<R>(&self, f: impl FnOnce(&mut GroupSlot) -> R) -> R {
+        // Fast path: claim a free slot. The probe *keeps* the guard it
+        // acquired (the Arcs are cloned out of the map first, so the
+        // guard can outlive the read lock) — a drop-and-relock probe
+        // would let two workers pick the same "free" slot, convoying
+        // one behind the other's whole advise while other slots idle.
+        let candidates: Vec<Arc<Mutex<GroupSlot>>> =
+            self.slots.read().unwrap().iter().map(Arc::clone).collect();
+        for slot in &candidates {
+            if let Ok(mut guard) = slot.try_lock() {
+                return f(&mut guard);
+            }
+        }
+        // All busy: grow (bounded), else block round-robin. A scanner
+        // may try_lock a freshly pushed slot before its creator locks
+        // it — at worst one advise of waiting, and only at the cap
+        // boundary.
+        let arc = {
+            let mut slots = self.slots.write().unwrap();
+            if slots.len() < MAX_GROUP_SLOTS {
+                let s = self.new_slot();
+                slots.push(Arc::clone(&s));
+                s
+            } else {
+                let i = self.next_slot.fetch_add(1, Ordering::Relaxed) % slots.len();
+                Arc::clone(&slots[i])
+            }
+        };
+        let mut guard = arc.lock().unwrap();
+        f(&mut guard)
+    }
 }
 
 /// Alias → table binding of a working query's FROM clause.
@@ -116,16 +236,9 @@ type FromBinding = BTreeMap<String, String>;
 /// the submission.
 type FromKey = (FromBinding, TableMapping);
 
-#[derive(Default)]
-struct TargetState {
-    groups: HashMap<FromKey, FromGroup>,
-    advice_cache: HashMap<Query, Advice>,
-    stats: SessionStats,
-}
-
 /// A target query compiled for advise-many grading: parsed, resolved,
-/// and carrying the per-target memo layers described in the
-/// [module docs](self).
+/// and carrying the per-target memo layers and sharded concurrency
+/// state described in the [module docs](self).
 ///
 /// Construct via [`crate::QrHint::compile_target`] (SQL) or
 /// [`crate::QrHint::prepare_target`] (an already-resolved [`Query`]).
@@ -133,8 +246,16 @@ pub struct PreparedTarget {
     schema: Schema,
     cfg: QrHintConfig,
     target: Query,
-    state: Mutex<TargetState>,
+    groups: RwLock<HashMap<FromKey, Arc<FromGroup>>>,
+    advice_cache: RwLock<HashMap<Query, Advice>>,
+    stats: AtomicStats,
 }
+
+// One `PreparedTarget` is shared by every worker of a parallel grading
+// run; losing either bound would silently re-serialize the release
+// builds that depend on it.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<PreparedTarget>();
 
 impl std::fmt::Debug for PreparedTarget {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -147,7 +268,14 @@ impl std::fmt::Debug for PreparedTarget {
 
 impl PreparedTarget {
     pub(crate) fn new(schema: Schema, cfg: QrHintConfig, target: Query) -> PreparedTarget {
-        PreparedTarget { schema, cfg, target, state: Mutex::new(TargetState::default()) }
+        PreparedTarget {
+            schema,
+            cfg,
+            target,
+            groups: RwLock::new(HashMap::new()),
+            advice_cache: RwLock::new(HashMap::new()),
+            stats: AtomicStats::default(),
+        }
     }
 
     /// The resolved target query (the hidden `Q★`).
@@ -165,12 +293,13 @@ impl PreparedTarget {
         &self.cfg
     }
 
-    /// Snapshot of the cumulative session counters.
+    /// Snapshot of the cumulative session counters. Never blocks an
+    /// in-flight advise (the counters are atomics); a snapshot taken
+    /// *during* a concurrent batch may straddle advises, but once the
+    /// batch has joined, `advise_calls` equals the number of
+    /// submissions and `solver_calls` covers all completed work.
     pub fn stats(&self) -> SessionStats {
-        let st = self.state.lock().unwrap();
-        let mut stats = st.stats;
-        stats.solver_calls = st.groups.values().map(|g| g.oracle.solver_calls).sum();
-        stats
+        self.stats.snapshot()
     }
 
     /// Parse and resolve a working query against the session schema.
@@ -212,6 +341,24 @@ impl PreparedTarget {
         submissions.iter().map(|sql| self.advise_sql(sql.as_ref())).collect()
     }
 
+    /// [`PreparedTarget::grade_batch`] fanned out over a scoped worker
+    /// pool of up to `jobs` threads ([`crate::parallel::run_indexed`]).
+    ///
+    /// Result `i` always corresponds to submission `i`, and every
+    /// advice is identical to what the sequential path produces —
+    /// grading is deterministic, and the sharded memo state never
+    /// changes answers (see the [module docs](self)). `jobs <= 1`
+    /// degrades to the sequential loop on the calling thread.
+    pub fn grade_batch_parallel<S: AsRef<str> + Sync>(
+        &self,
+        submissions: &[S],
+        jobs: usize,
+    ) -> Vec<QrResult<Advice>> {
+        crate::parallel::run_indexed(submissions.len(), jobs, |i| {
+            self.advise_sql(submissions[i].as_ref())
+        })
+    }
+
     /// Start an incremental tutoring session from a resolved working
     /// query. Multiple sessions may share one prepared target.
     pub fn tutor(&self, working: Query) -> TutorSession<'_> {
@@ -223,17 +370,52 @@ impl PreparedTarget {
         Ok(self.tutor(self.prepare(working_sql)?))
     }
 
+    /// Look up (read lock only) or create the memo group for `key`.
+    ///
+    /// Creation derives the group's immutable state *outside* the write
+    /// lock — it is solver-free (alias unification, domain-context
+    /// instantiation, column typing), and if two threads race on the
+    /// same fresh key the loser just drops its copy, counting as a
+    /// reuse. `from_groups` is bumped only by the one thread whose
+    /// insert wins, so it counts distinct keys exactly.
+    fn group_for(&self, key: FromKey, q: &Query) -> Arc<FromGroup> {
+        if let Some(g) = self.groups.read().unwrap().get(&key) {
+            self.stats.mapping_reuses.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(g);
+        }
+        let mapping = key.1.clone();
+        let unified = unify_target(&self.target, &mapping);
+        let domain_ctx = self.schema.domain_context(q);
+        let types = TypeEnv::from_queries(&self.schema, &[&unified, q]);
+        let fresh = Arc::new(FromGroup {
+            mapping,
+            unified,
+            domain_ctx,
+            types,
+            slots: RwLock::new(Vec::new()),
+            next_slot: AtomicUsize::new(0),
+        });
+        match self.groups.write().unwrap().entry(key) {
+            std::collections::hash_map::Entry::Occupied(o) => {
+                self.stats.mapping_reuses.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(o.get())
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.stats.from_groups.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(v.insert(fresh))
+            }
+        }
+    }
+
     /// The advise walk. `use_advice_cache` gates only the whole-advice
     /// duplicate cache (skipped for one-shot stateless wrappers, where
     /// populating it is pure overhead); the per-stage and solver-verdict
     /// memos always apply.
     fn advise_inner(&self, q: &Query, use_advice_cache: bool) -> QrResult<Advice> {
-        let mut guard = self.state.lock().unwrap();
-        let TargetState { groups, advice_cache, stats } = &mut *guard;
-        stats.advise_calls += 1;
+        self.stats.advise_calls.fetch_add(1, Ordering::Relaxed);
         if use_advice_cache {
-            if let Some(hit) = advice_cache.get(q) {
-                stats.advice_cache_hits += 1;
+            if let Some(hit) = self.advice_cache.read().unwrap().get(q) {
+                self.stats.advice_cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(hit.clone());
             }
         }
@@ -259,38 +441,29 @@ impl PreparedTarget {
                 .iter()
                 .map(|t| (t.alias.clone(), t.table.clone()))
                 .collect();
-            let group = match groups.entry((binding, mapping)) {
-                std::collections::hash_map::Entry::Occupied(o) => {
-                    stats.mapping_reuses += 1;
-                    o.into_mut()
-                }
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    stats.from_groups += 1;
-                    let mapping = v.key().1.clone();
-                    let unified = unify_target(&self.target, &mapping);
-                    let domain_ctx = self.schema.domain_context(q);
-                    let oracle = Oracle::for_queries(&self.schema, &[&unified, q]);
-                    v.insert(FromGroup {
-                        mapping,
-                        unified,
-                        domain_ctx,
-                        oracle,
-                        memos: Default::default(),
-                    })
-                }
-            };
-            run_stages(StageInputs {
-                oracle: &mut group.oracle,
-                unified: &group.unified,
-                q,
-                cfg: &self.cfg,
-                domain_ctx: &group.domain_ctx,
-                mapping: &group.mapping,
-                memos: &mut group.memos,
+            let group = self.group_for((binding, mapping), q);
+            group.with_slot(|slot| {
+                let before = slot.oracle.solver_calls;
+                let advice = run_stages(StageInputs {
+                    oracle: &mut slot.oracle,
+                    unified: &group.unified,
+                    q,
+                    cfg: &self.cfg,
+                    domain_ctx: &group.domain_ctx,
+                    mapping: &group.mapping,
+                    memos: &mut slot.memos,
+                });
+                self.stats
+                    .solver_calls
+                    .fetch_add(slot.oracle.solver_calls - before, Ordering::Relaxed);
+                advice
             })?
         };
         if use_advice_cache {
-            advice_cache.insert(q.clone(), advice.clone());
+            // Racing duplicates may both insert; the advices are
+            // identical (deterministic grading), so last-write-wins is
+            // harmless.
+            self.advice_cache.write().unwrap().insert(q.clone(), advice.clone());
         }
         Ok(advice)
     }
@@ -438,7 +611,7 @@ mod tests {
     }
 
     #[test]
-    fn same_from_binding_shares_one_oracle() {
+    fn same_from_binding_shares_one_group() {
         let qr = QrHint::new(beers_schema());
         let prepared = qr.compile_target(TARGET).unwrap();
         prepared.advise_sql("SELECT s.bar FROM Serves s WHERE s.price > 3").unwrap();
@@ -447,6 +620,25 @@ mod tests {
         let stats = prepared.stats();
         assert_eq!(stats.from_groups, 2, "s-binding shared, t-binding separate");
         assert_eq!(stats.mapping_reuses, 1);
+    }
+
+    #[test]
+    fn sequential_grading_uses_a_single_slot_per_group() {
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr.compile_target(TARGET).unwrap();
+        for price in 1..6 {
+            prepared
+                .advise_sql(&format!("SELECT s.bar FROM Serves s WHERE s.price >= {price}"))
+                .unwrap();
+        }
+        let groups = prepared.groups.read().unwrap();
+        assert_eq!(groups.len(), 1);
+        let group = groups.values().next().unwrap();
+        assert_eq!(
+            group.slots.read().unwrap().len(),
+            1,
+            "uncontended grading must not grow the slot pool"
+        );
     }
 
     #[test]
@@ -459,6 +651,23 @@ mod tests {
         ]);
         assert!(advices[0].is_ok());
         assert!(matches!(advices[1], Err(QrHintError::Parse(_))));
+    }
+
+    #[test]
+    fn parallel_batch_reports_errors_in_place_and_in_order() {
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr.compile_target(TARGET).unwrap();
+        let batch = [
+            "SELECT s.bar FROM Serves s",
+            "SELEKT nonsense",
+            "SELECT s.bar FROM Serves s WHERE s.price >= 3",
+        ];
+        for jobs in [1, 2, 4, 8] {
+            let advices = prepared.grade_batch_parallel(&batch, jobs);
+            assert!(advices[0].as_ref().is_ok_and(|a| !a.is_equivalent()), "jobs={jobs}");
+            assert!(matches!(advices[1], Err(QrHintError::Parse(_))), "jobs={jobs}");
+            assert!(advices[2].as_ref().is_ok_and(|a| a.is_equivalent()), "jobs={jobs}");
+        }
     }
 
     #[test]

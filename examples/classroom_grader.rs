@@ -3,10 +3,14 @@
 //! every submission, print per-question statistics and a few sample
 //! hint transcripts.
 //!
-//! Uses the session API: each question's hidden target is compiled
-//! **once** ([`QrHint::compile_target`]) and every submission for that
-//! question is graded against the prepared target, sharing its memoized
-//! table mappings and solver verdicts.
+//! Uses the session API end-to-end: each question's hidden target is
+//! compiled **once** ([`QrHint::compile_target`]) and its submissions
+//! are graded against the prepared target through
+//! [`PreparedTarget::grade_batch_parallel`] — the target's memo state
+//! is sharded for concurrent grading, so the batch fans out over one
+//! worker per available core while sharing the memoized table mappings,
+//! stage outcomes and solver verdicts. Hinted submissions then replay
+//! the full tutoring loop (sequentially; it reuses the warm memos).
 //!
 //! Run with: `cargo run --release --example classroom_grader`
 
@@ -18,7 +22,11 @@ use std::time::Instant;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let qr = QrHint::new(students::schema());
     let corpus = students::corpus();
-    println!("Grading {} submissions across 4 questions...\n", corpus.len());
+    let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "Grading {} submissions across 4 questions with {jobs} worker(s)...\n",
+        corpus.len()
+    );
 
     #[derive(Default)]
     struct Tally {
@@ -29,48 +37,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         converged: usize,
     }
     let mut per_question: BTreeMap<&str, Tally> = BTreeMap::new();
-    let mut prepared: BTreeMap<String, PreparedTarget> = BTreeMap::new();
-    let mut first_stage: BTreeMap<String, usize> = BTreeMap::new();
-    let started = Instant::now();
-    let mut samples_shown = 0;
-
+    // question → (target, submissions for the batch, their corpus ids).
+    let mut batches: BTreeMap<&str, (String, Vec<String>, Vec<String>)> = BTreeMap::new();
     for entry in &corpus {
         let tally = per_question.entry(entry.question).or_default();
         tally.total += 1;
         if entry.category == "UNSUPPORTED" {
-            // grade_batch surfaces the parser's reason in place; here we
-            // just tally it.
             tally.unsupported += 1;
             continue;
         }
-        // One compiled target per question, shared by all its submissions.
-        let target = match prepared.entry(entry.pair.target_sql.clone()) {
-            std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
-            std::collections::btree_map::Entry::Vacant(v) => {
-                v.insert(qr.compile_target(&entry.pair.target_sql)?)
+        let (_, subs, ids) = batches
+            .entry(entry.question)
+            .or_insert_with(|| (entry.pair.target_sql.clone(), Vec::new(), Vec::new()));
+        subs.push(entry.pair.working_sql.clone());
+        ids.push(entry.pair.id.clone());
+    }
+
+    let mut first_stage: BTreeMap<String, usize> = BTreeMap::new();
+    let mut prepared: BTreeMap<&str, PreparedTarget> = BTreeMap::new();
+    let started = Instant::now();
+    let mut samples_shown = 0;
+
+    for (question, (target_sql, subs, ids)) in &batches {
+        let target = qr.compile_target(target_sql)?;
+        let advices = target.grade_batch_parallel(subs, jobs);
+        let tally = per_question.entry(question).or_default();
+        for ((advice, sql), id) in advices.into_iter().zip(subs).zip(ids) {
+            let advice = advice?;
+            if advice.is_equivalent() {
+                tally.equivalent += 1;
+                continue;
             }
-        };
-        let working = target.prepare(&entry.pair.working_sql)?;
-        let advice = target.advise(&working)?;
-        if advice.is_equivalent() {
-            tally.equivalent += 1;
-            continue;
-        }
-        tally.hinted += 1;
-        *first_stage.entry(advice.stage.to_string()).or_insert(0) += 1;
-        if samples_shown < 3 {
-            samples_shown += 1;
-            println!("--- sample hint transcript: {} ---", entry.pair.id);
-            println!("  student: {}", entry.pair.working_sql.trim());
-            for h in &advice.hints {
-                println!("  hint: {h}");
+            tally.hinted += 1;
+            *first_stage.entry(advice.stage.to_string()).or_insert(0) += 1;
+            if samples_shown < 3 {
+                samples_shown += 1;
+                println!("--- sample hint transcript: {id} ---");
+                println!("  student: {}", sql.trim());
+                for h in &advice.hints {
+                    println!("  hint: {h}");
+                }
+                println!();
             }
-            println!();
+            // The tutoring replay rides the warm memo layers the batch
+            // just populated.
+            let working = target.prepare(sql)?;
+            let (_, trail) = target.tutor(working).run_to_completion()?;
+            if trail.last().map(|a| a.is_equivalent()).unwrap_or(false) {
+                tally.converged += 1;
+            }
         }
-        let (_, trail) = target.tutor(working).run_to_completion()?;
-        if trail.last().map(|a| a.is_equivalent()).unwrap_or(false) {
-            tally.converged += 1;
-        }
+        prepared.insert(question, target);
     }
 
     println!("question  total  unsupported  equivalent  hinted  converged");
@@ -85,18 +102,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {stage:<9} {n}");
     }
     println!(
-        "\ngraded in {:.2?} ({:.1} ms/query avg)",
+        "\ngraded in {:.2?} ({:.1} ms/query avg, {jobs} worker(s))",
         started.elapsed(),
         started.elapsed().as_millis() as f64 / corpus.len() as f64
     );
-    for (sql, target) in &prepared {
+    for (question, target) in &prepared {
         let s = target.stats();
         println!(
-            "  target `{}…`: {} advises, {} duplicate hits, {} FROM groups",
-            sql.chars().take(40).collect::<String>().replace('\n', " "),
-            s.advise_calls,
-            s.advice_cache_hits,
-            s.from_groups
+            "  question {question}: {} advises, {} duplicate hits, {} FROM groups, {} solver calls",
+            s.advise_calls, s.advice_cache_hits, s.from_groups, s.solver_calls
         );
     }
     Ok(())

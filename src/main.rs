@@ -4,7 +4,7 @@
 //! qr-hint [advise] --schema schema.sql --target solution.sql --working student.sql
 //!         [--interactive] [--extended] [--rewrite-subqueries] [--json]
 //! qr-hint grade --schema schema.sql --target solution.sql --submissions dir/
-//!         [--extended] [--rewrite-subqueries] [--json]
+//!         [--jobs N] [--extended] [--rewrite-subqueries] [--json]
 //! qr-hint --version
 //! ```
 //!
@@ -13,7 +13,10 @@
 //! going until the working query is equivalent to the target (showing
 //! every hint on the way). **grade** compiles the target once and grades
 //! every `*.sql` file in a submissions directory — the classroom batch
-//! mode, backed by [`PreparedTarget::grade_batch`]'s memoization.
+//! mode, backed by [`PreparedTarget`]'s memoization. `--jobs N` fans the
+//! batch out over N worker threads against the one shared prepared
+//! target (its memo state is sharded for concurrent grading); output is
+//! identical to `--jobs 1`, in the same submission order.
 //!
 //! `--json` switches either mode to machine-readable output: the full
 //! serde-serialized [`Advice`] plus the rendered hint strings.
@@ -26,6 +29,11 @@
 //! `0` success · `1` internal/tool error · `2` usage error ·
 //! `3` the **working/submitted** SQL is malformed or unsupported
 //! (graders can separate "student wrote bad SQL" from "tool bug").
+//! In grade mode the codes apply batch-wide, independent of `--jobs`:
+//! `1` if any submission hit a tool-internal error (or a file was
+//! unreadable), else `3` if any submission was malformed/unsupported,
+//! else `0` — individual failures are still reported in place and never
+//! abort the batch.
 
 use qr_hint::prelude::*;
 use qrhint_core::QrHintError;
@@ -65,6 +73,8 @@ struct Args {
     working: Option<String>,
     /// grade mode: directory of `*.sql` submissions.
     submissions: Option<String>,
+    /// grade mode: worker threads for the batch (1 = sequential).
+    jobs: usize,
     interactive: bool,
     extended: bool,
     rewrite_subqueries: bool,
@@ -75,7 +85,8 @@ const USAGE: &str = "usage: qr-hint [advise] --schema <schema.sql> --target <sol
                      --working <student.sql> [--interactive] [--extended] \
                      [--rewrite-subqueries] [--json]\n\
                      \x20      qr-hint grade --schema <schema.sql> --target <solution.sql> \
-                     --submissions <dir> [--extended] [--rewrite-subqueries] [--json]\n\
+                     --submissions <dir> [--jobs <N>] [--extended] [--rewrite-subqueries] \
+                     [--json]\n\
                      \x20      qr-hint --version";
 
 fn parse_args() -> Result<Args, String> {
@@ -83,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
     let mut target = None;
     let mut working = None;
     let mut submissions = None;
+    let mut jobs = 1usize;
     let mut interactive = false;
     let mut extended = false;
     let mut rewrite_subqueries = false;
@@ -107,6 +119,14 @@ fn parse_args() -> Result<Args, String> {
             "--working" => working = Some(it.next().ok_or("--working needs a file")?),
             "--submissions" => {
                 submissions = Some(it.next().ok_or("--submissions needs a directory")?)
+            }
+            "--jobs" | "-j" => {
+                let n = it.next().ok_or("--jobs needs a thread count")?;
+                jobs = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a positive integer, got `{n}`"))?;
             }
             "--interactive" | "-i" => interactive = true,
             "--extended" | "-x" => extended = true,
@@ -136,6 +156,7 @@ fn parse_args() -> Result<Args, String> {
         target,
         working,
         submissions,
+        jobs,
         interactive,
         extended,
         rewrite_subqueries,
@@ -285,7 +306,44 @@ fn run_advise(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn run_grade(args: &Args) -> Result<(), CliError> {
+/// Grade one submission file. The second component classifies failures
+/// for the batch-wide exit code: `0` graded, `EXIT_BAD_WORKING` the
+/// student's SQL is malformed/unsupported, `EXIT_INTERNAL` tool error.
+fn grade_one(prepared: &PreparedTarget, args: &Args, path: &std::path::Path) -> (GradeEntry, u8) {
+    let file = path.display().to_string();
+    match std::fs::read_to_string(path) {
+        Err(e) => (
+            GradeEntry {
+                file,
+                ok: false,
+                error: Some(format!("cannot read: {e}")),
+                report: None,
+            },
+            EXIT_INTERNAL,
+        ),
+        Ok(sql) => match prepare_working(prepared, args, &sql).and_then(|q| prepared.advise(&q))
+        {
+            Ok(advice) => (
+                GradeEntry {
+                    file,
+                    ok: true,
+                    error: None,
+                    report: Some(AdviceReport::new(advice)),
+                },
+                0,
+            ),
+            Err(e) => {
+                let code = working_error(e.clone()).code;
+                (
+                    GradeEntry { file, ok: false, error: Some(e.to_string()), report: None },
+                    code,
+                )
+            }
+        },
+    }
+}
+
+fn run_grade(args: &Args) -> Result<u8, CliError> {
     let prepared = compile(args)?;
     let dir = args.submissions.as_deref().expect("checked in parse_args");
     let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
@@ -298,38 +356,26 @@ fn run_grade(args: &Args) -> Result<(), CliError> {
         return Err(CliError::internal(format!("no *.sql submissions in {dir}")));
     }
 
-    let mut entries = Vec::new();
-    for path in &files {
-        let file = path.display().to_string();
-        let entry = match std::fs::read_to_string(path) {
-            Err(e) => GradeEntry {
-                file,
-                ok: false,
-                error: Some(format!("cannot read: {e}")),
-                report: None,
-            },
-            Ok(sql) => match prepare_working(&prepared, args, &sql)
-                .and_then(|q| prepared.advise(&q))
-            {
-                Ok(advice) => GradeEntry {
-                    file,
-                    ok: true,
-                    error: None,
-                    report: Some(AdviceReport::new(advice)),
-                },
-                Err(e) => GradeEntry {
-                    file,
-                    ok: false,
-                    error: Some(e.to_string()),
-                    report: None,
-                },
-            },
-        };
-        entries.push(entry);
-    }
+    // The prepared target's memo state is sharded for concurrency, so
+    // the workers share it directly; results come back in file order
+    // and are identical to the sequential (`--jobs 1`) output.
+    let graded = qrhint_core::parallel::run_indexed(files.len(), args.jobs, |i| {
+        grade_one(&prepared, args, &files[i])
+    });
+    // Batch-wide exit code: any internal error wins over any malformed
+    // submission, which wins over success.
+    let exit = if graded.iter().any(|(_, c)| *c == EXIT_INTERNAL) {
+        EXIT_INTERNAL
+    } else if graded.iter().any(|(_, c)| *c == EXIT_BAD_WORKING) {
+        EXIT_BAD_WORKING
+    } else {
+        0
+    };
+    let entries: Vec<GradeEntry> = graded.into_iter().map(|(entry, _)| entry).collect();
 
     if args.json {
-        return emit_json(&entries);
+        emit_json(&entries)?;
+        return Ok(exit);
     }
     let equivalent =
         entries.iter().filter(|e| e.report.as_ref().is_some_and(|r| r.equivalent)).count();
@@ -354,7 +400,7 @@ fn run_grade(args: &Args) -> Result<(), CliError> {
         entries.len() - equivalent - malformed,
         malformed
     );
-    Ok(())
+    Ok(exit)
 }
 
 fn main() -> ExitCode {
@@ -375,11 +421,11 @@ fn main() -> ExitCode {
         }
         Ok(args) => {
             let result = match args.mode {
-                Mode::Advise => run_advise(&args),
+                Mode::Advise => run_advise(&args).map(|()| 0),
                 Mode::Grade => run_grade(&args),
             };
             match result {
-                Ok(()) => ExitCode::SUCCESS,
+                Ok(code) => ExitCode::from(code),
                 Err(e) => {
                     eprintln!("error: {}", e.msg);
                     ExitCode::from(e.code)

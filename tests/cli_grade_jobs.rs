@@ -1,0 +1,153 @@
+//! CLI batch-mode coverage for `grade --jobs N`: the JSON output must
+//! be identical across worker counts (grading is deterministic and
+//! order-preserving), and the exit-code contract — 0 all graded, 1 tool
+//! error, 3 malformed submission present — must hold independent of
+//! `--jobs`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_qr-hint");
+
+/// A unique scratch directory under the system temp dir (no tempfile
+/// crate in the offline vendor set); removed on drop, best-effort.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "qrhint-cli-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("subs")).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        fs::write(self.0.join(rel), contents).expect("write fixture");
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+const SCHEMA: &str = "CREATE TABLE Serves (\
+    bar VARCHAR(20), beer VARCHAR(20), price INT, PRIMARY KEY (bar, beer));";
+const TARGET: &str = "SELECT s.bar FROM Serves s WHERE s.price >= 3";
+
+fn setup(tag: &str, include_malformed: bool) -> Scratch {
+    let s = Scratch::new(tag);
+    s.write("schema.sql", SCHEMA);
+    s.write("target.sql", TARGET);
+    s.write("subs/a_equiv.sql", "SELECT s.bar FROM Serves s WHERE s.price > 2");
+    s.write("subs/b_where.sql", "SELECT s.bar FROM Serves s WHERE s.price > 3");
+    s.write("subs/c_select.sql", "SELECT s.beer FROM Serves s WHERE s.price >= 3");
+    if include_malformed {
+        s.write("subs/d_malformed.sql", "SELEKT nonsense");
+    }
+    s
+}
+
+fn grade(s: &Scratch, extra: &[&str]) -> Output {
+    let dir = s.path();
+    Command::new(BIN)
+        .arg("grade")
+        .args(["--schema", &dir.join("schema.sql").display().to_string()])
+        .args(["--target", &dir.join("target.sql").display().to_string()])
+        .args(["--submissions", &dir.join("subs").display().to_string()])
+        .args(extra)
+        .output()
+        .expect("run qr-hint")
+}
+
+#[test]
+fn jobs_4_json_is_identical_to_jobs_1() {
+    let s = setup("parity", true);
+    let j1 = grade(&s, &["--jobs", "1", "--json"]);
+    let j4 = grade(&s, &["--jobs", "4", "--json"]);
+    assert_eq!(j1.status.code(), j4.status.code());
+    let (out1, out4) = (
+        String::from_utf8(j1.stdout).unwrap(),
+        String::from_utf8(j4.stdout).unwrap(),
+    );
+    assert_eq!(out1, out4, "--jobs must not change the JSON output");
+    // Sanity on the content: per-file entries in submission order.
+    let a = out1.find("a_equiv.sql").expect("first file present");
+    let b = out1.find("b_where.sql").expect("second file present");
+    let d = out1.find("d_malformed.sql").expect("malformed file present");
+    assert!(a < b && b < d, "entries out of submission order");
+    assert!(out1.contains("\"equivalent\": true"));
+    assert!(out1.contains("parse error"));
+}
+
+#[test]
+fn batch_with_malformed_submission_exits_3_for_all_job_counts() {
+    let s = setup("exit3", true);
+    for jobs in ["1", "2", "8"] {
+        let out = grade(&s, &["--jobs", jobs]);
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "jobs={jobs}: a malformed submission must exit 3"
+        );
+    }
+}
+
+#[test]
+fn clean_batch_exits_0_for_all_job_counts() {
+    let s = setup("exit0", false);
+    for jobs in ["1", "4"] {
+        let out = grade(&s, &["--jobs", jobs]);
+        assert_eq!(out.status.code(), Some(0), "jobs={jobs}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("1 equivalent, 2 hinted, 0 malformed"), "{text}");
+    }
+}
+
+#[test]
+fn bad_target_exits_1_regardless_of_jobs() {
+    let s = setup("exit1", false);
+    s.write("target.sql", "SELEKT broken");
+    for jobs in ["1", "4"] {
+        let out = grade(&s, &["--jobs", jobs]);
+        assert_eq!(out.status.code(), Some(1), "jobs={jobs}: target error is ours");
+    }
+}
+
+#[test]
+fn invalid_jobs_value_is_a_usage_error() {
+    let s = setup("usage", false);
+    for bad in ["0", "-2", "many"] {
+        let out = grade(&s, &["--jobs", bad]);
+        assert_eq!(out.status.code(), Some(2), "--jobs {bad} must be rejected");
+    }
+}
+
+#[test]
+fn advise_mode_exit_codes_unchanged() {
+    // The pre-existing single-submission contract must survive the
+    // batch-mode changes: 0 graded, 3 malformed working query.
+    let s = setup("advise", false);
+    s.write("student.sql", "SELECT s.bar FROM Serves s WHERE s.price > 3");
+    let dir = s.path();
+    let run = |working: &str| {
+        Command::new(BIN)
+            .args(["--schema", &dir.join("schema.sql").display().to_string()])
+            .args(["--target", &dir.join("target.sql").display().to_string()])
+            .args(["--working", &dir.join(working).display().to_string()])
+            .output()
+            .expect("run qr-hint")
+    };
+    assert_eq!(run("student.sql").status.code(), Some(0));
+    s.write("student.sql", "SELEKT nonsense");
+    assert_eq!(run("student.sql").status.code(), Some(3));
+}

@@ -1,0 +1,175 @@
+//! Concurrency soundness of the sharded session layer: hammering one
+//! [`PreparedTarget`] from many threads must produce advice that is
+//! **byte-identical** (serde-JSON form) to the sequential
+//! [`PreparedTarget::grade_batch`] output, in input order, for every
+//! worker count — and the atomic [`SessionStats`] counters must stay
+//! coherent (no lost updates) under the same contention.
+//!
+//! Run under `--release` in CI as well: debug-build scheduling is too
+//! tame to surface real interleavings.
+
+use qr_hint::prelude::*;
+// The parity fingerprint and batch builders come from the bench crate
+// (dev-only back-edge) so test and benchmark parity definitions cannot
+// drift apart.
+use qrhint_bench::parallel_grading::fingerprint;
+use qrhint_bench::session_api;
+use qrhint_workloads::{beers, students};
+use std::collections::BTreeMap;
+
+/// Students-corpus batches: every 4th supported submission, grouped by
+/// target (all four questions, every error category) — the shape of a
+/// real grading run, self-joins included.
+fn students_batches() -> (Schema, Vec<(String, Vec<String>)>) {
+    let mut by_target: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (i, e) in students::corpus().iter().enumerate() {
+        if e.category == "UNSUPPORTED" || i % 4 != 0 {
+            continue;
+        }
+        by_target
+            .entry(e.pair.target_sql.clone())
+            .or_default()
+            .push(e.pair.working_sql.clone());
+    }
+    (students::schema(), by_target.into_iter().collect())
+}
+
+/// Beers batch: fault-injected WHERE variants of course question (c)
+/// (the bench crate's builder) — 24 distinct submissions sharing one
+/// FROM binding, so every worker contends on the same memo group (the
+/// slot pool's worst case).
+fn beers_batch() -> (Schema, String, Vec<String>) {
+    session_api::beers_batch(24)
+}
+
+fn assert_parallel_matches_sequential(
+    schema: &Schema,
+    target: &str,
+    subs: &[String],
+    label: &str,
+) {
+    let qr = QrHint::new(schema.clone());
+    let sequential = {
+        let prepared = qr.compile_target(target).unwrap();
+        fingerprint(&prepared.grade_batch(subs))
+    };
+    for jobs in [1usize, 2, 4, 8] {
+        // Cold pass on a *fresh* target per job count: every worker
+        // does real concurrent run_stages work (slot-pool growth, memo
+        // seeding) — a shared target would be all advice-cache hits
+        // after the first job count and hide cold-path races.
+        let hammered = qr.compile_target(target).unwrap();
+        let cold = fingerprint(&hammered.grade_batch_parallel(subs, jobs));
+        assert_eq!(cold.len(), subs.len(), "{label}: jobs={jobs}");
+        for (i, (p, s)) in cold.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                p, s,
+                "{label}: jobs={jobs}, cold submission {i} diverged from sequential"
+            );
+        }
+        // Warm pass on the same target: the concurrent advice-cache
+        // read path must agree too.
+        let warm = fingerprint(&hammered.grade_batch_parallel(subs, jobs));
+        for (i, (p, s)) in warm.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                p, s,
+                "{label}: jobs={jobs}, warm submission {i} diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn eight_thread_hammer_matches_sequential_on_students_corpus() {
+    let (schema, batches) = students_batches();
+    assert!(batches.len() >= 4, "expected all four questions");
+    for (i, (target, subs)) in batches.iter().enumerate() {
+        assert_parallel_matches_sequential(&schema, target, subs, &format!("students-q{i}"));
+    }
+}
+
+#[test]
+fn eight_thread_hammer_matches_sequential_on_beers_injections() {
+    let (schema, target, subs) = beers_batch();
+    assert!(subs.len() >= 20);
+    assert_parallel_matches_sequential(&schema, &target, &subs, "beers-inject-c");
+}
+
+#[test]
+fn session_stats_stay_coherent_under_concurrency() {
+    let schema = beers::schema();
+    let target = "SELECT s.bar FROM Serves s WHERE s.price >= 3";
+    // A mixed batch with known structure: two distinct FROM groups
+    // (bindings `s` and `t`), a FROM-stage failure (wrong table), and
+    // heavy duplication.
+    let distinct = [
+        "SELECT s.bar FROM Serves s WHERE s.price > 3",
+        "SELECT s.bar FROM Serves s WHERE s.price >= 2",
+        "SELECT s.bar FROM Serves s WHERE s.price >= 3",
+        "SELECT t.bar FROM Serves t WHERE t.price >= 3",
+        "SELECT t.bar FROM Serves t WHERE t.price > 1",
+        "SELECT l.beer FROM Likes l",
+    ];
+    let mut batch: Vec<&str> = Vec::new();
+    for _ in 0..6 {
+        batch.extend(distinct);
+    }
+    let n = batch.len() as u64;
+    let expected_groups = 2; // `s` and `t`; the Likes submission fails FROM
+
+    // Sequential ground truth: exact counter values.
+    let qr = QrHint::new(schema.clone());
+    let sequential = qr.compile_target(target).unwrap();
+    sequential.grade_batch(&batch);
+    let seq = sequential.stats();
+    assert_eq!(seq.advise_calls, n);
+    assert_eq!(seq.from_groups, expected_groups);
+    // Each distinct submission is graded once; every repeat hits the
+    // advice cache.
+    assert_eq!(seq.advice_cache_hits, n - distinct.len() as u64);
+    // Every fresh viable-FROM advise either created or reused a group.
+    assert_eq!(seq.mapping_reuses, 5 - expected_groups);
+
+    // Concurrent run: atomics must lose nothing that is deterministic
+    // under races. advise_calls is exact; group creation is exact (one
+    // insert wins per key); cache hits depend on interleaving (two
+    // threads may both miss on the same duplicate) so they are bounded,
+    // not exact.
+    let hammered = qr.compile_target(target).unwrap();
+    hammered.grade_batch_parallel(&batch, 8);
+    let par = hammered.stats();
+    assert_eq!(par.advise_calls, n, "lost advise_calls updates");
+    assert_eq!(par.from_groups, expected_groups, "group counter diverged");
+    assert!(par.advice_cache_hits <= par.advise_calls);
+    assert!(
+        par.advice_cache_hits <= n - distinct.len() as u64,
+        "more hits than duplicates: {par:?}"
+    );
+    // Fresh viable advises (non-hits) split exactly into creations and
+    // reuses; FROM failures and cache hits account for the rest.
+    let viable_fresh = par.from_groups + par.mapping_reuses;
+    let from_failures_fresh = n - par.advice_cache_hits - viable_fresh;
+    assert!(
+        (1..=6).contains(&from_failures_fresh),
+        "FROM-failure accounting broken: {par:?}"
+    );
+    assert!(par.solver_calls > 0);
+    assert!(par.solver_calls >= seq.solver_calls, "{par:?} vs {seq:?}");
+}
+
+#[test]
+fn stats_advise_calls_exact_across_many_rounds() {
+    // The counter most exposed to lost updates: bump it from 8 threads
+    // over repeated rounds on one target and require exactness.
+    let schema = beers::schema();
+    let qr = QrHint::new(schema);
+    let prepared = qr.compile_target("SELECT s.bar FROM Serves s WHERE s.price >= 3").unwrap();
+    let batch: Vec<String> = (0..40)
+        .map(|i| format!("SELECT s.bar FROM Serves s WHERE s.price >= {}", i % 10))
+        .collect();
+    for round in 1..=3u64 {
+        prepared.grade_batch_parallel(&batch, 8);
+        assert_eq!(prepared.stats().advise_calls, round * batch.len() as u64);
+    }
+    assert_eq!(prepared.stats().from_groups, 1);
+}
