@@ -1,0 +1,62 @@
+//! `qr-hint serve` throughput benchmark binary: requests/sec and
+//! p50/p99 latency against an in-process daemon over real TCP — cold
+//! (register + first advise) vs hot (resident target), at 1/4/8
+//! concurrent keep-alive clients on the students question-(b) mix.
+//! Persists `BENCH_server_throughput.json` in the working directory
+//! (run from the repo root) and exits nonzero if response parity breaks
+//! or a gate fails on a host that could have met it (< 4-core hosts
+//! record the scaling gate as waived; the residency gate applies
+//! everywhere).
+
+use qrhint_bench::{report, server_throughput};
+
+fn main() {
+    let result = server_throughput::run(50, 50);
+    println!(
+        "{}",
+        report::table(
+            &["mode", "clients", "requests", "req/s", "p50 ms", "p99 ms"],
+            &result
+                .rows
+                .iter()
+                .map(|r| vec![
+                    r.mode.clone(),
+                    r.concurrency.to_string(),
+                    r.requests.to_string(),
+                    format!("{:.0}", r.req_per_s),
+                    format!("{:.2}", r.p50_ms),
+                    format!("{:.2}", r.p99_ms),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    println!(
+        "host cores: {} · residency speedup (cold/hot p50): {:.1}x (gate ≥{:.1}x) · \
+         4-client scaling: {:.2}x (gate ≥{:.1}x{})",
+        result.cores,
+        result.residency_speedup,
+        result.residency_threshold,
+        result.scaling_at_4_clients,
+        result.scaling_threshold,
+        if result.gate_waived_low_cores { ", waived: <4 cores" } else { "" }
+    );
+    let json = serde_json::to_string_pretty(&result).expect("report serializes");
+    std::fs::write("BENCH_server_throughput.json", &json)
+        .expect("can write BENCH_server_throughput.json");
+    println!("(wrote BENCH_server_throughput.json)");
+    if !result.parity_ok {
+        eprintln!("FAIL: concurrent clients observed diverging advice JSON");
+        std::process::exit(1);
+    }
+    if !result.gate_ok {
+        eprintln!(
+            "FAIL: residency {:.2}x (≥{:.1}x) / scaling {:.2}x (≥{:.1}x) on a {}-core host",
+            result.residency_speedup,
+            result.residency_threshold,
+            result.scaling_at_4_clients,
+            result.scaling_threshold,
+            result.cores
+        );
+        std::process::exit(1);
+    }
+}

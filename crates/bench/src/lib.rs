@@ -16,6 +16,7 @@
 //! | `exp_dblp_hints` | App. Tables 2–3 — study hints regeneration |
 //! | `exp_session_api` | Session API: cold vs prepared-target grading (`BENCH_session_api.json`) |
 //! | `exp_parallel_grading` | Worker-pool batch grading: sequential vs 2/4/8 threads (`BENCH_parallel_grading.json`) |
+//! | `exp_server_throughput` | `qr-hint serve` daemon: req/s + p50/p99, cold vs hot target, 1/4/8 clients (`BENCH_server_throughput.json`) |
 
 #![forbid(unsafe_code)]
 
@@ -24,6 +25,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod parallel_grading;
 pub mod report;
+pub mod server_throughput;
 pub mod session_api;
 pub mod students_exp;
 pub mod userstudy;

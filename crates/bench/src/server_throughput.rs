@@ -1,0 +1,313 @@
+//! `qr-hint serve` throughput benchmark: requests/sec and latency
+//! percentiles against an in-process daemon over real TCP.
+//!
+//! Two questions, mirroring the registry's reason to exist:
+//!
+//! 1. **Cold vs hot** — how much does target *residency* buy? "Cold" is
+//!    a register + first advise (what every one-shot CLI invocation
+//!    pays: target compilation included); "hot" is the steady-state
+//!    advise latency once the prepared target's memo layers are warm.
+//! 2. **Concurrency** — does throughput scale with concurrent clients
+//!    hammering one target? 1/4/8 keep-alive clients, per-request
+//!    latencies recorded for p50/p99.
+//!
+//! Advice parity is enforced along the way: every response observed at
+//! 4 or 8 clients must be byte-identical to the single-client response
+//! for the same submission.
+//!
+//! Gates (recorded in `BENCH_server_throughput.json`):
+//! * residency: hot p50 must beat the cold first request by ≥ 2× — this
+//!   holds on any host, it measures caching, not parallelism;
+//! * scaling: 4-client throughput ≥ 1.5× 1-client throughput — needs
+//!   real hardware parallelism, so on hosts with < 4 cores it is
+//!   recorded as **waived** (`cores`/`gate_waived_low_cores`), exactly
+//!   like the PR 3 parallel-grading gate.
+
+use crate::session_api;
+use qr_hint::server::{Client, RegistryConfig, Server, ServerConfig, ServiceConfig};
+use serde::Serialize;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// One (mode, concurrency) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerThroughputRow {
+    /// `"cold"` (register + first advise) or `"hot"` (steady state).
+    pub mode: String,
+    /// Concurrent keep-alive clients.
+    pub concurrency: usize,
+    /// Total requests measured.
+    pub requests: usize,
+    pub req_per_s: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+}
+
+/// The full benchmark artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerThroughputReport {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub cores: usize,
+    /// Distinct submissions in the advise mix.
+    pub submissions: usize,
+    pub rows: Vec<ServerThroughputRow>,
+    /// Register + first advise, min over repetitions (ms).
+    pub cold_first_request_ms: f64,
+    /// Steady-state p50 at one client (ms).
+    pub hot_p50_ms: f64,
+    /// `cold_first_request_ms / hot_p50_ms`.
+    pub residency_speedup: f64,
+    pub residency_threshold: f64,
+    pub residency_ok: bool,
+    /// 4-client over 1-client throughput.
+    pub scaling_at_4_clients: f64,
+    pub scaling_threshold: f64,
+    pub scaling_ok: bool,
+    /// The scaling gate needs ≥ 4 hardware threads; under that it is
+    /// recorded as waived rather than failed.
+    pub gate_waived_low_cores: bool,
+    /// Responses at 4/8 clients byte-identical to the 1-client ones.
+    pub parity_ok: bool,
+    /// Overall verdict the exp binary exits on.
+    pub gate_ok: bool,
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect(addr).expect("connect to bench server")
+}
+
+fn json_escape(s: &str) -> String {
+    serde_json::to_string(s).expect("string serializes")
+}
+
+fn register(addr: SocketAddr, schema_ddl: &str, target_sql: &str) -> String {
+    let body = format!(
+        "{{\"schema\": {}, \"target\": {}}}",
+        json_escape(schema_ddl),
+        json_escape(target_sql)
+    );
+    let (status, resp) =
+        connect(addr).request("POST", "/targets", &body).expect("register request");
+    assert_eq!(status, 201, "register failed: {resp}");
+    // `{"id":"tN","evicted":[...]}` — cheap structural extraction.
+    resp.split("\"id\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or_else(|| panic!("no id in {resp}"))
+        .to_string()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Per-client measurement: request latencies plus (submission index,
+/// response) pairs for cross-client parity checks.
+type ClientRun = (Vec<f64>, Vec<(usize, String)>);
+
+/// One concurrency level: `clients` threads, each issuing
+/// `requests_per_client` advises round-robin over the submission mix on
+/// one keep-alive connection. Returns (row, responses-by-submission).
+fn run_level(
+    addr: SocketAddr,
+    target_id: &str,
+    bodies: &[String],
+    clients: usize,
+    requests_per_client: usize,
+) -> (ServerThroughputRow, Vec<String>) {
+    let path = format!("/targets/{target_id}/advise");
+    let started = Instant::now();
+    let per_client: Vec<ClientRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let path = &path;
+                scope.spawn(move || {
+                    let mut client = connect(addr);
+                    let mut latencies = Vec::with_capacity(requests_per_client);
+                    let mut responses = Vec::new();
+                    for r in 0..requests_per_client {
+                        let i = (c + r) % bodies.len();
+                        let t = Instant::now();
+                        let (status, resp) =
+                            client.request("POST", path, &bodies[i]).expect("advise");
+                        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                        // Unsupported-fragment submissions answer 422;
+                        // both outcomes must be stable across clients.
+                        assert!(status == 200 || status == 422, "advise failed: {resp}");
+                        responses.push((i, format!("{status} {resp}")));
+                    }
+                    (latencies, responses)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("bench client panicked")).collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut all_ms: Vec<f64> = Vec::new();
+    let mut by_submission: Vec<String> = vec![String::new(); bodies.len()];
+    let mut parity = true;
+    for (latencies, responses) in per_client {
+        all_ms.extend(latencies);
+        for (i, resp) in responses {
+            if by_submission[i].is_empty() {
+                by_submission[i] = resp;
+            } else if by_submission[i] != resp {
+                parity = false;
+            }
+        }
+    }
+    assert!(parity, "responses diverged across clients at concurrency {clients}");
+    all_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = clients * requests_per_client;
+    (
+        ServerThroughputRow {
+            mode: "hot".into(),
+            concurrency: clients,
+            requests,
+            req_per_s: requests as f64 / wall_s,
+            p50_ms: percentile(&all_ms, 0.50),
+            p99_ms: percentile(&all_ms, 0.99),
+        },
+        by_submission,
+    )
+}
+
+/// Run the full benchmark against a freshly bound in-process daemon.
+pub fn run(batch_cap: usize, requests_per_client: usize) -> ServerThroughputReport {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (schema, target_sql, subs) = session_api::students_batch(batch_cap);
+    let schema_ddl = schema.to_ddl();
+    let bodies: Vec<String> =
+        subs.iter().map(|sql| format!("{{\"sql\": {}}}", json_escape(sql))).collect();
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 16,
+        service: ServiceConfig { jobs: 0, registry: RegistryConfig::default() },
+        ..ServerConfig::default()
+    })
+    .expect("bind bench server");
+    let addr = server.addr();
+    let handle = std::thread::spawn(move || server.run());
+
+    // ---- Cold: register + first advise, min over repetitions. Each
+    // repetition registers a fresh target, so the first advise pays the
+    // whole memo build exactly as a one-shot CLI run would.
+    let mut cold_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let mut client = connect(addr);
+        let t = Instant::now();
+        let id = register(addr, &schema_ddl, &target_sql);
+        let (status, resp) =
+            client
+            .request("POST", &format!("/targets/{id}/advise"), &bodies[0])
+            .expect("cold advise");
+        cold_ms = cold_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        assert!(status == 200 || status == 422, "cold advise failed: {resp}");
+    }
+
+    // ---- Hot: one resident target, warmed by a full pass over the mix.
+    let target_id = register(addr, &schema_ddl, &target_sql);
+    {
+        let mut client = connect(addr);
+        for body in &bodies {
+            let (status, _) =
+                client
+                .request("POST", &format!("/targets/{target_id}/advise"), body)
+                .expect("warmup advise");
+            assert!(status == 200 || status == 422);
+        }
+    }
+
+    let mut rows = vec![ServerThroughputRow {
+        mode: "cold".into(),
+        concurrency: 1,
+        requests: 1,
+        req_per_s: 1e3 / cold_ms,
+        p50_ms: cold_ms,
+        p99_ms: cold_ms,
+    }];
+    let mut baseline: Vec<String> = Vec::new();
+    let mut hot_p50 = f64::NAN;
+    let mut one_client_rps = f64::NAN;
+    let mut four_client_rps = f64::NAN;
+    let mut parity_ok = true;
+    for clients in [1usize, 4, 8] {
+        let (row, by_submission) =
+            run_level(addr, &target_id, &bodies, clients, requests_per_client);
+        if clients == 1 {
+            hot_p50 = row.p50_ms;
+            one_client_rps = row.req_per_s;
+            baseline = by_submission;
+        } else {
+            for (i, resp) in by_submission.iter().enumerate() {
+                if !resp.is_empty() && !baseline[i].is_empty() && resp != &baseline[i] {
+                    parity_ok = false;
+                }
+            }
+            if clients == 4 {
+                four_client_rps = row.req_per_s;
+            }
+        }
+        rows.push(row);
+    }
+
+    // Drain the daemon before reporting.
+    let (status, _) = connect(addr).request("POST", "/shutdown", "").expect("shutdown");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("server run");
+
+    let residency_threshold = 2.0;
+    let scaling_threshold = 1.5;
+    let residency_speedup = cold_ms / hot_p50;
+    let residency_ok = residency_speedup >= residency_threshold;
+    let scaling_at_4_clients = four_client_rps / one_client_rps;
+    let gate_waived_low_cores = cores < 4;
+    let scaling_ok = scaling_at_4_clients >= scaling_threshold;
+    ServerThroughputReport {
+        cores,
+        submissions: bodies.len(),
+        rows,
+        cold_first_request_ms: cold_ms,
+        hot_p50_ms: hot_p50,
+        residency_speedup,
+        residency_threshold,
+        residency_ok,
+        scaling_at_4_clients,
+        scaling_threshold,
+        scaling_ok,
+        gate_waived_low_cores,
+        parity_ok,
+        gate_ok: parity_ok && residency_ok && (scaling_ok || gate_waived_low_cores),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_bounds() {
+        let ms = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&ms, 0.0), 1.0);
+        assert_eq!(percentile(&ms, 1.0), 4.0);
+        assert!(percentile(&ms, 0.5) >= 2.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    /// A miniature end-to-end run so `cargo test` exercises the whole
+    /// harness (tiny sizes; the real numbers come from the exp binary).
+    #[test]
+    fn smoke_run_produces_a_coherent_report() {
+        let report = run(6, 4);
+        assert!(report.parity_ok);
+        assert!(report.cold_first_request_ms > 0.0);
+        assert!(report.hot_p50_ms > 0.0);
+        assert_eq!(report.rows.len(), 4, "cold + 3 hot levels");
+    }
+}

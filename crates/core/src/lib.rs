@@ -82,6 +82,7 @@ pub mod oracle;
 pub mod parallel;
 pub mod pipeline;
 pub mod repair;
+pub mod report;
 pub(crate) mod runner;
 pub mod session;
 pub mod stages;
@@ -92,4 +93,5 @@ pub use oracle::{LowerEnv, Oracle, TypeEnv};
 pub use pipeline::{Advice, QrHint, QrHintConfig};
 pub use qrhint_sqlparse::FlattenOptions;
 pub use repair::{FixStrategy, Repair, RepairConfig, RepairOutcome};
+pub use report::AdviceReport;
 pub use session::{PreparedTarget, SessionStats, TutorSession};

@@ -321,6 +321,13 @@ impl Oracle {
         }
     }
 
+    /// Number of memoized verdicts resident in the satisfiability
+    /// cache (cache-size accounting for the session layer's
+    /// byte-budget eviction).
+    pub fn verdict_cache_len(&self) -> usize {
+        self.sat_cache.values().map(Vec::len).sum()
+    }
+
     /// Install an ambient lowering environment and formula context; used
     /// by the HAVING and SELECT stages.
     pub fn set_ambient(&mut self, env: LowerEnv, ctx: Vec<Formula>) {

@@ -17,6 +17,19 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Resolve a jobs knob: `0` means "use whatever the hardware offers"
+/// (`std::thread::available_parallelism`). This is the shared
+/// convention behind the CLI's `--jobs 0|auto` and the server's
+/// worker/batch defaults, kept next to [`run_indexed`] so every
+/// consumer of the pool resolves the knob the same way.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        jobs
+    }
+}
+
 /// Run `f(0), f(1), …, f(n-1)` across up to `jobs` worker threads and
 /// return the results in index order.
 ///
@@ -85,6 +98,13 @@ mod tests {
             let out = run_indexed(input.len(), jobs, |i| input[i] * 3);
             assert_eq!(out, input.iter().map(|v| v * 3).collect::<Vec<_>>(), "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn resolve_jobs_zero_uses_available_parallelism() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(1), 1);
+        assert_eq!(resolve_jobs(7), 7);
     }
 
     #[test]

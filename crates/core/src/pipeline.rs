@@ -29,13 +29,26 @@ pub struct QrHintConfig {
     /// interactions by the stage count; the default leaves 3× slack
     /// (plus the final `Done` round) purely as a defensive backstop.
     pub max_stage_applications: usize,
+    /// Capacity of a [`PreparedTarget`]'s whole-advice duplicate cache,
+    /// in entries. The cache is LRU-evicted at this bound so a resident
+    /// process (the `qr-hint serve` daemon) can hold a target hot
+    /// indefinitely without the cache growing with every distinct
+    /// submission ever seen. `0` disables the cache entirely.
+    pub advice_cache_capacity: usize,
 }
+
+/// Default bound on the per-target advice cache: generously above any
+/// single classroom batch (the Students+ corpus is 341 entries), small
+/// enough that a long-lived server holding dozens of targets stays
+/// within a predictable memory envelope.
+pub const DEFAULT_ADVICE_CACHE_CAPACITY: usize = 4096;
 
 impl Default for QrHintConfig {
     fn default() -> QrHintConfig {
         QrHintConfig {
             repair: RepairConfig::default(),
             max_stage_applications: 3 * Stage::COUNT + 1,
+            advice_cache_capacity: DEFAULT_ADVICE_CACHE_CAPACITY,
         }
     }
 }

@@ -1,0 +1,66 @@
+//! JSON-facing advice reports, shared by every machine surface.
+//!
+//! The CLI's `--json` modes and the `qr-hint serve` daemon must emit
+//! **byte-identical** advice JSON for the same target and submission —
+//! graders diff outputs across the two paths, and the server test suite
+//! enforces the parity. Centralizing the report shape here (rather than
+//! letting each binary re-derive its own) makes that a property of the
+//! type, not a discipline.
+
+use crate::pipeline::Advice;
+use serde::{Deserialize, Serialize};
+
+/// One advice, JSON-ready: rendered hint strings next to the full
+/// structured [`Advice`] (stage, hint data, fixed query, alias
+/// mapping). The `fixed_sql`/`rendered_hints` fields duplicate
+/// information from `advice` in pre-rendered form so consumers that
+/// only display text never have to understand the AST shapes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdviceReport {
+    pub equivalent: bool,
+    pub stage: String,
+    pub rendered_hints: Vec<String>,
+    pub fixed_sql: Option<String>,
+    pub advice: Advice,
+}
+
+impl AdviceReport {
+    pub fn new(advice: Advice) -> AdviceReport {
+        AdviceReport {
+            equivalent: advice.is_equivalent(),
+            stage: advice.stage.to_string(),
+            rendered_hints: advice.hints.iter().map(|h| h.to_string()).collect(),
+            fixed_sql: advice.fixed.as_ref().map(|q| q.to_string()),
+            advice,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QrHint;
+    use qrhint_sqlast::{Schema, SqlType};
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let schema = Schema::new().with_table(
+            "Serves",
+            &[("bar", SqlType::Str), ("price", SqlType::Int)],
+            &["bar"],
+        );
+        let qr = QrHint::new(schema);
+        let advice = qr
+            .advise_sql(
+                "SELECT s.bar FROM Serves s WHERE s.price >= 3",
+                "SELECT s.bar FROM Serves s WHERE s.price > 3",
+            )
+            .unwrap();
+        let report = AdviceReport::new(advice);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: AdviceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert!(!back.equivalent);
+        assert_eq!(back.stage, "WHERE");
+    }
+}

@@ -83,6 +83,14 @@ pub(crate) struct StageMemos {
     having_memo: HashMap<HavingKey, HavingOutcome>,
 }
 
+impl StageMemos {
+    /// Resident memo entries across all stages (cache-size accounting
+    /// for the session layer's byte-budget eviction).
+    pub(crate) fn len(&self) -> usize {
+        self.where_memo.len() + self.groupby_memo.len() + self.having_memo.len()
+    }
+}
+
 /// Everything the WHERE→SELECT walk needs. The oracle must be typed for
 /// the working query's FROM binding (and therefore also covers `unified`,
 /// whose aliases live in the same space).

@@ -18,7 +18,13 @@
 //!      unchanged earlier stages. A memo hit requires identical stage
 //!      inputs, so cached verdicts are sound by construction.
 //!   3. **Advice cache**: identical resolved submissions (classrooms
-//!      produce many duplicate answers) are graded once.
+//!      produce many duplicate answers) are graded once. The cache is a
+//!      bounded LRU ([`QrHintConfig::advice_cache_capacity`]) so a
+//!      resident server can hold a target hot indefinitely;
+//!      [`SessionStats`] reports hits, misses, evictions and occupancy,
+//!      and [`PreparedTarget::approx_cache_bytes`] /
+//!      [`PreparedTarget::shed_caches`] give a registry byte accounting
+//!      and an eviction hook.
 //! * [`PreparedTarget::grade_batch`] / [`PreparedTarget::grade_batch_parallel`]
 //!   — classroom-scale bulk grading, sequential or fanned out over a
 //!   scoped worker pool ([`crate::parallel`]).
@@ -50,7 +56,8 @@
 //!   solver time but can never change an answer.
 //! * The **whole-advice cache** is an `RwLock` map with a read-path
 //!   hit check, so duplicate submissions stay near-free under
-//!   contention.
+//!   contention; LRU recency is refreshed with an atomic stamp, so even
+//!   a hit never takes the write lock.
 //! * [`SessionStats`] counters are atomics: concurrent advises never
 //!   lose updates, and [`PreparedTarget::stats`] never blocks grading.
 //!
@@ -109,6 +116,19 @@ pub struct SessionStats {
     /// Calls answered from the whole-advice cache (duplicate
     /// submissions).
     pub advice_cache_hits: u64,
+    /// Cache-enabled lookups that missed and had to grade for real.
+    /// `advice_cache_hits + advice_cache_misses` counts every advise
+    /// that consulted the cache (the stateless one-shot wrappers and a
+    /// `advice_cache_capacity = 0` config bypass it).
+    pub advice_cache_misses: u64,
+    /// Entries LRU-evicted from the advice cache at its capacity bound.
+    pub advice_cache_evictions: u64,
+    /// Advice-cache entries resident right now (point-in-time).
+    pub advice_cache_entries: u64,
+    /// Approximate bytes held by the advice cache right now
+    /// (point-in-time; the per-entry estimate of
+    /// [`PreparedTarget::approx_cache_bytes`]).
+    pub advice_cache_bytes: u64,
     /// Distinct (working-FROM binding, table mapping) pairs seen (each
     /// owns one memo group).
     pub from_groups: u64,
@@ -127,6 +147,12 @@ pub struct SessionStats {
 struct AtomicStats {
     advise_calls: AtomicU64,
     advice_cache_hits: AtomicU64,
+    advice_cache_misses: AtomicU64,
+    advice_cache_evictions: AtomicU64,
+    /// Mirrors of the cache's occupancy, updated under its write lock,
+    /// so a stats snapshot never has to take the cache lock.
+    advice_cache_entries: AtomicU64,
+    advice_cache_bytes: AtomicU64,
     from_groups: AtomicU64,
     mapping_reuses: AtomicU64,
     solver_calls: AtomicU64,
@@ -137,6 +163,10 @@ impl AtomicStats {
         SessionStats {
             advise_calls: self.advise_calls.load(Ordering::Relaxed),
             advice_cache_hits: self.advice_cache_hits.load(Ordering::Relaxed),
+            advice_cache_misses: self.advice_cache_misses.load(Ordering::Relaxed),
+            advice_cache_evictions: self.advice_cache_evictions.load(Ordering::Relaxed),
+            advice_cache_entries: self.advice_cache_entries.load(Ordering::Relaxed),
+            advice_cache_bytes: self.advice_cache_bytes.load(Ordering::Relaxed),
             from_groups: self.from_groups.load(Ordering::Relaxed),
             mapping_reuses: self.mapping_reuses.load(Ordering::Relaxed),
             solver_calls: self.solver_calls.load(Ordering::Relaxed),
@@ -229,6 +259,50 @@ impl FromGroup {
     }
 }
 
+/// Byte estimates for the cache-accounting API
+/// ([`PreparedTarget::approx_cache_bytes`]): per-entry costs of the
+/// structures we do not walk exactly. Deliberately coarse — the point is
+/// that a registry's byte budget *scales with real usage* (verdict
+/// caches and memo tables dominate a hot target's footprint), not that
+/// the number matches the allocator.
+const VERDICT_ENTRY_BYTES: usize = 256;
+const STAGE_MEMO_ENTRY_BYTES: usize = 512;
+const SLOT_BASE_BYTES: usize = 2048;
+const GROUP_BASE_BYTES: usize = 2048;
+
+/// One advice-cache entry. `touched` is bumped atomically on read-path
+/// hits, so refreshing LRU recency never needs the write lock.
+struct AdviceEntry {
+    advice: Advice,
+    /// Approximate footprint, computed once at insert.
+    bytes: usize,
+    touched: AtomicU64,
+}
+
+/// The bounded whole-advice duplicate cache: an approximate LRU over
+/// resolved submissions. Capacity comes from
+/// [`QrHintConfig::advice_cache_capacity`]; eviction scans for the
+/// stalest stamp (O(n), but n is the configured capacity and an
+/// eviction is always preceded by a full grading run, so the scan is
+/// noise).
+#[derive(Default)]
+struct AdviceCache {
+    map: HashMap<Query, AdviceEntry>,
+    /// Sum of the entries' byte estimates.
+    bytes: usize,
+}
+
+/// Approximate footprint of one cached advice: the stored key + advice
+/// are tree structures whose size tracks their rendered SQL, plus a
+/// constant for map/struct overhead.
+fn approx_advice_bytes(q: &Query, advice: &Advice) -> usize {
+    let mut n = 256 + 2 * q.to_string().len();
+    if let Some(fixed) = &advice.fixed {
+        n += 2 * fixed.to_string().len();
+    }
+    n + advice.hints.len() * 96
+}
+
 /// Alias → table binding of a working query's FROM clause.
 type FromBinding = BTreeMap<String, String>;
 
@@ -247,7 +321,9 @@ pub struct PreparedTarget {
     cfg: QrHintConfig,
     target: Query,
     groups: RwLock<HashMap<FromKey, Arc<FromGroup>>>,
-    advice_cache: RwLock<HashMap<Query, Advice>>,
+    advice_cache: RwLock<AdviceCache>,
+    /// Monotonic stamp source for the advice cache's LRU ordering.
+    cache_clock: AtomicU64,
     stats: AtomicStats,
 }
 
@@ -273,7 +349,8 @@ impl PreparedTarget {
             cfg,
             target,
             groups: RwLock::new(HashMap::new()),
-            advice_cache: RwLock::new(HashMap::new()),
+            advice_cache: RwLock::new(AdviceCache::default()),
+            cache_clock: AtomicU64::new(0),
             stats: AtomicStats::default(),
         }
     }
@@ -413,11 +490,14 @@ impl PreparedTarget {
     /// memos always apply.
     fn advise_inner(&self, q: &Query, use_advice_cache: bool) -> QrResult<Advice> {
         self.stats.advise_calls.fetch_add(1, Ordering::Relaxed);
+        let use_advice_cache = use_advice_cache && self.cfg.advice_cache_capacity > 0;
         if use_advice_cache {
-            if let Some(hit) = self.advice_cache.read().unwrap().get(q) {
+            if let Some(hit) = self.advice_cache.read().unwrap().map.get(q) {
+                hit.touched.store(self.next_stamp(), Ordering::Relaxed);
                 self.stats.advice_cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(hit.clone());
+                return Ok(hit.advice.clone());
             }
+            self.stats.advice_cache_misses.fetch_add(1, Ordering::Relaxed);
         }
 
         // ---- Stage 1: FROM ---- (always cheap: a multiset compare)
@@ -460,12 +540,108 @@ impl PreparedTarget {
             })?
         };
         if use_advice_cache {
-            // Racing duplicates may both insert; the advices are
-            // identical (deterministic grading), so last-write-wins is
-            // harmless.
-            self.advice_cache.write().unwrap().insert(q.clone(), advice.clone());
+            self.cache_insert(q, &advice);
         }
         Ok(advice)
+    }
+
+    fn next_stamp(&self) -> u64 {
+        self.cache_clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Insert into the bounded advice cache, LRU-evicting down to the
+    /// configured capacity. Racing duplicates may both insert; the
+    /// advices are identical (deterministic grading), so replacement is
+    /// harmless. The entry just inserted carries the freshest stamp, so
+    /// it is never the eviction victim.
+    fn cache_insert(&self, q: &Query, advice: &Advice) {
+        let cap = self.cfg.advice_cache_capacity;
+        let bytes = approx_advice_bytes(q, advice);
+        let mut cache = self.advice_cache.write().unwrap();
+        let entry = AdviceEntry {
+            advice: advice.clone(),
+            bytes,
+            touched: AtomicU64::new(self.next_stamp()),
+        };
+        if let Some(prev) = cache.map.insert(q.clone(), entry) {
+            cache.bytes -= prev.bytes;
+        }
+        cache.bytes += bytes;
+        while cache.map.len() > cap {
+            let victim = cache
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.touched.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(evicted) = cache.map.remove(&victim) {
+                cache.bytes -= evicted.bytes;
+                self.stats.advice_cache_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.stats.advice_cache_entries.store(cache.map.len() as u64, Ordering::Relaxed);
+        self.stats.advice_cache_bytes.store(cache.bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Approximate bytes held by this target's rebuildable caches: the
+    /// advice cache (exact per-entry estimates) plus every FROM group's
+    /// solver slots (verdict caches and stage memos, estimated per
+    /// entry; a slot busy grading right now is counted at a flat base
+    /// cost rather than blocking on its lock). The `qr-hint serve`
+    /// registry steers its byte-budget eviction with this number.
+    pub fn approx_cache_bytes(&self) -> usize {
+        let mut total = self.stats.advice_cache_bytes.load(Ordering::Relaxed) as usize;
+        for group in self.groups.read().unwrap().values() {
+            total += GROUP_BASE_BYTES;
+            let slots: Vec<Arc<Mutex<GroupSlot>>> =
+                group.slots.read().unwrap().iter().map(Arc::clone).collect();
+            for slot in &slots {
+                total += SLOT_BASE_BYTES;
+                if let Ok(guard) = slot.try_lock() {
+                    total += guard.oracle.verdict_cache_len() * VERDICT_ENTRY_BYTES
+                        + guard.memos.len() * STAGE_MEMO_ENTRY_BYTES;
+                }
+            }
+        }
+        total
+    }
+
+    /// Drop every rebuildable cache — the whole-advice cache and each
+    /// FROM group's solver slots (persistent oracles, verdict caches,
+    /// stage memos) — while keeping the compiled target and the groups'
+    /// immutable derivations (unified target, domain context, typing).
+    /// Returns the approximate bytes freed.
+    ///
+    /// This is the eviction hook a resident server uses as a middle
+    /// ground: a shed target re-pays solver time on its next request
+    /// but no target-compilation time, while a dropped target pays
+    /// both. Safe under concurrent grading: an advise holding a slot
+    /// keeps its `Arc` alive until it finishes; the pool simply regrows
+    /// on demand afterwards.
+    pub fn shed_caches(&self) -> usize {
+        let mut freed = {
+            let mut cache = self.advice_cache.write().unwrap();
+            let freed = cache.bytes;
+            let dropped = cache.map.len() as u64;
+            cache.map.clear();
+            cache.bytes = 0;
+            self.stats.advice_cache_evictions.fetch_add(dropped, Ordering::Relaxed);
+            self.stats.advice_cache_entries.store(0, Ordering::Relaxed);
+            self.stats.advice_cache_bytes.store(0, Ordering::Relaxed);
+            freed
+        };
+        for group in self.groups.read().unwrap().values() {
+            let slots: Vec<Arc<Mutex<GroupSlot>>> =
+                std::mem::take(&mut *group.slots.write().unwrap());
+            for slot in &slots {
+                freed += SLOT_BASE_BYTES;
+                if let Ok(guard) = slot.try_lock() {
+                    freed += guard.oracle.verdict_cache_len() * VERDICT_ENTRY_BYTES
+                        + guard.memos.len() * STAGE_MEMO_ENTRY_BYTES;
+                }
+            }
+        }
+        freed
     }
 }
 
@@ -639,6 +815,67 @@ mod tests {
             1,
             "uncontended grading must not grow the slot pool"
         );
+    }
+
+    #[test]
+    fn advice_cache_is_lru_bounded() {
+        let qr = QrHint::with_config(
+            beers_schema(),
+            QrHintConfig { advice_cache_capacity: 2, ..QrHintConfig::default() },
+        );
+        let prepared = qr.compile_target(TARGET).unwrap();
+        let sub = |price: i64| format!("SELECT s.bar FROM Serves s WHERE s.price >= {price}");
+        prepared.advise_sql(&sub(1)).unwrap();
+        prepared.advise_sql(&sub(2)).unwrap();
+        // Touch price-1 so price-2 is the LRU victim of the next insert.
+        prepared.advise_sql(&sub(1)).unwrap();
+        prepared.advise_sql(&sub(3)).unwrap();
+        let stats = prepared.stats();
+        assert_eq!(stats.advice_cache_entries, 2, "capacity bound");
+        assert_eq!(stats.advice_cache_evictions, 1);
+        assert_eq!(stats.advice_cache_hits, 1);
+        assert_eq!(stats.advice_cache_misses, 3);
+        assert!(stats.advice_cache_bytes > 0);
+        // price-1 survived (it was touched), price-2 did not.
+        prepared.advise_sql(&sub(1)).unwrap();
+        assert_eq!(prepared.stats().advice_cache_hits, 2, "touched entry kept");
+        prepared.advise_sql(&sub(2)).unwrap();
+        assert_eq!(prepared.stats().advice_cache_hits, 2, "LRU entry evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_advice_cache() {
+        let qr = QrHint::with_config(
+            beers_schema(),
+            QrHintConfig { advice_cache_capacity: 0, ..QrHintConfig::default() },
+        );
+        let prepared = qr.compile_target(TARGET).unwrap();
+        let sub = "SELECT s.bar FROM Serves s WHERE s.price > 3";
+        prepared.advise_sql(sub).unwrap();
+        prepared.advise_sql(sub).unwrap();
+        let stats = prepared.stats();
+        assert_eq!(stats.advice_cache_hits, 0);
+        assert_eq!(stats.advice_cache_misses, 0, "disabled cache counts no lookups");
+        assert_eq!(stats.advice_cache_entries, 0);
+    }
+
+    #[test]
+    fn shed_caches_preserves_answers_and_resets_occupancy() {
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr.compile_target(TARGET).unwrap();
+        let sub = "SELECT s.bar FROM Serves s WHERE s.price > 3";
+        let before = prepared.advise_sql(sub).unwrap();
+        assert!(prepared.approx_cache_bytes() > 0);
+        let freed = prepared.shed_caches();
+        assert!(freed > 0);
+        let stats = prepared.stats();
+        assert_eq!(stats.advice_cache_entries, 0);
+        assert_eq!(stats.advice_cache_bytes, 0);
+        // Next advise re-pays solver work but answers identically.
+        let after = prepared.advise_sql(sub).unwrap();
+        assert_eq!(before.stage, after.stage);
+        assert_eq!(before.hints, after.hints);
+        assert_eq!(before.fixed, after.fixed);
     }
 
     #[test]

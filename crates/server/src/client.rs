@@ -1,0 +1,85 @@
+//! A minimal blocking HTTP/1.1 client for the daemon's API: one
+//! keep-alive connection, serial request/response.
+//!
+//! This is the client half of the [`crate::http`] subset, shared by the
+//! integration tests, the throughput benchmark and the
+//! `serve_classroom` example so they exercise the daemon the way a real
+//! grader script would — over actual sockets — without three copies of
+//! response framing. It is deliberately tiny; anything beyond
+//! JSON-over-`Content-Length` (redirects, TLS, chunked bodies) is out
+//! of scope.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One keep-alive connection to a qr-hint daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect with a read timeout (so a wedged server cannot hang the
+    /// caller forever) and `TCP_NODELAY` (the request/response segments
+    /// are small; Nagle + delayed ACK would add ~40 ms per round trip).
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Send one request, read one response; returns (status, body).
+    /// The connection stays open for the next call.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let mut wire = format!(
+            "{method} {path} HTTP/1.1\r\nHost: qrhint\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        wire.push_str(body);
+        self.writer.write_all(wire.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(&format!("bad status line: {status_line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length =
+                    v.trim().parse().map_err(|_| bad(&format!("bad Content-Length: {v}")))?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|body| (status, body))
+            .map_err(|_| bad("response body is not UTF-8"))
+    }
+}
+
+/// One request on a fresh connection (register, health probes, …).
+pub fn request_once(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    Client::connect(addr)?.request(method, path, body)
+}

@@ -1,0 +1,58 @@
+//! # qrhint-server
+//!
+//! The `qr-hint serve` daemon: a long-running grading service that
+//! keeps [`qrhint_core::PreparedTarget`]s hot across requests, behind a
+//! dependency-free (std-only) HTTP/1.1 JSON API.
+//!
+//! The paper's deployment story (§1, §10) is one hidden target graded
+//! against a stream of student submissions. The CLI pays target
+//! compilation on every process start; this subsystem makes the
+//! prepared target *resident*: register once, then every
+//! advise/grade request rides the session layer's memo state — FROM
+//! groups, solver verdict caches, stage memos, and the bounded advice
+//! cache — at its hottest.
+//!
+//! ## API
+//!
+//! | Route | Effect |
+//! |-------|--------|
+//! | `POST /targets` | register `{schema, target[, extended, rewrite_subqueries]}` → `201 {id, evicted}` |
+//! | `POST /targets/{id}/advise` | one submission `{sql}` → `200` [`qrhint_core::AdviceReport`] |
+//! | `POST /targets/{id}/grade` | batch `{submissions[, jobs]}` → `200 {jobs, entries}` (fanned out over [`qrhint_core::parallel::run_indexed`]) |
+//! | `GET /targets/{id}/stats` | `200 {id, stats, approx_cache_bytes}` |
+//! | `GET /healthz` | liveness + registry totals (also served while draining) |
+//! | `POST /shutdown` | graceful drain: stop accepting, finish queued work, exit |
+//!
+//! Advice JSON is **byte-identical** (module canonical re-serialization)
+//! to the offline `qr-hint grade --json` path — both surfaces serialize
+//! the shared [`qrhint_core::AdviceReport`].
+//!
+//! ## Architecture
+//!
+//! * [`http`] — hand-rolled HTTP/1.1 subset (the offline vendor policy
+//!   rules out hyper; `Content-Length` framing, keep-alive,
+//!   `Expect: 100-continue`). Malformed requests answer `400`/`413`,
+//!   never a silent connection drop.
+//! * [`registry`] — [`registry::TargetRegistry`]: LRU over
+//!   `Arc<RegisteredTarget>` with an entry capacity and a byte budget;
+//!   eviction sheds rebuildable caches before dropping targets.
+//! * [`service`] — transport-agnostic route dispatch and the JSON wire
+//!   shapes; unit-testable without sockets.
+//! * [`server`] — accept loop + scoped connection worker pool +
+//!   graceful drain.
+//! * [`client`] — the matching minimal blocking client, shared by the
+//!   integration tests, the throughput benchmark and the
+//!   `serve_classroom` example.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod http;
+pub mod registry;
+pub mod server;
+pub mod service;
+
+pub use client::Client;
+pub use registry::{EvictionReport, RegisteredTarget, RegistryConfig, TargetRegistry};
+pub use server::{Server, ServerConfig};
+pub use service::{resolve_jobs, QrHintService, ServiceConfig};

@@ -1,0 +1,213 @@
+//! The daemon shell: TCP accept loop, a scoped connection worker pool
+//! (the same `std::thread::scope` infrastructure the parallel grading
+//! path is built on), and graceful drain.
+//!
+//! Life of a connection: the acceptor pushes it onto a bounded queue; a
+//! worker pops it and serves requests serially over keep-alive until
+//! the client closes, a framing error forces a close, or the server
+//! starts draining. `POST /shutdown` flips the service's draining flag;
+//! the handling worker then nudges the (blocking) acceptor awake with a
+//! loopback connection, the acceptor stops accepting, workers finish
+//! the queued connections, and [`Server::run`] returns.
+
+use crate::http::{self, HttpError};
+use crate::service::{QrHintService, ServiceConfig};
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Everything `qr-hint serve` configures.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` = ephemeral port,
+    /// readable back from [`Server::addr`]).
+    pub addr: String,
+    /// Connection workers (`0` = use available parallelism).
+    pub workers: usize,
+    pub service: ServiceConfig,
+    /// Cap on request bodies.
+    pub max_body_bytes: usize,
+    /// Per-socket read timeout so a dead client cannot pin a worker.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 0,
+            service: ServiceConfig::default(),
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Connection queue shared by the acceptor and the workers.
+#[derive(Default)]
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    /// Set once the acceptor has stopped: workers drain and exit.
+    closed: AtomicBool,
+}
+
+impl ConnQueue {
+    fn push(&self, conn: TcpStream) {
+        self.queue.lock().unwrap().push_back(conn);
+        self.ready.notify_one();
+    }
+
+    /// Pop the next connection, blocking; `None` once the queue is
+    /// closed *and* empty.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            if let Some(conn) = queue.pop_front() {
+                return Some(conn);
+            }
+            if self.closed.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self.ready.wait(queue).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+}
+
+/// A bound-but-not-yet-running grading daemon.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    service: Arc<QrHintService>,
+    workers: usize,
+    max_body_bytes: usize,
+    read_timeout: Duration,
+}
+
+impl Server {
+    /// Bind the listener (so the caller knows the ephemeral port before
+    /// the serve loop starts) and build the service.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = crate::service::resolve_jobs(cfg.workers).max(2);
+        Ok(Server {
+            listener,
+            addr,
+            service: Arc::new(QrHintService::new(cfg.service)),
+            workers,
+            max_body_bytes: cfg.max_body_bytes,
+            read_timeout: cfg.read_timeout,
+        })
+    }
+
+    /// The actually-bound address (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn service(&self) -> &Arc<QrHintService> {
+        &self.service
+    }
+
+    /// Serve until a `POST /shutdown` drains the daemon. Blocks the
+    /// calling thread; run it on a spawned thread to keep a handle
+    /// (the integration tests and the classroom example do).
+    pub fn run(self) -> io::Result<()> {
+        let queue = ConnQueue::default();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| {
+                    while let Some(conn) = queue.pop() {
+                        self.serve_connection(conn);
+                    }
+                });
+            }
+            // Acceptor (this thread). `accept` blocks, so the drain
+            // path nudges it with a loopback connection.
+            loop {
+                match self.listener.accept() {
+                    Ok((conn, _)) => {
+                        if self.service.is_draining() {
+                            // Likely the nudge itself; either way no new
+                            // work is accepted while draining.
+                            drop(conn);
+                            break;
+                        }
+                        queue.push(conn);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        queue.close();
+                        return Err(e);
+                    }
+                }
+            }
+            queue.close();
+            Ok(())
+        })
+    }
+
+    /// Serve one connection: requests in series over keep-alive.
+    fn serve_connection(&self, conn: TcpStream) {
+        let _ = conn.set_read_timeout(Some(self.read_timeout));
+        // Keep-alive request/response traffic is many small segments;
+        // without TCP_NODELAY the Nagle/delayed-ACK interaction adds
+        // ~40 ms to every response.
+        let _ = conn.set_nodelay(true);
+        let mut writer = match conn.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(conn);
+        loop {
+            let request = http::read_request(&mut reader, &mut writer, self.max_body_bytes);
+            match request {
+                Ok(req) => {
+                    let was_draining = self.service.is_draining();
+                    let resp = self.service.handle(&req);
+                    // Keep-alive survives unless the client opted out or
+                    // the server is draining after this response.
+                    let draining = self.service.is_draining();
+                    let keep = req.keep_alive && !draining;
+                    let wrote = http::write_response(&mut writer, &resp, keep);
+                    if draining && !was_draining {
+                        // This request initiated the drain: wake the
+                        // blocking acceptor so `run` can return. Must
+                        // happen even if the response write failed (a
+                        // client may fire /shutdown and hang up without
+                        // reading) — otherwise the acceptor blocks
+                        // forever on a drained server.
+                        let _ = TcpStream::connect(self.addr);
+                    }
+                    if wrote.is_err() || !keep {
+                        return;
+                    }
+                }
+                Err(HttpError::Closed) => return,
+                Err(HttpError::Malformed(msg)) => {
+                    // Framing is broken — answer, then close (the stream
+                    // position is no longer trustworthy).
+                    let resp = crate::service::error_response(400, "bad_http", msg);
+                    let _ = http::write_response(&mut writer, &resp, false);
+                    return;
+                }
+                Err(HttpError::TooLarge(msg)) => {
+                    let resp = crate::service::error_response(413, "too_large", msg);
+                    let _ = http::write_response(&mut writer, &resp, false);
+                    return;
+                }
+                Err(HttpError::Io(_)) => return,
+            }
+        }
+    }
+}

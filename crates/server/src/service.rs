@@ -1,0 +1,492 @@
+//! Route dispatch and JSON request/response shapes for the daemon.
+//!
+//! The service is transport-agnostic: it maps one parsed [`Request`]
+//! to one [`Response`], and the connection loop in [`crate::server`]
+//! owns the sockets. That split keeps every handler unit-testable
+//! without a listener.
+//!
+//! Status-code contract (enforced by `tests/server_http.rs`):
+//!
+//! * `400` — the request itself is broken: unparseable JSON, missing
+//!   fields, non-UTF-8 body.
+//! * `404` — unknown route or unknown/evicted target id.
+//! * `405` — known route, wrong method.
+//! * `422` — the request is well-formed but the SQL in it is not:
+//!   schema/target errors at registration, malformed or unsupported
+//!   submissions at advise time.
+//! * `500` — a grading-internal invariant failed (never the client's
+//!   fault).
+//! * `503` — the server is draining after `POST /shutdown`.
+
+use crate::http::{Request, Response};
+use crate::registry::{RegistryConfig, TargetRegistry};
+use qrhint_core::{AdviceReport, QrHint, QrHintError, SessionStats};
+use qrhint_sqlparse::{parse_schema, FlattenOptions};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Service-level knobs (the CLI's `serve` flags land here).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads for one `grade` batch (`0` = use
+    /// `std::thread::available_parallelism`).
+    pub jobs: usize,
+    pub registry: RegistryConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig { jobs: 1, registry: RegistryConfig::default() }
+    }
+}
+
+// The 0 = available-parallelism convention lives beside the worker
+// pool itself ([`qrhint_core::parallel`]); re-exported here because it
+// is part of the service's configuration surface.
+pub use qrhint_core::parallel::resolve_jobs;
+
+// ---------------------------------------------------------------------------
+// Wire shapes
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Deserialize)]
+struct RegisterRequest {
+    schema: String,
+    target: String,
+    #[serde(default)]
+    extended: bool,
+    #[serde(default)]
+    rewrite_subqueries: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct RegisterResponse {
+    id: String,
+    /// Target ids the capacity bound dropped to make room.
+    evicted: Vec<String>,
+}
+
+#[derive(Debug, Deserialize)]
+struct AdviseRequest {
+    sql: String,
+}
+
+#[derive(Debug, Deserialize)]
+struct GradeRequest {
+    submissions: Vec<String>,
+    /// `0` (or omitted) = the server's configured default.
+    #[serde(default)]
+    jobs: usize,
+}
+
+/// One graded submission; `report` mirrors the CLI's `grade --json`
+/// entry shape byte-for-byte (same [`AdviceReport`] serialization).
+#[derive(Debug, Serialize)]
+struct GradeEntry {
+    index: usize,
+    ok: bool,
+    error: Option<String>,
+    report: Option<AdviceReport>,
+}
+
+#[derive(Debug, Serialize)]
+struct GradeResponse {
+    jobs: usize,
+    entries: Vec<GradeEntry>,
+}
+
+#[derive(Debug, Serialize)]
+struct StatsResponse {
+    id: String,
+    stats: SessionStats,
+    approx_cache_bytes: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct HealthResponse {
+    status: String,
+    version: String,
+    targets: usize,
+    uptime_ms: u64,
+    requests_served: u64,
+    registered_total: u64,
+    shed_total: u64,
+    evicted_total: u64,
+    draining: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct ShutdownResponse {
+    status: String,
+}
+
+/// Every non-2xx body: a human-readable message plus a stable
+/// machine-checkable kind.
+#[derive(Debug, Serialize)]
+pub struct ErrorBody {
+    pub error: String,
+    pub kind: String,
+}
+
+pub fn error_response(status: u16, kind: &str, error: impl Into<String>) -> Response {
+    let body = ErrorBody { error: error.into(), kind: kind.to_string() };
+    Response::new(status, serde_json::to_string(&body).expect("error body serializes"))
+}
+
+fn json_response<T: Serialize>(status: u16, value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::new(status, body),
+        Err(e) => error_response(500, "internal", format!("response serialization: {e}")),
+    }
+}
+
+fn parse_body<T: serde::Deserialize>(req: &Request) -> Result<T, Response> {
+    let text = req
+        .body_str()
+        .map_err(|_| error_response(400, "bad_request", "request body is not valid UTF-8"))?;
+    serde_json::from_str::<T>(text)
+        .map_err(|e| error_response(400, "bad_request", format!("bad JSON body: {e}")))
+}
+
+/// Map a grading-pipeline error to the side at fault, mirroring the
+/// CLI's exit-code contract (3 = student's SQL, 1 = ours).
+fn sql_error_response(context: &str, e: &QrHintError) -> Response {
+    match e {
+        QrHintError::Parse(_) | QrHintError::Resolve(_) | QrHintError::Unsupported(_) => {
+            error_response(422, "bad_sql", format!("{context}: {e}"))
+        }
+        QrHintError::Internal(_) => error_response(500, "internal", format!("{context}: {e}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// The grading service: a [`TargetRegistry`] plus request dispatch.
+pub struct QrHintService {
+    registry: TargetRegistry,
+    jobs: usize,
+    started: Instant,
+    draining: AtomicBool,
+    requests_served: AtomicU64,
+}
+
+impl QrHintService {
+    pub fn new(cfg: ServiceConfig) -> QrHintService {
+        QrHintService {
+            registry: TargetRegistry::new(cfg.registry),
+            jobs: resolve_jobs(cfg.jobs),
+            started: Instant::now(),
+            draining: AtomicBool::new(false),
+            requests_served: AtomicU64::new(0),
+        }
+    }
+
+    pub fn registry(&self) -> &TargetRegistry {
+        &self.registry
+    }
+
+    /// Default per-batch grading parallelism.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Handle one request. Infallible by construction: every failure
+    /// mode is a well-formed JSON error response.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        let path = req.path.trim_end_matches('/');
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        // Draining: answer health checks (monitoring wants to watch the
+        // drain) but refuse new work.
+        if self.is_draining() && segments.as_slice() != ["healthz"] {
+            return error_response(503, "draining", "server is shutting down");
+        }
+        match (req.method.as_str(), segments.as_slice()) {
+            ("POST", ["targets"]) => self.handle_register(req),
+            ("POST", ["targets", id, "advise"]) => self.handle_advise(req, id),
+            ("POST", ["targets", id, "grade"]) => self.handle_grade(req, id),
+            ("GET", ["targets", id, "stats"]) => self.handle_stats(id),
+            ("GET", ["healthz"]) => self.handle_health(),
+            ("POST", ["shutdown"]) => self.handle_shutdown(),
+            // Known routes with the wrong verb get 405, unknown paths 404.
+            (_, ["targets"]) | (_, ["targets", _, "advise" | "grade" | "stats"])
+            | (_, ["healthz"]) | (_, ["shutdown"]) => {
+                error_response(405, "method_not_allowed", format!("{} {}", req.method, req.path))
+            }
+            _ => error_response(404, "not_found", format!("no route for {}", req.path)),
+        }
+    }
+
+    fn handle_register(&self, req: &Request) -> Response {
+        let body: RegisterRequest = match parse_body(req) {
+            Ok(b) => b,
+            Err(resp) => return resp,
+        };
+        let schema = match parse_schema(&body.schema) {
+            Ok(s) => s,
+            Err(e) => return error_response(422, "bad_sql", format!("schema: {e}")),
+        };
+        let qr = QrHint::new(schema);
+        let opts = FlattenOptions { rewrite_positive_subqueries: body.rewrite_subqueries };
+        let compiled = if body.extended {
+            qr.compile_target_extended(&body.target, &opts)
+        } else {
+            qr.compile_target(&body.target)
+        };
+        let prepared = match compiled {
+            Ok(p) => p,
+            Err(e) => return sql_error_response("target query", &e),
+        };
+        let (target, eviction) =
+            self.registry.register(prepared, body.extended, body.rewrite_subqueries);
+        json_response(
+            201,
+            &RegisterResponse { id: target.id.clone(), evicted: eviction.dropped },
+        )
+    }
+
+    fn handle_advise(&self, req: &Request, id: &str) -> Response {
+        let body: AdviseRequest = match parse_body(req) {
+            Ok(b) => b,
+            Err(resp) => return resp,
+        };
+        let Some(target) = self.registry.get(id) else {
+            return error_response(404, "unknown_target", format!("no target `{id}`"));
+        };
+        let opts = FlattenOptions { rewrite_positive_subqueries: target.rewrite_subqueries };
+        let prepared = &target.prepared;
+        let working = if target.extended {
+            prepared.prepare_extended(&body.sql, &opts)
+        } else {
+            prepared.prepare(&body.sql)
+        };
+        let advice = working.and_then(|q| prepared.advise(&q));
+        let resp = match advice {
+            Ok(advice) => json_response(200, &AdviceReport::new(advice)),
+            Err(e) => sql_error_response("submission", &e),
+        };
+        self.registry.enforce_byte_budget();
+        resp
+    }
+
+    fn handle_grade(&self, req: &Request, id: &str) -> Response {
+        let body: GradeRequest = match parse_body(req) {
+            Ok(b) => b,
+            Err(resp) => return resp,
+        };
+        let Some(target) = self.registry.get(id) else {
+            return error_response(404, "unknown_target", format!("no target `{id}`"));
+        };
+        // A request may narrow or widen parallelism, within reason: the
+        // cap keeps one request from spawning unbounded threads.
+        let jobs = if body.jobs == 0 { self.jobs } else { body.jobs.min(64) };
+        let prepared = &target.prepared;
+        let opts = FlattenOptions { rewrite_positive_subqueries: target.rewrite_subqueries };
+        let entries = qrhint_core::parallel::run_indexed(body.submissions.len(), jobs, |i| {
+            let sql = &body.submissions[i];
+            let working = if target.extended {
+                prepared.prepare_extended(sql, &opts)
+            } else {
+                prepared.prepare(sql)
+            };
+            match working.and_then(|q| prepared.advise(&q)) {
+                Ok(advice) => GradeEntry {
+                    index: i,
+                    ok: true,
+                    error: None,
+                    report: Some(AdviceReport::new(advice)),
+                },
+                Err(e) => GradeEntry {
+                    index: i,
+                    ok: false,
+                    error: Some(e.to_string()),
+                    report: None,
+                },
+            }
+        });
+        let resp = json_response(200, &GradeResponse { jobs, entries });
+        self.registry.enforce_byte_budget();
+        resp
+    }
+
+    fn handle_stats(&self, id: &str) -> Response {
+        let Some(target) = self.registry.get(id) else {
+            return error_response(404, "unknown_target", format!("no target `{id}`"));
+        };
+        json_response(
+            200,
+            &StatsResponse {
+                id: target.id.clone(),
+                stats: target.prepared.stats(),
+                approx_cache_bytes: target.prepared.approx_cache_bytes() as u64,
+            },
+        )
+    }
+
+    fn handle_health(&self) -> Response {
+        let (registered_total, shed_total, evicted_total) = self.registry.totals();
+        json_response(
+            200,
+            &HealthResponse {
+                status: if self.is_draining() { "draining".into() } else { "ok".into() },
+                version: env!("CARGO_PKG_VERSION").to_string(),
+                targets: self.registry.len(),
+                uptime_ms: self.started.elapsed().as_millis() as u64,
+                requests_served: self.requests_served.load(Ordering::Relaxed),
+                registered_total,
+                shed_total,
+                evicted_total,
+                draining: self.is_draining(),
+            },
+        )
+    }
+
+    fn handle_shutdown(&self) -> Response {
+        self.draining.store(true, Ordering::SeqCst);
+        json_response(200, &ShutdownResponse { status: "draining".into() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = "CREATE TABLE Serves (bar VARCHAR(20), beer VARCHAR(20), \
+                          price INT, PRIMARY KEY (bar, beer));";
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    fn service() -> QrHintService {
+        QrHintService::new(ServiceConfig::default())
+    }
+
+    fn register(svc: &QrHintService, target: &str) -> String {
+        let body = serde_json::to_string(&{
+            let mut m: std::collections::BTreeMap<String, String> =
+                std::collections::BTreeMap::new();
+            m.insert("schema".into(), SCHEMA.into());
+            m.insert("target".into(), target.into());
+            m
+        })
+        .unwrap();
+        let resp = svc.handle(&post("/targets", &body));
+        assert_eq!(resp.status, 201, "{}", resp.body);
+        // `{"id":"tN", ...}` — pull the id out structurally.
+        let v: serde::Value = serde_json::from_str(&resp.body).unwrap();
+        match v {
+            serde::Value::Map(m) => match m.iter().find(|(k, _)| k == "id") {
+                Some((_, serde::Value::Str(id))) => id.clone(),
+                other => panic!("no id in register response: {other:?}"),
+            },
+            other => panic!("register response not a map: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_advise_stats_round_trip() {
+        let svc = service();
+        let id = register(&svc, "SELECT s.bar FROM Serves s WHERE s.price >= 3");
+        let resp = svc.handle(&post(
+            &format!("/targets/{id}/advise"),
+            "{\"sql\": \"SELECT s.bar FROM Serves s WHERE s.price > 3\"}",
+        ));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"equivalent\":false"), "{}", resp.body);
+        let stats = svc.handle(&get(&format!("/targets/{id}/stats")));
+        assert_eq!(stats.status, 200);
+        assert!(stats.body.contains("\"advise_calls\":1"), "{}", stats.body);
+    }
+
+    #[test]
+    fn error_statuses_are_stable() {
+        let svc = service();
+        // Bad JSON → 400.
+        assert_eq!(svc.handle(&post("/targets", "{not json")).status, 400);
+        // Missing field → 400.
+        assert_eq!(svc.handle(&post("/targets", "{\"schema\": \"x\"}")).status, 400);
+        // Bad target SQL → 422.
+        let resp = svc.handle(&post(
+            "/targets",
+            &format!("{{\"schema\": \"{}\", \"target\": \"SELEKT nope\"}}",
+                     SCHEMA.replace('"', "\\\"")),
+        ));
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        // Unknown target → 404.
+        assert_eq!(
+            svc.handle(&post("/targets/t99/advise", "{\"sql\": \"SELECT 1\"}")).status,
+            404
+        );
+        // Unknown route → 404; known route, wrong verb → 405.
+        assert_eq!(svc.handle(&get("/nope")).status, 404);
+        assert_eq!(svc.handle(&get("/targets")).status, 405);
+        assert_eq!(svc.handle(&get("/shutdown")).status, 405);
+    }
+
+    #[test]
+    fn malformed_submission_is_422_not_500() {
+        let svc = service();
+        let id = register(&svc, "SELECT s.bar FROM Serves s WHERE s.price >= 3");
+        let resp = svc.handle(&post(
+            &format!("/targets/{id}/advise"),
+            "{\"sql\": \"SELEKT nonsense\"}",
+        ));
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        assert!(resp.body.contains("bad_sql"));
+    }
+
+    #[test]
+    fn grade_batch_reports_per_submission_errors_in_order() {
+        let svc = service();
+        let id = register(&svc, "SELECT s.bar FROM Serves s WHERE s.price >= 3");
+        let resp = svc.handle(&post(
+            &format!("/targets/{id}/grade"),
+            "{\"submissions\": [\"SELECT s.bar FROM Serves s WHERE s.price >= 3\", \
+              \"SELEKT nonsense\"], \"jobs\": 2}",
+        ));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"equivalent\":true"), "{}", resp.body);
+        assert!(resp.body.contains("parse error"), "{}", resp.body);
+    }
+
+    #[test]
+    fn draining_refuses_new_work_but_answers_health() {
+        let svc = service();
+        assert_eq!(svc.handle(&post("/shutdown", "")).status, 200);
+        assert!(svc.is_draining());
+        assert_eq!(svc.handle(&post("/targets", "{}")).status, 503);
+        let health = svc.handle(&get("/healthz"));
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains("\"draining\":true"));
+    }
+
+    #[test]
+    fn resolve_jobs_zero_uses_available_parallelism() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(3), 3);
+    }
+}

@@ -104,6 +104,40 @@ impl Schema {
         self
     }
 
+    /// Render as `CREATE TABLE` DDL that round-trips through the
+    /// front-end's schema parser. This is the bridge that lets the
+    /// bundled workload schemas (built programmatically with
+    /// [`Schema::with_table`]) be registered with the `qr-hint serve`
+    /// daemon, whose registration API takes DDL text.
+    ///
+    /// Types render as `INT`/`TEXT` (the fragment's two types), keys as
+    /// a table-level `PRIMARY KEY (...)`, and `CHECK` constraints via
+    /// their predicate rendering.
+    pub fn to_ddl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for t in self.tables.values() {
+            let _ = write!(out, "CREATE TABLE {} (", t.name);
+            let mut first = true;
+            for c in &t.columns {
+                let ty = match c.ty {
+                    SqlType::Int => "INT",
+                    SqlType::Str => "TEXT",
+                };
+                let _ = write!(out, "{}{} {ty}", if first { "" } else { ", " }, c.name);
+                first = false;
+            }
+            if !t.key.is_empty() {
+                let _ = write!(out, ", PRIMARY KEY ({})", t.key.join(", "));
+            }
+            for check in &t.checks {
+                let _ = write!(out, ", CHECK ({check})");
+            }
+            out.push_str(");\n");
+        }
+        out
+    }
+
     /// Builder-style `CHECK` constraint registration: `check` must
     /// reference columns of `table` (unqualified). Unknown tables are a
     /// no-op (builder convenience; [`Schema::domain_context`] never

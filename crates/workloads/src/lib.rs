@@ -40,3 +40,29 @@ pub struct QueryPair {
     /// Free-form description of the seeded error(s).
     pub errors: Vec<String>,
 }
+
+#[cfg(test)]
+mod registerable_fixtures {
+    //! Every bundled workload schema must round-trip through
+    //! [`qrhint_sqlast::Schema::to_ddl`] and the front-end's DDL parser:
+    //! that equivalence is what lets the corpora be registered with the
+    //! `qr-hint serve` daemon (whose API takes DDL text) and graded
+    //! identically to the in-process paths.
+
+    #[test]
+    fn workload_schemas_round_trip_through_ddl() {
+        for (name, schema) in [
+            ("beers", crate::beers::schema()),
+            ("beers-course", crate::beers::course_schema()),
+            ("brass", crate::brass::schema()),
+            ("dblp", crate::dblp::schema()),
+            ("students", crate::students::schema()),
+            ("tpch", crate::tpch::schema()),
+        ] {
+            let ddl = schema.to_ddl();
+            let parsed = qrhint_sqlparse::parse_schema(&ddl)
+                .unwrap_or_else(|e| panic!("{name}: generated DDL failed to parse: {e}\n{ddl}"));
+            assert_eq!(parsed, schema, "{name}: DDL round-trip changed the schema\n{ddl}");
+        }
+    }
+}

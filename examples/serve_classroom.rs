@@ -1,0 +1,140 @@
+//! A classroom riding the grading daemon: start `qr-hint serve`
+//! in-process, register each Students+ question as a resident target
+//! over HTTP, batch-grade the whole corpus through `POST
+//! /targets/{id}/grade`, then read the cache story back from `GET
+//! /targets/{id}/stats` and drain with `POST /shutdown`.
+//!
+//! This is the serving counterpart of the `classroom_grader` example:
+//! same corpus, same grading semantics (the daemon serializes the same
+//! [`AdviceReport`] the CLI's `grade --json` emits), but the targets
+//! stay hot between batches the way a deployed tutoring backend would
+//! keep them across a semester of submissions.
+//!
+//! Run with: `cargo run --release --example serve_classroom`
+
+use qr_hint::prelude::*;
+use qr_hint::server::{client, Client, RegistryConfig};
+use qrhint_workloads::students;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn json_field<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
+    match v {
+        Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_int(v: Option<Value>) -> i64 {
+    match v {
+        Some(Value::Int(n)) => n,
+        _ => -1,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Boot the daemon on an ephemeral port.
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0, // available parallelism
+        service: ServiceConfig {
+            jobs: 0,
+            registry: RegistryConfig { max_targets: 16, ..RegistryConfig::default() },
+        },
+        ..ServerConfig::default()
+    })?;
+    let addr = server.addr();
+    let daemon = std::thread::spawn(move || server.run());
+    println!("daemon listening on http://{addr}\n");
+
+    // ---- Group the corpus by question; register one target each.
+    let schema_ddl = students::schema().to_ddl();
+    let mut questions: BTreeMap<&str, (String, Vec<String>)> = BTreeMap::new();
+    for entry in students::corpus() {
+        let (target, subs) = questions
+            .entry(entry.question)
+            .or_insert_with(|| (entry.pair.target_sql.clone(), Vec::new()));
+        debug_assert_eq!(*target, entry.pair.target_sql);
+        subs.push(entry.pair.working_sql.clone());
+    }
+
+    let mut client = Client::connect(addr)?;
+    let started = Instant::now();
+    let mut grand_total = 0usize;
+    for (question, (target_sql, subs)) in &questions {
+        // Register (the daemon answers 201 with the target id).
+        let body = format!(
+            "{{\"schema\": {}, \"target\": {}}}",
+            serde_json::to_string(&schema_ddl)?,
+            serde_json::to_string(target_sql)?
+        );
+        let (status, resp) = client.request("POST", "/targets", &body)?;
+        assert_eq!(status, 201, "register failed: {resp}");
+        let registered: Value = serde_json::from_str(&resp)?;
+        let Some(Value::Str(id)) = json_field(&registered, "id").cloned() else {
+            panic!("no id in {resp}");
+        };
+
+        // Batch-grade the question's submissions in one request.
+        let grade_body = format!(
+            "{{\"submissions\": {}, \"jobs\": 0}}",
+            serde_json::to_string(subs)?
+        );
+        let (status, resp) = client.request("POST", &format!("/targets/{id}/grade"), &grade_body)?;
+        assert_eq!(status, 200, "grade failed: {resp}");
+        let graded: Value = serde_json::from_str(&resp)?;
+        let Some(Value::Seq(entries)) = json_field(&graded, "entries").cloned() else {
+            panic!("no entries in grade response");
+        };
+        let mut equivalent = 0usize;
+        let mut hinted = 0usize;
+        let mut rejected = 0usize;
+        for entry in &entries {
+            match json_field(entry, "report") {
+                Some(report) if json_field(report, "equivalent") == Some(&Value::Bool(true)) => {
+                    equivalent += 1;
+                }
+                Some(Value::Map(_)) => hinted += 1,
+                _ => rejected += 1, // unsupported/malformed, reported in place
+            }
+        }
+        grand_total += entries.len();
+
+        // Read the cache story back from the stats endpoint.
+        let (status, resp) = client.request("GET", &format!("/targets/{id}/stats"), "")?;
+        assert_eq!(status, 200);
+        let stats: Value = serde_json::from_str(&resp)?;
+        let cache_bytes = json_field(&stats, "approx_cache_bytes").cloned();
+        let solver_calls = json_field(&stats, "stats")
+            .and_then(|s| json_field(s, "solver_calls"))
+            .cloned();
+        println!(
+            "question ({question}) [{id}]: {} submissions → {equivalent} equivalent, \
+             {hinted} hinted, {rejected} rejected · {} solver calls · ~{} cache bytes",
+            entries.len(),
+            as_int(solver_calls),
+            as_int(cache_bytes),
+        );
+    }
+    println!(
+        "\ngraded {grand_total} submissions over HTTP in {:.1} ms",
+        started.elapsed().as_secs_f64() * 1e3
+    );
+
+    // ---- Health, then graceful drain.
+    let (status, resp) = client.request("GET", "/healthz", "")?;
+    assert_eq!(status, 200);
+    println!("healthz: {resp}");
+    let (status, _) = client.request("POST", "/shutdown", "")?;
+    assert_eq!(status, 200);
+    drop(client);
+    // request_once races the drain on purpose: either refused (503) or
+    // the listener is already gone — both are a successful shutdown.
+    if let Ok((status, _)) = client::request_once(addr, "GET", "/healthz", "") {
+        assert!(status == 200 || status == 503);
+    }
+    daemon.join().expect("daemon thread")?;
+    println!("daemon drained cleanly");
+    Ok(())
+}

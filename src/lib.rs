@@ -20,6 +20,8 @@
 //! * [`engine`] (`qrhint-engine`) — bag-semantics executor for
 //!   differential testing;
 //! * [`core`] (`qrhint-core`) — the hinting pipeline itself;
+//! * [`server`] (`qrhint-server`) — the `qr-hint serve` daemon: a
+//!   std-only HTTP/JSON grading service with a resident target registry;
 //! * [`workloads`] (`qrhint-workloads`) — evaluation schemas, corpora and
 //!   error injectors.
 //!
@@ -44,6 +46,7 @@
 pub use qrhint_boolmin as boolmin;
 pub use qrhint_core as core;
 pub use qrhint_engine as engine;
+pub use qrhint_server as server;
 pub use qrhint_smt as smt;
 pub use qrhint_sqlast as ast;
 pub use qrhint_sqlparse as parse;
@@ -52,10 +55,11 @@ pub use qrhint_workloads as workloads;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use qrhint_core::{
-        Advice, ClauseKind, Hint, PreparedTarget, QrHint, QrHintConfig, RepairConfig,
-        SessionStats, SiteHint, Stage, TutorSession,
+        Advice, AdviceReport, ClauseKind, Hint, PreparedTarget, QrHint, QrHintConfig,
+        RepairConfig, SessionStats, SiteHint, Stage, TutorSession,
     };
     pub use qrhint_engine::{DataGen, Database};
+    pub use qrhint_server::{Server, ServerConfig, ServiceConfig};
     pub use qrhint_sqlast::{Query, Schema, SqlType};
     pub use qrhint_sqlparse::{parse_query, parse_query_extended, FlattenOptions};
 }

@@ -4,7 +4,9 @@
 //! qr-hint [advise] --schema schema.sql --target solution.sql --working student.sql
 //!         [--interactive] [--extended] [--rewrite-subqueries] [--json]
 //! qr-hint grade --schema schema.sql --target solution.sql --submissions dir/
-//!         [--jobs N] [--extended] [--rewrite-subqueries] [--json]
+//!         [--jobs N|auto] [--extended] [--rewrite-subqueries] [--json]
+//! qr-hint serve [--addr HOST:PORT] [--jobs N|auto] [--max-targets N]
+//!         [--max-cache-mb MB]
 //! qr-hint --version
 //! ```
 //!
@@ -16,7 +18,15 @@
 //! mode, backed by [`PreparedTarget`]'s memoization. `--jobs N` fans the
 //! batch out over N worker threads against the one shared prepared
 //! target (its memo state is sharded for concurrent grading); output is
-//! identical to `--jobs 1`, in the same submission order.
+//! identical to `--jobs 1`, in the same submission order. `--jobs 0` or
+//! `--jobs auto` uses `std::thread::available_parallelism`.
+//!
+//! **serve** runs the long-lived grading daemon (see `qrhint-server`):
+//! targets are registered over HTTP and stay hot — compiled once,
+//! advice/grade requests ride the session layer's memo state. The first
+//! stdout line is `qr-hint serving on http://ADDR` (with the resolved
+//! ephemeral port for `--addr ...:0`); `POST /shutdown` drains
+//! gracefully.
 //!
 //! `--json` switches either mode to machine-readable output: the full
 //! serde-serialized [`Advice`] plus the rendered hint strings.
@@ -63,18 +73,27 @@ impl CliError {
 enum Mode {
     Advise,
     Grade,
+    Serve,
 }
 
 struct Args {
     mode: Mode,
+    /// advise/grade: the schema file (serve receives schemas over HTTP).
     schema: String,
     target: String,
     /// advise mode: the student's working query file.
     working: Option<String>,
     /// grade mode: directory of `*.sql` submissions.
     submissions: Option<String>,
-    /// grade mode: worker threads for the batch (1 = sequential).
+    /// Worker threads for batches/connections (1 = sequential, 0 =
+    /// available parallelism via `--jobs 0` or `--jobs auto`).
     jobs: usize,
+    /// serve mode: bind address.
+    addr: String,
+    /// serve mode: registry entry capacity.
+    max_targets: usize,
+    /// serve mode: registry byte budget, in MiB (0 = unlimited).
+    max_cache_mb: usize,
     interactive: bool,
     extended: bool,
     rewrite_subqueries: bool,
@@ -85,8 +104,10 @@ const USAGE: &str = "usage: qr-hint [advise] --schema <schema.sql> --target <sol
                      --working <student.sql> [--interactive] [--extended] \
                      [--rewrite-subqueries] [--json]\n\
                      \x20      qr-hint grade --schema <schema.sql> --target <solution.sql> \
-                     --submissions <dir> [--jobs <N>] [--extended] [--rewrite-subqueries] \
-                     [--json]\n\
+                     --submissions <dir> [--jobs <N|auto>] [--extended] \
+                     [--rewrite-subqueries] [--json]\n\
+                     \x20      qr-hint serve [--addr <host:port>] [--jobs <N|auto>] \
+                     [--max-targets <N>] [--max-cache-mb <MB, 0=unlimited>]\n\
                      \x20      qr-hint --version";
 
 fn parse_args() -> Result<Args, String> {
@@ -95,6 +116,9 @@ fn parse_args() -> Result<Args, String> {
     let mut working = None;
     let mut submissions = None;
     let mut jobs = 1usize;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut max_targets = 64usize;
+    let mut max_cache_mb = 256usize;
     let mut interactive = false;
     let mut extended = false;
     let mut rewrite_subqueries = false;
@@ -110,6 +134,11 @@ fn parse_args() -> Result<Args, String> {
             mode = Mode::Grade;
             it.next();
         }
+        Some("serve") => {
+            mode = Mode::Serve;
+            jobs = 0; // a daemon defaults to the hardware's parallelism
+            it.next();
+        }
         _ => {}
     }
     while let Some(arg) = it.next() {
@@ -122,11 +151,28 @@ fn parse_args() -> Result<Args, String> {
             }
             "--jobs" | "-j" => {
                 let n = it.next().ok_or("--jobs needs a thread count")?;
-                jobs = n
+                // `auto` and `0` both mean "use available parallelism".
+                jobs = if n == "auto" {
+                    0
+                } else {
+                    n.parse::<usize>()
+                        .map_err(|_| format!("--jobs needs a count or `auto`, got `{n}`"))?
+                };
+            }
+            "--addr" => addr = it.next().ok_or("--addr needs host:port")?,
+            "--max-targets" => {
+                let n = it.next().ok_or("--max-targets needs a count")?;
+                max_targets = n
                     .parse::<usize>()
                     .ok()
                     .filter(|n| *n >= 1)
-                    .ok_or_else(|| format!("--jobs needs a positive integer, got `{n}`"))?;
+                    .ok_or_else(|| format!("--max-targets needs a positive integer, got `{n}`"))?;
+            }
+            "--max-cache-mb" => {
+                let n = it.next().ok_or("--max-cache-mb needs a size")?;
+                max_cache_mb = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--max-cache-mb needs an integer, got `{n}`"))?;
             }
             "--interactive" | "-i" => interactive = true,
             "--extended" | "-x" => extended = true,
@@ -139,8 +185,32 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
-    let schema = schema.ok_or_else(|| format!("--schema is required\n{USAGE}"))?;
-    let target = target.ok_or_else(|| format!("--target is required\n{USAGE}"))?;
+    // serve receives schemas/targets over HTTP (POST /targets, where
+    // `extended`/`rewrite_subqueries` are per-target request fields);
+    // accepting the file-mode flags here and ignoring them would make
+    // `serve --target t.sql` look like it pre-registered a target.
+    let (schema, target) = match mode {
+        Mode::Serve => {
+            if schema.is_some()
+                || target.is_some()
+                || working.is_some()
+                || submissions.is_some()
+                || interactive
+                || extended
+                || json
+            {
+                return Err(format!(
+                    "serve mode takes no file or output flags — targets are registered \
+                     over HTTP (POST /targets)\n{USAGE}"
+                ));
+            }
+            (String::new(), String::new())
+        }
+        _ => (
+            schema.ok_or_else(|| format!("--schema is required\n{USAGE}"))?,
+            target.ok_or_else(|| format!("--target is required\n{USAGE}"))?,
+        ),
+    };
     match mode {
         Mode::Advise if working.is_none() => {
             return Err(format!("--working is required\n{USAGE}"))
@@ -157,34 +227,14 @@ fn parse_args() -> Result<Args, String> {
         working,
         submissions,
         jobs,
+        addr,
+        max_targets,
+        max_cache_mb,
         interactive,
         extended,
         rewrite_subqueries,
         json,
     })
-}
-
-/// One advice, JSON-ready: rendered hints next to the full structured
-/// [`Advice`] (stage, hint data, fixed query, alias mapping).
-#[derive(Serialize)]
-struct AdviceReport {
-    equivalent: bool,
-    stage: String,
-    rendered_hints: Vec<String>,
-    fixed_sql: Option<String>,
-    advice: Advice,
-}
-
-impl AdviceReport {
-    fn new(advice: Advice) -> AdviceReport {
-        AdviceReport {
-            equivalent: advice.is_equivalent(),
-            stage: advice.stage.to_string(),
-            rendered_hints: advice.hints.iter().map(|h| h.to_string()).collect(),
-            fixed_sql: advice.fixed.as_ref().map(|q| q.to_string()),
-            advice,
-        }
-    }
 }
 
 /// One graded submission in batch mode.
@@ -359,7 +409,8 @@ fn run_grade(args: &Args) -> Result<u8, CliError> {
     // The prepared target's memo state is sharded for concurrency, so
     // the workers share it directly; results come back in file order
     // and are identical to the sequential (`--jobs 1`) output.
-    let graded = qrhint_core::parallel::run_indexed(files.len(), args.jobs, |i| {
+    let jobs = qrhint_core::parallel::resolve_jobs(args.jobs);
+    let graded = qrhint_core::parallel::run_indexed(files.len(), jobs, |i| {
         grade_one(&prepared, args, &files[i])
     });
     // Batch-wide exit code: any internal error wins over any malformed
@@ -403,6 +454,34 @@ fn run_grade(args: &Args) -> Result<u8, CliError> {
     Ok(exit)
 }
 
+/// The `serve` subcommand: bind, announce the resolved address on the
+/// first stdout line (scripts and the CI smoke job parse it), then
+/// block until a `POST /shutdown` drains the daemon.
+fn run_serve(args: &Args) -> Result<(), CliError> {
+    let cfg = ServerConfig {
+        addr: args.addr.clone(),
+        workers: args.jobs,
+        service: ServiceConfig {
+            jobs: args.jobs,
+            registry: qr_hint::server::RegistryConfig {
+                max_targets: args.max_targets,
+                max_cache_bytes: args.max_cache_mb * 1024 * 1024,
+            },
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(cfg)
+        .map_err(|e| CliError::internal(format!("cannot bind {}: {e}", args.addr)))?;
+    println!("qr-hint serving on http://{}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server
+        .run()
+        .map_err(|e| CliError::internal(format!("server error: {e}")))?;
+    println!("qr-hint drained; bye");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     // `--version`/`--help` anywhere on the line: print to stdout, exit 0.
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -423,6 +502,7 @@ fn main() -> ExitCode {
             let result = match args.mode {
                 Mode::Advise => run_advise(&args).map(|()| 0),
                 Mode::Grade => run_grade(&args),
+                Mode::Serve => run_serve(&args).map(|()| 0),
             };
             match result {
                 Ok(code) => ExitCode::from(code),

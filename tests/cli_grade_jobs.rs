@@ -126,9 +126,45 @@ fn bad_target_exits_1_regardless_of_jobs() {
 #[test]
 fn invalid_jobs_value_is_a_usage_error() {
     let s = setup("usage", false);
-    for bad in ["0", "-2", "many"] {
+    for bad in ["-2", "many", "4.5"] {
         let out = grade(&s, &["--jobs", bad]);
         assert_eq!(out.status.code(), Some(2), "--jobs {bad} must be rejected");
+    }
+}
+
+#[test]
+fn jobs_auto_and_zero_use_available_parallelism() {
+    // `--jobs 0` and `--jobs auto` both mean "whatever the hardware
+    // offers" — they must grade successfully and produce output
+    // identical to an explicit job count.
+    let s = setup("auto", false);
+    let baseline = grade(&s, &["--jobs", "1", "--json"]);
+    assert_eq!(baseline.status.code(), Some(0));
+    for auto in ["0", "auto"] {
+        let out = grade(&s, &["--jobs", auto, "--json"]);
+        assert_eq!(out.status.code(), Some(0), "--jobs {auto} must be accepted");
+        assert_eq!(
+            String::from_utf8(out.stdout).unwrap(),
+            String::from_utf8(baseline.stdout.clone()).unwrap(),
+            "--jobs {auto} output must match --jobs 1"
+        );
+    }
+}
+
+#[test]
+fn serve_mode_rejects_file_flags_as_usage_errors() {
+    // `serve --target t.sql` must not silently start an empty daemon —
+    // targets are registered over HTTP, so file-mode flags are a usage
+    // error (exit 2), matching the other mode/flag mismatches.
+    for flags in [
+        vec!["serve", "--target", "t.sql"],
+        vec!["serve", "--schema", "s.sql"],
+        vec!["serve", "--submissions", "subs"],
+        vec!["serve", "--json"],
+        vec!["serve", "--interactive"],
+    ] {
+        let out = Command::new(BIN).args(&flags).output().expect("run qr-hint");
+        assert_eq!(out.status.code(), Some(2), "{flags:?} must be a usage error");
     }
 }
 

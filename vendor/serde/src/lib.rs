@@ -69,6 +69,23 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// `Value` itself round-trips through both traits, so generic JSON (a
+// proxy re-serializing a payload, a test diffing two documents) can be
+// parsed with `serde_json::from_str::<serde::Value>` and re-rendered
+// with `serde_json::to_string` — mirroring real serde_json's
+// self-describing `Value`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Serialize impls for std types
 // ---------------------------------------------------------------------------
