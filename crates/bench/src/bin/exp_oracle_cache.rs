@@ -1,0 +1,60 @@
+//! Oracle-cache benchmark binary (PR 5): cold vs hot advise latency on a
+//! resident target (stage memos + the shared interned verdict cache) and
+//! shared-cache hit rates at 1/4/8 worker threads, including hits on
+//! verdicts other threads paid for. Persists `BENCH_oracle_cache.json`
+//! in the working directory (run from the repo root) and exits nonzero
+//! if parity breaks, if hot advise is slower than cold, or if 8 threads
+//! never share a verdict on a host with ≥4 cores (<4-core hosts record
+//! a waiver — slot growth needs scheduler-dependent contention there).
+
+use qrhint_bench::{oracle_cache, report};
+
+fn main() {
+    let report = oracle_cache::run(50);
+    println!(
+        "{}",
+        report::table(
+            &["workload", "mode", "jobs", "batch", "ms", "subs/s", "hit rate", "cross hits", "parity"],
+            &report
+                .rows
+                .iter()
+                .map(|r| vec![
+                    r.workload.clone(),
+                    r.mode.clone(),
+                    r.jobs.to_string(),
+                    r.batch_size.to_string(),
+                    format!("{:.1}", r.ms),
+                    format!("{:.0}", r.throughput_per_s),
+                    format!("{:.0}%", r.hit_rate * 100.0),
+                    r.cross_thread_hits.to_string(),
+                    if r.parity_ok { "ok".into() } else { "MISMATCH".into() },
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    println!(
+        "host cores: {} · best hot speedup: {:.2}x (gate: hot ≥ {:.1}x cold) · \
+         hit rate @8 threads: {:.0}% · cross-thread hits @8: {}{}",
+        report.cores,
+        report.best_hot_speedup,
+        report.hot_gate_threshold,
+        report.hit_rate_at_8 * 100.0,
+        report.cross_thread_hits_at_8,
+        if report.gate_waived_low_cores { " (gate waived: <4 cores)" } else { "" }
+    );
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_oracle_cache.json", &json)
+        .expect("can write BENCH_oracle_cache.json");
+    println!("(wrote BENCH_oracle_cache.json)");
+    if !report.parity_ok {
+        eprintln!("FAIL: a cached or parallel pass diverged from the sequential baseline");
+        std::process::exit(1);
+    }
+    if !report.gate_ok {
+        eprintln!(
+            "FAIL: hot-not-slower={} cross-hits-at-8={} on a {}-core host",
+            report.hot_not_slower_ok, report.cross_hits_at_8_ok, report.cores
+        );
+        std::process::exit(1);
+    }
+}

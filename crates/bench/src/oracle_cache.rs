@@ -1,0 +1,325 @@
+//! Oracle-cache benchmark (PR 5): what the hash-consed interner and the
+//! shared cross-slot verdict cache buy on the hottest path.
+//!
+//! Two stories, on the same 50-distinct-submission students/beers
+//! batches as the parallel-grading benchmark:
+//!
+//! 1. **Cold vs hot advise latency.** A fresh prepared target grades the
+//!    batch (cold: every verdict is a solver run), then grades it again
+//!    (hot: stage memos + the shared verdict cache answer). Target
+//!    compilation sits *outside* both timed windows, so the numbers
+//!    compare advise latency with advise latency, and the whole-advice
+//!    duplicate cache is *disabled* for both passes — it would
+//!    otherwise serve the hot pass from PR 2's memo layer and mask the
+//!    solver-layer caches this PR rebuilt. The gate is that hot advise
+//!    is **no slower than cold** (threshold 1.0× with measurement noise
+//!    absorbed by min-of-reps). This is a same-host *proxy* for the
+//!    "no slower than the PR 4 baseline" acceptance criterion — PR 4's
+//!    binaries cannot be rebuilt in this run; its per-slot tree-keyed
+//!    caches sat between today's cold (no verdict reuse) and hot (full
+//!    reuse), so a hot pass regressing below cold would necessarily
+//!    also regress below that baseline.
+//! 2. **Shared-verdict hit rates at 1/4/8 threads.** Fresh target per
+//!    job count; after the batch, the target's [`SessionStats`] report
+//!    the shared-cache hit rate and — the new capability — hits on
+//!    verdicts *other threads* paid for. Cross-thread hits need ≥2
+//!    slots to exist, which needs claim contention; each job count
+//!    retries on a fresh target a bounded number of rounds, and the
+//!    cross-hit gate is waived (recorded, never claimed) on <4-core
+//!    hosts where the scheduler may never force a second slot.
+//!
+//! Parity is enforced on every rep: all passes must fingerprint equal to
+//! the sequential baseline. Results land in `BENCH_oracle_cache.json`
+//! (run from the repo root: `cargo run --release --bin exp_oracle_cache`).
+
+use crate::parallel_grading::{dedupe, fingerprint};
+use crate::session_api;
+use qr_hint::prelude::*;
+use qrhint_core::SessionStats;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One (workload, mode, jobs) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct OracleCacheRow {
+    pub workload: String,
+    pub batch_size: usize,
+    /// `"cold"` (fresh target) or `"hot"` (same target, second pass) for
+    /// the latency story; `"parallel"` for the hit-rate story.
+    pub mode: String,
+    pub jobs: usize,
+    /// Min-of-reps wall-clock for the whole batch.
+    pub ms: f64,
+    pub throughput_per_s: f64,
+    pub parity_ok: bool,
+    /// Shared-verdict-cache counters after the measured pass.
+    pub verdict_hits: u64,
+    pub verdict_misses: u64,
+    pub cross_thread_hits: u64,
+    /// `hits / (hits + misses)` — 0 when no solver calls ran.
+    pub hit_rate: f64,
+    /// Interner occupancy after the pass (dedup proof).
+    pub interned_formulas: u64,
+    pub interner_dedup_hits: u64,
+}
+
+/// The full benchmark artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct OracleCacheReport {
+    /// Host hardware threads — context for every number below.
+    pub cores: usize,
+    pub rows: Vec<OracleCacheRow>,
+    /// Hot-over-cold speedup per workload (latency story).
+    pub hot_speedup_by_workload: BTreeMap<String, f64>,
+    pub best_hot_speedup: f64,
+    /// The latency gate: hot ≥ this × cold throughput (i.e. hot advise
+    /// no slower than cold).
+    pub hot_gate_threshold: f64,
+    pub hot_not_slower_ok: bool,
+    /// Cross-thread shared-verdict hits observed at `--jobs 8`.
+    pub cross_thread_hits_at_8: u64,
+    /// Shared-cache hit rate at `--jobs 8`.
+    pub hit_rate_at_8: f64,
+    /// Did some 8-thread round reuse another thread's verdict?
+    pub cross_hits_at_8_ok: bool,
+    /// True when the host has <4 cores and the cross-hit gate did not
+    /// pass on its own: slot growth needs scheduler-dependent claim
+    /// contention there, so the gate is recorded as waived, not met.
+    pub gate_waived_low_cores: bool,
+    /// Latency gate ∧ (cross-hit gate ∨ waiver).
+    pub gate_ok: bool,
+    pub parity_ok: bool,
+}
+
+const HOT_GATE_THRESHOLD: f64 = 1.0;
+const TIMED_REPS: usize = 3;
+/// Bounded retries for the scheduling-dependent cross-thread hits.
+const CROSS_HIT_ROUNDS: usize = 5;
+
+/// Advice-cache-free config: both latency passes and the hit-rate runs
+/// must exercise the solver-layer caches, not PR 2's whole-advice memo.
+fn config() -> QrHintConfig {
+    QrHintConfig { advice_cache_capacity: 0, ..QrHintConfig::default() }
+}
+
+fn hit_rate(stats: &SessionStats) -> f64 {
+    let total = stats.verdict_cache_hits + stats.verdict_cache_misses;
+    if total == 0 {
+        0.0
+    } else {
+        stats.verdict_cache_hits as f64 / total as f64
+    }
+}
+
+/// The distinct-submission workloads (shared with the parallel bench).
+pub fn workloads(batch_size: usize) -> Vec<(String, Schema, String, Vec<String>)> {
+    let (schema, target, subs) = session_api::students_batch(batch_size * 2);
+    let mut subs = dedupe(subs);
+    subs.truncate(batch_size);
+    let students = ("students-b".to_string(), schema, target, subs);
+    let (schema, target, subs) = session_api::beers_batch(batch_size * 2);
+    let mut subs = dedupe(subs);
+    subs.truncate(batch_size);
+    let beers = ("beers-inject-c".to_string(), schema, target, subs);
+    vec![students, beers]
+}
+
+/// Min-of-reps over a run that measures its own window (so setup like
+/// target compilation stays outside the timed region), with `check`
+/// invoked on every rep's output (warmup included) outside the timing.
+fn min_inner_ms<T>(
+    reps: usize,
+    mut run: impl FnMut() -> (f64, T),
+    mut check: impl FnMut(&T),
+) -> f64 {
+    let (_, out) = run(); // warmup outside the measurement
+    check(&out);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (ms, out) = run();
+        best = best.min(ms);
+        check(&out);
+    }
+    best
+}
+
+fn row(
+    workload: &str,
+    batch: usize,
+    mode: &str,
+    jobs: usize,
+    ms: f64,
+    parity_ok: bool,
+    stats: &SessionStats,
+) -> OracleCacheRow {
+    OracleCacheRow {
+        workload: workload.to_string(),
+        batch_size: batch,
+        mode: mode.to_string(),
+        jobs,
+        ms,
+        throughput_per_s: batch as f64 / (ms / 1e3).max(1e-9),
+        parity_ok,
+        verdict_hits: stats.verdict_cache_hits,
+        verdict_misses: stats.verdict_cache_misses,
+        cross_thread_hits: stats.verdict_cache_cross_thread_hits,
+        hit_rate: hit_rate(stats),
+        interned_formulas: stats.interned_formulas,
+        interner_dedup_hits: stats.interner_dedup_hits,
+    }
+}
+
+/// Measure one workload: the cold/hot latency pair plus the 1/4/8-thread
+/// hit-rate runs.
+pub fn run_workload(
+    workload: &str,
+    schema: &Schema,
+    target: &str,
+    subs: &[String],
+) -> Vec<OracleCacheRow> {
+    let qr = QrHint::with_config(schema.clone(), config());
+    let baseline = {
+        let prepared = qr.compile_target(target).expect("target compiles");
+        fingerprint(&prepared.grade_batch(subs))
+    };
+    let mut rows = Vec::new();
+
+    // ---- Latency story: cold vs hot on one resident target ----
+    // Target compilation happens *outside* the timed window on both
+    // sides: the comparison is advise latency vs advise latency, so the
+    // hot-not-slower gate measures the solver-layer caches, not the
+    // (constant) compile cost a fresh target pays either way.
+    let mut cold_parity = true;
+    let mut cold_stats = SessionStats::default();
+    let cold_ms = min_inner_ms(
+        TIMED_REPS,
+        || {
+            let prepared = qr.compile_target(target).expect("target compiles");
+            let started = Instant::now();
+            let out = prepared.grade_batch(subs);
+            let ms = started.elapsed().as_secs_f64() * 1e3;
+            (ms, (prepared.stats(), out))
+        },
+        |(stats, out)| {
+            cold_parity &= fingerprint(out) == baseline;
+            cold_stats = *stats;
+        },
+    );
+    rows.push(row(workload, subs.len(), "cold", 1, cold_ms, cold_parity, &cold_stats));
+
+    let resident = qr.compile_target(target).expect("target compiles");
+    resident.grade_batch(subs); // warm the memo layers
+    let mut hot_parity = true;
+    let mut hot_stats = SessionStats::default();
+    let hot_ms = min_inner_ms(
+        TIMED_REPS,
+        || {
+            let started = Instant::now();
+            let out = resident.grade_batch(subs);
+            (started.elapsed().as_secs_f64() * 1e3, out)
+        },
+        |out| {
+            hot_parity &= fingerprint(out) == baseline;
+            hot_stats = resident.stats();
+        },
+    );
+    rows.push(row(workload, subs.len(), "hot", 1, hot_ms, hot_parity, &hot_stats));
+
+    // ---- Hit-rate story: fresh target per job count ----
+    for jobs in [1usize, 4, 8] {
+        let mut parity_all = true;
+        let mut final_ms = f64::INFINITY;
+        let mut final_stats = SessionStats::default();
+        for _round in 0..CROSS_HIT_ROUNDS {
+            let prepared = qr.compile_target(target).expect("target compiles");
+            let started = Instant::now();
+            let out = prepared.grade_batch_parallel(subs, jobs);
+            // The published (ms, stats) pair always describes the same
+            // round — the one the loop settles on — so the hit rate and
+            // cross-thread counters explain exactly the latency shown.
+            final_ms = started.elapsed().as_secs_f64() * 1e3;
+            parity_all &= fingerprint(&out) == baseline;
+            final_stats = prepared.stats();
+            // Cross-thread hits are scheduling-dependent; retry fresh
+            // targets until one round shows them (or the bound hits).
+            if jobs == 1 || final_stats.verdict_cache_cross_thread_hits > 0 {
+                break;
+            }
+        }
+        rows.push(row(workload, subs.len(), "parallel", jobs, final_ms, parity_all, &final_stats));
+    }
+    rows
+}
+
+/// Run the full benchmark (students + beers distinct batches).
+pub fn run(batch_size: usize) -> OracleCacheReport {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rows = Vec::new();
+    for (name, schema, target, subs) in workloads(batch_size) {
+        rows.extend(run_workload(&name, &schema, &target, &subs));
+    }
+    let mut hot_speedup_by_workload = BTreeMap::new();
+    for w in rows.iter().filter(|r| r.mode == "cold") {
+        if let Some(hot) = rows
+            .iter()
+            .find(|r| r.mode == "hot" && r.workload == w.workload)
+        {
+            hot_speedup_by_workload
+                .insert(w.workload.clone(), w.ms / hot.ms.max(1e-9));
+        }
+    }
+    let best_hot_speedup =
+        hot_speedup_by_workload.values().copied().fold(0.0, f64::max);
+    // The gate reads "no slower", so *every* workload must clear it.
+    let hot_not_slower_ok = hot_speedup_by_workload
+        .values()
+        .all(|s| *s >= HOT_GATE_THRESHOLD);
+    let at_8: Vec<&OracleCacheRow> =
+        rows.iter().filter(|r| r.mode == "parallel" && r.jobs == 8).collect();
+    let cross_thread_hits_at_8 = at_8.iter().map(|r| r.cross_thread_hits).sum();
+    let hit_rate_at_8 = at_8
+        .iter()
+        .map(|r| r.hit_rate)
+        .fold(0.0, f64::max);
+    let cross_hits_at_8_ok = cross_thread_hits_at_8 > 0;
+    let gate_waived_low_cores = cores < 4 && !cross_hits_at_8_ok;
+    let parity_ok = rows.iter().all(|r| r.parity_ok);
+    OracleCacheReport {
+        cores,
+        rows,
+        hot_speedup_by_workload,
+        best_hot_speedup,
+        hot_gate_threshold: HOT_GATE_THRESHOLD,
+        hot_not_slower_ok,
+        cross_thread_hits_at_8,
+        hit_rate_at_8,
+        cross_hits_at_8_ok,
+        gate_waived_low_cores,
+        gate_ok: hot_not_slower_ok && (cross_hits_at_8_ok || gate_waived_low_cores),
+        parity_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_has_all_modes_and_parity() {
+        let (name, schema, target, subs) = workloads(6).remove(1);
+        let rows = run_workload(&name, &schema, &target, &subs);
+        // cold + hot + jobs {1,4,8}.
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.parity_ok), "{rows:?}");
+        let hot = rows.iter().find(|r| r.mode == "hot").unwrap();
+        assert!(
+            hot.verdict_hits > 0,
+            "hot pass must be answered by the shared cache: {hot:?}"
+        );
+        let cold = rows.iter().find(|r| r.mode == "cold").unwrap();
+        assert!(cold.interned_formulas > 0);
+        // Timing is environment-dependent; structure and counters are
+        // the invariants.
+    }
+}

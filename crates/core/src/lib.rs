@@ -86,10 +86,11 @@ pub mod report;
 pub(crate) mod runner;
 pub mod session;
 pub mod stages;
+pub(crate) mod verdicts;
 
 pub use error::{QrHintError, QrResult};
 pub use hint::{ClauseKind, Hint, SiteHint, Stage};
-pub use oracle::{LowerEnv, Oracle, TypeEnv};
+pub use oracle::{InternerStats, LowerEnv, Oracle, SolverContext, TypeEnv};
 pub use pipeline::{Advice, QrHint, QrHintConfig};
 pub use qrhint_sqlparse::FlattenOptions;
 pub use repair::{FixStrategy, Repair, RepairConfig, RepairOutcome};

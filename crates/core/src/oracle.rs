@@ -2,9 +2,40 @@
 //! fragment and exposes the paper's three primitives (`IsSatisfiable`,
 //! `IsUnSatisfiable`, `IsEquiv`) at the AST level.
 //!
-//! The oracle owns the variable pool, so the same column reference always
-//! lowers to the same solver variable — transitivity of equality across
-//! clauses (the Example-1 inference) falls out automatically.
+//! ## Interned representation (PR 5)
+//!
+//! Lowering no longer builds `Box`-tree [`Formula`] values: every term and
+//! formula is hash-consed into a shared arena
+//! ([`qrhint_smt::Interner`] inside a [`SolverContext`]), and the oracle
+//! API trafficks in [`TermId`] / [`FormulaId`] — `u32` handles whose
+//! equality *is* structural equality. The wins, in order of importance:
+//!
+//! * **Shared verdicts.** Satisfiability checks are memoized in the
+//!   context's sharded [`crate::verdicts::VerdictCache`] keyed by
+//!   `(FormulaId, [FormulaId])` — integer compares, no tree walk, no
+//!   hash-collision bucket scan. Every oracle created from the same
+//!   `SolverContext` (all slots of all FROM groups of one
+//!   [`crate::session::PreparedTarget`]) shares the table, so a verdict
+//!   decided on one thread is a read-path hit on every other.
+//! * **Cheap construction.** Structurally equal subformulas intern to one
+//!   node; negation is memoized per node; conjunction/disjunction flatten
+//!   without cloning children.
+//! * **Trees only on misses.** The solver still consumes trees; they are
+//!   extracted from the arena only on a verdict-cache miss — exactly when
+//!   the caller is about to pay orders of magnitude more for the check.
+//!
+//! Variable allocation (columns, aggregates) also lives in the shared
+//! context, keyed by `(column, tuple-tag, sort)` / `(aggregate key,
+//! sort)`, so the same reference lowers to the same [`VarId`] on every
+//! slot — which is what makes ids (and therefore cached verdicts)
+//! comparable across threads. Each oracle still keeps a *private* record
+//! of the aggregate keys it interned: [`Oracle::aggregate_axioms`] emits
+//! axioms only over those, exactly as the pre-interning per-slot oracle
+//! did, so axiom sets never depend on other threads' history.
+//!
+//! The oracle shares the variable space, so the same column reference
+//! always lowers to the same solver variable — transitivity of equality
+//! across clauses (the Example-1 inference) falls out automatically.
 //!
 //! ## Aggregate lowering (§7, Appendix E)
 //!
@@ -29,11 +60,14 @@
 //! AVG is deliberately dropped because it is unsound under integer
 //! division.
 
-use qrhint_smt::{Atom, Formula, Rel, Solver, Sort, Term, TriBool, VarId, VarPool};
+use crate::verdicts::{VerdictCache, VerdictKey};
+use qrhint_smt::{Formula, FormulaId, Interner, Rel, Solver, Sort, TermId, TriBool, VarId, VarPool};
 use qrhint_sqlast::{
     AggArg, AggCall, AggFunc, ArithOp, CmpOp, ColRef, Pred, Query, Scalar, Schema, SqlType,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Column typing environment.
 #[derive(Debug, Clone, Default)]
@@ -278,15 +312,147 @@ struct AggKey {
     tag: u8,
 }
 
-/// The oracle: shared pool, interners and tri-valued predicates.
+/// The shared lowering tables: the hash-consing interner, the variable
+/// pool and the column/aggregate variable maps. One per [`SolverContext`],
+/// behind its `RwLock` — lowering takes the write lock once per predicate,
+/// scalar, or expression list ([`Oracle::tuple_eq_formulas`]), not per
+/// node. The single-builder calls (`and_f`/`not_f`/`cmp_f`) also take it;
+/// a read-probe-then-upgrade fast path for dedup hits would shave those
+/// remaining acquisitions but is deliberately not done — construction
+/// lock holds are tens of nanoseconds against solver checks in the
+/// milliseconds, and the verdict cache already removes most construction
+/// on warm paths.
+struct LowerState {
+    interner: Interner,
+    pool: VarPool,
+    /// `(column, tuple-tag, sort)` → variable. The sort is part of the
+    /// key because different FROM groups of one target can bind the same
+    /// alias to different tables: conflicting sorts must never share a
+    /// variable.
+    col_vars: BTreeMap<(ColRef, u8, Sort), VarId>,
+    agg_vars: BTreeMap<(AggKey, Sort), VarId>,
+}
+
+impl LowerState {
+    fn new() -> LowerState {
+        LowerState {
+            interner: Interner::new(),
+            pool: VarPool::new(),
+            col_vars: BTreeMap::new(),
+            agg_vars: BTreeMap::new(),
+        }
+    }
+}
+
+/// Point-in-time interner statistics (see
+/// [`crate::session::SessionStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Distinct term nodes resident.
+    pub terms: u64,
+    /// Distinct formula nodes resident.
+    pub formulas: u64,
+    /// Construction requests answered by an existing node (hash-consing
+    /// and negation-memo hits).
+    pub dedup_hits: u64,
+    /// Approximate resident bytes of the interning tables.
+    pub bytes: u64,
+}
+
+/// Per-variable byte estimate for [`SolverContext::approx_bytes`] (pool
+/// name + sort + the col/agg map entry pointing at it).
+const VAR_ENTRY_BYTES: usize = 160;
+
+/// The interning + verdict state shared by every [`Oracle`] of one
+/// [`crate::session::PreparedTarget`]: the hash-consing arena, the
+/// variable tables, and the sharded cross-slot verdict cache. All of it
+/// is rebuildable — [`crate::session::PreparedTarget::shed_caches`]
+/// swaps in a fresh context and reports these bytes as freed.
+pub struct SolverContext {
+    lower: RwLock<LowerState>,
+    pub(crate) verdicts: VerdictCache,
+}
+
+impl SolverContext {
+    /// `verdict_cache_max_bytes` bounds the shared verdict cache
+    /// (`0` = unbounded); see
+    /// [`crate::QrHintConfig::verdict_cache_max_bytes`].
+    pub fn new(verdict_cache_max_bytes: usize) -> SolverContext {
+        SolverContext {
+            lower: RwLock::new(LowerState::new()),
+            verdicts: VerdictCache::new(verdict_cache_max_bytes),
+        }
+    }
+
+    /// Approximate resident bytes of everything in the context: interner
+    /// tables, variable pool/maps, and the verdict cache.
+    pub fn approx_bytes(&self) -> usize {
+        let st = self.lower.read().unwrap();
+        st.interner.approx_bytes()
+            + st.pool.len() * VAR_ENTRY_BYTES
+            + self.verdicts.bytes()
+    }
+
+    /// Point-in-time interner counters.
+    pub fn interner_stats(&self) -> InternerStats {
+        let st = self.lower.read().unwrap();
+        InternerStats {
+            terms: st.interner.num_terms() as u64,
+            formulas: st.interner.num_formulas() as u64,
+            dedup_hits: st.interner.dedup_hits(),
+            bytes: st.interner.approx_bytes() as u64,
+        }
+    }
+
+    /// Resident shared-verdict entries (point in time).
+    pub fn verdict_entries(&self) -> usize {
+        self.verdicts.entries()
+    }
+
+    /// Approximate shared-verdict bytes (point in time).
+    pub fn verdict_bytes(&self) -> usize {
+        self.verdicts.bytes()
+    }
+}
+
+impl std::fmt::Debug for SolverContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverContext")
+            .field("interner", &self.interner_stats())
+            .field("verdict_entries", &self.verdict_entries())
+            .finish()
+    }
+}
+
+/// Source of unique oracle ids (cross-thread hit attribution in the
+/// shared verdict cache).
+static ORACLE_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// The oracle: shared interning context, tri-valued predicates, and the
+/// ambient lowering state the stages install.
 pub struct Oracle {
     pub solver: Solver,
-    pool: VarPool,
+    ctx: Arc<SolverContext>,
+    /// Unique per-oracle id; stored with inserted verdicts so hits can
+    /// be attributed as same-oracle or cross-thread.
+    id: u64,
     types: TypeEnv,
-    col_vars: BTreeMap<(ColRef, u8), VarId>,
+    /// Aggregate keys **this oracle** interned. Axiom generation
+    /// iterates this private record, not the shared table, so the axiom
+    /// set for a check never depends on what other slots lowered.
     agg_vars: BTreeMap<AggKey, VarId>,
-    /// Number of solver checks issued (diagnostics / experiments).
+    /// Number of solver checks issued (diagnostics / experiments;
+    /// includes verdict-cache hits, as it always did).
     pub solver_calls: u64,
+    /// Shared-verdict-cache hits by this oracle.
+    pub verdict_hits: u64,
+    /// Hits on entries inserted by a *different* oracle — the cross-slot
+    /// sharing the interned representation exists to enable.
+    pub verdict_cross_hits: u64,
+    /// Shared-verdict-cache misses (each one paid a real solver check).
+    pub verdict_misses: u64,
+    /// Entries this oracle's inserts evicted from the shared cache.
+    pub verdict_evictions: u64,
     /// Ambient lowering environment used by the `*_pred` convenience
     /// methods (set by the HAVING/SELECT stages to the grouped
     /// environment, so the generic repair machinery reasons with
@@ -294,43 +460,55 @@ pub struct Oracle {
     ambient_env: LowerEnv,
     /// Ambient formula context appended to every satisfiability check
     /// (WHERE facts + aggregate axioms during the HAVING/SELECT stages).
-    ambient_ctx: Vec<Formula>,
-    /// Memoized verdicts: the repair search re-checks many identical
-    /// implications across candidate site sets (bounds overlap heavily),
-    /// and a session-layer oracle sees the same target-side checks across
-    /// submissions, so caching is a large constant-factor win. Keyed by
-    /// the 64-bit hash of the (formula, full-context) pair — entries keep
-    /// the actual pair and verify equality on lookup, so a hash collision
-    /// can never return a wrong verdict. Only definitive results are
-    /// cached — Unknown may become definitive under different budgets.
-    sat_cache: std::collections::HashMap<u64, Vec<(Formula, Vec<Formula>, TriBool)>>,
+    ambient_ctx: Vec<FormulaId>,
+    /// Private mirror of the shared pool handed to the solver, which
+    /// appends throwaway linearization variables per check. Synced
+    /// incrementally (`scratch_synced` = shared length at last sync):
+    /// the shared pool is append-only, so truncate-then-extend keeps
+    /// indices aligned without cloning the whole pool per miss.
+    scratch_pool: VarPool,
+    scratch_synced: usize,
 }
 
 impl Oracle {
+    /// Standalone oracle with a private context (one-shot checks and
+    /// tests). Session slots share one context via
+    /// [`Oracle::with_context`].
     pub fn new(types: TypeEnv) -> Oracle {
+        Oracle::with_context(
+            types,
+            Arc::new(SolverContext::new(crate::pipeline::DEFAULT_VERDICT_CACHE_BYTES)),
+        )
+    }
+
+    /// Oracle bound to a shared interning/verdict context.
+    pub fn with_context(types: TypeEnv, ctx: Arc<SolverContext>) -> Oracle {
         Oracle {
             solver: Solver::default(),
-            pool: VarPool::new(),
+            ctx,
+            id: ORACLE_IDS.fetch_add(1, Ordering::Relaxed),
             types,
-            col_vars: BTreeMap::new(),
             agg_vars: BTreeMap::new(),
             solver_calls: 0,
+            verdict_hits: 0,
+            verdict_cross_hits: 0,
+            verdict_misses: 0,
+            verdict_evictions: 0,
             ambient_env: LowerEnv::plain(),
             ambient_ctx: Vec::new(),
-            sat_cache: std::collections::HashMap::new(),
+            scratch_pool: VarPool::new(),
+            scratch_synced: 0,
         }
     }
 
-    /// Number of memoized verdicts resident in the satisfiability
-    /// cache (cache-size accounting for the session layer's
-    /// byte-budget eviction).
-    pub fn verdict_cache_len(&self) -> usize {
-        self.sat_cache.values().map(Vec::len).sum()
+    /// The shared context this oracle interns into.
+    pub fn context(&self) -> &Arc<SolverContext> {
+        &self.ctx
     }
 
     /// Install an ambient lowering environment and formula context; used
     /// by the HAVING and SELECT stages.
-    pub fn set_ambient(&mut self, env: LowerEnv, ctx: Vec<Formula>) {
+    pub fn set_ambient(&mut self, env: LowerEnv, ctx: Vec<FormulaId>) {
         self.ambient_env = env;
         self.ambient_ctx = ctx;
     }
@@ -355,32 +533,40 @@ impl Oracle {
         &self.types
     }
 
-    fn var_of(&mut self, c: &ColRef, tag: u8) -> VarId {
-        if let Some(v) = self.col_vars.get(&(c.clone(), tag)) {
-            return *v;
-        }
+    fn var_of(&self, st: &mut LowerState, c: &ColRef, tag: u8) -> VarId {
         let sort = match self.types.type_of(c) {
             SqlType::Int => Sort::Int,
             SqlType::Str => Sort::Str,
         };
+        if let Some(v) = st.col_vars.get(&(c.clone(), tag, sort)) {
+            return *v;
+        }
         let name = if tag == 0 { c.to_string() } else { format!("{c}@t{tag}") };
-        let v = self.pool.fresh(&name, sort);
-        self.col_vars.insert((c.clone(), tag), v);
+        let v = st.pool.fresh(&name, sort);
+        st.col_vars.insert((c.clone(), tag, sort), v);
         v
     }
 
-    fn agg_var(&mut self, key: AggKey, sort: Sort) -> VarId {
+    fn agg_var(&mut self, st: &mut LowerState, key: AggKey, sort: Sort) -> VarId {
         if let Some(v) = self.agg_vars.get(&key) {
             return *v;
         }
-        let name = format!("{:?}", key);
-        let v = self.pool.fresh(&name, sort);
+        let v = match st.agg_vars.get(&(key.clone(), sort)) {
+            Some(v) => *v,
+            None => {
+                let name = format!("{:?}", key);
+                let v = st.pool.fresh(&name, sort);
+                st.agg_vars.insert((key.clone(), sort), v);
+                v
+            }
+        };
         self.agg_vars.insert(key, v);
         v
     }
 
-    fn count_star(&mut self, tag: u8) -> VarId {
+    fn count_star(&mut self, st: &mut LowerState, tag: u8) -> VarId {
         self.agg_var(
+            st,
             AggKey { func: AggFunc::Count, distinct: false, base: AggBase::Star, tag },
             Sort::Int,
         )
@@ -389,61 +575,83 @@ impl Oracle {
     // ---------------- lowering ----------------
 
     /// Lower a scalar with the default (plain) environment.
-    pub fn lower_scalar(&mut self, e: &Scalar) -> Term {
+    pub fn lower_scalar(&mut self, e: &Scalar) -> TermId {
         self.lower_scalar_env(e, &LowerEnv::plain())
     }
 
-    /// Lower a scalar expression.
-    pub fn lower_scalar_env(&mut self, e: &Scalar, env: &LowerEnv) -> Term {
+    /// Lower a scalar expression to an interned term.
+    pub fn lower_scalar_env(&mut self, e: &Scalar, env: &LowerEnv) -> TermId {
+        let ctx = Arc::clone(&self.ctx);
+        let mut st = ctx.lower.write().unwrap();
+        self.lower_scalar_in(&mut st, e, env)
+    }
+
+    fn lower_scalar_in(&mut self, st: &mut LowerState, e: &Scalar, env: &LowerEnv) -> TermId {
         match e {
-            Scalar::Col(c) => Term::var(self.var_of(c, env.tuple_tag)),
-            Scalar::Int(v) => Term::IntConst(*v),
-            Scalar::Str(s) => Term::StrConst(s.clone()),
+            Scalar::Col(c) => {
+                let v = self.var_of(st, c, env.tuple_tag);
+                st.interner.var(v)
+            }
+            Scalar::Int(v) => st.interner.int(*v),
+            Scalar::Str(s) => st.interner.str(s),
             Scalar::Arith(l, op, r) => {
-                let (lt, rt) = (self.lower_scalar_env(l, env), self.lower_scalar_env(r, env));
+                let lt = self.lower_scalar_in(st, l, env);
+                let rt = self.lower_scalar_in(st, r, env);
                 match op {
-                    ArithOp::Add => Term::add(lt, rt),
-                    ArithOp::Sub => Term::sub(lt, rt),
-                    ArithOp::Mul => Term::mul(lt, rt),
-                    ArithOp::Div => Term::div(lt, rt),
+                    ArithOp::Add => st.interner.add(lt, rt),
+                    ArithOp::Sub => st.interner.sub(lt, rt),
+                    ArithOp::Mul => st.interner.mul(lt, rt),
+                    ArithOp::Div => st.interner.div(lt, rt),
                 }
             }
-            Scalar::Neg(inner) => Term::Neg(Box::new(self.lower_scalar_env(inner, env))),
-            Scalar::Agg(call) => self.lower_agg(call, env),
+            Scalar::Neg(inner) => {
+                let t = self.lower_scalar_in(st, inner, env);
+                st.interner.neg(t)
+            }
+            Scalar::Agg(call) => self.lower_agg_in(st, call, env),
         }
     }
 
     /// Lower an aggregate call using the canonicalization rules.
-    fn lower_agg(&mut self, call: &AggCall, env: &LowerEnv) -> Term {
+    fn lower_agg_in(&mut self, st: &mut LowerState, call: &AggCall, env: &LowerEnv) -> TermId {
         let tag = env.tuple_tag;
         let canon = |e: &Scalar| format!("{e}");
         match (&call.func, &call.arg, call.distinct) {
             // COUNT(*) and COUNT(e) with no NULLs all equal COUNT(*).
-            (AggFunc::Count, AggArg::Star, _) => Term::var(self.count_star(tag)),
-            (AggFunc::Count, AggArg::Expr(_), false) => Term::var(self.count_star(tag)),
+            (AggFunc::Count, AggArg::Star, _) => {
+                let v = self.count_star(st, tag);
+                st.interner.var(v)
+            }
+            (AggFunc::Count, AggArg::Expr(_), false) => {
+                let v = self.count_star(st, tag);
+                st.interner.var(v)
+            }
             (AggFunc::Count, AggArg::Expr(e), true) => {
                 let base = match &**e {
                     Scalar::Col(c) => AggBase::Col(c.clone()),
                     other => AggBase::Opaque(canon(other)),
                 };
-                Term::var(self.agg_var(
+                let v = self.agg_var(
+                    st,
                     AggKey { func: AggFunc::Count, distinct: true, base, tag },
                     Sort::Int,
-                ))
+                );
+                st.interner.var(v)
             }
             (AggFunc::Sum, AggArg::Expr(e), false) => {
                 if let Some(aff) = affine_of(e) {
                     // SUM(Σ cᵢ·xᵢ + c₀) = Σ cᵢ·SUM(xᵢ) + c₀·COUNT(*)
-                    let mut acc: Option<Term> = None;
+                    let mut acc: Option<TermId> = None;
                     for (col, coeff) in &aff.coeffs {
-                        let base: Term = if env.grouped.contains(col) {
+                        let base: TermId = if env.grouped.contains(col) {
                             // Group-constant column: SUM(x) = x·COUNT(*).
-                            Term::mul(
-                                Term::var(self.var_of(col, tag)),
-                                Term::var(self.count_star(tag)),
-                            )
+                            let x = self.var_of(st, col, tag);
+                            let cs = self.count_star(st, tag);
+                            let (x, cs) = (st.interner.var(x), st.interner.var(cs));
+                            st.interner.mul(x, cs)
                         } else {
-                            Term::var(self.agg_var(
+                            let v = self.agg_var(
+                                st,
                                 AggKey {
                                     func: AggFunc::Sum,
                                     distinct: false,
@@ -451,29 +659,34 @@ impl Oracle {
                                     tag,
                                 },
                                 Sort::Int,
-                            ))
+                            );
+                            st.interner.var(v)
                         };
                         let scaled = if *coeff == 1 {
                             base
                         } else {
-                            Term::mul(Term::IntConst(*coeff), base)
+                            let c = st.interner.int(*coeff);
+                            st.interner.mul(c, base)
                         };
                         acc = Some(match acc {
                             None => scaled,
-                            Some(a) => Term::add(a, scaled),
+                            Some(a) => st.interner.add(a, scaled),
                         });
                     }
                     if aff.k != 0 {
-                        let k_term =
-                            Term::mul(Term::IntConst(aff.k), Term::var(self.count_star(tag)));
+                        let cs = self.count_star(st, tag);
+                        let k = st.interner.int(aff.k);
+                        let csv = st.interner.var(cs);
+                        let k_term = st.interner.mul(k, csv);
                         acc = Some(match acc {
                             None => k_term,
-                            Some(a) => Term::add(a, k_term),
+                            Some(a) => st.interner.add(a, k_term),
                         });
                     }
-                    acc.unwrap_or(Term::IntConst(0))
+                    acc.unwrap_or_else(|| st.interner.int(0))
                 } else {
-                    Term::var(self.agg_var(
+                    let v = self.agg_var(
+                        st,
                         AggKey {
                             func: AggFunc::Sum,
                             distinct: false,
@@ -481,7 +694,8 @@ impl Oracle {
                             tag,
                         },
                         Sort::Int,
-                    ))
+                    );
+                    st.interner.var(v)
                 }
             }
             (AggFunc::Min | AggFunc::Max, AggArg::Expr(e), false) => {
@@ -489,9 +703,11 @@ impl Oracle {
                 if str_typed {
                     let Scalar::Col(c) = &**e else { unreachable!() };
                     if env.grouped.contains(c) {
-                        return Term::var(self.var_of(c, tag));
+                        let v = self.var_of(st, c, tag);
+                        return st.interner.var(v);
                     }
-                    return Term::var(self.agg_var(
+                    let v = self.agg_var(
+                        st,
                         AggKey {
                             func: call.func,
                             distinct: false,
@@ -499,22 +715,26 @@ impl Oracle {
                             tag,
                         },
                         Sort::Str,
-                    ));
+                    );
+                    return st.interner.var(v);
                 }
                 if let Some(aff) = affine_of(e) {
                     if let Some((col, coeff)) = aff.single() {
                         if env.grouped.contains(col) {
                             // Group-constant: MIN(c·x+k) = c·x+k.
-                            let x = Term::var(self.var_of(col, tag));
+                            let x = self.var_of(st, col, tag);
+                            let x = st.interner.var(x);
                             let scaled = if coeff == 1 {
                                 x
                             } else {
-                                Term::mul(Term::IntConst(coeff), x)
+                                let c = st.interner.int(coeff);
+                                st.interner.mul(c, x)
                             };
                             return if aff.k == 0 {
                                 scaled
                             } else {
-                                Term::add(scaled, Term::IntConst(aff.k))
+                                let k = st.interner.int(aff.k);
+                                st.interner.add(scaled, k)
                             };
                         }
                         // MIN(c·x+k) = c·MIN(x)+k for c>0 (MAX for c<0).
@@ -525,27 +745,33 @@ impl Oracle {
                         } else {
                             AggFunc::Min
                         };
+                        let col = col.clone();
                         let base_var = self.agg_var(
-                            AggKey { func, distinct: false, base: AggBase::Col(col.clone()), tag },
+                            st,
+                            AggKey { func, distinct: false, base: AggBase::Col(col), tag },
                             Sort::Int,
                         );
+                        let base = st.interner.var(base_var);
                         let scaled = if coeff == 1 {
-                            Term::var(base_var)
+                            base
                         } else {
-                            Term::mul(Term::IntConst(coeff), Term::var(base_var))
+                            let c = st.interner.int(coeff);
+                            st.interner.mul(c, base)
                         };
                         return if aff.k == 0 {
                             scaled
                         } else {
-                            Term::add(scaled, Term::IntConst(aff.k))
+                            let k = st.interner.int(aff.k);
+                            st.interner.add(scaled, k)
                         };
                     }
                     if aff.coeffs.is_empty() {
                         // MIN/MAX of a constant is the constant.
-                        return Term::IntConst(aff.k);
+                        return st.interner.int(aff.k);
                     }
                 }
-                Term::var(self.agg_var(
+                let v = self.agg_var(
+                    st,
                     AggKey {
                         func: call.func,
                         distinct: false,
@@ -553,20 +779,23 @@ impl Oracle {
                         tag,
                     },
                     Sort::Int,
-                ))
+                );
+                st.interner.var(v)
             }
             (AggFunc::Avg, AggArg::Expr(e), false) => {
                 if let Some(aff) = affine_of(e) {
                     if let Some((col, coeff)) = aff.single() {
                         if coeff == 1 && aff.k == 0 && env.grouped.contains(col) {
-                            return Term::var(self.var_of(col, tag));
+                            let v = self.var_of(st, col, tag);
+                            return st.interner.var(v);
                         }
                     }
                     if aff.coeffs.is_empty() {
-                        return Term::IntConst(aff.k);
+                        return st.interner.int(aff.k);
                     }
                 }
-                Term::var(self.agg_var(
+                let v = self.agg_var(
+                    st,
                     AggKey {
                         func: AggFunc::Avg,
                         distinct: false,
@@ -577,7 +806,8 @@ impl Oracle {
                         tag,
                     },
                     Sort::Int,
-                ))
+                );
+                st.interner.var(v)
             }
             // DISTINCT SUM/AVG/MIN/MAX: MIN/MAX are unaffected by
             // DISTINCT; SUM/AVG become opaque.
@@ -587,17 +817,25 @@ impl Oracle {
                     distinct: false,
                     arg: AggArg::Expr(e.clone()),
                 };
-                self.lower_agg(&undistinct, env)
+                self.lower_agg_in(st, &undistinct, env)
             }
-            (func, AggArg::Expr(e), true) => Term::var(self.agg_var(
-                AggKey { func: *func, distinct: true, base: AggBase::Opaque(canon(e)), tag },
-                Sort::Int,
-            )),
+            (func, AggArg::Expr(e), true) => {
+                let v = self.agg_var(
+                    st,
+                    AggKey { func: *func, distinct: true, base: AggBase::Opaque(canon(e)), tag },
+                    Sort::Int,
+                );
+                st.interner.var(v)
+            }
             // SUM/AVG/MIN/MAX(*) is not valid SQL; defensively intern.
-            (func, AggArg::Star, d) => Term::var(self.agg_var(
-                AggKey { func: *func, distinct: d, base: AggBase::Star, tag },
-                Sort::Int,
-            )),
+            (func, AggArg::Star, d) => {
+                let v = self.agg_var(
+                    st,
+                    AggKey { func: *func, distinct: d, base: AggBase::Star, tag },
+                    Sort::Int,
+                );
+                st.interner.var(v)
+            }
         }
     }
 
@@ -613,73 +851,150 @@ impl Oracle {
     }
 
     /// Lower a predicate with the ambient environment.
-    pub fn lower_pred(&mut self, p: &Pred) -> Formula {
+    pub fn lower_pred(&mut self, p: &Pred) -> FormulaId {
         let env = self.ambient_env.clone();
         self.lower_pred_env(p, &env)
     }
 
-    /// Lower a predicate.
-    pub fn lower_pred_env(&mut self, p: &Pred, env: &LowerEnv) -> Formula {
+    /// Lower a predicate to an interned formula.
+    pub fn lower_pred_env(&mut self, p: &Pred, env: &LowerEnv) -> FormulaId {
+        let ctx = Arc::clone(&self.ctx);
+        let mut st = ctx.lower.write().unwrap();
+        self.lower_pred_in(&mut st, p, env)
+    }
+
+    fn lower_pred_in(&mut self, st: &mut LowerState, p: &Pred, env: &LowerEnv) -> FormulaId {
         match p {
-            Pred::True => Formula::True,
-            Pred::False => Formula::False,
-            Pred::Cmp(l, op, r) => Formula::cmp(
-                self.lower_scalar_env(l, env),
-                Self::rel_of(*op),
-                self.lower_scalar_env(r, env),
-            ),
+            Pred::True => FormulaId::TRUE,
+            Pred::False => FormulaId::FALSE,
+            Pred::Cmp(l, op, r) => {
+                let lt = self.lower_scalar_in(st, l, env);
+                let rt = self.lower_scalar_in(st, r, env);
+                st.interner.cmp(lt, Self::rel_of(*op), rt)
+            }
             Pred::Like { expr, pattern, negated } => {
-                let atom = Formula::atom(Atom::Like(
-                    self.lower_scalar_env(expr, env),
-                    pattern.clone(),
-                ));
+                let t = self.lower_scalar_in(st, expr, env);
+                let atom = st.interner.like(t, pattern);
                 if *negated {
-                    Formula::not(atom)
+                    st.interner.not(atom)
                 } else {
                     atom
                 }
             }
             Pred::And(cs) => {
-                Formula::and(cs.iter().map(|c| self.lower_pred_env(c, env)).collect())
+                let ids: Vec<FormulaId> =
+                    cs.iter().map(|c| self.lower_pred_in(st, c, env)).collect();
+                st.interner.and(ids)
             }
             Pred::Or(cs) => {
-                Formula::or(cs.iter().map(|c| self.lower_pred_env(c, env)).collect())
+                let ids: Vec<FormulaId> =
+                    cs.iter().map(|c| self.lower_pred_in(st, c, env)).collect();
+                st.interner.or(ids)
             }
-            Pred::Not(c) => Formula::not(self.lower_pred_env(c, env)),
+            Pred::Not(c) => {
+                let id = self.lower_pred_in(st, c, env);
+                st.interner.not(id)
+            }
         }
+    }
+
+    /// Lower each expression under both tuple environments and return
+    /// its `(e[t1] = e[t2], e[t1] ≠ e[t2])` formula pair — the GROUP BY
+    /// stage's two-tuple encoding builds `O(|o| + |o★|)` of these, and
+    /// doing the whole list under **one** shared-lock acquisition keeps
+    /// parallel slots from serializing on per-node lock round-trips.
+    /// Expressions are lowered left to right, exactly as per-expression
+    /// calls would, so variable allocation order is unchanged.
+    pub fn tuple_eq_formulas(
+        &mut self,
+        exprs: &[Scalar],
+        env1: &LowerEnv,
+        env2: &LowerEnv,
+    ) -> Vec<(FormulaId, FormulaId)> {
+        let ctx = Arc::clone(&self.ctx);
+        let mut st = ctx.lower.write().unwrap();
+        exprs
+            .iter()
+            .map(|e| {
+                let t1 = self.lower_scalar_in(&mut st, e, env1);
+                let t2 = self.lower_scalar_in(&mut st, e, env2);
+                let eq = st.interner.cmp(t1, Rel::Eq, t2);
+                let ne = st.interner.not(eq);
+                (eq, ne)
+            })
+            .collect()
+    }
+
+    // ---------------- interned formula builders ----------------
+
+    /// Smart interned conjunction (mirrors `Formula::and`).
+    pub fn and_f(&self, children: Vec<FormulaId>) -> FormulaId {
+        self.ctx.lower.write().unwrap().interner.and(children)
+    }
+
+    /// Smart interned disjunction (mirrors `Formula::or`).
+    pub fn or_f(&self, children: Vec<FormulaId>) -> FormulaId {
+        self.ctx.lower.write().unwrap().interner.or(children)
+    }
+
+    /// Memoized smart interned negation (mirrors `Formula::not`).
+    pub fn not_f(&self, f: FormulaId) -> FormulaId {
+        self.ctx.lower.write().unwrap().interner.not(f)
+    }
+
+    /// Interned comparison atom.
+    pub fn cmp_f(&self, l: TermId, rel: Rel, r: TermId) -> FormulaId {
+        self.ctx.lower.write().unwrap().interner.cmp(l, rel, r)
+    }
+
+    /// Extract the tree of an interned formula (diagnostics, tests, and
+    /// the solver-miss path).
+    pub fn formula(&self, f: FormulaId) -> Formula {
+        self.ctx.lower.read().unwrap().interner.formula(f)
     }
 
     // ---------------- aggregate axioms ----------------
 
-    /// Emit sound axioms over the aggregate variables interned so far,
-    /// using per-row bounds implied by the (top-level conjuncts of the)
-    /// WHERE predicate.
-    pub fn aggregate_axioms(&mut self, where_pred: &Pred) -> Vec<Formula> {
+    /// Emit sound axioms over the aggregate variables **this oracle**
+    /// interned so far, using per-row bounds implied by the (top-level
+    /// conjuncts of the) WHERE predicate.
+    pub fn aggregate_axioms(&mut self, where_pred: &Pred) -> Vec<FormulaId> {
+        let ctx = Arc::clone(&self.ctx);
+        let mut st = ctx.lower.write().unwrap();
+        self.aggregate_axioms_in(&mut st, where_pred)
+    }
+
+    fn aggregate_axioms_in(&mut self, st: &mut LowerState, where_pred: &Pred) -> Vec<FormulaId> {
         let bounds = column_bounds(where_pred);
         let keys: Vec<AggKey> = self.agg_vars.keys().cloned().collect();
-        let mut axioms: Vec<Formula> = Vec::new();
+        let mut axioms: Vec<FormulaId> = Vec::new();
+        let push_cmp = |st: &mut LowerState, l: VarId, rel: Rel, k: i64| {
+            let (lv, kv) = (st.interner.var(l), st.interner.int(k));
+            st.interner.cmp(lv, rel, kv)
+        };
         for key in &keys {
             let v = self.agg_vars[key];
             match (&key.func, &key.base) {
                 (AggFunc::Count, AggBase::Star) => {
                     // Groups are non-empty.
-                    axioms.push(Formula::cmp(Term::var(v), Rel::Ge, Term::IntConst(1)));
+                    axioms.push(push_cmp(st, v, Rel::Ge, 1));
                 }
                 (AggFunc::Count, _) if key.distinct => {
-                    axioms.push(Formula::cmp(Term::var(v), Rel::Ge, Term::IntConst(1)));
-                    let cs = self.count_star(key.tag);
-                    axioms.push(Formula::cmp(Term::var(v), Rel::Le, Term::var(cs)));
+                    axioms.push(push_cmp(st, v, Rel::Ge, 1));
+                    let cs = self.count_star(st, key.tag);
+                    let (lv, rv) = (st.interner.var(v), st.interner.var(cs));
+                    axioms.push(st.interner.cmp(lv, Rel::Le, rv));
                 }
                 (AggFunc::Min | AggFunc::Max | AggFunc::Avg, AggBase::Col(c)) => {
-                    if self.pool_sort(v) != Sort::Int {
+                    if st.pool.sort(v) != Sort::Int {
                         continue;
                     }
                     if let Some((lb, ub)) = bounds.get(c) {
                         if let Some(lb) = lb {
-                            axioms.push(Formula::cmp(Term::var(v), Rel::Ge, Term::IntConst(*lb)));
+                            axioms.push(push_cmp(st, v, Rel::Ge, *lb));
                         }
                         if let Some(ub) = ub {
-                            axioms.push(Formula::cmp(Term::var(v), Rel::Le, Term::IntConst(*ub)));
+                            axioms.push(push_cmp(st, v, Rel::Le, *ub));
                         }
                     }
                 }
@@ -688,20 +1003,12 @@ impl Oracle {
                         // SUM ≥ lb·COUNT ≥ lb when lb ≥ 0 (dually for ub).
                         if let Some(lb) = lb {
                             if *lb >= 0 {
-                                axioms.push(Formula::cmp(
-                                    Term::var(v),
-                                    Rel::Ge,
-                                    Term::IntConst(*lb),
-                                ));
+                                axioms.push(push_cmp(st, v, Rel::Ge, *lb));
                             }
                         }
                         if let Some(ub) = ub {
                             if *ub <= 0 {
-                                axioms.push(Formula::cmp(
-                                    Term::var(v),
-                                    Rel::Le,
-                                    Term::IntConst(*ub),
-                                ));
+                                axioms.push(push_cmp(st, v, Rel::Le, *ub));
                             }
                         }
                     }
@@ -716,15 +1023,17 @@ impl Oracle {
                 continue;
             }
             let min_v = self.agg_vars[&key.clone()];
-            if self.pool_sort(min_v) != Sort::Int {
+            if st.pool.sort(min_v) != Sort::Int {
                 continue;
             }
             let mk = |f: AggFunc| AggKey { func: f, ..key.clone() };
             if let Some(&max_v) = self.agg_vars.get(&mk(AggFunc::Max)) {
-                axioms.push(Formula::cmp(Term::var(min_v), Rel::Le, Term::var(max_v)));
+                let (lv, rv) = (st.interner.var(min_v), st.interner.var(max_v));
+                axioms.push(st.interner.cmp(lv, Rel::Le, rv));
             }
             if let Some(&avg_v) = self.agg_vars.get(&mk(AggFunc::Avg)) {
-                axioms.push(Formula::cmp(Term::var(min_v), Rel::Le, Term::var(avg_v)));
+                let (lv, rv) = (st.interner.var(min_v), st.interner.var(avg_v));
+                axioms.push(st.interner.cmp(lv, Rel::Le, rv));
             }
         }
         for key in &keys {
@@ -732,67 +1041,88 @@ impl Oracle {
                 continue;
             }
             let avg_v = self.agg_vars[key];
-            if self.pool_sort(avg_v) != Sort::Int {
+            if st.pool.sort(avg_v) != Sort::Int {
                 continue;
             }
             let max_key = AggKey { func: AggFunc::Max, ..key.clone() };
             if let Some(&max_v) = self.agg_vars.get(&max_key) {
-                axioms.push(Formula::cmp(Term::var(avg_v), Rel::Le, Term::var(max_v)));
+                let (lv, rv) = (st.interner.var(avg_v), st.interner.var(max_v));
+                axioms.push(st.interner.cmp(lv, Rel::Le, rv));
             }
         }
         axioms
-    }
-
-    fn pool_sort(&self, v: VarId) -> Sort {
-        self.pool.sort(v)
     }
 
     // ---------------- tri-valued predicates ----------------
 
     /// Formula-level satisfiability under formula contexts (the ambient
     /// context, if any, is appended).
-    pub fn sat_f(&mut self, f: &Formula, ctx: &[Formula]) -> TriBool {
-        use std::hash::{Hash, Hasher};
+    ///
+    /// The `(formula, full-context)` id pair is first probed in the
+    /// shared [`crate::verdicts::VerdictCache`]; only a miss extracts
+    /// the trees and runs the solver (against a scratch copy of the
+    /// shared pool, so concurrent checks never contend on it). Only
+    /// definitive results are cached — `Unknown` may become definitive
+    /// under different budgets.
+    pub fn sat_f(&mut self, f: FormulaId, ctx: &[FormulaId]) -> TriBool {
         self.solver_calls += 1;
-        let mut full: Vec<Formula> = Vec::with_capacity(ctx.len() + self.ambient_ctx.len());
+        let mut full: Vec<FormulaId> = Vec::with_capacity(ctx.len() + self.ambient_ctx.len());
         full.extend_from_slice(ctx);
         full.extend_from_slice(&self.ambient_ctx);
-        // Hash-first lookup: no clone of the formula or context on the
-        // hot path; the stored pair is compared on a bucket hit.
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        f.hash(&mut hasher);
-        full.hash(&mut hasher);
-        let key = hasher.finish();
-        if let Some(bucket) = self.sat_cache.get(&key) {
-            for (cf, cfull, verdict) in bucket {
-                if cf == f && *cfull == full {
-                    return *verdict;
-                }
+        let key = VerdictKey { f, ctx: full.into_boxed_slice() };
+        if let Some((verdict, owner)) = self.ctx.verdicts.get(&key) {
+            self.verdict_hits += 1;
+            if owner != self.id {
+                self.verdict_cross_hits += 1;
             }
+            return verdict;
         }
-        let solver = self.solver.clone();
-        let verdict = solver.is_satisfiable(f, &full, &mut self.pool);
+        self.verdict_misses += 1;
+        // Miss: extract trees and sync the scratch pool under the read
+        // lock, then solve outside it. The solver appends throwaway
+        // opaque variables during linearization, which is why it gets
+        // the private mirror rather than a shared borrow — truncating
+        // back to the synced snapshot discards the previous check's
+        // scratch and keeps indices aligned with the append-only shared
+        // pool, without an O(pool) clone per miss.
+        let (tree, ctx_trees) = {
+            let st = self.ctx.lower.read().unwrap();
+            self.scratch_pool.truncate(self.scratch_synced);
+            if st.pool.len() > self.scratch_synced {
+                self.scratch_pool.extend_from(&st.pool, self.scratch_synced);
+                self.scratch_synced = st.pool.len();
+            }
+            let tree = st.interner.formula(key.f);
+            let ctx_trees: Vec<Formula> =
+                key.ctx.iter().map(|&c| st.interner.formula(c)).collect();
+            (tree, ctx_trees)
+        };
+        let verdict = self.solver.is_satisfiable(&tree, &ctx_trees, &mut self.scratch_pool);
         if verdict != TriBool::Unknown {
-            self.sat_cache.entry(key).or_default().push((f.clone(), full, verdict));
+            self.verdict_evictions += self.ctx.verdicts.insert(key, verdict, self.id);
         }
         verdict
     }
 
     /// Formula-level unsatisfiability.
-    pub fn unsat_f(&mut self, f: &Formula, ctx: &[Formula]) -> TriBool {
+    pub fn unsat_f(&mut self, f: FormulaId, ctx: &[FormulaId]) -> TriBool {
         self.sat_f(f, ctx).negate()
     }
 
     /// Formula-level implication under contexts.
-    pub fn implies_f(&mut self, f: &Formula, g: &Formula, ctx: &[Formula]) -> TriBool {
-        self.unsat_f(&Formula::and(vec![f.clone(), Formula::not(g.clone())]), ctx)
+    pub fn implies_f(&mut self, f: FormulaId, g: FormulaId, ctx: &[FormulaId]) -> TriBool {
+        let ng = self.not_f(g);
+        let q = self.and_f(vec![f, ng]);
+        self.unsat_f(q, ctx)
     }
 
     /// Formula-level equivalence under contexts.
-    pub fn equiv_f(&mut self, f: &Formula, g: &Formula, ctx: &[Formula]) -> TriBool {
-        // Syntactically identical formulas are equivalent under any
-        // context — skip the solver, whose atom budget would otherwise
-        // degrade large self-comparisons to Unknown.
+    pub fn equiv_f(&mut self, f: FormulaId, g: FormulaId, ctx: &[FormulaId]) -> TriBool {
+        // Identical ids are structurally identical formulas — equivalent
+        // under any context without consulting the solver, whose atom
+        // budget would otherwise degrade large self-comparisons to
+        // Unknown. (Hash-consing turns the old syntactic-equality walk
+        // into this integer compare.)
         if f == g {
             return TriBool::True;
         }
@@ -808,22 +1138,22 @@ impl Oracle {
     /// Predicate-level satisfiability (plain environment).
     pub fn sat_pred(&mut self, p: &Pred, ctx: &[&Pred]) -> TriBool {
         let f = self.lower_pred(p);
-        let ctx: Vec<Formula> = ctx.iter().map(|c| self.lower_pred(c)).collect();
-        self.sat_f(&f, &ctx)
+        let ctx: Vec<FormulaId> = ctx.iter().map(|c| self.lower_pred(c)).collect();
+        self.sat_f(f, &ctx)
     }
 
     /// Predicate-level implication.
     pub fn implies_pred(&mut self, p: &Pred, q: &Pred, ctx: &[&Pred]) -> TriBool {
         let (fp, fq) = (self.lower_pred(p), self.lower_pred(q));
-        let ctx: Vec<Formula> = ctx.iter().map(|c| self.lower_pred(c)).collect();
-        self.implies_f(&fp, &fq, &ctx)
+        let ctx: Vec<FormulaId> = ctx.iter().map(|c| self.lower_pred(c)).collect();
+        self.implies_f(fp, fq, &ctx)
     }
 
     /// Predicate-level equivalence — the paper's `IsEquiv` for WHERE.
     pub fn equiv_pred(&mut self, p: &Pred, q: &Pred, ctx: &[&Pred]) -> TriBool {
         let (fp, fq) = (self.lower_pred(p), self.lower_pred(q));
-        let ctx: Vec<Formula> = ctx.iter().map(|c| self.lower_pred(c)).collect();
-        self.equiv_f(&fp, &fq, &ctx)
+        let ctx: Vec<FormulaId> = ctx.iter().map(|c| self.lower_pred(c)).collect();
+        self.equiv_f(fp, fq, &ctx)
     }
 
     /// Value-level equivalence of two scalars under formula contexts —
@@ -834,10 +1164,11 @@ impl Oracle {
         e1: &Scalar,
         e2: &Scalar,
         env: &LowerEnv,
-        ctx: &[Formula],
+        ctx: &[FormulaId],
     ) -> TriBool {
         let (t1, t2) = (self.lower_scalar_env(e1, env), self.lower_scalar_env(e2, env));
-        self.unsat_f(&Formula::cmp(t1, Rel::Ne, t2), ctx)
+        let ne = self.cmp_f(t1, Rel::Ne, t2);
+        self.unsat_f(ne, ctx)
     }
 }
 
@@ -939,7 +1270,8 @@ mod tests {
         let axioms = o.aggregate_axioms(&where_pred);
         assert!(!axioms.is_empty());
         // MAX(A) >= 101 is implied by the axioms: ¬(MAX(A) ≥ 101) unsat.
-        assert_eq!(o.unsat_f(&Formula::not(h), &axioms), TriBool::True);
+        let nh = o.not_f(h);
+        assert_eq!(o.unsat_f(nh, &axioms), TriBool::True);
     }
 
     #[test]
@@ -962,7 +1294,7 @@ mod tests {
         let fh = o.lower_pred_env(&h, &env);
         let mut ctx = vec![o.lower_pred_env(&ctx_pred, &env)];
         ctx.extend(o.aggregate_axioms(&ctx_pred));
-        assert_eq!(o.equiv_f(&fs, &fh, &ctx), TriBool::True);
+        assert_eq!(o.equiv_f(fs, fh, &ctx), TriBool::True);
     }
 
     #[test]
@@ -1049,13 +1381,63 @@ mod tests {
         let mut o = oracle_for(&[&p]);
         let f1 = o.lower_pred_env(&p, &LowerEnv::tuple(1));
         let f2 = o.lower_pred_env(&p, &LowerEnv::tuple(2));
-        assert_ne!(format!("{f1}"), format!("{f2}"));
+        assert_ne!(f1, f2, "distinct tags intern distinct formulas");
+        assert_ne!(format!("{}", o.formula(f1)), format!("{}", o.formula(f2)));
         // t.a@t1 = 1 ∧ t.a@t2 = 2 is satisfiable (different tuples).
         let p2 = parse_pred("t.a = 2").unwrap();
         let f2b = o.lower_pred_env(&p2, &LowerEnv::tuple(2));
-        assert_eq!(
-            o.sat_f(&Formula::and(vec![f1, f2b]), &[]),
-            TriBool::True
-        );
+        let conj = o.and_f(vec![f1, f2b]);
+        assert_eq!(o.sat_f(conj, &[]), TriBool::True);
+    }
+
+    #[test]
+    fn identical_lowering_shares_one_id() {
+        // Hash-consing: lowering the same predicate twice (even as part
+        // of a larger one) yields the same FormulaId, and equiv_f's
+        // fast path answers without a solver call.
+        let p = parse_pred("t.a > 1 AND t.b = 2").unwrap();
+        let mut o = oracle_for(&[&p]);
+        let f1 = o.lower_pred(&p);
+        let f2 = o.lower_pred(&p);
+        assert_eq!(f1, f2);
+        let calls_before = o.solver_calls;
+        assert_eq!(o.equiv_f(f1, f2, &[]), TriBool::True);
+        assert_eq!(o.solver_calls, calls_before, "id equality short-circuits");
+    }
+
+    #[test]
+    fn shared_context_verdicts_cross_oracles() {
+        // Two oracles over one SolverContext: the second's identical
+        // check is a cross-oracle read-path hit, not a solver call.
+        let p = parse_pred("t.a > 1 AND t.a < 0").unwrap();
+        let shared = Arc::new(SolverContext::new(0));
+        let types = TypeEnv::infer_from_preds(&[&p]);
+        let mut o1 = Oracle::with_context(types.clone(), Arc::clone(&shared));
+        let mut o2 = Oracle::with_context(types, Arc::clone(&shared));
+        assert_eq!(o1.sat_pred(&p, &[]), TriBool::False);
+        assert_eq!(o1.verdict_misses, 1);
+        assert_eq!(o2.sat_pred(&p, &[]), TriBool::False);
+        assert_eq!(o2.verdict_hits, 1, "{:?}", shared);
+        assert_eq!(o2.verdict_cross_hits, 1);
+        assert_eq!(o2.verdict_misses, 0);
+        assert_eq!(shared.verdict_entries(), 1);
+        assert!(shared.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn private_aggregate_record_keeps_axioms_per_oracle() {
+        // Two oracles share the context, but axioms only cover the
+        // aggregates each oracle lowered itself: o2 never mentioned an
+        // aggregate, so its axiom set is empty even though o1 interned
+        // MAX(r.a) into the shared tables.
+        let where_pred = parse_pred("r.a > 100").unwrap();
+        let having = parse_pred("MAX(r.a) >= 101").unwrap();
+        let shared = Arc::new(SolverContext::new(0));
+        let types = TypeEnv::infer_from_preds(&[&where_pred, &having]);
+        let mut o1 = Oracle::with_context(types.clone(), Arc::clone(&shared));
+        let mut o2 = Oracle::with_context(types, Arc::clone(&shared));
+        let _ = o1.lower_pred_env(&having, &LowerEnv::plain());
+        assert!(!o1.aggregate_axioms(&where_pred).is_empty());
+        assert!(o2.aggregate_axioms(&where_pred).is_empty());
     }
 }

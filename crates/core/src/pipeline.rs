@@ -35,6 +35,13 @@ pub struct QrHintConfig {
     /// indefinitely without the cache growing with every distinct
     /// submission ever seen. `0` disables the cache entirely.
     pub advice_cache_capacity: usize,
+    /// Byte budget of a [`PreparedTarget`]'s **shared solver-verdict
+    /// cache** — the sharded `(formula, context) → verdict` table every
+    /// oracle slot of the target reads and writes (see
+    /// [`crate::oracle::SolverContext`]). Each shard LRU-evicts its
+    /// stalest entries beyond its slice of the budget. `0` = unbounded
+    /// (the registry-level shed still reclaims it wholesale).
+    pub verdict_cache_max_bytes: usize,
 }
 
 /// Default bound on the per-target advice cache: generously above any
@@ -43,12 +50,18 @@ pub struct QrHintConfig {
 /// within a predictable memory envelope.
 pub const DEFAULT_ADVICE_CACHE_CAPACITY: usize = 4096;
 
+/// Default byte budget for the shared verdict cache: roomy enough that a
+/// classroom-scale target never evicts in practice, bounded so dozens of
+/// resident server targets stay within a predictable envelope.
+pub const DEFAULT_VERDICT_CACHE_BYTES: usize = 32 * 1024 * 1024;
+
 impl Default for QrHintConfig {
     fn default() -> QrHintConfig {
         QrHintConfig {
             repair: RepairConfig::default(),
             max_stage_applications: 3 * Stage::COUNT + 1,
             advice_cache_capacity: DEFAULT_ADVICE_CACHE_CAPACITY,
+            verdict_cache_max_bytes: DEFAULT_VERDICT_CACHE_BYTES,
         }
     }
 }

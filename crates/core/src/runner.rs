@@ -15,6 +15,12 @@
 //! The FROM stage and table-mapping derivation stay in the session layer:
 //! the oracle and the unified target both depend on their result, and the
 //! session memoizes them per working-FROM binding.
+//!
+//! Stage memos key on the SQL-level inputs (predicates, expression
+//! lists); everything below them is interned — the ambient contexts this
+//! runner installs are `FormulaId` vectors into the target-shared
+//! [`crate::oracle::SolverContext`], and the per-check memoization lives
+//! in its shared verdict cache rather than in cloned formula trees.
 
 use crate::error::QrResult;
 use crate::hint::{Hint, Stage};

@@ -50,10 +50,19 @@
 //!   busy, the pool grows a fresh oracle (bounded by
 //!   `MAX_GROUP_SLOTS`) instead of queueing, so a classroom batch whose
 //!   submissions all share one FROM clause still grades in parallel.
-//!   Slots of one group share the group's immutable derivations but not
-//!   each other's verdict caches; since stage outcomes are
-//!   deterministic functions of their exact inputs, a memo miss re-pays
-//!   solver time but can never change an answer.
+//! * All slots of all groups intern formulas into — and **share solver
+//!   verdicts through** — one target-wide
+//!   [`SolverContext`](crate::oracle::SolverContext): a sharded,
+//!   byte-budgeted `(formula, context) → verdict` table keyed by
+//!   interned ids, so a verdict decided on one thread is a read-path
+//!   hit on every other (PR 3 kept these caches slot-private because
+//!   tree keys made sharing cost more than it saved). Sharing stays
+//!   deterministic: equal ids mean structurally identical inputs, the
+//!   solver is a deterministic function of those inputs, and only
+//!   definitive verdicts are cached — so a cross-thread hit returns
+//!   exactly what the probing slot would have computed itself. Stage
+//!   memos remain slot-private; a memo miss re-pays lookup time but
+//!   can never change an answer.
 //! * The **whole-advice cache** is an `RwLock` map with a read-path
 //!   hit check, so duplicate submissions stay near-free under
 //!   contention; LRU recency is refreshed with an atomic stamp, so even
@@ -95,7 +104,7 @@
 use crate::error::{QrHintError, QrResult};
 use crate::hint::Stage;
 use crate::mapping::{table_mapping, unify_target, TableMapping};
-use crate::oracle::{Oracle, TypeEnv};
+use crate::oracle::{Oracle, SolverContext, TypeEnv};
 use crate::pipeline::{Advice, QrHintConfig};
 use crate::runner::{run_stages, StageInputs, StageMemos};
 use crate::stages::from_stage;
@@ -137,6 +146,33 @@ pub struct SessionStats {
     /// Solver checks issued across all group oracles, accumulated as
     /// each advise completes.
     pub solver_calls: u64,
+    /// Checks answered by the target's **shared verdict cache** (all
+    /// slots of all FROM groups probe one sharded table; see
+    /// [`crate::oracle::SolverContext`]).
+    pub verdict_cache_hits: u64,
+    /// Of those hits, how many reused a verdict *another* oracle slot
+    /// paid for — the cross-thread sharing PR 3's private caches could
+    /// not provide.
+    pub verdict_cache_cross_thread_hits: u64,
+    /// Shared-verdict-cache misses (each one ran the real solver).
+    pub verdict_cache_misses: u64,
+    /// Entries evicted from the shared verdict cache at its byte budget
+    /// ([`QrHintConfig::verdict_cache_max_bytes`]).
+    pub verdict_cache_evictions: u64,
+    /// Shared-verdict entries resident right now (point-in-time; resets
+    /// on [`PreparedTarget::shed_caches`]).
+    pub verdict_cache_entries: u64,
+    /// Approximate shared-verdict bytes resident right now.
+    pub verdict_cache_bytes: u64,
+    /// Distinct term nodes in the shared interner right now.
+    pub interned_terms: u64,
+    /// Distinct formula nodes in the shared interner right now.
+    pub interned_formulas: u64,
+    /// Interner construction requests answered by an existing node
+    /// (hash-consing + negation-memo hits; since the last shed).
+    pub interner_dedup_hits: u64,
+    /// Approximate bytes of the shared interning tables right now.
+    pub interner_bytes: u64,
 }
 
 /// The atomic backing store for [`SessionStats`]: plain counters would
@@ -156,9 +192,16 @@ struct AtomicStats {
     from_groups: AtomicU64,
     mapping_reuses: AtomicU64,
     solver_calls: AtomicU64,
+    verdict_cache_hits: AtomicU64,
+    verdict_cache_cross_thread_hits: AtomicU64,
+    verdict_cache_misses: AtomicU64,
+    verdict_cache_evictions: AtomicU64,
 }
 
 impl AtomicStats {
+    /// Snapshot of the accumulated counters; the point-in-time context
+    /// fields (verdict entries/bytes, interner occupancy) are filled in
+    /// by [`PreparedTarget::stats`].
     fn snapshot(&self) -> SessionStats {
         SessionStats {
             advise_calls: self.advise_calls.load(Ordering::Relaxed),
@@ -170,6 +213,18 @@ impl AtomicStats {
             from_groups: self.from_groups.load(Ordering::Relaxed),
             mapping_reuses: self.mapping_reuses.load(Ordering::Relaxed),
             solver_calls: self.solver_calls.load(Ordering::Relaxed),
+            verdict_cache_hits: self.verdict_cache_hits.load(Ordering::Relaxed),
+            verdict_cache_cross_thread_hits: self
+                .verdict_cache_cross_thread_hits
+                .load(Ordering::Relaxed),
+            verdict_cache_misses: self.verdict_cache_misses.load(Ordering::Relaxed),
+            verdict_cache_evictions: self.verdict_cache_evictions.load(Ordering::Relaxed),
+            verdict_cache_entries: 0,
+            verdict_cache_bytes: 0,
+            interned_terms: 0,
+            interned_formulas: 0,
+            interner_dedup_hits: 0,
+            interner_bytes: 0,
         }
     }
 }
@@ -180,9 +235,9 @@ impl AtomicStats {
 const MAX_GROUP_SLOTS: usize = 8;
 
 /// One lock stripe of a group's mutable solver state: a persistent
-/// oracle (whose verdict cache is hash-keyed formula pairs) and the
-/// per-stage memos. Everything here is only ever touched under the
-/// slot's `Mutex`.
+/// oracle (interning into — and sharing verdicts through — the
+/// target-wide [`SolverContext`]) and the per-stage memos. Everything
+/// here is only ever touched under the slot's `Mutex`.
 struct GroupSlot {
     oracle: Oracle,
     memos: StageMemos,
@@ -216,9 +271,9 @@ struct FromGroup {
 }
 
 impl FromGroup {
-    fn new_slot(&self) -> Arc<Mutex<GroupSlot>> {
+    fn new_slot(&self, ctx: &Arc<SolverContext>) -> Arc<Mutex<GroupSlot>> {
         Arc::new(Mutex::new(GroupSlot {
-            oracle: Oracle::new(self.types.clone()),
+            oracle: Oracle::with_context(self.types.clone(), Arc::clone(ctx)),
             memos: StageMemos::default(),
         }))
     }
@@ -226,7 +281,31 @@ impl FromGroup {
     /// Run `f` with exclusive access to one of the group's slots:
     /// prefer a currently-free slot, grow the pool when all are busy,
     /// and only block (round-robin) once the pool is at its cap.
-    fn with_slot<R>(&self, f: impl FnOnce(&mut GroupSlot) -> R) -> R {
+    ///
+    /// `shared` is the target's current-context cell: the context is
+    /// re-read at every claim and grow point, so a slot whose oracle is
+    /// bound to a context that has since been shed
+    /// ([`PreparedTarget::shed_caches`] swaps in a fresh one) is rebuilt
+    /// on the spot, and stale slots cannot pin a retired interner
+    /// alive. The grow path reads the cell *inside* the slots write
+    /// lock: shed swaps the context before it drains the pool (also
+    /// under the slots write lock), so a grower either sees the fresh
+    /// context or its old-bound slot is in the pool in time to be
+    /// drained — never both missed.
+    fn with_slot<R>(
+        &self,
+        shared: &RwLock<Arc<SolverContext>>,
+        f: impl FnOnce(&mut GroupSlot) -> R,
+    ) -> R {
+        let refresh = |slot: &mut GroupSlot| {
+            let current = Arc::clone(&shared.read().unwrap());
+            if !Arc::ptr_eq(slot.oracle.context(), &current) {
+                *slot = GroupSlot {
+                    oracle: Oracle::with_context(self.types.clone(), current),
+                    memos: StageMemos::default(),
+                };
+            }
+        };
         // Fast path: claim a free slot. The probe *keeps* the guard it
         // acquired (the Arcs are cloned out of the map first, so the
         // guard can outlive the read lock) — a drop-and-relock probe
@@ -236,6 +315,7 @@ impl FromGroup {
             self.slots.read().unwrap().iter().map(Arc::clone).collect();
         for slot in &candidates {
             if let Ok(mut guard) = slot.try_lock() {
+                refresh(&mut guard);
                 return f(&mut guard);
             }
         }
@@ -246,7 +326,8 @@ impl FromGroup {
         let arc = {
             let mut slots = self.slots.write().unwrap();
             if slots.len() < MAX_GROUP_SLOTS {
-                let s = self.new_slot();
+                let current = Arc::clone(&shared.read().unwrap());
+                let s = self.new_slot(&current);
                 slots.push(Arc::clone(&s));
                 s
             } else {
@@ -255,6 +336,7 @@ impl FromGroup {
             }
         };
         let mut guard = arc.lock().unwrap();
+        refresh(&mut guard);
         f(&mut guard)
     }
 }
@@ -262,10 +344,10 @@ impl FromGroup {
 /// Byte estimates for the cache-accounting API
 /// ([`PreparedTarget::approx_cache_bytes`]): per-entry costs of the
 /// structures we do not walk exactly. Deliberately coarse — the point is
-/// that a registry's byte budget *scales with real usage* (verdict
-/// caches and memo tables dominate a hot target's footprint), not that
-/// the number matches the allocator.
-const VERDICT_ENTRY_BYTES: usize = 256;
+/// that a registry's byte budget *scales with real usage*, not that the
+/// number matches the allocator. The shared interner and verdict cache
+/// carry their own accounting ([`SolverContext::approx_bytes`]); these
+/// constants cover the per-slot stage memos.
 const STAGE_MEMO_ENTRY_BYTES: usize = 512;
 const SLOT_BASE_BYTES: usize = 2048;
 const GROUP_BASE_BYTES: usize = 2048;
@@ -321,6 +403,10 @@ pub struct PreparedTarget {
     cfg: QrHintConfig,
     target: Query,
     groups: RwLock<HashMap<FromKey, Arc<FromGroup>>>,
+    /// The target-wide interning + shared-verdict state every oracle
+    /// slot binds to. [`PreparedTarget::shed_caches`] swaps in a fresh
+    /// context; in-flight advises finish safely against the old `Arc`.
+    shared: RwLock<Arc<SolverContext>>,
     advice_cache: RwLock<AdviceCache>,
     /// Monotonic stamp source for the advice cache's LRU ordering.
     cache_clock: AtomicU64,
@@ -344,15 +430,22 @@ impl std::fmt::Debug for PreparedTarget {
 
 impl PreparedTarget {
     pub(crate) fn new(schema: Schema, cfg: QrHintConfig, target: Query) -> PreparedTarget {
+        let shared = Arc::new(SolverContext::new(cfg.verdict_cache_max_bytes));
         PreparedTarget {
             schema,
             cfg,
             target,
             groups: RwLock::new(HashMap::new()),
+            shared: RwLock::new(shared),
             advice_cache: RwLock::new(AdviceCache::default()),
             cache_clock: AtomicU64::new(0),
             stats: AtomicStats::default(),
         }
+    }
+
+    /// The current shared solver context (interner + verdict cache).
+    fn solver_context(&self) -> Arc<SolverContext> {
+        Arc::clone(&self.shared.read().unwrap())
     }
 
     /// The resolved target query (the hidden `Q★`).
@@ -375,8 +468,22 @@ impl PreparedTarget {
     /// *during* a concurrent batch may straddle advises, but once the
     /// batch has joined, `advise_calls` equals the number of
     /// submissions and `solver_calls` covers all completed work.
+    ///
+    /// The interner and verdict-cache occupancy fields are point-in-time
+    /// reads of the current shared context (they reset when
+    /// [`PreparedTarget::shed_caches`] swaps it); the hit/miss/eviction
+    /// counters are cumulative across sheds.
     pub fn stats(&self) -> SessionStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        let ctx = self.solver_context();
+        let interner = ctx.interner_stats();
+        stats.verdict_cache_entries = ctx.verdict_entries() as u64;
+        stats.verdict_cache_bytes = ctx.verdict_bytes() as u64;
+        stats.interned_terms = interner.terms;
+        stats.interned_formulas = interner.formulas;
+        stats.interner_dedup_hits = interner.dedup_hits;
+        stats.interner_bytes = interner.bytes;
+        stats
     }
 
     /// Parse and resolve a working query against the session schema.
@@ -522,8 +629,12 @@ impl PreparedTarget {
                 .map(|t| (t.alias.clone(), t.table.clone()))
                 .collect();
             let group = self.group_for((binding, mapping), q);
-            group.with_slot(|slot| {
-                let before = slot.oracle.solver_calls;
+            group.with_slot(&self.shared, |slot| {
+                let calls = slot.oracle.solver_calls;
+                let hits = slot.oracle.verdict_hits;
+                let cross = slot.oracle.verdict_cross_hits;
+                let misses = slot.oracle.verdict_misses;
+                let evictions = slot.oracle.verdict_evictions;
                 let advice = run_stages(StageInputs {
                     oracle: &mut slot.oracle,
                     unified: &group.unified,
@@ -533,9 +644,22 @@ impl PreparedTarget {
                     mapping: &group.mapping,
                     memos: &mut slot.memos,
                 });
+                let o = &slot.oracle;
                 self.stats
                     .solver_calls
-                    .fetch_add(slot.oracle.solver_calls - before, Ordering::Relaxed);
+                    .fetch_add(o.solver_calls - calls, Ordering::Relaxed);
+                self.stats
+                    .verdict_cache_hits
+                    .fetch_add(o.verdict_hits - hits, Ordering::Relaxed);
+                self.stats
+                    .verdict_cache_cross_thread_hits
+                    .fetch_add(o.verdict_cross_hits - cross, Ordering::Relaxed);
+                self.stats
+                    .verdict_cache_misses
+                    .fetch_add(o.verdict_misses - misses, Ordering::Relaxed);
+                self.stats
+                    .verdict_cache_evictions
+                    .fetch_add(o.verdict_evictions - evictions, Ordering::Relaxed);
                 advice
             })?
         };
@@ -584,13 +708,15 @@ impl PreparedTarget {
     }
 
     /// Approximate bytes held by this target's rebuildable caches: the
-    /// advice cache (exact per-entry estimates) plus every FROM group's
-    /// solver slots (verdict caches and stage memos, estimated per
+    /// advice cache (exact per-entry estimates), the shared solver
+    /// context (interner tables + shared verdict cache, self-accounted),
+    /// and every FROM group's solver slots (stage memos, estimated per
     /// entry; a slot busy grading right now is counted at a flat base
     /// cost rather than blocking on its lock). The `qr-hint serve`
     /// registry steers its byte-budget eviction with this number.
     pub fn approx_cache_bytes(&self) -> usize {
         let mut total = self.stats.advice_cache_bytes.load(Ordering::Relaxed) as usize;
+        total += self.solver_context().approx_bytes();
         for group in self.groups.read().unwrap().values() {
             total += GROUP_BASE_BYTES;
             let slots: Vec<Arc<Mutex<GroupSlot>>> =
@@ -598,26 +724,29 @@ impl PreparedTarget {
             for slot in &slots {
                 total += SLOT_BASE_BYTES;
                 if let Ok(guard) = slot.try_lock() {
-                    total += guard.oracle.verdict_cache_len() * VERDICT_ENTRY_BYTES
-                        + guard.memos.len() * STAGE_MEMO_ENTRY_BYTES;
+                    total += guard.memos.len() * STAGE_MEMO_ENTRY_BYTES;
                 }
             }
         }
         total
     }
 
-    /// Drop every rebuildable cache — the whole-advice cache and each
-    /// FROM group's solver slots (persistent oracles, verdict caches,
+    /// Drop every rebuildable cache — the whole-advice cache, the shared
+    /// solver context (interner tables **and** the shared verdict
+    /// cache), and each FROM group's solver slots (persistent oracles,
     /// stage memos) — while keeping the compiled target and the groups'
     /// immutable derivations (unified target, domain context, typing).
-    /// Returns the approximate bytes freed.
+    /// Returns the approximate bytes freed, interner included, so the
+    /// server registry's byte budget stays truthful after shedding.
     ///
     /// This is the eviction hook a resident server uses as a middle
     /// ground: a shed target re-pays solver time on its next request
     /// but no target-compilation time, while a dropped target pays
-    /// both. Safe under concurrent grading: an advise holding a slot
-    /// keeps its `Arc` alive until it finishes; the pool simply regrows
-    /// on demand afterwards.
+    /// both. Safe under concurrent grading: the context is *swapped*,
+    /// not drained — an advise holding a slot keeps its `Arc`s (slot and
+    /// old context) alive until it finishes, its interned ids stay
+    /// valid, and the next claim of a stale slot rebinds it to the
+    /// fresh context ([`FromGroup::with_slot`]).
     pub fn shed_caches(&self) -> usize {
         let mut freed = {
             let mut cache = self.advice_cache.write().unwrap();
@@ -630,14 +759,16 @@ impl PreparedTarget {
             self.stats.advice_cache_bytes.store(0, Ordering::Relaxed);
             freed
         };
+        let fresh = Arc::new(SolverContext::new(self.cfg.verdict_cache_max_bytes));
+        let old = std::mem::replace(&mut *self.shared.write().unwrap(), fresh);
+        freed += old.approx_bytes();
         for group in self.groups.read().unwrap().values() {
             let slots: Vec<Arc<Mutex<GroupSlot>>> =
                 std::mem::take(&mut *group.slots.write().unwrap());
             for slot in &slots {
                 freed += SLOT_BASE_BYTES;
                 if let Ok(guard) = slot.try_lock() {
-                    freed += guard.oracle.verdict_cache_len() * VERDICT_ENTRY_BYTES
-                        + guard.memos.len() * STAGE_MEMO_ENTRY_BYTES;
+                    freed += guard.memos.len() * STAGE_MEMO_ENTRY_BYTES;
                 }
             }
         }
@@ -876,6 +1007,61 @@ mod tests {
         assert_eq!(before.stage, after.stage);
         assert_eq!(before.hints, after.hints);
         assert_eq!(before.fixed, after.fixed);
+    }
+
+    #[test]
+    fn verdict_stats_are_coherent_and_hits_occur_on_repair_workloads() {
+        // The repair search re-checks many identical implications, so a
+        // WHERE-repair advise must produce shared-verdict hits even
+        // sequentially — and every sat call is exactly one hit or miss.
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr
+            .compile_target("SELECT s.bar FROM Serves s WHERE s.price >= 3 AND s.beer = 'Bud'")
+            .unwrap();
+        prepared
+            .advise_sql("SELECT s.bar FROM Serves s WHERE s.price > 3 AND s.beer = 'Stout'")
+            .unwrap();
+        let stats = prepared.stats();
+        assert!(stats.solver_calls > 0);
+        assert_eq!(
+            stats.verdict_cache_hits + stats.verdict_cache_misses,
+            stats.solver_calls,
+            "every sat call is exactly one hit or one miss: {stats:?}"
+        );
+        assert!(stats.verdict_cache_hits > 0, "repair search must re-probe: {stats:?}");
+        assert!(stats.verdict_cache_entries > 0);
+        assert!(stats.verdict_cache_bytes > 0);
+        assert!(stats.interned_formulas > 0);
+        assert!(stats.interned_terms > 0);
+        assert!(stats.interner_dedup_hits > 0, "lowering dedups shared nodes");
+        assert!(stats.interner_bytes > 0);
+    }
+
+    #[test]
+    fn shed_caches_drains_shared_verdicts_and_reports_interner_bytes() {
+        let qr = QrHint::new(beers_schema());
+        let prepared = qr.compile_target(TARGET).unwrap();
+        let sub = "SELECT s.bar FROM Serves s WHERE s.price > 3";
+        let before_advice = prepared.advise_sql(sub).unwrap();
+        let before = prepared.stats();
+        assert!(before.verdict_cache_entries > 0);
+        assert!(before.interner_bytes > 0);
+        let freed = prepared.shed_caches();
+        assert!(
+            freed as u64 >= before.interner_bytes + before.verdict_cache_bytes,
+            "freed bytes ({freed}) must cover interner + verdict cache ({before:?})"
+        );
+        let after = prepared.stats();
+        assert_eq!(after.verdict_cache_entries, 0, "shared cache drained");
+        assert_eq!(after.verdict_cache_bytes, 0);
+        assert!(after.interned_terms == 0, "fresh interner");
+        assert!(after.interned_formulas <= 2, "only the pre-interned constants remain");
+        // Cumulative counters survive the context swap.
+        assert_eq!(after.verdict_cache_misses, before.verdict_cache_misses);
+        assert_eq!(after.verdict_cache_hits, before.verdict_cache_hits);
+        // And grading still answers identically on the fresh context.
+        let after_advice = prepared.advise_sql(sub).unwrap();
+        assert_eq!(before_advice, after_advice);
     }
 
     #[test]

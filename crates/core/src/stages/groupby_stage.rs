@@ -4,7 +4,7 @@
 
 use crate::hint::Hint;
 use crate::oracle::{LowerEnv, Oracle};
-use qrhint_smt::{Formula, Rel, TriBool};
+use qrhint_smt::TriBool;
 use qrhint_sqlast::{ColRef, Pred, Query, Scalar};
 use std::collections::BTreeSet;
 
@@ -61,49 +61,45 @@ pub fn fix_grouping(
     // P[t1] ∧ P[t2]
     let p1 = oracle.lower_pred_env(p, &env1);
     let p2 = oracle.lower_pred_env(p, &env2);
-    let both = Formula::and(vec![p1, p2]);
+    let both = oracle.and_f(vec![p1, p2]);
 
-    let eq_under_tags = |oracle: &mut Oracle, e: &Scalar| -> Formula {
-        let t1 = oracle.lower_scalar_env(e, &env1);
-        let t2 = oracle.lower_scalar_env(e, &env2);
-        Formula::cmp(t1, Rel::Eq, t2)
-    };
-    let ne_under_tags = |oracle: &mut Oracle, e: &Scalar| -> Formula {
-        Formula::not(eq_under_tags(oracle, e))
-    };
+    // All tag-equality pairs up front, one lock acquisition per list
+    // (target first, then working — the same first-use lowering order
+    // as building G★ and then walking Δ−).
+    let star_pairs = oracle.tuple_eq_formulas(o_star, &env1, &env2);
+    let o_pairs = oracle.tuple_eq_formulas(o, &env1, &env2);
 
     // G★ = ∧_i o★_i[t1] = o★_i[t2]
-    let g_star = Formula::and(
-        o_star.iter().map(|e| eq_under_tags(oracle, e)).collect(),
-    );
+    let g_star = oracle.and_f(star_pairs.iter().map(|(eq, _)| *eq).collect());
 
     // Δ−: o_i is wrong if two tuples grouped together by ®o★ can be split
     // by o_i.
     let mut remove = Vec::new();
-    for (i, oi) in o.iter().enumerate() {
-        let q = Formula::and(vec![both.clone(), g_star.clone(), ne_under_tags(oracle, oi)]);
-        if oracle.sat_f(&q, &[]) == TriBool::True {
+    for (i, (_, ne)) in o_pairs.iter().enumerate() {
+        let q = oracle.and_f(vec![both, g_star, *ne]);
+        if oracle.sat_f(q, &[]) == TriBool::True {
             remove.push(i);
         }
     }
 
     // G = ∧ of kept working expressions.
-    let mut g = Formula::and(
-        o.iter()
+    let mut g = oracle.and_f(
+        o_pairs
+            .iter()
             .enumerate()
             .filter(|(i, _)| !remove.contains(i))
-            .map(|(_, e)| eq_under_tags(oracle, e))
+            .map(|(_, (eq, _))| *eq)
             .collect(),
     );
 
     // Δ+: o★_i must be added if two tuples grouped together by G can be
     // split by o★_i; after adding, G is strengthened with its equality.
     let mut add = Vec::new();
-    for (i, osi) in o_star.iter().enumerate() {
-        let q = Formula::and(vec![both.clone(), g.clone(), ne_under_tags(oracle, osi)]);
-        if oracle.sat_f(&q, &[]) == TriBool::True {
+    for (i, (eq, ne)) in star_pairs.iter().enumerate() {
+        let q = oracle.and_f(vec![both, g, *ne]);
+        if oracle.sat_f(q, &[]) == TriBool::True {
             add.push(i);
-            g = Formula::and(vec![g, eq_under_tags(oracle, osi)]);
+            g = oracle.and_f(vec![g, *eq]);
         }
     }
 

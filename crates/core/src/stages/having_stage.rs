@@ -4,14 +4,14 @@
 //!
 //! The context `C` contains (Example 11):
 //! * the WHERE facts over group-constant columns, asserted scalar-ly;
-//! * the aggregate axioms from the oracle's interner (per-row bounds
+//! * the aggregate axioms over the oracle's own aggregate record (per-row bounds
 //!   lifted to MIN/MAX/AVG/SUM, `COUNT(*) ≥ 1`, `MIN ≤ AVG ≤ MAX`, ...).
 
 use crate::hint::{ClauseKind, Hint, SiteHint};
 use crate::mapping::signature::{equivalence_classes, EqClasses, EqItem};
 use crate::oracle::{LowerEnv, Oracle};
 use crate::repair::{repair_where, RepairConfig, RepairOutcome};
-use qrhint_smt::Formula;
+use qrhint_smt::FormulaId;
 use qrhint_sqlast::{ColRef, Pred, Query};
 use std::collections::BTreeSet;
 
@@ -71,7 +71,7 @@ pub fn install_having_context(
         Pred::True => vec![],
         other => vec![other.clone()],
     };
-    let mut ctx: Vec<Formula> = Vec::new();
+    let mut ctx: Vec<FormulaId> = Vec::new();
     for c in conjuncts {
         let mut cols = Vec::new();
         c.collect_columns(&mut cols);

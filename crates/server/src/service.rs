@@ -420,6 +420,9 @@ mod tests {
         let stats = svc.handle(&get(&format!("/targets/{id}/stats")));
         assert_eq!(stats.status, 200);
         assert!(stats.body.contains("\"advise_calls\":1"), "{}", stats.body);
+        // PR 5: interner + shared-verdict-cache counters ride along.
+        assert!(stats.body.contains("\"verdict_cache_misses\""), "{}", stats.body);
+        assert!(stats.body.contains("\"interned_formulas\""), "{}", stats.body);
     }
 
     #[test]

@@ -1,4 +1,19 @@
-//! Quantifier-free formulas and their atoms.
+//! Quantifier-free formulas and their atoms — the *tree* representation.
+//!
+//! Two representations coexist in this crate:
+//!
+//! * the boxed trees here ([`Formula`], [`crate::term::Term`]), which the
+//!   solver consumes and tests construct directly; and
+//! * the hash-consed arena ([`crate::intern::Interner`] with
+//!   [`crate::intern::FormulaId`] ids), which the oracle layer builds
+//!   formulas in: structurally equal subformulas intern to one node, so
+//!   equality/hashing are integer compares and verdict caches key on ids
+//!   instead of walking trees.
+//!
+//! The smart constructors below ([`Formula::and`], [`Formula::or`],
+//! [`Formula::not`]) define the canonical simplified shape; the interner's
+//! constructors replicate them node-for-node, so a tree extracted from the
+//! arena is exactly what the constructors here would have produced.
 
 use crate::term::{Term, VarId};
 use std::fmt;

@@ -27,6 +27,7 @@
 
 pub mod conj;
 pub mod formula;
+pub mod intern;
 pub mod lia;
 pub mod model;
 pub mod pattern;
@@ -35,6 +36,7 @@ pub mod strings;
 pub mod term;
 
 pub use formula::{Atom, Formula, Rel};
+pub use intern::{FormulaId, Interner, TermId};
 pub use model::{Model, Value};
 pub use solver::{CheckOutcome, Solver};
 pub use term::{LinExpr, Sort, Term, VarId, VarPool};

@@ -6,6 +6,11 @@
 //! soundness contract as the paper's use of Z3: definitive answers are
 //! never wrong; `Unknown` is possible and callers act only on definitive
 //! answers.
+//!
+//! The solver consumes the *tree* representation. Callers that work in
+//! interned ids ([`crate::intern`]) extract trees only when they are
+//! about to pay for a real check (their verdict caches answer everything
+//! else), so the per-check tree cost is dominated by the search itself.
 
 use crate::conj::{check_conjunction, Lit};
 use crate::formula::{Atom, Formula};

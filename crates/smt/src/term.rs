@@ -1,4 +1,6 @@
-//! Terms, sorts, variables and linear normalization.
+//! Terms, sorts, variables and linear normalization (tree
+//! representation; see [`crate::intern`] for the hash-consed arena the
+//! oracle layer builds terms in).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -54,6 +56,24 @@ impl VarPool {
     /// Number of variables allocated.
     pub fn len(&self) -> usize {
         self.names.len()
+    }
+
+    /// Drop every variable at index `len` and above. Used by callers
+    /// that mirror a shared pool and append throwaway solver-internal
+    /// variables per check: truncate back to the synced snapshot, then
+    /// [`VarPool::extend_from`] the new shared entries.
+    pub fn truncate(&mut self, len: usize) {
+        self.names.truncate(len);
+        self.sorts.truncate(len);
+    }
+
+    /// Append `other`'s variables from index `from` on (the mirror-sync
+    /// counterpart of [`VarPool::truncate`]). The caller guarantees
+    /// `self.len() == from` so indices stay aligned.
+    pub fn extend_from(&mut self, other: &VarPool, from: usize) {
+        debug_assert_eq!(self.len(), from);
+        self.names.extend_from_slice(&other.names[from..]);
+        self.sorts.extend_from_slice(&other.sorts[from..]);
     }
 
     /// Whether no variables were allocated yet.

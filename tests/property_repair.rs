@@ -192,7 +192,8 @@ fn solver_models_validate() {
     // driving the solver directly (not through the oracle).
     let p = qrhint_sqlparse::parse_pred("t.a > t.b AND (t.b = 3 OR t.a < 0)").unwrap();
     let mut oracle = Oracle::for_preds(&[&p]);
-    let f = oracle.lower_pred(&p);
+    let fid = oracle.lower_pred(&p);
+    let f = oracle.formula(fid);
     let solver = Solver::default();
     // Build a standalone pool covering the formula's variables.
     let mut vars = Vec::new();
