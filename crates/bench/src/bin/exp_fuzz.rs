@@ -1,0 +1,55 @@
+//! Fuzz-throughput benchmark binary (PR 6): pairs/sec through
+//! `grade_batch_parallel` over the seeded mutation corpora, parallel
+//! fingerprint parity against the sequential baseline, and the shared
+//! verdict cache's eviction cliff under a deliberately tiny byte
+//! budget. Persists `BENCH_fuzz.json` in the working directory (run
+//! from the repo root) and exits nonzero if parity breaks, if the
+//! eviction cliff fails to appear, or if no multi-thread pass beats the
+//! sequential baseline on a ≥4-core host (<4-core hosts record a
+//! waiver — the pool cannot scale there).
+
+use qrhint_bench::{fuzz, report};
+
+fn main() {
+    let report = fuzz::run(120);
+    println!(
+        "{}",
+        report::table(
+            &["schema", "mode", "jobs", "bases", "pairs", "ms", "pairs/s", "hit rate", "evictions", "parity"],
+            &report
+                .rows
+                .iter()
+                .map(|r| vec![
+                    r.schema.clone(),
+                    r.mode.clone(),
+                    r.jobs.to_string(),
+                    r.bases.to_string(),
+                    r.pairs.to_string(),
+                    format!("{:.1}", r.ms),
+                    format!("{:.0}", r.pairs_per_s),
+                    format!("{:.0}%", r.hit_rate * 100.0),
+                    r.verdict_evictions.to_string(),
+                    if r.parity_ok { "ok".into() } else { "MISMATCH".into() },
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    println!(
+        "host cores: {} · corpus seed: {} · best parallel speedup: {:.2}x · eviction cliff: {}{}",
+        report.cores,
+        report.seed,
+        report.best_speedup,
+        if report.eviction_cliff_ok { "ok" } else { "MISSING" },
+        if report.gate_waived_low_cores { " (speedup gate waived: <4 cores)" } else { "" }
+    );
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_fuzz.json", &json).expect("can write BENCH_fuzz.json");
+    println!("(wrote BENCH_fuzz.json)");
+    if !report.gate_ok {
+        eprintln!(
+            "FAIL: parity={} eviction-cliff={} parallel-faster={} on a {}-core host",
+            report.parity_ok, report.eviction_cliff_ok, report.parallel_faster_ok, report.cores
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Fuzz-throughput benchmark (PR 6): how fast the batch grader chews
+//! through the seeded mutation corpora, and what the shared verdict
+//! cache does under that load.
+//!
+//! The differential oracle (`qr-hint fuzz`) spends most of its time
+//! *executing* repaired queries on generated databases; this benchmark
+//! isolates the grading half. It generates deterministic
+//! [`qrhint_workloads::mutate`] corpora for two cheap schemas, groups
+//! the working queries by fuzz base, and drives each group through
+//! [`PreparedTarget::grade_batch_parallel`] against a per-base prepared
+//! target (the same shape `qr-hint fuzz` uses):
+//!
+//! 1. **Throughput at 1/4/8 worker threads.** Pairs/sec over the whole
+//!    corpus; every parallel pass must fingerprint equal to the
+//!    sequential baseline. The whole-advice cache is *disabled*
+//!    (fuzzed mutants are near-duplicates by construction — PR 2's memo
+//!    would otherwise answer most of the batch and hide the solver).
+//! 2. **Verdict-cache eviction cliff.** The same corpus graded once
+//!    with the default 32 MiB shared-verdict budget and once with a
+//!    deliberately tiny budget. Mutants of one base share most of their
+//!    solver obligations, so the default run should see a high hit
+//!    rate and zero evictions, while the tiny-budget run must show the
+//!    eviction counter moving — evidence the byte bound actually
+//!    sheds entries under fuzz-shaped load (parity must hold anyway:
+//!    evictions cost time, never answers).
+//!
+//! The speed-up gate is waived (recorded, never claimed) on hosts with
+//! fewer than 4 cores, where the pool cannot scale; parity and the
+//! eviction cliff are gated everywhere. Results land in
+//! `BENCH_fuzz.json` (run from the repo root:
+//! `cargo run --release --bin exp_fuzz`).
+
+use crate::parallel_grading::fingerprint;
+use qr_hint::prelude::*;
+use qrhint_core::SessionStats;
+use qrhint_workloads::mutate::Fuzzer;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Corpus seed: the same default `qr-hint fuzz` advertises.
+pub const SEED: u64 = 42;
+/// Tiny verdict budget for the eviction-cliff run (bytes).
+pub const TIGHT_VERDICT_BUDGET: usize = 16 * 1024;
+const TIMED_REPS: usize = 3;
+
+/// One (schema, mode, jobs) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct FuzzBenchRow {
+    pub schema: String,
+    /// Number of fuzz bases (prepared targets) the corpus spans.
+    pub bases: usize,
+    /// Total working queries graded per pass.
+    pub pairs: usize,
+    /// `"parallel"` for the scaling story, `"tight-budget"` for the
+    /// eviction-cliff run.
+    pub mode: String,
+    pub jobs: usize,
+    /// Min-of-reps wall clock for grading the whole corpus.
+    pub ms: f64,
+    pub pairs_per_s: f64,
+    /// All passes must fingerprint equal to the sequential baseline.
+    pub parity_ok: bool,
+    /// Shared-verdict-cache counters summed over the per-base targets
+    /// after the measured pass.
+    pub verdict_hits: u64,
+    pub verdict_misses: u64,
+    pub verdict_evictions: u64,
+    /// `hits / (hits + misses)` — 0 when no solver calls ran.
+    pub hit_rate: f64,
+}
+
+/// The full benchmark artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct FuzzBenchReport {
+    /// Host hardware threads — context for the scaling rows.
+    pub cores: usize,
+    pub seed: u64,
+    pub rows: Vec<FuzzBenchRow>,
+    /// Best parallel-over-sequential speedup across schemas.
+    pub best_speedup: f64,
+    /// Did any multi-thread pass beat the sequential baseline?
+    pub parallel_faster_ok: bool,
+    /// True when the host has <4 cores: the pool cannot scale there, so
+    /// the speed-up gate is recorded as waived, not met.
+    pub gate_waived_low_cores: bool,
+    /// Default-budget runs must not evict; the tight-budget run must.
+    pub eviction_cliff_ok: bool,
+    pub parity_ok: bool,
+    /// Parity ∧ eviction cliff ∧ (speedup ∨ waiver).
+    pub gate_ok: bool,
+}
+
+/// Advice-cache-free config with an explicit shared-verdict budget:
+/// fuzz mutants are near-duplicates, so the whole-advice memo would
+/// otherwise answer the batch and hide the layer under test.
+fn config(verdict_cache_max_bytes: usize) -> QrHintConfig {
+    QrHintConfig {
+        advice_cache_capacity: 0,
+        verdict_cache_max_bytes,
+        ..QrHintConfig::default()
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 { 0.0 } else { hits as f64 / total as f64 }
+}
+
+/// A fuzz corpus grouped by base: `base id -> (target SQL, workings)`.
+pub type Corpus = BTreeMap<String, (String, Vec<String>)>;
+
+/// Generate the deterministic corpus for one schema and group the
+/// working queries under their base's target (the unit
+/// `grade_batch_parallel` runs over).
+pub fn corpus(schema_name: &str, count: usize, seed: u64) -> (Schema, Corpus) {
+    let fuzzer = Fuzzer::for_schema(schema_name)
+        .unwrap_or_else(|| panic!("unknown fuzz schema {schema_name}"));
+    let mut grouped: Corpus = BTreeMap::new();
+    for case in fuzzer.generate(count, seed) {
+        grouped
+            .entry(case.base_id.clone())
+            .or_insert_with(|| (case.target.to_string(), Vec::new()))
+            .1
+            .push(case.working.to_string());
+    }
+    (fuzzer.schema().clone(), grouped)
+}
+
+/// Grade every base group at `jobs` threads on fresh per-base targets;
+/// returns (wall ms, per-base fingerprints, summed stats).
+fn grade_pass(
+    schema: &Schema,
+    corpus: &Corpus,
+    jobs: usize,
+    verdict_budget: usize,
+) -> (f64, Vec<Vec<String>>, SessionStats) {
+    let qr = QrHint::with_config(schema.clone(), config(verdict_budget));
+    let targets: Vec<(&Vec<String>, _)> = corpus
+        .values()
+        .map(|(target, workings)| {
+            (workings, qr.compile_target(target).expect("fuzz target compiles"))
+        })
+        .collect();
+    let started = Instant::now();
+    let outs: Vec<_> = targets
+        .iter()
+        .map(|(workings, prepared)| prepared.grade_batch_parallel(workings, jobs))
+        .collect();
+    let ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut stats = SessionStats::default();
+    for (_, prepared) in &targets {
+        let s = prepared.stats();
+        stats.verdict_cache_hits += s.verdict_cache_hits;
+        stats.verdict_cache_misses += s.verdict_cache_misses;
+        stats.verdict_cache_evictions += s.verdict_cache_evictions;
+    }
+    (ms, outs.iter().map(|o| fingerprint(o)).collect(), stats)
+}
+
+/// The corpus shape shared by every row of one schema.
+struct CorpusShape<'a> {
+    schema: &'a str,
+    bases: usize,
+    pairs: usize,
+}
+
+fn row(
+    shape: &CorpusShape<'_>,
+    mode: &str,
+    jobs: usize,
+    ms: f64,
+    parity_ok: bool,
+    stats: &SessionStats,
+) -> FuzzBenchRow {
+    let &CorpusShape { schema, bases, pairs } = shape;
+    FuzzBenchRow {
+        schema: schema.to_string(),
+        bases,
+        pairs,
+        mode: mode.to_string(),
+        jobs,
+        ms,
+        pairs_per_s: pairs as f64 / (ms / 1e3).max(1e-9),
+        parity_ok,
+        verdict_hits: stats.verdict_cache_hits,
+        verdict_misses: stats.verdict_cache_misses,
+        verdict_evictions: stats.verdict_cache_evictions,
+        hit_rate: hit_rate(stats.verdict_cache_hits, stats.verdict_cache_misses),
+    }
+}
+
+/// Measure one schema's corpus: the 1/4/8-thread scaling rows plus the
+/// tight-budget eviction run.
+pub fn run_schema(schema_name: &str, count: usize) -> Vec<FuzzBenchRow> {
+    let (schema, corpus) = corpus(schema_name, count, SEED);
+    let shape = CorpusShape {
+        schema: schema_name,
+        bases: corpus.len(),
+        pairs: corpus.values().map(|(_, w)| w.len()).sum(),
+    };
+    let default_budget = QrHintConfig::default().verdict_cache_max_bytes;
+
+    // Sequential baseline: fingerprints every later pass must match.
+    let (_, baseline, _) = grade_pass(&schema, &corpus, 1, default_budget);
+
+    let mut rows = Vec::new();
+    for jobs in [1usize, 4, 8] {
+        let mut parity = true;
+        let mut stats = SessionStats::default();
+        let mut best = f64::INFINITY;
+        for rep in 0..=TIMED_REPS {
+            let (ms, prints, s) = grade_pass(&schema, &corpus, jobs, default_budget);
+            parity &= prints == baseline;
+            stats = s;
+            if rep > 0 {
+                // rep 0 is warmup
+                best = best.min(ms);
+            }
+        }
+        rows.push(row(&shape, "parallel", jobs, best, parity, &stats));
+    }
+
+    // Eviction cliff: one sequential pass under a tiny byte budget.
+    let (ms, prints, stats) = grade_pass(&schema, &corpus, 1, TIGHT_VERDICT_BUDGET);
+    let parity = prints == baseline;
+    rows.push(row(&shape, "tight-budget", 1, ms, parity, &stats));
+    rows
+}
+
+/// Run the full benchmark over the two cheap fuzz schemas.
+pub fn run(count: usize) -> FuzzBenchReport {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut rows = Vec::new();
+    for schema in ["students", "beers"] {
+        rows.extend(run_schema(schema, count));
+    }
+    let mut best_speedup: f64 = 0.0;
+    for base in rows.iter().filter(|r| r.mode == "parallel" && r.jobs == 1) {
+        for multi in rows
+            .iter()
+            .filter(|r| r.mode == "parallel" && r.jobs > 1 && r.schema == base.schema)
+        {
+            best_speedup = best_speedup.max(base.ms / multi.ms.max(1e-9));
+        }
+    }
+    let parallel_faster_ok = best_speedup > 1.0;
+    let gate_waived_low_cores = cores < 4 && !parallel_faster_ok;
+    let eviction_cliff_ok = rows
+        .iter()
+        .filter(|r| r.mode == "tight-budget")
+        .all(|r| r.verdict_evictions > 0)
+        && rows
+            .iter()
+            .filter(|r| r.mode == "parallel")
+            .all(|r| r.verdict_evictions == 0);
+    let parity_ok = rows.iter().all(|r| r.parity_ok);
+    FuzzBenchReport {
+        cores,
+        seed: SEED,
+        rows,
+        best_speedup,
+        parallel_faster_ok,
+        gate_waived_low_cores,
+        eviction_cliff_ok,
+        parity_ok,
+        gate_ok: parity_ok && eviction_cliff_ok && (parallel_faster_ok || gate_waived_low_cores),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_groups_by_base_and_is_deterministic() {
+        let (_, a) = corpus("students", 16, SEED);
+        let (_, b) = corpus("students", 16, SEED);
+        assert_eq!(a, b);
+        assert_eq!(a.values().map(|(_, w)| w.len()).sum::<usize>(), 16);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn small_run_has_parity_and_eviction_cliff() {
+        let rows = run_schema("beers", 12);
+        // jobs {1,4,8} + tight-budget.
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.parity_ok), "{rows:?}");
+        let tight = rows.iter().find(|r| r.mode == "tight-budget").unwrap();
+        assert!(
+            tight.verdict_evictions > 0,
+            "tiny verdict budget must evict under fuzz load: {tight:?}"
+        );
+        for r in rows.iter().filter(|r| r.mode == "parallel") {
+            assert_eq!(r.verdict_evictions, 0, "default budget must not evict: {r:?}");
+        }
+    }
+}

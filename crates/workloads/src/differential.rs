@@ -1,0 +1,350 @@
+//! Execution-validated differential oracle.
+//!
+//! The paper argues each repair is *provably* correct inside its stage
+//! semantics; this module checks the end-to-end claim empirically. For
+//! every fuzzed pair ([`crate::mutate`]) it drives the full tutor loop
+//! ([`qrhint_core::TutorSession::run_to_completion`]) — grading the
+//! working query and auto-applying every suggested repair — then
+//! *executes* the finished query against the hidden target on randomly
+//! generated database instances (`qrhint_engine::DataGen`, with
+//! constants harvested from the queries so predicates are non-vacuous)
+//! and asserts bag equality.
+//!
+//! Every case lands in exactly one [`CaseClass`]:
+//!
+//! | class | meaning |
+//! |---|---|
+//! | `equivalent-mutant`    | fuzzer produced a semantically equivalent query; nothing to repair |
+//! | `repaired-validated`   | ≥1 repair applied, repaired ≡ target on all instances |
+//! | `repair-unsound`       | a repaired query disagreed with the target on some instance — a soundness bug |
+//! | `repair-non-convergent`| the advise/apply loop exceeded its stage-application cap |
+//! | `exec-gap`             | the engine could not execute a query the pipeline accepted |
+//! | `unsupported-fragment` | the pipeline rejected the mutant (parse/resolve/unsupported) |
+//! | `unclassified`         | anything else (an internal error) — always a bug, CI fails on it |
+//!
+//! The [`TaxonomyReport`] is machine-readable (serde) and contains no
+//! timing fields, so a run's report is byte-identical regardless of
+//! `--jobs`.
+
+use crate::mutate::{FuzzCase, Fuzzer};
+use qrhint_core::parallel::{resolve_jobs, run_indexed};
+use qrhint_core::{PreparedTarget, QrHint, QrHintError};
+use qrhint_engine::{bag_equal, execute, DataGen};
+use qrhint_sqlast::Schema;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Differential outcome taxonomy (see the module table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CaseClass {
+    EquivalentMutant,
+    RepairedValidated,
+    RepairUnsound,
+    RepairNonConvergent,
+    ExecGap,
+    UnsupportedFragment,
+    Unclassified,
+}
+
+impl CaseClass {
+    /// Stable machine-readable key.
+    pub fn key(self) -> &'static str {
+        match self {
+            CaseClass::EquivalentMutant => "equivalent-mutant",
+            CaseClass::RepairedValidated => "repaired-validated",
+            CaseClass::RepairUnsound => "repair-unsound",
+            CaseClass::RepairNonConvergent => "repair-non-convergent",
+            CaseClass::ExecGap => "exec-gap",
+            CaseClass::UnsupportedFragment => "unsupported-fragment",
+            CaseClass::Unclassified => "unclassified",
+        }
+    }
+
+    /// All classes, in report order.
+    pub fn all() -> [CaseClass; 7] {
+        [
+            CaseClass::EquivalentMutant,
+            CaseClass::RepairedValidated,
+            CaseClass::RepairUnsound,
+            CaseClass::RepairNonConvergent,
+            CaseClass::ExecGap,
+            CaseClass::UnsupportedFragment,
+            CaseClass::Unclassified,
+        ]
+    }
+
+    /// Classes that represent a divergence worth a reproducer (everything
+    /// that is not expected green-path behavior).
+    pub fn is_divergence(self) -> bool {
+        matches!(
+            self,
+            CaseClass::RepairUnsound
+                | CaseClass::RepairNonConvergent
+                | CaseClass::ExecGap
+                | CaseClass::Unclassified
+        )
+    }
+}
+
+/// Per-case classification result.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    pub class: CaseClass,
+    /// Number of repair applications the tutor loop performed (0 for an
+    /// equivalent mutant).
+    pub stages: usize,
+    /// Free-form evidence (error text, differing instance index, …).
+    pub detail: String,
+}
+
+/// Knobs for a differential run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Worker threads (0 = all available cores).
+    pub jobs: usize,
+    /// Database instances per case (distinct seeds).
+    pub instances: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { jobs: 1, instances: 3 }
+    }
+}
+
+/// One divergent case, with everything needed to reproduce it offline.
+#[derive(Debug, Clone, Serialize)]
+pub struct DivergentCase {
+    pub id: String,
+    pub class: String,
+    pub mutations: Vec<String>,
+    pub detail: String,
+    pub target_sql: String,
+    pub working_sql: String,
+}
+
+/// Machine-readable taxonomy report for a whole run. Deliberately free of
+/// timing/thread fields: serialized output is byte-identical across
+/// `--jobs` settings for the same (schema, count, seed, instances).
+#[derive(Debug, Clone, Serialize)]
+pub struct TaxonomyReport {
+    pub schema: String,
+    pub count: usize,
+    pub seed: u64,
+    pub exec_instances: usize,
+    pub total: usize,
+    /// class key → case count (every key present, zero or not).
+    pub classes: BTreeMap<String, usize>,
+    /// Number of `unclassified` cases (the CI failure signal).
+    pub unclassified: usize,
+    /// Divergent cases (capped at [`MAX_REPORTED_DIVERGENCES`]).
+    pub divergent: Vec<DivergentCase>,
+    pub divergent_truncated: bool,
+}
+
+/// Cap on embedded reproducers so a pathological run cannot produce an
+/// unbounded report.
+pub const MAX_REPORTED_DIVERGENCES: usize = 100;
+
+/// Rows per generated table, scaled down as the FROM list grows so the
+/// cross product stays well under the engine's `MAX_CROSS_ROWS` even for
+/// the 8-way DBLP self-joins.
+fn rows_for(from_len: usize) -> usize {
+    match from_len {
+        0..=2 => 6,
+        3..=4 => 4,
+        _ => 3,
+    }
+}
+
+/// Classify a single fuzz case against its prepared target.
+///
+/// `exec_seed` parameterizes the generated database instances; it must
+/// not depend on scheduling (the caller passes the corpus seed) so the
+/// classification is reproducible and jobs-independent.
+pub fn classify_case(
+    prepared: &PreparedTarget,
+    schema: &Schema,
+    case: &FuzzCase,
+    instances: usize,
+    exec_seed: u64,
+) -> CaseOutcome {
+    // Enter through the SQL text interface: the corpus is consumed the
+    // same way a student submission would be.
+    let working = match prepared.prepare(&case.working.to_string()) {
+        Ok(q) => q,
+        Err(e @ (QrHintError::Parse(_) | QrHintError::Resolve(_) | QrHintError::Unsupported(_))) => {
+            return CaseOutcome {
+                class: CaseClass::UnsupportedFragment,
+                stages: 0,
+                detail: e.to_string(),
+            }
+        }
+        Err(e) => {
+            return CaseOutcome { class: CaseClass::Unclassified, stages: 0, detail: e.to_string() }
+        }
+    };
+    let (fixed, trail) = match prepared.tutor(working.clone()).run_to_completion() {
+        Ok(ok) => ok,
+        Err(QrHintError::Unsupported(d)) => {
+            return CaseOutcome { class: CaseClass::UnsupportedFragment, stages: 0, detail: d }
+        }
+        Err(QrHintError::Internal(d)) if d.contains("did not converge") => {
+            return CaseOutcome { class: CaseClass::RepairNonConvergent, stages: 0, detail: d }
+        }
+        Err(e) => {
+            return CaseOutcome { class: CaseClass::Unclassified, stages: 0, detail: e.to_string() }
+        }
+    };
+    let stages = trail.len().saturating_sub(1);
+    let rows = rows_for(case.target.from.len().max(fixed.from.len()));
+    for k in 0..instances {
+        // Seed depends only on (corpus seed, instance index): two runs of
+        // the same corpus see identical databases regardless of jobs.
+        let db_seed = exec_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(k as u64);
+        let db = DataGen::new(db_seed)
+            .with_rows(rows)
+            .generate(schema, &[&case.target, &fixed, &working]);
+        let expect = match execute(&case.target, schema, &db) {
+            Ok(r) => r,
+            Err(e) => {
+                return CaseOutcome {
+                    class: CaseClass::ExecGap,
+                    stages,
+                    detail: format!("target failed on instance {k}: {e}"),
+                }
+            }
+        };
+        let got = match execute(&fixed, schema, &db) {
+            Ok(r) => r,
+            Err(e) => {
+                return CaseOutcome {
+                    class: CaseClass::ExecGap,
+                    stages,
+                    detail: format!("repaired query failed on instance {k}: {e}"),
+                }
+            }
+        };
+        if !bag_equal(&expect, &got) {
+            return CaseOutcome {
+                class: CaseClass::RepairUnsound,
+                stages,
+                detail: format!(
+                    "repaired `{fixed}` disagreed with target on instance {k} \
+                     ({} vs {} rows)",
+                    got.len(),
+                    expect.len()
+                ),
+            };
+        }
+    }
+    if stages == 0 {
+        CaseOutcome { class: CaseClass::EquivalentMutant, stages, detail: String::new() }
+    } else {
+        CaseOutcome {
+            class: CaseClass::RepairedValidated,
+            stages,
+            detail: format!("{stages} repair(s) applied"),
+        }
+    }
+}
+
+/// Run the full differential pipeline for one schema: fuzz `count`
+/// cases from `seed`, grade + repair + execute each, and aggregate the
+/// taxonomy. Returns `None` for an unknown schema name.
+pub fn run(schema_name: &str, count: usize, seed: u64, cfg: &RunConfig) -> Option<TaxonomyReport> {
+    let fuzzer = Fuzzer::for_schema(schema_name)?;
+    let cases = fuzzer.generate(count, seed);
+    Some(run_cases(schema_name, &fuzzer, &cases, seed, cfg))
+}
+
+/// Classify an explicit case list (shared by [`run`] and the tests).
+pub fn run_cases(
+    schema_name: &str,
+    fuzzer: &Fuzzer,
+    cases: &[FuzzCase],
+    seed: u64,
+    cfg: &RunConfig,
+) -> TaxonomyReport {
+    let schema = fuzzer.schema();
+    // One prepared target per base query: the per-target caches (advice,
+    // verdicts, mappings) then serve every mutant of that base.
+    let qr = QrHint::new(schema.clone());
+    let mut targets: BTreeMap<String, PreparedTarget> = BTreeMap::new();
+    for (id, target) in fuzzer.bases() {
+        let prepared = qr
+            .compile_target(&target.to_string())
+            .unwrap_or_else(|e| panic!("base {schema_name}/{id} failed to compile: {e}"));
+        targets.insert(id.clone(), prepared);
+    }
+    let jobs = resolve_jobs(cfg.jobs);
+    let instances = cfg.instances.max(1);
+    let outcomes = run_indexed(cases.len(), jobs, |i| {
+        let case = &cases[i];
+        let prepared = &targets[&case.base_id];
+        classify_case(prepared, schema, case, instances, seed)
+    });
+
+    let mut classes: BTreeMap<String, usize> = CaseClass::all()
+        .into_iter()
+        .map(|c| (c.key().to_string(), 0))
+        .collect();
+    let mut divergent = Vec::new();
+    let mut truncated = false;
+    for (case, outcome) in cases.iter().zip(&outcomes) {
+        *classes.get_mut(outcome.class.key()).unwrap() += 1;
+        if outcome.class.is_divergence() {
+            if divergent.len() < MAX_REPORTED_DIVERGENCES {
+                divergent.push(DivergentCase {
+                    id: case.id.clone(),
+                    class: outcome.class.key().to_string(),
+                    mutations: case.mutations.iter().map(|m| m.description.clone()).collect(),
+                    detail: outcome.detail.clone(),
+                    target_sql: case.target.to_string(),
+                    working_sql: case.working.to_string(),
+                });
+            } else {
+                truncated = true;
+            }
+        }
+    }
+    TaxonomyReport {
+        schema: schema_name.to_string(),
+        count: cases.len(),
+        seed,
+        exec_instances: instances,
+        total: cases.len(),
+        unclassified: classes[CaseClass::Unclassified.key()],
+        classes,
+        divergent,
+        divergent_truncated: truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_students_run_is_clean_and_jobs_invariant() {
+        let cfg1 = RunConfig { jobs: 1, instances: 2 };
+        let cfg4 = RunConfig { jobs: 4, instances: 2 };
+        let r1 = run("students", 24, 42, &cfg1).unwrap();
+        let r4 = run("students", 24, 42, &cfg4).unwrap();
+        assert_eq!(r1.unclassified, 0, "divergent: {:?}", r1.divergent);
+        assert_eq!(
+            serde_json::to_string(&r1).unwrap(),
+            serde_json::to_string(&r4).unwrap(),
+            "report must be byte-identical across jobs"
+        );
+        let graded: usize = r1.classes.values().sum();
+        assert_eq!(graded, 24);
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        assert!(run("nope", 1, 1, &RunConfig::default()).is_none());
+    }
+}

@@ -22,9 +22,13 @@ pub enum InjectedError {
     ConnectiveFlipped { path: PredPath },
 }
 
-/// Mutate exactly `k` distinct atomic predicates of `pred` (operator or
+/// Mutate up to `k` distinct atomic predicates of `pred` (operator or
 /// constant changes). Deterministic given `seed`. Returns the wrong
-/// predicate and the injected-error descriptions.
+/// predicate and the injected-error descriptions — the error list length
+/// is the number of errors *actually* injected, which is smaller than
+/// `k` when the predicate has fewer mutable atoms (constants like
+/// `TRUE`/`FALSE` have no meaningful single-atom mutation and are
+/// skipped rather than miscounted).
 pub fn inject_atom_errors(pred: &Pred, k: usize, seed: u64) -> (Pred, Vec<InjectedError>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut atom_paths: Vec<PredPath> = pred
@@ -35,19 +39,25 @@ pub fn inject_atom_errors(pred: &Pred, k: usize, seed: u64) -> (Pred, Vec<Inject
     atom_paths.shuffle(&mut rng);
     let mut out = pred.clone();
     let mut errors = Vec::new();
-    for path in atom_paths.into_iter().take(k) {
+    for path in atom_paths {
+        if errors.len() == k {
+            break;
+        }
         let atom = out.at_path(&path).unwrap().clone();
-        let (mutated, err) = mutate_atom(&atom, &path, &mut rng);
-        out = out.replace_at(&path, &mutated);
-        errors.push(err);
+        if let Some((mutated, err)) = mutate_atom_once(&atom, &path, &mut rng) {
+            out = out.replace_at(&path, &mutated);
+            errors.push(err);
+        }
     }
     (out, errors)
 }
 
-/// Inject `k` errors, allowing both atom mutations and connective flips
-/// (the Figure 3 setup). At least one connective flip is attempted when
-/// `k ≥ 3` and the predicate has internal AND/OR structure below the
-/// root.
+/// Inject up to `k` errors, allowing both atom mutations and connective
+/// flips (the Figure 3 setup). At least one connective flip is attempted
+/// when `k ≥ 3` and the predicate has internal AND/OR structure below
+/// the root. As with [`inject_atom_errors`], when `k` exceeds the number
+/// of available mutation sites the returned error list reports the
+/// number actually injected — never a padded or phantom count.
 pub fn inject_mixed_errors(pred: &Pred, k: usize, seed: u64) -> (Pred, Vec<InjectedError>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = pred.clone();
@@ -82,7 +92,16 @@ fn flip_connective(pred: &Pred, path: &PredPath) -> Pred {
     pred.replace_at(path, &flipped)
 }
 
-fn mutate_atom(atom: &Pred, path: &PredPath, rng: &mut StdRng) -> (Pred, InjectedError) {
+/// Mutate a single atomic predicate. Returns `None` when the atom has no
+/// meaningful mutation (the `TRUE`/`FALSE` constants) — callers must skip
+/// the site rather than record a phantom error. Shared with the
+/// [`crate::mutate`] fuzzer so WHERE-atom mutations there use exactly the
+/// §9 mutation distribution.
+pub fn mutate_atom_once(
+    atom: &Pred,
+    path: &PredPath,
+    rng: &mut StdRng,
+) -> Option<(Pred, InjectedError)> {
     match atom {
         Pred::Cmp(l, op, r) => {
             // Prefer constant perturbation when a constant is present;
@@ -91,23 +110,23 @@ fn mutate_atom(atom: &Pred, path: &PredPath, rng: &mut StdRng) -> (Pred, Injecte
                 if rng.gen_bool(0.5) {
                     let delta = *[-10i64, -3, -1, 1, 3, 10].choose(rng).unwrap();
                     let nv = v + delta;
-                    return (
+                    return Some((
                         Pred::Cmp(l.clone(), *op, Scalar::Int(nv)),
                         InjectedError::ConstChanged { path: path.clone(), from: *v, to: nv },
-                    );
+                    ));
                 }
             }
             if let Scalar::Str(s) = r {
                 if rng.gen_bool(0.5) {
                     let ns = format!("{s}X");
-                    return (
+                    return Some((
                         Pred::Cmp(l.clone(), *op, Scalar::Str(ns.clone())),
                         InjectedError::StrChanged {
                             path: path.clone(),
                             from: s.clone(),
                             to: ns,
                         },
-                    );
+                    ));
                 }
             }
             let candidates: Vec<CmpOp> = [
@@ -122,23 +141,23 @@ fn mutate_atom(atom: &Pred, path: &PredPath, rng: &mut StdRng) -> (Pred, Injecte
             .filter(|o| o != op)
             .collect();
             let to = *candidates.choose(rng).unwrap();
-            (
+            Some((
                 Pred::Cmp(l.clone(), to, r.clone()),
                 InjectedError::OpChanged { path: path.clone(), from: *op, to },
-            )
+            ))
         }
         Pred::Like { expr, pattern, negated } => {
             // Flip the negation (a realistic student slip).
-            (
+            Some((
                 Pred::Like { expr: expr.clone(), pattern: pattern.clone(), negated: !negated },
                 InjectedError::OpChanged {
                     path: path.clone(),
                     from: CmpOp::Eq,
                     to: CmpOp::Ne,
                 },
-            )
+            ))
         }
-        other => (other.clone(), InjectedError::ConnectiveFlipped { path: path.clone() }),
+        _ => None,
     }
 }
 
@@ -179,6 +198,34 @@ mod tests {
             .iter()
             .any(|e| matches!(e, InjectedError::ConnectiveFlipped { .. })));
         assert_ne!(wrong, p);
+    }
+
+    #[test]
+    fn oversized_k_reports_actual_injection_count() {
+        // Three mutable atoms: asking for 10 errors must report exactly
+        // the 3 that were really applied, and the mutated predicate must
+        // differ from the original at exactly those sites.
+        let p = parse_pred("a = 1 AND b > 2 AND c <= 3").unwrap();
+        let (wrong, errors) = inject_atom_errors(&p, 10, 5);
+        assert_eq!(errors.len(), 3);
+        assert_ne!(wrong, p);
+        let (wrong_m, errors_m) = inject_mixed_errors(&p, 10, 5);
+        assert!(errors_m.len() <= p.atom_count() + 1);
+        assert!(!errors_m.is_empty());
+        assert_ne!(wrong_m, p);
+    }
+
+    #[test]
+    fn constant_atoms_are_never_counted_as_errors() {
+        // TRUE has no single-atom mutation; the error list must not
+        // contain a phantom entry for it.
+        let p = Pred::True;
+        let (wrong, errors) = inject_atom_errors(&p, 2, 9);
+        assert_eq!(wrong, p);
+        assert!(errors.is_empty());
+        let (wrong_m, errors_m) = inject_mixed_errors(&p, 5, 9);
+        assert_eq!(wrong_m, p);
+        assert!(errors_m.is_empty());
     }
 
     #[test]

@@ -17,14 +17,21 @@
 //! * [`brass`] — the Brass-et-al. semantic-error taxonomy (Appendix
 //!   Table 5) with two handcrafted query pairs per supported issue;
 //! * [`inject`] — the synthetic error injectors used to stress-test
-//!   WHERE repair on TPC-H predicates.
+//!   WHERE repair on TPC-H predicates;
+//! * [`mutate`] — the seeded whole-query mutation fuzzer (SELECT /
+//!   GROUP BY / HAVING / FROM mutations beyond WHERE atoms);
+//! * [`differential`] — the execution-validated differential oracle
+//!   that grades fuzzed pairs, applies repairs and compares repaired
+//!   vs. target under bag semantics on generated databases.
 
 #![forbid(unsafe_code)]
 
 pub mod beers;
 pub mod brass;
 pub mod dblp;
+pub mod differential;
 pub mod inject;
+pub mod mutate;
 pub mod students;
 pub mod tpch;
 

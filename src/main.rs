@@ -7,6 +7,8 @@
 //!         [--jobs N|auto] [--extended] [--rewrite-subqueries] [--json]
 //! qr-hint serve [--addr HOST:PORT] [--jobs N|auto] [--max-targets N]
 //!         [--max-cache-mb MB]
+//! qr-hint fuzz --schema NAME [--count N] [--seed N] [--jobs N|auto]
+//!         [--instances N] [--json]
 //! qr-hint --version
 //! ```
 //!
@@ -20,6 +22,15 @@
 //! target (its memo state is sharded for concurrent grading); output is
 //! identical to `--jobs 1`, in the same submission order. `--jobs 0` or
 //! `--jobs auto` uses `std::thread::available_parallelism`.
+//!
+//! **fuzz** runs the differential-testing loop: generate a seeded
+//! mutation corpus for a named workload schema (`beers`, `beers-course`,
+//! `brass`, `dblp`, `students`, `tpch`), grade every pair, auto-apply the
+//! emitted repairs, execute repaired vs. target on generated databases,
+//! and print the classification taxonomy. The report on stdout is
+//! deterministic for a given (schema, count, seed, instances) — identical
+//! across `--jobs` settings; throughput goes to stderr. Exit code is `1`
+//! if any case lands in the `unclassified` bucket, else `0`.
 //!
 //! **serve** runs the long-lived grading daemon (see `qrhint-server`):
 //! targets are registered over HTTP and stay hot — compiled once,
@@ -74,6 +85,7 @@ enum Mode {
     Advise,
     Grade,
     Serve,
+    Fuzz,
 }
 
 struct Args {
@@ -94,6 +106,12 @@ struct Args {
     max_targets: usize,
     /// serve mode: registry byte budget, in MiB (0 = unlimited).
     max_cache_mb: usize,
+    /// fuzz mode: corpus size.
+    count: usize,
+    /// fuzz mode: corpus seed.
+    seed: u64,
+    /// fuzz mode: database instances per case.
+    instances: usize,
     interactive: bool,
     extended: bool,
     rewrite_subqueries: bool,
@@ -108,6 +126,8 @@ const USAGE: &str = "usage: qr-hint [advise] --schema <schema.sql> --target <sol
                      [--rewrite-subqueries] [--json]\n\
                      \x20      qr-hint serve [--addr <host:port>] [--jobs <N|auto>] \
                      [--max-targets <N>] [--max-cache-mb <MB, 0=unlimited>]\n\
+                     \x20      qr-hint fuzz --schema <beers|beers-course|brass|dblp|students|tpch> \
+                     [--count <N>] [--seed <N>] [--jobs <N|auto>] [--instances <N>] [--json]\n\
                      \x20      qr-hint --version";
 
 fn parse_args() -> Result<Args, String> {
@@ -119,6 +139,9 @@ fn parse_args() -> Result<Args, String> {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut max_targets = 64usize;
     let mut max_cache_mb = 256usize;
+    let mut count = 1000usize;
+    let mut seed = 42u64;
+    let mut instances = 3usize;
     let mut interactive = false;
     let mut extended = false;
     let mut rewrite_subqueries = false;
@@ -137,6 +160,10 @@ fn parse_args() -> Result<Args, String> {
         Some("serve") => {
             mode = Mode::Serve;
             jobs = 0; // a daemon defaults to the hardware's parallelism
+            it.next();
+        }
+        Some("fuzz") => {
+            mode = Mode::Fuzz;
             it.next();
         }
         _ => {}
@@ -174,6 +201,28 @@ fn parse_args() -> Result<Args, String> {
                     .parse::<usize>()
                     .map_err(|_| format!("--max-cache-mb needs an integer, got `{n}`"))?;
             }
+            "--count" => {
+                let n = it.next().ok_or("--count needs a number of pairs")?;
+                count = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--count needs a positive integer, got `{n}`"))?;
+            }
+            "--seed" => {
+                let n = it.next().ok_or("--seed needs an integer")?;
+                seed = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed needs an unsigned integer, got `{n}`"))?;
+            }
+            "--instances" => {
+                let n = it.next().ok_or("--instances needs a count")?;
+                instances = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--instances needs a positive integer, got `{n}`"))?;
+            }
             "--interactive" | "-i" => interactive = true,
             "--extended" | "-x" => extended = true,
             "--rewrite-subqueries" => {
@@ -206,6 +255,22 @@ fn parse_args() -> Result<Args, String> {
             }
             (String::new(), String::new())
         }
+        Mode::Fuzz => {
+            if target.is_some() || working.is_some() || submissions.is_some() || interactive {
+                return Err(format!(
+                    "fuzz mode takes a workload schema name plus corpus flags only\n{USAGE}"
+                ));
+            }
+            let name = schema
+                .ok_or_else(|| format!("fuzz mode requires --schema <workload name>\n{USAGE}"))?;
+            if !qr_hint::workloads::mutate::SCHEMA_NAMES.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown workload schema `{name}` (expected one of: {})\n{USAGE}",
+                    qr_hint::workloads::mutate::SCHEMA_NAMES.join(", ")
+                ));
+            }
+            (name, String::new())
+        }
         _ => (
             schema.ok_or_else(|| format!("--schema is required\n{USAGE}"))?,
             target.ok_or_else(|| format!("--target is required\n{USAGE}"))?,
@@ -230,6 +295,9 @@ fn parse_args() -> Result<Args, String> {
         addr,
         max_targets,
         max_cache_mb,
+        count,
+        seed,
+        instances,
         interactive,
         extended,
         rewrite_subqueries,
@@ -454,6 +522,45 @@ fn run_grade(args: &Args) -> Result<u8, CliError> {
     Ok(exit)
 }
 
+/// The `fuzz` subcommand: seeded mutation corpus → grade → repair →
+/// execute → classify. Stdout carries only the deterministic report
+/// (text or `--json`); wall-clock throughput goes to stderr so output
+/// can be diffed across `--jobs` settings.
+fn run_fuzz(args: &Args) -> Result<u8, CliError> {
+    use qr_hint::workloads::differential::{run, RunConfig};
+    let cfg = RunConfig { jobs: args.jobs, instances: args.instances };
+    let started = std::time::Instant::now();
+    let report = run(&args.schema, args.count, args.seed, &cfg)
+        .ok_or_else(|| CliError::internal(format!("unknown workload schema {}", args.schema)))?;
+    let elapsed = started.elapsed().as_secs_f64();
+    eprintln!(
+        "fuzzed {} pairs in {:.2}s ({:.0} pairs/s)",
+        report.total,
+        elapsed,
+        report.total as f64 / elapsed.max(1e-9)
+    );
+    if args.json {
+        emit_json(&report)?;
+    } else {
+        println!(
+            "schema {} · {} pairs · seed {} · {} instance(s) per pair",
+            report.schema, report.total, report.seed, report.exec_instances
+        );
+        for (class, n) in &report.classes {
+            println!("  {class:<22} {n}");
+        }
+        for d in &report.divergent {
+            println!("divergent {} [{}]: {}", d.id, d.class, d.detail);
+            println!("  target:  {}", d.target_sql);
+            println!("  working: {}", d.working_sql);
+        }
+        if report.divergent_truncated {
+            println!("(divergent list truncated at {})", report.divergent.len());
+        }
+    }
+    Ok(if report.unclassified > 0 { EXIT_INTERNAL } else { 0 })
+}
+
 /// The `serve` subcommand: bind, announce the resolved address on the
 /// first stdout line (scripts and the CI smoke job parse it), then
 /// block until a `POST /shutdown` drains the daemon.
@@ -503,6 +610,7 @@ fn main() -> ExitCode {
                 Mode::Advise => run_advise(&args).map(|()| 0),
                 Mode::Grade => run_grade(&args),
                 Mode::Serve => run_serve(&args).map(|()| 0),
+                Mode::Fuzz => run_fuzz(&args),
             };
             match result {
                 Ok(code) => ExitCode::from(code),

@@ -1,0 +1,92 @@
+//! CLI coverage for `qr-hint fuzz` (PR 6): the JSON taxonomy report
+//! must be byte-identical across `--jobs` values (the acceptance
+//! criterion behind CI's fuzz-smoke job), the students corpus must
+//! grade divergence-free, and the usage contract — exit 2 on unknown
+//! schemas or malformed flags — must hold.
+
+use serde::Value;
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_qr-hint");
+
+/// Field lookup in the vendored shim's JSON data model.
+fn field<'v>(v: &'v Value, key: &str) -> &'v Value {
+    let Value::Map(entries) = v else { panic!("expected a JSON object, got {v:?}") };
+    &entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("report lacks key `{key}`"))
+        .1
+}
+
+fn fuzz(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .arg("fuzz")
+        .args(args)
+        .output()
+        .expect("run qr-hint fuzz")
+}
+
+#[test]
+fn students_json_report_is_byte_identical_across_jobs() {
+    let base = ["--schema", "students", "--count", "120", "--seed", "42", "--json"];
+    let one = fuzz(&[&base[..], &["--jobs", "1"]].concat());
+    assert!(
+        one.status.success(),
+        "jobs=1 failed: {}",
+        String::from_utf8_lossy(&one.stderr)
+    );
+    let eight = fuzz(&[&base[..], &["--jobs", "8"]].concat());
+    assert!(
+        eight.status.success(),
+        "jobs=8 failed: {}",
+        String::from_utf8_lossy(&eight.stderr)
+    );
+    assert!(!one.stdout.is_empty());
+    assert_eq!(
+        one.stdout, eight.stdout,
+        "taxonomy report must not depend on worker count"
+    );
+    let report: Value = serde_json::from_str(&String::from_utf8_lossy(&one.stdout))
+        .expect("stdout is a JSON report");
+    assert_eq!(field(&report, "schema"), &Value::Str("students".into()));
+    assert_eq!(field(&report, "unclassified"), &Value::Int(0));
+    assert_eq!(field(&report, "total"), &Value::Int(120));
+}
+
+#[test]
+fn text_report_lists_every_class() {
+    let out = fuzz(&["--schema", "students", "--count", "24", "--seed", "7"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for class in [
+        "equivalent-mutant",
+        "repaired-validated",
+        "repair-unsound",
+        "repair-non-convergent",
+        "exec-gap",
+        "unsupported-fragment",
+        "unclassified",
+    ] {
+        assert!(text.contains(class), "missing class `{class}` in:\n{text}");
+    }
+    // Throughput goes to stderr so stdout stays machine-diffable.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("pairs/s"));
+}
+
+#[test]
+fn unknown_schema_is_a_usage_error() {
+    let out = fuzz(&["--schema", "nosuch", "--count", "10"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("nosuch"), "stderr should name the bad schema: {err}");
+}
+
+#[test]
+fn fuzz_rejects_grade_mode_flags() {
+    // fuzz has no target/working; mixing modes is a usage error.
+    let out = fuzz(&["--schema", "students", "--target", "SELECT 1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = fuzz(&["--count", "10"]);
+    assert_eq!(out.status.code(), Some(2), "fuzz requires --schema");
+}
