@@ -1,0 +1,433 @@
+//! Pass 2: aggregate-placement dataflow.
+//!
+//! The fragment's grouping semantics (see `qrhint-engine`'s
+//! `eval_scalar_grouped`) define exactly which shapes are dangerous:
+//!
+//! - Aggregates may not appear in WHERE (QH-A01), inside another
+//!   aggregate's argument (QH-A02), or in GROUP BY (QH-A03) — the engine
+//!   rejects all three at evaluation time.
+//! - An aggregate query **without** GROUP BY evaluates SELECT and HAVING
+//!   over one implicit group that is *empty* when no rows survive WHERE; a
+//!   non-aggregate leaf (column or constant) under that empty group is a
+//!   hard engine error (QH-A04 for SELECT items, QH-A05 for HAVING
+//!   operands). This is the exact shape of the GROUP-BY-elision repairs the
+//!   PR 6 differential oracle quarantined.
+//! - With a non-empty GROUP BY, groups are built from real rows and can
+//!   never be empty, so ungrouped columns merely read the group's
+//!   representative row. That is well-defined but rarely intended, unless
+//!   the column is *group-constant*: listed in GROUP BY, or forced to a
+//!   single value per group by top-level WHERE equalities (a chain of
+//!   `col = col` links reaching a grouped column or a constant pin).
+//!   Non-constant ungrouped columns get the QH-A10 warning.
+
+use std::collections::BTreeMap;
+
+use qrhint_sqlast::{AggArg, CmpOp, Pred, Query, Scalar};
+
+use crate::{Clause, DiagCode, Diagnostic, Span};
+
+/// Safe to evaluate over an *empty* group: every leaf is an aggregate.
+fn safe_on_empty_group(s: &Scalar) -> bool {
+    match s {
+        Scalar::Agg(_) => true,
+        Scalar::Arith(l, _, r) => safe_on_empty_group(l) && safe_on_empty_group(r),
+        Scalar::Neg(e) => safe_on_empty_group(e),
+        Scalar::Col(_) | Scalar::Int(_) | Scalar::Str(_) => false,
+    }
+}
+
+/// Columns (by display form) appearing outside any aggregate call.
+fn bare_columns(s: &Scalar, out: &mut Vec<String>) {
+    match s {
+        Scalar::Col(c) => out.push(c.to_string()),
+        Scalar::Int(_) | Scalar::Str(_) | Scalar::Agg(_) => {}
+        Scalar::Arith(l, _, r) => {
+            bare_columns(l, out);
+            bare_columns(r, out);
+        }
+        Scalar::Neg(e) => bare_columns(e, out),
+    }
+}
+
+/// Nested aggregate: an aggregate call whose argument contains another.
+fn has_nested_aggregate(s: &Scalar) -> bool {
+    match s {
+        Scalar::Agg(call) => match &call.arg {
+            AggArg::Star => false,
+            AggArg::Expr(e) => e.has_aggregate(),
+        },
+        Scalar::Arith(l, _, r) => has_nested_aggregate(l) || has_nested_aggregate(r),
+        Scalar::Neg(e) => has_nested_aggregate(e),
+        Scalar::Col(_) | Scalar::Int(_) | Scalar::Str(_) => false,
+    }
+}
+
+fn scan_nested_in_pred(p: &Pred, clause: Clause, path: &mut Vec<usize>, out: &mut Vec<Diagnostic>) {
+    match p {
+        Pred::True | Pred::False => {}
+        Pred::Cmp(l, _, r) => {
+            for side in [l, r] {
+                if has_nested_aggregate(side) {
+                    out.push(Diagnostic::new(
+                        DiagCode::NestedAggregate,
+                        Span::at(clause, 0, path),
+                        format!("`{side}` nests an aggregate inside an aggregate"),
+                    ));
+                }
+            }
+        }
+        Pred::Like { expr, .. } => {
+            if has_nested_aggregate(expr) {
+                out.push(Diagnostic::new(
+                    DiagCode::NestedAggregate,
+                    Span::at(clause, 0, path),
+                    format!("`{expr}` nests an aggregate inside an aggregate"),
+                ));
+            }
+        }
+        Pred::And(cs) | Pred::Or(cs) => {
+            for (i, c) in cs.iter().enumerate() {
+                path.push(i);
+                scan_nested_in_pred(c, clause, path, out);
+                path.pop();
+            }
+        }
+        Pred::Not(c) => {
+            path.push(0);
+            scan_nested_in_pred(c, clause, path, out);
+            path.pop();
+        }
+    }
+}
+
+/// Group-constant closure from top-level WHERE equalities.
+///
+/// Union-find over column display forms: `a = b` unions the columns,
+/// `a = <const>` pins the class. A column is group-constant when its class
+/// contains a GROUP BY column or a constant pin.
+struct GroupConstants {
+    ids: BTreeMap<String, usize>,
+    parent: Vec<usize>,
+    pinned: Vec<bool>,
+    grouped: Vec<bool>,
+}
+
+impl GroupConstants {
+    fn build(q: &Query) -> Self {
+        let mut gc = GroupConstants {
+            ids: BTreeMap::new(),
+            parent: Vec::new(),
+            pinned: Vec::new(),
+            grouped: Vec::new(),
+        };
+        for g in &q.group_by {
+            if let Scalar::Col(c) = g {
+                let id = gc.id(&c.to_string());
+                gc.grouped[id] = true;
+            }
+        }
+        let conjuncts: Vec<&Pred> = match &q.where_pred {
+            Pred::And(cs) => cs.iter().collect(),
+            p => vec![p],
+        };
+        for c in conjuncts {
+            let Pred::Cmp(l, op, r) = c else { continue };
+            if *op != CmpOp::Eq {
+                continue;
+            }
+            match (l, r) {
+                (Scalar::Col(a), Scalar::Col(b)) => {
+                    let (ia, ib) = (gc.id(&a.to_string()), gc.id(&b.to_string()));
+                    gc.union(ia, ib);
+                }
+                // Only literal pins count; arbitrary expressions on the
+                // other side leave the class unpinned.
+                (Scalar::Col(a), Scalar::Int(_) | Scalar::Str(_))
+                | (Scalar::Int(_) | Scalar::Str(_), Scalar::Col(a)) => {
+                    let ia = gc.id(&a.to_string());
+                    let root = gc.find(ia);
+                    gc.pinned[root] = true;
+                }
+                _ => {}
+            }
+        }
+        gc
+    }
+
+    fn id(&mut self, key: &str) -> usize {
+        if let Some(&i) = self.ids.get(key) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.ids.insert(key.to_string(), i);
+        self.parent.push(i);
+        self.pinned.push(false);
+        self.grouped.push(false);
+        i
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+            self.pinned[rb] = self.pinned[rb] || self.pinned[ra];
+            self.grouped[rb] = self.grouped[rb] || self.grouped[ra];
+        }
+    }
+
+    fn is_group_constant(&mut self, col: &str) -> bool {
+        let Some(&i) = self.ids.get(col) else { return false };
+        let root = self.find(i);
+        self.pinned[root] || self.grouped[root]
+    }
+}
+
+fn check_having_empty_group(
+    p: &Pred,
+    path: &mut Vec<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    match p {
+        Pred::True | Pred::False => {}
+        Pred::Cmp(l, _, r) => {
+            for side in [l, r] {
+                if !safe_on_empty_group(side) {
+                    out.push(Diagnostic::new(
+                        DiagCode::UngroupedHaving,
+                        Span::at(Clause::Having, 0, path),
+                        format!(
+                            "`{side}` in HAVING is evaluated over the implicit group, which \
+                             errors when empty (no GROUP BY); wrap it in an aggregate or add \
+                             a GROUP BY"
+                        ),
+                    ));
+                }
+            }
+        }
+        Pred::Like { expr, .. } => {
+            if !safe_on_empty_group(expr) {
+                out.push(Diagnostic::new(
+                    DiagCode::UngroupedHaving,
+                    Span::at(Clause::Having, 0, path),
+                    format!(
+                        "`{expr}` in HAVING is evaluated over the implicit group, which \
+                         errors when empty (no GROUP BY)"
+                    ),
+                ));
+            }
+        }
+        Pred::And(cs) | Pred::Or(cs) => {
+            for (i, c) in cs.iter().enumerate() {
+                path.push(i);
+                check_having_empty_group(c, path, out);
+                path.pop();
+            }
+        }
+        Pred::Not(c) => {
+            path.push(0);
+            check_having_empty_group(c, path, out);
+            path.pop();
+        }
+    }
+}
+
+fn check_ungrouped_having(
+    p: &Pred,
+    gc: &mut GroupConstants,
+    grouped_display: &[String],
+    path: &mut Vec<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    match p {
+        Pred::True | Pred::False => {}
+        Pred::Cmp(l, _, r) => {
+            for side in [l, r] {
+                if grouped_display.contains(&side.to_string()) {
+                    continue;
+                }
+                let mut cols = Vec::new();
+                bare_columns(side, &mut cols);
+                cols.dedup();
+                for col in cols {
+                    if !gc.is_group_constant(&col) {
+                        out.push(Diagnostic::new(
+                            DiagCode::UngroupedColumn,
+                            Span::at(Clause::Having, 0, path),
+                            format!(
+                                "`{col}` in HAVING is neither grouped nor fixed by WHERE; \
+                                 it reads one arbitrary row per group"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Pred::Like { expr, .. } => {
+            if grouped_display.contains(&expr.to_string()) {
+                return;
+            }
+            let mut cols = Vec::new();
+            bare_columns(expr, &mut cols);
+            cols.dedup();
+            for col in cols {
+                if !gc.is_group_constant(&col) {
+                    out.push(Diagnostic::new(
+                        DiagCode::UngroupedColumn,
+                        Span::at(Clause::Having, 0, path),
+                        format!(
+                            "`{col}` in HAVING is neither grouped nor fixed by WHERE; \
+                             it reads one arbitrary row per group"
+                        ),
+                    ));
+                }
+            }
+        }
+        Pred::And(cs) | Pred::Or(cs) => {
+            for (i, c) in cs.iter().enumerate() {
+                path.push(i);
+                check_ungrouped_having(c, gc, grouped_display, path, out);
+                path.pop();
+            }
+        }
+        Pred::Not(c) => {
+            path.push(0);
+            check_ungrouped_having(c, gc, grouped_display, path, out);
+            path.pop();
+        }
+    }
+}
+
+/// Run the aggregate-placement pass.
+pub fn check(q: &Query, out: &mut Vec<Diagnostic>) {
+    // Aggregates in WHERE (QH-A01), per offending atom.
+    let mut path = Vec::new();
+    fn scan_where(p: &Pred, path: &mut Vec<usize>, out: &mut Vec<Diagnostic>) {
+        match p {
+            Pred::True | Pred::False => {}
+            Pred::Cmp(..) | Pred::Like { .. } => {
+                if p.has_aggregate() {
+                    out.push(Diagnostic::new(
+                        DiagCode::AggInWhere,
+                        Span::at(Clause::Where, 0, path),
+                        format!(
+                            "`{p}` uses an aggregate in WHERE; aggregates are only \
+                             defined over groups (use HAVING)"
+                        ),
+                    ));
+                }
+            }
+            Pred::And(cs) | Pred::Or(cs) => {
+                for (i, c) in cs.iter().enumerate() {
+                    path.push(i);
+                    scan_where(c, path, out);
+                    path.pop();
+                }
+            }
+            Pred::Not(c) => {
+                path.push(0);
+                scan_where(c, path, out);
+                path.pop();
+            }
+        }
+    }
+    scan_where(&q.where_pred, &mut path, out);
+
+    // Nested aggregates (QH-A02) in SELECT, GROUP BY, HAVING.
+    for (i, item) in q.select.iter().enumerate() {
+        if has_nested_aggregate(&item.expr) {
+            out.push(Diagnostic::new(
+                DiagCode::NestedAggregate,
+                Span::item(Clause::Select, i),
+                format!("`{}` nests an aggregate inside an aggregate", item.expr),
+            ));
+        }
+    }
+    for (i, expr) in q.group_by.iter().enumerate() {
+        if has_nested_aggregate(expr) {
+            out.push(Diagnostic::new(
+                DiagCode::NestedAggregate,
+                Span::item(Clause::GroupBy, i),
+                format!("`{expr}` nests an aggregate inside an aggregate"),
+            ));
+        }
+    }
+    if let Some(h) = &q.having {
+        scan_nested_in_pred(h, Clause::Having, &mut Vec::new(), out);
+    }
+
+    // Aggregates in GROUP BY (QH-A03).
+    for (i, expr) in q.group_by.iter().enumerate() {
+        if expr.has_aggregate() {
+            out.push(Diagnostic::new(
+                DiagCode::AggInGroupBy,
+                Span::item(Clause::GroupBy, i),
+                format!("`{expr}` uses an aggregate in GROUP BY"),
+            ));
+        }
+    }
+
+    let aggregated = !q.group_by.is_empty()
+        || q.select.iter().any(|s| s.expr.has_aggregate())
+        || q.having.as_ref().is_some_and(Pred::has_aggregate);
+    if !aggregated {
+        return;
+    }
+
+    if q.group_by.is_empty() {
+        // One implicit group, empty whenever WHERE filters out every row:
+        // any non-aggregate leaf in SELECT or HAVING is an engine error on
+        // that empty group (QH-A04 / QH-A05).
+        for (i, item) in q.select.iter().enumerate() {
+            if !safe_on_empty_group(&item.expr) {
+                out.push(Diagnostic::new(
+                    DiagCode::UngroupedSelect,
+                    Span::item(Clause::Select, i),
+                    format!(
+                        "`{}` is a non-aggregated SELECT item in an aggregate query with \
+                         no GROUP BY; it errors when no rows survive WHERE",
+                        item.expr
+                    ),
+                ));
+            }
+        }
+        if let Some(h) = &q.having {
+            check_having_empty_group(h, &mut Vec::new(), out);
+        }
+    } else {
+        // Non-empty GROUP BY: groups are never empty, so ungrouped columns
+        // are merely representative-row reads — warn unless group-constant.
+        let grouped_display: Vec<String> = q.group_by.iter().map(Scalar::to_string).collect();
+        let mut gc = GroupConstants::build(q);
+        for (i, item) in q.select.iter().enumerate() {
+            if grouped_display.contains(&item.expr.to_string()) {
+                continue;
+            }
+            let mut cols = Vec::new();
+            bare_columns(&item.expr, &mut cols);
+            cols.dedup();
+            for col in cols {
+                if !gc.is_group_constant(&col) {
+                    out.push(Diagnostic::new(
+                        DiagCode::UngroupedColumn,
+                        Span::item(Clause::Select, i),
+                        format!(
+                            "`{col}` is neither grouped nor fixed by WHERE; it reads one \
+                             arbitrary row per group"
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(h) = &q.having {
+            check_ungrouped_having(h, &mut gc, &grouped_display, &mut Vec::new(), out);
+        }
+    }
+}

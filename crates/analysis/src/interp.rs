@@ -1,0 +1,372 @@
+//! Pass 3: interval/constant abstract interpretation over WHERE and HAVING.
+//!
+//! Atoms are abstracted into facts about *keys* (the display form of a
+//! non-constant scalar, so `s.price` and `COUNT(*)` both work): integer
+//! interval bounds from `key <op> <int literal>` comparisons, string
+//! equality/disequality facts, and fully constant-folded comparisons.
+//! Three-valued evaluation over the connective tree then yields, with no
+//! solver involvement:
+//!
+//! - **QH-P01 contradiction** — the whole predicate folds to false (e.g.
+//!   `a > 5 AND a < 3`, `x = 'a' AND x = 'b'`, `1 > 2`).
+//! - **QH-P02 tautology** — the whole predicate folds to true (e.g.
+//!   `a = a`, `x > 0 OR x <= 0`).
+//! - **QH-P03 dead branch** — an OR alternative that can never hold.
+//! - **QH-P04 redundant conjunct** — a top-level conjunct duplicated by or
+//!   implied by the remaining conjuncts (`a > 5 AND a > 3`).
+//!
+//! Everything here is conservative: unknown shapes map to "opaque" facts
+//! that never decide anything, so a diagnostic is only emitted when the
+//! fragment semantics force it. All findings are warnings — these
+//! predicates execute fine, they just cannot mean what the author hoped.
+
+use std::collections::BTreeMap;
+
+use qrhint_sqlast::{ArithOp, CmpOp, Pred, Query, Scalar};
+
+use crate::{Clause, DiagCode, Diagnostic, Span};
+
+/// Fold an all-literal integer expression.
+fn const_int(s: &Scalar) -> Option<i64> {
+    match s {
+        Scalar::Int(k) => Some(*k),
+        Scalar::Neg(e) => const_int(e)?.checked_neg(),
+        Scalar::Arith(l, op, r) => {
+            let (a, b) = (const_int(l)?, const_int(r)?);
+            match op {
+                ArithOp::Add => a.checked_add(b),
+                ArithOp::Sub => a.checked_sub(b),
+                ArithOp::Mul => a.checked_mul(b),
+                ArithOp::Div => a.checked_div(b),
+            }
+        }
+        Scalar::Col(_) | Scalar::Str(_) | Scalar::Agg(_) => None,
+    }
+}
+
+/// What an atomic predicate says, abstractly.
+enum Fact {
+    /// `key <op> k` with an integer literal side (normalized so the key is
+    /// on the left).
+    IntCmp { key: String, op: CmpOp, k: i64 },
+    /// `key = v` / `key <> v` with a string literal side.
+    StrCmp { key: String, eq: bool, v: String },
+    /// The atom folds to a constant truth value.
+    Const(bool),
+    /// Nothing usable.
+    Opaque,
+}
+
+fn fact_of(p: &Pred) -> Fact {
+    match p {
+        Pred::True => Fact::Const(true),
+        Pred::False => Fact::Const(false),
+        Pred::Cmp(l, op, r) => {
+            if let (Some(a), Some(b)) = (const_int(l), const_int(r)) {
+                return Fact::Const(op.eval(&a, &b));
+            }
+            if let (Scalar::Str(a), Scalar::Str(b)) = (l, r) {
+                return Fact::Const(op.eval(a, b));
+            }
+            if l == r {
+                // `x <op> x` on a NULL-free fragment: division inside `x`
+                // can still error at runtime, but the comparison itself is
+                // decided.
+                return Fact::Const(matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge));
+            }
+            if let Some(k) = const_int(r) {
+                return Fact::IntCmp { key: l.to_string(), op: *op, k };
+            }
+            if let Some(k) = const_int(l) {
+                return Fact::IntCmp { key: r.to_string(), op: op.flip(), k };
+            }
+            if let Scalar::Str(v) = r {
+                if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                    return Fact::StrCmp { key: l.to_string(), eq: *op == CmpOp::Eq, v: v.clone() };
+                }
+            }
+            if let Scalar::Str(v) = l {
+                if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                    return Fact::StrCmp { key: r.to_string(), eq: *op == CmpOp::Eq, v: v.clone() };
+                }
+            }
+            Fact::Opaque
+        }
+        Pred::Like { .. } | Pred::And(_) | Pred::Or(_) | Pred::Not(_) => Fact::Opaque,
+    }
+}
+
+#[derive(Default)]
+struct IntFacts {
+    lo: Option<i64>,
+    hi: Option<i64>,
+    ne: Vec<i64>,
+}
+
+#[derive(Default)]
+struct StrFacts {
+    eq: Option<String>,
+    ne: Vec<String>,
+}
+
+/// Conjunction environment: per-key facts plus a contradiction flag.
+#[derive(Default)]
+struct Env {
+    ints: BTreeMap<String, IntFacts>,
+    strs: BTreeMap<String, StrFacts>,
+    contradiction: bool,
+}
+
+impl Env {
+    fn add(&mut self, fact: &Fact) {
+        match fact {
+            Fact::Const(false) => self.contradiction = true,
+            Fact::Const(true) | Fact::Opaque => {}
+            Fact::IntCmp { key, op, k } => {
+                let f = self.ints.entry(key.clone()).or_default();
+                match op {
+                    CmpOp::Eq => {
+                        f.lo = Some(f.lo.map_or(*k, |lo| lo.max(*k)));
+                        f.hi = Some(f.hi.map_or(*k, |hi| hi.min(*k)));
+                    }
+                    CmpOp::Ne => f.ne.push(*k),
+                    CmpOp::Lt => {
+                        let b = k.saturating_sub(1);
+                        f.hi = Some(f.hi.map_or(b, |hi| hi.min(b)));
+                    }
+                    CmpOp::Le => f.hi = Some(f.hi.map_or(*k, |hi| hi.min(*k))),
+                    CmpOp::Gt => {
+                        let b = k.saturating_add(1);
+                        f.lo = Some(f.lo.map_or(b, |lo| lo.max(b)));
+                    }
+                    CmpOp::Ge => f.lo = Some(f.lo.map_or(*k, |lo| lo.max(*k))),
+                }
+                if let (Some(lo), Some(hi)) = (f.lo, f.hi) {
+                    if lo > hi || (lo == hi && f.ne.contains(&lo)) {
+                        self.contradiction = true;
+                    }
+                }
+            }
+            Fact::StrCmp { key, eq, v } => {
+                let f = self.strs.entry(key.clone()).or_default();
+                if *eq {
+                    if f.eq.as_ref().is_some_and(|e| e != v) || f.ne.contains(v) {
+                        self.contradiction = true;
+                    }
+                    f.eq = Some(v.clone());
+                } else {
+                    if f.eq.as_deref() == Some(v.as_str()) {
+                        self.contradiction = true;
+                    }
+                    f.ne.push(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Does the environment force this fact to hold? Conservative: `false`
+    /// when unsure.
+    fn implies(&self, fact: &Fact) -> bool {
+        match fact {
+            Fact::Const(b) => *b,
+            Fact::Opaque => false,
+            Fact::IntCmp { key, op, k } => {
+                let Some(f) = self.ints.get(key) else { return false };
+                match op {
+                    CmpOp::Gt => f.lo.is_some_and(|lo| lo > *k),
+                    CmpOp::Ge => f.lo.is_some_and(|lo| lo >= *k),
+                    CmpOp::Lt => f.hi.is_some_and(|hi| hi < *k),
+                    CmpOp::Le => f.hi.is_some_and(|hi| hi <= *k),
+                    CmpOp::Eq => f.lo == Some(*k) && f.hi == Some(*k),
+                    CmpOp::Ne => {
+                        f.hi.is_some_and(|hi| hi < *k)
+                            || f.lo.is_some_and(|lo| lo > *k)
+                            || f.ne.contains(k)
+                    }
+                }
+            }
+            Fact::StrCmp { key, eq, v } => {
+                let Some(f) = self.strs.get(key) else { return false };
+                if *eq {
+                    f.eq.as_deref() == Some(v.as_str())
+                } else {
+                    f.eq.as_ref().is_some_and(|e| e != v) || f.ne.contains(v)
+                }
+            }
+        }
+    }
+}
+
+/// Three-valued static evaluation; `None` = undecided.
+fn tri(p: &Pred) -> Option<bool> {
+    match p {
+        Pred::True => Some(true),
+        Pred::False => Some(false),
+        Pred::Cmp(..) | Pred::Like { .. } => match fact_of(p) {
+            Fact::Const(b) => Some(b),
+            _ => None,
+        },
+        Pred::And(cs) => {
+            let ts: Vec<Option<bool>> = cs.iter().map(tri).collect();
+            if ts.contains(&Some(false)) {
+                return Some(false);
+            }
+            let mut env = Env::default();
+            for c in cs {
+                if c.is_atomic() {
+                    env.add(&fact_of(c));
+                }
+            }
+            if env.contradiction {
+                return Some(false);
+            }
+            if ts.iter().all(|t| *t == Some(true)) {
+                return Some(true);
+            }
+            None
+        }
+        Pred::Or(cs) => {
+            let ts: Vec<Option<bool>> = cs.iter().map(tri).collect();
+            if ts.contains(&Some(true)) {
+                return Some(true);
+            }
+            // Complementary atomic pair covering the whole domain, e.g.
+            // `x > 5 OR x <= 5`, `s = 'a' OR s <> 'a'`.
+            let facts: Vec<Fact> = cs.iter().filter(|c| c.is_atomic()).map(fact_of).collect();
+            for (i, a) in facts.iter().enumerate() {
+                for b in &facts[i + 1..] {
+                    let complement = match (a, b) {
+                        (
+                            Fact::IntCmp { key: ka, op: oa, k: na },
+                            Fact::IntCmp { key: kb, op: ob, k: nb },
+                        ) => ka == kb && na == nb && *ob == oa.negate(),
+                        (
+                            Fact::StrCmp { key: ka, eq: ea, v: va },
+                            Fact::StrCmp { key: kb, eq: eb, v: vb },
+                        ) => ka == kb && va == vb && ea != eb,
+                        _ => false,
+                    };
+                    if complement {
+                        return Some(true);
+                    }
+                }
+            }
+            if ts.iter().all(|t| *t == Some(false)) {
+                return Some(false);
+            }
+            None
+        }
+        Pred::Not(c) => tri(c).map(|b| !b),
+    }
+}
+
+/// Flag dead OR branches below an undecided root.
+fn dead_branches(p: &Pred, clause: Clause, path: &mut Vec<usize>, out: &mut Vec<Diagnostic>) {
+    match p {
+        Pred::True | Pred::False | Pred::Cmp(..) | Pred::Like { .. } => {}
+        Pred::Or(cs) => {
+            for (i, c) in cs.iter().enumerate() {
+                path.push(i);
+                if tri(c) == Some(false) {
+                    out.push(Diagnostic::new(
+                        DiagCode::DeadBranch,
+                        Span::at(clause, 0, path),
+                        format!("OR branch `{c}` can never be true"),
+                    ));
+                } else {
+                    dead_branches(c, clause, path, out);
+                }
+                path.pop();
+            }
+        }
+        Pred::And(cs) => {
+            for (i, c) in cs.iter().enumerate() {
+                path.push(i);
+                dead_branches(c, clause, path, out);
+                path.pop();
+            }
+        }
+        Pred::Not(c) => {
+            path.push(0);
+            dead_branches(c, clause, path, out);
+            path.pop();
+        }
+    }
+}
+
+/// Analyze one predicate clause.
+fn check_clause(clause: Clause, p: &Pred, out: &mut Vec<Diagnostic>) {
+    // A bare `Pred::True` is the representation of an *absent* clause —
+    // nothing to lint.
+    if matches!(p, Pred::True) {
+        return;
+    }
+    match tri(p) {
+        Some(false) => {
+            out.push(Diagnostic::new(
+                DiagCode::Contradiction,
+                Span::item(clause, 0),
+                format!("{clause} is always false; no row can satisfy `{p}`"),
+            ));
+            return;
+        }
+        Some(true) => {
+            out.push(Diagnostic::new(
+                DiagCode::Tautology,
+                Span::item(clause, 0),
+                format!("{clause} is always true; `{p}` filters nothing"),
+            ));
+            return;
+        }
+        None => {}
+    }
+
+    dead_branches(p, clause, &mut Vec::new(), out);
+
+    // Redundant top-level conjuncts: duplicates first, then facts implied
+    // by the env of the conjuncts not already flagged.
+    if let Pred::And(cs) = p {
+        let mut flagged = vec![false; cs.len()];
+        for i in 1..cs.len() {
+            if cs[..i].contains(&cs[i]) {
+                flagged[i] = true;
+                out.push(Diagnostic::new(
+                    DiagCode::RedundantConjunct,
+                    Span::at(clause, 0, &[i]),
+                    format!("`{}` duplicates an earlier conjunct", cs[i]),
+                ));
+            }
+        }
+        for i in 0..cs.len() {
+            if flagged[i] || !cs[i].is_atomic() {
+                continue;
+            }
+            let fact = fact_of(&cs[i]);
+            if matches!(fact, Fact::Opaque | Fact::Const(_)) {
+                continue;
+            }
+            let mut env = Env::default();
+            for (j, c) in cs.iter().enumerate() {
+                if j != i && !flagged[j] && c.is_atomic() {
+                    env.add(&fact_of(c));
+                }
+            }
+            if !env.contradiction && env.implies(&fact) {
+                flagged[i] = true;
+                out.push(Diagnostic::new(
+                    DiagCode::RedundantConjunct,
+                    Span::at(clause, 0, &[i]),
+                    format!("`{}` is implied by the remaining conjuncts", cs[i]),
+                ));
+            }
+        }
+    }
+}
+
+/// Run the abstract-interpretation pass over WHERE and HAVING.
+pub fn check(q: &Query, out: &mut Vec<Diagnostic>) {
+    check_clause(Clause::Where, &q.where_pred, out);
+    if let Some(h) = &q.having {
+        check_clause(Clause::Having, h, out);
+    }
+}

@@ -1,0 +1,420 @@
+//! Schema-aware static analyzer for the Qr-Hint SQL fragment.
+//!
+//! Grading in qrhint-core is solver-backed: every WHERE/HAVING comparison
+//! ultimately turns into SMT satisfiability checks. That is the right tool
+//! for *semantic* equivalence, but a large class of student mistakes is
+//! decidable without any solver at all — type confusions, aggregates in the
+//! wrong clause, and predicates that are contradictory or tautological by
+//! simple interval reasoning. This crate closes that gap with a three-pass
+//! analyzer over resolved [`Query`] values:
+//!
+//! 1. **Sort/type checking** ([`types`]) — column sorts from the [`Schema`],
+//!    operator and aggregate signatures, plus lints for comparisons that are
+//!    suspicious even when well-typed (constant-vs-constant comparisons,
+//!    `LIKE` patterns with no wildcard).
+//! 2. **Aggregate placement dataflow** ([`aggregates`]) — aggregates in
+//!    WHERE or GROUP BY, nested aggregates, and the empty-group hazard: a
+//!    grouped query without GROUP BY evaluates non-aggregate SELECT/HAVING
+//!    expressions over the implicit group, which the execution engine
+//!    rejects when that group is empty. This statically flags the
+//!    GROUP-BY-elision family the differential oracle quarantined in PR 6.
+//! 3. **Interval/constant abstract interpretation** ([`interp`]) — constant
+//!    folding and per-column integer intervals / string equality facts over
+//!    WHERE and HAVING: contradictions (`a > 5 AND a < 3`), tautologies,
+//!    dead OR branches, and redundant conjuncts. No SMT calls are made.
+//!
+//! Every finding is a machine-readable [`Diagnostic`] with a stable
+//! [`DiagCode`], a [`Severity`], and a [`Span`] that round-trips through
+//! `Display`/`FromStr` (e.g. `WHERE[0]@0.1` = WHERE predicate, path 0.1
+//! into the connective tree). [`analyze`] runs all three passes and returns
+//! diagnostics in deterministic clause/span/code order, so output is
+//! byte-identical regardless of thread count or iteration order upstream.
+//!
+//! Severity policy: `Error` means the query is statically guaranteed to
+//! misbehave under the engine's semantics (type confusion at runtime, or an
+//! empty-group evaluation error); `Warning` means the query executes but is
+//! almost certainly not what the author meant. Correct target queries must
+//! produce no diagnostics at all — this is enforced by tests over all six
+//! workload schemas.
+
+use std::fmt;
+use std::str::FromStr;
+
+use qrhint_sqlast::{Query, Schema};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+pub mod aggregates;
+pub mod interp;
+pub mod types;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but executable: the query runs, yet almost certainly does
+    /// not mean what the author intended.
+    Warning,
+    /// Statically guaranteed to misbehave under the engine's semantics.
+    Error,
+}
+
+impl Severity {
+    /// Stable lower-case name used in JSON and text output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The clause a diagnostic anchors to, in SQL textual order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Clause {
+    Select,
+    From,
+    Where,
+    GroupBy,
+    Having,
+}
+
+impl Clause {
+    /// Stable upper-case SQL spelling (`GROUP BY` contains a space).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Clause::Select => "SELECT",
+            Clause::From => "FROM",
+            Clause::Where => "WHERE",
+            Clause::GroupBy => "GROUP BY",
+            Clause::Having => "HAVING",
+        }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Clause {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "SELECT" => Ok(Clause::Select),
+            "FROM" => Ok(Clause::From),
+            "WHERE" => Ok(Clause::Where),
+            "GROUP BY" => Ok(Clause::GroupBy),
+            "HAVING" => Ok(Clause::Having),
+            other => Err(format!("unknown clause `{other}`")),
+        }
+    }
+}
+
+/// Where in the query a diagnostic points.
+///
+/// `item` indexes the clause's list (SELECT item, FROM table, GROUP BY
+/// expression; always 0 for WHERE/HAVING, which hold a single predicate).
+/// `path` descends the predicate's connective tree exactly like
+/// [`qrhint_sqlast::Pred::at_path`] — empty for the whole predicate.
+///
+/// Renders as `CLAUSE[item]` with an optional `@p.q.r` path suffix, e.g.
+/// `SELECT[2]`, `WHERE[0]@0.1`, `GROUP BY[1]`; [`FromStr`] parses that form
+/// back (round-trip tested).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    pub clause: Clause,
+    pub item: usize,
+    pub path: Vec<usize>,
+}
+
+impl Span {
+    /// Span covering a whole clause item (empty predicate path).
+    pub fn item(clause: Clause, item: usize) -> Self {
+        Span { clause, item, path: Vec::new() }
+    }
+
+    /// Span pointing into a predicate's connective tree.
+    pub fn at(clause: Clause, item: usize, path: &[usize]) -> Self {
+        Span { clause, item, path: path.to_vec() }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.clause, self.item)?;
+        if !self.path.is_empty() {
+            f.write_str("@")?;
+            for (i, p) in self.path.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(".")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Span {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (head, path_str) = match s.split_once('@') {
+            Some((h, p)) => (h, Some(p)),
+            None => (s, None),
+        };
+        let open = head.find('[').ok_or_else(|| format!("span `{s}` lacks `[`"))?;
+        let close = head.len().checked_sub(1).filter(|&i| head.as_bytes()[i] == b']');
+        let close = close.ok_or_else(|| format!("span `{s}` lacks trailing `]`"))?;
+        let clause: Clause = head[..open].parse()?;
+        let item: usize = head[open + 1..close]
+            .parse()
+            .map_err(|e| format!("bad item index in span `{s}`: {e}"))?;
+        let mut path = Vec::new();
+        if let Some(p) = path_str {
+            for seg in p.split('.') {
+                path.push(seg.parse().map_err(|e| format!("bad path in span `{s}`: {e}"))?);
+            }
+        }
+        Ok(Span { clause, item, path })
+    }
+}
+
+/// Stable machine-readable diagnostic codes.
+///
+/// `QH-Txx` = type/sort checker, `QH-Axx` = aggregate placement,
+/// `QH-Pxx` = predicate abstract interpretation. Codes never change meaning
+/// once released; new findings get new codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagCode {
+    /// QH-T01: comparison between incompatible sorts.
+    CmpTypeMismatch,
+    /// QH-T02: arithmetic or negation over a non-integer operand.
+    ArithNonInt,
+    /// QH-T03: LIKE applied to a non-string expression.
+    LikeNonString,
+    /// QH-T04: SUM/AVG over a non-integer argument.
+    AggArgNonInt,
+    /// QH-T05: unknown table alias or column.
+    UnknownColumn,
+    /// QH-T10: LIKE pattern contains no wildcard (behaves as equality).
+    LikeNoWildcard,
+    /// QH-T11: comparison between two constants.
+    ConstComparison,
+    /// QH-A01: aggregate inside the WHERE clause.
+    AggInWhere,
+    /// QH-A02: aggregate nested inside another aggregate's argument.
+    NestedAggregate,
+    /// QH-A03: aggregate inside a GROUP BY expression.
+    AggInGroupBy,
+    /// QH-A04: non-aggregated SELECT item in an aggregate query without
+    /// GROUP BY (errors on the empty implicit group).
+    UngroupedSelect,
+    /// QH-A05: non-aggregated HAVING operand in an aggregate query without
+    /// GROUP BY (errors on the empty implicit group).
+    UngroupedHaving,
+    /// QH-A10: SELECT/HAVING column neither grouped nor pinned to a
+    /// constant/grouped column by WHERE equalities.
+    UngroupedColumn,
+    /// QH-P01: predicate is statically unsatisfiable.
+    Contradiction,
+    /// QH-P02: predicate is statically a tautology.
+    Tautology,
+    /// QH-P03: OR branch that can never be true.
+    DeadBranch,
+    /// QH-P04: conjunct implied by (or duplicating) the other conjuncts.
+    RedundantConjunct,
+}
+
+impl DiagCode {
+    /// The stable wire code, e.g. `QH-A04`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::CmpTypeMismatch => "QH-T01",
+            DiagCode::ArithNonInt => "QH-T02",
+            DiagCode::LikeNonString => "QH-T03",
+            DiagCode::AggArgNonInt => "QH-T04",
+            DiagCode::UnknownColumn => "QH-T05",
+            DiagCode::LikeNoWildcard => "QH-T10",
+            DiagCode::ConstComparison => "QH-T11",
+            DiagCode::AggInWhere => "QH-A01",
+            DiagCode::NestedAggregate => "QH-A02",
+            DiagCode::AggInGroupBy => "QH-A03",
+            DiagCode::UngroupedSelect => "QH-A04",
+            DiagCode::UngroupedHaving => "QH-A05",
+            DiagCode::UngroupedColumn => "QH-A10",
+            DiagCode::Contradiction => "QH-P01",
+            DiagCode::Tautology => "QH-P02",
+            DiagCode::DeadBranch => "QH-P03",
+            DiagCode::RedundantConjunct => "QH-P04",
+        }
+    }
+
+    /// Every code, in wire-code order (used by docs and exhaustiveness
+    /// tests).
+    pub fn all() -> [DiagCode; 17] {
+        [
+            DiagCode::CmpTypeMismatch,
+            DiagCode::ArithNonInt,
+            DiagCode::LikeNonString,
+            DiagCode::AggArgNonInt,
+            DiagCode::UnknownColumn,
+            DiagCode::LikeNoWildcard,
+            DiagCode::ConstComparison,
+            DiagCode::AggInWhere,
+            DiagCode::NestedAggregate,
+            DiagCode::AggInGroupBy,
+            DiagCode::UngroupedSelect,
+            DiagCode::UngroupedHaving,
+            DiagCode::UngroupedColumn,
+            DiagCode::Contradiction,
+            DiagCode::Tautology,
+            DiagCode::DeadBranch,
+            DiagCode::RedundantConjunct,
+        ]
+    }
+
+    /// Parse a wire code back to the enum.
+    pub fn parse(s: &str) -> Option<DiagCode> {
+        DiagCode::all().into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::CmpTypeMismatch
+            | DiagCode::ArithNonInt
+            | DiagCode::LikeNonString
+            | DiagCode::AggArgNonInt
+            | DiagCode::UnknownColumn
+            | DiagCode::AggInWhere
+            | DiagCode::NestedAggregate
+            | DiagCode::AggInGroupBy
+            | DiagCode::UngroupedSelect
+            | DiagCode::UngroupedHaving => Severity::Error,
+            DiagCode::LikeNoWildcard
+            | DiagCode::ConstComparison
+            | DiagCode::UngroupedColumn
+            | DiagCode::Contradiction
+            | DiagCode::Tautology
+            | DiagCode::DeadBranch
+            | DiagCode::RedundantConjunct => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Diagnostic {
+    pub code: DiagCode,
+    pub severity: Severity,
+    pub clause: Clause,
+    pub span: Span,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic; severity and clause derive from code and span.
+    pub fn new(code: DiagCode, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            clause: span.clause,
+            span,
+            message: message.into(),
+        }
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} at {}: {}", self.severity, self.code, self.span, self.message)
+    }
+}
+
+// Serde impls are hand-written: the vendored derive has no enum-as-string
+// support, and the wire shape (codes and spans as their Display strings) is
+// part of the server/CLI contract.
+impl Serialize for Diagnostic {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("code".into(), Value::Str(self.code.as_str().into())),
+            ("severity".into(), Value::Str(self.severity.as_str().into())),
+            ("clause".into(), Value::Str(self.clause.as_str().into())),
+            ("span".into(), Value::Str(self.span.to_string())),
+            ("message".into(), Value::Str(self.message.clone())),
+        ])
+    }
+}
+
+impl Deserialize for Diagnostic {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let Value::Map(entries) = v else {
+            return Err(DeError::custom("Diagnostic: expected an object"));
+        };
+        let get = |key: &str| -> Result<&str, DeError> {
+            match entries.iter().find(|(k, _)| k == key) {
+                Some((_, Value::Str(s))) => Ok(s.as_str()),
+                Some(_) => Err(DeError::custom("Diagnostic: field must be a string")),
+                None => Err(DeError::custom("Diagnostic: missing field")),
+            }
+        };
+        let code = DiagCode::parse(get("code")?)
+            .ok_or_else(|| DeError::custom("Diagnostic: unknown code"))?;
+        let span: Span = get("span")?.parse().map_err(DeError::custom)?;
+        let severity = match get("severity")? {
+            "error" => Severity::Error,
+            "warning" => Severity::Warning,
+            _ => return Err(DeError::custom("Diagnostic: unknown severity")),
+        };
+        let clause: Clause = get("clause")?.parse().map_err(DeError::custom)?;
+        let message = get("message")?.to_string();
+        Ok(Diagnostic { code, severity, clause, span, message })
+    }
+}
+
+/// True iff any diagnostic is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+/// Run all three passes over a resolved query.
+///
+/// Output order is fully deterministic: diagnostics are sorted by clause
+/// (SQL textual order), item, predicate path, code, then message, and exact
+/// duplicates are removed. The analyzer never panics on resolver-accepted
+/// queries and makes no solver calls.
+pub fn analyze(schema: &Schema, q: &Query) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    types::check(schema, q, &mut out);
+    aggregates::check(q, &mut out);
+    interp::check(q, &mut out);
+    out.sort();
+    out.dedup();
+    out.sort_by(|a, b| {
+        (a.clause, a.span.item, &a.span.path, a.code, &a.message).cmp(&(
+            b.clause,
+            b.span.item,
+            &b.span.path,
+            b.code,
+            &b.message,
+        ))
+    });
+    out
+}

@@ -1,0 +1,238 @@
+//! Pass 1: sort/type checking against the schema.
+//!
+//! The resolver already rejects ill-typed queries at parse time, so on the
+//! normal `prepare` path this pass is a safety net — it matters for queries
+//! constructed or rewritten programmatically (repair candidates, fuzzer
+//! intermediates) that never went back through resolution, and it is where
+//! the *lint*-grade findings live: comparisons between two constants
+//! (QH-T11) and `LIKE` patterns with no wildcard (QH-T10), both well-typed
+//! but almost never intended.
+//!
+//! Each scalar subtree reports at most one error: once a subexpression
+//! fails to type, its result sort is unknown and enclosing checks are
+//! suppressed rather than cascaded.
+
+use qrhint_sqlast::{
+    AggArg, AggFunc, ColRef, Pred, Query, Scalar, Schema, SqlType, TableRef,
+};
+
+use crate::{Clause, DiagCode, Diagnostic, Span};
+
+struct Ctx<'a> {
+    schema: &'a Schema,
+    from: &'a [TableRef],
+}
+
+impl Ctx<'_> {
+    /// Sort of a column reference, or a QH-T05 description of why it has
+    /// none. Unqualified references resolve if exactly one FROM table
+    /// provides the column (mirroring the resolver's scope rules).
+    fn column_type(&self, c: &ColRef) -> Result<SqlType, String> {
+        if !c.table.is_empty() {
+            let Some(tref) = self.from.iter().find(|t| t.alias == c.table) else {
+                return Err(format!("unknown table alias `{}`", c.table));
+            };
+            let Some(table) = self.schema.table(&tref.table) else {
+                return Err(format!("table `{}` is not in the schema", tref.table));
+            };
+            return match table.column(&c.column) {
+                Some((_, ty)) => Ok(ty),
+                None => Err(format!("table `{}` has no column `{}`", tref.table, c.column)),
+            };
+        }
+        let mut found = Vec::new();
+        for tref in self.from {
+            if let Some(table) = self.schema.table(&tref.table) {
+                if let Some((_, ty)) = table.column(&c.column) {
+                    found.push((tref.alias.clone(), ty));
+                }
+            }
+        }
+        match found.as_slice() {
+            [(_, ty)] => Ok(*ty),
+            [] => Err(format!("unknown column `{}`", c.column)),
+            _ => Err(format!("ambiguous column `{}`", c.column)),
+        }
+    }
+
+    /// Sort of a scalar; `None` if a subexpression already produced an
+    /// error diagnostic.
+    fn type_of(&self, s: &Scalar, span: &Span, out: &mut Vec<Diagnostic>) -> Option<SqlType> {
+        match s {
+            Scalar::Col(c) => match self.column_type(c) {
+                Ok(ty) => Some(ty),
+                Err(why) => {
+                    out.push(Diagnostic::new(DiagCode::UnknownColumn, span.clone(), why));
+                    None
+                }
+            },
+            Scalar::Int(_) => Some(SqlType::Int),
+            Scalar::Str(_) => Some(SqlType::Str),
+            Scalar::Arith(l, op, r) => {
+                let mut ok = true;
+                for side in [l.as_ref(), r.as_ref()] {
+                    match self.type_of(side, span, out) {
+                        Some(SqlType::Int) => {}
+                        Some(SqlType::Str) => {
+                            ok = false;
+                            out.push(Diagnostic::new(
+                                DiagCode::ArithNonInt,
+                                span.clone(),
+                                format!("arithmetic `{}` over the string-typed `{side}`", op.sql()),
+                            ));
+                        }
+                        None => ok = false,
+                    }
+                }
+                ok.then_some(SqlType::Int)
+            }
+            Scalar::Neg(inner) => match self.type_of(inner, span, out) {
+                Some(SqlType::Int) => Some(SqlType::Int),
+                Some(SqlType::Str) => {
+                    out.push(Diagnostic::new(
+                        DiagCode::ArithNonInt,
+                        span.clone(),
+                        format!("negation of the string-typed `{inner}`"),
+                    ));
+                    None
+                }
+                None => None,
+            },
+            Scalar::Agg(call) => {
+                let arg_ty = match &call.arg {
+                    AggArg::Star => None,
+                    AggArg::Expr(e) => {
+                        let ty = self.type_of(e, span, out);
+                        ty?; // suppress cascades past a broken argument
+                        ty
+                    }
+                };
+                match call.func {
+                    AggFunc::Count => Some(SqlType::Int),
+                    AggFunc::Sum | AggFunc::Avg => match arg_ty {
+                        Some(SqlType::Int) | None => Some(SqlType::Int),
+                        Some(SqlType::Str) => {
+                            out.push(Diagnostic::new(
+                                DiagCode::AggArgNonInt,
+                                span.clone(),
+                                format!("{call} aggregates a string-typed argument"),
+                            ));
+                            None
+                        }
+                    },
+                    AggFunc::Min | AggFunc::Max => arg_ty.or(Some(SqlType::Int)),
+                }
+            }
+        }
+    }
+
+    fn check_pred(
+        &self,
+        p: &Pred,
+        clause: Clause,
+        path: &mut Vec<usize>,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        match p {
+            Pred::True | Pred::False => {}
+            Pred::Cmp(l, op, r) => {
+                let span = Span::at(clause, 0, path);
+                let lt = self.type_of(l, &span, out);
+                let rt = self.type_of(r, &span, out);
+                if let (Some(a), Some(b)) = (lt, rt) {
+                    if a != b {
+                        out.push(Diagnostic::new(
+                            DiagCode::CmpTypeMismatch,
+                            span.clone(),
+                            format!(
+                                "`{l} {} {r}` compares {} with {}",
+                                op.sql(),
+                                sort_name(a),
+                                sort_name(b)
+                            ),
+                        ));
+                    } else if is_const(l) && is_const(r) {
+                        out.push(Diagnostic::new(
+                            DiagCode::ConstComparison,
+                            span,
+                            format!("`{l} {} {r}` compares two constants", op.sql()),
+                        ));
+                    }
+                }
+            }
+            Pred::Like { expr, pattern, .. } => {
+                let span = Span::at(clause, 0, path);
+                match self.type_of(expr, &span, out) {
+                    Some(SqlType::Str) | None => {}
+                    Some(SqlType::Int) => {
+                        out.push(Diagnostic::new(
+                            DiagCode::LikeNonString,
+                            span.clone(),
+                            format!("LIKE applied to the integer-typed `{expr}`"),
+                        ));
+                    }
+                }
+                if !pattern.contains(['%', '_']) {
+                    out.push(Diagnostic::new(
+                        DiagCode::LikeNoWildcard,
+                        span,
+                        format!("LIKE pattern '{pattern}' has no wildcard; this is plain equality"),
+                    ));
+                }
+            }
+            Pred::And(cs) | Pred::Or(cs) => {
+                for (i, c) in cs.iter().enumerate() {
+                    path.push(i);
+                    self.check_pred(c, clause, path, out);
+                    path.pop();
+                }
+            }
+            Pred::Not(c) => {
+                path.push(0);
+                self.check_pred(c, clause, path, out);
+                path.pop();
+            }
+        }
+    }
+}
+
+fn sort_name(t: SqlType) -> &'static str {
+    match t {
+        SqlType::Int => "an integer",
+        SqlType::Str => "a string",
+    }
+}
+
+/// Constant expression: no columns and no aggregates anywhere below.
+fn is_const(s: &Scalar) -> bool {
+    match s {
+        Scalar::Int(_) | Scalar::Str(_) => true,
+        Scalar::Col(_) | Scalar::Agg(_) => false,
+        Scalar::Arith(l, _, r) => is_const(l) && is_const(r),
+        Scalar::Neg(e) => is_const(e),
+    }
+}
+
+/// Run the type pass.
+pub fn check(schema: &Schema, q: &Query, out: &mut Vec<Diagnostic>) {
+    let ctx = Ctx { schema, from: &q.from };
+    for (i, tref) in q.from.iter().enumerate() {
+        if schema.table(&tref.table).is_none() {
+            out.push(Diagnostic::new(
+                DiagCode::UnknownColumn,
+                Span::item(Clause::From, i),
+                format!("table `{}` is not in the schema", tref.table),
+            ));
+        }
+    }
+    for (i, item) in q.select.iter().enumerate() {
+        ctx.type_of(&item.expr, &Span::item(Clause::Select, i), out);
+    }
+    for (i, expr) in q.group_by.iter().enumerate() {
+        ctx.type_of(expr, &Span::item(Clause::GroupBy, i), out);
+    }
+    ctx.check_pred(&q.where_pred, Clause::Where, &mut Vec::new(), out);
+    if let Some(h) = &q.having {
+        ctx.check_pred(h, Clause::Having, &mut Vec::new(), out);
+    }
+}

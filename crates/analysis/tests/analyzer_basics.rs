@@ -1,0 +1,153 @@
+//! Behavior pins for the three analyzer passes: each diagnostic code fires
+//! on its canonical trigger, correct queries stay silent, and spans
+//! round-trip through Display/parse.
+
+use qrhint_analysis::{analyze, has_errors, Clause, DiagCode, Diagnostic, Severity, Span};
+use qrhint_sqlast::Schema;
+use qrhint_sqlparse::{parse_query, parse_schema};
+
+fn schema() -> Schema {
+    parse_schema(
+        "CREATE TABLE bars (name TEXT PRIMARY KEY, city TEXT);
+         CREATE TABLE serves (bar TEXT, beer TEXT, price INT);",
+    )
+    .expect("test schema parses")
+}
+
+fn diags(sql: &str) -> Vec<Diagnostic> {
+    let q = parse_query(sql).expect("test query parses");
+    analyze(&schema(), &q)
+}
+
+fn codes(sql: &str) -> Vec<DiagCode> {
+    diags(sql).iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn clean_queries_are_silent() {
+    for sql in [
+        "SELECT s.beer FROM serves s WHERE s.price < 5",
+        "SELECT s.bar, COUNT(*) FROM serves s GROUP BY s.bar",
+        "SELECT s.bar, AVG(s.price) FROM serves s WHERE s.price > 2 \
+         GROUP BY s.bar HAVING COUNT(*) >= 2",
+        "SELECT COUNT(*) FROM serves s WHERE s.beer = 'IPA'",
+        "SELECT b.name FROM bars b, serves s WHERE b.name = s.bar AND s.price <= 7",
+        // Mixed SELECT is fine when the column is WHERE-pinned and grouped
+        // columns cover the rest.
+        "SELECT s.bar, COUNT(*) FROM serves s WHERE s.bar = 'Joyce' GROUP BY s.bar",
+    ] {
+        assert_eq!(diags(sql), Vec::new(), "expected no diagnostics for `{sql}`");
+    }
+}
+
+#[test]
+fn type_pass_codes_fire() {
+    // QH-T01: string column vs integer literal.
+    assert!(codes("SELECT s.beer FROM serves s WHERE s.beer = 3")
+        .contains(&DiagCode::CmpTypeMismatch));
+    // QH-T02: arithmetic over a string column.
+    assert!(codes("SELECT s.beer FROM serves s WHERE s.beer + 1 = 2")
+        .contains(&DiagCode::ArithNonInt));
+    // QH-T03: LIKE on an integer column.
+    assert!(codes("SELECT s.beer FROM serves s WHERE s.price LIKE 'a%'")
+        .contains(&DiagCode::LikeNonString));
+    // QH-T04: SUM over a string column.
+    assert!(codes("SELECT SUM(s.beer) FROM serves s").contains(&DiagCode::AggArgNonInt));
+    // QH-T10: LIKE with no wildcard.
+    assert!(codes("SELECT s.beer FROM serves s WHERE s.beer LIKE 'IPA'")
+        .contains(&DiagCode::LikeNoWildcard));
+    // QH-T11: constant-vs-constant comparison.
+    assert!(codes("SELECT s.beer FROM serves s WHERE 1 = 1")
+        .contains(&DiagCode::ConstComparison));
+}
+
+#[test]
+fn aggregate_pass_codes_fire() {
+    // QH-A01: aggregate in WHERE.
+    assert!(codes("SELECT s.beer FROM serves s WHERE COUNT(*) > 1 GROUP BY s.beer")
+        .contains(&DiagCode::AggInWhere));
+    // QH-A03: aggregate in GROUP BY.
+    assert!(codes("SELECT COUNT(*) FROM serves s GROUP BY MAX(s.price)")
+        .contains(&DiagCode::AggInGroupBy));
+    // QH-A04: the GROUP-BY-elision shape — mixed SELECT, no GROUP BY.
+    let d = diags("SELECT s.bar, COUNT(*) FROM serves s WHERE s.bar = 'Joyce'");
+    assert!(d.iter().any(|x| x.code == DiagCode::UngroupedSelect && x.is_error()));
+    assert!(has_errors(&d));
+    // QH-A05: constant HAVING operand over the implicit group.
+    assert!(codes("SELECT COUNT(*) FROM serves s HAVING COUNT(*) > 1")
+        .contains(&DiagCode::UngroupedHaving));
+    // QH-A10: grouped query reading a non-group-constant column.
+    let d = diags("SELECT s.bar, COUNT(*) FROM serves s GROUP BY s.beer");
+    assert!(d.iter().any(|x| x.code == DiagCode::UngroupedColumn
+        && x.severity == Severity::Warning));
+    assert!(!has_errors(&d), "representative-row reads execute; warning only");
+}
+
+#[test]
+fn interp_pass_codes_fire() {
+    // QH-P01: interval contradiction.
+    let d = diags("SELECT s.beer FROM serves s WHERE s.price > 5 AND s.price < 3");
+    assert!(d.iter().any(|x| x.code == DiagCode::Contradiction));
+    // QH-P01 via string equalities.
+    assert!(codes("SELECT s.beer FROM serves s WHERE s.bar = 'a' AND s.bar = 'b'")
+        .contains(&DiagCode::Contradiction));
+    // QH-P02: complementary OR.
+    assert!(codes("SELECT s.beer FROM serves s WHERE s.price > 5 OR s.price <= 5")
+        .contains(&DiagCode::Tautology));
+    // QH-P03: dead OR branch (root stays undecided).
+    let d = diags(
+        "SELECT s.beer FROM serves s WHERE s.bar = 'x' OR (s.price > 5 AND s.price < 3)",
+    );
+    assert!(d.iter().any(|x| x.code == DiagCode::DeadBranch && x.span.path == vec![1]));
+    // QH-P04: implied conjunct.
+    let d = diags("SELECT s.beer FROM serves s WHERE s.price > 5 AND s.price > 3");
+    assert!(d.iter().any(|x| x.code == DiagCode::RedundantConjunct && x.span.path == vec![1]));
+    // QH-P04: duplicate conjunct.
+    let d = diags("SELECT s.beer FROM serves s WHERE s.bar = 'a' AND s.bar = 'a'");
+    assert!(d.iter().any(|x| x.code == DiagCode::RedundantConjunct));
+}
+
+#[test]
+fn contradictions_bind_havings_too() {
+    let d = diags(
+        "SELECT s.bar, COUNT(*) FROM serves s GROUP BY s.bar \
+         HAVING COUNT(*) > 5 AND COUNT(*) < 2",
+    );
+    assert!(d.iter().any(|x| x.code == DiagCode::Contradiction && x.clause == Clause::Having));
+}
+
+#[test]
+fn spans_round_trip() {
+    for d in diags("SELECT s.bar FROM serves s WHERE s.bar = 'x' OR (s.price > 5 AND s.price < 3)")
+        .iter()
+        .chain(diags("SELECT s.bar, COUNT(*) FROM serves s WHERE s.bar = 'Joyce'").iter())
+    {
+        let text = d.span.to_string();
+        let parsed: Span = text.parse().expect("span parses back");
+        assert_eq!(&parsed, &d.span, "round-trip failed for `{text}`");
+    }
+    let s: Span = "WHERE[0]@0.1".parse().unwrap();
+    assert_eq!(s, Span::at(Clause::Where, 0, &[0, 1]));
+    assert!("WHERE[0]@x".parse::<Span>().is_err());
+    assert!("NOWHERE[0]".parse::<Span>().is_err());
+}
+
+#[test]
+fn diagnostics_serde_round_trip() {
+    use serde::{Deserialize, Serialize};
+    for d in diags("SELECT s.bar, COUNT(*) FROM serves s WHERE s.bar = 'Joyce'") {
+        let v = d.to_value();
+        let back = Diagnostic::from_value(&v).expect("deserializes");
+        assert_eq!(back, d);
+    }
+}
+
+#[test]
+fn output_is_deterministic() {
+    let sql = "SELECT s.bar, s.beer FROM serves s \
+               WHERE (s.price > 9 AND s.price < 2) OR s.beer = 3";
+    let a = format!("{:?}", diags(sql));
+    for _ in 0..10 {
+        assert_eq!(a, format!("{:?}", diags(sql)));
+    }
+}

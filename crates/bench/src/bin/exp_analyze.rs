@@ -1,0 +1,54 @@
+//! Static-analysis benchmark binary (PR 7): analyzer throughput over
+//! the seed-42 fuzz corpora plus the interval-prescreen ablation on a
+//! contradiction-seeded 50-submission batch. Persists
+//! `BENCH_analyze.json` in the working directory (run from the repo
+//! root) and exits nonzero if the prescreen changed any advice or
+//! skipped no solver call; throughput is report-only.
+
+use qrhint_bench::{analyze, report};
+
+fn main() {
+    let report = analyze::run();
+    println!(
+        "{}",
+        report::table(
+            &["schema", "queries", "diagnostics", "ms", "queries/s"],
+            &report
+                .rows
+                .iter()
+                .map(|r| vec![
+                    r.schema.clone(),
+                    r.queries.to_string(),
+                    r.diagnostics.to_string(),
+                    format!("{:.2}", r.ms),
+                    format!("{:.0}", r.queries_per_s),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    let a = &report.ablation;
+    println!(
+        "prescreen ablation: {} submissions ({} contradiction-seeded) · \
+         advice parity: {} · solver calls {} → {} ({} skipped, {} stage \
+         checks short-circuited) · {:.1} ms on / {:.1} ms off",
+        a.submissions,
+        a.contradiction_seeded,
+        if a.advice_parity { "ok" } else { "MISMATCH" },
+        a.solver_calls_without,
+        a.solver_calls,
+        a.solver_calls_skipped,
+        a.stages_short_circuited,
+        a.ms_prescreen_on,
+        a.ms_prescreen_off,
+    );
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_analyze.json", &json).expect("can write BENCH_analyze.json");
+    println!("(wrote BENCH_analyze.json)");
+    if !report.gate_ok {
+        eprintln!(
+            "FAIL: advice-parity={} solver-calls-skipped={}",
+            a.advice_parity, a.solver_calls_skipped
+        );
+        std::process::exit(1);
+    }
+}

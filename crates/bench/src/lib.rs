@@ -19,9 +19,11 @@
 //! | `exp_server_throughput` | `qr-hint serve` daemon: req/s + p50/p99, cold vs hot target, 1/4/8 clients (`BENCH_server_throughput.json`) |
 //! | `exp_oracle_cache` | Interned oracle: cold vs hot advise, shared-verdict hit rates at 1/4/8 threads (`BENCH_oracle_cache.json`) |
 //! | `exp_fuzz` | Mutation-fuzz grading: pairs/sec at 1/4/8 threads + verdict-cache eviction cliff (`BENCH_fuzz.json`) |
+//! | `exp_analyze` | Static analyzer: corpus throughput + interval-prescreen ablation on a contradiction-seeded batch (`BENCH_analyze.json`) |
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

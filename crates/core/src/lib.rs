@@ -89,6 +89,8 @@ pub mod stages;
 pub(crate) mod verdicts;
 
 pub use error::{QrHintError, QrResult};
+pub use qrhint_analysis as analysis;
+pub use qrhint_analysis::{DiagCode, Diagnostic, Severity};
 pub use hint::{ClauseKind, Hint, SiteHint, Stage};
 pub use oracle::{InternerStats, LowerEnv, Oracle, SolverContext, TypeEnv};
 pub use pipeline::{Advice, QrHint, QrHintConfig};

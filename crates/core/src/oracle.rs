@@ -11,7 +11,7 @@
 //! equality *is* structural equality. The wins, in order of importance:
 //!
 //! * **Shared verdicts.** Satisfiability checks are memoized in the
-//!   context's sharded [`crate::verdicts::VerdictCache`] keyed by
+//!   context's sharded `VerdictCache` keyed by
 //!   `(FormulaId, [FormulaId])` — integer compares, no tree walk, no
 //!   hash-collision bucket scan. Every oracle created from the same
 //!   `SolverContext` (all slots of all FROM groups of one
@@ -453,6 +453,18 @@ pub struct Oracle {
     pub verdict_misses: u64,
     /// Entries this oracle's inserts evicted from the shared cache.
     pub verdict_evictions: u64,
+    /// Run the interval prescreen before the solver on verdict-cache
+    /// misses (see [`QrHintConfig::static_prescreen`]).
+    ///
+    /// [`QrHintConfig::static_prescreen`]: crate::pipeline::QrHintConfig::static_prescreen
+    pub prescreen: bool,
+    /// Satisfiability checks answered `Unsat` by the interval prescreen
+    /// instead of the solver (a subset of `verdict_misses`).
+    pub prescreen_skips: u64,
+    /// Stage checks (WHERE / GROUP BY / HAVING / SELECT) during which at
+    /// least one prescreen answer landed — i.e. statically-decided
+    /// predicates let the stage skip solver work.
+    pub stage_short_circuits: u64,
     /// Ambient lowering environment used by the `*_pred` convenience
     /// methods (set by the HAVING/SELECT stages to the grouped
     /// environment, so the generic repair machinery reasons with
@@ -494,6 +506,9 @@ impl Oracle {
             verdict_cross_hits: 0,
             verdict_misses: 0,
             verdict_evictions: 0,
+            prescreen: true,
+            prescreen_skips: 0,
+            stage_short_circuits: 0,
             ambient_env: LowerEnv::plain(),
             ambient_ctx: Vec::new(),
             scratch_pool: VarPool::new(),
@@ -1059,7 +1074,7 @@ impl Oracle {
     /// context, if any, is appended).
     ///
     /// The `(formula, full-context)` id pair is first probed in the
-    /// shared [`crate::verdicts::VerdictCache`]; only a miss extracts
+    /// shared `VerdictCache`; only a miss extracts
     /// the trees and runs the solver (against a scratch copy of the
     /// shared pool, so concurrent checks never contend on it). Only
     /// definitive results are cached — `Unknown` may become definitive
@@ -1097,6 +1112,18 @@ impl Oracle {
                 key.ctx.iter().map(|&c| st.interner.formula(c)).collect();
             (tree, ctx_trees)
         };
+        // Interval prescreen: a conjunction refuted by per-variable
+        // interval facts alone is Unsat without the DPLL(T) machinery.
+        // Sound (the prescreen only answers when a fact subset is already
+        // contradictory) and verdict-preserving (the LIA layer refutes the
+        // same conjunctions), so caching the answer keeps cross-slot
+        // results identical with the prescreen on or off.
+        if self.prescreen && qrhint_smt::interval::conjunction_unsat(&tree, &ctx_trees) {
+            self.prescreen_skips += 1;
+            let verdict = TriBool::False;
+            self.verdict_evictions += self.ctx.verdicts.insert(key, verdict, self.id);
+            return verdict;
+        }
         let verdict = self.solver.is_satisfiable(&tree, &ctx_trees, &mut self.scratch_pool);
         if verdict != TriBool::Unknown {
             self.verdict_evictions += self.ctx.verdicts.insert(key, verdict, self.id);

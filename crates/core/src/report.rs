@@ -8,6 +8,7 @@
 //! type, not a discipline.
 
 use crate::pipeline::Advice;
+use qrhint_analysis::Diagnostic;
 use serde::{Deserialize, Serialize};
 
 /// One advice, JSON-ready: rendered hint strings next to the full
@@ -15,23 +16,56 @@ use serde::{Deserialize, Serialize};
 /// mapping). The `fixed_sql`/`rendered_hints` fields duplicate
 /// information from `advice` in pre-rendered form so consumers that
 /// only display text never have to understand the AST shapes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `diagnostics` carries the static analyzer's findings for the
+/// submission (see [`crate::session::PreparedTarget::lint`]). The key is
+/// **omitted entirely when empty** — analyzer-clean submissions
+/// serialize byte-identically to reports produced before the analyzer
+/// existed, which keeps historical grader diffs quiet.
+#[derive(Debug, Clone, Deserialize)]
 pub struct AdviceReport {
     pub equivalent: bool,
     pub stage: String,
     pub rendered_hints: Vec<String>,
     pub fixed_sql: Option<String>,
     pub advice: Advice,
+    #[serde(default)]
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+// Hand-written (not derived) so the empty `diagnostics` key can be
+// dropped; the vendored serde derive has no `skip_serializing_if`.
+impl Serialize for AdviceReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("equivalent".to_string(), self.equivalent.to_value()),
+            ("stage".to_string(), self.stage.to_value()),
+            ("rendered_hints".to_string(), self.rendered_hints.to_value()),
+            ("fixed_sql".to_string(), self.fixed_sql.to_value()),
+            ("advice".to_string(), self.advice.to_value()),
+        ];
+        if !self.diagnostics.is_empty() {
+            fields.push(("diagnostics".to_string(), self.diagnostics.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
 }
 
 impl AdviceReport {
     pub fn new(advice: Advice) -> AdviceReport {
+        AdviceReport::with_diagnostics(advice, Vec::new())
+    }
+
+    /// Report carrying the submission's analyzer diagnostics alongside
+    /// the grading advice.
+    pub fn with_diagnostics(advice: Advice, diagnostics: Vec<Diagnostic>) -> AdviceReport {
         AdviceReport {
             equivalent: advice.is_equivalent(),
             stage: advice.stage.to_string(),
             rendered_hints: advice.hints.iter().map(|h| h.to_string()).collect(),
             fixed_sql: advice.fixed.as_ref().map(|q| q.to_string()),
             advice,
+            diagnostics,
         }
     }
 }
@@ -42,14 +76,17 @@ mod tests {
     use crate::QrHint;
     use qrhint_sqlast::{Schema, SqlType};
 
-    #[test]
-    fn report_round_trips_through_json() {
-        let schema = Schema::new().with_table(
+    fn serves_schema() -> Schema {
+        Schema::new().with_table(
             "Serves",
             &[("bar", SqlType::Str), ("price", SqlType::Int)],
             &["bar"],
-        );
-        let qr = QrHint::new(schema);
+        )
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let qr = QrHint::new(serves_schema());
         let advice = qr
             .advise_sql(
                 "SELECT s.bar FROM Serves s WHERE s.price >= 3",
@@ -62,5 +99,35 @@ mod tests {
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
         assert!(!back.equivalent);
         assert_eq!(back.stage, "WHERE");
+    }
+
+    #[test]
+    fn empty_diagnostics_key_is_omitted() {
+        let qr = QrHint::new(serves_schema());
+        let advice = qr
+            .advise_sql(
+                "SELECT s.bar FROM Serves s WHERE s.price >= 3",
+                "SELECT s.bar FROM Serves s WHERE s.price > 3",
+            )
+            .unwrap();
+        let json = serde_json::to_string(&AdviceReport::new(advice.clone())).unwrap();
+        assert!(!json.contains("diagnostics"), "clean report must omit the key");
+        // A missing key deserializes as the empty vector.
+        let back: AdviceReport = serde_json::from_str(&json).unwrap();
+        assert!(back.diagnostics.is_empty());
+
+        let prepared = qr
+            .compile_target("SELECT s.bar FROM Serves s WHERE s.price >= 3")
+            .unwrap();
+        let sub = "SELECT s.bar FROM Serves s WHERE s.price > 5 AND s.price < 3";
+        let diags = prepared.lint_sql(sub).unwrap();
+        assert!(!diags.is_empty());
+        let report =
+            AdviceReport::with_diagnostics(prepared.advise_sql(sub).unwrap(), diags);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"diagnostics\""));
+        let back: AdviceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.diagnostics, report.diagnostics);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
     }
 }

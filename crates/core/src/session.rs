@@ -52,7 +52,7 @@
 //!   submissions all share one FROM clause still grades in parallel.
 //! * All slots of all groups intern formulas into — and **share solver
 //!   verdicts through** — one target-wide
-//!   [`SolverContext`](crate::oracle::SolverContext): a sharded,
+//!   [`SolverContext`]: a sharded,
 //!   byte-budgeted `(formula, context) → verdict` table keyed by
 //!   interned ids, so a verdict decided on one thread is a read-path
 //!   hit on every other (PR 3 kept these caches slot-private because
@@ -146,6 +146,16 @@ pub struct SessionStats {
     /// Solver checks issued across all group oracles, accumulated as
     /// each advise completes.
     pub solver_calls: u64,
+    /// Checks answered `Unsat` by the interval prescreen instead of the
+    /// solver ([`QrHintConfig::static_prescreen`]); a subset of
+    /// `verdict_cache_misses`.
+    pub solver_calls_skipped: u64,
+    /// Stage checks during which at least one prescreen answer landed —
+    /// statically-decided predicates resolved (part of) the stage
+    /// without solver work.
+    pub stages_short_circuited: u64,
+    /// Analyzer diagnostics emitted by [`PreparedTarget`] lint runs.
+    pub diagnostics_emitted: u64,
     /// Checks answered by the target's **shared verdict cache** (all
     /// slots of all FROM groups probe one sharded table; see
     /// [`crate::oracle::SolverContext`]).
@@ -192,6 +202,9 @@ struct AtomicStats {
     from_groups: AtomicU64,
     mapping_reuses: AtomicU64,
     solver_calls: AtomicU64,
+    solver_calls_skipped: AtomicU64,
+    stages_short_circuited: AtomicU64,
+    diagnostics_emitted: AtomicU64,
     verdict_cache_hits: AtomicU64,
     verdict_cache_cross_thread_hits: AtomicU64,
     verdict_cache_misses: AtomicU64,
@@ -213,6 +226,9 @@ impl AtomicStats {
             from_groups: self.from_groups.load(Ordering::Relaxed),
             mapping_reuses: self.mapping_reuses.load(Ordering::Relaxed),
             solver_calls: self.solver_calls.load(Ordering::Relaxed),
+            solver_calls_skipped: self.solver_calls_skipped.load(Ordering::Relaxed),
+            stages_short_circuited: self.stages_short_circuited.load(Ordering::Relaxed),
+            diagnostics_emitted: self.diagnostics_emitted.load(Ordering::Relaxed),
             verdict_cache_hits: self.verdict_cache_hits.load(Ordering::Relaxed),
             verdict_cache_cross_thread_hits: self
                 .verdict_cache_cross_thread_hits
@@ -262,6 +278,9 @@ struct FromGroup {
     domain_ctx: Vec<Pred>,
     /// Column typing fixed by the binding; seeds each new slot's oracle.
     types: TypeEnv,
+    /// Interval-prescreen switch propagated to every slot's oracle
+    /// ([`QrHintConfig::static_prescreen`]).
+    prescreen: bool,
     /// Lock-striped solver state. Starts empty; grows on demand up to
     /// [`MAX_GROUP_SLOTS`], so the sequential path pays for exactly one
     /// oracle, as before.
@@ -272,10 +291,9 @@ struct FromGroup {
 
 impl FromGroup {
     fn new_slot(&self, ctx: &Arc<SolverContext>) -> Arc<Mutex<GroupSlot>> {
-        Arc::new(Mutex::new(GroupSlot {
-            oracle: Oracle::with_context(self.types.clone(), Arc::clone(ctx)),
-            memos: StageMemos::default(),
-        }))
+        let mut oracle = Oracle::with_context(self.types.clone(), Arc::clone(ctx));
+        oracle.prescreen = self.prescreen;
+        Arc::new(Mutex::new(GroupSlot { oracle, memos: StageMemos::default() }))
     }
 
     /// Run `f` with exclusive access to one of the group's slots:
@@ -300,10 +318,9 @@ impl FromGroup {
         let refresh = |slot: &mut GroupSlot| {
             let current = Arc::clone(&shared.read().unwrap());
             if !Arc::ptr_eq(slot.oracle.context(), &current) {
-                *slot = GroupSlot {
-                    oracle: Oracle::with_context(self.types.clone(), current),
-                    memos: StageMemos::default(),
-                };
+                let mut oracle = Oracle::with_context(self.types.clone(), current);
+                oracle.prescreen = self.prescreen;
+                *slot = GroupSlot { oracle, memos: StageMemos::default() };
             }
         };
         // Fast path: claim a free slot. The probe *keeps* the guard it
@@ -504,6 +521,23 @@ impl PreparedTarget {
         self.advise(&q)
     }
 
+    /// Run the schema-aware static analyzer on a resolved working query:
+    /// typed lints, aggregate-placement dataflow, and the interval
+    /// abstract interpreter — no solver work. Diagnostics are
+    /// deterministic and sorted; the emitted count is accumulated in
+    /// [`SessionStats::diagnostics_emitted`].
+    pub fn lint(&self, q: &Query) -> Vec<qrhint_analysis::Diagnostic> {
+        let diags = qrhint_analysis::analyze(&self.schema, q);
+        self.stats.diagnostics_emitted.fetch_add(diags.len() as u64, Ordering::Relaxed);
+        diags
+    }
+
+    /// [`PreparedTarget::lint`] on working SQL.
+    pub fn lint_sql(&self, working_sql: &str) -> QrResult<Vec<qrhint_analysis::Diagnostic>> {
+        let q = self.prepare(working_sql)?;
+        Ok(self.lint(&q))
+    }
+
     /// Advise on one resolved working query: the first failing stage's
     /// hints, with every memo layer engaged.
     pub fn advise(&self, q: &Query) -> QrResult<Advice> {
@@ -576,6 +610,7 @@ impl PreparedTarget {
             unified,
             domain_ctx,
             types,
+            prescreen: self.cfg.static_prescreen,
             slots: RwLock::new(Vec::new()),
             next_slot: AtomicUsize::new(0),
         });
@@ -635,6 +670,8 @@ impl PreparedTarget {
                 let cross = slot.oracle.verdict_cross_hits;
                 let misses = slot.oracle.verdict_misses;
                 let evictions = slot.oracle.verdict_evictions;
+                let skips = slot.oracle.prescreen_skips;
+                let shorts = slot.oracle.stage_short_circuits;
                 let advice = run_stages(StageInputs {
                     oracle: &mut slot.oracle,
                     unified: &group.unified,
@@ -660,6 +697,12 @@ impl PreparedTarget {
                 self.stats
                     .verdict_cache_evictions
                     .fetch_add(o.verdict_evictions - evictions, Ordering::Relaxed);
+                self.stats
+                    .solver_calls_skipped
+                    .fetch_add(o.prescreen_skips - skips, Ordering::Relaxed);
+                self.stats
+                    .stages_short_circuited
+                    .fetch_add(o.stage_short_circuits - shorts, Ordering::Relaxed);
                 advice
             })?
         };
@@ -746,7 +789,7 @@ impl PreparedTarget {
     /// not drained — an advise holding a slot keeps its `Arc`s (slot and
     /// old context) alive until it finishes, its interned ids stay
     /// valid, and the next claim of a stale slot rebinds it to the
-    /// fresh context ([`FromGroup::with_slot`]).
+    /// fresh context (`FromGroup::with_slot`).
     pub fn shed_caches(&self) -> usize {
         let mut freed = {
             let mut cache = self.advice_cache.write().unwrap();
@@ -988,6 +1031,34 @@ mod tests {
         assert_eq!(stats.advice_cache_hits, 0);
         assert_eq!(stats.advice_cache_misses, 0, "disabled cache counts no lookups");
         assert_eq!(stats.advice_cache_entries, 0);
+    }
+
+    #[test]
+    fn prescreen_skips_solver_work_without_changing_advice() {
+        let contradiction = "SELECT s.bar FROM Serves s WHERE s.price > 5 AND s.price < 3";
+        let on = QrHint::new(beers_schema());
+        let p_on = on.compile_target(TARGET).unwrap();
+        let a_on = p_on.advise_sql(contradiction).unwrap();
+        let s_on = p_on.stats();
+        assert!(s_on.solver_calls_skipped > 0, "contradiction must be prescreened");
+        assert!(s_on.stages_short_circuited > 0);
+        assert!(
+            s_on.solver_calls_skipped <= s_on.verdict_cache_misses,
+            "prescreen answers are a subset of cache misses"
+        );
+
+        let off = QrHint::with_config(
+            beers_schema(),
+            QrHintConfig { static_prescreen: false, ..QrHintConfig::default() },
+        );
+        let p_off = off.compile_target(TARGET).unwrap();
+        let a_off = p_off.advise_sql(contradiction).unwrap();
+        let s_off = p_off.stats();
+        assert_eq!(s_off.solver_calls_skipped, 0, "switch must disable the prescreen");
+        assert_eq!(s_off.stages_short_circuited, 0);
+        assert_eq!(a_on.stage, a_off.stage, "prescreen must preserve verdicts");
+        assert_eq!(a_on.hints, a_off.hints);
+        assert_eq!(a_on.fixed, a_off.fixed);
     }
 
     #[test]

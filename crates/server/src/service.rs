@@ -72,6 +72,22 @@ struct AdviseRequest {
     sql: String,
 }
 
+/// Body of `POST /targets/{id}/lint`: analyzer-only, no grading.
+#[derive(Debug, Deserialize)]
+struct LintRequest {
+    sql: String,
+}
+
+#[derive(Debug, Serialize)]
+struct LintResponse {
+    /// True when the analyzer found nothing at all.
+    clean: bool,
+    /// True when at least one diagnostic is error-severity (the query
+    /// is statically guaranteed to misbehave under execution).
+    errors: bool,
+    diagnostics: Vec<qrhint_core::Diagnostic>,
+}
+
 #[derive(Debug, Deserialize)]
 struct GradeRequest {
     submissions: Vec<String>,
@@ -212,11 +228,12 @@ impl QrHintService {
             ("POST", ["targets"]) => self.handle_register(req),
             ("POST", ["targets", id, "advise"]) => self.handle_advise(req, id),
             ("POST", ["targets", id, "grade"]) => self.handle_grade(req, id),
+            ("POST", ["targets", id, "lint"]) => self.handle_lint(req, id),
             ("GET", ["targets", id, "stats"]) => self.handle_stats(id),
             ("GET", ["healthz"]) => self.handle_health(),
             ("POST", ["shutdown"]) => self.handle_shutdown(),
             // Known routes with the wrong verb get 405, unknown paths 404.
-            (_, ["targets"]) | (_, ["targets", _, "advise" | "grade" | "stats"])
+            (_, ["targets"]) | (_, ["targets", _, "advise" | "grade" | "lint" | "stats"])
             | (_, ["healthz"]) | (_, ["shutdown"]) => {
                 error_response(405, "method_not_allowed", format!("{} {}", req.method, req.path))
             }
@@ -267,13 +284,49 @@ impl QrHintService {
         } else {
             prepared.prepare(&body.sql)
         };
-        let advice = working.and_then(|q| prepared.advise(&q));
-        let resp = match advice {
-            Ok(advice) => json_response(200, &AdviceReport::new(advice)),
+        let resp = match working {
+            Ok(q) => match prepared.advise(&q) {
+                Ok(advice) => {
+                    let diagnostics = prepared.lint(&q);
+                    json_response(200, &AdviceReport::with_diagnostics(advice, diagnostics))
+                }
+                Err(e) => sql_error_response("submission", &e),
+            },
             Err(e) => sql_error_response("submission", &e),
         };
         self.registry.enforce_byte_budget();
         resp
+    }
+
+    fn handle_lint(&self, req: &Request, id: &str) -> Response {
+        let body: LintRequest = match parse_body(req) {
+            Ok(b) => b,
+            Err(resp) => return resp,
+        };
+        let Some(target) = self.registry.get(id) else {
+            return error_response(404, "unknown_target", format!("no target `{id}`"));
+        };
+        let opts = FlattenOptions { rewrite_positive_subqueries: target.rewrite_subqueries };
+        let prepared = &target.prepared;
+        let working = if target.extended {
+            prepared.prepare_extended(&body.sql, &opts)
+        } else {
+            prepared.prepare(&body.sql)
+        };
+        match working {
+            Ok(q) => {
+                let diagnostics = prepared.lint(&q);
+                json_response(
+                    200,
+                    &LintResponse {
+                        clean: diagnostics.is_empty(),
+                        errors: qrhint_core::analysis::has_errors(&diagnostics),
+                        diagnostics,
+                    },
+                )
+            }
+            Err(e) => sql_error_response("submission", &e),
+        }
     }
 
     fn handle_grade(&self, req: &Request, id: &str) -> Response {
@@ -296,12 +349,12 @@ impl QrHintService {
             } else {
                 prepared.prepare(sql)
             };
-            match working.and_then(|q| prepared.advise(&q)) {
-                Ok(advice) => GradeEntry {
+            match working.and_then(|q| prepared.advise(&q).map(|a| (q, a))) {
+                Ok((q, advice)) => GradeEntry {
                     index: i,
                     ok: true,
                     error: None,
-                    report: Some(AdviceReport::new(advice)),
+                    report: Some(AdviceReport::with_diagnostics(advice, prepared.lint(&q))),
                 },
                 Err(e) => GradeEntry {
                     index: i,
@@ -423,6 +476,54 @@ mod tests {
         // PR 5: interner + shared-verdict-cache counters ride along.
         assert!(stats.body.contains("\"verdict_cache_misses\""), "{}", stats.body);
         assert!(stats.body.contains("\"interned_formulas\""), "{}", stats.body);
+    }
+
+    #[test]
+    fn lint_route_reports_diagnostics_and_stats_count_them() {
+        let svc = service();
+        let id = register(&svc, "SELECT s.bar FROM Serves s WHERE s.price >= 3");
+        let resp = svc.handle(&post(
+            &format!("/targets/{id}/lint"),
+            "{\"sql\": \"SELECT s.bar FROM Serves s WHERE s.price >= 3\"}",
+        ));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"clean\":true"), "{}", resp.body);
+        let resp = svc.handle(&post(
+            &format!("/targets/{id}/lint"),
+            "{\"sql\": \"SELECT s.bar FROM Serves s WHERE s.price > 5 AND s.price < 3\"}",
+        ));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"clean\":false"), "{}", resp.body);
+        assert!(resp.body.contains("QH-P01"), "{}", resp.body);
+        let stats = svc.handle(&get(&format!("/targets/{id}/stats")));
+        assert!(stats.body.contains("\"diagnostics_emitted\":1"), "{}", stats.body);
+        assert!(stats.body.contains("\"solver_calls_skipped\""), "{}", stats.body);
+        // Bad submission SQL → 422; wrong verb → 405.
+        let bad = svc.handle(&post(&format!("/targets/{id}/lint"), "{\"sql\": \"SELEKT\"}"));
+        assert_eq!(bad.status, 422, "{}", bad.body);
+        assert_eq!(svc.handle(&get(&format!("/targets/{id}/lint"))).status, 405);
+    }
+
+    #[test]
+    fn advise_attaches_diagnostics_only_when_present() {
+        let svc = service();
+        let id = register(&svc, "SELECT s.bar FROM Serves s WHERE s.price >= 3");
+        // Analyzer-clean submission: the key is absent (byte parity with
+        // pre-analyzer reports).
+        let resp = svc.handle(&post(
+            &format!("/targets/{id}/advise"),
+            "{\"sql\": \"SELECT s.bar FROM Serves s WHERE s.price > 3\"}",
+        ));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(!resp.body.contains("diagnostics"), "{}", resp.body);
+        // Contradictory submission: diagnostics ride along with advice.
+        let resp = svc.handle(&post(
+            &format!("/targets/{id}/advise"),
+            "{\"sql\": \"SELECT s.bar FROM Serves s WHERE s.price > 5 AND s.price < 3\"}",
+        ));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"diagnostics\""), "{}", resp.body);
+        assert!(resp.body.contains("QH-P01"), "{}", resp.body);
     }
 
     #[test]

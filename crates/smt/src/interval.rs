@@ -1,0 +1,281 @@
+//! Interval prescreen: decide *unsatisfiability* of a formula conjunction
+//! by per-variable interval reasoning alone — no Boolean search, no theory
+//! solver.
+//!
+//! The oracle layer's hottest call shape is `sat_f(f, ctx)` where `f` is a
+//! conjunction whose top level mixes atoms from a student predicate with
+//! the negation of a target predicate (`implies` lowers to exactly this).
+//! When a student writes a statically contradictory predicate
+//! (`a > 5 AND a < 3`), the smart constructors flatten those conjuncts to
+//! the top level, so a linear scan that keeps one integer interval and one
+//! string equality fact per *variable* refutes the whole query without the
+//! DPLL(T) machinery.
+//!
+//! Soundness: only a **subset** of conjuncts is interpreted — top-level
+//! atoms (and their `Not`-wrapped forms) whose shape is `var ⋈ constant`,
+//! `var ⋈ var` with identical terms, or constant ⋈ constant. Every ignored
+//! conjunct can only constrain the conjunction *further*, so "the
+//! interpreted subset is unsatisfiable" implies the conjunction is. A
+//! `true` return is therefore always safe to report as `Unsat`; `false`
+//! means "not decided here", never "satisfiable".
+
+use std::collections::BTreeMap;
+
+use crate::formula::{Atom, Formula, Rel};
+use crate::term::{Term, VarId};
+
+/// Fold a constant integer term.
+fn const_int(t: &Term) -> Option<i64> {
+    match t {
+        Term::IntConst(k) => Some(*k),
+        Term::Neg(e) => const_int(e)?.checked_neg(),
+        Term::Add(l, r) => const_int(l)?.checked_add(const_int(r)?),
+        Term::Sub(l, r) => const_int(l)?.checked_sub(const_int(r)?),
+        Term::Mul(l, r) => const_int(l)?.checked_mul(const_int(r)?),
+        Term::Div(l, r) => {
+            let d = const_int(r)?;
+            if d == 0 {
+                None
+            } else {
+                const_int(l)?.checked_div(d)
+            }
+        }
+        Term::Var(_) | Term::StrConst(_) => None,
+    }
+}
+
+#[derive(Default)]
+struct IntFacts {
+    lo: Option<i64>,
+    hi: Option<i64>,
+    ne: Vec<i64>,
+}
+
+#[derive(Default)]
+struct StrFacts {
+    eq: Option<String>,
+    ne: Vec<String>,
+}
+
+#[derive(Default)]
+struct Env {
+    ints: BTreeMap<VarId, IntFacts>,
+    strs: BTreeMap<VarId, StrFacts>,
+    contradiction: bool,
+}
+
+impl Env {
+    fn add_int(&mut self, v: VarId, rel: Rel, k: i64) {
+        let f = self.ints.entry(v).or_default();
+        match rel {
+            Rel::Eq => {
+                f.lo = Some(f.lo.map_or(k, |lo| lo.max(k)));
+                f.hi = Some(f.hi.map_or(k, |hi| hi.min(k)));
+            }
+            Rel::Ne => f.ne.push(k),
+            Rel::Lt => {
+                let b = k.saturating_sub(1);
+                f.hi = Some(f.hi.map_or(b, |hi| hi.min(b)));
+            }
+            Rel::Le => f.hi = Some(f.hi.map_or(k, |hi| hi.min(k))),
+            Rel::Gt => {
+                let b = k.saturating_add(1);
+                f.lo = Some(f.lo.map_or(b, |lo| lo.max(b)));
+            }
+            Rel::Ge => f.lo = Some(f.lo.map_or(k, |lo| lo.max(k))),
+        }
+        if let (Some(lo), Some(hi)) = (f.lo, f.hi) {
+            if lo > hi || (lo == hi && f.ne.contains(&lo)) {
+                self.contradiction = true;
+            }
+        }
+    }
+
+    fn add_str(&mut self, v: VarId, rel: Rel, s: &str) {
+        let f = self.strs.entry(v).or_default();
+        match rel {
+            Rel::Eq => {
+                if f.eq.as_deref().is_some_and(|e| e != s) || f.ne.iter().any(|n| n == s) {
+                    self.contradiction = true;
+                }
+                f.eq = Some(s.to_string());
+            }
+            Rel::Ne => {
+                if f.eq.as_deref() == Some(s) {
+                    self.contradiction = true;
+                }
+                f.ne.push(s.to_string());
+            }
+            // Ordered string comparisons are rare in the fragment; skip.
+            _ => {}
+        }
+    }
+
+    /// Interpret one top-level conjunct; `negated` tracks `Not` wrappers.
+    fn add_conjunct(&mut self, f: &Formula, negated: bool) {
+        match f {
+            Formula::True => {
+                if negated {
+                    self.contradiction = true;
+                }
+            }
+            Formula::False => {
+                if !negated {
+                    self.contradiction = true;
+                }
+            }
+            Formula::Not(inner) => self.add_conjunct(inner, !negated),
+            Formula::Atom(Atom::Cmp(l, rel, r)) => {
+                let rel = if negated { rel.negate() } else { *rel };
+                if let (Some(a), Some(b)) = (const_int(l), const_int(r)) {
+                    if !rel.eval(&a, &b) {
+                        self.contradiction = true;
+                    }
+                    return;
+                }
+                if let (Term::StrConst(a), Term::StrConst(b)) = (l, r) {
+                    if !rel.eval(a, b) {
+                        self.contradiction = true;
+                    }
+                    return;
+                }
+                if l == r {
+                    // `t ⋈ t` over a NULL-free logic.
+                    if !matches!(rel, Rel::Eq | Rel::Le | Rel::Ge) {
+                        self.contradiction = true;
+                    }
+                    return;
+                }
+                match (l, r) {
+                    (Term::Var(v), t) => {
+                        if let Some(k) = const_int(t) {
+                            self.add_int(*v, rel, k);
+                        } else if let Term::StrConst(s) = t {
+                            self.add_str(*v, rel, s);
+                        }
+                    }
+                    (t, Term::Var(v)) => {
+                        if let Some(k) = const_int(t) {
+                            self.add_int(*v, rel.flip(), k);
+                        } else if let Term::StrConst(s) = t {
+                            self.add_str(*v, rel.flip(), s);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // LIKE atoms and nested connectives carry no interval facts.
+            // (A negated And/Or is a disjunction — also opaque here.)
+            Formula::Atom(Atom::Like(..)) | Formula::Or(_) => {}
+            Formula::And(cs) => {
+                if !negated {
+                    for c in cs {
+                        self.add_conjunct(c, false);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// True iff `f ∧ ctx[0] ∧ …` is refuted by top-level interval facts alone.
+///
+/// Conservative and sound for `Unsat`: `false` only means this prescreen
+/// could not decide — never that the conjunction is satisfiable.
+pub fn conjunction_unsat(f: &Formula, ctx: &[Formula]) -> bool {
+    let mut env = Env::default();
+    env.add_conjunct(f, false);
+    for c in ctx {
+        if env.contradiction {
+            return true;
+        }
+        env.add_conjunct(c, false);
+    }
+    env.contradiction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Term {
+        Term::Var(VarId(i))
+    }
+
+    fn cmp(l: Term, rel: Rel, r: Term) -> Formula {
+        Formula::cmp(l, rel, r)
+    }
+
+    #[test]
+    fn interval_contradiction_is_refuted() {
+        let f = Formula::and(vec![
+            cmp(v(0), Rel::Gt, Term::IntConst(5)),
+            cmp(v(0), Rel::Lt, Term::IntConst(3)),
+        ]);
+        assert!(conjunction_unsat(&f, &[]));
+    }
+
+    #[test]
+    fn integer_tightening_applies() {
+        // x > 4 ∧ x < 6 has the single model x = 5 — satisfiable.
+        let sat = Formula::and(vec![
+            cmp(v(0), Rel::Gt, Term::IntConst(4)),
+            cmp(v(0), Rel::Lt, Term::IntConst(6)),
+        ]);
+        assert!(!conjunction_unsat(&sat, &[]));
+        // x > 4 ∧ x < 5 has none over the integers.
+        let unsat = Formula::and(vec![
+            cmp(v(0), Rel::Gt, Term::IntConst(4)),
+            cmp(v(0), Rel::Lt, Term::IntConst(5)),
+        ]);
+        assert!(conjunction_unsat(&unsat, &[]));
+    }
+
+    #[test]
+    fn string_equalities_conflict() {
+        let f = Formula::and(vec![
+            cmp(v(0), Rel::Eq, Term::StrConst("a".into())),
+            cmp(v(0), Rel::Eq, Term::StrConst("b".into())),
+        ]);
+        assert!(conjunction_unsat(&f, &[]));
+        let f = Formula::and(vec![
+            cmp(v(0), Rel::Eq, Term::StrConst("a".into())),
+            Formula::not(cmp(v(0), Rel::Eq, Term::StrConst("a".into()))),
+        ]);
+        assert!(conjunction_unsat(&f, &[]));
+    }
+
+    #[test]
+    fn context_formulas_participate() {
+        let f = cmp(v(0), Rel::Ge, Term::IntConst(10));
+        let ctx = [cmp(v(0), Rel::Le, Term::IntConst(3))];
+        assert!(conjunction_unsat(&f, &ctx));
+    }
+
+    #[test]
+    fn opaque_shapes_never_decide() {
+        // A disjunction and a LIKE atom carry no facts.
+        let f = Formula::or(vec![
+            cmp(v(0), Rel::Gt, Term::IntConst(5)),
+            cmp(v(0), Rel::Lt, Term::IntConst(3)),
+        ]);
+        assert!(!conjunction_unsat(&f, &[]));
+        let like = Formula::Atom(Atom::Like(v(1), "x%".into()));
+        assert!(!conjunction_unsat(&like, &[]));
+        // Different variables never conflict.
+        let f = Formula::and(vec![
+            cmp(v(0), Rel::Gt, Term::IntConst(5)),
+            cmp(v(1), Rel::Lt, Term::IntConst(3)),
+        ]);
+        assert!(!conjunction_unsat(&f, &[]));
+    }
+
+    #[test]
+    fn trivial_constants_fold() {
+        assert!(conjunction_unsat(&cmp(Term::IntConst(1), Rel::Gt, Term::IntConst(2)), &[]));
+        assert!(conjunction_unsat(&cmp(v(0), Rel::Ne, v(0)), &[]));
+        assert!(!conjunction_unsat(&cmp(v(0), Rel::Eq, v(0)), &[]));
+        assert!(conjunction_unsat(&Formula::False, &[]));
+        assert!(!conjunction_unsat(&Formula::True, &[]));
+    }
+}

@@ -19,6 +19,7 @@
 //! | `repair-unsound`       | a repaired query disagreed with the target on some instance — a soundness bug |
 //! | `repair-non-convergent`| the advise/apply loop exceeded its stage-application cap |
 //! | `exec-gap`             | the engine could not execute a query the pipeline accepted |
+//! | `statically-rejected`  | the static analyzer proves the working query or its repair ill-formed (error-severity diagnostics); not an engine divergence |
 //! | `unsupported-fragment` | the pipeline rejected the mutant (parse/resolve/unsupported) |
 //! | `unclassified`         | anything else (an internal error) — always a bug, CI fails on it |
 //!
@@ -42,6 +43,7 @@ pub enum CaseClass {
     RepairUnsound,
     RepairNonConvergent,
     ExecGap,
+    StaticallyRejected,
     UnsupportedFragment,
     Unclassified,
 }
@@ -55,19 +57,21 @@ impl CaseClass {
             CaseClass::RepairUnsound => "repair-unsound",
             CaseClass::RepairNonConvergent => "repair-non-convergent",
             CaseClass::ExecGap => "exec-gap",
+            CaseClass::StaticallyRejected => "statically-rejected",
             CaseClass::UnsupportedFragment => "unsupported-fragment",
             CaseClass::Unclassified => "unclassified",
         }
     }
 
     /// All classes, in report order.
-    pub fn all() -> [CaseClass; 7] {
+    pub fn all() -> [CaseClass; 8] {
         [
             CaseClass::EquivalentMutant,
             CaseClass::RepairedValidated,
             CaseClass::RepairUnsound,
             CaseClass::RepairNonConvergent,
             CaseClass::ExecGap,
+            CaseClass::StaticallyRejected,
             CaseClass::UnsupportedFragment,
             CaseClass::Unclassified,
         ]
@@ -146,6 +150,16 @@ pub struct TaxonomyReport {
 /// unbounded report.
 pub const MAX_REPORTED_DIVERGENCES: usize = 100;
 
+/// Distinct error-severity diagnostic codes, for `statically-rejected`
+/// case details (`QH-A04, QH-T01`, …).
+fn error_codes(diags: &[qrhint_core::Diagnostic]) -> String {
+    let mut codes: Vec<&'static str> =
+        diags.iter().filter(|d| d.is_error()).map(|d| d.code.as_str()).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes.join(", ")
+}
+
 /// Rows per generated table, scaled down as the FROM list grows so the
 /// cross product stays well under the engine's `MAX_CROSS_ROWS` even for
 /// the 8-way DBLP self-joins.
@@ -184,6 +198,21 @@ pub fn classify_case(
             return CaseOutcome { class: CaseClass::Unclassified, stages: 0, detail: e.to_string() }
         }
     };
+    // A mutant the static analyzer rejects outright (error-severity
+    // diagnostics) is the fuzzer's doing, not a grading divergence: the
+    // analyzer proves some instance (e.g. an empty group) cannot be
+    // evaluated, so the execution oracle would only rediscover that.
+    let working_diags = qrhint_core::analysis::analyze(schema, &working);
+    if qrhint_core::analysis::has_errors(&working_diags) {
+        return CaseOutcome {
+            class: CaseClass::StaticallyRejected,
+            stages: 0,
+            detail: format!(
+                "working query is statically ill-formed: {}",
+                error_codes(&working_diags)
+            ),
+        };
+    }
     let (fixed, trail) = match prepared.tutor(working.clone()).run_to_completion() {
         Ok(ok) => ok,
         Err(QrHintError::Unsupported(d)) => {
@@ -197,6 +226,23 @@ pub fn classify_case(
         }
     };
     let stages = trail.len().saturating_sub(1);
+    // The repair loop can synthesize a statically ill-formed query from a
+    // well-formed mutant — the GROUP-BY-elision family drops a GROUP BY
+    // whose column is WHERE-pinned, leaving a mixed ungrouped SELECT that
+    // errors on empty instances (QH-A04). The analyzer predicts exactly
+    // the engine rejection, so there is nothing for execution to decide:
+    // separate these from true engine divergences without running them.
+    let fixed_diags = qrhint_core::analysis::analyze(schema, &fixed);
+    if qrhint_core::analysis::has_errors(&fixed_diags) {
+        return CaseOutcome {
+            class: CaseClass::StaticallyRejected,
+            stages,
+            detail: format!(
+                "repair `{fixed}` is statically ill-formed: {}",
+                error_codes(&fixed_diags)
+            ),
+        };
+    }
     let rows = rows_for(case.target.from.len().max(fixed.from.len()));
     for k in 0..instances {
         // Seed depends only on (corpus seed, instance index): two runs of

@@ -1,0 +1,70 @@
+//! The `qr-hint` CLI's process exit-code contract, in one place.
+//!
+//! Every subcommand maps its outcome onto the same five codes, so
+//! scripts and autograders can branch on *whose fault* a failure is
+//! without parsing output. The CLI integration tests pin this table:
+//!
+//! | code | constant | meaning |
+//! |------|----------|---------|
+//! | 0 | [`SUCCESS`] | the command did its job (advise/grade ran, lint found nothing, fuzz classified every case) |
+//! | 1 | [`INTERNAL`] | a tool-side failure: internal error, unreadable file, or — for `fuzz` — at least one `unclassified` divergence (a real grading bug) |
+//! | 2 | [`USAGE`] | the command line itself is wrong (bad flag, missing argument, unknown workload schema); nothing was attempted |
+//! | 3 | [`BAD_WORKING`] | the **submitted/working** SQL is malformed or unsupported — the student's problem, not the tool's |
+//! | 4 | [`LINT_FINDINGS`] | `lint` only: the SQL is well-formed but the static analyzer emitted diagnostics |
+//!
+//! Batch modes (`grade`, `lint` over several files) fold per-item codes
+//! with [`worst`]: an internal error outranks a malformed submission,
+//! which outranks lint findings, which outrank success — independent of
+//! `--jobs` and of item order. `USAGE` never folds; it is decided
+//! before any work starts.
+//!
+//! `4` is deliberately reserved to `lint`: `grade` and `fuzz` report
+//! analyzer diagnostics *in their output* without occupying an exit
+//! code, so pre-existing automation keyed on `0/1/3` keeps working.
+
+/// The command succeeded (and, for `lint`, found nothing).
+pub const SUCCESS: u8 = 0;
+/// Tool-side error; for `fuzz`, an unclassified divergence exists.
+pub const INTERNAL: u8 = 1;
+/// Command-line usage error; nothing was attempted.
+pub const USAGE: u8 = 2;
+/// The working/submitted SQL is malformed or unsupported.
+pub const BAD_WORKING: u8 = 3;
+/// `lint`: static-analyzer diagnostics were found.
+pub const LINT_FINDINGS: u8 = 4;
+
+/// Severity rank for [`worst`]: higher loses less information when two
+/// items fail differently in one batch.
+fn rank(code: u8) -> u8 {
+    match code {
+        SUCCESS => 0,
+        LINT_FINDINGS => 1,
+        BAD_WORKING => 2,
+        // INTERNAL and anything unrecognized (future codes folded in by
+        // mistake) surface as the most severe outcome.
+        _ => 3,
+    }
+}
+
+/// Fold per-item exit codes into one batch-wide code: the most severe
+/// item wins (`INTERNAL` > `BAD_WORKING` > `LINT_FINDINGS` > `SUCCESS`).
+/// An empty batch is a [`SUCCESS`].
+pub fn worst(codes: impl IntoIterator<Item = u8>) -> u8 {
+    codes.into_iter().max_by_key(|c| rank(*c)).unwrap_or(SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_orders_by_severity_not_value() {
+        assert_eq!(worst([SUCCESS, SUCCESS]), SUCCESS);
+        assert_eq!(worst([SUCCESS, LINT_FINDINGS]), LINT_FINDINGS);
+        // 4 > 3 numerically, but a malformed submission outranks lint
+        // findings — the fold is by severity, not by integer value.
+        assert_eq!(worst([LINT_FINDINGS, BAD_WORKING]), BAD_WORKING);
+        assert_eq!(worst([BAD_WORKING, INTERNAL, LINT_FINDINGS]), INTERNAL);
+        assert_eq!(worst([]), SUCCESS);
+    }
+}

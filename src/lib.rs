@@ -17,6 +17,9 @@
 //! * [`smt`] (`qrhint-smt`) — the DPLL(T)-lite solver standing in for Z3;
 //! * [`boolmin`] (`qrhint-boolmin`) — Quine–McCluskey minimization
 //!   standing in for ESPRESSO;
+//! * [`analysis`] (`qrhint-analysis`) — schema-aware static analyzer:
+//!   typed lints, aggregate-placement dataflow, interval abstract
+//!   interpretation;
 //! * [`engine`] (`qrhint-engine`) — bag-semantics executor for
 //!   differential testing;
 //! * [`core`] (`qrhint-core`) — the hinting pipeline itself;
@@ -43,6 +46,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod exitcode;
+
+pub use qrhint_analysis as analysis;
 pub use qrhint_boolmin as boolmin;
 pub use qrhint_core as core;
 pub use qrhint_engine as engine;
@@ -55,8 +61,9 @@ pub use qrhint_workloads as workloads;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use qrhint_core::{
-        Advice, AdviceReport, ClauseKind, Hint, PreparedTarget, QrHint, QrHintConfig,
-        RepairConfig, SessionStats, SiteHint, Stage, TutorSession,
+        Advice, AdviceReport, ClauseKind, DiagCode, Diagnostic, Hint, PreparedTarget,
+        QrHint, QrHintConfig, RepairConfig, SessionStats, Severity, SiteHint, Stage,
+        TutorSession,
     };
     pub use qrhint_engine::{DataGen, Database};
     pub use qrhint_server::{Server, ServerConfig, ServiceConfig};

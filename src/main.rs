@@ -9,6 +9,8 @@
 //!         [--max-cache-mb MB]
 //! qr-hint fuzz --schema NAME [--count N] [--seed N] [--jobs N|auto]
 //!         [--instances N] [--json]
+//! qr-hint lint --schema schema.sql file.sql... [--extended]
+//!         [--rewrite-subqueries] [--json]
 //! qr-hint --version
 //! ```
 //!
@@ -32,6 +34,12 @@
 //! across `--jobs` settings; throughput goes to stderr. Exit code is `1`
 //! if any case lands in the `unclassified` bucket, else `0`.
 //!
+//! **lint** runs the schema-aware static analyzer alone — no target
+//! query, no solver: typed lints, aggregate-placement checks and
+//! interval abstract interpretation over each file (see the
+//! `qrhint-analysis` crate for the diagnostic catalogue). Exit `0` if
+//! every file is clean, `4` if diagnostics were found.
+//!
 //! **serve** runs the long-lived grading daemon (see `qrhint-server`):
 //! targets are registered over HTTP and stay hot — compiled once,
 //! advice/grade requests ride the session layer's memo state. The first
@@ -46,9 +54,11 @@
 //! `--rewrite-subqueries` additionally opts into the positive EXISTS/IN
 //! join rewrite of §3 (duplicate-count caveat applies).
 //!
-//! Exit codes distinguish whose fault a failure is:
+//! Exit codes distinguish whose fault a failure is (the full contract
+//! lives in [`qr_hint::exitcode`]):
 //! `0` success · `1` internal/tool error · `2` usage error ·
-//! `3` the **working/submitted** SQL is malformed or unsupported
+//! `3` the **working/submitted** SQL is malformed or unsupported ·
+//! `4` lint diagnostics found (`lint` mode only)
 //! (graders can separate "student wrote bad SQL" from "tool bug").
 //! In grade mode the codes apply batch-wide, independent of `--jobs`:
 //! `1` if any submission hit a tool-internal error (or a file was
@@ -56,15 +66,18 @@
 //! else `0` — individual failures are still reported in place and never
 //! abort the batch.
 
+use qr_hint::exitcode;
 use qr_hint::prelude::*;
 use qrhint_core::QrHintError;
 use qrhint_sqlparse::parse_schema;
 use serde::Serialize;
 use std::process::ExitCode;
 
-const EXIT_INTERNAL: u8 = 1;
-const EXIT_USAGE: u8 = 2;
-const EXIT_BAD_WORKING: u8 = 3;
+// The full contract (including `4` = lint findings) lives in
+// [`qr_hint::exitcode`]; these aliases keep the match arms short.
+const EXIT_INTERNAL: u8 = exitcode::INTERNAL;
+const EXIT_USAGE: u8 = exitcode::USAGE;
+const EXIT_BAD_WORKING: u8 = exitcode::BAD_WORKING;
 
 struct CliError {
     msg: String,
@@ -86,6 +99,7 @@ enum Mode {
     Grade,
     Serve,
     Fuzz,
+    Lint,
 }
 
 struct Args {
@@ -112,6 +126,11 @@ struct Args {
     seed: u64,
     /// fuzz mode: database instances per case.
     instances: usize,
+    /// fuzz mode: write the corpus to a directory instead of grading it
+    /// (schema DDL + base targets + mutant working queries, for `lint`).
+    emit_corpus: Option<String>,
+    /// lint mode: the `*.sql` files to analyze (positional).
+    files: Vec<String>,
     interactive: bool,
     extended: bool,
     rewrite_subqueries: bool,
@@ -127,7 +146,10 @@ const USAGE: &str = "usage: qr-hint [advise] --schema <schema.sql> --target <sol
                      \x20      qr-hint serve [--addr <host:port>] [--jobs <N|auto>] \
                      [--max-targets <N>] [--max-cache-mb <MB, 0=unlimited>]\n\
                      \x20      qr-hint fuzz --schema <beers|beers-course|brass|dblp|students|tpch> \
-                     [--count <N>] [--seed <N>] [--jobs <N|auto>] [--instances <N>] [--json]\n\
+                     [--count <N>] [--seed <N>] [--jobs <N|auto>] [--instances <N>] \
+                     [--emit-corpus <dir>] [--json]\n\
+                     \x20      qr-hint lint --schema <schema.sql> <file.sql>... [--extended] \
+                     [--rewrite-subqueries] [--json]\n\
                      \x20      qr-hint --version";
 
 fn parse_args() -> Result<Args, String> {
@@ -142,6 +164,7 @@ fn parse_args() -> Result<Args, String> {
     let mut count = 1000usize;
     let mut seed = 42u64;
     let mut instances = 3usize;
+    let mut emit_corpus = None;
     let mut interactive = false;
     let mut extended = false;
     let mut rewrite_subqueries = false;
@@ -166,8 +189,13 @@ fn parse_args() -> Result<Args, String> {
             mode = Mode::Fuzz;
             it.next();
         }
+        Some("lint") => {
+            mode = Mode::Lint;
+            it.next();
+        }
         _ => {}
     }
+    let mut files: Vec<String> = Vec::new();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--schema" => schema = Some(it.next().ok_or("--schema needs a file")?),
@@ -223,6 +251,9 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|n| *n >= 1)
                     .ok_or_else(|| format!("--instances needs a positive integer, got `{n}`"))?;
             }
+            "--emit-corpus" => {
+                emit_corpus = Some(it.next().ok_or("--emit-corpus needs a directory")?)
+            }
             "--interactive" | "-i" => interactive = true,
             "--extended" | "-x" => extended = true,
             "--rewrite-subqueries" => {
@@ -231,6 +262,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => json = true,
             // --help/--version are intercepted in main() (success path).
+            // lint takes its files positionally.
+            other if matches!(mode, Mode::Lint) && !other.starts_with('-') => {
+                files.push(other.to_string())
+            }
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
@@ -271,11 +306,28 @@ fn parse_args() -> Result<Args, String> {
             }
             (name, String::new())
         }
+        Mode::Lint => {
+            if target.is_some() || working.is_some() || submissions.is_some() || interactive {
+                return Err(format!(
+                    "lint mode takes --schema plus positional SQL files only\n{USAGE}"
+                ));
+            }
+            if files.is_empty() {
+                return Err(format!("lint mode requires at least one SQL file\n{USAGE}"));
+            }
+            (
+                schema.ok_or_else(|| format!("--schema is required\n{USAGE}"))?,
+                String::new(),
+            )
+        }
         _ => (
             schema.ok_or_else(|| format!("--schema is required\n{USAGE}"))?,
             target.ok_or_else(|| format!("--target is required\n{USAGE}"))?,
         ),
     };
+    if emit_corpus.is_some() && !matches!(mode, Mode::Fuzz) {
+        return Err(format!("--emit-corpus only applies to fuzz mode\n{USAGE}"));
+    }
     match mode {
         Mode::Advise if working.is_none() => {
             return Err(format!("--working is required\n{USAGE}"))
@@ -298,6 +350,8 @@ fn parse_args() -> Result<Args, String> {
         count,
         seed,
         instances,
+        emit_corpus,
+        files,
         interactive,
         extended,
         rewrite_subqueries,
@@ -313,6 +367,52 @@ struct GradeEntry {
     /// Parse/resolve/unsupported error for this submission, if any.
     error: Option<String>,
     report: Option<AdviceReport>,
+}
+
+/// Batch-wide rollup for `grade --json`. Every field is derived from the
+/// per-entry results, so the summary — like the entries — is
+/// byte-identical across `--jobs` settings. (The session's prescreen
+/// counters are *not* here for exactly that reason: cache-race timing
+/// makes them jobs-dependent, so they go to stderr and the server's
+/// stats endpoint instead.)
+#[derive(Serialize)]
+struct GradeSummary {
+    submissions: usize,
+    equivalent: usize,
+    hinted: usize,
+    malformed: usize,
+    /// Total analyzer diagnostics across all graded submissions.
+    diagnostics: usize,
+    /// Submissions with at least one error-severity diagnostic.
+    diagnostic_errors: usize,
+}
+
+#[derive(Serialize)]
+struct GradeOutput {
+    summary: GradeSummary,
+    entries: Vec<GradeEntry>,
+}
+
+fn summarize(entries: &[GradeEntry]) -> GradeSummary {
+    let equivalent =
+        entries.iter().filter(|e| e.report.as_ref().is_some_and(|r| r.equivalent)).count();
+    let malformed = entries.iter().filter(|e| !e.ok).count();
+    GradeSummary {
+        submissions: entries.len(),
+        equivalent,
+        hinted: entries.len() - equivalent - malformed,
+        malformed,
+        diagnostics: entries
+            .iter()
+            .filter_map(|e| e.report.as_ref())
+            .map(|r| r.diagnostics.len())
+            .sum(),
+        diagnostic_errors: entries
+            .iter()
+            .filter_map(|e| e.report.as_ref())
+            .filter(|r| qr_hint::analysis::has_errors(&r.diagnostics))
+            .count(),
+    }
 }
 
 fn read(path: &str) -> Result<String, CliError> {
@@ -373,8 +473,9 @@ fn run_advise(args: &Args) -> Result<(), CliError> {
 
     if !args.interactive {
         let advice = prepared.advise(&working).map_err(|e| CliError::internal(e.to_string()))?;
+        let diagnostics = prepared.lint(&working);
         if args.json {
-            return emit_json(&AdviceReport::new(advice));
+            return emit_json(&AdviceReport::with_diagnostics(advice, diagnostics));
         }
         if advice.is_equivalent() {
             println!("✓ The working query is already equivalent to the target.");
@@ -382,6 +483,12 @@ fn run_advise(args: &Args) -> Result<(), CliError> {
             println!("[1] stage {}:", advice.stage);
             for hint in &advice.hints {
                 println!("  {hint}");
+            }
+        }
+        if !diagnostics.is_empty() {
+            println!("analyzer:");
+            for d in &diagnostics {
+                println!("  {d}");
             }
         }
         return Ok(());
@@ -439,14 +546,15 @@ fn grade_one(prepared: &PreparedTarget, args: &Args, path: &std::path::Path) -> 
             },
             EXIT_INTERNAL,
         ),
-        Ok(sql) => match prepare_working(prepared, args, &sql).and_then(|q| prepared.advise(&q))
+        Ok(sql) => match prepare_working(prepared, args, &sql)
+            .and_then(|q| prepared.advise(&q).map(|a| (q, a)))
         {
-            Ok(advice) => (
+            Ok((q, advice)) => (
                 GradeEntry {
                     file,
                     ok: true,
                     error: None,
-                    report: Some(AdviceReport::new(advice)),
+                    report: Some(AdviceReport::with_diagnostics(advice, prepared.lint(&q))),
                 },
                 0,
             ),
@@ -491,14 +599,19 @@ fn run_grade(args: &Args) -> Result<u8, CliError> {
         0
     };
     let entries: Vec<GradeEntry> = graded.into_iter().map(|(entry, _)| entry).collect();
+    // Prescreen counters are jobs-dependent (see [`GradeSummary`]), so
+    // they ride stderr with the other non-deterministic reporting.
+    let stats = prepared.stats();
+    eprintln!(
+        "prescreen: {} solver call(s) answered statically, {} stage check(s) short-circuited",
+        stats.solver_calls_skipped, stats.stages_short_circuited
+    );
 
     if args.json {
-        emit_json(&entries)?;
+        emit_json(&GradeOutput { summary: summarize(&entries), entries })?;
         return Ok(exit);
     }
-    let equivalent =
-        entries.iter().filter(|e| e.report.as_ref().is_some_and(|r| r.equivalent)).count();
-    let malformed = entries.iter().filter(|e| !e.ok).count();
+    let summary = summarize(&entries);
     for e in &entries {
         match (&e.report, &e.error) {
             (Some(r), _) if r.equivalent => println!("✓ {}", e.file),
@@ -513,13 +626,112 @@ fn run_grade(args: &Args) -> Result<u8, CliError> {
         }
     }
     println!(
-        "\n{} submission(s): {} equivalent, {} hinted, {} malformed",
-        entries.len(),
-        equivalent,
-        entries.len() - equivalent - malformed,
-        malformed
+        "\n{} submission(s): {} equivalent, {} hinted, {} malformed, {} diagnostic(s)",
+        summary.submissions, summary.equivalent, summary.hinted, summary.malformed,
+        summary.diagnostics
     );
     Ok(exit)
+}
+
+/// The `lint` subcommand: schema-aware static analysis only — no target,
+/// no solver. Exit codes: `0` every file clean, `4` diagnostics found,
+/// `3` a file's SQL is malformed/unsupported, `1` a file is unreadable
+/// (folded batch-wide by [`exitcode::worst`]).
+fn run_lint(args: &Args) -> Result<u8, CliError> {
+    use qr_hint::ast::resolve::resolve_query;
+
+    #[derive(Serialize)]
+    struct LintEntry {
+        file: String,
+        ok: bool,
+        error: Option<String>,
+        clean: bool,
+        errors: bool,
+        diagnostics: Vec<qr_hint::analysis::Diagnostic>,
+    }
+
+    let schema = parse_schema(&read(&args.schema)?)
+        .map_err(|e| CliError::internal(format!("schema: {e}")))?;
+    let opts = FlattenOptions { rewrite_positive_subqueries: args.rewrite_subqueries };
+    let mut entries = Vec::new();
+    let mut codes = Vec::new();
+    for file in &args.files {
+        let entry = match std::fs::read_to_string(file) {
+            Err(e) => {
+                codes.push(exitcode::INTERNAL);
+                LintEntry {
+                    file: file.clone(),
+                    ok: false,
+                    error: Some(format!("cannot read: {e}")),
+                    clean: false,
+                    errors: false,
+                    diagnostics: Vec::new(),
+                }
+            }
+            Ok(sql) => {
+                let parsed = if args.extended {
+                    parse_query_extended(&sql, &opts).map_err(QrHintError::from)
+                } else {
+                    parse_query(&sql).map_err(QrHintError::from)
+                };
+                match parsed.and_then(|q| Ok(resolve_query(&schema, &q)?)) {
+                    Ok(q) => {
+                        let diagnostics = qr_hint::analysis::analyze(&schema, &q);
+                        codes.push(if diagnostics.is_empty() {
+                            exitcode::SUCCESS
+                        } else {
+                            exitcode::LINT_FINDINGS
+                        });
+                        LintEntry {
+                            file: file.clone(),
+                            ok: true,
+                            error: None,
+                            clean: diagnostics.is_empty(),
+                            errors: qr_hint::analysis::has_errors(&diagnostics),
+                            diagnostics,
+                        }
+                    }
+                    Err(e) => {
+                        codes.push(working_error(e.clone()).code);
+                        LintEntry {
+                            file: file.clone(),
+                            ok: false,
+                            error: Some(e.to_string()),
+                            clean: false,
+                            errors: false,
+                            diagnostics: Vec::new(),
+                        }
+                    }
+                }
+            }
+        };
+        entries.push(entry);
+    }
+
+    if args.json {
+        emit_json(&entries)?;
+    } else {
+        let mut total = 0usize;
+        for e in &entries {
+            match &e.error {
+                Some(err) => println!("! {} — {err}", e.file),
+                None if e.clean => println!("✓ {}", e.file),
+                None => {
+                    total += e.diagnostics.len();
+                    for d in &e.diagnostics {
+                        println!("{}: {d}", e.file);
+                    }
+                }
+            }
+        }
+        println!(
+            "\n{} file(s): {} diagnostic(s), {} with errors",
+            entries.len(),
+            total,
+            entries.iter().filter(|e| e.errors).count()
+        );
+    }
+    Ok(exitcode::worst(codes))
 }
 
 /// The `fuzz` subcommand: seeded mutation corpus → grade → repair →
@@ -530,8 +742,19 @@ fn run_fuzz(args: &Args) -> Result<u8, CliError> {
     use qr_hint::workloads::differential::{run, RunConfig};
     let cfg = RunConfig { jobs: args.jobs, instances: args.instances };
     let started = std::time::Instant::now();
-    let report = run(&args.schema, args.count, args.seed, &cfg)
-        .ok_or_else(|| CliError::internal(format!("unknown workload schema {}", args.schema)))?;
+    // Corpus-export mode: write the deterministic corpus for offline
+    // tooling (CI's lint-smoke job points `qr-hint lint` at it) and
+    // skip grading entirely.
+    if let Some(dir) = &args.emit_corpus {
+        return emit_fuzz_corpus(&args.schema, args.count, args.seed, dir);
+    }
+    // An unknown schema name is the caller's mistake, not a tool error:
+    // exit 2, consistent with the `parse_args` validation (this path is
+    // the backstop in case the two schema lists ever drift).
+    let report = run(&args.schema, args.count, args.seed, &cfg).ok_or(CliError {
+        msg: format!("unknown workload schema {}\n{USAGE}", args.schema),
+        code: EXIT_USAGE,
+    })?;
     let elapsed = started.elapsed().as_secs_f64();
     eprintln!(
         "fuzzed {} pairs in {:.2}s ({:.0} pairs/s)",
@@ -559,6 +782,43 @@ fn run_fuzz(args: &Args) -> Result<u8, CliError> {
         }
     }
     Ok(if report.unclassified > 0 { EXIT_INTERNAL } else { 0 })
+}
+
+/// `fuzz --emit-corpus <dir>`: materialize the seeded corpus on disk —
+/// `schema.sql` (DDL that round-trips the schema parser),
+/// `targets/<base>.sql` (the reference queries; analyzer-clean by the
+/// no-false-positives property), and `cases/<id>.sql` (the mutant
+/// working queries). Layout is consumed by CI's lint-smoke job.
+fn emit_fuzz_corpus(schema: &str, count: usize, seed: u64, dir: &str) -> Result<u8, CliError> {
+    use qr_hint::workloads::mutate::Fuzzer;
+    let fuzzer = Fuzzer::for_schema(schema).ok_or(CliError {
+        msg: format!("unknown workload schema {schema}\n{USAGE}"),
+        code: EXIT_USAGE,
+    })?;
+    let base = std::path::Path::new(dir);
+    let write = |rel: std::path::PathBuf, contents: String| -> Result<(), CliError> {
+        std::fs::write(&rel, contents)
+            .map_err(|e| CliError::internal(format!("write {}: {e}", rel.display())))
+    };
+    for sub in ["targets", "cases"] {
+        std::fs::create_dir_all(base.join(sub))
+            .map_err(|e| CliError::internal(format!("create {dir}/{sub}: {e}")))?;
+    }
+    write(base.join("schema.sql"), fuzzer.schema().to_ddl())?;
+    for (id, target) in fuzzer.bases() {
+        write(base.join("targets").join(format!("{id}.sql")), format!("{target}\n"))?;
+    }
+    let cases = fuzzer.generate(count, seed);
+    for case in &cases {
+        write(base.join("cases").join(format!("{}.sql", case.id)), format!("{}\n", case.working))?;
+    }
+    eprintln!(
+        "emitted {} corpus to {dir}: schema.sql, {} target(s), {} case(s)",
+        schema,
+        fuzzer.bases().len(),
+        cases.len()
+    );
+    Ok(exitcode::SUCCESS)
 }
 
 /// The `serve` subcommand: bind, announce the resolved address on the
@@ -611,6 +871,7 @@ fn main() -> ExitCode {
                 Mode::Grade => run_grade(&args),
                 Mode::Serve => run_serve(&args).map(|()| 0),
                 Mode::Fuzz => run_fuzz(&args),
+                Mode::Lint => run_lint(&args),
             };
             match result {
                 Ok(code) => ExitCode::from(code),

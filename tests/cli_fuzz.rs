@@ -65,6 +65,7 @@ fn text_report_lists_every_class() {
         "repair-unsound",
         "repair-non-convergent",
         "exec-gap",
+        "statically-rejected",
         "unsupported-fragment",
         "unclassified",
     ] {

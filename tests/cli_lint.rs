@@ -1,0 +1,166 @@
+//! CLI coverage for `qr-hint lint` and the unified exit-code contract
+//! (`qr_hint::exitcode`): 0 clean / 1 internal / 2 usage / 3 malformed
+//! working SQL / 4 lint findings, with batches folding to the most
+//! severe per-item code (`INTERNAL` > `BAD_WORKING` > `LINT_FINDINGS`
+//! > `SUCCESS`) regardless of file order.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_qr-hint");
+
+/// A unique scratch directory under the system temp dir (no tempfile
+/// crate in the offline vendor set); removed on drop, best-effort.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "qrhint-lint-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+
+    fn write(&self, rel: &str, contents: &str) -> String {
+        let p = self.0.join(rel);
+        fs::write(&p, contents).expect("write fixture");
+        p.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+const SCHEMA: &str = "CREATE TABLE Serves (\
+    bar VARCHAR(20), beer VARCHAR(20), price INT, PRIMARY KEY (bar, beer));";
+
+const CLEAN: &str = "SELECT s.bar FROM Serves s WHERE s.price >= 3";
+/// `price > 5 AND price < 3` — statically unsatisfiable: QH-P01
+/// (warning severity; the query still type-checks and executes).
+const CONTRADICTION: &str =
+    "SELECT s.bar FROM Serves s WHERE s.price > 5 AND s.price < 3";
+/// Ungrouped mixed SELECT in an aggregate query: QH-A04 (error).
+const MIXED_UNGROUPED: &str = "SELECT s.bar, COUNT(*) FROM Serves s";
+const MALFORMED: &str = "SELEKT nonsense";
+
+fn setup(tag: &str) -> (Scratch, String) {
+    let s = Scratch::new(tag);
+    let schema = s.write("schema.sql", SCHEMA);
+    (s, schema)
+}
+
+fn lint(schema: &str, files: &[&str], extra: &[&str]) -> Output {
+    Command::new(BIN)
+        .arg("lint")
+        .args(["--schema", schema])
+        .args(extra)
+        .args(files)
+        .output()
+        .expect("run qr-hint lint")
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    let (s, schema) = setup("clean");
+    let f = s.write("q.sql", CLEAN);
+    let out = lint(&schema, &[&f], &[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("✓"), "clean marker missing:\n{text}");
+    assert!(text.contains("0 diagnostic(s)"), "{text}");
+}
+
+#[test]
+fn findings_exit_four_and_name_the_code() {
+    let (s, schema) = setup("findings");
+    let f = s.write("q.sql", CONTRADICTION);
+    let out = lint(&schema, &[&f], &[]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("QH-P01"), "contradiction code missing:\n{text}");
+}
+
+#[test]
+fn json_output_carries_structured_diagnostics() {
+    let (s, schema) = setup("json");
+    let f1 = s.write("clean.sql", CLEAN);
+    let f2 = s.write("mixed.sql", MIXED_UNGROUPED);
+    let out = lint(&schema, &[&f1, &f2], &["--json"]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    let json = String::from_utf8_lossy(&out.stdout);
+    // One entry per file, in argument order, with machine-readable
+    // fields (pinned loosely: the exact schema is the serde derive).
+    assert!(json.contains("\"clean\": true"), "{json}");
+    assert!(json.contains("\"clean\": false"), "{json}");
+    assert!(json.contains("QH-A04"), "{json}");
+    assert!(json.contains("\"errors\": true"), "{json}");
+    assert!(
+        json.find("clean.sql").unwrap() < json.find("mixed.sql").unwrap(),
+        "entries must preserve argument order:\n{json}"
+    );
+}
+
+#[test]
+fn malformed_sql_exits_three() {
+    let (s, schema) = setup("malformed");
+    let f = s.write("bad.sql", MALFORMED);
+    let out = lint(&schema, &[&f], &[]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+}
+
+#[test]
+fn batch_folds_to_most_severe_code_not_largest_value() {
+    // LINT_FINDINGS is numerically 4 > BAD_WORKING's 3, but a malformed
+    // file is the more severe outcome: the fold is by severity rank.
+    let (s, schema) = setup("fold");
+    let clean = s.write("a.sql", CLEAN);
+    let findings = s.write("b.sql", CONTRADICTION);
+    let bad = s.write("c.sql", MALFORMED);
+    let out = lint(&schema, &[&clean, &findings, &bad], &[]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    // Findings-only batch still reports 4.
+    let out = lint(&schema, &[&clean, &findings], &[]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+}
+
+#[test]
+fn unreadable_file_exits_one() {
+    let (s, schema) = setup("unreadable");
+    let missing = s.path().join("nope.sql");
+    let out = lint(&schema, &[&missing.to_string_lossy()], &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // No files.
+    let (_s, schema) = setup("usage");
+    let out = Command::new(BIN)
+        .args(["lint", "--schema", &schema])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // No schema.
+    let out = Command::new(BIN)
+        .args(["lint", "whatever.sql"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // Grade-mode flag on lint.
+    let out = Command::new(BIN)
+        .args(["lint", "--schema", &schema, "--target", "t.sql", "x.sql"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}

@@ -1,36 +1,41 @@
-//! Known gaps surfaced by the differential fuzz oracle (PR 6).
+//! Known gaps surfaced by the differential fuzz oracle (PR 6), now
+//! caught statically by the analyzer (PR 7).
 //!
-//! Every divergence the bring-up runs found belongs to **one family**,
-//! quarantined here as `#[ignore]`d reproducers (they assert the
-//! *desired* behavior, so they fail if run today; un-ignore them when
-//! the pipeline closes the gap):
+//! Every divergence the PR 6 bring-up runs found belongs to **one
+//! family**:
 //!
-//! **GROUP BY elision under a WHERE-pinned grouping column**
-//! (classification: `exec-gap`). When the target groups by a column
-//! that a WHERE equality pins to a single value (`WHERE s.bar = 'Joyce'
-//! … GROUP BY s.bar`), the GROUP BY repair stage proves the working
-//! query's grouping redundant and emits a repaired query with **no**
-//! GROUP BY at all while the SELECT list keeps both the pinned column
-//! and an aggregate. Under the paper's per-group semantics that
-//! rewrite is equivalence-preserving on *nonempty* inputs, but the two
-//! shapes differ on empty ones: the grouped query returns zero rows,
-//! while the ungrouped query has a single implicit (empty) group whose
-//! non-aggregate SELECT item cannot be evaluated — the engine rejects
-//! it with "bad aggregate: non-aggregate expression over empty group"
-//! (real SQL rejects the ungrouped mixed SELECT outright). The
-//! differential harness classifies these as `exec-gap`: the repair is
-//! right under the solver's semantics and inexecutable under the
-//! engine's.
+//! **GROUP BY elision under a WHERE-pinned grouping column**. When the
+//! target groups by a column that a WHERE equality pins to a single
+//! value (`WHERE s.bar = 'Joyce' … GROUP BY s.bar`), the GROUP BY
+//! repair stage proves the working query's grouping redundant and emits
+//! a repaired query with **no** GROUP BY at all while the SELECT list
+//! keeps both the pinned column and an aggregate. Under the paper's
+//! per-group semantics that rewrite is equivalence-preserving on
+//! *nonempty* inputs, but the two shapes differ on empty ones: the
+//! grouped query returns zero rows, while the ungrouped query has a
+//! single implicit (empty) group whose non-aggregate SELECT item cannot
+//! be evaluated — the engine rejects it with "bad aggregate:
+//! non-aggregate expression over empty group" (real SQL rejects the
+//! ungrouped mixed SELECT outright).
+//!
+//! PR 6 could only quarantine the family as `exec-gap` reproducers.
+//! The static analyzer's aggregate-placement pass now flags exactly
+//! this shape as **QH-A04** (`UngroupedSelect`, error severity) without
+//! executing anything, and the differential taxonomy classifies the
+//! family as `statically-rejected` — no longer a divergence, so the
+//! formerly `#[ignore]`d reproducers are un-ignored below as passing
+//! pins of the new contract.
 //!
 //! Observed instances (corpus seed 42, 60 pairs/schema):
 //! `fuzz-brass-42-00055` and `fuzz-tpch-42-{00001,00027,00043,00051}`
-//! — all on targets with a WHERE-pinned grouping column, all failing
-//! only on instance 0 (the one whose generated database leaves the
-//! WHERE filter empty).
+//! — all on targets with a WHERE-pinned grouping column, all formerly
+//! failing only on instance 0 (the one whose generated database leaves
+//! the WHERE filter empty).
 
 use qr_hint::prelude::*;
-use qr_hint::workloads::differential::{run, RunConfig};
-use qrhint_engine::{bag_equal, execute, Database};
+use qr_hint::workloads::differential::{classify_case, run, CaseClass, RunConfig};
+use qr_hint::workloads::mutate::Fuzzer;
+use qrhint_engine::{execute, Database};
 use qrhint_sqlast::resolve::resolve_query;
 
 /// Tutor-repair `working` against `target` and return the fixed query.
@@ -46,46 +51,73 @@ fn repair(schema: &Schema, target: &str, working: &str) -> Query {
     fixed
 }
 
-/// Desired behavior: a repaired query must execute wherever its target
-/// does — including the empty database, where the grouped target yields
-/// zero rows.
-fn assert_repair_executes_on_empty(schema: &Schema, target: &str, working: &str) {
-    let fixed = repair(schema, target, working);
-    let empty = Database::new();
-    let tq = resolve_query(schema, &parse_query(target).unwrap()).unwrap();
-    let target_rows = execute(&tq, schema, &empty).expect("grouped target executes");
-    let fixed_rows = execute(&fixed, schema, &empty).unwrap_or_else(|e| {
-        panic!("repaired query `{fixed}` must execute on empty input, got: {e}")
-    });
-    assert!(
-        bag_equal(&target_rows, &fixed_rows),
-        "repaired `{fixed}` disagrees with target on empty input"
-    );
+/// The five PR 6 reproducers, by (schema, fuzz case id).
+const REPRODUCERS: [(&str, &str); 5] = [
+    ("brass", "fuzz-brass-42-00055"),
+    ("tpch", "fuzz-tpch-42-00001"),
+    ("tpch", "fuzz-tpch-42-00027"),
+    ("tpch", "fuzz-tpch-42-00043"),
+    ("tpch", "fuzz-tpch-42-00051"),
+];
+
+/// Formerly `#[ignore]`d as an exec-gap: the family must now be caught
+/// *before* execution. Every quarantined reproducer (regenerated from
+/// its corpus seed) classifies as `statically-rejected`, and the detail
+/// names QH-A04 — the ungrouped-mixed-SELECT diagnostic that predicts
+/// the engine's empty-group rejection.
+#[test]
+fn quarantined_reproducers_are_statically_rejected_with_qh_a04() {
+    for (schema_name, case_id) in REPRODUCERS {
+        let fuzzer = Fuzzer::for_schema(schema_name).expect("known schema");
+        let cases = fuzzer.generate(60, 42);
+        let case = cases
+            .iter()
+            .find(|c| c.id == case_id)
+            .unwrap_or_else(|| panic!("{case_id} missing from the seed-42 corpus"));
+        let qr = QrHint::new(fuzzer.schema().clone());
+        let prepared = qr
+            .compile_target(&case.target.to_string())
+            .expect("target compiles");
+        let outcome = classify_case(&prepared, fuzzer.schema(), case, 2, 42);
+        assert_eq!(
+            outcome.class,
+            CaseClass::StaticallyRejected,
+            "{case_id}: expected statically-rejected, got {:?} ({})",
+            outcome.class,
+            outcome.detail
+        );
+        assert!(
+            outcome.detail.contains("QH-A04"),
+            "{case_id}: detail must name the QH-A04 diagnostic, got: {}",
+            outcome.detail
+        );
+    }
 }
 
-/// Reproducer for `fuzz-brass-42-00055`. KNOWN GAP (exec-gap): the
-/// repair drops `GROUP BY` because `s.bar` is pinned by the WHERE
-/// equality, leaving `SELECT s.bar, COUNT(*)` ungrouped — inexecutable
-/// on empty input.
+/// Formerly `#[ignore]`d (brass family member, explicit SQL): the
+/// repaired query is flagged QH-A04 by the analyzer, statically, with
+/// no engine run.
 #[test]
-#[ignore = "known gap: GROUP BY elision under a WHERE-pinned grouping column (exec-gap)"]
-fn brass_pinned_group_by_repair_executes_on_empty_input() {
+fn brass_pinned_group_by_repair_is_flagged_qh_a04() {
     let schema = qr_hint::workloads::brass::schema();
-    assert_repair_executes_on_empty(
+    let fixed = repair(
         &schema,
         "SELECT s.bar, COUNT(*) FROM serves s WHERE s.bar = 'Joyce' GROUP BY s.bar",
         "SELECT s.bar, COUNT(*) FROM serves s WHERE s.bar = 'Joyce' GROUP BY s.beer",
     );
+    let diags = qr_hint::analysis::analyze(&schema, &fixed);
+    assert!(
+        diags.iter().any(|d| d.code == DiagCode::UngroupedSelect && d.is_error()),
+        "repaired `{fixed}` must carry an error-severity QH-A04, got: {diags:?}"
+    );
 }
 
-/// Reproducer for `fuzz-tpch-42-00043` (same family on the Q3-derived
-/// base: `c.mktsegment` pinned by the WHERE equality, working grouped
-/// by another customer column).
+/// Formerly `#[ignore]`d (tpch family member on the Q3-derived base):
+/// same static flag, bigger query.
 #[test]
-#[ignore = "known gap: GROUP BY elision under a WHERE-pinned grouping column (exec-gap)"]
-fn tpch_pinned_group_by_repair_executes_on_empty_input() {
+fn tpch_pinned_group_by_repair_is_flagged_qh_a04() {
     let schema = qr_hint::workloads::tpch::schema();
-    assert_repair_executes_on_empty(
+    let fixed = repair(
         &schema,
         "SELECT c.mktsegment, COUNT(*) FROM customer c, orders o, lineitem l \
          WHERE c.mktsegment = 'BUILDING' AND c.custkey = o.custkey \
@@ -96,13 +128,20 @@ fn tpch_pinned_group_by_repair_executes_on_empty_input() {
          AND l.orderkey = o.orderkey AND o.orderdate < 19950315 \
          AND l.shipdate > 19950315 GROUP BY c.name HAVING COUNT(*) >= 2",
     );
+    let diags = qr_hint::analysis::analyze(&schema, &fixed);
+    assert!(
+        diags.iter().any(|d| d.code == DiagCode::UngroupedSelect && d.is_error()),
+        "repaired `{fixed}` must carry an error-severity QH-A04, got: {diags:?}"
+    );
 }
 
-/// Pin the *current* behavior so taxonomy drift is visible: the family
-/// must keep classifying as `exec-gap` (never `unclassified`, never
-/// silently "fixed" without un-ignoring the reproducers above).
+/// Pin the *underlying* repair behavior so un-noticed drift is visible:
+/// the GROUP BY elision itself is unchanged (the repair still drops the
+/// pinned GROUP BY and the engine still rejects the result on empty
+/// input). If this starts failing, the repair-side gap was closed —
+/// delete this pin and demote QH-A04 expectations accordingly.
 #[test]
-fn pinned_group_by_family_classifies_as_exec_gap_today() {
+fn pinned_group_by_elision_and_engine_rejection_are_unchanged() {
     let schema = qr_hint::workloads::brass::schema();
     let fixed = repair(
         &schema,
@@ -112,7 +151,7 @@ fn pinned_group_by_family_classifies_as_exec_gap_today() {
     assert!(
         fixed.group_by.is_empty(),
         "gap closed? repaired query kept a GROUP BY ({fixed}) — \
-         un-ignore the reproducers in this file and delete this pin"
+         delete this pin and revisit the QH-A04 reproducers in this file"
     );
     let err = execute(&fixed, &schema, &Database::new())
         .expect_err("ungrouped mixed SELECT must fail on empty input");
@@ -120,6 +159,24 @@ fn pinned_group_by_family_classifies_as_exec_gap_today() {
         err.to_string().contains("empty group"),
         "unexpected engine error for the known-gap shape: {err}"
     );
+}
+
+/// Differential smoke across the two formerly-divergent schemas: the
+/// full seed-42 corpora now classify with **zero** divergences — the
+/// family lands in `statically-rejected`, which is not a divergence.
+#[test]
+fn seed_42_corpora_have_no_divergences_only_static_rejections() {
+    let cfg = RunConfig { jobs: 1, instances: 2 };
+    for (schema_name, expected_rejections) in [("brass", 1usize), ("tpch", 4usize)] {
+        let report = run(schema_name, 60, 42, &cfg).expect("known schema");
+        assert_eq!(report.unclassified, 0, "{schema_name}: {report:?}");
+        assert!(report.divergent.is_empty(), "{schema_name}: {report:?}");
+        assert_eq!(
+            report.classes["statically-rejected"], expected_rejections,
+            "{schema_name}: statically-rejected count drifted: {:?}",
+            report.classes
+        );
+    }
 }
 
 /// Differential smoke: the students corpus stays divergence-free (the

@@ -209,7 +209,11 @@ fn advice_json_is_byte_identical_to_offline_grade_json() {
         .output()
         .expect("run qr-hint grade");
     let cli_json = String::from_utf8(out.stdout).unwrap();
-    let Value::Seq(cli_entries) = parse_json(&cli_json) else { panic!("CLI output not a list") };
+    // `grade --json` wraps the entries in a `{summary, entries}` object.
+    let cli_output = parse_json(&cli_json);
+    let Value::Seq(cli_entries) = json_get(&cli_output, "entries").clone() else {
+        panic!("CLI output has no entries list")
+    };
     assert_eq!(cli_entries.len(), SUBMISSIONS.len());
 
     let server = TestServer::start(8);
