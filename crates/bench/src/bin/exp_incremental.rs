@@ -1,0 +1,59 @@
+//! Incremental-solver experiment: cold-batch grading with the push/pop
+//! assumption stack vs the from-scratch solver, with verdict parity
+//! enforced. Writes `BENCH_incremental.json` and exits nonzero on a
+//! parity failure or an unwaived speedup-gate miss.
+
+use qrhint_bench::{incremental, report};
+
+fn main() {
+    let rep = incremental::run(50);
+    let rows: Vec<Vec<String>> = rep
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.mode.clone(),
+                format!("{:.1}", r.ms),
+                format!("{:.0}", r.throughput_per_s),
+                r.solver_calls.to_string(),
+                r.theory_pushes.to_string(),
+                r.theory_full_checks.to_string(),
+                r.equiv_batches.to_string(),
+                if r.parity_ok { "ok" } else { "DIVERGED" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &[
+                "workload", "mode", "ms", "sub/s", "solver", "pushes", "fulls", "batches",
+                "parity"
+            ],
+            &rows
+        )
+    );
+    for (w, s) in &rep.speedup_by_workload {
+        let ratio = rep.theory_work_ratio_by_workload.get(w).copied().unwrap_or(1.0);
+        println!("{w}: cold speedup {s:.2}x, theory-work ratio {ratio:.2}x");
+    }
+    println!(
+        "cores={} min_speedup={:.2}x gate(>= {:.1}x)={} waived_low_cores={} parity={}",
+        rep.cores,
+        rep.min_speedup,
+        rep.speedup_gate,
+        rep.speedup_ok,
+        rep.gate_waived_low_cores,
+        rep.parity_ok
+    );
+    std::fs::write(
+        "BENCH_incremental.json",
+        serde_json::to_string_pretty(&rep).expect("report serializes"),
+    )
+    .expect("write BENCH_incremental.json");
+    println!("wrote BENCH_incremental.json");
+    if !rep.gate_ok {
+        std::process::exit(1);
+    }
+}

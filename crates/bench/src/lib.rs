@@ -28,6 +28,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fuzz;
+pub mod incremental;
 pub mod oracle_cache;
 pub mod parallel_grading;
 pub mod report;

@@ -61,11 +61,14 @@
 //! division.
 
 use crate::verdicts::{VerdictCache, VerdictKey};
-use qrhint_smt::{Formula, FormulaId, Interner, Rel, Solver, Sort, TermId, TriBool, VarId, VarPool};
+use qrhint_smt::{
+    AssumptionPrefix, Formula, FormulaId, Interner, Rel, SolveStats, Solver, Sort, TermId,
+    TriBool, VarId, VarPool,
+};
 use qrhint_sqlast::{
     AggArg, AggCall, AggFunc, ArithOp, CmpOp, ColRef, Pred, Query, Scalar, Schema, SqlType,
 };
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -363,6 +366,33 @@ pub struct InternerStats {
 /// name + sort + the col/agg map entry pointing at it).
 const VAR_ENTRY_BYTES: usize = 160;
 
+/// Per-tree-node byte estimate for the lowering memo (enum discriminant,
+/// child vectors, and the map entry, amortized over the subtree).
+const TREE_NODE_BYTES: usize = 64;
+
+/// Point-in-time lowering-memo statistics (see
+/// [`crate::session::SessionStats`]). Like the interner counters, these
+/// live in the [`SolverContext`] and reset when a shed swaps it out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoweringMemoStats {
+    /// Tree requests answered by a memoized `Arc<Formula>`.
+    pub hits: u64,
+    /// Tree requests that extracted (and memoized) a fresh tree.
+    pub misses: u64,
+    /// Distinct interned formulas with a resident memoized tree.
+    pub entries: u64,
+    /// Approximate resident bytes of the memoized trees.
+    pub bytes: u64,
+}
+
+fn formula_nodes(f: &Formula) -> usize {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_) => 1,
+        Formula::And(cs) | Formula::Or(cs) => 1 + cs.iter().map(formula_nodes).sum::<usize>(),
+        Formula::Not(c) => 1 + formula_nodes(c),
+    }
+}
+
 /// The interning + verdict state shared by every [`Oracle`] of one
 /// [`crate::session::PreparedTarget`]: the hash-consing arena, the
 /// variable tables, and the sharded cross-slot verdict cache. All of it
@@ -371,6 +401,16 @@ const VAR_ENTRY_BYTES: usize = 160;
 pub struct SolverContext {
     lower: RwLock<LowerState>,
     pub(crate) verdicts: VerdictCache,
+    /// Per-node lowering memo: interned formula → its extracted tree,
+    /// shared (via `Arc`) across every oracle bound to this context. A
+    /// verdict-cache miss used to re-extract the full tree of the formula
+    /// *and every context formula* per check; now each interned node is
+    /// extracted at most once per context lifetime. Shed with the
+    /// context.
+    trees: RwLock<HashMap<FormulaId, Arc<Formula>>>,
+    tree_hits: AtomicU64,
+    tree_misses: AtomicU64,
+    tree_bytes: AtomicU64,
 }
 
 impl SolverContext {
@@ -381,16 +421,55 @@ impl SolverContext {
         SolverContext {
             lower: RwLock::new(LowerState::new()),
             verdicts: VerdictCache::new(verdict_cache_max_bytes),
+            trees: RwLock::new(HashMap::new()),
+            tree_hits: AtomicU64::new(0),
+            tree_misses: AtomicU64::new(0),
+            tree_bytes: AtomicU64::new(0),
         }
     }
 
     /// Approximate resident bytes of everything in the context: interner
-    /// tables, variable pool/maps, and the verdict cache.
+    /// tables, variable pool/maps, the lowering memo, and the verdict
+    /// cache.
     pub fn approx_bytes(&self) -> usize {
         let st = self.lower.read().unwrap();
         st.interner.approx_bytes()
             + st.pool.len() * VAR_ENTRY_BYTES
+            + self.tree_bytes.load(Ordering::Relaxed) as usize
             + self.verdicts.bytes()
+    }
+
+    /// Memoized tree extraction: the `Arc<Formula>` tree of an interned
+    /// formula, extracted at most once per context lifetime.
+    pub fn tree_of(&self, f: FormulaId) -> Arc<Formula> {
+        if let Some(t) = self.trees.read().unwrap().get(&f) {
+            self.tree_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(t);
+        }
+        // Extract outside the memo lock (two racing extractors do
+        // redundant work but the entry — and the byte accounting — is
+        // charged once).
+        let tree = Arc::new(self.lower.read().unwrap().interner.formula(f));
+        self.tree_misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.trees.write().unwrap();
+        let entry = map.entry(f).or_insert_with(|| {
+            self.tree_bytes.fetch_add(
+                (formula_nodes(&tree) * TREE_NODE_BYTES) as u64,
+                Ordering::Relaxed,
+            );
+            Arc::clone(&tree)
+        });
+        Arc::clone(entry)
+    }
+
+    /// Point-in-time lowering-memo counters.
+    pub fn lowering_memo_stats(&self) -> LoweringMemoStats {
+        LoweringMemoStats {
+            hits: self.tree_hits.load(Ordering::Relaxed),
+            misses: self.tree_misses.load(Ordering::Relaxed),
+            entries: self.trees.read().unwrap().len() as u64,
+            bytes: self.tree_bytes.load(Ordering::Relaxed),
+        }
     }
 
     /// Point-in-time interner counters.
@@ -465,6 +544,21 @@ pub struct Oracle {
     /// least one prescreen answer landed — i.e. statically-decided
     /// predicates let the stage skip solver work.
     pub stage_short_circuits: u64,
+    /// Literals pushed onto the incremental theory stack across this
+    /// oracle's solver misses (from-scratch mode counts every
+    /// retranslation here, which is the quadratic blow-up the stack
+    /// removes).
+    pub theory_pushes: u64,
+    /// Full theory checks (leaves + pruning strides) across misses.
+    pub theory_full_checks: u64,
+    /// Branches cut by the incremental quick-conflict detector.
+    pub quick_conflicts: u64,
+    /// Shared-prefix batches issued ([`Oracle::batch_ctx`] consumers:
+    /// SELECT positional equivalence, GROUP BY Δ− pruning, WHERE-repair
+    /// candidate verification).
+    pub equiv_batches: u64,
+    /// Candidate checks routed through those batches.
+    pub equiv_batch_candidates: u64,
     /// Ambient lowering environment used by the `*_pred` convenience
     /// methods (set by the HAVING/SELECT stages to the grouped
     /// environment, so the generic repair machinery reasons with
@@ -509,6 +603,11 @@ impl Oracle {
             prescreen: true,
             prescreen_skips: 0,
             stage_short_circuits: 0,
+            theory_pushes: 0,
+            theory_full_checks: 0,
+            quick_conflicts: 0,
+            equiv_batches: 0,
+            equiv_batch_candidates: 0,
             ambient_env: LowerEnv::plain(),
             ambient_ctx: Vec::new(),
             scratch_pool: VarPool::new(),
@@ -1093,42 +1192,71 @@ impl Oracle {
             return verdict;
         }
         self.verdict_misses += 1;
-        // Miss: extract trees and sync the scratch pool under the read
-        // lock, then solve outside it. The solver appends throwaway
-        // opaque variables during linearization, which is why it gets
-        // the private mirror rather than a shared borrow — truncating
-        // back to the synced snapshot discards the previous check's
-        // scratch and keeps indices aligned with the append-only shared
-        // pool, without an O(pool) clone per miss.
-        let (tree, ctx_trees) = {
-            let st = self.ctx.lower.read().unwrap();
-            self.scratch_pool.truncate(self.scratch_synced);
-            if st.pool.len() > self.scratch_synced {
-                self.scratch_pool.extend_from(&st.pool, self.scratch_synced);
-                self.scratch_synced = st.pool.len();
-            }
-            let tree = st.interner.formula(key.f);
-            let ctx_trees: Vec<Formula> =
-                key.ctx.iter().map(|&c| st.interner.formula(c)).collect();
-            (tree, ctx_trees)
-        };
+        // Miss: pull memoized `Arc` trees (extracted at most once per
+        // context lifetime) and sync the scratch pool, then solve. The
+        // solver appends throwaway opaque variables during linearization,
+        // which is why it gets the private mirror rather than a shared
+        // borrow.
+        self.sync_scratch();
+        let tree = self.ctx.tree_of(key.f);
+        let ctx_trees: Vec<Arc<Formula>> =
+            key.ctx.iter().map(|&c| self.ctx.tree_of(c)).collect();
+        let mut parts: Vec<&Formula> = Vec::with_capacity(1 + ctx_trees.len());
+        parts.extend(ctx_trees.iter().map(|t| t.as_ref()));
+        parts.push(&tree);
         // Interval prescreen: a conjunction refuted by per-variable
         // interval facts alone is Unsat without the DPLL(T) machinery.
         // Sound (the prescreen only answers when a fact subset is already
         // contradictory) and verdict-preserving (the LIA layer refutes the
         // same conjunctions), so caching the answer keeps cross-slot
         // results identical with the prescreen on or off.
-        if self.prescreen && qrhint_smt::interval::conjunction_unsat(&tree, &ctx_trees) {
+        if self.prescreen && qrhint_smt::interval::conjunction_unsat_parts(&parts) {
             self.prescreen_skips += 1;
             let verdict = TriBool::False;
             self.verdict_evictions += self.ctx.verdicts.insert(key, verdict, self.id);
             return verdict;
         }
-        let verdict = self.solver.is_satisfiable(&tree, &ctx_trees, &mut self.scratch_pool);
+        let out = self.solver.check_parts(&parts, &mut self.scratch_pool);
+        self.record_stats(&out.stats);
+        let verdict = tri(out.result);
         if verdict != TriBool::Unknown {
             self.verdict_evictions += self.ctx.verdicts.insert(key, verdict, self.id);
         }
         verdict
+    }
+
+    /// Bring the scratch pool level with the append-only shared pool:
+    /// truncate away the previous check's throwaway variables, extend
+    /// with anything lowered since the last sync. Avoids an O(pool)
+    /// clone per solver miss.
+    fn sync_scratch(&mut self) {
+        let ctx = Arc::clone(&self.ctx);
+        let st = ctx.lower.read().unwrap();
+        if st.pool.len() < self.scratch_synced {
+            // Defensive: the shared pool can only be *shorter* than the
+            // sync mark if this oracle was rebound across a context swap
+            // without resetting it (the session rebind path rebuilds the
+            // oracle, but a stale mark here would silently misalign every
+            // variable index below). Resync from scratch.
+            self.scratch_pool = VarPool::new();
+            self.scratch_synced = 0;
+        }
+        self.scratch_pool.truncate(self.scratch_synced);
+        if st.pool.len() > self.scratch_synced {
+            self.scratch_pool.extend_from(&st.pool, self.scratch_synced);
+            self.scratch_synced = st.pool.len();
+        }
+    }
+
+    fn record_stats(&mut self, s: &SolveStats) {
+        self.theory_pushes += s.theory_lits_translated;
+        self.theory_full_checks += s.theory_full_checks;
+        self.quick_conflicts += s.quick_conflicts;
+    }
+
+    /// Memoized tree extraction (see [`SolverContext::tree_of`]).
+    pub fn tree_of(&self, f: FormulaId) -> Arc<Formula> {
+        self.ctx.tree_of(f)
     }
 
     /// Formula-level unsatisfiability.
@@ -1197,6 +1325,147 @@ impl Oracle {
         let ne = self.cmp_f(t1, Rel::Ne, t2);
         self.unsat_f(ne, ctx)
     }
+
+    // ---------------- batched checks over a shared prefix ----------------
+
+    /// Digest a formula context (plus the current ambient context) once
+    /// for a batch of candidate checks: the trees come from the lowering
+    /// memo and the solver pre-collects the context's atoms and Boolean
+    /// skeletons ([`Solver::prepare_prefix`]), so per-candidate work is
+    /// proportional to the candidate, not to the context.
+    ///
+    /// Verdicts (and verdict-cache keys) are identical to calling
+    /// [`Oracle::sat_f`] with the same context — the batch only shares
+    /// preparation. The ambient context is captured at construction, so
+    /// build the batch after any [`Oracle::set_ambient`].
+    pub fn batch_ctx(&mut self, ctx: &[FormulaId]) -> BatchCtx {
+        let mut full: Vec<FormulaId> = Vec::with_capacity(ctx.len() + self.ambient_ctx.len());
+        full.extend_from_slice(ctx);
+        full.extend_from_slice(&self.ambient_ctx);
+        let trees: Vec<Arc<Formula>> = full.iter().map(|&c| self.ctx.tree_of(c)).collect();
+        let prefix = self.solver.prepare_prefix(&trees);
+        BatchCtx { ctx_ids: full.into_boxed_slice(), trees, prefix }
+    }
+
+    /// [`Oracle::sat_f`] against a prepared batch context. Same verdict,
+    /// same cache key, same counter discipline (one `solver_calls` and
+    /// exactly one cache hit *or* miss per call).
+    pub fn sat_batch(&mut self, f: FormulaId, batch: &BatchCtx) -> TriBool {
+        self.solver_calls += 1;
+        let key = VerdictKey { f, ctx: batch.ctx_ids.clone() };
+        if let Some((verdict, owner)) = self.ctx.verdicts.get(&key) {
+            self.verdict_hits += 1;
+            if owner != self.id {
+                self.verdict_cross_hits += 1;
+            }
+            return verdict;
+        }
+        self.verdict_misses += 1;
+        self.sync_scratch();
+        let tree = self.ctx.tree_of(f);
+        if self.prescreen {
+            let mut parts: Vec<&Formula> = Vec::with_capacity(1 + batch.trees.len());
+            parts.extend(batch.trees.iter().map(|t| t.as_ref()));
+            parts.push(&tree);
+            if qrhint_smt::interval::conjunction_unsat_parts(&parts) {
+                self.prescreen_skips += 1;
+                let verdict = TriBool::False;
+                self.verdict_evictions += self.ctx.verdicts.insert(key, verdict, self.id);
+                return verdict;
+            }
+        }
+        let out = self.solver.check_assuming(&batch.prefix, &tree, &mut self.scratch_pool);
+        self.record_stats(&out.stats);
+        let verdict = tri(out.result);
+        if verdict != TriBool::Unknown {
+            self.verdict_evictions += self.ctx.verdicts.insert(key, verdict, self.id);
+        }
+        verdict
+    }
+
+    /// Batched unsatisfiability.
+    pub fn unsat_batch(&mut self, f: FormulaId, batch: &BatchCtx) -> TriBool {
+        self.sat_batch(f, batch).negate()
+    }
+
+    /// Batched implication.
+    pub fn implies_batch(&mut self, f: FormulaId, g: FormulaId, batch: &BatchCtx) -> TriBool {
+        let ng = self.not_f(g);
+        let q = self.and_f(vec![f, ng]);
+        self.unsat_batch(q, batch)
+    }
+
+    /// Batched equivalence of one candidate against a target (the inner
+    /// step of [`Oracle::equiv_batch`]; exposed for loops that must keep
+    /// their own sequencing, e.g. cost-ordered WHERE-repair early stop).
+    pub fn equiv_batch_one(&mut self, f: FormulaId, g: FormulaId, batch: &BatchCtx) -> TriBool {
+        if f == g {
+            return TriBool::True;
+        }
+        match self.implies_batch(f, g, batch) {
+            TriBool::False => TriBool::False,
+            fw => match self.implies_batch(g, f, batch) {
+                TriBool::False => TriBool::False,
+                bw => fw.and(bw),
+            },
+        }
+    }
+
+    /// The paper's `IsEquiv` for a whole candidate list: check every
+    /// candidate against one target under a shared pushed assumption
+    /// prefix. Verdicts are exactly those of per-candidate
+    /// [`Oracle::equiv_f`] calls under the same context.
+    pub fn equiv_batch(
+        &mut self,
+        cands: &[FormulaId],
+        target: FormulaId,
+        ctx: &[FormulaId],
+    ) -> Vec<TriBool> {
+        let batch = self.batch_ctx(ctx);
+        self.equiv_batches += 1;
+        self.equiv_batch_candidates += cands.len() as u64;
+        cands.iter().map(|&c| self.equiv_batch_one(c, target, &batch)).collect()
+    }
+
+    /// Batched value-level equivalence for positional expression lists
+    /// (the SELECT stage): `pairs[i]` is equivalent iff
+    /// `ctx ∧ e1ᵢ ≠ e2ᵢ` is unsatisfiable, with the context prepared
+    /// once for the whole list.
+    pub fn equiv_scalar_batch(
+        &mut self,
+        pairs: &[(&Scalar, &Scalar)],
+        env: &LowerEnv,
+        ctx: &[FormulaId],
+    ) -> Vec<TriBool> {
+        let nes: Vec<FormulaId> = pairs
+            .iter()
+            .map(|(e1, e2)| {
+                let (t1, t2) = (self.lower_scalar_env(e1, env), self.lower_scalar_env(e2, env));
+                self.cmp_f(t1, Rel::Ne, t2)
+            })
+            .collect();
+        let batch = self.batch_ctx(ctx);
+        self.equiv_batches += 1;
+        self.equiv_batch_candidates += pairs.len() as u64;
+        nes.iter().map(|&ne| self.unsat_batch(ne, &batch)).collect()
+    }
+}
+
+/// A digested context for a batch of candidate checks: the full context
+/// id list (the verdict-cache key suffix), its memoized trees, and the
+/// solver-side prepared prefix. Built by [`Oracle::batch_ctx`].
+pub struct BatchCtx {
+    ctx_ids: Box<[FormulaId]>,
+    trees: Vec<Arc<Formula>>,
+    prefix: AssumptionPrefix,
+}
+
+fn tri(r: qrhint_smt::SatResult) -> TriBool {
+    match r {
+        qrhint_smt::SatResult::Sat => TriBool::True,
+        qrhint_smt::SatResult::Unsat => TriBool::False,
+        qrhint_smt::SatResult::Unknown => TriBool::Unknown,
+    }
 }
 
 /// Extract per-column constant bounds implied by the top-level conjuncts
@@ -1244,6 +1513,89 @@ mod tests {
 
     fn oracle_for(preds: &[&Pred]) -> Oracle {
         Oracle::for_preds(preds)
+    }
+
+    #[test]
+    fn stale_scratch_sync_mark_is_defensively_reset() {
+        // An oracle whose sync mark exceeds the shared pool length (the
+        // shape a context swap without a rebind would leave behind) must
+        // resync from scratch rather than misalign variable indices.
+        let p = parse_pred("s.price > 3").unwrap();
+        let q = parse_pred("s.price >= 4").unwrap();
+        let mut o = oracle_for(&[&p, &q]);
+        let expected = o.equiv_pred(&p, &q, &[]);
+        assert_eq!(expected, TriBool::True);
+
+        let mut stale = oracle_for(&[&p, &q]);
+        stale.scratch_synced = 1_000_000;
+        stale.scratch_pool = VarPool::new();
+        assert_eq!(stale.equiv_pred(&p, &q, &[]), expected);
+        let shared_len = stale.ctx.lower.read().unwrap().pool.len();
+        assert_eq!(stale.scratch_synced, shared_len, "mark must land on the shared length");
+        assert!(stale.scratch_pool.len() >= shared_len);
+    }
+
+    #[test]
+    fn batch_primitives_match_their_scalar_counterparts() {
+        // Same verdicts, same cache keys: a batch check after a scalar
+        // check (and vice versa) must be a verdict-cache hit.
+        let p = parse_pred("s.price > 3 AND s.bar = 'Joe'").unwrap();
+        let q = parse_pred("s.price >= 4 AND s.bar = 'Joe'").unwrap();
+        let c = parse_pred("s.price < 100").unwrap();
+        let mut a = oracle_for(&[&p, &q, &c]);
+        let (fp, fq, fc) = (a.lower_pred(&p), a.lower_pred(&q), a.lower_pred(&c));
+        let scalar = a.equiv_f(fp, fq, &[fc]);
+        let calls_before = a.solver_calls;
+        let hits_before = a.verdict_hits;
+        let batch = a.batch_ctx(&[fc]);
+        assert_eq!(a.equiv_batch_one(fp, fq, &batch), scalar);
+        // Every batched sat call was answered by the shared cache.
+        let calls = a.solver_calls - calls_before;
+        assert!(calls > 0);
+        assert_eq!(a.verdict_hits - hits_before, calls, "batch keys must equal scalar keys");
+
+        // Cold batch first, scalar second — other direction.
+        let mut b = oracle_for(&[&p, &q, &c]);
+        let (fp, fq, fc) = (b.lower_pred(&p), b.lower_pred(&q), b.lower_pred(&c));
+        let batch = b.batch_ctx(&[fc]);
+        let batched = b.equiv_batch_one(fp, fq, &batch);
+        assert_eq!(batched, scalar);
+        let hits_before = b.verdict_hits;
+        let calls_before = b.solver_calls;
+        assert_eq!(b.equiv_f(fp, fq, &[fc]), batched);
+        assert_eq!(b.verdict_hits - hits_before, b.solver_calls - calls_before);
+
+        // equiv_batch over a candidate list agrees position-by-position.
+        let r = parse_pred("s.price > 100").unwrap();
+        let mut o = oracle_for(&[&p, &q, &r, &c]);
+        let (fp, fq, fr, fc) =
+            (o.lower_pred(&p), o.lower_pred(&q), o.lower_pred(&r), o.lower_pred(&c));
+        let verdicts = o.equiv_batch(&[fq, fr, fp], fp, &[fc]);
+        assert_eq!(verdicts[0], TriBool::True);
+        assert_eq!(verdicts[1], TriBool::False);
+        assert_eq!(verdicts[2], TriBool::True, "identical ids short-circuit");
+        assert_eq!(o.equiv_batches, 1);
+        assert_eq!(o.equiv_batch_candidates, 3);
+        assert_eq!(o.verdict_hits + o.verdict_misses, o.solver_calls);
+    }
+
+    #[test]
+    fn lowering_memo_hits_on_repeated_context_extraction() {
+        let p = parse_pred("s.price > 3").unwrap();
+        let q = parse_pred("s.price > 5").unwrap();
+        let c = parse_pred("s.price < 50").unwrap();
+        let mut o = oracle_for(&[&p, &q, &c]);
+        let (fp, fq, fc) = (o.lower_pred(&p), o.lower_pred(&q), o.lower_pred(&c));
+        o.sat_f(fp, &[fc]);
+        let stats = o.context().lowering_memo_stats();
+        assert_eq!(stats.hits, 0);
+        assert!(stats.misses >= 2, "{stats:?}");
+        assert!(stats.entries >= 2);
+        assert!(stats.bytes > 0);
+        // Different formula, same context: the context tree is a hit.
+        o.sat_f(fq, &[fc]);
+        let stats = o.context().lowering_memo_stats();
+        assert!(stats.hits >= 1, "{stats:?}");
     }
 
     #[test]

@@ -52,6 +52,14 @@ pub struct QrHintConfig {
     /// would also refute, so verdicts are unchanged — this switch exists
     /// for A/B parity testing and benchmarks.
     pub static_prescreen: bool,
+    /// Run the solver's branch search with the **incremental assumption
+    /// stack** (push/pop theory state extended literal-by-literal) instead
+    /// of retranslating the full conjunction at every leaf and pruning
+    /// stride. Verdicts never contradict the from-scratch search (the
+    /// stack may *refine* `Unknown` to a definitive answer via
+    /// quick-conflict pruning); the switch exists for A/B parity testing
+    /// and the `exp_incremental` benchmark.
+    pub incremental_solver: bool,
 }
 
 /// Default bound on the per-target advice cache: generously above any
@@ -73,6 +81,7 @@ impl Default for QrHintConfig {
             advice_cache_capacity: DEFAULT_ADVICE_CACHE_CAPACITY,
             verdict_cache_max_bytes: DEFAULT_VERDICT_CACHE_BYTES,
             static_prescreen: true,
+            incremental_solver: true,
         }
     }
 }

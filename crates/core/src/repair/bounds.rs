@@ -1,8 +1,8 @@
 //! `CreateBounds` (Algorithm 2): repair bounds for a predicate given a set
 //! of repair sites, and the exact viability test of §5.1.
 
-use crate::oracle::Oracle;
-use qrhint_smt::TriBool;
+use crate::oracle::{BatchCtx, Oracle};
+use qrhint_smt::{FormulaId, TriBool};
 use qrhint_sqlast::pred::PredPath;
 use qrhint_sqlast::Pred;
 
@@ -71,6 +71,29 @@ pub fn bounds_admit(
             TriBool::False => TriBool::False,
             b => a.and(b),
         },
+    }
+}
+
+/// [`bounds_admit`] against a pre-lowered target and a prepared batch
+/// context — the shape `repair_where` uses, where one `(target, ctx)`
+/// pair is tested against every candidate site set.
+pub fn bounds_admit_batch(
+    oracle: &mut Oracle,
+    lower: &Pred,
+    upper: &Pred,
+    target: FormulaId,
+    batch: &BatchCtx,
+) -> TriBool {
+    let lo = oracle.lower_pred(lower);
+    match oracle.implies_batch(lo, target, batch) {
+        TriBool::False => TriBool::False,
+        a => {
+            let hi = oracle.lower_pred(upper);
+            match oracle.implies_batch(target, hi, batch) {
+                TriBool::False => TriBool::False,
+                b => a.and(b),
+            }
+        }
     }
 }
 

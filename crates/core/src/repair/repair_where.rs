@@ -8,7 +8,7 @@
 //! correctness guarantee of Lemma 5.1 holds independently of solver
 //! completeness.
 
-use super::bounds::{bounds_admit, create_bounds};
+use super::bounds::{bounds_admit_batch, create_bounds};
 use super::cost::{tree_size, CostModel};
 use super::derive_fixes::derive_fixes;
 use super::minfix_mult::min_fix_mult;
@@ -134,6 +134,16 @@ pub fn repair_where(
     let mut trace: Vec<TraceEvent> = Vec::new();
     let mut sets_examined = 0usize;
 
+    // Every candidate site set is tested against the same `(p_star, ctx)`
+    // pair, so lower both once and prepare the assumption prefix up
+    // front. Candidate order and early-stop behaviour are untouched —
+    // only the shared preparation is hoisted.
+    let ctx_ids: Vec<qrhint_smt::FormulaId> =
+        ctx.iter().map(|c| oracle.lower_pred(c)).collect();
+    let p_star_id = oracle.lower_pred(p_star);
+    let batch = oracle.batch_ctx(&ctx_ids);
+    oracle.equiv_batches += 1;
+
     'outer: for k in 1..=cfg.max_sites {
         // Early stop on site count alone (Line 4 of Algorithm 1).
         if !cfg.disable_early_stop && cfg.cost.sites_only_bound(k) >= best_cost {
@@ -152,7 +162,8 @@ pub fn repair_where(
                 break;
             }
             let (lo, hi) = create_bounds(p, &sites);
-            if !bounds_admit(oracle, &lo, &hi, p_star, ctx).is_true() {
+            oracle.equiv_batch_candidates += 1;
+            if !bounds_admit_batch(oracle, &lo, &hi, p_star_id, &batch).is_true() {
                 continue;
             }
             if first_viable.is_none() {
@@ -186,7 +197,8 @@ pub fn repair_where(
             // Verification: the applied repair must be definitively
             // equivalent to the target.
             let applied = candidate.apply(p);
-            if !oracle.equiv_pred(&applied, p_star, ctx).is_true() {
+            let applied_id = oracle.lower_pred(&applied);
+            if !oracle.equiv_batch_one(applied_id, p_star_id, &batch).is_true() {
                 continue;
             }
             let cost = cfg.cost.cost(p, p_star, &candidate);

@@ -183,6 +183,29 @@ pub struct SessionStats {
     pub interner_dedup_hits: u64,
     /// Approximate bytes of the shared interning tables right now.
     pub interner_bytes: u64,
+    /// Literals pushed onto the incremental theory stack across solver
+    /// misses (the from-scratch solver counts every retranslation here —
+    /// the quadratic work the assumption stack removes).
+    pub theory_pushes: u64,
+    /// Full theory checks (branch leaves + pruning strides) across
+    /// solver misses.
+    pub theory_full_checks: u64,
+    /// Branches cut by the incremental quick-conflict detector.
+    pub quick_conflicts: u64,
+    /// Shared-prefix candidate batches issued (SELECT positional
+    /// equivalence, GROUP BY Δ− pruning, WHERE-repair verification).
+    pub equiv_batches: u64,
+    /// Candidate checks routed through those batches.
+    pub equiv_batch_candidates: u64,
+    /// Tree requests answered by the shared lowering memo (since the
+    /// last shed; point-in-time like the interner counters).
+    pub lowering_memo_hits: u64,
+    /// Tree requests that extracted (and memoized) a fresh tree.
+    pub lowering_memo_misses: u64,
+    /// Interned formulas with a resident memoized tree right now.
+    pub lowering_memo_entries: u64,
+    /// Approximate resident bytes of the memoized trees right now.
+    pub lowering_memo_bytes: u64,
 }
 
 /// The atomic backing store for [`SessionStats`]: plain counters would
@@ -209,6 +232,11 @@ struct AtomicStats {
     verdict_cache_cross_thread_hits: AtomicU64,
     verdict_cache_misses: AtomicU64,
     verdict_cache_evictions: AtomicU64,
+    theory_pushes: AtomicU64,
+    theory_full_checks: AtomicU64,
+    quick_conflicts: AtomicU64,
+    equiv_batches: AtomicU64,
+    equiv_batch_candidates: AtomicU64,
 }
 
 impl AtomicStats {
@@ -241,6 +269,15 @@ impl AtomicStats {
             interned_formulas: 0,
             interner_dedup_hits: 0,
             interner_bytes: 0,
+            theory_pushes: self.theory_pushes.load(Ordering::Relaxed),
+            theory_full_checks: self.theory_full_checks.load(Ordering::Relaxed),
+            quick_conflicts: self.quick_conflicts.load(Ordering::Relaxed),
+            equiv_batches: self.equiv_batches.load(Ordering::Relaxed),
+            equiv_batch_candidates: self.equiv_batch_candidates.load(Ordering::Relaxed),
+            lowering_memo_hits: 0,
+            lowering_memo_misses: 0,
+            lowering_memo_entries: 0,
+            lowering_memo_bytes: 0,
         }
     }
 }
@@ -281,6 +318,9 @@ struct FromGroup {
     /// Interval-prescreen switch propagated to every slot's oracle
     /// ([`QrHintConfig::static_prescreen`]).
     prescreen: bool,
+    /// Incremental assumption-stack switch propagated to every slot's
+    /// solver ([`QrHintConfig::incremental_solver`]).
+    incremental: bool,
     /// Lock-striped solver state. Starts empty; grows on demand up to
     /// [`MAX_GROUP_SLOTS`], so the sequential path pays for exactly one
     /// oracle, as before.
@@ -293,6 +333,7 @@ impl FromGroup {
     fn new_slot(&self, ctx: &Arc<SolverContext>) -> Arc<Mutex<GroupSlot>> {
         let mut oracle = Oracle::with_context(self.types.clone(), Arc::clone(ctx));
         oracle.prescreen = self.prescreen;
+        oracle.solver.incremental = self.incremental;
         Arc::new(Mutex::new(GroupSlot { oracle, memos: StageMemos::default() }))
     }
 
@@ -320,6 +361,7 @@ impl FromGroup {
             if !Arc::ptr_eq(slot.oracle.context(), &current) {
                 let mut oracle = Oracle::with_context(self.types.clone(), current);
                 oracle.prescreen = self.prescreen;
+                oracle.solver.incremental = self.incremental;
                 *slot = GroupSlot { oracle, memos: StageMemos::default() };
             }
         };
@@ -500,6 +542,11 @@ impl PreparedTarget {
         stats.interned_formulas = interner.formulas;
         stats.interner_dedup_hits = interner.dedup_hits;
         stats.interner_bytes = interner.bytes;
+        let memo = ctx.lowering_memo_stats();
+        stats.lowering_memo_hits = memo.hits;
+        stats.lowering_memo_misses = memo.misses;
+        stats.lowering_memo_entries = memo.entries;
+        stats.lowering_memo_bytes = memo.bytes;
         stats
     }
 
@@ -611,6 +658,7 @@ impl PreparedTarget {
             domain_ctx,
             types,
             prescreen: self.cfg.static_prescreen,
+            incremental: self.cfg.incremental_solver,
             slots: RwLock::new(Vec::new()),
             next_slot: AtomicUsize::new(0),
         });
@@ -672,6 +720,11 @@ impl PreparedTarget {
                 let evictions = slot.oracle.verdict_evictions;
                 let skips = slot.oracle.prescreen_skips;
                 let shorts = slot.oracle.stage_short_circuits;
+                let pushes = slot.oracle.theory_pushes;
+                let fulls = slot.oracle.theory_full_checks;
+                let quicks = slot.oracle.quick_conflicts;
+                let batches = slot.oracle.equiv_batches;
+                let batch_cands = slot.oracle.equiv_batch_candidates;
                 let advice = run_stages(StageInputs {
                     oracle: &mut slot.oracle,
                     unified: &group.unified,
@@ -703,6 +756,21 @@ impl PreparedTarget {
                 self.stats
                     .stages_short_circuited
                     .fetch_add(o.stage_short_circuits - shorts, Ordering::Relaxed);
+                self.stats
+                    .theory_pushes
+                    .fetch_add(o.theory_pushes - pushes, Ordering::Relaxed);
+                self.stats
+                    .theory_full_checks
+                    .fetch_add(o.theory_full_checks - fulls, Ordering::Relaxed);
+                self.stats
+                    .quick_conflicts
+                    .fetch_add(o.quick_conflicts - quicks, Ordering::Relaxed);
+                self.stats
+                    .equiv_batches
+                    .fetch_add(o.equiv_batches - batches, Ordering::Relaxed);
+                self.stats
+                    .equiv_batch_candidates
+                    .fetch_add(o.equiv_batch_candidates - batch_cands, Ordering::Relaxed);
                 advice
             })?
         };

@@ -73,11 +73,14 @@ pub fn fix_grouping(
     let g_star = oracle.and_f(star_pairs.iter().map(|(eq, _)| *eq).collect());
 
     // Δ−: o_i is wrong if two tuples grouped together by ®o★ can be split
-    // by o_i.
+    // by o_i. The `P[t1] ∧ P[t2] ∧ G★` prefix is shared by every
+    // candidate, so it is pushed once and each `ne` checked against it.
     let mut remove = Vec::new();
+    let batch = oracle.batch_ctx(&[both, g_star]);
+    oracle.equiv_batches += 1;
+    oracle.equiv_batch_candidates += o_pairs.len() as u64;
     for (i, (_, ne)) in o_pairs.iter().enumerate() {
-        let q = oracle.and_f(vec![both, g_star, *ne]);
-        if oracle.sat_f(q, &[]) == TriBool::True {
+        if oracle.sat_batch(*ne, &batch) == TriBool::True {
             remove.push(i);
         }
     }

@@ -51,11 +51,11 @@ pub fn fix_select(
     let n = working.len().min(target.len());
     let mut remove = Vec::new();
     let mut add = Vec::new();
-    for i in 0..n {
-        if !oracle
-            .equiv_scalar_env(&working[i], &target[i], env, &[])
-            .is_true()
-        {
+    // One shared preparation of the ambient context for the whole
+    // positional list (per-position verdicts and cache keys unchanged).
+    let pairs: Vec<(&Scalar, &Scalar)> = (0..n).map(|i| (&working[i], &target[i])).collect();
+    for (i, verdict) in oracle.equiv_scalar_batch(&pairs, env, &[]).into_iter().enumerate() {
+        if !verdict.is_true() {
             remove.push(i);
             add.push(i);
         }

@@ -30,57 +30,84 @@ fn is_str_term(t: &Term, pool: &VarPool) -> bool {
     }
 }
 
-fn as_str_operand(t: &Term, var_index: &mut BTreeMap<VarId, usize>) -> Option<StrOperand> {
+fn as_str_operand(
+    t: &Term,
+    var_index: &mut BTreeMap<VarId, usize>,
+    var_order: &mut Vec<VarId>,
+) -> Option<StrOperand> {
     match t {
         Term::Var(v) => {
             let next = var_index.len();
-            Some(StrOperand::Var(*var_index.entry(*v).or_insert(next)))
+            let idx = *var_index.entry(*v).or_insert_with(|| {
+                var_order.push(*v);
+                next
+            });
+            Some(StrOperand::Var(idx))
         }
         Term::StrConst(s) => Some(StrOperand::Const(s.clone())),
         _ => None,
     }
 }
 
-/// Check a conjunction of literals. Returns the verdict and, on `Sat`, a
-/// model validated against every input literal.
-pub fn check_conjunction(lits: &[Lit], pool: &mut VarPool) -> (SatResult, Option<Model>) {
-    // ---- Partition literals by theory ----
-    // Literals no theory can express are skipped during solving; the
-    // final validation pass below still evaluates them against the
-    // candidate model, so Sat stays sound (and turns into Unknown when
-    // the model cannot decide a skipped literal).
-    let mut str_constraints: Vec<StrConstraint> = Vec::new();
-    let mut str_var_index: BTreeMap<VarId, usize> = BTreeMap::new();
-    // Integer constraints, as LinExpr ≤ 0 / = 0 / ≠ 0.
-    let mut ineqs: Vec<LinExpr> = Vec::new();
-    let mut eqs: Vec<LinExpr> = Vec::new();
-    let mut nes: Vec<LinExpr> = Vec::new();
-    let mut opaque = OpaqueMap::new();
+/// Literals of a conjunction partitioned by theory, built one literal at
+/// a time. This is the shared translation layer: the from-scratch
+/// [`check_conjunction`] feeds a whole literal slice through
+/// [`Translation::push_lit`] and then solves; the incremental
+/// [`crate::theory::TheoryState`] pushes at every search-branch
+/// assignment and unwinds the same vectors on backtrack. Because both
+/// paths run the identical per-literal translation in the identical
+/// order, their leaf verdicts agree by construction.
+#[derive(Debug, Default)]
+pub struct Translation {
+    pub(crate) str_constraints: Vec<StrConstraint>,
+    pub(crate) str_var_index: BTreeMap<VarId, usize>,
+    /// String variables in first-use order (`str_var_index` insertion
+    /// order), so the incremental caller can unwind the index map.
+    pub(crate) str_var_order: Vec<VarId>,
+    /// Integer constraints, as LinExpr ≤ 0 / = 0 / ≠ 0.
+    pub(crate) ineqs: Vec<LinExpr>,
+    pub(crate) eqs: Vec<LinExpr>,
+    pub(crate) nes: Vec<LinExpr>,
+    pub(crate) opaque: OpaqueMap,
+}
 
-    for (atom, polarity) in lits {
+impl Translation {
+    /// Translate one literal into the partitioned constraint vectors.
+    /// Returns `true` when the literal alone refutes the conjunction (a
+    /// false constant-constant lexicographic string comparison — the one
+    /// case the translation itself decides).
+    ///
+    /// Literals no theory can express are skipped here; the final
+    /// validation pass in [`Translation::solve`] still evaluates them
+    /// against the candidate model, so `Sat` stays sound (and turns into
+    /// `Unknown` when the model cannot decide a skipped literal).
+    pub fn push_lit(&mut self, atom: &Atom, polarity: bool, pool: &mut VarPool) -> bool {
         match atom {
             Atom::Like(t, p) => {
-                if let Some(op) = as_str_operand(t, &mut str_var_index) {
-                    str_constraints.push(StrConstraint::Like {
+                if let Some(op) =
+                    as_str_operand(t, &mut self.str_var_index, &mut self.str_var_order)
+                {
+                    self.str_constraints.push(StrConstraint::Like {
                         operand: op,
                         pattern: p.clone(),
-                        positive: *polarity,
+                        positive: polarity,
                     });
                 }
                 // else: skipped, caught by final validation
+                false
             }
             Atom::Cmp(l, rel, r) => {
-                let rel = if *polarity { *rel } else { rel.negate() };
+                let rel = if polarity { *rel } else { rel.negate() };
                 if is_str_term(l, pool) || is_str_term(r, pool) {
                     let (Some(lo), Some(ro)) = (
-                        as_str_operand(l, &mut str_var_index),
-                        as_str_operand(r, &mut str_var_index),
+                        as_str_operand(l, &mut self.str_var_index, &mut self.str_var_order),
+                        as_str_operand(r, &mut self.str_var_index, &mut self.str_var_order),
                     ) else {
-                        continue; // skipped, caught by final validation
+                        return false; // skipped, caught by final validation
                     };
                     match rel {
-                        Rel::Eq => str_constraints.push(StrConstraint::Eq(lo, ro)),
-                        Rel::Ne => str_constraints.push(StrConstraint::Ne(lo, ro)),
+                        Rel::Eq => self.str_constraints.push(StrConstraint::Eq(lo, ro)),
+                        Rel::Ne => self.str_constraints.push(StrConstraint::Ne(lo, ro)),
                         // Lexicographic order on string variables: decide
                         // only the constant-constant case; otherwise
                         // unknown (conservative; skipped pairs are caught
@@ -88,103 +115,124 @@ pub fn check_conjunction(lits: &[Lit], pool: &mut VarPool) -> (SatResult, Option
                         _ => {
                             if let (StrOperand::Const(a), StrOperand::Const(b)) = (&lo, &ro) {
                                 if !rel.eval(a, b) {
-                                    return (SatResult::Unsat, None);
+                                    return true;
                                 }
                             }
                         }
                     }
+                    false
                 } else {
-                    let le = linearize(l, pool, &mut opaque);
-                    let re = linearize(r, pool, &mut opaque);
+                    let le = linearize(l, pool, &mut self.opaque);
+                    let re = linearize(r, pool, &mut self.opaque);
                     let d = le.sub(&re); // l - r
                     match rel {
-                        Rel::Eq => eqs.push(d),
-                        Rel::Ne => nes.push(d),
-                        Rel::Le => ineqs.push(d),
-                        Rel::Lt => ineqs.push(d.add(&LinExpr::constant(1))),
-                        Rel::Ge => ineqs.push(d.negate()),
-                        Rel::Gt => ineqs.push(d.negate().add(&LinExpr::constant(1))),
+                        Rel::Eq => self.eqs.push(d),
+                        Rel::Ne => self.nes.push(d),
+                        Rel::Le => self.ineqs.push(d),
+                        Rel::Lt => self.ineqs.push(d.add(&LinExpr::constant(1))),
+                        Rel::Ge => self.ineqs.push(d.negate()),
+                        Rel::Gt => self.ineqs.push(d.negate().add(&LinExpr::constant(1))),
                     }
+                    false
                 }
             }
         }
     }
 
-    // ---- String theory ----
-    let num_str_vars = str_var_index.len();
-    let str_model = match strings::check(num_str_vars, &str_constraints) {
-        StrResult::Unsat => return (SatResult::Unsat, None),
-        StrResult::Unknown => None,
-        StrResult::Sat(m) => Some(m),
-    };
+    /// Decide the translated conjunction and, on `Sat`, assemble a model
+    /// validated against the original literals in `lits` (the exact
+    /// literal sequence that was pushed).
+    pub fn solve(&self, lits: &[Lit]) -> (SatResult, Option<Model>) {
+        // ---- String theory ----
+        let num_str_vars = self.str_var_index.len();
+        let str_model = match strings::check(num_str_vars, &self.str_constraints) {
+            StrResult::Unsat => return (SatResult::Unsat, None),
+            StrResult::Unknown => None,
+            StrResult::Sat(m) => Some(m),
+        };
 
-    // ---- Integer theory with Ne case splits ----
-    if nes.len() > MAX_NE_SPLIT {
-        return (SatResult::Unknown, None);
-    }
-    let mut int_model: Option<BTreeMap<VarId, i128>> = None;
-    let mut all_branches_unsat = true;
-    let nbranches: u64 = 1u64 << nes.len();
-    for mask in 0..nbranches {
-        let mut branch = ineqs.clone();
-        for (i, ne) in nes.iter().enumerate() {
-            if mask & (1 << i) != 0 {
-                // d ≥ 1, i.e. -d + 1 ≤ 0
-                branch.push(ne.negate().add(&LinExpr::constant(1)));
-            } else {
-                // d ≤ -1, i.e. d + 1 ≤ 0
-                branch.push(ne.add(&LinExpr::constant(1)));
+        // ---- Integer theory with Ne case splits ----
+        if self.nes.len() > MAX_NE_SPLIT {
+            return (SatResult::Unknown, None);
+        }
+        let mut int_model: Option<BTreeMap<VarId, i128>> = None;
+        let mut all_branches_unsat = true;
+        let nbranches: u64 = 1u64 << self.nes.len();
+        for mask in 0..nbranches {
+            let mut branch = self.ineqs.clone();
+            for (i, ne) in self.nes.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    // d ≥ 1, i.e. -d + 1 ≤ 0
+                    branch.push(ne.negate().add(&LinExpr::constant(1)));
+                } else {
+                    // d ≤ -1, i.e. d + 1 ≤ 0
+                    branch.push(ne.add(&LinExpr::constant(1)));
+                }
+            }
+            match lia::solve(&branch, &self.eqs) {
+                LiaResult::Sat(m) => {
+                    int_model = Some(m);
+                    all_branches_unsat = false;
+                    break;
+                }
+                LiaResult::Unsat => {}
+                LiaResult::Unknown => {
+                    // This branch is undecided, so Unsat is off the table —
+                    // but a sibling branch may still produce a model.
+                    all_branches_unsat = false;
+                }
             }
         }
-        match lia::solve(&branch, &eqs) {
-            LiaResult::Sat(m) => {
-                int_model = Some(m);
-                all_branches_unsat = false;
-                break;
-            }
-            LiaResult::Unsat => {}
-            LiaResult::Unknown => {
-                // This branch is undecided, so Unsat is off the table —
-                // but a sibling branch may still produce a model.
-                all_branches_unsat = false;
-            }
+        if all_branches_unsat && nbranches > 0 {
+            return (SatResult::Unsat, None);
         }
-    }
-    if all_branches_unsat && nbranches > 0 {
-        return (SatResult::Unsat, None);
-    }
 
-    // ---- Assemble and validate a candidate model ----
-    // A model found in one disequality branch is usable even when other
-    // branches (or skipped literals) were undecided: the validation loop
-    // below re-checks every original literal, which is what makes Sat
-    // sound. Only a missing theory model forces Unknown outright.
-    if int_model.is_none() || (num_str_vars > 0 && str_model.is_none()) {
-        return (SatResult::Unknown, None);
-    }
-    let mut model = Model::new();
-    if let Some(sm) = &str_model {
-        let rev: BTreeMap<usize, VarId> = str_var_index.iter().map(|(v, i)| (*i, *v)).collect();
-        for (idx, val) in sm {
-            model.set(rev[idx], Value::Str(val.clone()));
+        // ---- Assemble and validate a candidate model ----
+        // A model found in one disequality branch is usable even when other
+        // branches (or skipped literals) were undecided: the validation loop
+        // below re-checks every original literal, which is what makes Sat
+        // sound. Only a missing theory model forces Unknown outright.
+        if int_model.is_none() || (num_str_vars > 0 && str_model.is_none()) {
+            return (SatResult::Unknown, None);
         }
-    }
-    if let Some(im) = &int_model {
-        for (v, val) in im {
-            // Values outside i64 range would be a resource anomaly; clamp
-            // conservatively (validation below will reject if wrong).
-            let as64 = i64::try_from(*val).unwrap_or(if *val > 0 { i64::MAX } else { i64::MIN });
-            model.set(*v, Value::Int(as64));
+        let mut model = Model::new();
+        if let Some(sm) = &str_model {
+            let rev: BTreeMap<usize, VarId> =
+                self.str_var_index.iter().map(|(v, i)| (*i, *v)).collect();
+            for (idx, val) in sm {
+                model.set(rev[idx], Value::Str(val.clone()));
+            }
         }
+        if let Some(im) = &int_model {
+            for (v, val) in im {
+                // Values outside i64 range would be a resource anomaly; clamp
+                // conservatively (validation below will reject if wrong).
+                let as64 =
+                    i64::try_from(*val).unwrap_or(if *val > 0 { i64::MAX } else { i64::MIN });
+                model.set(*v, Value::Int(as64));
+            }
+        }
+        // Validate against the original literal semantics.
+        for (atom, polarity) in lits {
+            match model.eval_atom(atom) {
+                Some(b) if b == *polarity => {}
+                _ => return (SatResult::Unknown, None),
+            }
+        }
+        (SatResult::Sat, Some(model))
     }
-    // Validate against the original literal semantics.
+}
+
+/// Check a conjunction of literals from scratch. Returns the verdict
+/// and, on `Sat`, a model validated against every input literal.
+pub fn check_conjunction(lits: &[Lit], pool: &mut VarPool) -> (SatResult, Option<Model>) {
+    let mut tr = Translation::default();
     for (atom, polarity) in lits {
-        match model.eval_atom(atom) {
-            Some(b) if b == *polarity => {}
-            _ => return (SatResult::Unknown, None),
+        if tr.push_lit(atom, *polarity, pool) {
+            return (SatResult::Unsat, None);
         }
     }
-    (SatResult::Sat, Some(model))
+    tr.solve(lits)
 }
 
 #[cfg(test)]

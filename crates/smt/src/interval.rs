@@ -183,13 +183,22 @@ impl Env {
 /// Conservative and sound for `Unsat`: `false` only means this prescreen
 /// could not decide — never that the conjunction is satisfiable.
 pub fn conjunction_unsat(f: &Formula, ctx: &[Formula]) -> bool {
+    let mut parts: Vec<&Formula> = Vec::with_capacity(1 + ctx.len());
+    parts.push(f);
+    parts.extend(ctx.iter());
+    conjunction_unsat_parts(&parts)
+}
+
+/// [`conjunction_unsat`] over an already-assembled part list — the shape
+/// the oracle's memoized lowering produces (shared `Arc` subtrees instead
+/// of one owned conjunction).
+pub fn conjunction_unsat_parts(parts: &[&Formula]) -> bool {
     let mut env = Env::default();
-    env.add_conjunct(f, false);
-    for c in ctx {
+    for p in parts {
         if env.contradiction {
             return true;
         }
-        env.add_conjunct(c, false);
+        env.add_conjunct(p, false);
     }
     env.contradiction
 }

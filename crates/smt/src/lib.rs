@@ -35,11 +35,13 @@ pub mod pattern;
 pub mod solver;
 pub mod strings;
 pub mod term;
+pub mod theory;
 
 pub use formula::{Atom, Formula, Rel};
 pub use intern::{FormulaId, Interner, TermId};
 pub use model::{Model, Value};
-pub use solver::{CheckOutcome, Solver};
+pub use solver::{AssumptionPrefix, CheckOutcome, SolveStats, Solver};
+pub use theory::TheoryState;
 pub use term::{LinExpr, Sort, Term, VarId, VarPool};
 
 /// Three-valued satisfiability verdict.

@@ -12,10 +12,13 @@
 //! about to pay for a real check (their verdict caches answer everything
 //! else), so the per-check tree cost is dominated by the search itself.
 
+use std::sync::Arc;
+
 use crate::conj::{check_conjunction, Lit};
 use crate::formula::{Atom, Formula};
 use crate::model::Model;
 use crate::term::VarPool;
+use crate::theory::TheoryState;
 use crate::{SatResult, TriBool};
 
 /// Solver configuration.
@@ -28,11 +31,47 @@ pub struct Solver {
     pub partial_check_stride: usize,
     /// Hard cap on theory-checked leaves per `check` call.
     pub max_leaves: usize,
+    /// Maintain a push/pop [`TheoryState`] along the branch search
+    /// instead of retranslating the whole literal prefix at every leaf
+    /// and pruning stride. Definitive verdicts and models agree with the
+    /// from-scratch path; the incremental path additionally prunes
+    /// branches the quick conflict detector refutes at push time.
+    pub incremental: bool,
 }
 
 impl Default for Solver {
     fn default() -> Self {
-        Solver { max_atoms: 20, partial_check_stride: 4, max_leaves: 1 << 20 }
+        Solver {
+            max_atoms: 20,
+            partial_check_stride: 4,
+            max_leaves: 1 << 20,
+            incremental: true,
+        }
+    }
+}
+
+/// Counters describing the theory work one `check` call performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Literals run through theory translation. The incremental path
+    /// translates each stack push once; the from-scratch path counts the
+    /// whole prefix again at every full check, so this grows
+    /// quadratically with branch depth there.
+    pub theory_lits_translated: u64,
+    /// Full string+LIA conjunction checks (leaves plus stride prunes).
+    pub theory_full_checks: u64,
+    /// Branches pruned by the quick conflict detector at push time.
+    pub quick_conflicts: u64,
+    /// Theory-checked leaves.
+    pub leaves: u64,
+}
+
+impl SolveStats {
+    pub fn add(&mut self, other: &SolveStats) {
+        self.theory_lits_translated += other.theory_lits_translated;
+        self.theory_full_checks += other.theory_full_checks;
+        self.quick_conflicts += other.quick_conflicts;
+        self.leaves += other.leaves;
     }
 }
 
@@ -41,11 +80,37 @@ impl Default for Solver {
 pub struct CheckOutcome {
     pub result: SatResult,
     pub model: Option<Model>,
+    pub stats: SolveStats,
+}
+
+impl CheckOutcome {
+    fn unsat() -> Self {
+        CheckOutcome { result: SatResult::Unsat, model: None, stats: SolveStats::default() }
+    }
+
+    fn unknown() -> Self {
+        CheckOutcome { result: SatResult::Unknown, model: None, stats: SolveStats::default() }
+    }
+}
+
+/// A context digested once by [`Solver::prepare_prefix`] and shared by a
+/// batch of [`Solver::check_assuming`] calls: the parts themselves (for
+/// defensive model validation), their canonical atoms, and their
+/// abstracted skeletons. Per-candidate work is then limited to the one
+/// formula pushed on top of the prefix.
+#[derive(Debug, Clone)]
+pub struct AssumptionPrefix {
+    parts: Vec<Arc<Formula>>,
+    atoms: Vec<Atom>,
+    iforms: Vec<IForm>,
+    has_false: bool,
+    too_many_atoms: bool,
 }
 
 /// Formula abstracted over canonical atom indices: the hot structure the
 /// skeleton search evaluates (avoids re-canonicalizing and re-comparing
 /// atoms at every search node).
+#[derive(Debug, Clone)]
 enum IForm {
     True,
     False,
@@ -111,11 +176,15 @@ fn eval3_idx(f: &IForm, assign: &[Option<bool>]) -> Option<bool> {
 
 struct Search<'a> {
     solver: &'a Solver,
-    formula: &'a Formula,
+    /// Conjunction parts of the query (for defensive model validation).
+    parts: &'a [&'a Formula],
     iform: &'a IForm,
     atoms: Vec<Atom>,
     assign: Vec<Option<bool>>,
     pool: &'a mut VarPool,
+    /// Incremental assumption stack; `None` runs the from-scratch path.
+    theory: Option<TheoryState>,
+    stats: SolveStats,
     unknown_seen: bool,
     leaves: usize,
 }
@@ -127,6 +196,21 @@ impl Search<'_> {
             .zip(&self.assign)
             .filter_map(|(a, v)| v.map(|b| (a.clone(), b)))
             .collect()
+    }
+
+    /// Full theory check of the currently assigned literals. The
+    /// incremental stack holds exactly those literals in assignment
+    /// order, so both arms decide the same conjunction.
+    fn full_check(&mut self) -> (SatResult, Option<Model>) {
+        self.stats.theory_full_checks += 1;
+        match &self.theory {
+            Some(th) => th.check_full(),
+            None => {
+                let lits = self.literals();
+                self.stats.theory_lits_translated += lits.len() as u64;
+                check_conjunction(&lits, self.pool)
+            }
+        }
     }
 
     /// Returns `Some(model)` when a satisfying, validated model is found.
@@ -142,13 +226,13 @@ impl Search<'_> {
             Some(true) => {
                 // Formula already true: theory-check the assigned literals.
                 self.leaves += 1;
-                let lits = self.literals();
-                let (r, m) = check_conjunction(&lits, self.pool);
+                self.stats.leaves += 1;
+                let (r, m) = self.full_check();
                 match r {
                     SatResult::Sat => {
                         let m = m.expect("Sat implies model");
                         // Defensive final validation on the whole formula.
-                        if m.eval_formula(self.formula) == Some(true) {
+                        if self.parts.iter().all(|p| m.eval_formula(p) == Some(true)) {
                             return Some(m);
                         }
                         self.unknown_seen = true;
@@ -165,8 +249,7 @@ impl Search<'_> {
         }
         // Periodic partial-conjunction pruning.
         if depth > 0 && depth.is_multiple_of(self.solver.partial_check_stride) {
-            let lits = self.literals();
-            if let (SatResult::Unsat, _) = check_conjunction(&lits, self.pool) {
+            if let (SatResult::Unsat, _) = self.full_check() {
                 return None;
             }
         }
@@ -178,11 +261,25 @@ impl Search<'_> {
         };
         for b in [true, false] {
             self.assign[i] = Some(b);
-            if let Some(m) = self.dfs(depth + 1) {
-                self.assign[i] = None;
-                return Some(m);
+            if let Some(th) = self.theory.as_mut() {
+                self.stats.theory_lits_translated += 1;
+                if th.push(self.atoms[i].clone(), b, self.pool) {
+                    // Quick conflict: the stacked prefix is already
+                    // unsatisfiable, so no leaf below can be Sat.
+                    self.stats.quick_conflicts += 1;
+                    th.pop(self.pool);
+                    self.assign[i] = None;
+                    continue;
+                }
+            }
+            let found = self.dfs(depth + 1);
+            if let Some(th) = self.theory.as_mut() {
+                th.pop(self.pool);
             }
             self.assign[i] = None;
+            if found.is_some() {
+                return found;
+            }
         }
         None
     }
@@ -196,32 +293,57 @@ impl Solver {
     /// Check satisfiability of `formula`; returns a validated model on
     /// `Sat`.
     pub fn check(&self, formula: &Formula, pool: &mut VarPool) -> CheckOutcome {
-        let mut atoms = Vec::new();
-        formula.collect_atoms(&mut atoms);
-        if atoms.len() > self.max_atoms {
-            return CheckOutcome { result: SatResult::Unknown, model: None };
+        self.check_parts(&[formula], pool)
+    }
+
+    /// Check satisfiability of the conjunction of `parts`. Equivalent to
+    /// `check(&Formula::and(parts))` — any `False` part short-circuits to
+    /// `Unsat`, atoms are collected across parts in order — but without
+    /// cloning the parts into a single tree.
+    pub fn check_parts(&self, parts: &[&Formula], pool: &mut VarPool) -> CheckOutcome {
+        if parts.iter().any(|p| matches!(p, Formula::False)) {
+            return CheckOutcome::unsat();
         }
+        let mut atoms = Vec::new();
+        for p in parts {
+            p.collect_atoms(&mut atoms);
+        }
+        if atoms.len() > self.max_atoms {
+            return CheckOutcome::unknown();
+        }
+        let iform = IForm::And(parts.iter().map(|p| abstract_formula(p, &atoms)).collect());
+        self.run(parts, &iform, atoms, pool)
+    }
+
+    fn run(
+        &self,
+        parts: &[&Formula],
+        iform: &IForm,
+        atoms: Vec<Atom>,
+        pool: &mut VarPool,
+    ) -> CheckOutcome {
         let n = atoms.len();
-        let iform = abstract_formula(formula, &atoms);
         let mut search = Search {
             solver: self,
-            formula,
-            iform: &iform,
+            parts,
+            iform,
             atoms,
             assign: vec![None; n],
             pool,
+            theory: self.incremental.then(TheoryState::new),
+            stats: SolveStats::default(),
             unknown_seen: false,
             leaves: 0,
         };
         match search.dfs(0) {
-            Some(m) => CheckOutcome { result: SatResult::Sat, model: Some(m) },
-            None => {
-                if search.unknown_seen {
-                    CheckOutcome { result: SatResult::Unknown, model: None }
-                } else {
-                    CheckOutcome { result: SatResult::Unsat, model: None }
-                }
+            Some(m) => {
+                CheckOutcome { result: SatResult::Sat, model: Some(m), stats: search.stats }
             }
+            None => CheckOutcome {
+                result: if search.unknown_seen { SatResult::Unknown } else { SatResult::Unsat },
+                model: None,
+                stats: search.stats,
+            },
         }
     }
 
@@ -233,9 +355,55 @@ impl Solver {
         ctx: &[Formula],
         pool: &mut VarPool,
     ) -> CheckOutcome {
-        let mut parts: Vec<Formula> = ctx.to_vec();
-        parts.push(formula.clone());
-        self.check(&Formula::and(parts), pool)
+        let mut parts: Vec<&Formula> = ctx.iter().collect();
+        parts.push(formula);
+        self.check_parts(&parts, pool)
+    }
+
+    /// Digest a context once so a batch of [`Solver::check_assuming`]
+    /// calls shares its atom collection and skeleton abstraction instead
+    /// of redoing both per candidate.
+    pub fn prepare_prefix(&self, ctx: &[Arc<Formula>]) -> AssumptionPrefix {
+        let has_false = ctx.iter().any(|p| matches!(p.as_ref(), Formula::False));
+        let mut atoms = Vec::new();
+        if !has_false {
+            for p in ctx {
+                p.collect_atoms(&mut atoms);
+            }
+        }
+        let too_many_atoms = atoms.len() > self.max_atoms;
+        let iforms = if has_false || too_many_atoms {
+            Vec::new()
+        } else {
+            ctx.iter().map(|p| abstract_formula(p, &atoms)).collect()
+        };
+        AssumptionPrefix { parts: ctx.to_vec(), atoms, iforms, has_false, too_many_atoms }
+    }
+
+    /// `check_with_ctx` against a prepared prefix. Returns exactly what
+    /// `check_with_ctx(formula, ctx, pool)` would: the context atoms are
+    /// a stable prefix of the combined atom list, so the prepared
+    /// skeletons' atom indices stay valid in the extended search.
+    pub fn check_assuming(
+        &self,
+        prefix: &AssumptionPrefix,
+        formula: &Formula,
+        pool: &mut VarPool,
+    ) -> CheckOutcome {
+        if prefix.has_false || matches!(formula, Formula::False) {
+            return CheckOutcome::unsat();
+        }
+        let mut atoms = prefix.atoms.clone();
+        formula.collect_atoms(&mut atoms);
+        if prefix.too_many_atoms || atoms.len() > self.max_atoms {
+            return CheckOutcome::unknown();
+        }
+        let mut iforms = prefix.iforms.clone();
+        iforms.push(abstract_formula(formula, &atoms));
+        let iform = IForm::And(iforms);
+        let mut parts: Vec<&Formula> = prefix.parts.iter().map(|a| a.as_ref()).collect();
+        parts.push(formula);
+        self.run(&parts, &iform, atoms, pool)
     }
 
     /// `IsSatisfiable` with tri-valued result.

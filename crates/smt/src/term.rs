@@ -201,9 +201,19 @@ impl LinExpr {
 /// Interns non-linear / non-affine subterms ("opaque" terms) as fresh
 /// integer variables. Identical opaque terms (after recursive
 /// normalization) map to the same variable, giving a cheap congruence.
+///
+/// Insertions are recorded on a trail so an incremental caller (the
+/// assumption-stack theory, [`crate::theory`]) can [`OpaqueMap::rollback`]
+/// to a [`OpaqueMap::checkpoint`] when a pushed literal is popped — the
+/// map then matches what a from-scratch translation of the remaining
+/// literal stack would have built, which keeps opaque variable ids (and
+/// therefore Fourier–Motzkin elimination order) bit-identical between
+/// the incremental and from-scratch paths.
 #[derive(Debug, Default)]
 pub struct OpaqueMap {
     map: BTreeMap<OpaqueKey, VarId>,
+    /// Keys in insertion order; `rollback(n)` removes entries `n..`.
+    trail: Vec<OpaqueKey>,
 }
 
 /// Canonical key for an opaque term: the operator plus the normalized
@@ -228,8 +238,23 @@ impl OpaqueMap {
             return *v;
         }
         let v = pool.fresh("<opaque>", Sort::Int);
+        self.trail.push(key.clone());
         self.map.insert(key, v);
         v
+    }
+
+    /// Trail position to hand back to [`OpaqueMap::rollback`].
+    pub fn checkpoint(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Remove every opaque term interned after `checkpoint`. The caller
+    /// truncates the [`VarPool`] to its matching snapshot (opaque
+    /// interning is the only allocation between the two snapshots).
+    pub fn rollback(&mut self, checkpoint: usize) {
+        for key in self.trail.drain(checkpoint..) {
+            self.map.remove(&key);
+        }
     }
 
     /// Number of interned opaque terms (non-zero means Sat answers need

@@ -1,0 +1,230 @@
+//! Parity of the incremental assumption-stack theory with the
+//! from-scratch conjunction check, plus the regression guard that the
+//! assumption stack keeps per-branch theory work linear in depth.
+
+use proptest::prelude::*;
+use qrhint_smt::conj::{check_conjunction, Lit, Translation};
+use qrhint_smt::theory::TheoryState;
+use qrhint_smt::{Atom, Formula, Rel, SatResult, Solver, Sort, Term, VarId, VarPool};
+
+const NI: usize = 3; // int vars, ids 0..NI
+const NS: usize = 2; // str vars, ids NI..NI+NS
+
+fn base_pool() -> VarPool {
+    let mut p = VarPool::new();
+    for i in 0..NI {
+        p.fresh(&format!("x{i}"), Sort::Int);
+    }
+    for i in 0..NS {
+        p.fresh(&format!("s{i}"), Sort::Str);
+    }
+    p
+}
+
+fn int_var(i: usize) -> Term {
+    Term::Var(VarId(i as u32))
+}
+
+fn str_var(i: usize) -> Term {
+    Term::Var(VarId((NI + i) as u32))
+}
+
+fn arb_int_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..NI).prop_map(int_var),
+        (-4i64..5).prop_map(Term::IntConst),
+        ((0..NI), -3i64..4, -4i64..5).prop_map(|(v, c, k)| Term::add(
+            Term::mul(Term::IntConst(c), int_var(v)),
+            Term::IntConst(k)
+        )),
+        ((0..NI), (0..NI)).prop_map(|(a, b)| Term::mul(int_var(a), int_var(b))),
+        ((0..NI), (0..NI)).prop_map(|(a, b)| Term::sub(int_var(a), int_var(b))),
+    ]
+}
+
+fn arb_rel() -> impl Strategy<Value = Rel> {
+    prop_oneof![
+        Just(Rel::Eq),
+        Just(Rel::Ne),
+        Just(Rel::Lt),
+        Just(Rel::Le),
+        Just(Rel::Gt),
+        Just(Rel::Ge),
+    ]
+}
+
+fn arb_str_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..NS).prop_map(str_var),
+        prop_oneof![Just("Amy"), Just("Bob"), Just("Eve"), Just("")]
+            .prop_map(|s| Term::StrConst(s.into())),
+    ]
+}
+
+/// Random literals over both sorts, including disequalities (which the
+/// conjunction check case-splits) and LIKE patterns.
+fn arb_lit() -> impl Strategy<Value = Lit> {
+    let int_atom = (arb_int_term(), arb_rel(), arb_int_term())
+        .prop_map(|(l, r, t)| Atom::Cmp(l, r, t).canonical().0);
+    let str_atom = (arb_str_term(), arb_rel(), arb_str_term())
+        .prop_map(|(l, r, t)| Atom::Cmp(l, r, t).canonical().0);
+    let like_atom = ((0..NS), prop_oneof![Just("A%"), Just("_m%"), Just("B_b"), Just("%")])
+        .prop_map(|(v, p)| Atom::Like(str_var(v), p.into()));
+    (prop_oneof![int_atom, str_atom, like_atom], any::<bool>())
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = arb_lit().prop_map(|(a, p)| {
+        let f = Formula::atom(a);
+        if p {
+            f
+        } else {
+            Formula::not(f)
+        }
+    });
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Formula::and),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Formula::or),
+            inner.prop_map(Formula::not),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Pushing a literal stack one element at a time gives the exact
+    /// verdict *and model* of a from-scratch `check_conjunction` at every
+    /// prefix.
+    #[test]
+    fn incremental_check_matches_from_scratch(
+        lits in proptest::collection::vec(arb_lit(), 0..10),
+    ) {
+        let base = base_pool();
+        let mut inc_pool = base.clone();
+        let mut th = TheoryState::new();
+        for (i, (a, pol)) in lits.iter().enumerate() {
+            th.push(a.clone(), *pol, &mut inc_pool);
+            let mut fs_pool = base.clone();
+            let expect = check_conjunction(&lits[..=i], &mut fs_pool);
+            let got = th.check_full();
+            prop_assert_eq!(got.0, expect.0, "verdict diverged at prefix {}", i + 1);
+            prop_assert_eq!(got.1, expect.1, "model diverged at prefix {}", i + 1);
+        }
+    }
+
+    /// Arbitrary push/pop interleavings leave the theory state exactly
+    /// where a from-scratch translation of the surviving stack would be
+    /// (verdict, model, and pool allocation all agree).
+    #[test]
+    fn pop_restores_from_scratch_state(
+        lits in proptest::collection::vec(arb_lit(), 1..10),
+        ops in proptest::collection::vec(any::<bool>(), 1..20),
+    ) {
+        let base = base_pool();
+        let mut inc_pool = base.clone();
+        let mut th = TheoryState::new();
+        let mut reference: Vec<Lit> = Vec::new();
+        let mut next = 0usize;
+        for push in ops {
+            if push || reference.is_empty() {
+                let (a, p) = lits[next % lits.len()].clone();
+                next += 1;
+                th.push(a.clone(), p, &mut inc_pool);
+                reference.push((a, p));
+            } else {
+                th.pop(&mut inc_pool);
+                reference.pop();
+            }
+            prop_assert_eq!(th.depth(), reference.len());
+            let mut fs_pool = base.clone();
+            let expect = check_conjunction(&reference, &mut fs_pool);
+            let got = th.check_full();
+            prop_assert_eq!(got.0, expect.0, "verdict diverged");
+            prop_assert_eq!(got.1, expect.1, "model diverged");
+            // Pool allocation must match a full from-scratch translation
+            // of the surviving stack. (`check_conjunction` itself can
+            // return early on a constant conflict, skipping later
+            // literals' opaque allocations, so translate explicitly.)
+            let mut tr_pool = base.clone();
+            let mut tr = Translation::default();
+            for (a, p) in &reference {
+                tr.push_lit(a, *p, &mut tr_pool);
+            }
+            prop_assert_eq!(inc_pool.len(), tr_pool.len(), "pool allocation diverged");
+        }
+    }
+
+    /// Full-solver cross-mode compatibility: the incremental search may
+    /// refine `Unknown` to a definitive verdict via quick-conflict
+    /// pruning but must never contradict the from-scratch search, and a
+    /// shared `Sat` verdict carries the same assignment for the user's
+    /// variables.
+    #[test]
+    fn solver_modes_never_contradict(f in arb_formula()) {
+        let mut p_inc = base_pool();
+        let mut p_fs = base_pool();
+        let inc = Solver::new();
+        let fs = Solver { incremental: false, ..Solver::default() };
+        let a = inc.check(&f, &mut p_inc);
+        let b = fs.check(&f, &mut p_fs);
+        match (a.result, b.result) {
+            (SatResult::Sat, SatResult::Unsat) | (SatResult::Unsat, SatResult::Sat) => {
+                prop_assert!(false, "modes contradict: inc={:?} fs={:?}", a.result, b.result);
+            }
+            (SatResult::Sat, SatResult::Sat) => {
+                let (ma, mb) = (a.model.unwrap(), b.model.unwrap());
+                prop_assert_eq!(ma.eval_formula(&f), Some(true));
+                prop_assert_eq!(mb.eval_formula(&f), Some(true));
+                // Same first satisfying branch ⇒ same model on the
+                // user's variables (solver-internal opaque vars may
+                // differ in id between the two modes).
+                for v in 0..(NI + NS) {
+                    prop_assert_eq!(ma.get(VarId(v as u32)), mb.get(VarId(v as u32)));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Regression guard for the stride-prune bugfix: along one branch of
+/// depth `d` the from-scratch path retranslates the whole prefix at
+/// every pruning stride and at the leaf (O(d²) literals), while the
+/// assumption stack translates each pushed literal once (O(d)).
+#[test]
+fn incremental_theory_work_is_linear_in_depth() {
+    let run = |d: usize, incremental: bool| {
+        let mut p = VarPool::new();
+        let parts: Vec<Formula> = (0..d)
+            .map(|i| {
+                let v = Term::var(p.fresh(&format!("y{i}"), Sort::Int));
+                Formula::cmp(v, Rel::Ge, Term::IntConst(0))
+            })
+            .collect();
+        let f = Formula::and(parts);
+        let s = Solver { max_atoms: 64, incremental, ..Solver::default() };
+        let out = s.check(&f, &mut p);
+        assert_eq!(out.result, SatResult::Sat);
+        out.stats
+    };
+    let inc16 = run(16, true);
+    let inc32 = run(32, true);
+    assert!(
+        inc32.theory_lits_translated <= inc16.theory_lits_translated * 5 / 2,
+        "incremental translation work grew superlinearly with depth: {} -> {}",
+        inc16.theory_lits_translated,
+        inc32.theory_lits_translated,
+    );
+    // Document the quadratic baseline this guards against: doubling the
+    // depth more than triples the from-scratch translation work.
+    let fs16 = run(16, false);
+    let fs32 = run(32, false);
+    assert!(
+        fs32.theory_lits_translated > fs16.theory_lits_translated * 3,
+        "expected the from-scratch baseline to stay quadratic ({} -> {})",
+        fs16.theory_lits_translated,
+        fs32.theory_lits_translated,
+    );
+}

@@ -231,10 +231,28 @@ fn assert_corpus_parity(schema: &Schema, target: &str, subs: &[String], label: &
     let after_shed = report_json(&prepared.grade_batch(subs));
     assert_eq!(after_shed, baseline_json, "{label}: post-shed vs stateless");
 
-    // Parallel on a fresh target: cross-thread verdict sharing engaged.
-    let hammered = qr.compile_target(target).unwrap();
-    let parallel = report_json(&hammered.grade_batch_parallel(subs, 8));
-    assert_eq!(parallel, baseline_json, "{label}: 8-thread vs stateless");
+    // Parallel on a fresh target per job count: cross-thread verdict
+    // sharing engaged at every worker width.
+    for jobs in [1usize, 4, 8] {
+        let hammered = qr.compile_target(target).unwrap();
+        let parallel = report_json(&hammered.grade_batch_parallel(subs, jobs));
+        assert_eq!(parallel, baseline_json, "{label}: {jobs}-thread vs stateless");
+    }
+
+    // From-scratch solver mode (assumption stack off): the incremental
+    // search may only *refine* Unknown verdicts, and on these corpora
+    // every check is decided definitively — so advice must be
+    // byte-identical across modes, cold and after a shed.
+    let fs = QrHint::with_config(
+        schema.clone(),
+        QrHintConfig { incremental_solver: false, ..QrHintConfig::default() },
+    );
+    let fs_target = fs.compile_target(target).unwrap();
+    let fs_cold = report_json(&fs_target.grade_batch(subs));
+    assert_eq!(fs_cold, baseline_json, "{label}: from-scratch vs incremental");
+    assert!(fs_target.shed_caches() > 0);
+    let fs_shed = report_json(&fs_target.grade_batch(subs));
+    assert_eq!(fs_shed, baseline_json, "{label}: from-scratch post-shed");
 }
 
 #[test]
@@ -306,6 +324,42 @@ fn eight_thread_hammer_shares_verdicts_across_threads() {
              (slot growth needs scheduler-dependent contention)"
         );
     }
+}
+
+#[test]
+fn shed_then_advise_resyncs_scratch_and_rebuilds_lowering_memo() {
+    // Shedding swaps the whole `SolverContext` — interner, variable
+    // pool, verdict cache, and the per-node lowering memo. Slots bound
+    // to the retired context are rebuilt on their next claim, which
+    // must also reset the scratch-pool sync mark (a stale mark larger
+    // than the fresh pool would misalign every variable index).
+    let (schema, target, subs) = session_api::beers_batch(8);
+    let qr = QrHint::new(schema);
+    let prepared = qr.compile_target(&target).unwrap();
+    let before = fingerprint(&prepared.grade_batch(&subs));
+    let stats = prepared.stats();
+    assert!(stats.lowering_memo_entries > 0, "cold batch must populate the memo: {stats:?}");
+    assert!(stats.lowering_memo_misses > 0);
+    assert!(
+        stats.lowering_memo_hits > 0,
+        "context formulas recur across checks, so the memo must hit: {stats:?}"
+    );
+    assert!(prepared.shed_caches() > 0);
+    let shed_stats = prepared.stats();
+    assert_eq!(
+        shed_stats.lowering_memo_entries, 0,
+        "the memo must be shed with the context: {shed_stats:?}"
+    );
+    assert_eq!(shed_stats.lowering_memo_bytes, 0);
+    let after = fingerprint(&prepared.grade_batch(&subs));
+    assert_eq!(after, before, "post-shed advise diverged");
+    let final_stats = prepared.stats();
+    assert!(final_stats.lowering_memo_entries > 0, "memo repopulates after shed");
+    assert_eq!(
+        final_stats.verdict_cache_hits + final_stats.verdict_cache_misses,
+        final_stats.solver_calls,
+        "hit/miss pairing must survive the shed boundary: {final_stats:?}"
+    );
 }
 
 #[test]

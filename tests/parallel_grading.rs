@@ -155,6 +155,32 @@ fn session_stats_stay_coherent_under_concurrency() {
     );
     assert!(par.solver_calls > 0);
     assert!(par.solver_calls >= seq.solver_calls, "{par:?} vs {seq:?}");
+
+    // Batched equivalence checks share context *preparation*, not
+    // accounting: every underlying sat check counts exactly one
+    // `solver_calls` bump and exactly one verdict-cache hit or miss —
+    // never one per candidate-batch membership.
+    assert_eq!(
+        seq.verdict_cache_hits + seq.verdict_cache_misses,
+        seq.solver_calls,
+        "sequential batched checks broke hit/miss pairing: {seq:?}"
+    );
+    assert_eq!(
+        par.verdict_cache_hits + par.verdict_cache_misses,
+        par.solver_calls,
+        "parallel batched checks broke hit/miss pairing: {par:?}"
+    );
+    // The workload exercises the batch routes (SELECT positional
+    // equivalence at minimum, WHERE repair for the off-by-one bounds).
+    assert!(seq.equiv_batches > 0, "no candidate batch issued: {seq:?}");
+    assert!(
+        seq.equiv_batch_candidates >= seq.equiv_batches,
+        "batch candidate accounting inverted: {seq:?}"
+    );
+    // The incremental assumption stack is on by default and must have
+    // done per-literal translation work on the cold pass.
+    assert!(seq.theory_pushes > 0, "incremental theory stack idle: {seq:?}");
+    assert!(seq.theory_full_checks > 0, "{seq:?}");
 }
 
 #[test]
