@@ -41,9 +41,7 @@ fn main() {
         a.ms_prescreen_on,
         a.ms_prescreen_off,
     );
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_analyze.json", &json).expect("can write BENCH_analyze.json");
-    println!("(wrote BENCH_analyze.json)");
+    report::write_bench("analyze", &report);
     if !report.gate_ok {
         eprintln!(
             "FAIL: advice-parity={} solver-calls-skipped={}",

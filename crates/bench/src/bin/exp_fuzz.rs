@@ -42,9 +42,7 @@ fn main() {
         if report.eviction_cliff_ok { "ok" } else { "MISSING" },
         if report.gate_waived_low_cores { " (speedup gate waived: <4 cores)" } else { "" }
     );
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_fuzz.json", &json).expect("can write BENCH_fuzz.json");
-    println!("(wrote BENCH_fuzz.json)");
+    report::write_bench("fuzz", &report);
     if !report.gate_ok {
         eprintln!(
             "FAIL: parity={} eviction-cliff={} parallel-faster={} on a {}-core host",

@@ -47,12 +47,7 @@ fn main() {
         rep.gate_waived_low_cores,
         rep.parity_ok
     );
-    std::fs::write(
-        "BENCH_incremental.json",
-        serde_json::to_string_pretty(&rep).expect("report serializes"),
-    )
-    .expect("write BENCH_incremental.json");
-    println!("wrote BENCH_incremental.json");
+    report::write_bench("incremental", &rep);
     if !rep.gate_ok {
         std::process::exit(1);
     }

@@ -1,0 +1,49 @@
+//! Telemetry-overhead experiment: batch grading with span tracing off
+//! vs fully on, gating ≤5% wall-clock overhead (waived on <4-core
+//! hosts) and byte-identical advice JSON. Writes `BENCH_obs.json` in
+//! the working directory (run from the repo root) and exits nonzero on
+//! a parity failure or an unwaived overhead-gate miss.
+
+use qrhint_bench::{obs, report};
+
+fn main() {
+    let rep = obs::run(48);
+    let rows: Vec<Vec<String>> = rep
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.mode.clone(),
+                format!("{:.1}", r.ms),
+                format!("{:.0}", r.throughput_per_s),
+                r.span_events.to_string(),
+                if r.parity_ok { "ok" } else { "DIVERGED" }.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(&["workload", "mode", "ms", "sub/s", "spans", "parity"], &rows)
+    );
+    for (w, pct) in &rep.overhead_pct_by_workload {
+        println!("{w}: tracing overhead {pct:+.1}%");
+    }
+    println!(
+        "cores={} max_overhead={:+.1}% gate(<= {:.0}%)={} waived_low_cores={} parity={}",
+        rep.cores,
+        rep.max_overhead_pct,
+        rep.overhead_gate_pct,
+        rep.overhead_ok,
+        rep.gate_waived_low_cores,
+        rep.parity_ok
+    );
+    report::write_bench("obs", &rep);
+    if !rep.gate_ok {
+        eprintln!(
+            "FAIL: parity={} max_overhead={:+.1}% on a {}-core host",
+            rep.parity_ok, rep.max_overhead_pct, rep.cores
+        );
+        std::process::exit(1);
+    }
+}

@@ -42,10 +42,7 @@ fn main() {
         report.cross_thread_hits_at_8,
         if report.gate_waived_low_cores { " (gate waived: <4 cores)" } else { "" }
     );
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_oracle_cache.json", &json)
-        .expect("can write BENCH_oracle_cache.json");
-    println!("(wrote BENCH_oracle_cache.json)");
+    report::write_bench("oracle_cache", &report);
     if !report.parity_ok {
         eprintln!("FAIL: a cached or parallel pass diverged from the sequential baseline");
         std::process::exit(1);

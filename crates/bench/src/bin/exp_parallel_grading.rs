@@ -37,10 +37,7 @@ fn main() {
         report.gate_threshold,
         if report.gate_waived_low_cores { ", waived: <4 cores" } else { "" }
     );
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_parallel_grading.json", &json)
-        .expect("can write BENCH_parallel_grading.json");
-    println!("(wrote BENCH_parallel_grading.json)");
+    report::write_bench("parallel_grading", &report);
     if !report.parity_ok {
         eprintln!("FAIL: a parallel run diverged from the sequential output");
         std::process::exit(1);

@@ -40,10 +40,7 @@ fn main() {
         result.scaling_threshold,
         if result.gate_waived_low_cores { ", waived: <4 cores" } else { "" }
     );
-    let json = serde_json::to_string_pretty(&result).expect("report serializes");
-    std::fs::write("BENCH_server_throughput.json", &json)
-        .expect("can write BENCH_server_throughput.json");
-    println!("(wrote BENCH_server_throughput.json)");
+    report::write_bench("server_throughput", &result);
     if !result.parity_ok {
         eprintln!("FAIL: concurrent clients observed diverging advice JSON");
         std::process::exit(1);

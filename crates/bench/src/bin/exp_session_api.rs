@@ -38,9 +38,7 @@ fn main() {
             r.prepared_stats.solver_calls,
         );
     }
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_session_api.json", &json).expect("can write BENCH_session_api.json");
-    println!("(wrote BENCH_session_api.json)");
+    report::write_bench("session_api", &report);
     if !report.students_speedup_ok {
         eprintln!(
             "FAIL: students speedup {:.2}x below the 2x acceptance gate",

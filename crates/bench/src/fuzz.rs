@@ -230,7 +230,7 @@ pub fn run_schema(schema_name: &str, count: usize) -> Vec<FuzzBenchRow> {
 
 /// Run the full benchmark over the two cheap fuzz schemas.
 pub fn run(count: usize) -> FuzzBenchReport {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = crate::report::host_cores();
     let mut rows = Vec::new();
     for schema in ["students", "beers"] {
         rows.extend(run_schema(schema, count));

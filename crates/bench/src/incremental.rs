@@ -166,7 +166,7 @@ pub fn run_workload(
 
 /// Run the full benchmark (students + beers distinct batches).
 pub fn run(batch_size: usize) -> IncrementalReport {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = crate::report::host_cores();
     let mut rows = Vec::new();
     for (name, schema, target, subs) in workloads(batch_size) {
         rows.extend(run_workload(&name, &schema, &target, &subs));

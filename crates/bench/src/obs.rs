@@ -1,0 +1,200 @@
+//! Instrumentation-overhead benchmark: batch grading with span tracing
+//! **off** (the production default — one relaxed atomic load per
+//! would-be span) vs **on** (every span recorded into the global
+//! sink), on the same distinct-submission classroom batches as the
+//! parallel-grading benchmark.
+//!
+//! Observability that taxes the hot path gets turned off in
+//! production, after which it observes nothing. The acceptance gate is
+//! therefore ≤5% wall-clock overhead with tracing fully enabled — the
+//! worst case; the disabled path is strictly cheaper — and **advice
+//! parity**: the instrumented runs must produce byte-identical advice
+//! JSON to the uninstrumented baseline (instrumentation must never
+//! change answers). Parity is a correctness gate and is never waived;
+//! the overhead gate follows the repo's timing-gate idiom and is
+//! recorded as waived (never claimed) on hosts with fewer than 4
+//! cores, where scheduler noise dwarfs a 5% budget.
+//!
+//! Timing is min-of-reps with a fresh compiled target per rep (the
+//! whole-advice cache would otherwise serve rep 2 from rep 1's
+//! answers); the span sink is drained outside the timed window, so the
+//! measured overhead is the recording cost grading actually pays, not
+//! the drain cost only `--trace-out` pays.
+//!
+//! Results are persisted as `BENCH_obs.json` in the working directory
+//! (run from the repo root: `cargo run --release --bin exp_obs`).
+
+use crate::parallel_grading::{fingerprint, min_time_ms, workloads};
+use qr_hint::prelude::*;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One (workload, mode) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsRow {
+    pub workload: String,
+    /// Distinct submissions graded against the one target.
+    pub batch_size: usize,
+    /// `"off"` (tracing disabled) or `"tracing"` (span recording on).
+    pub mode: String,
+    /// Min-of-reps wall-clock for the whole batch, compile included.
+    pub ms: f64,
+    pub throughput_per_s: f64,
+    /// Span events recorded per repetition (0 with tracing off).
+    pub span_events: u64,
+    /// Advice-by-advice serde-JSON equality with the uninstrumented
+    /// baseline (trivially true for the baseline row).
+    pub parity_ok: bool,
+}
+
+/// The full benchmark artifact (`BENCH_obs.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsReport {
+    /// Cores on the measuring host — context for the timing gate.
+    pub cores: usize,
+    pub rows: Vec<ObsRow>,
+    /// Tracing-on wall-clock overhead vs the off baseline, percent,
+    /// per workload (negative = within noise, faster).
+    pub overhead_pct_by_workload: BTreeMap<String, f64>,
+    pub max_overhead_pct: f64,
+    /// The acceptance gate: tracing-on overhead ≤ this, percent.
+    pub overhead_gate_pct: f64,
+    /// Did every workload come in under the overhead gate?
+    pub overhead_ok: bool,
+    /// True when the host has fewer than 4 cores, where a 5% timing
+    /// budget is indistinguishable from scheduler noise and the
+    /// overhead gate is waived (never claimed).
+    pub gate_waived_low_cores: bool,
+    /// Instrumented advice JSON matched the baseline on every rep.
+    /// Never waived.
+    pub parity_ok: bool,
+    /// `parity_ok` and (`overhead_ok` or waived on low-core hosts).
+    pub gate_ok: bool,
+}
+
+const OVERHEAD_GATE_PCT: f64 = 5.0;
+
+/// Measure one workload with tracing off, then on. Leaves global
+/// tracing disabled and the span sink drained.
+pub fn run_workload(
+    workload: &str,
+    schema: &Schema,
+    target: &str,
+    subs: &[String],
+) -> Vec<ObsRow> {
+    let qr = QrHint::new(schema.clone());
+    let grade = || {
+        // Fresh target per rep: no cross-rep cache leakage.
+        let prepared = qr.compile_target(target).expect("target compiles");
+        prepared.grade_batch(subs)
+    };
+    let throughput = |ms: f64| subs.len() as f64 / (ms / 1e3).max(1e-9);
+
+    // Baseline: tracing off (and the sink clear of other runs' events).
+    qrhint_obs::span::disable_tracing();
+    let _ = qrhint_obs::span::take_events();
+    let mut base_fp: Option<Vec<String>> = None;
+    let mut base_parity = true;
+    let base_ms = min_time_ms(grade, |advices| {
+        let fp = fingerprint(advices);
+        match &base_fp {
+            None => base_fp = Some(fp),
+            Some(first) => base_parity &= &fp == first,
+        }
+    });
+    let base_fp = base_fp.expect("warmup rep ran");
+
+    // Instrumented: every span records. The drain in the check closure
+    // runs outside the timed window (see module docs) and keeps the
+    // bounded sink from filling across reps.
+    qrhint_obs::span::enable_tracing();
+    let mut on_parity = true;
+    let mut span_events = 0u64;
+    let on_ms = min_time_ms(grade, |advices| {
+        on_parity &= fingerprint(advices) == base_fp;
+        let (events, dropped) = qrhint_obs::span::take_events();
+        on_parity &= dropped == 0; // a lossy profile would undercount
+        span_events = events.len() as u64;
+    });
+    qrhint_obs::span::disable_tracing();
+    let _ = qrhint_obs::span::take_events();
+
+    vec![
+        ObsRow {
+            workload: workload.to_string(),
+            batch_size: subs.len(),
+            mode: "off".to_string(),
+            ms: base_ms,
+            throughput_per_s: throughput(base_ms),
+            span_events: 0,
+            parity_ok: base_parity,
+        },
+        ObsRow {
+            workload: workload.to_string(),
+            batch_size: subs.len(),
+            mode: "tracing".to_string(),
+            ms: on_ms,
+            throughput_per_s: throughput(on_ms),
+            span_events,
+            parity_ok: on_parity,
+        },
+    ]
+}
+
+/// Run the full comparison (students + beers distinct batches).
+pub fn run(batch_size: usize) -> ObsReport {
+    let cores = crate::report::host_cores();
+    let mut rows = Vec::new();
+    for (name, schema, target, subs) in workloads(batch_size) {
+        rows.extend(run_workload(&name, &schema, &target, &subs));
+    }
+    let mut overhead_pct_by_workload = BTreeMap::new();
+    for pair in rows.chunks(2) {
+        let [off, on] = pair else { unreachable!("rows come in off/tracing pairs") };
+        overhead_pct_by_workload
+            .insert(off.workload.clone(), (on.ms / off.ms.max(1e-9) - 1.0) * 100.0);
+    }
+    let max_overhead_pct =
+        overhead_pct_by_workload.values().copied().fold(f64::NEG_INFINITY, f64::max);
+    let overhead_ok = max_overhead_pct <= OVERHEAD_GATE_PCT;
+    let gate_waived_low_cores = cores < 4 && !overhead_ok;
+    let parity_ok = rows.iter().all(|r| r.parity_ok);
+    ObsReport {
+        cores,
+        rows,
+        overhead_pct_by_workload,
+        max_overhead_pct,
+        overhead_gate_pct: OVERHEAD_GATE_PCT,
+        overhead_ok,
+        gate_waived_low_cores,
+        parity_ok,
+        gate_ok: parity_ok && (overhead_ok || gate_waived_low_cores),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test touches the process-global tracing switch; keeping it a
+    // single test (not several) avoids cross-test interference without
+    // a lock shared across crates.
+    #[test]
+    fn small_run_has_parity_and_records_spans() {
+        let report = run(4);
+        assert_eq!(report.rows.len(), 4, "{report:?}");
+        assert!(report.parity_ok, "{report:?}");
+        for pair in report.rows.chunks(2) {
+            assert_eq!(pair[0].mode, "off");
+            assert_eq!(pair[1].mode, "tracing");
+            assert_eq!(pair[0].span_events, 0);
+            assert!(
+                pair[1].span_events > 0,
+                "tracing rows must record spans: {pair:?}"
+            );
+        }
+        assert!(!qrhint_obs::span::tracing_enabled(), "run() must leave tracing off");
+        // Timing is environment-dependent; parity + span presence are
+        // the invariants a debug-profile test can hold.
+    }
+}

@@ -109,8 +109,9 @@ pub fn workloads(batch_size: usize) -> Vec<(String, Schema, String, Vec<String>)
 /// Min-of-reps wall clock for `run`, with `check` invoked on **every**
 /// rep's output (warmup included) *outside* the timed window — so
 /// parity validation covers all reps without inflating the timings it
-/// guards.
-fn min_time_ms<T>(mut run: impl FnMut() -> T, mut check: impl FnMut(&T)) -> f64 {
+/// guards. Shared with the instrumentation-overhead benchmark
+/// ([`crate::obs`]).
+pub fn min_time_ms<T>(mut run: impl FnMut() -> T, mut check: impl FnMut(&T)) -> f64 {
     check(&run()); // warmup: page faults, allocator growth, thread stacks
     let mut best = f64::INFINITY;
     for _ in 0..TIMED_REPS {
@@ -200,7 +201,7 @@ pub fn run_workload(
 
 /// Run the full comparison (students + beers distinct batches).
 pub fn run(batch_size: usize) -> ParallelGradingReport {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = crate::report::host_cores();
     let mut rows = Vec::new();
     for (name, schema, target, subs) in workloads(batch_size) {
         rows.extend(run_workload(&name, &schema, &target, &subs));

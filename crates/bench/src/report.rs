@@ -32,6 +32,26 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Cores on the measuring host, recorded in every gated benchmark
+/// report: wall-clock gates are waived below 4 cores (CI runners and
+/// laptops on battery make timing gates flaky there).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Write a gated benchmark artifact to `BENCH_<name>.json` in the
+/// working directory — the `exp_*` binaries run from the repo root, and
+/// CI archives the files from there. Unlike [`write_json`], failure is
+/// fatal: a bench whose artifact can't be persisted should fail the job
+/// loudly, not pass with a warning.
+pub fn write_bench<T: Serialize>(name: &str, value: &T) {
+    let file = format!("BENCH_{name}.json");
+    let json =
+        serde_json::to_string_pretty(value).unwrap_or_else(|e| panic!("{file} serialize: {e}"));
+    std::fs::write(&file, json).unwrap_or_else(|e| panic!("write {file}: {e}"));
+    println!("(wrote {file})");
+}
+
 /// Write a serializable artifact to `target/experiments/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = crate::results_path(&format!("{name}.json"));

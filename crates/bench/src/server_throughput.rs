@@ -179,7 +179,7 @@ fn run_level(
 
 /// Run the full benchmark against a freshly bound in-process daemon.
 pub fn run(batch_cap: usize, requests_per_client: usize) -> ServerThroughputReport {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = crate::report::host_cores();
     let (schema, target_sql, subs) = session_api::students_batch(batch_cap);
     let schema_ddl = schema.to_ddl();
     let bodies: Vec<String> =

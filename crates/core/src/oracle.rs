@@ -492,6 +492,43 @@ impl SolverContext {
     pub fn verdict_bytes(&self) -> usize {
         self.verdicts.bytes()
     }
+
+    /// One coherent snapshot of every point-in-time counter in this
+    /// context. The interner fields are read under a single `lower`
+    /// lock acquisition and the memo/verdict fields back-to-back, so a
+    /// snapshot never mixes numbers from before and after a concurrent
+    /// shed swap the way four independent getter calls can — callers
+    /// that clone the context `Arc` once and snapshot it see one
+    /// context's state throughout.
+    pub fn stats_snapshot(&self) -> ContextStats {
+        let interner = {
+            let st = self.lower.read().unwrap();
+            InternerStats {
+                terms: st.interner.num_terms() as u64,
+                formulas: st.interner.num_formulas() as u64,
+                dedup_hits: st.interner.dedup_hits(),
+                bytes: st.interner.approx_bytes() as u64,
+            }
+        };
+        ContextStats {
+            interner,
+            lowering_memo: self.lowering_memo_stats(),
+            verdict_entries: self.verdicts.entries() as u64,
+            verdict_bytes: self.verdicts.bytes() as u64,
+        }
+    }
+}
+
+/// All point-in-time counters of one [`SolverContext`], captured by
+/// [`SolverContext::stats_snapshot`] in a single pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    pub interner: InternerStats,
+    pub lowering_memo: LoweringMemoStats,
+    /// Resident shared-verdict entries.
+    pub verdict_entries: u64,
+    /// Approximate shared-verdict bytes.
+    pub verdict_bytes: u64,
 }
 
 impl std::fmt::Debug for SolverContext {
@@ -1192,6 +1229,7 @@ impl Oracle {
             return verdict;
         }
         self.verdict_misses += 1;
+        let _span = qrhint_obs::span("solver:check");
         // Miss: pull memoized `Arc` trees (extracted at most once per
         // context lifetime) and sync the scratch pool, then solve. The
         // solver appends throwaway opaque variables during linearization,
@@ -1361,6 +1399,7 @@ impl Oracle {
             return verdict;
         }
         self.verdict_misses += 1;
+        let _span = qrhint_obs::span("solver:check");
         self.sync_scratch();
         let tree = self.ctx.tree_of(f);
         if self.prescreen {
@@ -1421,6 +1460,7 @@ impl Oracle {
         target: FormulaId,
         ctx: &[FormulaId],
     ) -> Vec<TriBool> {
+        let _span = qrhint_obs::span("oracle:equiv_batch");
         let batch = self.batch_ctx(ctx);
         self.equiv_batches += 1;
         self.equiv_batch_candidates += cands.len() as u64;
@@ -1437,6 +1477,7 @@ impl Oracle {
         env: &LowerEnv,
         ctx: &[FormulaId],
     ) -> Vec<TriBool> {
+        let _span = qrhint_obs::span("oracle:equiv_scalar_batch");
         let nes: Vec<FormulaId> = pairs
             .iter()
             .map(|(e1, e2)| {

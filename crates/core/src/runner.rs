@@ -127,6 +127,7 @@ pub(crate) fn run_stages(inp: StageInputs<'_>) -> QrResult<Advice> {
 
     // ---- Stage 2: WHERE (with SPJA look-ahead) ----
     let where_out = {
+        let _span = qrhint_obs::span("stage:where");
         let key = WhereKey::of(q);
         match memos.where_memo.get(&key) {
             Some(hit) => hit.clone(),
@@ -249,6 +250,7 @@ pub(crate) fn run_stages(inp: StageInputs<'_>) -> QrResult<Advice> {
         }
         // ---- Stage 3: GROUP BY ----
         {
+            let _span = qrhint_obs::span("stage:groupby");
             let key = GroupByKey { group_by: q.group_by.clone(), work_is_spja };
             let gb_out = match memos.groupby_memo.get(&key) {
                 Some(hit) => hit.clone(),
@@ -279,6 +281,7 @@ pub(crate) fn run_stages(inp: StageInputs<'_>) -> QrResult<Advice> {
         }
         // ---- Stage 4: HAVING ----
         {
+            let _span = qrhint_obs::span("stage:having");
             let working_having = where_out.working_having.clone().unwrap_or(Pred::True);
             let key = HavingKey { working_having: working_having.clone(), work_is_spja };
             let hv_out = match memos.having_memo.get(&key) {
@@ -336,6 +339,7 @@ pub(crate) fn run_stages(inp: StageInputs<'_>) -> QrResult<Advice> {
     }
 
     // ---- Stage 5 (or 3 for SPJ): SELECT ----
+    let _select_span = qrhint_obs::span("stage:select");
     let env = if star_spja {
         let grouped = having_stage::group_constant_cols(unified, &reasoning_where);
         let env = having_stage::install_having_context(

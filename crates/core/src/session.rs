@@ -531,22 +531,25 @@ impl PreparedTarget {
     /// The interner and verdict-cache occupancy fields are point-in-time
     /// reads of the current shared context (they reset when
     /// [`PreparedTarget::shed_caches`] swaps it); the hit/miss/eviction
-    /// counters are cumulative across sheds.
+    /// counters are cumulative across sheds. The context `Arc` is read
+    /// once and all of its counters come from one
+    /// [`SolverContext::stats_snapshot`] pass, so a snapshot taken
+    /// while a concurrent shed swaps contexts describes exactly one
+    /// context — never a mix of pre- and post-shed numbers.
     pub fn stats(&self) -> SessionStats {
         let mut stats = self.stats.snapshot();
         let ctx = self.solver_context();
-        let interner = ctx.interner_stats();
-        stats.verdict_cache_entries = ctx.verdict_entries() as u64;
-        stats.verdict_cache_bytes = ctx.verdict_bytes() as u64;
-        stats.interned_terms = interner.terms;
-        stats.interned_formulas = interner.formulas;
-        stats.interner_dedup_hits = interner.dedup_hits;
-        stats.interner_bytes = interner.bytes;
-        let memo = ctx.lowering_memo_stats();
-        stats.lowering_memo_hits = memo.hits;
-        stats.lowering_memo_misses = memo.misses;
-        stats.lowering_memo_entries = memo.entries;
-        stats.lowering_memo_bytes = memo.bytes;
+        let snap = ctx.stats_snapshot();
+        stats.verdict_cache_entries = snap.verdict_entries;
+        stats.verdict_cache_bytes = snap.verdict_bytes;
+        stats.interned_terms = snap.interner.terms;
+        stats.interned_formulas = snap.interner.formulas;
+        stats.interner_dedup_hits = snap.interner.dedup_hits;
+        stats.interner_bytes = snap.interner.bytes;
+        stats.lowering_memo_hits = snap.lowering_memo.hits;
+        stats.lowering_memo_misses = snap.lowering_memo.misses;
+        stats.lowering_memo_entries = snap.lowering_memo.entries;
+        stats.lowering_memo_bytes = snap.lowering_memo.bytes;
         stats
     }
 
@@ -679,6 +682,7 @@ impl PreparedTarget {
     /// populating it is pure overhead); the per-stage and solver-verdict
     /// memos always apply.
     fn advise_inner(&self, q: &Query, use_advice_cache: bool) -> QrResult<Advice> {
+        let _span = qrhint_obs::span("advise");
         self.stats.advise_calls.fetch_add(1, Ordering::Relaxed);
         let use_advice_cache = use_advice_cache && self.cfg.advice_cache_capacity > 0;
         if use_advice_cache {
@@ -691,7 +695,10 @@ impl PreparedTarget {
         }
 
         // ---- Stage 1: FROM ---- (always cheap: a multiset compare)
-        let from_out = from_stage::check_from(&self.target, q);
+        let from_out = {
+            let _span = qrhint_obs::span("stage:from");
+            from_stage::check_from(&self.target, q)
+        };
         let advice = if !from_out.viable {
             Advice {
                 stage: Stage::From,

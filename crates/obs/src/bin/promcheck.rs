@@ -1,0 +1,78 @@
+//! promcheck — validate Prometheus text exposition from a file or stdin.
+//!
+//! Usage: `promcheck [--min-samples N] [FILE]`
+//!
+//! Reads FILE (or stdin when omitted or `-`), runs
+//! `qrhint_obs::expo::validate`, and prints a one-line summary. Exits
+//! 0 on valid input, 1 on malformed exposition or when fewer than
+//! `--min-samples` sample lines were seen (so CI can assert a scrape
+//! was non-trivially populated), 2 on usage errors.
+
+use std::io::Read;
+
+fn main() {
+    let mut min_samples = 0usize;
+    let mut path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-samples" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse() {
+                    Ok(n) => min_samples = n,
+                    Err(_) => {
+                        eprintln!("promcheck: bad --min-samples value `{v}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                println!("usage: promcheck [--min-samples N] [FILE]");
+                return;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("promcheck: unexpected argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let text = match path.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("promcheck: reading stdin: {e}");
+                std::process::exit(2);
+            }
+            buf
+        }
+        Some(file) => match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("promcheck: reading {file}: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    match qrhint_obs::expo::validate(&text) {
+        Ok(summary) => {
+            println!(
+                "promcheck: ok — {} families, {} samples, {} histogram children",
+                summary.families, summary.samples, summary.histograms
+            );
+            if summary.samples < min_samples {
+                eprintln!(
+                    "promcheck: only {} samples, expected at least {min_samples}",
+                    summary.samples
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("promcheck: invalid exposition: {e}");
+            std::process::exit(1);
+        }
+    }
+}

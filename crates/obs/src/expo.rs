@@ -1,0 +1,331 @@
+//! Validator for the Prometheus text exposition format (0.0.4).
+//!
+//! [`validate`] checks the line grammar (comments, metric/label name
+//! character sets, quoted-value escapes, numeric sample values) plus
+//! the semantic rules a scraper relies on: one `# TYPE` per family
+//! declared before its samples, histogram `_bucket` series cumulative
+//! and non-decreasing in `le`, and the `+Inf` bucket equal to the
+//! family's `_count`. The `promcheck` binary wraps this for CI; the
+//! e2e server tests call it on live `/metrics` scrapes.
+
+use std::collections::BTreeMap;
+
+/// What a successful validation saw — handy for asserting a scrape
+/// actually contained metrics rather than an empty-but-valid body.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ExpoSummary {
+    /// Families with a `# TYPE` line.
+    pub families: usize,
+    /// Total sample lines.
+    pub samples: usize,
+    /// Histogram children checked for bucket coherence.
+    pub histograms: usize,
+}
+
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse::<f64>().ok(),
+    }
+}
+
+type Labels = Vec<(String, String)>;
+
+/// Parse `{a="b",c="d"}`-style label sets. Returns the labels and the
+/// rest of the line after the closing brace.
+fn parse_labels(s: &str) -> Result<(Labels, &str), String> {
+    debug_assert!(s.starts_with('{'));
+    let mut labels = Vec::new();
+    let mut rest = &s[1..];
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let name = rest[..eq].trim();
+        if !is_label_name(name) {
+            return Err(format!("bad label name `{name}`"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label `{name}` value not quoted")),
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                match c {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    other => return Err(format!("bad escape `\\{other}` in label `{name}`")),
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated value for label `{name}`"))?;
+        labels.push((name.to_string(), value));
+        rest = rest[end + 1..].trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after;
+        } else if !rest.starts_with('}') {
+            return Err("expected ',' or '}' after label value".to_string());
+        }
+    }
+}
+
+/// Map `name_bucket` / `name_sum` / `name_count` back to their base
+/// family name if that family is a declared histogram.
+fn histogram_base<'a>(name: &'a str, types: &BTreeMap<String, String>) -> Option<&'a str> {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return Some(base);
+            }
+        }
+    }
+    None
+}
+
+/// Validate `text` as Prometheus exposition. On failure the error
+/// names the offending (1-based) line.
+pub fn validate(text: &str) -> Result<ExpoSummary, String> {
+    let mut summary = ExpoSummary::default();
+    // family name -> declared type
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen_samples: BTreeMap<String, bool> = BTreeMap::new();
+    // (histogram base, labels-minus-le) -> [(le, cumulative count)]
+    let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+
+    let fail = |lineno: usize, msg: String| Err(format!("line {lineno}: {msg}"));
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("").trim();
+                if !is_metric_name(name) {
+                    return fail(lineno, format!("bad metric name `{name}` in TYPE"));
+                }
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                    return fail(lineno, format!("unknown type `{kind}`"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return fail(lineno, format!("duplicate TYPE for `{name}`"));
+                }
+                if seen_samples.contains_key(name) {
+                    return fail(lineno, format!("TYPE for `{name}` after its samples"));
+                }
+                summary.families += 1;
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !is_metric_name(name) {
+                    return fail(lineno, format!("bad metric name `{name}` in HELP"));
+                }
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {lineno}: sample without value"))?;
+        let name = &line[..name_end];
+        if !is_metric_name(name) {
+            return fail(lineno, format!("bad metric name `{name}`"));
+        }
+        let (labels, rest) = if line[name_end..].starts_with('{') {
+            parse_labels(&line[name_end..]).map_err(|e| format!("line {lineno}: {e}"))?
+        } else {
+            (Vec::new(), &line[name_end..])
+        };
+        let mut fields = rest.split_whitespace();
+        let value = match fields.next() {
+            Some(v) => parse_value(v)
+                .ok_or_else(|| format!("line {lineno}: bad sample value `{v}`"))?,
+            None => return fail(lineno, "sample without value".to_string()),
+        };
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return fail(lineno, format!("bad timestamp `{ts}`"));
+            }
+        }
+        if fields.next().is_some() {
+            return fail(lineno, "trailing garbage after sample".to_string());
+        }
+
+        // Family bookkeeping: histogram-suffixed samples count toward
+        // their base family; everything else must match its own TYPE.
+        let base = histogram_base(name, &types);
+        let family = base.unwrap_or(name);
+        seen_samples.insert(family.to_string(), true);
+        summary.samples += 1;
+
+        if types.get(name).map(String::as_str) == Some("histogram") && base.is_none() {
+            return fail(
+                lineno,
+                format!("histogram `{name}` must expose _bucket/_sum/_count samples"),
+            );
+        }
+
+        if let Some(base) = base {
+            let mut le = None;
+            let mut key_labels: Vec<String> = Vec::new();
+            for (k, v) in &labels {
+                if k == "le" {
+                    le = Some(v.clone());
+                } else {
+                    key_labels.push(format!("{k}={v}"));
+                }
+            }
+            let child = (base.to_string(), key_labels.join(","));
+            if name.ends_with("_bucket") {
+                let le = le.ok_or_else(|| format!("line {lineno}: _bucket without le"))?;
+                let le = parse_value(&le)
+                    .ok_or_else(|| format!("line {lineno}: bad le `{le}`"))?;
+                buckets.entry(child).or_default().push((le, value));
+            } else if name.ends_with("_count") {
+                counts.insert(child, value);
+            }
+        }
+    }
+
+    // Histogram coherence: buckets sorted & cumulative, +Inf == _count.
+    for ((base, labels), series) in &buckets {
+        summary.histograms += 1;
+        let child = if labels.is_empty() { base.clone() } else { format!("{base}{{{labels}}}") };
+        for w in series.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!("histogram `{child}`: le bounds not ascending"));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!("histogram `{child}`: bucket counts not cumulative"));
+            }
+        }
+        let last = series.last().expect("non-empty by construction");
+        if last.0 != f64::INFINITY {
+            return Err(format!("histogram `{child}`: missing +Inf bucket"));
+        }
+        match counts.get(&(base.clone(), labels.clone())) {
+            Some(count) if *count == last.1 => {}
+            Some(count) => {
+                return Err(format!(
+                    "histogram `{child}`: +Inf bucket {} != _count {count}",
+                    last.1
+                ));
+            }
+            None => return Err(format!("histogram `{child}`: missing _count")),
+        }
+    }
+
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_full_exposition() {
+        let text = "\
+# HELP qrhint_requests_total Requests served.
+# TYPE qrhint_requests_total counter
+qrhint_requests_total{route=\"advise\",status=\"200\"} 12
+qrhint_requests_total{route=\"grade\",status=\"200\"} 3
+# TYPE qrhint_inflight gauge
+qrhint_inflight 1
+# TYPE qrhint_request_seconds histogram
+qrhint_request_seconds_bucket{route=\"advise\",le=\"0.01\"} 4
+qrhint_request_seconds_bucket{route=\"advise\",le=\"+Inf\"} 12
+qrhint_request_seconds_sum{route=\"advise\"} 0.5
+qrhint_request_seconds_count{route=\"advise\"} 12
+";
+        let summary = validate(text).expect("valid exposition");
+        assert_eq!(summary.families, 3);
+        assert_eq!(summary.samples, 7);
+        assert_eq!(summary.histograms, 1);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        for (text, needle) in [
+            ("# TYPE bad-name counter\n", "bad metric name"),
+            ("# TYPE m widget\n", "unknown type"),
+            ("# TYPE m counter\n# TYPE m counter\n", "duplicate TYPE"),
+            ("m 1\n# TYPE m counter\n", "after its samples"),
+            ("m{x=\"1\" 2\n", "expected ',' or '}'"),
+            ("m{x=unquoted} 2\n", "not quoted"),
+            ("m notanumber\n", "bad sample value"),
+            ("m 1 2 3\n", "trailing garbage"),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+                "not cumulative",
+            ),
+            ("# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_count 2\n", "missing +Inf"),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\n",
+                "missing _count",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n",
+                "!= _count",
+            ),
+            ("# TYPE h histogram\nh 5\n", "must expose _bucket"),
+        ] {
+            let err = validate(text).expect_err(text);
+            assert!(err.contains(needle), "`{text}` → `{err}` (wanted `{needle}`)");
+        }
+    }
+
+    #[test]
+    fn escaped_label_values_parse_back() {
+        let text = "# TYPE esc counter\nesc{path=\"a\\\"b\\\\c\\nd\"} 1\n";
+        let summary = validate(text).expect("escapes are valid");
+        assert_eq!(summary.samples, 1);
+    }
+
+    #[test]
+    fn empty_input_is_valid_but_empty() {
+        assert_eq!(validate("").unwrap(), ExpoSummary::default());
+    }
+}

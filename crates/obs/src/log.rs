@@ -1,0 +1,280 @@
+//! Structured, leveled log events with key-value fields.
+//!
+//! One process-global sink configured by level and format
+//! ([`set_level`], [`set_format`]), written to stderr so it never
+//! contaminates deterministic stdout output. Two renderings of the
+//! same event:
+//!
+//! * [`LogFormat::Text`] — logfmt-style:
+//!   `ts=1754550000.123 level=info target=server msg="advise ok" request_id=42 status=200`
+//! * [`LogFormat::Json`] — one object per line:
+//!   `{"ts":1754550000.123,"level":"info","target":"server","msg":"advise ok","request_id":"42","status":"200"}`
+//!
+//! The default level is [`Level::Warn`]: a library consumer that never
+//! touches this module stays quiet, and `qr-hint serve` raises the
+//! level for access logs. [`event`] costs one relaxed atomic load when
+//! the level is filtered out.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse a level name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+/// Output rendering for log events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// logfmt-style `key=value` pairs, values quoted when needed.
+    Text,
+    /// One JSON object per line, all field values as strings.
+    Json,
+}
+
+impl LogFormat {
+    /// Parse a format name (case-insensitive).
+    pub fn parse(s: &str) -> Option<LogFormat> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Some(LogFormat::Text),
+            "json" => Some(LogFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+static FORMAT: AtomicU8 = AtomicU8::new(0); // 0 = Text, 1 = Json
+
+/// Set the process-global log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-global log level.
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Set the process-global log format.
+pub fn set_format(format: LogFormat) {
+    FORMAT.store(matches!(format, LogFormat::Json) as u8, Ordering::Relaxed);
+}
+
+/// The current process-global log format.
+pub fn format() -> LogFormat {
+    if FORMAT.load(Ordering::Relaxed) == 1 { LogFormat::Json } else { LogFormat::Text }
+}
+
+/// Whether an event at `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emit one structured event to stderr if `level` passes the filter.
+/// `target` names the emitting subsystem (`server`, `cli`, …); fields
+/// are rendered in the order given.
+pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, &str)]) {
+    if !enabled(level) {
+        return;
+    }
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let line = render(format(), ts, level, target, msg, fields);
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "{line}");
+}
+
+/// Render one event without emitting it — the pure core of [`event`],
+/// separated so formats are testable byte-for-byte.
+pub fn render(
+    format: LogFormat,
+    ts: f64,
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, &str)],
+) -> String {
+    match format {
+        LogFormat::Text => {
+            let mut out = format!("ts={ts:.3} level={} target={}", level.as_str(), target);
+            out.push_str(" msg=");
+            out.push_str(&logfmt_value(msg));
+            for (k, v) in fields {
+                out.push(' ');
+                out.push_str(k);
+                out.push('=');
+                out.push_str(&logfmt_value(v));
+            }
+            out
+        }
+        LogFormat::Json => {
+            let mut out = format!(
+                "{{\"ts\":{ts:.3},\"level\":\"{}\",\"target\":{},\"msg\":{}",
+                level.as_str(),
+                json_string(target),
+                json_string(msg)
+            );
+            for (k, v) in fields {
+                out.push(',');
+                out.push_str(&json_string(k));
+                out.push(':');
+                out.push_str(&json_string(v));
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// Quote a logfmt value only when it needs it (spaces, quotes, `=`,
+/// control characters); bare tokens stay bare for grep-ability.
+fn logfmt_value(v: &str) -> String {
+    let needs_quoting =
+        v.is_empty() || v.chars().any(|c| c == ' ' || c == '"' || c == '=' || (c as u32) < 0x20);
+    if !needs_quoting {
+        return v.to_string();
+    }
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a JSON string literal with full escaping.
+fn json_string(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_and_order() {
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn text_format_quotes_only_when_needed() {
+        let line = render(
+            LogFormat::Text,
+            1754550000.1234,
+            Level::Info,
+            "server",
+            "advise ok",
+            &[("request_id", "42"), ("path", "/targets/t1/advise"), ("note", "a=b")],
+        );
+        assert_eq!(
+            line,
+            "ts=1754550000.123 level=info target=server msg=\"advise ok\" request_id=42 path=/targets/t1/advise note=\"a=b\""
+        );
+    }
+
+    #[test]
+    fn json_format_is_one_escaped_object() {
+        let line = render(
+            LogFormat::Json,
+            1.0,
+            Level::Warn,
+            "server",
+            "bad \"body\"",
+            &[("err", "line1\nline2")],
+        );
+        assert_eq!(
+            line,
+            "{\"ts\":1.000,\"level\":\"warn\",\"target\":\"server\",\"msg\":\"bad \\\"body\\\"\",\"err\":\"line1\\nline2\"}"
+        );
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn global_level_filters() {
+        // Default must be quiet enough for library consumers.
+        // (Other tests may have changed it; set explicitly.)
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Trace);
+        assert!(enabled(Level::Debug));
+        set_level(Level::Warn);
+    }
+
+    #[test]
+    fn format_round_trip() {
+        assert_eq!(LogFormat::parse("json"), Some(LogFormat::Json));
+        assert_eq!(LogFormat::parse("TEXT"), Some(LogFormat::Text));
+        assert_eq!(LogFormat::parse("xml"), None);
+    }
+}

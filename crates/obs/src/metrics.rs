@@ -1,0 +1,472 @@
+//! The metrics registry: atomic counters, gauges, and fixed-bucket
+//! histograms, grouped into named families with labels and rendered as
+//! Prometheus text exposition (version 0.0.4).
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s of
+//! lock-free atomics: get-or-create them once ([`Registry::counter`] &
+//! co. take a lock only on first creation per label set), then bump
+//! them from any thread without contention. Rendering
+//! ([`Registry::render`]) walks the families under a read lock —
+//! scrapes never block a counter bump, and two scrapes with no traffic
+//! between them render byte-identical text.
+//!
+//! Histograms are fixed-bucket by design: p50/p99/p999 are derivable
+//! from the cumulative `_bucket` counts by any scraper (that is what
+//! `histogram_quantile` does), while the process itself never pays for
+//! quantile sketches on the request path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value. Only for mirroring a monotone total that is
+    /// maintained elsewhere (e.g. the target registry's lifetime
+    /// eviction count, copied in at scrape time); never mix `store`
+    /// with `add` on one counter.
+    pub fn store(&self, n: u64) {
+        self.v.store(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    pub fn set(&self, n: i64) {
+        self.v.store(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn dec(&self) {
+        self.v.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram. Bucket counts are stored per-bucket
+/// (non-cumulative) and rendered cumulatively, Prometheus-style; the
+/// sum is kept in integer nanounits so observation stays a pair of
+/// atomic adds.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Finite upper bounds, strictly ascending; the implicit `+Inf`
+    /// bucket lives at `buckets[bounds.len()]`.
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    /// Sum of observations in nanounits (seconds × 1e9 for latency
+    /// histograms); saturates rather than wraps.
+    sum_nano: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending: {bounds:?}"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_nano: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (same unit as the bounds).
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        let nano = (v.max(0.0) * 1e9).min(u64::MAX as f64) as u64;
+        self.sum_nano.fetch_add(nano, Ordering::Relaxed);
+    }
+
+    /// Record a duration against seconds-valued bounds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of observations (same unit as the bounds).
+    pub fn sum(&self) -> f64 {
+        self.sum_nano.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Cumulative counts per bound, ending with the `+Inf` total. The
+    /// snapshot reads bucket-by-bucket, so under concurrent observation
+    /// it may straddle an update — each individual count is exact at
+    /// its read point and the final entry equals [`Histogram::count`]
+    /// for that same pass.
+    pub fn cumulative(&self) -> Vec<(Option<f64>, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            out.push((self.bounds.get(i).copied(), acc));
+        }
+        out
+    }
+}
+
+/// Seconds-valued bounds for request-latency histograms: 250 µs up to
+/// 10 s, roughly 2.5× steps — enough resolution for p50/p99/p999 on
+/// both loopback (sub-millisecond) and loaded (hundreds of ms) advises.
+pub fn default_latency_buckets() -> Vec<f64> {
+    vec![
+        0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+        5.0, 10.0,
+    ]
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Child {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Children keyed by their rendered label set (`{a="b",c="d"}` or
+    /// empty) — BTreeMap so exposition order is deterministic.
+    children: BTreeMap<String, Child>,
+}
+
+/// A collection of metric families, rendered together. Cheap to share
+/// (`Arc<Registry>`); handle lookup locks only on first creation.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: RwLock<BTreeMap<String, Family>>,
+}
+
+/// Render a label set in exposition form, values escaped. Labels are
+/// sorted by name so logically equal sets are one child.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut out = String::from("{");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Merge an extra label (histograms' `le`) into a rendered label set.
+fn with_label(key: &str, name: &str, value: &str) -> String {
+    if key.is_empty() {
+        format!("{{{name}=\"{value}\"}}")
+    } else {
+        format!("{},{name}=\"{value}\"}}", &key[..key.len() - 1])
+    }
+}
+
+/// Render a bound for the `le` label: finite bounds in shortest-float
+/// form, the overflow bucket as `+Inf`.
+fn le_label(bound: Option<f64>) -> String {
+    match bound {
+        Some(b) => format!("{b}"),
+        None => "+Inf".to_string(),
+    }
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-global registry, for consumers without a natural
+    /// owner. The server deliberately does *not* use it — each
+    /// [`Registry`] instance is hermetic, so tests running many
+    /// services in one process never share counters.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn child(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Child,
+        kind: Kind,
+    ) -> Child {
+        let key = label_key(labels);
+        if let Some(fam) = self.families.read().unwrap().get(name) {
+            assert_eq!(fam.kind, kind, "metric `{name}` registered as {:?}", fam.kind);
+            if let Some(child) = fam.children.get(&key) {
+                return child.clone();
+            }
+        }
+        let mut families = self.families.write().unwrap();
+        let fam = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            children: BTreeMap::new(),
+        });
+        assert_eq!(fam.kind, kind, "metric `{name}` registered as {:?}", fam.kind);
+        fam.children.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Get or create a counter in family `name` for this label set.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let child = self.child(
+            name,
+            help,
+            labels,
+            || Child::Counter(Arc::new(Counter::default())),
+            Kind::Counter,
+        );
+        match child {
+            Child::Counter(c) => c,
+            _ => unreachable!("kind checked in child()"),
+        }
+    }
+
+    /// Get or create a gauge in family `name` for this label set.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let child = self.child(
+            name,
+            help,
+            labels,
+            || Child::Gauge(Arc::new(Gauge::default())),
+            Kind::Gauge,
+        );
+        match child {
+            Child::Gauge(g) => g,
+            _ => unreachable!("kind checked in child()"),
+        }
+    }
+
+    /// Get or create a histogram in family `name` for this label set.
+    /// `bounds` applies on first creation; later callers inherit the
+    /// family's existing buckets.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        let child = self.child(
+            name,
+            help,
+            labels,
+            || Child::Histogram(Arc::new(Histogram::new(bounds))),
+            Kind::Histogram,
+        );
+        match child {
+            Child::Histogram(h) => h,
+            _ => unreachable!("kind checked in child()"),
+        }
+    }
+
+    /// Render the whole registry as Prometheus text exposition
+    /// (version 0.0.4): `# HELP` / `# TYPE` per family, one sample line
+    /// per child (histograms expand to cumulative `_bucket` lines plus
+    /// `_sum` and `_count`). Families and children render in
+    /// deterministic (name, label) order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let families = self.families.read().unwrap();
+        for (name, fam) in families.iter() {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            for c in fam.help.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(fam.kind.as_str());
+            out.push('\n');
+            for (labels, child) in &fam.children {
+                match child {
+                    Child::Counter(c) => {
+                        out.push_str(&format!("{name}{labels} {}\n", c.get()));
+                    }
+                    Child::Gauge(g) => {
+                        out.push_str(&format!("{name}{labels} {}\n", g.get()));
+                    }
+                    Child::Histogram(h) => {
+                        for (bound, cum) in h.cumulative() {
+                            let le = with_label(labels, "le", &le_label(bound));
+                            out.push_str(&format!("{name}_bucket{le} {cum}\n"));
+                        }
+                        out.push_str(&format!("{name}_sum{labels} {}\n", h.sum()));
+                        out.push_str(&format!("{name}_count{labels} {}\n", h.count()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = Registry::new();
+        let c = reg.counter("qrhint_test_total", "test counter", &[("route", "advise")]);
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        // Same (name, labels) → the same underlying atomic.
+        reg.counter("qrhint_test_total", "test counter", &[("route", "advise")]).inc();
+        assert_eq!(c.get(), 4);
+        let g = reg.gauge("qrhint_test_inflight", "test gauge", &[]);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-5);
+        assert_eq!(g.get(), -5);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let reg = Registry::new();
+        let a = reg.counter("m_total", "m", &[("b", "2"), ("a", "1")]);
+        let b = reg.counter("m_total", "m", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "label order must not split a child");
+        assert!(reg.render().contains("m_total{a=\"1\",b=\"2\"} 1"));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_le_inclusive() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_seconds", "latency", &[], &[0.01, 0.1, 1.0]);
+        // Exactly on a bound lands in that bound's bucket (Prometheus
+        // `le` is ≤), above the last bound lands in +Inf.
+        h.observe(0.01);
+        h.observe(0.05);
+        h.observe(0.1);
+        h.observe(0.5);
+        h.observe(2.0);
+        let cum = h.cumulative();
+        assert_eq!(cum.len(), 4);
+        assert_eq!(cum[0], (Some(0.01), 1));
+        assert_eq!(cum[1], (Some(0.1), 3));
+        assert_eq!(cum[2], (Some(1.0), 4));
+        assert_eq!(cum[3], (None, 5));
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 2.66).abs() < 1e-6, "{}", h.sum());
+    }
+
+    #[test]
+    fn histogram_exposition_shape() {
+        let reg = Registry::new();
+        let h = reg.histogram("d_seconds", "durations", &[("route", "grade")], &[0.5]);
+        h.observe(0.25);
+        h.observe(0.75);
+        let text = reg.render();
+        assert!(text.contains("# TYPE d_seconds histogram"), "{text}");
+        assert!(text.contains("d_seconds_bucket{route=\"grade\",le=\"0.5\"} 1"), "{text}");
+        assert!(text.contains("d_seconds_bucket{route=\"grade\",le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("d_seconds_sum{route=\"grade\"} 1\n"), "{text}");
+        assert!(text.contains("d_seconds_count{route=\"grade\"} 2"), "{text}");
+        crate::expo::validate(&text).expect("rendered exposition must validate");
+    }
+
+    #[test]
+    fn default_latency_buckets_are_ascending() {
+        let b = default_latency_buckets();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(b.first().copied(), Some(0.00025));
+        assert_eq!(b.last().copied(), Some(10.0));
+    }
+
+    #[test]
+    fn escaped_label_values_render_safely() {
+        let reg = Registry::new();
+        reg.counter("esc_total", "escapes", &[("path", "a\"b\\c\nd")]).inc();
+        let text = reg.render();
+        assert!(text.contains("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"), "{text}");
+        crate::expo::validate(&text).expect("escaped exposition must validate");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("twice", "first", &[]);
+        reg.gauge("twice", "second", &[]);
+    }
+}

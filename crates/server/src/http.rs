@@ -198,16 +198,28 @@ pub fn read_request(
     Ok(Request { method, path, headers, body, keep_alive })
 }
 
-/// One response ready for the wire. Bodies are always JSON.
+/// One response ready for the wire. Bodies default to JSON; the
+/// `/metrics` exposition overrides the content type.
 #[derive(Debug)]
 pub struct Response {
     pub status: u16,
     pub body: String,
+    pub content_type: &'static str,
 }
 
 impl Response {
     pub fn new(status: u16, body: String) -> Response {
-        Response { status, body }
+        Response { status, body, content_type: "application/json" }
+    }
+
+    /// A response with an explicit content type (e.g. the Prometheus
+    /// text exposition, `text/plain; version=0.0.4`).
+    pub fn with_content_type(
+        status: u16,
+        body: String,
+        content_type: &'static str,
+    ) -> Response {
+        Response { status, body, content_type }
     }
 }
 
@@ -237,9 +249,10 @@ pub fn write_response(
     // segments triggers the Nagle/delayed-ACK interaction (~40 ms
     // stalls per request on loopback keep-alive connections).
     let mut wire = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         resp.status,
         reason(resp.status),
+        resp.content_type,
         resp.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );

@@ -19,8 +19,10 @@
 //! | `POST /targets` | register `{schema, target[, extended, rewrite_subqueries]}` → `201 {id, evicted}` |
 //! | `POST /targets/{id}/advise` | one submission `{sql}` → `200` [`qrhint_core::AdviceReport`] |
 //! | `POST /targets/{id}/grade` | batch `{submissions[, jobs]}` → `200 {jobs, entries}` (fanned out over [`qrhint_core::parallel::run_indexed`]) |
-//! | `GET /targets/{id}/stats` | `200 {id, stats, approx_cache_bytes}` |
-//! | `GET /healthz` | liveness + registry totals (also served while draining) |
+//! | `GET /targets/{id}/stats` | `200 {id, stats, approx_cache_bytes}` (one coherent [`qrhint_core::SessionStats`] snapshot) |
+//! | `GET /metrics` | Prometheus text exposition (also served while draining) |
+//! | `GET /version` | `200 {name, version}` |
+//! | `GET /healthz` | liveness + registry totals + in-flight count (also served while draining) |
 //! | `POST /shutdown` | graceful drain: stop accepting, finish queued work, exit |
 //!
 //! Advice JSON is **byte-identical** (module canonical re-serialization)
@@ -33,6 +35,10 @@
 //!   rules out hyper; `Content-Length` framing, keep-alive,
 //!   `Expect: 100-continue`). Malformed requests answer `400`/`413`,
 //!   never a silent connection drop.
+//! * [`metrics`] — [`metrics::ServerMetrics`]: the `/metrics`
+//!   instrumentation (per-route counters/histograms, in-flight gauge,
+//!   scrape-time registry + session aggregation) on the shared
+//!   `qrhint-obs` substrate.
 //! * [`registry`] — [`registry::TargetRegistry`]: LRU over
 //!   `Arc<RegisteredTarget>` with an entry capacity and a byte budget;
 //!   eviction sheds rebuildable caches before dropping targets.
@@ -48,11 +54,13 @@
 
 pub mod client;
 pub mod http;
+pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod service;
 
 pub use client::Client;
+pub use metrics::ServerMetrics;
 pub use registry::{EvictionReport, RegisteredTarget, RegistryConfig, TargetRegistry};
 pub use server::{Server, ServerConfig};
 pub use service::{resolve_jobs, QrHintService, ServiceConfig};

@@ -1,0 +1,280 @@
+//! The daemon's metrics surface: HTTP-layer instrumentation plus the
+//! scrape-time aggregation behind `GET /metrics`.
+//!
+//! Two kinds of series share one [`qrhint_obs::Registry`]:
+//!
+//! * **Streamed** — bumped on every request by
+//!   [`ServerMetrics::observe_request`]: per-(route, status) request
+//!   counts, per-route latency histograms, request/response byte
+//!   totals, and the in-flight gauge.
+//! * **Mirrored** — copied in by [`ServerMetrics::render`] at scrape
+//!   time from state that already has an owner: target-registry
+//!   lifetime totals (monotone, so counters) and occupancy, plus every
+//!   resident target's [`SessionStats`] summed across the registry.
+//!   The per-target sums are exposed as **gauges**, not counters: a
+//!   target eviction removes its contribution, so the sum across
+//!   *resident* targets can legally go down.
+//!
+//! Routes are labeled by template (`/targets/{id}/advise` → `advise`),
+//! never by raw path — per-id label sets would make series cardinality
+//! grow with registration traffic.
+
+use crate::registry::TargetRegistry;
+use qrhint_core::SessionStats;
+use qrhint_obs::metrics::default_latency_buckets;
+use qrhint_obs::Registry as MetricsRegistry;
+use std::time::Duration;
+
+/// Per-process server metrics; owned by the service, one per daemon.
+pub struct ServerMetrics {
+    registry: MetricsRegistry,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> ServerMetrics {
+        ServerMetrics::new()
+    }
+}
+
+/// The aggregated-session gauge catalogue: one row per
+/// [`SessionStats`] field, summed over resident targets. Kept as a
+/// table so `render` and the README catalogue can't drift silently —
+/// the e2e test asserts every name here appears in a scrape.
+pub const SESSION_GAUGES: &[(&str, &str)] = &[
+    ("qrhint_session_advise_calls", "Advise calls answered, summed over resident targets."),
+    ("qrhint_session_advice_cache_hits", "Whole-advice cache hits, summed over resident targets."),
+    ("qrhint_session_advice_cache_misses", "Whole-advice cache misses, summed over resident targets."),
+    ("qrhint_session_advice_cache_evictions", "Advice-cache LRU evictions, summed over resident targets."),
+    ("qrhint_session_advice_cache_entries", "Resident advice-cache entries, summed over resident targets."),
+    ("qrhint_session_advice_cache_bytes", "Approximate advice-cache bytes, summed over resident targets."),
+    ("qrhint_session_from_groups", "Distinct FROM groups, summed over resident targets."),
+    ("qrhint_session_mapping_reuses", "Advises reusing an existing FROM group, summed over resident targets."),
+    ("qrhint_session_solver_calls", "Solver checks issued, summed over resident targets."),
+    ("qrhint_session_solver_calls_skipped", "Checks answered by the interval prescreen, summed over resident targets."),
+    ("qrhint_session_stages_short_circuited", "Stage checks short-circuited by the prescreen, summed over resident targets."),
+    ("qrhint_session_diagnostics_emitted", "Analyzer diagnostics emitted, summed over resident targets."),
+    ("qrhint_session_verdict_cache_hits", "Shared verdict-cache hits, summed over resident targets."),
+    ("qrhint_session_verdict_cache_cross_thread_hits", "Verdict hits paid for by another oracle slot, summed over resident targets."),
+    ("qrhint_session_verdict_cache_misses", "Shared verdict-cache misses, summed over resident targets."),
+    ("qrhint_session_verdict_cache_evictions", "Verdict-cache byte-budget evictions, summed over resident targets."),
+    ("qrhint_session_verdict_cache_entries", "Resident shared-verdict entries, summed over resident targets."),
+    ("qrhint_session_verdict_cache_bytes", "Approximate shared-verdict bytes, summed over resident targets."),
+    ("qrhint_session_interned_terms", "Distinct interned term nodes, summed over resident targets."),
+    ("qrhint_session_interned_formulas", "Distinct interned formula nodes, summed over resident targets."),
+    ("qrhint_session_interner_dedup_hits", "Interner hash-consing hits, summed over resident targets."),
+    ("qrhint_session_interner_bytes", "Approximate interner bytes, summed over resident targets."),
+    ("qrhint_session_theory_pushes", "Incremental theory-stack literal pushes, summed over resident targets."),
+    ("qrhint_session_theory_full_checks", "Full theory checks, summed over resident targets."),
+    ("qrhint_session_quick_conflicts", "Branches cut by the quick-conflict detector, summed over resident targets."),
+    ("qrhint_session_equiv_batches", "Shared-prefix candidate batches, summed over resident targets."),
+    ("qrhint_session_equiv_batch_candidates", "Candidate checks routed through batches, summed over resident targets."),
+    ("qrhint_session_lowering_memo_hits", "Lowering-memo tree hits, summed over resident targets."),
+    ("qrhint_session_lowering_memo_misses", "Lowering-memo tree misses, summed over resident targets."),
+    ("qrhint_session_lowering_memo_entries", "Resident memoized trees, summed over resident targets."),
+    ("qrhint_session_lowering_memo_bytes", "Approximate lowering-memo bytes, summed over resident targets."),
+];
+
+/// Field-order projection of [`SessionStats`] matching
+/// [`SESSION_GAUGES`] row for row.
+fn session_values(s: &SessionStats) -> [u64; 31] {
+    [
+        s.advise_calls,
+        s.advice_cache_hits,
+        s.advice_cache_misses,
+        s.advice_cache_evictions,
+        s.advice_cache_entries,
+        s.advice_cache_bytes,
+        s.from_groups,
+        s.mapping_reuses,
+        s.solver_calls,
+        s.solver_calls_skipped,
+        s.stages_short_circuited,
+        s.diagnostics_emitted,
+        s.verdict_cache_hits,
+        s.verdict_cache_cross_thread_hits,
+        s.verdict_cache_misses,
+        s.verdict_cache_evictions,
+        s.verdict_cache_entries,
+        s.verdict_cache_bytes,
+        s.interned_terms,
+        s.interned_formulas,
+        s.interner_dedup_hits,
+        s.interner_bytes,
+        s.theory_pushes,
+        s.theory_full_checks,
+        s.quick_conflicts,
+        s.equiv_batches,
+        s.equiv_batch_candidates,
+        s.lowering_memo_hits,
+        s.lowering_memo_misses,
+        s.lowering_memo_entries,
+        s.lowering_memo_bytes,
+    ]
+}
+
+impl ServerMetrics {
+    pub fn new() -> ServerMetrics {
+        let metrics = ServerMetrics { registry: MetricsRegistry::new() };
+        // Pre-register the in-flight gauge so a scrape before the first
+        // request still shows the family.
+        metrics.in_flight_gauge();
+        metrics
+    }
+
+    fn in_flight_gauge(&self) -> std::sync::Arc<qrhint_obs::Gauge> {
+        self.registry.gauge(
+            "qrhint_http_requests_in_flight",
+            "Requests currently being handled.",
+            &[],
+        )
+    }
+
+    /// Mark a request as started; pair with [`ServerMetrics::observe_request`].
+    pub fn begin_request(&self) {
+        self.in_flight_gauge().inc();
+    }
+
+    /// Requests currently in flight (for `/healthz`).
+    pub fn in_flight(&self) -> i64 {
+        self.in_flight_gauge().get()
+    }
+
+    /// Record one finished request: count, latency, bytes, in-flight
+    /// decrement. `route` must be a route template, never a raw path.
+    pub fn observe_request(
+        &self,
+        route: &str,
+        status: u16,
+        elapsed: Duration,
+        bytes_in: usize,
+        bytes_out: usize,
+    ) {
+        self.registry
+            .counter(
+                "qrhint_http_requests_total",
+                "Requests served, by route template and status code.",
+                &[("route", route), ("status", &status.to_string())],
+            )
+            .inc();
+        self.registry
+            .histogram(
+                "qrhint_http_request_duration_seconds",
+                "Wall-clock request latency, by route template.",
+                &[("route", route)],
+                &default_latency_buckets(),
+            )
+            .observe_duration(elapsed);
+        self.registry
+            .counter(
+                "qrhint_http_request_bytes_total",
+                "Request body bytes received, by route template.",
+                &[("route", route)],
+            )
+            .add(bytes_in as u64);
+        self.registry
+            .counter(
+                "qrhint_http_response_bytes_total",
+                "Response body bytes sent, by route template.",
+                &[("route", route)],
+            )
+            .add(bytes_out as u64);
+        self.in_flight_gauge().dec();
+    }
+
+    /// Render the full exposition: mirror the target registry's state
+    /// into the metrics registry, then render everything.
+    pub fn render(&self, targets: &TargetRegistry) -> String {
+        let (registered, shed, dropped) = targets.totals();
+        self.registry
+            .counter(
+                "qrhint_registry_registered_total",
+                "Targets registered over the process lifetime.",
+                &[],
+            )
+            .store(registered);
+        self.registry
+            .counter(
+                "qrhint_registry_shed_total",
+                "Cache sheds forced by the registry byte budget (lifetime).",
+                &[],
+            )
+            .store(shed);
+        self.registry
+            .counter(
+                "qrhint_registry_dropped_total",
+                "Targets dropped by capacity or byte budget (lifetime).",
+                &[],
+            )
+            .store(dropped);
+        let resident = targets.snapshot_targets();
+        self.registry
+            .gauge("qrhint_registry_targets", "Targets resident right now.", &[])
+            .set(resident.len() as i64);
+        // Sum per-target session stats outside any registry lock (each
+        // `stats()` takes per-target locks of its own), then mirror.
+        let mut bytes = 0u64;
+        let mut sums = [0u64; 31];
+        for target in &resident {
+            bytes += target.prepared.approx_cache_bytes() as u64;
+            for (acc, v) in sums.iter_mut().zip(session_values(&target.prepared.stats())) {
+                *acc += v;
+            }
+        }
+        self.registry
+            .gauge(
+                "qrhint_registry_cache_bytes",
+                "Approximate cache bytes across resident targets.",
+                &[],
+            )
+            .set(bytes.min(i64::MAX as u64) as i64);
+        for ((name, help), value) in SESSION_GAUGES.iter().zip(sums) {
+            self.registry.gauge(name, help, &[]).set(value.min(i64::MAX as u64) as i64);
+        }
+        self.registry.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+
+    #[test]
+    fn session_gauge_catalogue_matches_projection_len() {
+        assert_eq!(SESSION_GAUGES.len(), session_values(&SessionStats::default()).len());
+    }
+
+    #[test]
+    fn empty_registry_renders_valid_exposition() {
+        let m = ServerMetrics::new();
+        let targets = TargetRegistry::new(RegistryConfig::default());
+        let text = m.render(&targets);
+        let summary = qrhint_obs::expo::validate(&text).expect("valid exposition");
+        assert!(summary.samples > 0);
+        assert!(text.contains("qrhint_http_requests_in_flight 0"), "{text}");
+        assert!(text.contains("qrhint_registry_targets 0"), "{text}");
+        assert!(text.contains("qrhint_session_solver_calls 0"), "{text}");
+    }
+
+    #[test]
+    fn observe_request_populates_all_http_families() {
+        let m = ServerMetrics::new();
+        m.begin_request();
+        assert_eq!(m.in_flight(), 1);
+        m.observe_request("advise", 200, Duration::from_millis(3), 120, 450);
+        assert_eq!(m.in_flight(), 0);
+        let targets = TargetRegistry::new(RegistryConfig::default());
+        let text = m.render(&targets);
+        qrhint_obs::expo::validate(&text).expect("valid exposition");
+        assert!(
+            text.contains("qrhint_http_requests_total{route=\"advise\",status=\"200\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qrhint_http_request_duration_seconds_count{route=\"advise\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("qrhint_http_request_bytes_total{route=\"advise\"} 120"), "{text}");
+        assert!(text.contains("qrhint_http_response_bytes_total{route=\"advise\"} 450"), "{text}");
+    }
+}

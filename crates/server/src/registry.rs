@@ -181,6 +181,14 @@ impl TargetRegistry {
         targets.iter().map(|t| t.prepared.approx_cache_bytes()).sum()
     }
 
+    /// Every resident target, in no particular order, *without*
+    /// touching LRU recency — for metrics aggregation, which must
+    /// observe the registry rather than perturb its eviction order.
+    pub fn snapshot_targets(&self) -> Vec<Arc<RegisteredTarget>> {
+        let inner = self.inner.lock().unwrap();
+        inner.map.values().map(|e| Arc::clone(&e.target)).collect()
+    }
+
     /// Lifetime counters: (registered, shed, dropped).
     pub fn totals(&self) -> (u64, u64, u64) {
         (

@@ -19,8 +19,10 @@
 //! * `503` — the server is draining after `POST /shutdown`.
 
 use crate::http::{Request, Response};
+use crate::metrics::ServerMetrics;
 use crate::registry::{RegistryConfig, TargetRegistry};
 use qrhint_core::{AdviceReport, QrHint, QrHintError, SessionStats};
+use qrhint_obs::log::{self as obs_log, Level};
 use qrhint_sqlparse::{parse_schema, FlattenOptions};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -125,11 +127,23 @@ struct HealthResponse {
     version: String,
     targets: usize,
     uptime_ms: u64,
+    /// Whole seconds of `uptime_ms` — the unit soak harnesses plot.
+    uptime_seconds: u64,
     requests_served: u64,
+    /// Requests currently being handled (includes this one).
+    in_flight: i64,
     registered_total: u64,
     shed_total: u64,
     evicted_total: u64,
     draining: bool,
+}
+
+/// Body of `GET /version`: build identity on its own route, so
+/// monitoring can pin a deployment without parsing health payloads.
+#[derive(Debug, Serialize)]
+struct VersionResponse {
+    name: String,
+    version: String,
 }
 
 #[derive(Debug, Serialize)]
@@ -176,6 +190,25 @@ fn sql_error_response(context: &str, e: &QrHintError) -> Response {
     }
 }
 
+/// Collapse a request path to its route template for metric labels:
+/// `/targets/t17/advise` → `advise`. Bounded vocabulary by design —
+/// labeling by raw path would grow series cardinality with every
+/// registered target and every scanner probing random URLs.
+fn route_template(segments: &[&str]) -> &'static str {
+    match segments {
+        ["targets"] => "register",
+        ["targets", _, "advise"] => "advise",
+        ["targets", _, "grade"] => "grade",
+        ["targets", _, "lint"] => "lint",
+        ["targets", _, "stats"] => "stats",
+        ["healthz"] => "healthz",
+        ["metrics"] => "metrics",
+        ["version"] => "version",
+        ["shutdown"] => "shutdown",
+        _ => "other",
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The service
 // ---------------------------------------------------------------------------
@@ -183,25 +216,35 @@ fn sql_error_response(context: &str, e: &QrHintError) -> Response {
 /// The grading service: a [`TargetRegistry`] plus request dispatch.
 pub struct QrHintService {
     registry: TargetRegistry,
+    metrics: ServerMetrics,
     jobs: usize,
     started: Instant,
     draining: AtomicBool,
     requests_served: AtomicU64,
+    /// Request-id source for access logs; dense per process, never
+    /// reused, so a log line identifies one request exactly.
+    next_request_id: AtomicU64,
 }
 
 impl QrHintService {
     pub fn new(cfg: ServiceConfig) -> QrHintService {
         QrHintService {
             registry: TargetRegistry::new(cfg.registry),
+            metrics: ServerMetrics::new(),
             jobs: resolve_jobs(cfg.jobs),
             started: Instant::now(),
             draining: AtomicBool::new(false),
             requests_served: AtomicU64::new(0),
+            next_request_id: AtomicU64::new(0),
         }
     }
 
     pub fn registry(&self) -> &TargetRegistry {
         &self.registry
+    }
+
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
     }
 
     /// Default per-batch grading parallelism.
@@ -214,27 +257,71 @@ impl QrHintService {
     }
 
     /// Handle one request. Infallible by construction: every failure
-    /// mode is a well-formed JSON error response.
+    /// mode is a well-formed JSON error response. Every request —
+    /// including malformed and refused ones — is counted, timed, and
+    /// access-logged under a fresh request id.
     pub fn handle(&self, req: &Request) -> Response {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
+        let request_id = self.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.begin_request();
+        let started = Instant::now();
         let path = req.path.trim_end_matches('/');
         let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-        // Draining: answer health checks (monitoring wants to watch the
-        // drain) but refuse new work.
-        if self.is_draining() && segments.as_slice() != ["healthz"] {
+        let route = route_template(segments.as_slice());
+        let resp = self.dispatch(req, segments.as_slice());
+        let elapsed = started.elapsed();
+        self.metrics.observe_request(
+            route,
+            resp.status,
+            elapsed,
+            req.body.len(),
+            resp.body.len(),
+        );
+        // 500 is our fault and always log-worthy; a drain-time 503 is
+        // expected operational behavior and stays at access-log level.
+        let level =
+            if resp.status >= 500 && resp.status != 503 { Level::Error } else { Level::Info };
+        if obs_log::enabled(level) {
+            obs_log::event(
+                level,
+                "server",
+                "request",
+                &[
+                    ("request_id", &request_id.to_string()),
+                    ("method", &req.method),
+                    ("path", &req.path),
+                    ("route", route),
+                    ("status", &resp.status.to_string()),
+                    ("dur_us", &elapsed.as_micros().to_string()),
+                    ("bytes_in", &req.body.len().to_string()),
+                    ("bytes_out", &resp.body.len().to_string()),
+                ],
+            );
+        }
+        resp
+    }
+
+    fn dispatch(&self, req: &Request, segments: &[&str]) -> Response {
+        // Draining: answer health checks and scrapes (monitoring wants
+        // to watch the drain) but refuse new work.
+        if self.is_draining()
+            && !matches!(segments, ["healthz"] | ["metrics"] | ["version"])
+        {
             return error_response(503, "draining", "server is shutting down");
         }
-        match (req.method.as_str(), segments.as_slice()) {
+        match (req.method.as_str(), segments) {
             ("POST", ["targets"]) => self.handle_register(req),
             ("POST", ["targets", id, "advise"]) => self.handle_advise(req, id),
             ("POST", ["targets", id, "grade"]) => self.handle_grade(req, id),
             ("POST", ["targets", id, "lint"]) => self.handle_lint(req, id),
             ("GET", ["targets", id, "stats"]) => self.handle_stats(id),
             ("GET", ["healthz"]) => self.handle_health(),
+            ("GET", ["metrics"]) => self.handle_metrics(),
+            ("GET", ["version"]) => self.handle_version(),
             ("POST", ["shutdown"]) => self.handle_shutdown(),
             // Known routes with the wrong verb get 405, unknown paths 404.
             (_, ["targets"]) | (_, ["targets", _, "advise" | "grade" | "lint" | "stats"])
-            | (_, ["healthz"]) | (_, ["shutdown"]) => {
+            | (_, ["healthz"]) | (_, ["metrics"]) | (_, ["version"]) | (_, ["shutdown"]) => {
                 error_response(405, "method_not_allowed", format!("{} {}", req.method, req.path))
             }
             _ => error_response(404, "not_found", format!("no route for {}", req.path)),
@@ -385,18 +472,39 @@ impl QrHintService {
 
     fn handle_health(&self) -> Response {
         let (registered_total, shed_total, evicted_total) = self.registry.totals();
+        let uptime_ms = self.started.elapsed().as_millis() as u64;
         json_response(
             200,
             &HealthResponse {
                 status: if self.is_draining() { "draining".into() } else { "ok".into() },
                 version: env!("CARGO_PKG_VERSION").to_string(),
                 targets: self.registry.len(),
-                uptime_ms: self.started.elapsed().as_millis() as u64,
+                uptime_ms,
+                uptime_seconds: uptime_ms / 1000,
                 requests_served: self.requests_served.load(Ordering::Relaxed),
+                in_flight: self.metrics.in_flight(),
                 registered_total,
                 shed_total,
                 evicted_total,
                 draining: self.is_draining(),
+            },
+        )
+    }
+
+    fn handle_metrics(&self) -> Response {
+        Response::with_content_type(
+            200,
+            self.metrics.render(&self.registry),
+            "text/plain; version=0.0.4",
+        )
+    }
+
+    fn handle_version(&self) -> Response {
+        json_response(
+            200,
+            &VersionResponse {
+                name: env!("CARGO_PKG_NAME").to_string(),
+                version: env!("CARGO_PKG_VERSION").to_string(),
             },
         )
     }
@@ -578,7 +686,7 @@ mod tests {
     }
 
     #[test]
-    fn draining_refuses_new_work_but_answers_health() {
+    fn draining_refuses_new_work_but_answers_health_and_scrapes() {
         let svc = service();
         assert_eq!(svc.handle(&post("/shutdown", "")).status, 200);
         assert!(svc.is_draining());
@@ -586,6 +694,75 @@ mod tests {
         let health = svc.handle(&get("/healthz"));
         assert_eq!(health.status, 200);
         assert!(health.body.contains("\"draining\":true"));
+        // Monitoring keeps watching the drain.
+        assert_eq!(svc.handle(&get("/metrics")).status, 200);
+        assert_eq!(svc.handle(&get("/version")).status, 200);
+    }
+
+    #[test]
+    fn version_route_reports_build_identity() {
+        let svc = service();
+        let resp = svc.handle(&get("/version"));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(resp.content_type, "application/json");
+        assert!(resp.body.contains("\"name\":\"qrhint-server\""), "{}", resp.body);
+        assert!(
+            resp.body.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))),
+            "{}",
+            resp.body
+        );
+        assert_eq!(svc.handle(&post("/version", "")).status, 405);
+    }
+
+    #[test]
+    fn healthz_reports_uptime_seconds_and_in_flight() {
+        let svc = service();
+        let resp = svc.handle(&get("/healthz"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"uptime_seconds\":"), "{}", resp.body);
+        // The health request itself is the one in flight.
+        assert!(resp.body.contains("\"in_flight\":1"), "{}", resp.body);
+    }
+
+    #[test]
+    fn metrics_scrape_is_valid_and_counts_requests() {
+        let svc = service();
+        let id = register(&svc, "SELECT s.bar FROM Serves s WHERE s.price >= 3");
+        let resp = svc.handle(&post(
+            &format!("/targets/{id}/advise"),
+            "{\"sql\": \"SELECT s.bar FROM Serves s WHERE s.price > 3\"}",
+        ));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let scrape = svc.handle(&get("/metrics"));
+        assert_eq!(scrape.status, 200);
+        assert_eq!(scrape.content_type, "text/plain; version=0.0.4");
+        qrhint_obs::expo::validate(&scrape.body).expect("valid exposition");
+        assert!(
+            scrape.body.contains("qrhint_http_requests_total{route=\"register\",status=\"201\"} 1"),
+            "{}",
+            scrape.body
+        );
+        assert!(
+            scrape.body.contains("qrhint_http_requests_total{route=\"advise\",status=\"200\"} 1"),
+            "{}",
+            scrape.body
+        );
+        assert!(scrape.body.contains("qrhint_registry_targets 1"), "{}", scrape.body);
+        // Aggregated session counters reflect the one advise.
+        assert!(scrape.body.contains("qrhint_session_advise_calls 1"), "{}", scrape.body);
+        // Route templates keep label cardinality bounded: the target id
+        // never appears in the exposition.
+        assert!(!scrape.body.contains(&id), "target id leaked into labels: {}", scrape.body);
+    }
+
+    #[test]
+    fn route_template_is_total_and_bounded() {
+        assert_eq!(route_template(&["targets"]), "register");
+        assert_eq!(route_template(&["targets", "t9", "advise"]), "advise");
+        assert_eq!(route_template(&["targets", "t9", "stats"]), "stats");
+        assert_eq!(route_template(&["metrics"]), "metrics");
+        assert_eq!(route_template(&["not", "a", "route"]), "other");
+        assert_eq!(route_template(&[]), "other");
     }
 
     #[test]

@@ -418,11 +418,9 @@ impl Quick {
         let old_val = self.str_val[w as usize].clone();
         self.undo.push(Undo::StrUnion { winner: w, loser: l, old_val: old_val.clone() });
         match (&old_val, &self.str_val[l as usize]) {
-            (Some(a), Some(b)) => {
-                if a != b {
-                    self.conflict();
-                    return;
-                }
+            (Some(a), Some(b)) if a != b => {
+                self.conflict();
+                return;
             }
             (None, Some(_)) => self.str_val[w as usize] = self.str_val[l as usize].clone(),
             _ => {}

@@ -3,10 +3,11 @@
 //! ```text
 //! qr-hint [advise] --schema schema.sql --target solution.sql --working student.sql
 //!         [--interactive] [--extended] [--rewrite-subqueries] [--json]
+//!         [--trace-out trace.json]
 //! qr-hint grade --schema schema.sql --target solution.sql --submissions dir/
 //!         [--jobs N|auto] [--extended] [--rewrite-subqueries] [--json]
 //! qr-hint serve [--addr HOST:PORT] [--jobs N|auto] [--max-targets N]
-//!         [--max-cache-mb MB]
+//!         [--max-cache-mb MB] [--log-format text|json] [--log-level LEVEL]
 //! qr-hint fuzz --schema NAME [--count N] [--seed N] [--jobs N|auto]
 //!         [--instances N] [--json]
 //! qr-hint lint --schema schema.sql file.sql... [--extended]
@@ -45,7 +46,17 @@
 //! advice/grade requests ride the session layer's memo state. The first
 //! stdout line is `qr-hint serving on http://ADDR` (with the resolved
 //! ephemeral port for `--addr ...:0`); `POST /shutdown` drains
-//! gracefully.
+//! gracefully. Per-request access logs (request id, route, status,
+//! latency, bytes) go to stderr at `info` level — `--log-level`
+//! (`error|warn|info|debug|trace`, default `info`) filters them and
+//! `--log-format json` switches from logfmt text to one JSON object
+//! per line. `GET /metrics` serves Prometheus text exposition.
+//!
+//! **advise `--trace-out trace.json`** records hierarchical span
+//! timings (session → stage → oracle → solver) during the advise and
+//! writes them as Chrome trace-event JSON — open the file in
+//! `chrome://tracing` or <https://ui.perfetto.dev> for a flame view of
+//! where the wall-clock went.
 //!
 //! `--json` switches either mode to machine-readable output: the full
 //! serde-serialized [`Advice`] plus the rendered hint strings.
@@ -129,6 +140,13 @@ struct Args {
     /// fuzz mode: write the corpus to a directory instead of grading it
     /// (schema DDL + base targets + mutant working queries, for `lint`).
     emit_corpus: Option<String>,
+    /// advise mode: write a Chrome trace-event JSON span profile here.
+    trace_out: Option<String>,
+    /// serve mode: access-log format (default text/logfmt).
+    log_format: qrhint_obs::LogFormat,
+    /// serve mode: stderr log threshold (default info, so access logs
+    /// are on; the library default of warn stays for the other modes).
+    log_level: qrhint_obs::Level,
     /// lint mode: the `*.sql` files to analyze (positional).
     files: Vec<String>,
     interactive: bool,
@@ -139,12 +157,13 @@ struct Args {
 
 const USAGE: &str = "usage: qr-hint [advise] --schema <schema.sql> --target <solution.sql> \
                      --working <student.sql> [--interactive] [--extended] \
-                     [--rewrite-subqueries] [--json]\n\
+                     [--rewrite-subqueries] [--json] [--trace-out <trace.json>]\n\
                      \x20      qr-hint grade --schema <schema.sql> --target <solution.sql> \
                      --submissions <dir> [--jobs <N|auto>] [--extended] \
                      [--rewrite-subqueries] [--json]\n\
                      \x20      qr-hint serve [--addr <host:port>] [--jobs <N|auto>] \
-                     [--max-targets <N>] [--max-cache-mb <MB, 0=unlimited>]\n\
+                     [--max-targets <N>] [--max-cache-mb <MB, 0=unlimited>] \
+                     [--log-format <text|json>] [--log-level <error|warn|info|debug|trace>]\n\
                      \x20      qr-hint fuzz --schema <beers|beers-course|brass|dblp|students|tpch> \
                      [--count <N>] [--seed <N>] [--jobs <N|auto>] [--instances <N>] \
                      [--emit-corpus <dir>] [--json]\n\
@@ -165,6 +184,9 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut instances = 3usize;
     let mut emit_corpus = None;
+    let mut trace_out = None;
+    let mut log_format = None;
+    let mut log_level = None;
     let mut interactive = false;
     let mut extended = false;
     let mut rewrite_subqueries = false;
@@ -254,6 +276,21 @@ fn parse_args() -> Result<Args, String> {
             "--emit-corpus" => {
                 emit_corpus = Some(it.next().ok_or("--emit-corpus needs a directory")?)
             }
+            "--trace-out" => trace_out = Some(it.next().ok_or("--trace-out needs a file")?),
+            "--log-format" => {
+                let v = it.next().ok_or("--log-format needs `text` or `json`")?;
+                log_format = Some(
+                    qrhint_obs::LogFormat::parse(&v).ok_or_else(|| {
+                        format!("--log-format needs `text` or `json`, got `{v}`")
+                    })?,
+                );
+            }
+            "--log-level" => {
+                let v = it.next().ok_or("--log-level needs a level name")?;
+                log_level = Some(qrhint_obs::Level::parse(&v).ok_or_else(|| {
+                    format!("--log-level needs error|warn|info|debug|trace, got `{v}`")
+                })?);
+            }
             "--interactive" | "-i" => interactive = true,
             "--extended" | "-x" => extended = true,
             "--rewrite-subqueries" => {
@@ -328,6 +365,12 @@ fn parse_args() -> Result<Args, String> {
     if emit_corpus.is_some() && !matches!(mode, Mode::Fuzz) {
         return Err(format!("--emit-corpus only applies to fuzz mode\n{USAGE}"));
     }
+    if trace_out.is_some() && !matches!(mode, Mode::Advise) {
+        return Err(format!("--trace-out only applies to advise mode\n{USAGE}"));
+    }
+    if (log_format.is_some() || log_level.is_some()) && !matches!(mode, Mode::Serve) {
+        return Err(format!("--log-format/--log-level only apply to serve mode\n{USAGE}"));
+    }
     match mode {
         Mode::Advise if working.is_none() => {
             return Err(format!("--working is required\n{USAGE}"))
@@ -351,6 +394,9 @@ fn parse_args() -> Result<Args, String> {
         seed,
         instances,
         emit_corpus,
+        trace_out,
+        log_format: log_format.unwrap_or(qrhint_obs::LogFormat::Text),
+        log_level: log_level.unwrap_or(qrhint_obs::Level::Info),
         files,
         interactive,
         extended,
@@ -466,7 +512,35 @@ fn emit_json<T: Serialize>(value: &T) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `advise --trace-out`: record span events around the whole advise
+/// pipeline and write them as Chrome trace-event JSON. The trace is
+/// written even when advising fails — a profile of the failing run is
+/// exactly what one wants then — but the advise error stays the exit
+/// status.
 fn run_advise(args: &Args) -> Result<(), CliError> {
+    let Some(path) = &args.trace_out else {
+        return run_advise_inner(args);
+    };
+    qrhint_obs::span::enable_tracing();
+    let result = run_advise_inner(args);
+    qrhint_obs::span::disable_tracing();
+    let (events, dropped) = qrhint_obs::span::take_events();
+    if dropped > 0 {
+        eprintln!("trace: {dropped} span(s) dropped (buffer full)");
+    }
+    let json = qrhint_obs::span::chrome_trace_json(&events);
+    match std::fs::write(path, json) {
+        Ok(()) => {
+            eprintln!("trace: {} span(s) written to {path}", events.len());
+            result
+        }
+        // An advise failure outranks the write failure as the reported
+        // error (`and` keeps the first Err).
+        Err(e) => result.and(Err(CliError::internal(format!("cannot write {path}: {e}")))),
+    }
+}
+
+fn run_advise_inner(args: &Args) -> Result<(), CliError> {
     let prepared = compile(args)?;
     let working_sql = read(args.working.as_deref().expect("checked in parse_args"))?;
     let working = prepare_working(&prepared, args, &working_sql).map_err(working_error)?;
@@ -825,6 +899,10 @@ fn emit_fuzz_corpus(schema: &str, count: usize, seed: u64, dir: &str) -> Result<
 /// first stdout line (scripts and the CI smoke job parse it), then
 /// block until a `POST /shutdown` drains the daemon.
 fn run_serve(args: &Args) -> Result<(), CliError> {
+    // A daemon wants its access logs: raise the library's quiet `warn`
+    // default to `info` unless the operator said otherwise.
+    qrhint_obs::log::set_format(args.log_format);
+    qrhint_obs::log::set_level(args.log_level);
     let cfg = ServerConfig {
         addr: args.addr.clone(),
         workers: args.jobs,

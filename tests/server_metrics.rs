@@ -1,0 +1,184 @@
+//! End-to-end coverage of the daemon's telemetry surface over real
+//! `TcpStream`s: `GET /metrics` after register/advise/grade traffic —
+//! Prometheus exposition validity (checked by the `qrhint-obs`
+//! validator, the same one behind the `promcheck` binary), counter
+//! monotonicity across scrapes, histogram counts agreeing with request
+//! counters, bounded label cardinality, and the scrape content type.
+
+use qr_hint::server::{RegistryConfig, Server, ServerConfig, ServiceConfig};
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const SCHEMA: &str = "CREATE TABLE Serves (\
+    bar VARCHAR(20), beer VARCHAR(20), price INT, PRIMARY KEY (bar, beer));";
+const TARGET: &str = "SELECT s.bar FROM Serves s WHERE s.price >= 3";
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    qr_hint::server::client::request_once(addr, method, path, body).expect("request")
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    fn start() -> TestServer {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            service: ServiceConfig {
+                jobs: 2,
+                registry: RegistryConfig { max_targets: 8, ..RegistryConfig::default() },
+            },
+            ..ServerConfig::default()
+        })
+        .expect("bind test server");
+        let addr = server.addr();
+        let handle = std::thread::spawn(move || server.run());
+        TestServer { addr, handle: Some(handle) }
+    }
+
+    fn register(&self, schema: &str, target: &str) -> String {
+        let body = format!(
+            "{{\"schema\": {}, \"target\": {}}}",
+            serde_json::to_string(schema).unwrap(),
+            serde_json::to_string(target).unwrap()
+        );
+        let (status, body) = request(self.addr, "POST", "/targets", &body);
+        assert_eq!(status, 201, "register failed: {body}");
+        let parsed: Value = serde_json::from_str(&body).expect("register response JSON");
+        let Value::Map(fields) = parsed else { panic!("register response not a map: {body}") };
+        match fields.iter().find(|(k, _)| k == "id") {
+            Some((_, Value::Str(id))) => id.clone(),
+            other => panic!("no string id in register response ({other:?}): {body}"),
+        }
+    }
+
+    fn scrape(&self) -> String {
+        let (status, body) = request(self.addr, "GET", "/metrics", "");
+        assert_eq!(status, 200, "{body}");
+        qrhint_obs::expo::validate(&body)
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{body}"));
+        body
+    }
+
+    fn shutdown(mut self) {
+        let (status, body) = request(self.addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200, "{body}");
+        self.handle.take().unwrap().join().expect("server thread panicked").expect("run() err");
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = request(self.addr, "POST", "/shutdown", "");
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The value of the exposition sample whose line starts with
+/// `name_and_labels ` (exact match up to the separating space).
+fn sample(text: &str, name_and_labels: &str) -> f64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(name_and_labels).and_then(|rest| rest.strip_prefix(' ')))
+        .unwrap_or_else(|| panic!("no sample `{name_and_labels}` in scrape:\n{text}"))
+        .trim()
+        .parse()
+        .expect("numeric sample value")
+}
+
+/// Every `qrhint_http_requests_total` sample in `earlier`, keyed by its
+/// label set, must be ≤ the matching sample in `later`.
+fn assert_request_counters_monotone(earlier: &str, later: &str) {
+    for line in earlier.lines().filter(|l| l.starts_with("qrhint_http_requests_total{")) {
+        let (key, value) = line.rsplit_once(' ').expect("sample line");
+        let before: f64 = value.parse().unwrap();
+        let after = sample(later, key);
+        assert!(
+            after >= before,
+            "counter went backwards: {key} {before} -> {after}"
+        );
+    }
+}
+
+#[test]
+fn metrics_scrape_reflects_register_advise_grade_traffic() {
+    let server = TestServer::start();
+    let id = server.register(SCHEMA, TARGET);
+
+    for sql in
+        ["SELECT s.bar FROM Serves s WHERE s.price > 2", "SELECT s.bar FROM Serves s WHERE s.price > 3"]
+    {
+        let body = format!("{{\"sql\": {}}}", serde_json::to_string(sql).unwrap());
+        let (status, resp) = request(server.addr, "POST", &format!("/targets/{id}/advise"), &body);
+        assert_eq!(status, 200, "{resp}");
+    }
+    let subs = ["SELECT s.bar FROM Serves s WHERE s.price > 2", "SELECT s.beer FROM Serves s", "SELEKT no", "SELECT s.bar FROM Serves s"];
+    let (status, resp) = request(
+        server.addr,
+        "POST",
+        &format!("/targets/{id}/grade"),
+        &format!("{{\"submissions\": {}}}", serde_json::to_string(&subs[..]).unwrap()),
+    );
+    assert_eq!(status, 200, "{resp}");
+
+    let first = server.scrape();
+    assert_eq!(sample(&first, "qrhint_http_requests_total{route=\"register\",status=\"201\"}"), 1.0);
+    assert_eq!(sample(&first, "qrhint_http_requests_total{route=\"advise\",status=\"200\"}"), 2.0);
+    assert_eq!(sample(&first, "qrhint_http_requests_total{route=\"grade\",status=\"200\"}"), 1.0);
+    assert_eq!(sample(&first, "qrhint_registry_targets"), 1.0);
+    assert_eq!(sample(&first, "qrhint_registry_registered_total"), 1.0);
+    // 2 advise requests + 4 batch entries (the malformed one errors
+    // before the session counts it) hit the one resident target.
+    assert_eq!(sample(&first, "qrhint_session_advise_calls"), 5.0);
+    // The histogram agrees with the request counters: each advise
+    // request contributed exactly one latency observation, and the
+    // +Inf bucket is the count (cumulative rendering).
+    assert_eq!(sample(&first, "qrhint_http_request_duration_seconds_count{route=\"advise\"}"), 2.0);
+    assert_eq!(
+        sample(&first, "qrhint_http_request_duration_seconds_bucket{route=\"advise\",le=\"+Inf\"}"),
+        2.0
+    );
+    // Bounded cardinality: the target id must never become a label.
+    assert!(!first.contains(&id), "target id leaked into the scrape:\n{first}");
+
+    // More traffic, then a second scrape: counters only go up, and the
+    // first scrape itself is now visible as metrics-route traffic.
+    let body = format!(
+        "{{\"sql\": {}}}",
+        serde_json::to_string("SELECT s.bar FROM Serves s WHERE s.price > 2").unwrap()
+    );
+    let (status, _) = request(server.addr, "POST", &format!("/targets/{id}/advise"), &body);
+    assert_eq!(status, 200);
+    let second = server.scrape();
+    assert_request_counters_monotone(&first, &second);
+    assert_eq!(sample(&second, "qrhint_http_requests_total{route=\"advise\",status=\"200\"}"), 3.0);
+    assert_eq!(sample(&second, "qrhint_http_requests_total{route=\"metrics\",status=\"200\"}"), 1.0);
+    assert_eq!(sample(&second, "qrhint_http_request_duration_seconds_count{route=\"advise\"}"), 3.0);
+
+    server.shutdown();
+}
+
+#[test]
+fn metrics_content_type_is_prometheus_text() {
+    let server = TestServer::start();
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    let headers = resp.split("\r\n\r\n").next().unwrap().to_ascii_lowercase();
+    assert!(
+        headers.contains("content-type: text/plain; version=0.0.4"),
+        "scrape must use the exposition content type, got:\n{headers}"
+    );
+    server.shutdown();
+}
