@@ -15,7 +15,7 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["mode", "clients", "requests", "req/s", "p50 ms", "p99 ms"],
+            &["mode", "clients", "requests", "req/s", "p50 ms", "p99 ms", "p999 ms"],
             &result
                 .rows
                 .iter()
@@ -26,6 +26,7 @@ fn main() {
                     format!("{:.0}", r.req_per_s),
                     format!("{:.2}", r.p50_ms),
                     format!("{:.2}", r.p99_ms),
+                    format!("{:.2}", r.p999_ms),
                 ])
                 .collect::<Vec<_>>(),
         )

@@ -1,0 +1,88 @@
+//! Scale-out serving soak binary: a consistent-hash router in front of
+//! two in-process backend daemons, driven through five phases —
+//! routed-vs-direct advice parity, unloaded baseline, sustained mixed
+//! register/advise/grade load, ≥2×-capacity overload (bounded-queue
+//! `429` shedding with p99 held within 10× of unloaded), a fuzz-corpus
+//! ingest, and a backend-kill failover recovery measurement. Persists
+//! `BENCH_soak.json` in the working directory (run from the repo root)
+//! and exits nonzero if a gate fails on a host that could have met it
+//! (< 4-core hosts record the latency gates as waived; parity, shed
+//! accounting and failover recovery are gated everywhere).
+//!
+//! `--ingest` streams the full 10⁴-pair mutation corpus through the
+//! router (the PR 4 fuzz scale); the default run uses a 2 000-pair
+//! prefix of the same deterministic corpus.
+
+use qrhint_bench::{report, soak};
+
+fn main() {
+    let full_ingest = std::env::args().any(|a| a == "--ingest");
+    let mut cfg = soak::SoakConfig::default();
+    if full_ingest {
+        cfg.ingest_pairs = 10_000;
+    }
+    let result = soak::run(&cfg);
+    println!(
+        "{}",
+        report::table(
+            &[
+                "phase", "clients", "requests", "ok", "shed", "errors", "req/s", "p50 ms",
+                "p99 ms", "p999 ms", "shed rate",
+            ],
+            &result
+                .rows
+                .iter()
+                .map(|r| vec![
+                    r.phase.clone(),
+                    r.concurrency.to_string(),
+                    r.requests.to_string(),
+                    r.ok.to_string(),
+                    r.shed.to_string(),
+                    r.errors.to_string(),
+                    format!("{:.0}", r.req_per_s),
+                    format!("{:.2}", r.p50_ms),
+                    format!("{:.2}", r.p99_ms),
+                    format!("{:.2}", r.p999_ms),
+                    format!("{:.1}%", r.shed_rate * 100.0),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    println!(
+        "host cores: {} · backends: {} · targets: {} · routed/direct parity: {} · pool hit rate: {:.0}%",
+        result.cores,
+        result.backends,
+        result.targets,
+        if result.parity_ok { "ok" } else { "BROKEN" },
+        result.pool_hit_rate * 100.0,
+    );
+    println!(
+        "overload: {} sheds, accepted p99 {:.2} ms = {:.1}x unloaded (gate ≤{:.0}x{}) · accounting: {}",
+        result.overload_shed,
+        result.overload_p99_ms,
+        result.overload_ratio,
+        result.overload_threshold,
+        if result.gate_waived_low_cores { ", waived: < 4 cores" } else { "" },
+        if result.shed_accounted_ok { "ok" } else { "BROKEN" },
+    );
+    println!(
+        "failover: recovered={} in {:.0} ms (budget {:.0} ms at {} ms health interval{})",
+        result.failover_recovered,
+        result.failover_recovery_ms,
+        result.failover_budget_ms,
+        result.health_interval_ms,
+        if result.gate_waived_low_cores { ", waived: < 4 cores" } else { "" },
+    );
+    println!(
+        "ingest: {} pairs · registry cache sheds: {} · target evictions: {}",
+        result.rows.last().map_or(0, |r| r.requests),
+        result.registry_shed_total,
+        result.registry_evicted_total,
+    );
+    report::write_bench("soak", &result);
+    if !result.gate_ok {
+        eprintln!("GATE FAILED");
+        std::process::exit(1);
+    }
+    println!("gates: OK");
+}

@@ -22,6 +22,7 @@
 //! | `exp_analyze` | Static analyzer: corpus throughput + interval-prescreen ablation on a contradiction-seeded batch (`BENCH_analyze.json`) |
 //! | `exp_incremental` | Incremental solver: push/pop assumption stack vs from-scratch, verdict parity enforced (`BENCH_incremental.json`) |
 //! | `exp_obs` | Telemetry overhead: batch grading with span tracing off vs on, ≤5% wall-clock + advice parity (`BENCH_obs.json`) |
+//! | `exp_soak` | Scale-out serving soak: router + 2 backends, mixed load, overload shedding, fuzz-corpus ingest, failover recovery (`BENCH_soak.json`) |
 
 #![forbid(unsafe_code)]
 
@@ -37,6 +38,7 @@ pub mod parallel_grading;
 pub mod report;
 pub mod server_throughput;
 pub mod session_api;
+pub mod soak;
 pub mod students_exp;
 pub mod userstudy;
 

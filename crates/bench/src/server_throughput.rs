@@ -41,6 +41,9 @@ pub struct ServerThroughputRow {
     pub req_per_s: f64,
     pub p50_ms: f64,
     pub p99_ms: f64,
+    /// One latency schema across BENCH files: `BENCH_soak.json` rows
+    /// carry p999 too, and the PR 9 histograms already resolve it.
+    pub p999_ms: f64,
 }
 
 /// The full benchmark artifact.
@@ -172,6 +175,7 @@ fn run_level(
             req_per_s: requests as f64 / wall_s,
             p50_ms: percentile(&all_ms, 0.50),
             p99_ms: percentile(&all_ms, 0.99),
+            p999_ms: percentile(&all_ms, 0.999),
         },
         by_submission,
     )
@@ -231,6 +235,7 @@ pub fn run(batch_cap: usize, requests_per_client: usize) -> ServerThroughputRepo
         req_per_s: 1e3 / cold_ms,
         p50_ms: cold_ms,
         p99_ms: cold_ms,
+        p999_ms: cold_ms,
     }];
     let mut baseline: Vec<String> = Vec::new();
     let mut hot_p50 = f64::NAN;

@@ -17,6 +17,10 @@ use std::time::Duration;
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Whether the last response left the connection reusable (the
+    /// server did not answer `Connection: close`). Pools check this
+    /// before parking the connection for the next checkout.
+    reusable: bool,
 }
 
 impl Client {
@@ -28,7 +32,14 @@ impl Client {
         stream.set_read_timeout(Some(Duration::from_secs(60)))?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer })
+        Ok(Client { reader: BufReader::new(stream), writer, reusable: true })
+    }
+
+    /// Whether the connection survived the last exchange: `false` once
+    /// a response carried `Connection: close` (drain, shed, framing
+    /// error), after which the next request would hit a dead socket.
+    pub fn is_reusable(&self) -> bool {
+        self.reusable
     }
 
     /// Send one request, read one response; returns (status, body).
@@ -61,9 +72,12 @@ impl Client {
             if line.is_empty() {
                 break;
             }
-            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            let lower = line.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
                 content_length =
                     v.trim().parse().map_err(|_| bad(&format!("bad Content-Length: {v}")))?;
+            } else if let Some(v) = lower.strip_prefix("connection:") {
+                self.reusable = !v.trim().eq_ignore_ascii_case("close");
             }
         }
         let mut body = vec![0u8; content_length];

@@ -205,11 +205,14 @@ pub struct Response {
     pub status: u16,
     pub body: String,
     pub content_type: &'static str,
+    /// `Retry-After` header in whole seconds — set on `429` overload
+    /// sheds so well-behaved clients back off instead of hammering.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
     pub fn new(status: u16, body: String) -> Response {
-        Response { status, body, content_type: "application/json" }
+        Response { status, body, content_type: "application/json", retry_after: None }
     }
 
     /// A response with an explicit content type (e.g. the Prometheus
@@ -219,7 +222,14 @@ impl Response {
         body: String,
         content_type: &'static str,
     ) -> Response {
-        Response { status, body, content_type }
+        Response { status, body, content_type, retry_after: None }
+    }
+
+    /// Attach a `Retry-After` hint (the backpressure contract: every
+    /// `429` carries one).
+    pub fn with_retry_after(mut self, seconds: u32) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 }
 
@@ -232,6 +242,7 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -249,13 +260,18 @@ pub fn write_response(
     // segments triggers the Nagle/delayed-ACK interaction (~40 ms
     // stalls per request on loopback keep-alive connections).
     let mut wire = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         reason(resp.status),
         resp.content_type,
         resp.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    if let Some(seconds) = resp.retry_after {
+        use std::fmt::Write as _;
+        let _ = write!(wire, "Retry-After: {seconds}\r\n");
+    }
+    wire.push_str("\r\n");
     wire.push_str(&resp.body);
     w.write_all(wire.as_bytes())?;
     w.flush()
@@ -335,6 +351,18 @@ mod tests {
                 .unwrap();
         assert_eq!(req.body, b"hi");
         assert_eq!(sink, b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    #[test]
+    fn shed_response_carries_retry_after() {
+        let mut out = Vec::new();
+        let resp = Response::new(429, "{\"kind\":\"overloaded\"}".into()).with_retry_after(1);
+        write_response(&mut out, &resp, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"kind\":\"overloaded\"}"), "{text}");
     }
 
     #[test]

@@ -44,23 +44,38 @@
 //!   eviction sheds rebuildable caches before dropping targets.
 //! * [`service`] — transport-agnostic route dispatch and the JSON wire
 //!   shapes; unit-testable without sockets.
-//! * [`server`] — accept loop + scoped connection worker pool +
-//!   graceful drain.
+//! * [`server`] — event-driven acceptor (readiness-polled
+//!   multiplexing over the vendored `polling` shim, with a documented
+//!   blocking fallback), scoped request worker pool, bounded dispatch
+//!   queue with `429` + `Retry-After` overload shedding, graceful
+//!   drain.
 //! * [`client`] — the matching minimal blocking client, shared by the
 //!   integration tests, the throughput benchmark and the
 //!   `serve_classroom` example.
+//! * [`pool`] — [`pool::ClientPool`]: keep-alive connection reuse per
+//!   backend address, with checkout/hit/miss statistics.
+//! * [`router`] — the `qr-hint route` scale-out layer: consistent-hash
+//!   placement of targets across backend daemons, health-checked
+//!   failover with deterministic re-sharding, pooled forwarding.
+//!
+//! The crate itself forbids `unsafe`; the one `poll(2)` FFI call lives
+//! behind the vendored `polling` shim.
 
 #![forbid(unsafe_code)]
 
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod pool;
 pub mod registry;
+pub mod router;
 pub mod server;
 pub mod service;
 
 pub use client::Client;
 pub use metrics::ServerMetrics;
+pub use pool::{ClientPool, PoolStats};
 pub use registry::{EvictionReport, RegisteredTarget, RegistryConfig, TargetRegistry};
-pub use server::{Server, ServerConfig};
+pub use router::{Ring, Router, RouterConfig, RouterService};
+pub use server::{AcceptorMode, HttpHandler, Server, ServerConfig, ShellConfig};
 pub use service::{resolve_jobs, QrHintService, ServiceConfig};

@@ -115,9 +115,11 @@ fn session_values(s: &SessionStats) -> [u64; 31] {
 impl ServerMetrics {
     pub fn new() -> ServerMetrics {
         let metrics = ServerMetrics { registry: MetricsRegistry::new() };
-        // Pre-register the in-flight gauge so a scrape before the first
-        // request still shows the family.
+        // Pre-register the in-flight gauge and shed counter so a scrape
+        // before the first request (or first overload) still shows the
+        // families.
         metrics.in_flight_gauge();
+        metrics.shed_counter();
         metrics
     }
 
@@ -137,6 +139,26 @@ impl ServerMetrics {
     /// Requests currently in flight (for `/healthz`).
     pub fn in_flight(&self) -> i64 {
         self.in_flight_gauge().get()
+    }
+
+    fn shed_counter(&self) -> std::sync::Arc<qrhint_obs::Counter> {
+        self.registry.counter(
+            "qrhint_http_shed_total",
+            "Connections shed with 429 because the bounded dispatch queue was full.",
+            &[],
+        )
+    }
+
+    /// Record one overload shed (429 before the request was even read).
+    /// Distinct from `qrhint_registry_shed_total`, which is cache
+    /// shedding inside the target registry.
+    pub fn observe_shed(&self) {
+        self.shed_counter().inc();
+    }
+
+    /// Lifetime overload sheds (for `/healthz`).
+    pub fn shed_total(&self) -> u64 {
+        self.shed_counter().get()
     }
 
     /// Record one finished request: count, latency, bytes, in-flight

@@ -1,23 +1,98 @@
-//! The daemon shell: TCP accept loop, a scoped connection worker pool
-//! (the same `std::thread::scope` infrastructure the parallel grading
-//! path is built on), and graceful drain.
+//! The daemon shell: an event-driven acceptor (readiness-polled
+//! multiplexing over the vendored [`polling`] shim), a scoped request
+//! worker pool, bounded-overload backpressure, and graceful drain.
 //!
-//! Life of a connection: the acceptor pushes it onto a bounded queue; a
-//! worker pops it and serves requests serially over keep-alive until
-//! the client closes, a framing error forces a close, or the server
-//! starts draining. `POST /shutdown` flips the service's draining flag;
-//! the handling worker then nudges the (blocking) acceptor awake with a
-//! loopback connection, the acceptor stops accepting, workers finish
-//! the queued connections, and [`Server::run`] returns.
+//! ## Life of a connection (event-driven mode, the default)
+//!
+//! One event-loop thread owns the listener and every **idle**
+//! connection, registered for readability with the poller. When a
+//! connection becomes readable — the client started writing a request —
+//! it moves onto a **bounded** dispatch queue; a worker pops it, reads
+//! and serves requests until the client pauses (no pipelined bytes
+//! left buffered), then hands the connection back to the event loop,
+//! which re-arms it. Idle keep-alive connections therefore cost one fd
+//! and a poll registration, not a parked thread — the thread-per-
+//! connection ceiling this module replaces.
+//!
+//! ## Backpressure
+//!
+//! The dispatch queue is bounded by [`ServerConfig::max_pending`].
+//! When a readable connection finds the queue full, the server **sheds
+//! deterministically** instead of queueing without bound: it answers
+//! `429 Too Many Requests` with a `Retry-After` header and closes that
+//! connection. Under overload, queueing delay — and with it p99/p999 —
+//! stays bounded by `max_pending × per-request cost`; the excess load
+//! is visible to clients as 429s and to operators as the
+//! `qrhint_http_shed_total` counter.
+//!
+//! ## Portable fallback
+//!
+//! Readiness polling needs `poll(2)` (see the `polling` shim). Where
+//! that is unavailable — or when an operator passes
+//! `--acceptor blocking` — the daemon falls back to the previous
+//! architecture: a blocking accept loop feeding the same bounded queue,
+//! with each worker pinned to one connection for its whole keep-alive
+//! lifetime. The backpressure contract (bounded queue, 429 +
+//! `Retry-After` shed) is identical in both modes; only idle-connection
+//! cost differs.
+//!
+//! `POST /shutdown` flips the service's draining flag; the event loop
+//! (or, in blocking mode, a loopback nudge to the acceptor) notices,
+//! stops accepting, lets workers finish queued connections, and
+//! [`Server::run`] returns.
 
-use crate::http::{self, HttpError};
+use crate::http::{self, HttpError, Request, Response};
 use crate::service::{QrHintService, ServiceConfig};
-use std::collections::VecDeque;
-use std::io::{self, BufReader};
+use polling::{Event, Poller};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// What the serving shell needs from a request handler. Implemented by
+/// [`QrHintService`] (the grading daemon) and the router's forwarding
+/// service, so both share one acceptor, worker pool, backpressure and
+/// drain implementation.
+pub trait HttpHandler: Send + Sync {
+    /// Answer one request. Must be infallible: every failure mode is a
+    /// well-formed error [`Response`].
+    fn handle(&self, req: &Request) -> Response;
+
+    /// `true` once a shutdown request has been accepted; the shell
+    /// stops accepting, finishes queued work, and returns from `run`.
+    fn is_draining(&self) -> bool;
+
+    /// One connection was answered `429` by the bounded-queue overload
+    /// guard without its request being read.
+    fn observe_shed(&self);
+}
+
+/// How the daemon waits for work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptorMode {
+    /// Event-driven if the platform supports readiness polling,
+    /// blocking otherwise (the default).
+    Auto,
+    /// Readiness-polled multiplexing; fails to bind where unsupported.
+    Event,
+    /// The portable blocking accept loop (thread-per-connection).
+    Blocking,
+}
+
+impl AcceptorMode {
+    /// Parse a CLI argument value.
+    pub fn parse(s: &str) -> Option<AcceptorMode> {
+        match s {
+            "auto" => Some(AcceptorMode::Auto),
+            "event" => Some(AcceptorMode::Event),
+            "blocking" => Some(AcceptorMode::Blocking),
+            _ => None,
+        }
+    }
+}
 
 /// Everything `qr-hint serve` configures.
 #[derive(Debug, Clone)]
@@ -25,13 +100,17 @@ pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (`:0` = ephemeral port,
     /// readable back from [`Server::addr`]).
     pub addr: String,
-    /// Connection workers (`0` = use available parallelism).
+    /// Request workers (`0` = use available parallelism).
     pub workers: usize,
     pub service: ServiceConfig,
     /// Cap on request bodies.
     pub max_body_bytes: usize,
     /// Per-socket read timeout so a dead client cannot pin a worker.
     pub read_timeout: Duration,
+    /// Bound on connections queued for a worker; a readable connection
+    /// beyond it is shed with `429 Too Many Requests` + `Retry-After`.
+    pub max_pending: usize,
+    pub acceptor: AcceptorMode,
 }
 
 impl Default for ServerConfig {
@@ -42,32 +121,81 @@ impl Default for ServerConfig {
             service: ServiceConfig::default(),
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
             read_timeout: Duration::from_secs(30),
+            max_pending: 1024,
+            acceptor: AcceptorMode::Auto,
         }
     }
 }
 
-/// Connection queue shared by the acceptor and the workers.
-#[derive(Default)]
-struct ConnQueue {
-    queue: Mutex<VecDeque<TcpStream>>,
+/// One keep-alive connection's transport state. The `BufReader` travels
+/// with the connection: it may hold bytes of the *next* pipelined
+/// request, which the poller cannot see (they already left the socket).
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Conn> {
+        // Keep-alive request/response traffic is many small segments;
+        // without TCP_NODELAY the Nagle/delayed-ACK interaction adds
+        // ~40 ms to every response.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Conn { reader: BufReader::new(stream), writer })
+    }
+
+    fn fd_source(&self) -> &TcpStream {
+        self.reader.get_ref()
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        self.reader.get_ref().set_nonblocking(nb)
+    }
+}
+
+/// The bounded dispatch queue shared by the acceptor/event loop and the
+/// workers. `try_push` refusing is the backpressure signal.
+struct BoundedQueue<T> {
+    queue: Mutex<VecDeque<T>>,
+    capacity: usize,
     ready: Condvar,
-    /// Set once the acceptor has stopped: workers drain and exit.
+    /// Set once no more work will arrive: workers drain and exit.
     closed: AtomicBool,
 }
 
-impl ConnQueue {
-    fn push(&self, conn: TcpStream) {
-        self.queue.lock().unwrap().push_back(conn);
-        self.ready.notify_one();
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            queue: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            ready: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
     }
 
-    /// Pop the next connection, blocking; `None` once the queue is
-    /// closed *and* empty.
-    fn pop(&self) -> Option<TcpStream> {
+    /// Enqueue unless full or closed; the rejected item comes back so
+    /// the caller can shed it.
+    fn try_push(&self, item: T) -> Result<(), T> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(item);
+        }
+        let mut queue = self.queue.lock().unwrap();
+        if queue.len() >= self.capacity {
+            return Err(item);
+        }
+        queue.push_back(item);
+        drop(queue);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pop the next item, blocking; `None` once closed *and* empty.
+    fn pop(&self) -> Option<T> {
         let mut queue = self.queue.lock().unwrap();
         loop {
-            if let Some(conn) = queue.pop_front() {
-                return Some(conn);
+            if let Some(item) = queue.pop_front() {
+                return Some(item);
             }
             if self.closed.load(Ordering::SeqCst) {
                 return None;
@@ -82,30 +210,93 @@ impl ConnQueue {
     }
 }
 
-/// A bound-but-not-yet-running grading daemon.
-pub struct Server {
+/// What a worker reports back to the event loop about a dispatched
+/// connection.
+enum Returned {
+    /// Still healthy and keep-alive: re-arm for the next request.
+    KeepAlive(usize, Conn),
+    /// Closed (client hangup, framing error, opt-out, drain): the event
+    /// loop must unregister its poller entry before the fd can be
+    /// reused by a new accept.
+    Closed(Conn),
+}
+
+/// The transport-only half of [`ServerConfig`]: everything the serving
+/// shell needs that is not the grading service itself. The router binds
+/// its shell with one of these plus its own handler.
+#[derive(Debug, Clone)]
+pub struct ShellConfig {
+    pub addr: String,
+    pub workers: usize,
+    pub max_body_bytes: usize,
+    pub read_timeout: Duration,
+    pub max_pending: usize,
+    pub acceptor: AcceptorMode,
+}
+
+impl Default for ShellConfig {
+    fn default() -> ShellConfig {
+        let cfg = ServerConfig::default();
+        ShellConfig {
+            addr: cfg.addr,
+            workers: cfg.workers,
+            max_body_bytes: cfg.max_body_bytes,
+            read_timeout: cfg.read_timeout,
+            max_pending: cfg.max_pending,
+            acceptor: cfg.acceptor,
+        }
+    }
+}
+
+/// A bound-but-not-yet-running daemon shell around a handler `H` —
+/// the grading service by default, the router's forwarding service for
+/// `qr-hint route`.
+pub struct Server<H = QrHintService> {
     listener: TcpListener,
     addr: SocketAddr,
-    service: Arc<QrHintService>,
+    service: Arc<H>,
     workers: usize,
     max_body_bytes: usize,
     read_timeout: Duration,
+    max_pending: usize,
+    acceptor: AcceptorMode,
 }
 
-impl Server {
+impl Server<QrHintService> {
     /// Bind the listener (so the caller knows the ephemeral port before
-    /// the serve loop starts) and build the service.
+    /// the serve loop starts) and build the grading service.
     pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(&cfg.addr)?;
+        let shell = ShellConfig {
+            addr: cfg.addr,
+            workers: cfg.workers,
+            max_body_bytes: cfg.max_body_bytes,
+            read_timeout: cfg.read_timeout,
+            max_pending: cfg.max_pending,
+            acceptor: cfg.acceptor,
+        };
+        Server::bind_with(shell, Arc::new(QrHintService::new(cfg.service)))
+    }
+
+    pub fn service(&self) -> &Arc<QrHintService> {
+        &self.service
+    }
+}
+
+impl<H: HttpHandler> Server<H> {
+    /// Bind the listener around an arbitrary handler.
+    pub fn bind_with(shell: ShellConfig, handler: Arc<H>) -> io::Result<Server<H>> {
+        let listener = TcpListener::bind(&shell.addr)?;
         let addr = listener.local_addr()?;
-        let workers = crate::service::resolve_jobs(cfg.workers).max(2);
+        let workers = crate::service::resolve_jobs(shell.workers).max(2);
         Ok(Server {
             listener,
             addr,
-            service: Arc::new(QrHintService::new(cfg.service)),
+            service: handler,
             workers,
-            max_body_bytes: cfg.max_body_bytes,
-            read_timeout: cfg.read_timeout,
+            max_body_bytes: shell.max_body_bytes,
+            read_timeout: shell.read_timeout,
+            max_pending: shell.max_pending.max(1),
+            acceptor: shell.acceptor,
         })
     }
 
@@ -114,7 +305,7 @@ impl Server {
         self.addr
     }
 
-    pub fn service(&self) -> &Arc<QrHintService> {
+    pub fn handler(&self) -> &Arc<H> {
         &self.service
     }
 
@@ -122,7 +313,205 @@ impl Server {
     /// calling thread; run it on a spawned thread to keep a handle
     /// (the integration tests and the classroom example do).
     pub fn run(self) -> io::Result<()> {
-        let queue = ConnQueue::default();
+        match self.acceptor {
+            AcceptorMode::Blocking => self.run_blocking(),
+            AcceptorMode::Event => {
+                let poller = Poller::new()?;
+                self.run_event(poller)
+            }
+            AcceptorMode::Auto => match Poller::new() {
+                Ok(poller) => self.run_event(poller),
+                // No readiness syscall on this platform: the documented
+                // portable fallback.
+                Err(e) if e.kind() == io::ErrorKind::Unsupported => self.run_blocking(),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Event-driven acceptor
+    // -----------------------------------------------------------------
+
+    fn run_event(self, poller: Poller) -> io::Result<()> {
+        const LISTENER_KEY: usize = 0;
+        self.listener.set_nonblocking(true)?;
+        let poller = Arc::new(poller);
+        let queue: BoundedQueue<(usize, Conn)> = BoundedQueue::new(self.max_pending);
+        let returned: Mutex<Vec<Returned>> = Mutex::new(Vec::new());
+        poller.add(&self.listener, Event::readable(LISTENER_KEY))?;
+
+        let result = std::thread::scope(|scope| {
+            let server = &self;
+            for _ in 0..server.workers {
+                let poller = Arc::clone(&poller);
+                let queue = &queue;
+                let returned = &returned;
+                scope.spawn(move || {
+                    while let Some((key, conn)) = queue.pop() {
+                        let ret = server.serve_dispatched(key, conn);
+                        returned.lock().unwrap().push(ret);
+                        // Wake the event loop to re-arm or unregister.
+                        let _ = poller.notify();
+                    }
+                });
+            }
+
+            // The event loop (this thread).
+            let mut idle: HashMap<usize, Conn> = HashMap::new();
+            let mut next_key: usize = 1;
+            let mut events: Vec<Event> = Vec::new();
+            let loop_result: io::Result<()> = loop {
+                if self.service.is_draining() {
+                    break Ok(());
+                }
+                events.clear();
+                // The timeout is a liveness backstop (missed wake, exotic
+                // platform); all real transitions arrive as events.
+                if let Err(e) = poller.wait(&mut events, Some(Duration::from_millis(500))) {
+                    break Err(e);
+                }
+
+                // Returned connections first: unregister closed fds
+                // *before* accepting (fd reuse), re-arm keep-alives.
+                for ret in returned.lock().unwrap().drain(..) {
+                    match ret {
+                        Returned::KeepAlive(key, conn) => {
+                            if conn.set_nonblocking(true).is_err() {
+                                let _ = poller.delete(conn.fd_source());
+                                continue;
+                            }
+                            if poller.modify(conn.fd_source(), Event::readable(key)).is_ok() {
+                                idle.insert(key, conn);
+                            }
+                        }
+                        Returned::Closed(conn) => {
+                            let _ = poller.delete(conn.fd_source());
+                        }
+                    }
+                }
+                if self.service.is_draining() {
+                    break Ok(());
+                }
+
+                for event in &events {
+                    if event.key == LISTENER_KEY {
+                        loop {
+                            match self.listener.accept() {
+                                Ok((stream, _)) => {
+                                    let Ok(conn) = Conn::new(stream) else { continue };
+                                    if conn.set_nonblocking(true).is_err() {
+                                        continue;
+                                    }
+                                    let key = next_key;
+                                    next_key += 1;
+                                    if poller
+                                        .add(conn.fd_source(), Event::readable(key))
+                                        .is_ok()
+                                    {
+                                        idle.insert(key, conn);
+                                    }
+                                }
+                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                                Err(e)
+                                    if matches!(
+                                        e.kind(),
+                                        io::ErrorKind::ConnectionAborted
+                                            | io::ErrorKind::Interrupted
+                                    ) =>
+                                {
+                                    continue
+                                }
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        // Stay subscribed to new connections (one-shot
+                        // interests need explicit re-arming).
+                        let _ = poller.modify(&self.listener, Event::readable(LISTENER_KEY));
+                        continue;
+                    }
+                    let Some(conn) = idle.remove(&event.key) else { continue };
+                    match queue.try_push((event.key, conn)) {
+                        Ok(()) => {}
+                        Err((_, conn)) => {
+                            // Backpressure: bounded queue is full.
+                            self.shed(conn);
+                        }
+                    }
+                }
+            };
+            let _ = poller.delete(&self.listener);
+            // Idle connections carry no in-flight request; drop them.
+            for (_, conn) in idle.drain() {
+                let _ = poller.delete(conn.fd_source());
+            }
+            queue.close();
+            loop_result
+            // Scope end joins the workers, which finish queued conns.
+        });
+        result
+    }
+
+    /// Serve a dispatched (readable) connection: blocking reads from
+    /// here on, one request at a time, staying with the connection only
+    /// while pipelined bytes are already buffered. Pausing clients go
+    /// back to the event loop instead of pinning this worker.
+    fn serve_dispatched(&self, key: usize, conn: Conn) -> Returned {
+        if conn.set_nonblocking(false).is_err() {
+            return Returned::Closed(conn);
+        }
+        let _ = conn.fd_source().set_read_timeout(Some(self.read_timeout));
+        let mut conn = conn;
+        loop {
+            match self.serve_one(&mut conn) {
+                ServeOutcome::Continue => {
+                    // More pipelined request bytes already in userspace?
+                    // The poller can't see those — keep serving.
+                    if conn.reader.buffer().is_empty() {
+                        return Returned::KeepAlive(key, conn);
+                    }
+                }
+                ServeOutcome::Close => return Returned::Closed(conn),
+            }
+        }
+    }
+
+    /// Answer one connection with the overload shed: `429` +
+    /// `Retry-After`, then close. Called from the event loop with the
+    /// request bytes still unread — the connection cannot be reused
+    /// (its stream position is mid-request), hence the close.
+    fn shed(&self, conn: Conn) {
+        self.service.observe_shed();
+        let resp = crate::service::error_response(
+            429,
+            "overloaded",
+            "server overloaded: dispatch queue is full; retry later",
+        )
+        .with_retry_after(1);
+        let mut writer = conn.writer;
+        // Best effort on a nonblocking socket: the response is ~150
+        // bytes into an empty send buffer, so a partial write means the
+        // peer is gone anyway.
+        let _ = http::write_response(&mut writer, &resp, false);
+        // The request was never read: closing with bytes still in the
+        // receive queue makes the kernel send RST, which discards the
+        // 429 before the peer reads it. Half-close, then drain what
+        // already arrived so the close goes out as a clean FIN.
+        let _ = writer.shutdown(std::net::Shutdown::Write);
+        let mut scratch = [0u8; 1024];
+        while let Ok(n) = (&writer).read(&mut scratch) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Portable blocking fallback
+    // -----------------------------------------------------------------
+
+    fn run_blocking(self) -> io::Result<()> {
+        let queue: BoundedQueue<Conn> = BoundedQueue::new(self.max_pending);
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
                 scope.spawn(|| {
@@ -135,14 +524,17 @@ impl Server {
             // path nudges it with a loopback connection.
             loop {
                 match self.listener.accept() {
-                    Ok((conn, _)) => {
+                    Ok((stream, _)) => {
                         if self.service.is_draining() {
                             // Likely the nudge itself; either way no new
                             // work is accepted while draining.
-                            drop(conn);
+                            drop(stream);
                             break;
                         }
-                        queue.push(conn);
+                        let Ok(conn) = Conn::new(stream) else { continue };
+                        if let Err(conn) = queue.try_push(conn) {
+                            self.shed(conn);
+                        }
                     }
                     Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -157,57 +549,96 @@ impl Server {
         })
     }
 
-    /// Serve one connection: requests in series over keep-alive.
-    fn serve_connection(&self, conn: TcpStream) {
-        let _ = conn.set_read_timeout(Some(self.read_timeout));
-        // Keep-alive request/response traffic is many small segments;
-        // without TCP_NODELAY the Nagle/delayed-ACK interaction adds
-        // ~40 ms to every response.
-        let _ = conn.set_nodelay(true);
-        let mut writer = match conn.try_clone() {
-            Ok(w) => w,
-            Err(_) => return,
-        };
-        let mut reader = BufReader::new(conn);
+    /// Blocking mode: serve one connection, requests in series over
+    /// keep-alive, pinned to this worker until it closes.
+    fn serve_connection(&self, mut conn: Conn) {
+        let _ = conn.fd_source().set_read_timeout(Some(self.read_timeout));
         loop {
-            let request = http::read_request(&mut reader, &mut writer, self.max_body_bytes);
-            match request {
-                Ok(req) => {
-                    let was_draining = self.service.is_draining();
-                    let resp = self.service.handle(&req);
-                    // Keep-alive survives unless the client opted out or
-                    // the server is draining after this response.
-                    let draining = self.service.is_draining();
-                    let keep = req.keep_alive && !draining;
-                    let wrote = http::write_response(&mut writer, &resp, keep);
-                    if draining && !was_draining {
-                        // This request initiated the drain: wake the
-                        // blocking acceptor so `run` can return. Must
-                        // happen even if the response write failed (a
-                        // client may fire /shutdown and hang up without
-                        // reading) — otherwise the acceptor blocks
-                        // forever on a drained server.
-                        let _ = TcpStream::connect(self.addr);
-                    }
-                    if wrote.is_err() || !keep {
-                        return;
-                    }
-                }
-                Err(HttpError::Closed) => return,
-                Err(HttpError::Malformed(msg)) => {
-                    // Framing is broken — answer, then close (the stream
-                    // position is no longer trustworthy).
-                    let resp = crate::service::error_response(400, "bad_http", msg);
-                    let _ = http::write_response(&mut writer, &resp, false);
-                    return;
-                }
-                Err(HttpError::TooLarge(msg)) => {
-                    let resp = crate::service::error_response(413, "too_large", msg);
-                    let _ = http::write_response(&mut writer, &resp, false);
-                    return;
-                }
-                Err(HttpError::Io(_)) => return,
+            match self.serve_one(&mut conn) {
+                ServeOutcome::Continue => {}
+                ServeOutcome::Close => return,
             }
         }
+    }
+
+    /// Read, dispatch and answer exactly one request. Shared by both
+    /// acceptor modes.
+    fn serve_one(&self, conn: &mut Conn) -> ServeOutcome {
+        let request =
+            http::read_request(&mut conn.reader, &mut conn.writer, self.max_body_bytes);
+        match request {
+            Ok(req) => {
+                let was_draining = self.service.is_draining();
+                let resp = self.service.handle(&req);
+                // Keep-alive survives unless the client opted out or
+                // the server is draining after this response.
+                let draining = self.service.is_draining();
+                let keep = req.keep_alive && !draining;
+                let wrote = http::write_response(&mut conn.writer, &resp, keep);
+                if draining && !was_draining {
+                    // This request initiated the drain: wake the
+                    // (possibly blocking) acceptor so `run` can return.
+                    // Must happen even if the response write failed (a
+                    // client may fire /shutdown and hang up without
+                    // reading) — otherwise a blocking acceptor waits
+                    // forever on a drained server. In event mode the
+                    // worker's return-notify wakes the loop; this nudge
+                    // is a harmless extra event.
+                    let _ = TcpStream::connect(self.addr);
+                }
+                if wrote.is_err() || !keep {
+                    ServeOutcome::Close
+                } else {
+                    ServeOutcome::Continue
+                }
+            }
+            Err(HttpError::Closed) => ServeOutcome::Close,
+            Err(HttpError::Malformed(msg)) => {
+                // Framing is broken — answer, then close (the stream
+                // position is no longer trustworthy).
+                let resp = crate::service::error_response(400, "bad_http", msg);
+                let _ = http::write_response(&mut conn.writer, &resp, false);
+                ServeOutcome::Close
+            }
+            Err(HttpError::TooLarge(msg)) => {
+                let resp = crate::service::error_response(413, "too_large", msg);
+                let _ = http::write_response(&mut conn.writer, &resp, false);
+                ServeOutcome::Close
+            }
+            Err(HttpError::Io(_)) => ServeOutcome::Close,
+        }
+    }
+}
+
+enum ServeOutcome {
+    Continue,
+    Close,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_sheds_beyond_capacity() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "third push must be refused");
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "space freed by pop");
+        q.close();
+        assert_eq!(q.try_push(9), Err(9), "closed queue refuses work");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn acceptor_mode_parses() {
+        assert_eq!(AcceptorMode::parse("auto"), Some(AcceptorMode::Auto));
+        assert_eq!(AcceptorMode::parse("event"), Some(AcceptorMode::Event));
+        assert_eq!(AcceptorMode::parse("blocking"), Some(AcceptorMode::Blocking));
+        assert_eq!(AcceptorMode::parse("epoll"), None);
     }
 }

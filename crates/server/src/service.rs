@@ -135,6 +135,9 @@ struct HealthResponse {
     registered_total: u64,
     shed_total: u64,
     evicted_total: u64,
+    /// Connections answered `429` by the bounded-queue overload guard
+    /// (distinct from `shed_total`, which counts registry cache sheds).
+    overload_shed_total: u64,
     draining: bool,
 }
 
@@ -194,7 +197,7 @@ fn sql_error_response(context: &str, e: &QrHintError) -> Response {
 /// `/targets/t17/advise` → `advise`. Bounded vocabulary by design —
 /// labeling by raw path would grow series cardinality with every
 /// registered target and every scanner probing random URLs.
-fn route_template(segments: &[&str]) -> &'static str {
+pub(crate) fn route_template(segments: &[&str]) -> &'static str {
     match segments {
         ["targets"] => "register",
         ["targets", _, "advise"] => "advise",
@@ -254,6 +257,13 @@ impl QrHintService {
 
     pub fn is_draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Record one overload shed: the acceptor refused a readable
+    /// connection because the bounded dispatch queue was full and
+    /// answered `429` without reading the request.
+    pub fn observe_shed(&self) {
+        self.metrics.observe_shed();
     }
 
     /// Handle one request. Infallible by construction: every failure
@@ -486,6 +496,7 @@ impl QrHintService {
                 registered_total,
                 shed_total,
                 evicted_total,
+                overload_shed_total: self.metrics.shed_total(),
                 draining: self.is_draining(),
             },
         )
@@ -512,6 +523,20 @@ impl QrHintService {
     fn handle_shutdown(&self) -> Response {
         self.draining.store(true, Ordering::SeqCst);
         json_response(200, &ShutdownResponse { status: "draining".into() })
+    }
+}
+
+impl crate::server::HttpHandler for QrHintService {
+    fn handle(&self, req: &Request) -> Response {
+        QrHintService::handle(self, req)
+    }
+
+    fn is_draining(&self) -> bool {
+        QrHintService::is_draining(self)
+    }
+
+    fn observe_shed(&self) {
+        QrHintService::observe_shed(self)
     }
 }
 

@@ -7,7 +7,12 @@
 //! qr-hint grade --schema schema.sql --target solution.sql --submissions dir/
 //!         [--jobs N|auto] [--extended] [--rewrite-subqueries] [--json]
 //! qr-hint serve [--addr HOST:PORT] [--jobs N|auto] [--max-targets N]
-//!         [--max-cache-mb MB] [--log-format text|json] [--log-level LEVEL]
+//!         [--max-cache-mb MB] [--max-pending N] [--acceptor auto|event|blocking]
+//!         [--log-format text|json] [--log-level LEVEL]
+//! qr-hint route [--addr HOST:PORT] (--spawn N | --backend HOST:PORT ...)
+//!         [--replicas N] [--health-interval-ms MS] [--max-pending N]
+//!         [--acceptor auto|event|blocking] [--log-format text|json]
+//!         [--log-level LEVEL]
 //! qr-hint fuzz --schema NAME [--count N] [--seed N] [--jobs N|auto]
 //!         [--instances N] [--json]
 //! qr-hint lint --schema schema.sql file.sql... [--extended]
@@ -51,6 +56,20 @@
 //! (`error|warn|info|debug|trace`, default `info`) filters them and
 //! `--log-format json` switches from logfmt text to one JSON object
 //! per line. `GET /metrics` serves Prometheus text exposition.
+//!
+//! **route** runs the scale-out router (see `qrhint_server::router`):
+//! it consistent-hashes target ids across N backend `serve` daemons —
+//! spawned as children (`--spawn N`, ephemeral ports) and/or joined
+//! (`--backend ADDR`, repeatable) — forwards requests over pooled
+//! keep-alive connections, health-checks every backend each
+//! `--health-interval-ms`, and re-shards deterministically when a
+//! backend dies or rejoins. The first stdout line is
+//! `qr-hint routing on http://ADDR (N backends)`. `POST /shutdown`
+//! drains the router and its *spawned* children; joined backends stay
+//! up. Both serve and route take `--max-pending` (the bounded dispatch
+//! queue behind the `429 Too Many Requests` + `Retry-After` overload
+//! contract) and `--acceptor` (readiness-polled `event`, portable
+//! `blocking`, or `auto`).
 //!
 //! **advise `--trace-out trace.json`** records hierarchical span
 //! timings (session → stage → oracle → solver) during the advise and
@@ -109,6 +128,7 @@ enum Mode {
     Advise,
     Grade,
     Serve,
+    Route,
     Fuzz,
     Lint,
 }
@@ -131,6 +151,18 @@ struct Args {
     max_targets: usize,
     /// serve mode: registry byte budget, in MiB (0 = unlimited).
     max_cache_mb: usize,
+    /// serve/route: bounded dispatch queue; beyond it requests shed 429.
+    max_pending: usize,
+    /// serve/route: acceptor architecture.
+    acceptor: qr_hint::server::AcceptorMode,
+    /// route mode: backend `serve` children to spawn.
+    spawn: usize,
+    /// route mode: already-running backends to join (repeatable).
+    backends: Vec<String>,
+    /// route mode: virtual points per backend on the hash ring.
+    replicas: usize,
+    /// route mode: `/healthz` probe period in milliseconds.
+    health_interval_ms: u64,
     /// fuzz mode: corpus size.
     count: usize,
     /// fuzz mode: corpus seed.
@@ -163,7 +195,13 @@ const USAGE: &str = "usage: qr-hint [advise] --schema <schema.sql> --target <sol
                      [--rewrite-subqueries] [--json]\n\
                      \x20      qr-hint serve [--addr <host:port>] [--jobs <N|auto>] \
                      [--max-targets <N>] [--max-cache-mb <MB, 0=unlimited>] \
+                     [--max-pending <N>] [--acceptor <auto|event|blocking>] \
                      [--log-format <text|json>] [--log-level <error|warn|info|debug|trace>]\n\
+                     \x20      qr-hint route [--addr <host:port>] (--spawn <N> | \
+                     --backend <host:port> ...) [--replicas <N>] \
+                     [--health-interval-ms <MS>] [--max-pending <N>] \
+                     [--acceptor <auto|event|blocking>] [--log-format <text|json>] \
+                     [--log-level <error|warn|info|debug|trace>]\n\
                      \x20      qr-hint fuzz --schema <beers|beers-course|brass|dblp|students|tpch> \
                      [--count <N>] [--seed <N>] [--jobs <N|auto>] [--instances <N>] \
                      [--emit-corpus <dir>] [--json]\n\
@@ -177,9 +215,15 @@ fn parse_args() -> Result<Args, String> {
     let mut working = None;
     let mut submissions = None;
     let mut jobs = 1usize;
-    let mut addr = "127.0.0.1:7878".to_string();
+    let mut addr: Option<String> = None;
     let mut max_targets = 64usize;
     let mut max_cache_mb = 256usize;
+    let mut max_pending = 1024usize;
+    let mut acceptor = qr_hint::server::AcceptorMode::Auto;
+    let mut spawn = 0usize;
+    let mut backends: Vec<String> = Vec::new();
+    let mut replicas = 64usize;
+    let mut health_interval_ms = 250u64;
     let mut count = 1000usize;
     let mut seed = 42u64;
     let mut instances = 3usize;
@@ -205,6 +249,11 @@ fn parse_args() -> Result<Args, String> {
         Some("serve") => {
             mode = Mode::Serve;
             jobs = 0; // a daemon defaults to the hardware's parallelism
+            it.next();
+        }
+        Some("route") => {
+            mode = Mode::Route;
+            jobs = 0;
             it.next();
         }
         Some("fuzz") => {
@@ -236,7 +285,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("--jobs needs a count or `auto`, got `{n}`"))?
                 };
             }
-            "--addr" => addr = it.next().ok_or("--addr needs host:port")?,
+            "--addr" => addr = Some(it.next().ok_or("--addr needs host:port")?),
             "--max-targets" => {
                 let n = it.next().ok_or("--max-targets needs a count")?;
                 max_targets = n
@@ -250,6 +299,46 @@ fn parse_args() -> Result<Args, String> {
                 max_cache_mb = n
                     .parse::<usize>()
                     .map_err(|_| format!("--max-cache-mb needs an integer, got `{n}`"))?;
+            }
+            "--max-pending" => {
+                let n = it.next().ok_or("--max-pending needs a queue bound")?;
+                max_pending = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--max-pending needs a positive integer, got `{n}`"))?;
+            }
+            "--acceptor" => {
+                let v = it.next().ok_or("--acceptor needs auto|event|blocking")?;
+                acceptor = qr_hint::server::AcceptorMode::parse(&v)
+                    .ok_or_else(|| format!("--acceptor needs auto|event|blocking, got `{v}`"))?;
+            }
+            "--spawn" => {
+                let n = it.next().ok_or("--spawn needs a backend count")?;
+                spawn = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--spawn needs a positive integer, got `{n}`"))?;
+            }
+            "--backend" => backends.push(it.next().ok_or("--backend needs host:port")?),
+            "--replicas" => {
+                let n = it.next().ok_or("--replicas needs a count")?;
+                replicas = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--replicas needs a positive integer, got `{n}`"))?;
+            }
+            "--health-interval-ms" => {
+                let n = it.next().ok_or("--health-interval-ms needs milliseconds")?;
+                health_interval_ms = n
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| {
+                        format!("--health-interval-ms needs a positive integer, got `{n}`")
+                    })?;
             }
             "--count" => {
                 let n = it.next().ok_or("--count needs a number of pairs")?;
@@ -327,6 +416,28 @@ fn parse_args() -> Result<Args, String> {
             }
             (String::new(), String::new())
         }
+        Mode::Route => {
+            if schema.is_some()
+                || target.is_some()
+                || working.is_some()
+                || submissions.is_some()
+                || interactive
+                || extended
+                || json
+            {
+                return Err(format!(
+                    "route mode takes no file or output flags — targets are registered \
+                     over HTTP (POST /targets)\n{USAGE}"
+                ));
+            }
+            if spawn == 0 && backends.is_empty() {
+                return Err(format!(
+                    "route mode needs at least one backend: --spawn <N> and/or \
+                     --backend <host:port>\n{USAGE}"
+                ));
+            }
+            (String::new(), String::new())
+        }
         Mode::Fuzz => {
             if target.is_some() || working.is_some() || submissions.is_some() || interactive {
                 return Err(format!(
@@ -368,8 +479,19 @@ fn parse_args() -> Result<Args, String> {
     if trace_out.is_some() && !matches!(mode, Mode::Advise) {
         return Err(format!("--trace-out only applies to advise mode\n{USAGE}"));
     }
-    if (log_format.is_some() || log_level.is_some()) && !matches!(mode, Mode::Serve) {
-        return Err(format!("--log-format/--log-level only apply to serve mode\n{USAGE}"));
+    if (log_format.is_some() || log_level.is_some())
+        && !matches!(mode, Mode::Serve | Mode::Route)
+    {
+        return Err(format!(
+            "--log-format/--log-level only apply to serve and route modes\n{USAGE}"
+        ));
+    }
+    if (spawn > 0 || !backends.is_empty() || replicas != 64 || health_interval_ms != 250)
+        && !matches!(mode, Mode::Route)
+    {
+        return Err(format!(
+            "--spawn/--backend/--replicas/--health-interval-ms only apply to route mode\n{USAGE}"
+        ));
     }
     match mode {
         Mode::Advise if working.is_none() => {
@@ -380,6 +502,15 @@ fn parse_args() -> Result<Args, String> {
         }
         _ => {}
     }
+    // The router sits in front of `serve` daemons, so the two defaults
+    // must not collide on one host.
+    let addr = addr.unwrap_or_else(|| {
+        if matches!(mode, Mode::Route) {
+            "127.0.0.1:7979".to_string()
+        } else {
+            "127.0.0.1:7878".to_string()
+        }
+    });
     Ok(Args {
         mode,
         schema,
@@ -390,6 +521,12 @@ fn parse_args() -> Result<Args, String> {
         addr,
         max_targets,
         max_cache_mb,
+        max_pending,
+        acceptor,
+        spawn,
+        backends,
+        replicas,
+        health_interval_ms,
         count,
         seed,
         instances,
@@ -913,6 +1050,8 @@ fn run_serve(args: &Args) -> Result<(), CliError> {
                 max_cache_bytes: args.max_cache_mb * 1024 * 1024,
             },
         },
+        max_pending: args.max_pending,
+        acceptor: args.acceptor,
         ..ServerConfig::default()
     };
     let server = Server::bind(cfg)
@@ -924,6 +1063,48 @@ fn run_serve(args: &Args) -> Result<(), CliError> {
         .run()
         .map_err(|e| CliError::internal(format!("server error: {e}")))?;
     println!("qr-hint drained; bye");
+    Ok(())
+}
+
+/// The `route` subcommand: spawn/join backends, bind the router,
+/// announce the resolved address on the first stdout line (scripts and
+/// the CI smoke job parse it), then block until a `POST /shutdown`
+/// drains the router and its spawned children.
+fn run_route(args: &Args) -> Result<(), CliError> {
+    use qr_hint::server::router::{Router, RouterConfig};
+    qrhint_obs::log::set_format(args.log_format);
+    qrhint_obs::log::set_level(args.log_level);
+    let mut backends = Vec::with_capacity(args.backends.len());
+    for b in &args.backends {
+        backends.push(b.parse().map_err(|e| CliError {
+            msg: format!("--backend `{b}` is not host:port: {e}"),
+            code: EXIT_USAGE,
+        })?);
+    }
+    let cfg = RouterConfig {
+        addr: args.addr.clone(),
+        backends,
+        spawn: args.spawn,
+        replicas: args.replicas,
+        health_interval: std::time::Duration::from_millis(args.health_interval_ms),
+        workers: args.jobs,
+        max_pending: args.max_pending,
+        acceptor: args.acceptor,
+        ..RouterConfig::default()
+    };
+    let router = Router::start(cfg)
+        .map_err(|e| CliError::internal(format!("cannot start router on {}: {e}", args.addr)))?;
+    println!(
+        "qr-hint routing on http://{} ({} backends)",
+        router.addr(),
+        router.backend_addrs().len()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    router
+        .run()
+        .map_err(|e| CliError::internal(format!("router error: {e}")))?;
+    println!("qr-hint router drained; bye");
     Ok(())
 }
 
@@ -948,6 +1129,7 @@ fn main() -> ExitCode {
                 Mode::Advise => run_advise(&args).map(|()| 0),
                 Mode::Grade => run_grade(&args),
                 Mode::Serve => run_serve(&args).map(|()| 0),
+                Mode::Route => run_route(&args).map(|()| 0),
                 Mode::Fuzz => run_fuzz(&args),
                 Mode::Lint => run_lint(&args),
             };

@@ -1,0 +1,418 @@
+//! Offline shim for the [`polling`](https://crates.io/crates/polling)
+//! crate: portable readiness polling for sockets, the substrate under
+//! `qrhint-server`'s event-driven acceptor.
+//!
+//! The build environment has no network access (see `vendor/README.md`),
+//! so this crate re-implements the subset of the real `polling` 2.x API
+//! the workspace uses:
+//!
+//! * [`Poller::new`] / [`Poller::add`] / [`Poller::modify`] /
+//!   [`Poller::delete`] — register `AsRawFd` sources with a `usize` key.
+//! * [`Poller::wait`] — block until a source is readable (or a timeout /
+//!   [`Poller::notify`] lands). **One-shot** semantics, exactly like the
+//!   real crate: once an event for a key is delivered, that source is
+//!   disarmed until `modify` re-arms it.
+//! * [`Poller::notify`] — wake a concurrent `wait` from any thread.
+//!
+//! ## Implementation
+//!
+//! On Unix this wraps `poll(2)` — not `epoll(7)` — because the daemon
+//! polls tens of connections per event-loop pass, far below the fd
+//! counts where `epoll`'s O(ready) beats `poll`'s O(registered), and
+//! `poll` is POSIX-portable (Linux, macOS, BSDs) where `epoll` is
+//! Linux-only. The only `unsafe` in the workspace lives here, in the
+//! single FFI call; the wake channel is a connected UDP socket pair, so
+//! no pipes or signal handling are involved.
+//!
+//! ## Portable fallback
+//!
+//! On non-Unix targets (no `poll(2)`), [`Poller::wait`] degrades to a
+//! documented timed sweep: it sleeps in short slices (≤ 5 ms) and then
+//! reports **every armed source** as ready. Readiness becomes a hint
+//! rather than a guarantee — correct for callers that follow up with
+//! their own (timeout-bounded) reads, at the cost of idle wakeups.
+//! `qrhint-server` additionally keeps a fully blocking thread-per-
+//! connection acceptor as its own portable fallback and selects it when
+//! [`Poller::new`] reports [`std::io::ErrorKind::Unsupported`], so on
+//! exotic targets the daemon never relies on this degraded mode.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Mutex;
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::unix::io::{AsRawFd, RawFd};
+
+// Non-Unix targets have no RawFd; keep the API compiling with an i64
+// stand-in so downstream cfg'd fallbacks can still name the types.
+#[cfg(not(unix))]
+pub type RawFd = i64;
+#[cfg(not(unix))]
+pub trait AsRawFd {
+    fn as_raw_fd(&self) -> RawFd;
+}
+
+/// Interest in / readiness of one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source.
+    pub key: usize,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in readability only (the only interest the workspace
+    /// uses; writability is supported for API faithfulness).
+    pub fn readable(key: usize) -> Event {
+        Event { key, readable: true, writable: false }
+    }
+
+    pub fn writable(key: usize) -> Event {
+        Event { key, readable: false, writable: true }
+    }
+
+    pub fn all(key: usize) -> Event {
+        Event { key, readable: true, writable: true }
+    }
+
+    /// No interest: keeps the source registered but disarmed.
+    pub fn none(key: usize) -> Event {
+        Event { key, readable: false, writable: false }
+    }
+}
+
+struct Registration {
+    fd: RawFd,
+    /// Current (one-shot) interest; cleared when an event is delivered.
+    interest: Event,
+}
+
+/// A readiness poller over registered fd sources.
+pub struct Poller {
+    sources: Mutex<HashMap<usize, Registration>>,
+    /// Wake channel: `notify()` sends a datagram that `wait()` drains.
+    wake_rx: std::net::UdpSocket,
+    wake_tx: std::net::UdpSocket,
+}
+
+impl Poller {
+    /// Create a poller. Returns [`io::ErrorKind::Unsupported`] where no
+    /// readiness syscall is available (non-Unix), so callers can select
+    /// their own fallback strategy.
+    pub fn new() -> io::Result<Poller> {
+        if !cfg!(unix) {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "no poll(2) on this target; use a blocking fallback",
+            ));
+        }
+        let wake_rx = std::net::UdpSocket::bind("127.0.0.1:0")?;
+        wake_rx.set_nonblocking(true)?;
+        let wake_tx = std::net::UdpSocket::bind("127.0.0.1:0")?;
+        wake_tx.connect(wake_rx.local_addr()?)?;
+        wake_tx.set_nonblocking(true)?;
+        Ok(Poller { sources: Mutex::new(HashMap::new()), wake_rx, wake_tx })
+    }
+
+    /// Register a source under `key` with an initial interest. A key
+    /// already in use is an error (mirrors the real crate).
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let mut sources = self.sources.lock().unwrap();
+        if sources.contains_key(&interest.key) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("key {} is already registered", interest.key),
+            ));
+        }
+        sources.insert(interest.key, Registration { fd: source.as_raw_fd(), interest });
+        Ok(())
+    }
+
+    /// Re-arm (or change) the interest of a registered source — the
+    /// one-shot re-subscription after an event was delivered.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let mut sources = self.sources.lock().unwrap();
+        match sources.get_mut(&interest.key) {
+            Some(reg) => {
+                reg.fd = source.as_raw_fd();
+                reg.interest = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("key {} is not registered", interest.key),
+            )),
+        }
+    }
+
+    /// Remove a source entirely (looked up by fd, like the real crate).
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut sources = self.sources.lock().unwrap();
+        let before = sources.len();
+        sources.retain(|_, reg| reg.fd != fd);
+        if sources.len() == before {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("fd {fd} is not registered"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Wake a concurrent [`Poller::wait`] (idempotent, thread-safe).
+    pub fn notify(&self) -> io::Result<()> {
+        // A full wake socket buffer means a wake is already pending —
+        // the condition notify exists to signal.
+        match self.wake_tx.send(&[1u8]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Block until at least one armed source is ready, the timeout
+    /// elapses, or [`Poller::notify`] is called. Ready events are
+    /// appended to `events` (which is *not* cleared first, mirroring
+    /// the real crate) and their sources disarmed. Returns the number
+    /// of events appended — `0` for timeout or a bare notify.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let (mut fds, keys) = {
+            let sources = self.sources.lock().unwrap();
+            let mut fds: Vec<sys::PollFd> = Vec::with_capacity(sources.len() + 1);
+            let mut keys: Vec<usize> = Vec::with_capacity(sources.len());
+            for (key, reg) in sources.iter() {
+                if reg.interest.readable || reg.interest.writable {
+                    fds.push(sys::PollFd::new(
+                        reg.fd,
+                        reg.interest.readable,
+                        reg.interest.writable,
+                    ));
+                    keys.push(*key);
+                }
+            }
+            // The wake socket rides along at the end, outside `keys`.
+            #[cfg(unix)]
+            fds.push(sys::PollFd::new(self.wake_rx.as_raw_fd(), true, false));
+            (fds, keys)
+        };
+
+        let n = sys::poll(&mut fds, timeout)?;
+        if n == 0 {
+            return Ok(0);
+        }
+
+        // Drain any pending wakes so the next wait() blocks again.
+        let mut buf = [0u8; 16];
+        while self.wake_rx.recv(&mut buf).is_ok() {}
+
+        let mut delivered = 0usize;
+        let mut sources = self.sources.lock().unwrap();
+        for (i, key) in keys.iter().enumerate() {
+            let (readable, writable) = fds[i].ready();
+            if !readable && !writable {
+                continue;
+            }
+            events.push(Event { key: *key, readable, writable });
+            delivered += 1;
+            // One-shot: disarm until the caller re-arms via modify().
+            if let Some(reg) = sources.get_mut(key) {
+                reg.interest = Event::none(*key);
+            }
+        }
+        Ok(delivered)
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    //! The single FFI surface of the workspace: `poll(2)`. The symbol
+    //! comes from the C library `std` already links; constants and the
+    //! `pollfd` layout are identical across Linux, macOS and the BSDs.
+
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    #[repr(C)]
+    pub struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    impl PollFd {
+        pub fn new(fd: RawFd, readable: bool, writable: bool) -> PollFd {
+            let mut events = 0i16;
+            if readable {
+                events |= POLLIN;
+            }
+            if writable {
+                events |= POLLOUT;
+            }
+            PollFd { fd, events, revents: 0 }
+        }
+
+        /// (readable, writable) readiness after a poll pass. Error and
+        /// hangup conditions count as readable: the subsequent read
+        /// observes the EOF/error, which is how level-triggered
+        /// consumers are meant to discover them.
+        pub fn ready(&self) -> (bool, bool) {
+            let r = self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0;
+            let w = self.revents & (POLLOUT | POLLERR) != 0;
+            (r, w)
+        }
+    }
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    type NFds = std::ffi::c_ulong;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    type NFds = std::ffi::c_uint;
+
+    extern "C" {
+        #[link_name = "poll"]
+        fn poll_c(fds: *mut PollFd, nfds: NFds, timeout: std::ffi::c_int) -> std::ffi::c_int;
+    }
+
+    pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: std::ffi::c_int = match timeout {
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+            None => -1,
+        };
+        loop {
+            // SAFETY: `fds` is a valid, exclusively borrowed slice of
+            // repr(C) pollfd records for the duration of the call, and
+            // nfds is its exact length.
+            let rc = unsafe { poll_c(fds.as_mut_ptr(), fds.len() as NFds, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    //! Degraded portable fallback (documented in the crate docs): no
+    //! readiness syscall, so a bounded sleep followed by reporting every
+    //! armed source as ready. Callers must treat readiness as a hint.
+
+    use std::io;
+    use std::time::Duration;
+
+    pub struct PollFd {
+        ready: bool,
+    }
+
+    impl PollFd {
+        pub fn new(_fd: super::RawFd, readable: bool, writable: bool) -> PollFd {
+            PollFd { ready: readable || writable }
+        }
+
+        pub fn ready(&self) -> (bool, bool) {
+            (self.ready, false)
+        }
+    }
+
+    pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        let slice = timeout.unwrap_or(Duration::from_millis(5)).min(Duration::from_millis(5));
+        std::thread::sleep(slice);
+        Ok(fds.iter().filter(|f| f.ready().0).count())
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn wait_times_out_with_no_ready_sources() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        poller.add(&listener, Event::readable(7)).unwrap();
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect_and_is_one_shot() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        poller.add(&listener, Event::readable(3)).unwrap();
+        let _conn = TcpStream::connect(addr).unwrap();
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 3);
+        assert!(events[0].readable);
+        // One-shot: without re-arming, the still-pending connection
+        // does not fire again.
+        let mut again = Vec::new();
+        let n = poller.wait(&mut again, Some(Duration::from_millis(20))).unwrap();
+        assert_eq!(n, 0, "one-shot interest must disarm after delivery");
+        // Re-armed, it fires again (the connection is still pending).
+        poller.modify(&listener, Event::readable(3)).unwrap();
+        let n = poller.wait(&mut again, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn stream_data_and_notify_wakeups() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        poller.add(&server_side, Event::readable(11)).unwrap();
+
+        // No data yet: a notify() alone wakes wait() with zero events.
+        poller.notify().unwrap();
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 0, "bare notify wakes with no events");
+
+        client.write_all(b"x").unwrap();
+        client.flush().unwrap();
+        let n = poller.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 11);
+
+        // Peer hangup counts as readable (EOF is discovered by reading).
+        poller.modify(&server_side, Event::readable(11)).unwrap();
+        drop(client);
+        let mut hup = Vec::new();
+        let n = poller.wait(&mut hup, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(hup[0].readable);
+    }
+
+    #[test]
+    fn add_modify_delete_contract() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        poller.add(&listener, Event::readable(1)).unwrap();
+        assert!(poller.add(&listener, Event::readable(1)).is_err(), "duplicate key");
+        poller.modify(&listener, Event::none(1)).unwrap();
+        poller.delete(&listener).unwrap();
+        assert!(poller.delete(&listener).is_err(), "already deleted");
+        assert!(poller.modify(&listener, Event::readable(1)).is_err(), "deleted key");
+    }
+}
